@@ -1,0 +1,35 @@
+//! Ablation bench: three-way **merge** cost of the three OR-set variants.
+//!
+//! The paper reports only operation throughput (Fig. 14); this bench
+//! isolates the merge, where OR-set-space pays its deduplication cost and
+//! OR-set-spacetime pays tree flatten/rebuild — the design-choice
+//! trade-off DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peepul_bench::orset_session;
+use peepul_core::Mrdt;
+use peepul_types::or_set::OrSet;
+use peepul_types::or_set_space::OrSetSpace;
+use peepul_types::or_set_spacetime::OrSetSpacetime;
+
+fn bench_orset_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orset_merge");
+    for n in [1000usize, 4000, 16000] {
+        let (l, a, b) = orset_session::<OrSet<u64>>(n, 42);
+        group.bench_with_input(BenchmarkId::new("or_set", n), &n, |bench, _| {
+            bench.iter(|| OrSet::merge(&l, &a, &b));
+        });
+        let (l, a, b) = orset_session::<OrSetSpace<u64>>(n, 42);
+        group.bench_with_input(BenchmarkId::new("or_set_space", n), &n, |bench, _| {
+            bench.iter(|| OrSetSpace::merge(&l, &a, &b));
+        });
+        let (l, a, b) = orset_session::<OrSetSpacetime<u64>>(n, 42);
+        group.bench_with_input(BenchmarkId::new("or_set_spacetime", n), &n, |bench, _| {
+            bench.iter(|| OrSetSpacetime::merge(&l, &a, &b));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orset_merge);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmark behind **Fig. 14**: per-operation cost of the
+//! three OR-set variants at realistic set sizes — the `O(n)` list scans of
+//! OR-set/OR-set-space vs the `O(log n)` tree paths of OR-set-spacetime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peepul_bench::Ticker;
+use peepul_core::Mrdt;
+use peepul_types::or_set::{OrSet, OrSetOp};
+use peepul_types::or_set_space::OrSetSpace;
+use peepul_types::or_set_spacetime::OrSetSpacetime;
+
+fn filled<M: Mrdt<Op = OrSetOp<u64>>>(n: u64) -> M {
+    let mut t = Ticker::new();
+    let mut s = M::initial();
+    for x in 0..n {
+        s = s.apply(&OrSetOp::Add(x), t.next(0)).0;
+    }
+    s
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orset_lookup");
+    for n in [256u64, 1024, 4096] {
+        let t = peepul_core::Timestamp::new(n + 1, peepul_core::ReplicaId::new(0));
+        let plain: OrSet<u64> = filled(n);
+        group.bench_with_input(BenchmarkId::new("or_set", n), &n, |b, &n| {
+            b.iter(|| plain.apply(&OrSetOp::Lookup(n / 2), t));
+        });
+        let space: OrSetSpace<u64> = filled(n);
+        group.bench_with_input(BenchmarkId::new("or_set_space", n), &n, |b, &n| {
+            b.iter(|| space.apply(&OrSetOp::Lookup(n / 2), t));
+        });
+        let tree: OrSetSpacetime<u64> = filled(n);
+        group.bench_with_input(BenchmarkId::new("or_set_spacetime", n), &n, |b, &n| {
+            b.iter(|| tree.apply(&OrSetOp::Lookup(n / 2), t));
+        });
+    }
+    group.finish();
+}
+
+fn bench_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orset_add");
+    for n in [256u64, 1024, 4096] {
+        let t = peepul_core::Timestamp::new(n + 1, peepul_core::ReplicaId::new(0));
+        let plain: OrSet<u64> = filled(n);
+        group.bench_with_input(BenchmarkId::new("or_set", n), &n, |b, &n| {
+            b.iter(|| plain.apply(&OrSetOp::Add(n / 2), t));
+        });
+        let space: OrSetSpace<u64> = filled(n);
+        group.bench_with_input(BenchmarkId::new("or_set_space", n), &n, |b, &n| {
+            b.iter(|| space.apply(&OrSetOp::Add(n / 2), t));
+        });
+        let tree: OrSetSpacetime<u64> = filled(n);
+        group.bench_with_input(BenchmarkId::new("or_set_spacetime", n), &n, |b, &n| {
+            b.iter(|| tree.apply(&OrSetOp::Add(n / 2), t));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_add);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation bench: Okasaki's two-list queue vs a naive single-vector
+//! queue — substantiating the amortized `O(1)` enqueue/dequeue claim the
+//! paper inherits from Okasaki (§6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peepul_bench::Ticker;
+use peepul_core::Mrdt;
+use peepul_types::queue::{Queue, QueueOp};
+
+/// Naive persistent queue: one vector, dequeue removes the head — `O(n)`
+/// per dequeue.
+#[derive(Clone, PartialEq, Debug, Default)]
+struct NaiveQueue(Vec<(peepul_core::Timestamp, u64)>);
+
+impl NaiveQueue {
+    fn enqueue(&self, t: peepul_core::Timestamp, v: u64) -> Self {
+        let mut next = self.clone();
+        next.0.push((t, v));
+        next
+    }
+
+    fn dequeue(&self) -> Self {
+        let mut next = self.clone();
+        if !next.0.is_empty() {
+            next.0.remove(0);
+        }
+        next
+    }
+}
+
+fn cycle_two_list(n: u64) -> Queue<u64> {
+    let mut t = Ticker::new();
+    let mut q: Queue<u64> = Queue::initial();
+    for v in 0..n {
+        q = q.apply(&QueueOp::Enqueue(v), t.next(0)).0;
+        if v % 2 == 1 {
+            q = q.apply(&QueueOp::Dequeue, t.next(0)).0;
+        }
+    }
+    q
+}
+
+fn cycle_naive(n: u64) -> NaiveQueue {
+    let mut t = Ticker::new();
+    let mut q = NaiveQueue::default();
+    for v in 0..n {
+        q = q.enqueue(t.next(0), v);
+        if v % 2 == 1 {
+            q = q.dequeue();
+        }
+    }
+    q
+}
+
+fn bench_amortized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_amortized");
+    for n in [1000u64, 4000] {
+        group.bench_with_input(BenchmarkId::new("two_list", n), &n, |b, &n| {
+            b.iter(|| cycle_two_list(n));
+        });
+        group.bench_with_input(BenchmarkId::new("naive_vec", n), &n, |b, &n| {
+            b.iter(|| cycle_naive(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_amortized);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmark behind **Fig. 12**: three-way queue merge,
+//! Peepul (linear, set-semantics) vs Quark (quadratic relational
+//! reification), at increasing session sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peepul_bench::queue_session;
+use peepul_core::Mrdt;
+use peepul_quark::QuarkQueue;
+use peepul_types::queue::Queue;
+
+fn bench_queue_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_merge");
+    // Quark merges take seconds at these sizes; keep sampling modest.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for n in [250usize, 500, 1000] {
+        let (pl, pa, pb) = queue_session::<Queue<u64>>(n, 42);
+        group.bench_with_input(BenchmarkId::new("peepul", n), &n, |bench, _| {
+            bench.iter(|| Queue::merge(&pl, &pa, &pb));
+        });
+        let (ql, qa, qb) = queue_session::<QuarkQueue<u64>>(n, 42);
+        group.bench_with_input(BenchmarkId::new("quark", n), &n, |bench, _| {
+            bench.iter(|| QuarkQueue::merge(&ql, &qa, &qb));
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_local_ops(c: &mut Criterion) {
+    use peepul_bench::Ticker;
+    use peepul_types::queue::QueueOp;
+    // Local operations are identical between the two implementations; this
+    // isolates the merge as the only difference (the paper's premise).
+    let mut group = c.benchmark_group("queue_local_ops");
+    group.bench_function("enqueue_dequeue_cycle_1000", |b| {
+        b.iter(|| {
+            let mut t = Ticker::new();
+            let mut q: Queue<u64> = Queue::initial();
+            for v in 0..1000u64 {
+                q = q.apply(&QueueOp::Enqueue(v), t.next(0)).0;
+            }
+            for _ in 0..1000 {
+                q = q.apply(&QueueOp::Dequeue, t.next(0)).0;
+            }
+            q
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_merge, bench_queue_local_ops);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! **Figure 12** — merge performance of Peepul vs Quark queues.
+//!
+//! Protocol (paper §7.2.1): starting from an empty queue, perform `n`
+//! random operations (75:25 enqueue:dequeue) to build the LCA, diverge two
+//! versions with further random operations, then time a single three-way
+//! merge. Peepul's merge is linear; Quark reifies the `O(len²)` ordering
+//! relation and re-linearises it.
+//!
+//! Run: `cargo run --release -p peepul-bench --bin fig12 [max_n]`
+//! (default sweep 1000..=5000 step 500, as in the paper).
+
+use peepul_bench::{queue_session, time_once};
+use peepul_core::Mrdt;
+use peepul_quark::QuarkQueue;
+use peepul_types::queue::Queue;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5000);
+    println!("# Figure 12: queue merge time, Peepul vs Quark");
+    println!("# n = operations building the session (75% enqueue / 25% dequeue)");
+    println!(
+        "{:>8} {:>10} {:>16} {:>16} {:>10}",
+        "n", "queue_len", "peepul_merge_s", "quark_merge_s", "speedup"
+    );
+    let mut n = 1000;
+    while n <= max_n {
+        let seed = 0x51_2E + n as u64;
+        let (pl, pa, pb) = queue_session::<Queue<u64>>(n, seed);
+        let (ql, qa, qb) = queue_session::<QuarkQueue<u64>>(n, seed);
+        debug_assert_eq!(pl.to_list(), ql.to_list());
+
+        let (peepul_t, pm) = time_once(|| Queue::merge(&pl, &pa, &pb));
+        let (quark_t, qm) = time_once(|| QuarkQueue::merge(&ql, &qa, &qb));
+        assert_eq!(pm.to_list(), qm.to_list(), "merges must agree");
+
+        println!(
+            "{:>8} {:>10} {:>16.6} {:>16.6} {:>9.0}x",
+            n,
+            pm.len(),
+            peepul_t.as_secs_f64(),
+            quark_t.as_secs_f64(),
+            quark_t.as_secs_f64() / peepul_t.as_secs_f64().max(1e-9)
+        );
+        n += 500;
+    }
+    println!("# Expected shape: Quark grows superlinearly (O(len²) relation),");
+    println!("# Peepul stays ~linear and several orders of magnitude faster.");
+}

@@ -1,0 +1,49 @@
+//! **Figure 13** — OR-set size, Peepul vs Quark, under a 50:50 add:remove
+//! workload with values drawn from `0..1000`.
+//!
+//! Protocol (paper §7.2.1): `n/2` operations build the LCA, `n/4` more on
+//! each branch, one merge; report the final number of stored pairs
+//! *including duplicates*. Quark's relationally-derived interface cannot
+//! coalesce or bulk-remove duplicate `(element, id)` pairs, so its
+//! footprint grows with the operation count (a reflected random walk per
+//! element — the paper's "non-linear" growth); Peepul's space-efficient
+//! OR-set stays bounded by the value range.
+//!
+//! Run: `cargo run --release -p peepul-bench --bin fig13 [max_n]`
+//! (default sweep 10000..=100000 step 10000, as in the paper).
+
+use peepul_bench::orset_session;
+use peepul_core::Mrdt;
+use peepul_quark::QuarkOrSet;
+use peepul_types::or_set_space::OrSetSpace;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    println!("# Figure 13: final OR-set size (pairs incl. duplicates), Peepul vs Quark");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8}",
+        "n_ops", "quark_size", "peepul_size", "ratio"
+    );
+    let mut n = 10_000;
+    while n <= max_n {
+        let seed = 0xF163 + n as u64;
+        let (ql, qa, qb) = orset_session::<QuarkOrSet<u64>>(n, seed);
+        let (pl, pa, pb) = orset_session::<OrSetSpace<u64>>(n, seed);
+        let quark = QuarkOrSet::merge(&ql, &qa, &qb);
+        let peepul = OrSetSpace::merge(&pl, &pa, &pb);
+        assert!(peepul.pair_count() <= 1000, "Peepul is bounded by the range");
+        println!(
+            "{:>8} {:>14} {:>14} {:>7.1}x",
+            n,
+            quark.pair_count(),
+            peepul.pair_count(),
+            quark.pair_count() as f64 / peepul.pair_count().max(1) as f64
+        );
+        n += 10_000;
+    }
+    println!("# Expected shape: Quark grows with n (duplicates unremovable),");
+    println!("# Peepul stays below 1000 (the value range) throughout.");
+}

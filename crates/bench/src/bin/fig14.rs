@@ -1,0 +1,43 @@
+//! **Figure 14** — running time of the three Peepul OR-set variants.
+//!
+//! Protocol (paper §7.2.2): 70% lookups / 20% adds / 10% removes on two
+//! branches from an empty set, a merge every 500 operations, total
+//! operation counts 5000..=30000. The tree-backed OR-set-spacetime's
+//! `O(log n)` operations dominate the `O(n)` list scans of the other two.
+//!
+//! Run: `cargo run --release -p peepul-bench --bin fig14 [max_ops]`
+
+use peepul_bench::orset_workload;
+use peepul_types::or_set::OrSet;
+use peepul_types::or_set_space::OrSetSpace;
+use peepul_types::or_set_spacetime::OrSetSpacetime;
+
+fn main() {
+    let max_ops: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    println!("# Figure 14: OR-set running time (seconds) — 70% rd / 20% add / 10% rm,");
+    println!("# two branches, merge every 500 ops");
+    println!(
+        "{:>8} {:>12} {:>14} {:>18}",
+        "n_ops", "or_set_s", "or_set_space_s", "or_set_spacetime_s"
+    );
+    let mut n = 5_000;
+    while n <= max_ops {
+        let seed = 0xF164 + n as u64;
+        let plain = orset_workload::<OrSet<u64>>(n, seed);
+        let space = orset_workload::<OrSetSpace<u64>>(n, seed);
+        let spacetime = orset_workload::<OrSetSpacetime<u64>>(n, seed);
+        println!(
+            "{:>8} {:>12.4} {:>14.4} {:>18.4}",
+            n,
+            plain.elapsed.as_secs_f64(),
+            space.elapsed.as_secs_f64(),
+            spacetime.elapsed.as_secs_f64(),
+        );
+        n += 5_000;
+    }
+    println!("# Expected shape: or_set_spacetime fastest (balanced-tree lookups),");
+    println!("# or_set slowest (duplicate pairs inflate every O(n) scan).");
+}

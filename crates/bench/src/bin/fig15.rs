@@ -1,0 +1,43 @@
+//! **Figure 15** — space consumption of the three Peepul OR-set variants
+//! under the Fig. 14 workload (maximum footprint observed, in KB).
+//!
+//! In the paper the OR-set-space and OR-set-spacetime lines coincide (both
+//! duplicate-free); the unoptimized OR-set sits above them and grows with
+//! its duplicates.
+//!
+//! Run: `cargo run --release -p peepul-bench --bin fig15 [max_ops]`
+
+use peepul_bench::orset_workload;
+use peepul_types::or_set::OrSet;
+use peepul_types::or_set_space::OrSetSpace;
+use peepul_types::or_set_spacetime::OrSetSpacetime;
+
+fn main() {
+    let max_ops: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    println!("# Figure 15: OR-set max space (KB) — same workload as Figure 14");
+    println!(
+        "{:>8} {:>12} {:>15} {:>19}",
+        "n_ops", "or_set_kb", "or_set_space_kb", "or_set_spacetime_kb"
+    );
+    let mut n = 5_000;
+    while n <= max_ops {
+        let seed = 0xF164 + n as u64; // same seed as fig14: same workload
+        let plain = orset_workload::<OrSet<u64>>(n, seed);
+        let space = orset_workload::<OrSetSpace<u64>>(n, seed);
+        let spacetime = orset_workload::<OrSetSpacetime<u64>>(n, seed);
+        let kb = |b: usize| b as f64 / 1024.0;
+        println!(
+            "{:>8} {:>12.2} {:>15.2} {:>19.2}",
+            n,
+            kb(plain.max_bytes),
+            kb(space.max_bytes),
+            kb(spacetime.max_bytes),
+        );
+        n += 5_000;
+    }
+    println!("# Expected shape: duplicate-free variants stay flat (bounded by the");
+    println!("# value range); the unoptimized OR-set sits above and keeps growing.");
+}

@@ -1,0 +1,351 @@
+//! Abstract executions and the abstract operators `do#`, `merge#`, `lca#`.
+//!
+//! An [`AbstractState`] is the paper's `I = ⟨E, oper, rval, time, vis⟩`
+//! (Definition 2.2): the set of events a branch has observed together with
+//! an irreflexive, asymmetric, transitive *visibility* relation. The store
+//! semantics (Fig. 3) maintains one abstract state per branch alongside the
+//! concrete MRDT state; specifications are evaluated against the abstract
+//! state, and simulation relations connect the two.
+
+use crate::event::{Event, EventId};
+use crate::Timestamp;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An abstract execution state for a data type with operations `O` and
+/// return values `V`.
+///
+/// Visibility is stored as each event's *causal past*: `vis(e, f)` holds iff
+/// `e` is in `past(f)`. Events are created by [`AbstractState::perform`]
+/// (`do#`), which makes the new event causally after everything currently in
+/// the state; [`AbstractState::merged`] (`merge#`) unions two states; and
+/// [`AbstractState::lca`] (`lca#`) intersects them.
+///
+/// Two abstract states compare equal iff they contain the same events with
+/// the same attributes and visibility — the paper's `δ(b1) = δ(b2)` used in
+/// the convergence definition (Definition 3.5).
+///
+/// # Example
+///
+/// ```
+/// use peepul_core::{AbstractState, ReplicaId, Timestamp};
+///
+/// let t1 = Timestamp::new(1, ReplicaId::new(0));
+/// let t2 = Timestamp::new(2, ReplicaId::new(1));
+///
+/// let i0: AbstractState<&str, ()> = AbstractState::new();
+/// let ia = i0.perform("add(1)", (), t1);
+/// let ib = i0.perform("add(2)", (), t2);
+///
+/// let merged = ia.merged(&ib);
+/// assert_eq!(merged.len(), 2);
+/// // The two adds were concurrent: neither is visible to the other.
+/// assert!(!merged.vis(t1, t2) && !merged.vis(t2, t1));
+/// assert_eq!(merged.lca(&ia).len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct AbstractState<O, V> {
+    events: BTreeMap<EventId, Event<O, V>>,
+    past: BTreeMap<EventId, BTreeSet<EventId>>,
+}
+
+impl<O, V> AbstractState<O, V> {
+    /// The empty abstract state `I0` (no events).
+    pub fn new() -> Self {
+        AbstractState {
+            events: BTreeMap::new(),
+            past: BTreeMap::new(),
+        }
+    }
+
+    /// Number of events `|E|`.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the execution contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether event `id` is part of this execution.
+    pub fn contains(&self, id: EventId) -> bool {
+        self.events.contains_key(&id)
+    }
+
+    /// The event with identity `id`, if present.
+    pub fn event(&self, id: EventId) -> Option<&Event<O, V>> {
+        self.events.get(&id)
+    }
+
+    /// Iterates over all events in timestamp order.
+    pub fn events(&self) -> impl Iterator<Item = &Event<O, V>> {
+        self.events.values()
+    }
+
+    /// Iterates over all event identities in timestamp order.
+    pub fn ids(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.events.keys().copied()
+    }
+
+    /// The visibility relation: does `e` causally precede `f`
+    /// (`e --vis--> f`)?
+    ///
+    /// Returns `false` when either event is absent.
+    pub fn vis(&self, e: EventId, f: EventId) -> bool {
+        self.past.get(&f).is_some_and(|p| p.contains(&e))
+    }
+
+    /// The causal past of `f`: every event `e` with `e --vis--> f`.
+    ///
+    /// Returns an empty set for unknown events.
+    pub fn past(&self, f: EventId) -> BTreeSet<EventId> {
+        self.past.get(&f).cloned().unwrap_or_default()
+    }
+
+    /// Events of `self` that are *not* visible to any later event — the
+    /// causal frontier. Useful for diagnostics.
+    pub fn frontier(&self) -> BTreeSet<EventId> {
+        let mut seen: BTreeSet<EventId> = BTreeSet::new();
+        for p in self.past.values() {
+            seen.extend(p.iter().copied());
+        }
+        self.events
+            .keys()
+            .copied()
+            .filter(|id| !seen.contains(id))
+            .collect()
+    }
+}
+
+impl<O: Clone, V: Clone> AbstractState<O, V> {
+    /// The abstract operator `do#` (§3): extends the execution with a new
+    /// event that observes everything currently in it.
+    ///
+    /// ```text
+    /// do#⟨I, e, op, a, t⟩ = ⟨I.E ∪ {e}, …, I.vis ∪ {(f, e) | f ∈ I.E}⟩
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event with timestamp `t` already exists — the store
+    /// guarantees unique timestamps (Ψ_ts), so a collision is a harness bug.
+    #[must_use]
+    pub fn perform(&self, op: O, rval: V, t: Timestamp) -> Self {
+        assert!(
+            !self.events.contains_key(&t),
+            "duplicate timestamp {t:?} violates Ψ_ts"
+        );
+        let mut next = self.clone();
+        let past: BTreeSet<EventId> = next.events.keys().copied().collect();
+        next.events.insert(t, Event::new(op, rval, t));
+        next.past.insert(t, past);
+        next
+    }
+
+    /// The abstract operator `merge#` (§3): the union of two executions.
+    ///
+    /// Events present in both carry identical attributes and pasts (they are
+    /// the *same* event propagated along different branches), so the union
+    /// is unambiguous.
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        let mut events = self.events.clone();
+        let mut past = self.past.clone();
+        for (id, ev) in &other.events {
+            events.entry(*id).or_insert_with(|| ev.clone());
+        }
+        for (id, p) in &other.past {
+            past.entry(*id).or_insert_with(|| p.clone());
+        }
+        AbstractState { events, past }
+    }
+
+    /// Projects this execution onto a sub-execution, keeping (and
+    /// translating) exactly the events for which `f` returns `Some`.
+    ///
+    /// Visibility is restricted to the surviving events and timestamps are
+    /// preserved. This is the `project` function of §5.4, used to reduce an
+    /// `α-map` execution to the execution of the MRDT stored under one key
+    /// so that the nested data type's specification and simulation relation
+    /// can be reused verbatim.
+    #[must_use]
+    pub fn filter_map<O2: Clone, V2: Clone>(
+        &self,
+        mut f: impl FnMut(&Event<O, V>) -> Option<(O2, V2)>,
+    ) -> AbstractState<O2, V2> {
+        let mut events = BTreeMap::new();
+        for (id, ev) in &self.events {
+            if let Some((o2, v2)) = f(ev) {
+                events.insert(*id, Event::new(o2, v2, ev.time()));
+            }
+        }
+        let keep: BTreeSet<EventId> = events.keys().copied().collect();
+        let past = self
+            .past
+            .iter()
+            .filter(|(id, _)| keep.contains(id))
+            .map(|(id, p)| (*id, p.intersection(&keep).copied().collect()))
+            .collect();
+        AbstractState { events, past }
+    }
+
+    /// The abstract operator `lca#` (§3): the intersection of two
+    /// executions, with visibility restricted to the surviving events.
+    ///
+    /// By construction the causal past of a shared event is itself shared,
+    /// so the restriction `vis|E_l` never actually removes an edge; it is
+    /// applied anyway to mirror the definition exactly.
+    #[must_use]
+    pub fn lca(&self, other: &Self) -> Self {
+        let common: BTreeSet<EventId> = self
+            .events
+            .keys()
+            .filter(|id| other.events.contains_key(id))
+            .copied()
+            .collect();
+        let events = self
+            .events
+            .iter()
+            .filter(|(id, _)| common.contains(id))
+            .map(|(id, ev)| (*id, ev.clone()))
+            .collect();
+        let past = self
+            .past
+            .iter()
+            .filter(|(id, _)| common.contains(id))
+            .map(|(id, p)| (*id, p.intersection(&common).copied().collect()))
+            .collect();
+        AbstractState { events, past }
+    }
+}
+
+impl<O, V> Default for AbstractState<O, V> {
+    fn default() -> Self {
+        AbstractState::new()
+    }
+}
+
+impl<O: fmt::Debug, V: fmt::Debug> fmt::Debug for AbstractState<O, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AbstractState")
+            .field("events", &self.events.values().collect::<Vec<_>>())
+            .field(
+                "vis",
+                &self
+                    .past
+                    .iter()
+                    .flat_map(|(to, from)| from.iter().map(move |f| (*f, *to)))
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReplicaId;
+
+    fn ts(tick: u64, r: u32) -> Timestamp {
+        Timestamp::new(tick, ReplicaId::new(r))
+    }
+
+    fn chain() -> AbstractState<&'static str, ()> {
+        AbstractState::new()
+            .perform("a", (), ts(1, 0))
+            .perform("b", (), ts(2, 0))
+            .perform("c", (), ts(3, 0))
+    }
+
+    #[test]
+    fn perform_makes_new_event_observe_everything() {
+        let i = chain();
+        assert_eq!(i.len(), 3);
+        assert!(i.vis(ts(1, 0), ts(2, 0)));
+        assert!(i.vis(ts(1, 0), ts(3, 0)));
+        assert!(i.vis(ts(2, 0), ts(3, 0)));
+        assert!(!i.vis(ts(3, 0), ts(1, 0)));
+    }
+
+    #[test]
+    fn visibility_is_irreflexive() {
+        let i = chain();
+        for id in i.ids().collect::<Vec<_>>() {
+            assert!(!i.vis(id, id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Ψ_ts")]
+    fn duplicate_timestamp_panics() {
+        let i: AbstractState<&str, ()> = AbstractState::new();
+        let _ = i.perform("a", (), ts(1, 0)).perform("b", (), ts(1, 0));
+    }
+
+    #[test]
+    fn merge_unions_and_keeps_concurrency() {
+        let base: AbstractState<&str, ()> = AbstractState::new().perform("root", (), ts(1, 0));
+        let a = base.perform("a", (), ts(2, 1));
+        let b = base.perform("b", (), ts(3, 2));
+        let m = a.merged(&b);
+        assert_eq!(m.len(), 3);
+        assert!(m.vis(ts(1, 0), ts(2, 1)));
+        assert!(m.vis(ts(1, 0), ts(3, 2)));
+        assert!(!m.vis(ts(2, 1), ts(3, 2)));
+        assert!(!m.vis(ts(3, 2), ts(2, 1)));
+    }
+
+    #[test]
+    fn merge_is_commutative_and_idempotent() {
+        let base: AbstractState<&str, ()> = AbstractState::new().perform("root", (), ts(1, 0));
+        let a = base.perform("a", (), ts(2, 1));
+        let b = base.perform("b", (), ts(3, 2));
+        assert_eq!(a.merged(&b), b.merged(&a));
+        assert_eq!(a.merged(&a), a);
+    }
+
+    #[test]
+    fn lca_is_the_intersection() {
+        let base: AbstractState<&str, ()> = AbstractState::new().perform("root", (), ts(1, 0));
+        let a = base.perform("a", (), ts(2, 1));
+        let b = base.perform("b", (), ts(3, 2));
+        let l = a.lca(&b);
+        assert_eq!(l.len(), 1);
+        assert!(l.contains(ts(1, 0)));
+        assert_eq!(l, base);
+    }
+
+    #[test]
+    fn lca_after_merge_contains_shared_history() {
+        let base: AbstractState<&str, ()> = AbstractState::new().perform("root", (), ts(1, 0));
+        let a = base.perform("a", (), ts(2, 1));
+        let b = base.perform("b", (), ts(3, 2));
+        let a_merged = a.merged(&b); // branch a pulled from b
+        let l = a_merged.lca(&b);
+        assert_eq!(l, b);
+    }
+
+    #[test]
+    fn frontier_reports_maximal_events() {
+        let base: AbstractState<&str, ()> = AbstractState::new().perform("root", (), ts(1, 0));
+        let a = base.perform("a", (), ts(2, 1));
+        let b = base.perform("b", (), ts(3, 2));
+        let m = a.merged(&b);
+        let f = m.frontier();
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(&ts(2, 1)) && f.contains(&ts(3, 2)));
+    }
+
+    #[test]
+    fn event_lookup_and_iteration_are_consistent() {
+        let i = chain();
+        let ids: Vec<_> = i.ids().collect();
+        assert_eq!(ids.len(), 3);
+        for id in ids {
+            assert!(i.contains(id));
+            assert_eq!(i.event(id).unwrap().time(), id);
+        }
+        assert!(i.event(ts(99, 0)).is_none());
+    }
+}

@@ -1,0 +1,82 @@
+//! Events of an abstract execution.
+
+use crate::Timestamp;
+use std::fmt;
+
+/// Unique identifier of an event in an abstract execution.
+///
+/// Because the store guarantees every operation a globally unique timestamp
+/// (Ψ_ts), the timestamp itself serves as the event identity — exactly the
+/// trick the paper's OR-set plays when it tags elements with the timestamp
+/// of the `add` that produced them.
+pub type EventId = Timestamp;
+
+/// One event `e` of an abstract execution, carrying the attributes
+/// `oper(e)`, `rval(e)` and `time(e)` of Definition 2.2.
+///
+/// The visibility relation `vis` lives in
+/// [`AbstractState`](crate::AbstractState), not on the event, because it
+/// relates *pairs* of events.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Event<O, V> {
+    op: O,
+    rval: V,
+    time: Timestamp,
+}
+
+impl<O, V> Event<O, V> {
+    /// Creates an event record.
+    pub fn new(op: O, rval: V, time: Timestamp) -> Self {
+        Event { op, rval, time }
+    }
+
+    /// The data-type operation `oper(e)` this event performed.
+    pub fn op(&self) -> &O {
+        &self.op
+    }
+
+    /// The return value `rval(e)` observed by the client.
+    pub fn rval(&self) -> &V {
+        &self.rval
+    }
+
+    /// The unique timestamp `time(e)` at which the event was performed.
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// The event's identity (its timestamp; see [`EventId`]).
+    pub fn id(&self) -> EventId {
+        self.time
+    }
+}
+
+impl<O: fmt::Debug, V: fmt::Debug> fmt::Debug for Event<O, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{:?} ↦ {:?} @ {}⟩", self.op, self.rval, self.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReplicaId;
+
+    #[test]
+    fn accessors_return_constructor_arguments() {
+        let t = Timestamp::new(4, ReplicaId::new(1));
+        let e = Event::new("add(3)", "ok", t);
+        assert_eq!(*e.op(), "add(3)");
+        assert_eq!(*e.rval(), "ok");
+        assert_eq!(e.time(), t);
+        assert_eq!(e.id(), t);
+    }
+
+    #[test]
+    fn debug_rendering_includes_all_attributes() {
+        let t = Timestamp::new(4, ReplicaId::new(1));
+        let e = Event::new(1u8, 2u8, t);
+        let s = format!("{e:?}");
+        assert!(s.contains('1') && s.contains('2') && s.contains("4@r1"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Formal model for *mergeable replicated data types* (MRDTs).
+//!
+//! This crate is the foundation of the Peepul workspace, a Rust reproduction
+//! of **“Certified Mergeable Replicated Data Types”** (PLDI 2022). It
+//! provides the vocabulary that every other crate speaks:
+//!
+//! * [`Timestamp`] — unique, totally ordered operation timestamps satisfying
+//!   the store guarantee Ψ_ts (paper, Table 1),
+//! * [`Mrdt`] — Definition 2.1: an implementation `(Σ, σ0, do, merge)` as a
+//!   purely functional interface with a three-way merge,
+//! * [`AbstractState`] — Definition 2.2: abstract executions
+//!   `I = ⟨E, oper, rval, time, vis⟩` together with the abstract operators
+//!   `do#`, `merge#` and `lca#` from §3,
+//! * [`Specification`] — Definition 2.3: the declarative specification
+//!   function `F_τ(op, I)`,
+//! * [`SimulationRelation`] — §4.1: replication-aware simulation relations
+//!   `R_sim ⊆ I_τ × Σ`,
+//! * [`obligations`] — Table 2: the four proof obligations `Φ_do`,
+//!   `Φ_merge`, `Φ_spec` and `Φ_con` as executable checks,
+//! * [`store_props`] — Table 1: the store properties `Ψ_ts` and `Ψ_lca`.
+//!
+//! The original Peepul discharges the Table 2 obligations to an SMT solver
+//! through F*. Here the same predicates are *executed* over store executions
+//! by the `peepul-verify` crate — bounded-exhaustively for small executions
+//! and randomly for large ones. See `DESIGN.md` §1 for the substitution
+//! rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use peepul_core::{Mrdt, Timestamp, ReplicaId};
+//!
+//! /// A tiny increment-only counter MRDT.
+//! #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+//! struct Ctr(u64);
+//!
+//! #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+//! enum CtrOp { Inc, Read }
+//!
+//! impl Mrdt for Ctr {
+//!     type Op = CtrOp;
+//!     type Value = u64;
+//!     fn initial() -> Self { Ctr(0) }
+//!     fn apply(&self, op: &CtrOp, _t: Timestamp) -> (Self, u64) {
+//!         match op {
+//!             CtrOp::Inc => (Ctr(self.0 + 1), 0),
+//!             CtrOp::Read => (*self, self.0),
+//!         }
+//!     }
+//!     fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+//!         Ctr(a.0 + b.0 - lca.0)
+//!     }
+//! }
+//!
+//! let t = Timestamp::new(1, ReplicaId::new(0));
+//! let (c, _) = Ctr::initial().apply(&CtrOp::Inc, t);
+//! assert_eq!(c, Ctr(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod abstract_state;
+pub mod event;
+pub mod mrdt;
+pub mod obligations;
+pub mod sim;
+pub mod spec;
+pub mod store_props;
+pub mod timestamp;
+
+pub use abstract_state::AbstractState;
+pub use event::{Event, EventId};
+pub use mrdt::Mrdt;
+pub use obligations::{Certified, Obligation, ObligationError, ObligationReport};
+pub use sim::SimulationRelation;
+pub use spec::Specification;
+pub use store_props::{psi_lca, psi_lca_paper, psi_ts, StorePropertyError};
+pub use timestamp::{ReplicaId, Timestamp};
+
+/// Shorthand for the abstract state of an MRDT `M`.
+///
+/// An [`AbstractState`] is generic in the operation and return-value types;
+/// for a concrete MRDT those are always `M::Op` and `M::Value`.
+pub type AbstractOf<M> = AbstractState<<M as Mrdt>::Op, <M as Mrdt>::Value>;

@@ -1,0 +1,145 @@
+//! The MRDT implementation interface (paper, Definition 2.1).
+
+use crate::Timestamp;
+use std::fmt;
+
+/// A mergeable replicated data type implementation `D_τ = (Σ, σ0, do, merge)`.
+///
+/// The type implementing this trait *is* the state space `Σ`; the trait
+/// methods supply the remaining three components:
+///
+/// * [`Mrdt::initial`] — the initial state `σ0`,
+/// * [`Mrdt::apply`] — `do : Op × Σ × Timestamp → Σ × Val`,
+/// * [`Mrdt::merge`] — the three-way merge `merge : Σ × Σ × Σ → Σ`, invoked
+///   by the store as `merge(σ_lca, σ_a, σ_b)` where `σ_lca` is the state of
+///   the lowest common ancestor of the two branches.
+///
+/// Implementations are **purely functional**: `apply` and `merge` return new
+/// states rather than mutating in place, mirroring the OCaml data structures
+/// the paper extracts from F*. The store guarantees that the timestamps
+/// passed to `apply` are unique and happens-before consistent (Ψ_ts); an
+/// implementation is free to ignore them.
+///
+/// # Observational equivalence
+///
+/// [`Mrdt::observably_equal`] realises Definition 3.4: two states are
+/// observationally equivalent when every operation returns the same value on
+/// both. The default is structural equality, which is sound for every data
+/// type (structurally equal states behave identically); data types whose
+/// internal representation may diverge without affecting behaviour — the
+/// height-balanced BST OR-set is the paper's example — override it. This is
+/// what lets executions satisfy *convergence modulo observable behaviour*
+/// (Definition 3.5) instead of strict state convergence.
+///
+/// # Example
+///
+/// See the [crate-level documentation](crate) for a complete counter
+/// implementation.
+pub trait Mrdt: Clone + PartialEq + fmt::Debug {
+    /// The operations `Op_τ` supported by the data type (both queries and
+    /// updates).
+    type Op: Clone + fmt::Debug;
+
+    /// The return values `Val_τ`. Operations that return nothing use `()`
+    /// (the paper's `⊥`) or embed it in an enum.
+    type Value: Clone + PartialEq + fmt::Debug;
+
+    /// The initial state `σ0` of a freshly created object.
+    fn initial() -> Self;
+
+    /// Applies one data-type operation at this state.
+    ///
+    /// `t` is the unique store-supplied timestamp of the operation. Returns
+    /// the successor state and the operation's return value.
+    #[must_use]
+    fn apply(&self, op: &Self::Op, t: Timestamp) -> (Self, Self::Value);
+
+    /// Three-way merge of two divergent states `a` and `b` whose lowest
+    /// common ancestor state is `lca`.
+    ///
+    /// The store only ever calls this with an `lca` that is a common causal
+    /// ancestor of `a` and `b` (property Ψ_lca); implementations may rely on
+    /// that — e.g. the queue merge assumes every element of `lca` that
+    /// survives in `a` appears in the same relative order.
+    #[must_use]
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self;
+
+    /// Observational equivalence `σ1 ∼ σ2` (Definition 3.4).
+    ///
+    /// The default — structural equality — is always sound. Override only
+    /// when distinct representations can have identical observable
+    /// behaviour.
+    fn observably_equal(&self, other: &Self) -> bool {
+        self == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReplicaId;
+
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    struct Reg(u64, Timestamp);
+
+    #[derive(Clone, Copy, Debug)]
+    enum RegOp {
+        Write(u64),
+        Read,
+    }
+
+    impl Mrdt for Reg {
+        type Op = RegOp;
+        type Value = u64;
+
+        fn initial() -> Self {
+            Reg(0, Timestamp::MIN)
+        }
+
+        fn apply(&self, op: &RegOp, t: Timestamp) -> (Self, u64) {
+            match *op {
+                RegOp::Write(v) => (Reg(v, t), v),
+                RegOp::Read => (*self, self.0),
+            }
+        }
+
+        fn merge(_lca: &Self, a: &Self, b: &Self) -> Self {
+            if a.1 >= b.1 {
+                *a
+            } else {
+                *b
+            }
+        }
+    }
+
+    fn ts(tick: u64) -> Timestamp {
+        Timestamp::new(tick, ReplicaId::new(0))
+    }
+
+    #[test]
+    fn apply_returns_successor_and_value() {
+        let r = Reg::initial();
+        let (r2, v) = r.apply(&RegOp::Write(9), ts(1));
+        assert_eq!(v, 9);
+        let (_, read) = r2.apply(&RegOp::Read, ts(2));
+        assert_eq!(read, 9);
+    }
+
+    #[test]
+    fn merge_picks_later_write() {
+        let l = Reg::initial();
+        let (a, _) = l.apply(&RegOp::Write(1), ts(1));
+        let (b, _) = l.apply(&RegOp::Write(2), ts(2));
+        let m = Reg::merge(&l, &a, &b);
+        assert_eq!(m.0, 2);
+    }
+
+    #[test]
+    fn default_observational_equivalence_is_structural() {
+        let a = Reg(1, ts(1));
+        let b = Reg(1, ts(1));
+        let c = Reg(2, ts(2));
+        assert!(a.observably_equal(&b));
+        assert!(!a.observably_equal(&c));
+    }
+}

@@ -1,0 +1,37 @@
+//! Replication-aware simulation relations (paper §4.1).
+
+use crate::{AbstractOf, Mrdt};
+
+/// A replication-aware simulation relation `R_sim ⊆ I_τ × Σ`.
+///
+/// `R_sim` relates the abstract state of a branch (the events it has
+/// observed, with visibility) to the concrete state of the MRDT
+/// implementation at that branch. Proving an implementation correct amounts
+/// to showing that a *valid* `R_sim` exists — one that is inductively
+/// preserved by `do`/`do#` (obligation `Φ_do`, Fig. 4) and by
+/// `merge`/`merge#` (obligation `Φ_merge`, Fig. 5), implies the declarative
+/// specification (`Φ_spec`), and forces observational convergence (`Φ_con`).
+/// That is Theorem 4.2; the `peepul-verify` crate checks all four
+/// obligations executably.
+///
+/// In most cases the relation transcribes the specification: e.g. the OR-set
+/// relation says *"(a, t) is in the concrete list iff some `add(a)` event
+/// with timestamp `t` is unseen by any `remove(a)` event"*.
+pub trait SimulationRelation<M: Mrdt> {
+    /// Does the relation hold between this abstract and concrete state?
+    fn holds(abs: &AbstractOf<M>, conc: &M) -> bool;
+
+    /// Human-readable explanation of the *first* reason the relation fails,
+    /// or `None` when it holds.
+    ///
+    /// Used by the certification harness to produce actionable
+    /// counterexample reports; the default reports nothing beyond the
+    /// boolean verdict.
+    fn explain_failure(abs: &AbstractOf<M>, conc: &M) -> Option<String> {
+        if Self::holds(abs, conc) {
+            None
+        } else {
+            Some("simulation relation violated (no detailed explanation available)".to_owned())
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Declarative replicated data type specifications (Definition 2.3).
+
+use crate::{AbstractOf, Mrdt};
+
+/// A replicated data type specification `F_τ`.
+///
+/// Given an operation `o ∈ Op_τ` and the abstract state `I` visible to it,
+/// `F_τ(o, I)` is the return value the operation *must* produce. The
+/// specification is evaluated on the branch's abstract state as it was
+/// **before** the operation ran (Table 2, `Φ_spec`).
+///
+/// Specifications are deliberately far removed from implementations — the
+/// OR-set specification, for instance, quantifies over `add`/`remove` events
+/// and visibility, while the implementation juggles timestamp-tagged lists.
+/// Bridging that gap is the job of the
+/// [`SimulationRelation`](crate::SimulationRelation).
+///
+/// Implementors are usually zero-sized marker types, one per data type,
+/// which keeps alternative specifications for the same implementation
+/// possible (the paper's OR-set and OR-set-space share one specification).
+///
+/// # Example
+///
+/// ```
+/// use peepul_core::{AbstractOf, Mrdt, Specification, Timestamp};
+///
+/// # #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// # struct Ctr(u64);
+/// # #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// # enum CtrOp { Inc, Read }
+/// # impl Mrdt for Ctr {
+/// #     type Op = CtrOp;
+/// #     type Value = u64;
+/// #     fn initial() -> Self { Ctr(0) }
+/// #     fn apply(&self, op: &CtrOp, _t: Timestamp) -> (Self, u64) {
+/// #         match op { CtrOp::Inc => (Ctr(self.0 + 1), 0), CtrOp::Read => (*self, self.0) }
+/// #     }
+/// #     fn merge(l: &Self, a: &Self, b: &Self) -> Self { Ctr(a.0 + b.0 - l.0) }
+/// # }
+/// struct CtrSpec;
+///
+/// impl Specification<Ctr> for CtrSpec {
+///     fn spec(op: &CtrOp, state: &AbstractOf<Ctr>) -> u64 {
+///         match op {
+///             // A read returns the number of visible increments.
+///             CtrOp::Read => state
+///                 .events()
+///                 .filter(|e| matches!(e.op(), CtrOp::Inc))
+///                 .count() as u64,
+///             CtrOp::Inc => 0,
+///         }
+///     }
+/// }
+/// ```
+pub trait Specification<M: Mrdt> {
+    /// The specified return value of `op` when executed against abstract
+    /// state `state`.
+    fn spec(op: &M::Op, state: &AbstractOf<M>) -> M::Value;
+}

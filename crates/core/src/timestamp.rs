@@ -1,0 +1,163 @@
+//! Operation timestamps and replica identifiers.
+//!
+//! The replicated store promises two properties about the timestamps it
+//! hands to [`Mrdt::apply`](crate::Mrdt::apply) (paper §2.1):
+//!
+//! 1. timestamps are **unique** across all branches, and
+//! 2. if operation `a` happens-before operation `b` then `t_a < t_b`.
+//!
+//! Together these are the store property `Ψ_ts` of Table 1 (checked
+//! executably by [`psi_ts`](crate::store_props::psi_ts)). The paper models
+//! timestamps as naturals and suggests Lamport clocks paired with a unique
+//! branch id; [`Timestamp`] is exactly that pair, ordered lexicographically
+//! by `(tick, replica)`.
+
+use std::fmt;
+
+/// Identifier of a replica (a branch in the Git-like store).
+///
+/// Used as the tiebreak component of [`Timestamp`] so that two replicas can
+/// never mint the same timestamp even when their Lamport ticks collide.
+///
+/// # Example
+///
+/// ```
+/// use peepul_core::ReplicaId;
+/// let r = ReplicaId::new(3);
+/// assert_eq!(r.as_u32(), 3);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReplicaId(u32);
+
+impl ReplicaId {
+    /// Creates a replica identifier from a raw index.
+    pub const fn new(id: u32) -> Self {
+        ReplicaId(id)
+    }
+
+    /// Returns the raw index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for ReplicaId {
+    fn from(id: u32) -> Self {
+        ReplicaId(id)
+    }
+}
+
+/// A unique, totally ordered operation timestamp.
+///
+/// Ordering is lexicographic on `(tick, replica)`: the Lamport tick
+/// dominates, and the replica id breaks ties between concurrent operations
+/// on different branches. Because every replica strictly increases its own
+/// tick, and merges advance the receiving replica's tick past everything it
+/// has seen, `Timestamp` satisfies Ψ_ts by construction.
+///
+/// # Example
+///
+/// ```
+/// use peepul_core::{ReplicaId, Timestamp};
+/// let a = Timestamp::new(1, ReplicaId::new(0));
+/// let b = Timestamp::new(1, ReplicaId::new(1));
+/// let c = Timestamp::new(2, ReplicaId::new(0));
+/// assert!(a < b && b < c);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp {
+    tick: u64,
+    replica: ReplicaId,
+}
+
+impl Timestamp {
+    /// Creates a timestamp from a Lamport tick and the minting replica.
+    pub const fn new(tick: u64, replica: ReplicaId) -> Self {
+        Timestamp { tick, replica }
+    }
+
+    /// The Lamport tick component.
+    pub const fn tick(self) -> u64 {
+        self.tick
+    }
+
+    /// The replica that minted this timestamp.
+    pub const fn replica(self) -> ReplicaId {
+        self.replica
+    }
+
+    /// The smallest possible timestamp; strictly below anything a store
+    /// will ever mint (stores start ticking at 1).
+    pub const MIN: Timestamp = Timestamp::new(0, ReplicaId::new(0));
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.tick, self.replica)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.tick, self.replica)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic_tick_then_replica() {
+        let t10 = Timestamp::new(1, ReplicaId::new(0));
+        let t11 = Timestamp::new(1, ReplicaId::new(1));
+        let t20 = Timestamp::new(2, ReplicaId::new(0));
+        assert!(t10 < t11);
+        assert!(t11 < t20);
+        assert!(t10 < t20);
+    }
+
+    #[test]
+    fn min_is_below_any_minted_timestamp() {
+        let t = Timestamp::new(1, ReplicaId::new(0));
+        assert!(Timestamp::MIN < t);
+    }
+
+    #[test]
+    fn equality_requires_both_components() {
+        let a = Timestamp::new(5, ReplicaId::new(1));
+        let b = Timestamp::new(5, ReplicaId::new(2));
+        assert_ne!(a, b);
+        assert_eq!(a, Timestamp::new(5, ReplicaId::new(1)));
+    }
+
+    #[test]
+    fn display_shows_tick_and_replica() {
+        let t = Timestamp::new(7, ReplicaId::new(2));
+        assert_eq!(t.to_string(), "7@r2");
+        assert_eq!(format!("{t:?}"), "7@r2");
+    }
+
+    #[test]
+    fn timestamps_are_usable_as_map_keys() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(Timestamp::new(2, ReplicaId::new(0)));
+        s.insert(Timestamp::new(1, ReplicaId::new(1)));
+        let v: Vec<_> = s.into_iter().collect();
+        assert_eq!(v[0].tick(), 1);
+        assert_eq!(v[1].tick(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Baseline MRDTs merged through *invertible relational reification* — a
+//! faithful re-creation of the merge strategy of **Quark** (Kaki et al.,
+//! “Mergeable Replicated Data Types”, OOPSLA 2019), which the Peepul paper
+//! evaluates against in §7.2.1 (Figs. 12 and 13).
+//!
+//! Quark derives merges automatically: the concrete state is *abstracted*
+//! into its characteristic relations (sets capturing membership, ordering,
+//! …), the relations are merged set-theoretically with
+//! `(l ∩ a ∩ b) ∪ (a − l) ∪ (b − l)`, and the merged relations are
+//! *concretized* back into a data structure. The price:
+//!
+//! * a queue's ordering relation has `n²` entries
+//!   ([`queue::QuarkQueue`]) — reifying, merging and re-linearising it
+//!   dominates merge time (Fig. 12);
+//! * set merges operate on `(element, id)` pairs and cannot coalesce
+//!   duplicate pairs for the same element, so OR-sets accumulate
+//!   duplicates without bound ([`or_set::QuarkOrSet`], Fig. 13).
+//!
+//! Operation/value types are shared with `peepul-types` so the benchmark
+//! harness can drive Peepul and Quark data types through identical
+//! workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod or_set;
+pub mod queue;
+pub mod relations;
+
+pub use or_set::QuarkOrSet;
+pub use queue::QuarkQueue;

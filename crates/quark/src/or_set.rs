@@ -1,0 +1,258 @@
+//! The Quark OR-set: relational merge over `(element, id)` pairs, unable
+//! to coalesce duplicates.
+//!
+//! Because Quark derives the merge from the characteristic (set) relation
+//! over `(element, id)` pairs, a duplicate `add` must insert a fresh pair —
+//! collapsing pairs for the same element would not be expressible as a set
+//! merge of the reified relation. Likewise the derived interface cannot
+//! bulk-remove the duplicates: the Peepul paper notes that *“Quark does not
+//! allow duplicate elements to be removed from the OR-set”* (§7.2.1), so a
+//! client-level `remove(x)` retires a single observed pair and any
+//! accumulated duplicates of `x` stay behind. Fig. 13 measures the
+//! consequence: under a 50:50 add/remove workload the Quark set's footprint
+//! keeps growing with the operation count (a reflected random walk per
+//! element — the “non-linear growth” the paper describes), while Peepul's
+//! space-efficient OR-set stays bounded by the universe of values.
+
+use crate::relations::merge_relation;
+use peepul_core::{Mrdt, Timestamp};
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+pub use peepul_types::or_set::{OrSetOp, OrSetValue};
+
+/// OR-set with relationally derived merge (the Quark strategy).
+///
+/// # Example
+///
+/// ```
+/// use peepul_core::{Mrdt, ReplicaId, Timestamp};
+/// use peepul_quark::or_set::{QuarkOrSet, OrSetOp};
+///
+/// let ts = |t| Timestamp::new(t, ReplicaId::new(0));
+/// let s: QuarkOrSet<u32> = QuarkOrSet::initial();
+/// let (s, _) = s.apply(&OrSetOp::Add(1), ts(1));
+/// let (s, _) = s.apply(&OrSetOp::Add(1), ts(2)); // duplicate pair!
+/// assert_eq!(s.pair_count(), 2);
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct QuarkOrSet<T> {
+    /// `(element, id)` pairs; duplicates per element accumulate.
+    pairs: Vec<(T, Timestamp)>,
+}
+
+impl<T: Ord> QuarkOrSet<T> {
+    /// Number of stored pairs including duplicates — the series Fig. 13
+    /// plots.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of distinct elements.
+    pub fn len(&self) -> usize {
+        self.pairs
+            .iter()
+            .map(|(x, _)| x)
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Whether the set is observably empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: &T) -> bool {
+        self.pairs.iter().any(|(y, _)| y == x)
+    }
+
+    /// The distinct elements in order.
+    pub fn elements(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let set: BTreeSet<&T> = self.pairs.iter().map(|(x, _)| x).collect();
+        set.into_iter().cloned().collect()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for QuarkOrSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(&self.pairs).finish()
+    }
+}
+
+impl<T: Ord + Clone + Eq + Hash + fmt::Debug> Mrdt for QuarkOrSet<T> {
+    type Op = OrSetOp<T>;
+    type Value = OrSetValue<T>;
+
+    fn initial() -> Self {
+        QuarkOrSet { pairs: Vec::new() }
+    }
+
+    fn apply(&self, op: &OrSetOp<T>, t: Timestamp) -> (Self, OrSetValue<T>) {
+        match op {
+            OrSetOp::Add(x) => {
+                // Always a fresh pair: the relational representation has no
+                // way to express "refresh in place".
+                let mut next = self.clone();
+                next.pairs.push((x.clone(), t));
+                (next, OrSetValue::Ack)
+            }
+            OrSetOp::Remove(x) => {
+                // Retire a single observed pair (the oldest): the derived
+                // relational interface cannot coalesce or bulk-remove
+                // duplicates of the same element.
+                let mut next = self.clone();
+                if let Some(pos) = next.pairs.iter().position(|(y, _)| y == x) {
+                    next.pairs.remove(pos);
+                }
+                (next, OrSetValue::Ack)
+            }
+            OrSetOp::Lookup(x) => (self.clone(), OrSetValue::Present(self.contains(x))),
+            OrSetOp::Read => (self.clone(), OrSetValue::Elements(self.elements())),
+        }
+    }
+
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+        // Abstraction → relational merge → concretization.
+        let rl: HashSet<(T, Timestamp)> = lca.pairs.iter().cloned().collect();
+        let ra: HashSet<(T, Timestamp)> = a.pairs.iter().cloned().collect();
+        let rb: HashSet<(T, Timestamp)> = b.pairs.iter().cloned().collect();
+        let merged = merge_relation(&rl, &ra, &rb);
+        let mut pairs: Vec<(T, Timestamp)> = merged.into_iter().collect();
+        pairs.sort_by_key(|(_, t)| *t);
+        QuarkOrSet { pairs }
+    }
+
+    fn observably_equal(&self, other: &Self) -> bool {
+        let mine: BTreeSet<&(T, Timestamp)> = self.pairs.iter().collect();
+        let theirs: BTreeSet<&(T, Timestamp)> = other.pairs.iter().collect();
+        mine == theirs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peepul_core::ReplicaId;
+
+    fn ts(tick: u64, r: u32) -> Timestamp {
+        Timestamp::new(tick, ReplicaId::new(r))
+    }
+
+    #[test]
+    fn duplicates_accumulate_across_adds() {
+        let mut s: QuarkOrSet<u32> = QuarkOrSet::initial();
+        for i in 0..10 {
+            s = s.apply(&OrSetOp::Add(1), ts(i + 1, 0)).0;
+        }
+        assert_eq!(s.pair_count(), 10);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_survive_merges() {
+        let (lca, _) = QuarkOrSet::<u32>::initial().apply(&OrSetOp::Add(1), ts(1, 0));
+        let (a, _) = lca.apply(&OrSetOp::Add(1), ts(2, 1));
+        let (b, _) = lca.apply(&OrSetOp::Add(1), ts(3, 2));
+        let m = QuarkOrSet::merge(&lca, &a, &b);
+        // All three pairs for the same element survive the set merge.
+        assert_eq!(m.pair_count(), 3);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn add_wins_semantics_matches_peepul() {
+        let (lca, _) = QuarkOrSet::<u32>::initial().apply(&OrSetOp::Add(1), ts(1, 0));
+        let (a, _) = lca.apply(&OrSetOp::Remove(1), ts(2, 1));
+        let (b, _) = lca.apply(&OrSetOp::Add(1), ts(3, 2));
+        let m = QuarkOrSet::merge(&lca, &a, &b);
+        assert!(m.contains(&1));
+        assert_eq!(m.pair_count(), 1); // only the fresh pair
+    }
+
+    #[test]
+    fn remove_retires_only_one_pair() {
+        let mut s: QuarkOrSet<u32> = QuarkOrSet::initial();
+        s = s.apply(&OrSetOp::Add(1), ts(1, 0)).0;
+        s = s.apply(&OrSetOp::Add(1), ts(2, 0)).0;
+        s = s.apply(&OrSetOp::Remove(1), ts(3, 0)).0;
+        // The duplicate survives the remove — the element is still present.
+        assert!(s.contains(&1));
+        assert_eq!(s.pair_count(), 1);
+        // Removing an absent element is a no-op.
+        let s2 = s.apply(&OrSetOp::Remove(9), ts(4, 0)).0;
+        assert_eq!(s2.pair_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_free_workloads_agree_with_peepul_or_set() {
+        use peepul_types::or_set::OrSet;
+        // When no element is ever added twice while present, Quark and
+        // Peepul agree observably (the divergence is *only* about
+        // duplicates).
+        let mut tick = 0u64;
+        let mut next = |r: u32| {
+            tick += 1;
+            ts(tick, r)
+        };
+        let mut pl: OrSet<u32> = OrSet::initial();
+        let mut ql: QuarkOrSet<u32> = QuarkOrSet::initial();
+        for x in 0..10u32 {
+            let t = next(0);
+            pl = pl.apply(&OrSetOp::Add(x), t).0;
+            ql = ql.apply(&OrSetOp::Add(x), t).0;
+        }
+        let (mut pa, mut qa) = (pl.clone(), ql.clone());
+        let (mut pb, mut qb) = (pl.clone(), ql.clone());
+        for x in 0..5u32 {
+            let t = next(1);
+            pa = pa.apply(&OrSetOp::Remove(x), t).0;
+            qa = qa.apply(&OrSetOp::Remove(x), t).0;
+        }
+        for x in 20..23u32 {
+            let t = next(2);
+            pb = pb.apply(&OrSetOp::Add(x), t).0;
+            qb = qb.apply(&OrSetOp::Add(x), t).0;
+        }
+        let pm = OrSet::merge(&pl, &pa, &pb);
+        let qm = QuarkOrSet::merge(&ql, &qa, &qb);
+        assert_eq!(pm.elements(), qm.elements());
+    }
+
+    #[test]
+    fn footprint_grows_under_balanced_workload() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // The Fig. 13 mechanism: with a 50:50 add/remove mix, each
+        // element's pair count performs a reflected random walk, so the
+        // total footprint drifts upward without bound while the universe
+        // stays fixed.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s: QuarkOrSet<u32> = QuarkOrSet::initial();
+        let mut halfway = 0;
+        for i in 0..6000u64 {
+            let x = rng.gen_range(0..50);
+            let op = if rng.gen_bool(0.5) {
+                OrSetOp::Add(x)
+            } else {
+                OrSetOp::Remove(x)
+            };
+            s = s.apply(&op, ts(i + 1, 0)).0;
+            if i == 3000 {
+                halfway = s.pair_count();
+            }
+        }
+        assert!(s.pair_count() > 50, "footprint exceeds the universe");
+        assert!(
+            s.pair_count() > halfway,
+            "footprint keeps drifting upward: {} then {}",
+            halfway,
+            s.pair_count()
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! The Quark queue: same sequential two-list queue as
+//! [`peepul_types::queue::Queue`], merged through relational reification.
+//!
+//! The merge (§7.2.1 of the Peepul paper) abstracts each of the three
+//! versions into its characteristic relations — unary membership and the
+//! binary ordering relation with `n²` entries — merges the relations
+//! set-theoretically, and concretizes the result by re-linearising the
+//! merged ordering. Building, merging and consuming the quadratic ordering
+//! relation is what makes this merge orders of magnitude slower than
+//! Peepul's linear-time queue merge (Fig. 12), despite identical local
+//! operations.
+
+use crate::relations::{linearise, membership_relation, merge_relation, ordering_relation};
+use peepul_core::{Mrdt, Timestamp};
+use peepul_types::queue::Entry;
+use std::fmt;
+use std::hash::Hash;
+
+pub use peepul_types::queue::{QueueOp, QueueValue};
+
+/// Two-list queue whose merge reifies membership and ordering relations
+/// (the Quark strategy).
+///
+/// # Example
+///
+/// ```
+/// use peepul_core::{Mrdt, ReplicaId, Timestamp};
+/// use peepul_quark::queue::{QuarkQueue, QueueOp};
+///
+/// let ts = |t, r| Timestamp::new(t, ReplicaId::new(r));
+/// let lca = QuarkQueue::initial();
+/// let a = lca.apply(&QueueOp::Enqueue("a"), ts(1, 1)).0;
+/// let b = lca.apply(&QueueOp::Enqueue("b"), ts(2, 2)).0;
+/// let m = QuarkQueue::merge(&lca, &a, &b);
+/// let vals: Vec<&str> = m.to_list().into_iter().map(|(_, v)| v).collect();
+/// assert_eq!(vals, ["a", "b"]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct QuarkQueue<T> {
+    /// Next-out at the end (popped).
+    front: Vec<Entry<T>>,
+    /// Most recent enqueue at the end (pushed).
+    rear: Vec<Entry<T>>,
+}
+
+impl<T: Clone> QuarkQueue<T> {
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        self.front.len() + self.rear.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.front.is_empty() && self.rear.is_empty()
+    }
+
+    /// The queue in dequeue order.
+    pub fn to_list(&self) -> Vec<Entry<T>> {
+        let mut out: Vec<Entry<T>> = self.front.iter().rev().cloned().collect();
+        out.extend(self.rear.iter().cloned());
+        out
+    }
+
+    fn from_list(list: Vec<Entry<T>>) -> Self {
+        QuarkQueue {
+            front: list.into_iter().rev().collect(),
+            rear: Vec::new(),
+        }
+    }
+}
+
+impl<T: Clone + PartialEq + Eq + Hash + fmt::Debug> Mrdt for QuarkQueue<T> {
+    type Op = QueueOp<T>;
+    type Value = QueueValue<T>;
+
+    fn initial() -> Self {
+        QuarkQueue {
+            front: Vec::new(),
+            rear: Vec::new(),
+        }
+    }
+
+    fn apply(&self, op: &QueueOp<T>, t: Timestamp) -> (Self, QueueValue<T>) {
+        match op {
+            QueueOp::Enqueue(v) => {
+                let mut next = self.clone();
+                next.rear.push((t, v.clone()));
+                (next, QueueValue::Ack)
+            }
+            QueueOp::Dequeue => {
+                let mut next = self.clone();
+                if next.front.is_empty() {
+                    next.front = std::mem::take(&mut next.rear);
+                    next.front.reverse();
+                }
+                let popped = next.front.pop();
+                (next, QueueValue::Dequeued(popped))
+            }
+            QueueOp::Peek => (
+                self.clone(),
+                QueueValue::Peeked(self.front.last().or(self.rear.first()).cloned()),
+            ),
+        }
+    }
+
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+        let (sl, sa, sb) = (lca.to_list(), a.to_list(), b.to_list());
+
+        // Abstraction: reify each version into its characteristic
+        // relations. The ordering relation is quadratic in queue length.
+        let mem_l = membership_relation(&sl);
+        let mem_a = membership_relation(&sa);
+        let mem_b = membership_relation(&sb);
+        let ob_l = ordering_relation(&sl);
+        let ob_a = ordering_relation(&sa);
+        let ob_b = ordering_relation(&sb);
+
+        // Relational merge of both relations.
+        let mem_m = merge_relation(&mem_l, &mem_a, &mem_b);
+        let ob_m = merge_relation(&ob_l, &ob_a, &ob_b);
+
+        // Concretization: rebuild a sequence satisfying the merged
+        // ordering, breaking cross-branch ties by enqueue timestamp.
+        let merged = linearise(&mem_m, &ob_m, |(t, _): &Entry<T>| *t);
+        QuarkQueue::from_list(merged)
+    }
+
+    fn observably_equal(&self, other: &Self) -> bool {
+        self.to_list() == other.to_list()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for QuarkQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QuarkQueue(front≤{:?}, rear≥{:?})", self.front, self.rear)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peepul_core::ReplicaId;
+    use peepul_types::queue::Queue;
+
+    fn ts(tick: u64, r: u32) -> Timestamp {
+        Timestamp::new(tick, ReplicaId::new(r))
+    }
+
+    fn enq(q: &QuarkQueue<u32>, v: u32, t: Timestamp) -> QuarkQueue<u32> {
+        q.apply(&QueueOp::Enqueue(v), t).0
+    }
+
+    fn deq(q: &QuarkQueue<u32>, t: Timestamp) -> QuarkQueue<u32> {
+        q.apply(&QueueOp::Dequeue, t).0
+    }
+
+    #[test]
+    fn local_fifo_behaviour_matches_peepul() {
+        let mut q = QuarkQueue::initial();
+        for v in 1..=5u32 {
+            q = enq(&q, v, ts(v as u64, 0));
+        }
+        let (q, v) = q.apply(&QueueOp::Dequeue, ts(9, 0));
+        assert_eq!(v, QueueValue::Dequeued(Some((ts(1, 0), 1))));
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn figure_11_merge_agrees_with_peepul_queue() {
+        // Drive the paper's Fig. 11 scenario through both queues.
+        let mut lq: Queue<u32> = Queue::initial();
+        let mut kq: QuarkQueue<u32> = QuarkQueue::initial();
+        for v in 1..=5u32 {
+            lq = lq.apply(&QueueOp::Enqueue(v), ts(v as u64, 0)).0;
+            kq = enq(&kq, v, ts(v as u64, 0));
+        }
+        let pa = lq.apply(&QueueOp::Dequeue, ts(5, 1)).0;
+        let pa = pa.apply(&QueueOp::Dequeue, ts(6, 1)).0;
+        let pa = pa.apply(&QueueOp::Enqueue(8), ts(8, 1)).0;
+        let pa = pa.apply(&QueueOp::Enqueue(9), ts(9, 1)).0;
+        let qa = deq(&kq, ts(5, 1));
+        let qa = deq(&qa, ts(6, 1));
+        let qa = enq(&qa, 8, ts(8, 1));
+        let qa = enq(&qa, 9, ts(9, 1));
+
+        let pb = lq.apply(&QueueOp::Dequeue, ts(5, 2)).0;
+        let pb = pb.apply(&QueueOp::Enqueue(6), ts(6, 2)).0;
+        let pb = pb.apply(&QueueOp::Enqueue(7), ts(7, 2)).0;
+        let qb = deq(&kq, ts(5, 2));
+        let qb = enq(&qb, 6, ts(6, 2));
+        let qb = enq(&qb, 7, ts(7, 2));
+
+        let pm = Queue::merge(&lq, &pa, &pb);
+        let qm = QuarkQueue::merge(&kq, &qa, &qb);
+        assert_eq!(pm.to_list(), qm.to_list());
+        let vals: Vec<u32> = qm.to_list().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, [3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn random_divergence_agrees_with_peepul_merge() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let mut tick = 0u64;
+            let mut next = |r: u32| {
+                tick += 1;
+                ts(tick, r)
+            };
+            let mut pl: Queue<u32> = Queue::initial();
+            let mut ql: QuarkQueue<u32> = QuarkQueue::initial();
+            for v in 0..rng.gen_range(0..20u32) {
+                let t = next(0);
+                pl = pl.apply(&QueueOp::Enqueue(v), t).0;
+                ql = ql.apply(&QueueOp::Enqueue(v), t).0;
+            }
+            let mut branches = Vec::new();
+            for r in 1..=2u32 {
+                let (mut p, mut q) = (pl.clone(), ql.clone());
+                for i in 0..rng.gen_range(0..15u32) {
+                    let t = next(r);
+                    if rng.gen_bool(0.4) {
+                        p = p.apply(&QueueOp::Dequeue, t).0;
+                        q = q.apply(&QueueOp::Dequeue, t).0;
+                    } else {
+                        let v = 100 * r + i;
+                        p = p.apply(&QueueOp::Enqueue(v), t).0;
+                        q = q.apply(&QueueOp::Enqueue(v), t).0;
+                    }
+                }
+                branches.push((p, q));
+            }
+            let pm = Queue::merge(&pl, &branches[0].0, &branches[1].0);
+            let qm = QuarkQueue::merge(&ql, &branches[0].1, &branches[1].1);
+            assert_eq!(pm.to_list(), qm.to_list(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn merge_cost_grows_superlinearly() {
+        // Not a benchmark — a sanity check that the ordering relation
+        // really is quadratic in the queue length.
+        let mut q = QuarkQueue::initial();
+        for v in 0..100u32 {
+            q = enq(&q, v, ts(v as u64 + 1, 0));
+        }
+        let rel = crate::relations::ordering_relation(&q.to_list());
+        assert_eq!(rel.len(), 100 * 99 / 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Characteristic relations and their set-theoretic merge.
+//!
+//! Quark models every data type by relations over its contents and merges
+//! the *relations*, not the structures. The single merge rule, applied to
+//! every characteristic relation `R`:
+//!
+//! ```text
+//! R_merged = (R_lca ∩ R_a ∩ R_b) ∪ (R_a − R_lca) ∪ (R_b − R_lca)
+//! ```
+//!
+//! — keep what all three versions agree on, plus whatever either branch
+//! added.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// The relational three-way merge on a characteristic relation.
+///
+/// # Example
+///
+/// ```
+/// use std::collections::HashSet;
+/// use peepul_quark::relations::merge_relation;
+///
+/// let l: HashSet<u32> = [1, 2, 3].into();
+/// let a: HashSet<u32> = [1, 3, 4].into();     // removed 2, added 4
+/// let b: HashSet<u32> = [1, 2, 5].into();     // removed 3, added 5
+/// let m = merge_relation(&l, &a, &b);
+/// assert_eq!(m, [1, 4, 5].into());
+/// ```
+pub fn merge_relation<T: Eq + Hash + Clone>(
+    lca: &HashSet<T>,
+    a: &HashSet<T>,
+    b: &HashSet<T>,
+) -> HashSet<T> {
+    let mut out: HashSet<T> = lca
+        .iter()
+        .filter(|x| a.contains(*x) && b.contains(*x))
+        .cloned()
+        .collect();
+    out.extend(a.difference(lca).cloned());
+    out.extend(b.difference(lca).cloned());
+    out
+}
+
+/// The binary *ordering* characteristic relation of a sequence: every
+/// ordered pair `(s[i], s[j])` with `i < j` — `n(n−1)/2` entries. This
+/// quadratic reification is the root cause of Quark's queue-merge cost
+/// (paper, Fig. 12).
+pub fn ordering_relation<T: Eq + Hash + Clone>(seq: &[T]) -> HashSet<(T, T)> {
+    let mut rel = HashSet::with_capacity(seq.len() * seq.len() / 2);
+    for i in 0..seq.len() {
+        for j in i + 1..seq.len() {
+            rel.insert((seq[i].clone(), seq[j].clone()));
+        }
+    }
+    rel
+}
+
+/// The unary *membership* characteristic relation of a sequence.
+pub fn membership_relation<T: Eq + Hash + Clone>(seq: &[T]) -> HashSet<T> {
+    seq.iter().cloned().collect()
+}
+
+/// Concretization for sequences: linearise a membership relation so that
+/// the merged ordering relation is respected, interleaving elements the
+/// relation leaves unordered by the smallest `key` first (Kahn's
+/// topological sort with a min-key frontier). The edge scan makes this
+/// `O(n²)` — the cost Fig. 12 of the paper measures.
+pub fn linearise<T, K, F>(members: &HashSet<T>, ordering: &HashSet<(T, T)>, key: F) -> Vec<T>
+where
+    T: Eq + Hash + Clone,
+    F: Fn(&T) -> K,
+    K: Ord,
+{
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
+
+    let nodes: Vec<T> = members.iter().cloned().collect();
+    let index: HashMap<&T, usize> = nodes.iter().enumerate().map(|(i, x)| (x, i)).collect();
+    let mut indegree = vec![0usize; nodes.len()];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (x, y) in ordering {
+        if let (Some(&i), Some(&j)) = (index.get(x), index.get(y)) {
+            indegree[j] += 1;
+            successors[i].push(j);
+        }
+    }
+    let mut frontier: BinaryHeap<Reverse<(K, usize)>> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| **d == 0)
+        .map(|(i, _)| Reverse((key(&nodes[i]), i)))
+        .collect();
+    let mut out = Vec::with_capacity(nodes.len());
+    while let Some(Reverse((_, i))) = frontier.pop() {
+        out.push(nodes[i].clone());
+        for &j in &successors[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                frontier.push(Reverse((key(&nodes[j]), j)));
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), nodes.len(), "merged ordering relation is acyclic");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_keeps_agreement_and_additions() {
+        let l: HashSet<u32> = [1, 2].into();
+        let a: HashSet<u32> = [1, 2, 3].into();
+        let b: HashSet<u32> = [2].into();
+        // 1 removed by b, 2 kept by all, 3 added by a.
+        assert_eq!(merge_relation(&l, &a, &b), [2, 3].into());
+    }
+
+    #[test]
+    fn ordering_relation_is_quadratic() {
+        let seq: Vec<u32> = (0..10).collect();
+        let rel = ordering_relation(&seq);
+        assert_eq!(rel.len(), 45); // 10·9/2
+        assert!(rel.contains(&(0, 9)));
+        assert!(!rel.contains(&(9, 0)));
+    }
+
+    #[test]
+    fn linearise_recovers_original_order() {
+        let seq: Vec<u32> = vec![4, 1, 3, 2];
+        let members = membership_relation(&seq);
+        let ordering = ordering_relation(&seq);
+        assert_eq!(linearise(&members, &ordering, |x| *x), seq);
+    }
+
+    #[test]
+    fn linearise_interleaves_unordered_elements_by_key() {
+        // 1 and 2 ordered; 10 unrelated to both → falls back to key order.
+        let members: HashSet<u32> = [1, 2, 10].into();
+        let ordering: HashSet<(u32, u32)> = [(1, 2)].into();
+        let got = linearise(&members, &ordering, |x| *x);
+        assert_eq!(got, vec![1, 2, 10]);
+    }
+}

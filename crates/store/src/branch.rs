@@ -1,0 +1,432 @@
+//! The user-facing branch store: an Irmin-style versioned database of one
+//! MRDT object.
+//!
+//! Clients fork branches, apply data-type operations to a branch's local
+//! version, and merge branches pairwise; the store tracks the commit DAG,
+//! mints unique happens-before-consistent timestamps, finds the lowest
+//! common ancestor for every merge, and invokes the data type's three-way
+//! merge (§2.1 of the paper). Criss-cross histories with several maximal
+//! common ancestors are resolved by *recursive virtual merges*, the
+//! strategy of Git's `merge-recursive`: merge the merge-bases (recursively)
+//! into a virtual ancestor, then use that as the LCA.
+
+use crate::dag::{CommitGraph, CommitId};
+use crate::error::StoreError;
+use peepul_core::{Mrdt, ReplicaId, Timestamp};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+struct BranchInfo {
+    head: CommitId,
+    replica: ReplicaId,
+}
+
+/// A Git-like store replicating one MRDT object across branches.
+///
+/// # Example
+///
+/// ```
+/// use peepul_store::BranchStore;
+/// use peepul_types::counter::{Counter, CounterOp, CounterValue};
+///
+/// # fn main() -> Result<(), peepul_store::StoreError> {
+/// let mut store: BranchStore<Counter> = BranchStore::new("main");
+/// store.apply("main", &CounterOp::Increment)?;
+/// store.fork("feature", "main")?;
+/// store.apply("feature", &CounterOp::Increment)?;
+/// store.apply("main", &CounterOp::Increment)?;
+/// store.merge("main", "feature")?;
+/// assert_eq!(store.state("main")?.count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub struct BranchStore<M: Mrdt> {
+    graph: CommitGraph<Arc<M>>,
+    branches: BTreeMap<String, BranchInfo>,
+    /// Global Lamport tick: unique and happens-before consistent because
+    /// the store is the sole timestamp authority (Ψ_ts).
+    tick: u64,
+    next_replica: u32,
+}
+
+impl<M: Mrdt> BranchStore<M> {
+    /// Creates a store with a single branch holding the initial state.
+    pub fn new(root_branch: impl Into<String>) -> Self {
+        let mut graph = CommitGraph::new();
+        let root = graph.add_root(Arc::new(M::initial()));
+        let mut branches = BTreeMap::new();
+        branches.insert(
+            root_branch.into(),
+            BranchInfo {
+                head: root,
+                replica: ReplicaId::new(0),
+            },
+        );
+        BranchStore {
+            graph,
+            branches,
+            tick: 0,
+            next_replica: 1,
+        }
+    }
+
+    /// The branch names, in order.
+    pub fn branch_names(&self) -> Vec<&str> {
+        self.branches.keys().map(String::as_str).collect()
+    }
+
+    /// Whether `branch` exists.
+    pub fn has_branch(&self, branch: &str) -> bool {
+        self.branches.contains_key(branch)
+    }
+
+    /// The replica id minting timestamps for `branch`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn replica_of(&self, branch: &str) -> Result<ReplicaId, StoreError> {
+        self.info(branch).map(|i| i.replica)
+    }
+
+    fn info(&self, branch: &str) -> Result<&BranchInfo, StoreError> {
+        self.branches
+            .get(branch)
+            .ok_or_else(|| StoreError::UnknownBranch(branch.to_owned()))
+    }
+
+    /// The head commit of a branch.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn head(&self, branch: &str) -> Result<CommitId, StoreError> {
+        self.info(branch).map(|i| i.head)
+    }
+
+    /// The current state of a branch (cheap `Arc` clone).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn state(&self, branch: &str) -> Result<Arc<M>, StoreError> {
+        Ok(self.graph.payload(self.head(branch)?).clone())
+    }
+
+    /// Forks a new branch off an existing one (`CREATEBRANCH` of Fig. 3):
+    /// the new branch starts at the same version.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if `from` does not exist;
+    /// [`StoreError::BranchExists`] if `new` already does.
+    pub fn fork(&mut self, new: impl Into<String>, from: &str) -> Result<(), StoreError> {
+        let new = new.into();
+        if self.branches.contains_key(&new) {
+            return Err(StoreError::BranchExists(new));
+        }
+        let head = self.head(from)?;
+        let replica = ReplicaId::new(self.next_replica);
+        self.next_replica += 1;
+        self.branches.insert(new, BranchInfo { head, replica });
+        Ok(())
+    }
+
+    /// Applies a data-type operation at a branch (`DO` of Fig. 3),
+    /// committing the successor state and returning the operation's value.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn apply(&mut self, branch: &str, op: &M::Op) -> Result<M::Value, StoreError> {
+        let (head, replica) = {
+            let info = self.info(branch)?;
+            (info.head, info.replica)
+        };
+        self.tick += 1;
+        let t = Timestamp::new(self.tick, replica);
+        let (next, value) = self.graph.payload(head).apply(op, t);
+        let new_head = self
+            .graph
+            .add_commit(vec![head], Arc::new(next))
+            .expect("head is a valid parent");
+        self.branches
+            .get_mut(branch)
+            .expect("branch checked above")
+            .head = new_head;
+        Ok(value)
+    }
+
+    /// The lowest-common-ancestor *state* of two branches, resolving
+    /// multiple merge bases by recursive virtual merging.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] for missing branches;
+    /// [`StoreError::NoCommonAncestor`] for unrelated histories (impossible
+    /// for branches forked from one root).
+    pub fn lca_state(&mut self, b1: &str, b2: &str) -> Result<Arc<M>, StoreError> {
+        let (c1, c2) = (self.head(b1)?, self.head(b2)?);
+        let lca = self.lca_commit(c1, c2)?;
+        Ok(self.graph.payload(lca).clone())
+    }
+
+    /// Returns a commit (possibly virtual) whose state is the LCA state of
+    /// `c1` and `c2`.
+    fn lca_commit(&mut self, c1: CommitId, c2: CommitId) -> Result<CommitId, StoreError> {
+        let bases = self.graph.merge_bases(c1, c2);
+        let Some((&first, rest)) = bases.split_first() else {
+            return Err(StoreError::NoCommonAncestor);
+        };
+        let mut virt = first;
+        for &base in rest {
+            // Recursively merge the bases into a virtual ancestor, exactly
+            // like git merge-recursive.
+            let sub_lca = self.lca_commit(virt, base)?;
+            let merged = M::merge(
+                self.graph.payload(sub_lca),
+                self.graph.payload(virt),
+                self.graph.payload(base),
+            );
+            virt = self
+                .graph
+                .add_commit(vec![virt, base], Arc::new(merged))
+                .expect("bases are valid parents");
+        }
+        Ok(virt)
+    }
+
+    /// Merges branch `from` into branch `into` (`MERGE` of Fig. 3): runs
+    /// the data type's three-way merge against the store-computed LCA and
+    /// commits the result on `into`. Merging a branch whose history is
+    /// already contained in `into` is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] for missing branches.
+    pub fn merge(&mut self, into: &str, from: &str) -> Result<(), StoreError> {
+        let (c_into, c_from) = (self.head(into)?, self.head(from)?);
+        if self.graph.is_ancestor(c_from, c_into) {
+            return Ok(()); // nothing new to integrate
+        }
+        let lca = self.lca_commit(c_into, c_from)?;
+        let merged = M::merge(
+            self.graph.payload(lca),
+            self.graph.payload(c_into),
+            self.graph.payload(c_from),
+        );
+        let new_head = self
+            .graph
+            .add_commit(vec![c_into, c_from], Arc::new(merged))
+            .expect("heads are valid parents");
+        self.branches
+            .get_mut(into)
+            .expect("branch checked above")
+            .head = new_head;
+        Ok(())
+    }
+
+    /// The commit history of a branch, newest first.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn history(&self, branch: &str) -> Result<Vec<CommitId>, StoreError> {
+        Ok(self.graph.history(self.head(branch)?))
+    }
+
+    /// Total number of commits (including virtual LCA commits).
+    pub fn commit_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Direct access to the underlying commit graph (read-only).
+    pub fn graph(&self) -> &CommitGraph<Arc<M>> {
+        &self.graph
+    }
+}
+
+impl<M: Mrdt> fmt::Debug for BranchStore<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BranchStore({} branches, {} commits, tick {})",
+            self.branches.len(),
+            self.graph.len(),
+            self.tick
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peepul_types::counter::{Counter, CounterOp};
+    use peepul_types::or_set::{OrSet, OrSetOp, OrSetValue};
+    use peepul_types::queue::{Queue, QueueOp, QueueValue};
+
+    #[test]
+    fn fork_copies_state_and_mints_new_replica() {
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        s.apply("main", &CounterOp::Increment).unwrap();
+        s.fork("dev", "main").unwrap();
+        assert_eq!(s.state("dev").unwrap().count(), 1);
+        assert_ne!(
+            s.replica_of("main").unwrap(),
+            s.replica_of("dev").unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_branch_errors() {
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        assert_eq!(
+            s.apply("nope", &CounterOp::Increment),
+            Err(StoreError::UnknownBranch("nope".into()))
+        );
+        assert!(matches!(
+            s.fork("x", "nope"),
+            Err(StoreError::UnknownBranch(_))
+        ));
+        assert!(matches!(
+            s.fork("main", "main"),
+            Err(StoreError::BranchExists(_))
+        ));
+    }
+
+    #[test]
+    fn divergent_counters_merge_additively() {
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        s.fork("dev", "main").unwrap();
+        for _ in 0..3 {
+            s.apply("main", &CounterOp::Increment).unwrap();
+        }
+        for _ in 0..2 {
+            s.apply("dev", &CounterOp::Increment).unwrap();
+        }
+        s.merge("main", "dev").unwrap();
+        assert_eq!(s.state("main").unwrap().count(), 5);
+        // dev hasn't pulled yet.
+        assert_eq!(s.state("dev").unwrap().count(), 2);
+        s.merge("dev", "main").unwrap();
+        assert_eq!(s.state("dev").unwrap().count(), 5);
+    }
+
+    #[test]
+    fn merge_of_contained_history_is_noop() {
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        s.fork("dev", "main").unwrap();
+        s.apply("main", &CounterOp::Increment).unwrap();
+        let commits_before = s.commit_count();
+        // dev is an ancestor of main: nothing to do.
+        s.merge("main", "dev").unwrap();
+        assert_eq!(s.commit_count(), commits_before);
+    }
+
+    #[test]
+    fn or_set_add_wins_through_the_store() {
+        let mut s: BranchStore<OrSet<u32>> = BranchStore::new("main");
+        s.apply("main", &OrSetOp::Add(1)).unwrap();
+        s.fork("dev", "main").unwrap();
+        s.apply("main", &OrSetOp::Remove(1)).unwrap();
+        s.apply("dev", &OrSetOp::Add(1)).unwrap();
+        s.merge("main", "dev").unwrap();
+        let v = s.apply("main", &OrSetOp::Lookup(1)).unwrap();
+        assert_eq!(v, OrSetValue::Present(true));
+    }
+
+    #[test]
+    fn criss_cross_merge_resolves_via_recursive_lca() {
+        // Build the criss-cross: both branches add elements, merge into
+        // each other (creating two merge commits with swapped parents),
+        // diverge again, then merge. merge_bases yields two candidates and
+        // the recursive virtual LCA must still produce a correct merge.
+        let mut s: BranchStore<OrSet<u32>> = BranchStore::new("a");
+        s.apply("a", &OrSetOp::Add(0)).unwrap();
+        s.fork("b", "a").unwrap();
+        s.apply("a", &OrSetOp::Add(1)).unwrap();
+        s.apply("b", &OrSetOp::Add(2)).unwrap();
+        // Criss-cross: each pulls the other.
+        s.merge("a", "b").unwrap();
+        s.merge("b", "a").unwrap();
+        // Diverge again.
+        s.apply("a", &OrSetOp::Add(3)).unwrap();
+        s.apply("b", &OrSetOp::Add(4)).unwrap();
+        s.merge("a", "b").unwrap();
+        let OrSetValue::Elements(elems) = s.apply("a", &OrSetOp::Read).unwrap() else {
+            panic!("read returns elements");
+        };
+        assert_eq!(elems, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn queue_fifo_across_branches() {
+        let mut s: BranchStore<Queue<&str>> = BranchStore::new("main");
+        s.apply("main", &QueueOp::Enqueue("job-1")).unwrap();
+        s.fork("worker", "main").unwrap();
+        s.apply("main", &QueueOp::Enqueue("job-2")).unwrap();
+        let v = s.apply("worker", &QueueOp::Dequeue).unwrap();
+        assert!(matches!(v, QueueValue::Dequeued(Some((_, "job-1")))));
+        s.merge("main", "worker").unwrap();
+        // job-1 consumed on worker; only job-2 remains on main.
+        let v = s.apply("main", &QueueOp::Dequeue).unwrap();
+        assert!(matches!(v, QueueValue::Dequeued(Some((_, "job-2")))));
+    }
+
+    #[test]
+    fn history_grows_with_operations() {
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        s.apply("main", &CounterOp::Increment).unwrap();
+        s.apply("main", &CounterOp::Increment).unwrap();
+        let h = s.history("main").unwrap();
+        assert_eq!(h.len(), 3); // root + 2 DO commits
+        assert_eq!(h.last().copied(), s.history("main").unwrap().last().copied());
+    }
+
+    #[test]
+    fn timestamps_are_unique_across_branches() {
+        // Indirectly observable through the OR-set's stored pairs.
+        let mut s: BranchStore<OrSet<u32>> = BranchStore::new("main");
+        s.fork("dev", "main").unwrap();
+        s.apply("main", &OrSetOp::Add(1)).unwrap();
+        s.apply("dev", &OrSetOp::Add(2)).unwrap();
+        s.merge("main", "dev").unwrap();
+        let main_state = s.state("main").unwrap();
+        assert_eq!(main_state.pair_count(), 2);
+    }
+}
+
+impl<M: Mrdt> BranchStore<M> {
+    /// Renders the commit DAG with branch heads in Graphviz DOT format —
+    /// `git log --graph` for this store. Pipe through `dot -Tsvg` to
+    /// visualise criss-cross histories and virtual LCA commits.
+    pub fn to_dot(&self) -> String {
+        let heads: std::collections::BTreeMap<String, crate::dag::CommitId> = self
+            .branches
+            .iter()
+            .map(|(name, info)| (name.clone(), info.head))
+            .collect();
+        crate::dot::render(&self.graph, |state| format!("{state:?}"), &heads)
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use peepul_types::counter::{Counter, CounterOp};
+
+    #[test]
+    fn branch_store_renders_to_dot() {
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        s.apply("main", &CounterOp::Increment).unwrap();
+        s.fork("dev", "main").unwrap();
+        s.apply("dev", &CounterOp::Increment).unwrap();
+        s.merge("main", "dev").unwrap();
+        let dot = s.to_dot();
+        assert!(dot.contains("\"main\""));
+        assert!(dot.contains("\"dev\""));
+        assert!(dot.contains("Counter"));
+    }
+}

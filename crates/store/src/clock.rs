@@ -1,0 +1,120 @@
+//! Lamport clocks: the store's timestamp service.
+//!
+//! The paper's store promises (§2.1) that operation timestamps are unique
+//! across branches and consistent with happens-before (Ψ_ts), and suggests
+//! Lamport clocks paired with unique branch ids. [`LamportClock`] is that
+//! construction: each replica strictly increases its own tick, and
+//! [`LamportClock::observe`] advances the clock past any timestamp received
+//! through a merge, so every later local event is stamped above everything
+//! it causally follows. The replica id inside [`Timestamp`] breaks ties
+//! between concurrent events on different replicas.
+
+use peepul_core::{ReplicaId, Timestamp};
+
+/// A per-replica Lamport clock.
+///
+/// # Example
+///
+/// ```
+/// use peepul_core::ReplicaId;
+/// use peepul_store::clock::LamportClock;
+///
+/// let mut a = LamportClock::new(ReplicaId::new(1));
+/// let mut b = LamportClock::new(ReplicaId::new(2));
+/// let t1 = a.tick();
+/// let t2 = a.tick();
+/// assert!(t1 < t2);
+///
+/// // b receives a's state in a merge and observes its latest timestamp:
+/// b.observe(t2);
+/// let t3 = b.tick();
+/// assert!(t2 < t3); // causally after everything b has seen
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LamportClock {
+    replica: ReplicaId,
+    counter: u64,
+}
+
+impl LamportClock {
+    /// Creates a clock for `replica`, starting below any minted timestamp.
+    pub fn new(replica: ReplicaId) -> Self {
+        LamportClock {
+            replica,
+            counter: 0,
+        }
+    }
+
+    /// The replica this clock stamps for.
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    /// Mints the next timestamp: strictly greater than every timestamp this
+    /// replica has minted or observed.
+    pub fn tick(&mut self) -> Timestamp {
+        self.counter += 1;
+        Timestamp::new(self.counter, self.replica)
+    }
+
+    /// Advances the clock past a timestamp received from elsewhere (merge
+    /// or message delivery).
+    pub fn observe(&mut self, t: Timestamp) {
+        self.counter = self.counter.max(t.tick());
+    }
+
+    /// The last tick issued or observed.
+    pub fn now(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_strictly_increase() {
+        let mut c = LamportClock::new(ReplicaId::new(0));
+        let a = c.tick();
+        let b = c.tick();
+        assert!(a < b);
+        assert_eq!(b.tick(), 2);
+    }
+
+    #[test]
+    fn observe_only_moves_forward() {
+        let mut c = LamportClock::new(ReplicaId::new(0));
+        c.observe(Timestamp::new(10, ReplicaId::new(1)));
+        assert_eq!(c.now(), 10);
+        c.observe(Timestamp::new(3, ReplicaId::new(2)));
+        assert_eq!(c.now(), 10);
+        assert_eq!(c.tick().tick(), 11);
+    }
+
+    #[test]
+    fn concurrent_replicas_never_collide() {
+        let mut a = LamportClock::new(ReplicaId::new(1));
+        let mut b = LamportClock::new(ReplicaId::new(2));
+        let ta: Vec<Timestamp> = (0..10).map(|_| a.tick()).collect();
+        let tb: Vec<Timestamp> = (0..10).map(|_| b.tick()).collect();
+        for x in &ta {
+            assert!(!tb.contains(x));
+        }
+    }
+
+    #[test]
+    fn merge_then_tick_dominates_both_histories() {
+        let mut a = LamportClock::new(ReplicaId::new(1));
+        let mut b = LamportClock::new(ReplicaId::new(2));
+        for _ in 0..5 {
+            a.tick();
+        }
+        let last_a = a.tick();
+        let t_b = b.tick();
+        b.observe(last_a);
+        let after = b.tick();
+        assert!(after > last_a);
+        assert!(after > t_b);
+    }
+}

@@ -1,0 +1,50 @@
+//! Errors of the branch store.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`BranchStore`](crate::BranchStore) and
+/// [`StoreLts`](crate::StoreLts) operations.
+#[derive(Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named branch does not exist.
+    UnknownBranch(String),
+    /// A branch with this name already exists.
+    BranchExists(String),
+    /// The two versions share no history (distinct roots); a three-way
+    /// merge is impossible. Cannot occur for branches forked from one root.
+    NoCommonAncestor,
+}
+
+impl fmt::Debug for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownBranch(b) => write!(f, "unknown branch {b:?}"),
+            StoreError::BranchExists(b) => write!(f, "branch {b:?} already exists"),
+            StoreError::NoCommonAncestor => write!(f, "versions share no common ancestor"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_branch() {
+        assert!(StoreError::UnknownBranch("dev".into())
+            .to_string()
+            .contains("dev"));
+        assert!(StoreError::BranchExists("main".into())
+            .to_string()
+            .contains("main"));
+    }
+}

@@ -1,0 +1,62 @@
+//! A Git-like replicated branch store for MRDTs — the workspace's stand-in
+//! for Irmin (the OCaml distributed database the paper runs Peepul on).
+//!
+//! The store realises the system model of the paper's §2.1 and §3:
+//!
+//! * versioned states in **branches** with explicit three-way **merges**
+//!   ([`BranchStore`]),
+//! * a commit **DAG** with Git-style merge-base computation, including
+//!   recursive virtual LCAs for criss-cross histories ([`dag`]),
+//! * a **timestamp service** that is unique and happens-before consistent
+//!   (the store property Ψ_ts) via Lamport clocks ([`clock`]),
+//! * **content addressing** of states by SHA-256, implemented from scratch
+//!   ([`sha256`], [`object`]),
+//! * the paper's formal **labelled transition system** `M_Dτ` (Fig. 3),
+//!   maintaining paired concrete/abstract states per branch — the
+//!   reference semantics the `peepul-verify` harness drives
+//!   ([`StoreLts`]),
+//! * a **multi-threaded replica simulation** for concurrency stress
+//!   testing ([`sync`]).
+//!
+//! # Example
+//!
+//! ```
+//! use peepul_store::BranchStore;
+//! use peepul_types::or_set_space::{OrSetOp, OrSetSpace, OrSetValue};
+//!
+//! # fn main() -> Result<(), peepul_store::StoreError> {
+//! let mut store: BranchStore<OrSetSpace<String>> = BranchStore::new("main");
+//! store.apply("main", &OrSetOp::Add("milk".into()))?;
+//! store.fork("phone", "main")?;
+//! // The phone removes milk while the laptop re-adds it…
+//! store.apply("phone", &OrSetOp::Remove("milk".into()))?;
+//! store.apply("main", &OrSetOp::Add("milk".into()))?;
+//! store.merge("main", "phone")?;
+//! // …and the add wins.
+//! let v = store.apply("main", &OrSetOp::Lookup("milk".into()))?;
+//! assert_eq!(v, OrSetValue::Present(true));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod branch;
+pub mod clock;
+pub mod dag;
+pub mod dot;
+pub mod error;
+pub mod object;
+pub mod semantics;
+pub mod sha256;
+pub mod sync;
+
+pub use branch::BranchStore;
+pub use clock::LamportClock;
+pub use dag::{CommitGraph, CommitId};
+pub use error::StoreError;
+pub use object::{content_id, ObjectId, ObjectStore, Sha256Hasher};
+pub use semantics::{DoOutcome, MergeOutcome, Snapshot, StoreLts};
+pub use sync::Cluster;

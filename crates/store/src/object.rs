@@ -1,0 +1,223 @@
+//! Content addressing: object identifiers and the interning object store.
+//!
+//! Like Irmin and Git, the branch store identifies immutable values by the
+//! hash of their content. Any state implementing [`std::hash::Hash`] can be
+//! content-addressed: its `Hash` byte stream is fed to SHA-256 through
+//! [`Sha256Hasher`]. Identical states intern to the same [`ObjectId`] in an
+//! [`ObjectStore`], giving Git-style structural sharing of repeated states
+//! (e.g. the many identical heads produced by read-only operations).
+
+use crate::sha256::Sha256;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A 256-bit content address.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId([u8; 32]);
+
+impl ObjectId {
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Abbreviated hex form (first 8 hex digits), like `git log --oneline`.
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectId({})", self.short())
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A [`std::hash::Hasher`] backed by SHA-256.
+///
+/// `finish()` returns the first 8 digest bytes (the `Hasher` contract);
+/// [`Sha256Hasher::digest`] returns the full 256-bit [`ObjectId`].
+#[derive(Clone, Debug, Default)]
+pub struct Sha256Hasher {
+    ctx: Sha256,
+}
+
+impl Sha256Hasher {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the hasher, producing the content address.
+    pub fn digest(self) -> ObjectId {
+        ObjectId(self.ctx.finalize())
+    }
+}
+
+impl Hasher for Sha256Hasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.ctx.update(bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        let digest = self.ctx.clone().finalize();
+        u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
+    }
+}
+
+/// The content address of any hashable value.
+///
+/// # Example
+///
+/// ```
+/// use peepul_store::object::content_id;
+///
+/// let a = content_id(&vec![1u32, 2, 3]);
+/// let b = content_id(&vec![1u32, 2, 3]);
+/// let c = content_id(&vec![3u32, 2, 1]);
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+pub fn content_id<T: Hash>(value: &T) -> ObjectId {
+    let mut hasher = Sha256Hasher::new();
+    value.hash(&mut hasher);
+    hasher.digest()
+}
+
+/// An interning, content-addressed store of immutable values.
+///
+/// Inserting a value returns its [`ObjectId`]; inserting an equal value
+/// again returns the same id and the same shared allocation.
+pub struct ObjectStore<T> {
+    objects: HashMap<ObjectId, Arc<T>>,
+    inserts: u64,
+    hits: u64,
+}
+
+impl<T: Hash> ObjectStore<T> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ObjectStore {
+            objects: HashMap::new(),
+            inserts: 0,
+            hits: 0,
+        }
+    }
+
+    /// Interns a value, returning its content address and shared handle.
+    pub fn insert(&mut self, value: T) -> (ObjectId, Arc<T>) {
+        self.inserts += 1;
+        let id = content_id(&value);
+        let arc = self
+            .objects
+            .entry(id)
+            .or_insert_with(|| Arc::new(value))
+            .clone();
+        if Arc::strong_count(&arc) > 2 {
+            // Entry existed before (store + returned handle + prior users).
+            self.hits += 1;
+        }
+        (id, arc)
+    }
+
+    /// Fetches a value by content address.
+    pub fn get(&self, id: ObjectId) -> Option<Arc<T>> {
+        self.objects.get(&id).cloned()
+    }
+
+    /// Number of *distinct* objects stored.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// `(total inserts, distinct objects)` — the gap is the structural
+    /// sharing the content addressing bought.
+    pub fn dedup_stats(&self) -> (u64, usize) {
+        (self.inserts, self.objects.len())
+    }
+}
+
+impl<T: Hash> Default for ObjectStore<T> {
+    fn default() -> Self {
+        ObjectStore::new()
+    }
+}
+
+impl<T> fmt::Debug for ObjectStore<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ObjectStore({} objects, {} inserts)",
+            self.objects.len(),
+            self.inserts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_id_is_deterministic_and_discriminating() {
+        assert_eq!(content_id(&42u64), content_id(&42u64));
+        assert_ne!(content_id(&42u64), content_id(&43u64));
+        assert_ne!(content_id(&"a"), content_id(&"b"));
+    }
+
+    #[test]
+    fn hasher_finish_is_prefix_of_digest() {
+        let mut h = Sha256Hasher::new();
+        h.write(b"hello");
+        let short = h.finish();
+        let full = h.digest();
+        assert_eq!(
+            short,
+            u64::from_be_bytes(full.as_bytes()[..8].try_into().unwrap())
+        );
+    }
+
+    #[test]
+    fn object_store_interns_equal_values() {
+        let mut store: ObjectStore<Vec<u32>> = ObjectStore::new();
+        let (id1, a1) = store.insert(vec![1, 2, 3]);
+        let (id2, a2) = store.insert(vec![1, 2, 3]);
+        assert_eq!(id1, id2);
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert_eq!(store.len(), 1);
+        let (id3, _) = store.insert(vec![4]);
+        assert_ne!(id1, id3);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn object_store_get_roundtrip() {
+        let mut store: ObjectStore<String> = ObjectStore::new();
+        let (id, _) = store.insert("state".to_owned());
+        assert_eq!(store.get(id).as_deref(), Some(&"state".to_owned()));
+    }
+
+    #[test]
+    fn display_and_short_forms() {
+        let id = content_id(&1u8);
+        assert_eq!(id.to_string().len(), 64);
+        assert_eq!(id.short().len(), 8);
+        assert!(id.to_string().starts_with(&id.short()));
+    }
+}

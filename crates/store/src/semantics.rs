@@ -1,0 +1,406 @@
+//! The store's labelled transition system `M_Dτ = (Φ, →)` (paper §3,
+//! Fig. 3) — the *reference semantics* the verification harness drives.
+//!
+//! Each LTS state is `(φ, δ, t)`: per-branch **concrete** states (as the
+//! data type implementation computes them), per-branch **abstract** states
+//! (events + visibility, as `do#`/`merge#` compute them), and the global
+//! timestamp counter. The three transitions are `CREATEBRANCH`, `DO` and
+//! `MERGE`.
+//!
+//! Unlike [`BranchStore`](crate::BranchStore), this store keeps a
+//! [`Snapshot`] (concrete *and* abstract state) at every commit, so a
+//! `MERGE` can hand the verifier everything the proof obligations of
+//! Table 2 mention — including the concrete LCA state `σ_lca`, which for
+//! criss-cross histories is built by recursive virtual merging (the
+//! abstract side of a virtual merge is `merge#`, whose event union over
+//! all maximal common ancestors equals `lca#(I_a, I_b)` exactly).
+
+use crate::dag::{CommitGraph, CommitId};
+use crate::error::StoreError;
+use peepul_core::{AbstractOf, Mrdt, ReplicaId, Timestamp};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One version: paired concrete and abstract states.
+pub struct Snapshot<M: Mrdt> {
+    /// The implementation state `σ`.
+    pub concrete: Arc<M>,
+    /// The abstract execution `I` of all events this version has observed.
+    pub abstract_state: Arc<AbstractOf<M>>,
+}
+
+impl<M: Mrdt> Clone for Snapshot<M> {
+    fn clone(&self) -> Self {
+        Snapshot {
+            concrete: self.concrete.clone(),
+            abstract_state: self.abstract_state.clone(),
+        }
+    }
+}
+
+impl<M: Mrdt> fmt::Debug for Snapshot<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Snapshot(σ = {:?}, |I| = {})",
+            self.concrete,
+            self.abstract_state.len()
+        )
+    }
+}
+
+/// The result of a `DO` transition, carrying everything `Φ_do`/`Φ_spec`
+/// quantify over.
+#[derive(Debug)]
+pub struct DoOutcome<M: Mrdt> {
+    /// The store-minted timestamp of the event.
+    pub timestamp: Timestamp,
+    /// The return value computed by the implementation.
+    pub value: M::Value,
+    /// The branch state before the operation.
+    pub pre: Snapshot<M>,
+    /// The branch state after the operation.
+    pub post: Snapshot<M>,
+}
+
+/// The result of a `MERGE` transition, carrying everything `Φ_merge`
+/// quantifies over.
+#[derive(Debug)]
+pub struct MergeOutcome<M: Mrdt> {
+    /// The LCA version supplied by the store (virtual for criss-cross
+    /// histories).
+    pub lca: Snapshot<M>,
+    /// The target branch before the merge.
+    pub pre_into: Snapshot<M>,
+    /// The source branch (unchanged by the merge).
+    pub pre_from: Snapshot<M>,
+    /// The target branch after the merge.
+    pub post: Snapshot<M>,
+}
+
+/// The labelled transition system of Fig. 3.
+///
+/// # Example
+///
+/// ```
+/// use peepul_store::StoreLts;
+/// use peepul_types::counter::{Counter, CounterOp, CounterValue};
+///
+/// # fn main() -> Result<(), peepul_store::StoreError> {
+/// let mut lts: StoreLts<Counter> = StoreLts::new("main");
+/// lts.create_branch("dev", "main")?;
+/// lts.do_op("main", &CounterOp::Increment)?;
+/// lts.do_op("dev", &CounterOp::Increment)?;
+/// let outcome = lts.merge("main", "dev")?;
+/// assert_eq!(outcome.post.concrete.count(), 2);
+/// assert_eq!(outcome.post.abstract_state.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct StoreLts<M: Mrdt> {
+    graph: CommitGraph<Snapshot<M>>,
+    branches: BTreeMap<String, (CommitId, ReplicaId)>,
+    tick: u64,
+    next_replica: u32,
+}
+
+impl<M: Mrdt> StoreLts<M> {
+    /// The initial LTS state `C⊥`: one branch holding `(σ0, I0)`.
+    pub fn new(root_branch: impl Into<String>) -> Self {
+        let mut graph = CommitGraph::new();
+        let root = graph.add_root(Snapshot {
+            concrete: Arc::new(M::initial()),
+            abstract_state: Arc::new(AbstractOf::<M>::new()),
+        });
+        let mut branches = BTreeMap::new();
+        branches.insert(root_branch.into(), (root, ReplicaId::new(0)));
+        StoreLts {
+            graph,
+            branches,
+            tick: 0,
+            next_replica: 1,
+        }
+    }
+
+    /// The branch names, in order.
+    pub fn branch_names(&self) -> Vec<&str> {
+        self.branches.keys().map(String::as_str).collect()
+    }
+
+    /// Number of branches.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// The current global timestamp counter `t`.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    fn head(&self, branch: &str) -> Result<(CommitId, ReplicaId), StoreError> {
+        self.branches
+            .get(branch)
+            .copied()
+            .ok_or_else(|| StoreError::UnknownBranch(branch.to_owned()))
+    }
+
+    /// The current snapshot of a branch.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn snapshot(&self, branch: &str) -> Result<Snapshot<M>, StoreError> {
+        let (head, _) = self.head(branch)?;
+        Ok(self.graph.payload(head).clone())
+    }
+
+    /// Iterates over all branches with their snapshots.
+    pub fn snapshots(&self) -> impl Iterator<Item = (&str, Snapshot<M>)> {
+        self.branches
+            .iter()
+            .map(|(name, (head, _))| (name.as_str(), self.graph.payload(*head).clone()))
+    }
+
+    /// `CREATEBRANCH(b1, b2)`: the new branch copies both the concrete and
+    /// abstract state of the source.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] / [`StoreError::BranchExists`].
+    pub fn create_branch(&mut self, new: impl Into<String>, from: &str) -> Result<(), StoreError> {
+        let new = new.into();
+        if self.branches.contains_key(&new) {
+            return Err(StoreError::BranchExists(new));
+        }
+        let (head, _) = self.head(from)?;
+        let replica = ReplicaId::new(self.next_replica);
+        self.next_replica += 1;
+        self.branches.insert(new, (head, replica));
+        Ok(())
+    }
+
+    /// `DO(o, b)`: applies the operation concretely (`D_τ.do`) and
+    /// abstractly (`do#`), advancing the global timestamp.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn do_op(&mut self, branch: &str, op: &M::Op) -> Result<DoOutcome<M>, StoreError> {
+        let (head, replica) = self.head(branch)?;
+        let pre = self.graph.payload(head).clone();
+
+        self.tick += 1;
+        let t = Timestamp::new(self.tick, replica);
+
+        let (conc_next, value) = pre.concrete.apply(op, t);
+        let abs_next = pre.abstract_state.perform(op.clone(), value.clone(), t);
+        let post = Snapshot {
+            concrete: Arc::new(conc_next),
+            abstract_state: Arc::new(abs_next),
+        };
+        let new_head = self
+            .graph
+            .add_commit(vec![head], post.clone())
+            .expect("head is a valid parent");
+        self.branches
+            .get_mut(branch)
+            .expect("branch checked above")
+            .0 = new_head;
+        Ok(DoOutcome {
+            timestamp: t,
+            value,
+            pre,
+            post,
+        })
+    }
+
+    /// The LCA snapshot of two branches, resolving criss-cross histories
+    /// by recursive virtual merges.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] / [`StoreError::NoCommonAncestor`].
+    pub fn lca(&mut self, b1: &str, b2: &str) -> Result<Snapshot<M>, StoreError> {
+        let (c1, _) = self.head(b1)?;
+        let (c2, _) = self.head(b2)?;
+        let lca = self.lca_commit(c1, c2)?;
+        Ok(self.graph.payload(lca).clone())
+    }
+
+    fn lca_commit(&mut self, c1: CommitId, c2: CommitId) -> Result<CommitId, StoreError> {
+        let bases = self.graph.merge_bases(c1, c2);
+        let Some((&first, rest)) = bases.split_first() else {
+            return Err(StoreError::NoCommonAncestor);
+        };
+        let mut virt = first;
+        for &base in rest {
+            let sub_lca = self.lca_commit(virt, base)?;
+            let sub = self.graph.payload(sub_lca).clone();
+            let left = self.graph.payload(virt).clone();
+            let right = self.graph.payload(base).clone();
+            let snapshot = Snapshot {
+                concrete: Arc::new(M::merge(&sub.concrete, &left.concrete, &right.concrete)),
+                abstract_state: Arc::new(left.abstract_state.merged(&right.abstract_state)),
+            };
+            virt = self
+                .graph
+                .add_commit(vec![virt, base], snapshot)
+                .expect("bases are valid parents");
+        }
+        Ok(virt)
+    }
+
+    /// `MERGE(b1, b2)`: merges `from` into `into`, concretely via
+    /// `D_τ.merge(σ_lca, σ_into, σ_from)` and abstractly via `merge#`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] / [`StoreError::NoCommonAncestor`].
+    pub fn merge(&mut self, into: &str, from: &str) -> Result<MergeOutcome<M>, StoreError> {
+        let (c_into, _) = self.head(into)?;
+        let (c_from, _) = self.head(from)?;
+        let lca_commit = self.lca_commit(c_into, c_from)?;
+        let lca = self.graph.payload(lca_commit).clone();
+        let pre_into = self.graph.payload(c_into).clone();
+        let pre_from = self.graph.payload(c_from).clone();
+
+        let merged_conc = M::merge(&lca.concrete, &pre_into.concrete, &pre_from.concrete);
+        let merged_abs = pre_into.abstract_state.merged(&pre_from.abstract_state);
+        let post = Snapshot {
+            concrete: Arc::new(merged_conc),
+            abstract_state: Arc::new(merged_abs),
+        };
+        let new_head = self
+            .graph
+            .add_commit(vec![c_into, c_from], post.clone())
+            .expect("heads are valid parents");
+        self.branches
+            .get_mut(into)
+            .expect("branch checked above")
+            .0 = new_head;
+        Ok(MergeOutcome {
+            lca,
+            pre_into,
+            pre_from,
+            post,
+        })
+    }
+
+    /// Total number of commits (including virtual LCA commits).
+    pub fn commit_count(&self) -> usize {
+        self.graph.len()
+    }
+}
+
+impl<M: Mrdt> Clone for StoreLts<M> {
+    /// Cloning an LTS forks the whole world — used by the
+    /// bounded-exhaustive checker to branch its depth-first search. Cheap:
+    /// snapshots are `Arc`-shared.
+    fn clone(&self) -> Self {
+        StoreLts {
+            graph: self.graph.clone(),
+            branches: self.branches.clone(),
+            tick: self.tick,
+            next_replica: self.next_replica,
+        }
+    }
+}
+
+impl<M: Mrdt> fmt::Debug for StoreLts<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "StoreLts({} branches, {} commits, t = {})",
+            self.branches.len(),
+            self.graph.len(),
+            self.tick
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peepul_types::g_set::{GSet, GSetOp};
+    use peepul_types::or_set_space::{OrSetOp, OrSetSpace};
+
+    #[test]
+    fn do_advances_both_states_in_lockstep() {
+        let mut lts: StoreLts<GSet<u32>> = StoreLts::new("main");
+        let out = lts.do_op("main", &GSetOp::Add(1)).unwrap();
+        assert_eq!(out.pre.abstract_state.len(), 0);
+        assert_eq!(out.post.abstract_state.len(), 1);
+        assert!(out.post.concrete.contains(&1));
+        assert_eq!(out.timestamp.tick(), 1);
+    }
+
+    #[test]
+    fn merge_unions_abstract_states() {
+        let mut lts: StoreLts<GSet<u32>> = StoreLts::new("main");
+        lts.create_branch("dev", "main").unwrap();
+        lts.do_op("main", &GSetOp::Add(1)).unwrap();
+        lts.do_op("dev", &GSetOp::Add(2)).unwrap();
+        let out = lts.merge("main", "dev").unwrap();
+        assert_eq!(out.lca.abstract_state.len(), 0);
+        assert_eq!(out.post.abstract_state.len(), 2);
+        assert!(out.post.concrete.contains(&1) && out.post.concrete.contains(&2));
+    }
+
+    #[test]
+    fn lca_after_one_sided_merge_is_source_head() {
+        let mut lts: StoreLts<GSet<u32>> = StoreLts::new("a");
+        lts.create_branch("b", "a").unwrap();
+        lts.do_op("a", &GSetOp::Add(1)).unwrap();
+        lts.do_op("b", &GSetOp::Add(2)).unwrap();
+        lts.merge("a", "b").unwrap();
+        // Now b's history ⊆ a's: the LCA of (a, b) is b's head.
+        let lca = lts.lca("a", "b").unwrap();
+        let b_snap = lts.snapshot("b").unwrap();
+        assert_eq!(*lca.abstract_state, *b_snap.abstract_state);
+    }
+
+    #[test]
+    fn criss_cross_virtual_lca_has_union_of_bases() {
+        let mut lts: StoreLts<OrSetSpace<u32>> = StoreLts::new("a");
+        lts.do_op("a", &OrSetOp::Add(0)).unwrap();
+        lts.create_branch("b", "a").unwrap();
+        lts.do_op("a", &OrSetOp::Add(1)).unwrap();
+        lts.do_op("b", &OrSetOp::Add(2)).unwrap();
+        lts.merge("a", "b").unwrap();
+        lts.merge("b", "a").unwrap();
+        lts.do_op("a", &OrSetOp::Add(3)).unwrap();
+        lts.do_op("b", &OrSetOp::Add(4)).unwrap();
+        // merge_bases(a, b) = the two first-round merge commits; the
+        // virtual LCA must contain events {0, 1, 2} — the intersection of
+        // the two branches' abstract states.
+        let lca = lts.lca("a", "b").unwrap();
+        let ia = lts.snapshot("a").unwrap().abstract_state;
+        let ib = lts.snapshot("b").unwrap().abstract_state;
+        let expected = ia.lca(&ib);
+        assert_eq!(*lca.abstract_state, expected);
+        assert_eq!(lca.concrete.elements(), vec![0, 1, 2]);
+        // And the subsequent merge integrates everything.
+        let out = lts.merge("a", "b").unwrap();
+        assert_eq!(out.post.concrete.elements(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn snapshots_lists_every_branch() {
+        let mut lts: StoreLts<GSet<u32>> = StoreLts::new("main");
+        lts.create_branch("x", "main").unwrap();
+        lts.create_branch("y", "x").unwrap();
+        let names: Vec<&str> = lts.snapshots().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["main", "x", "y"]);
+    }
+
+    #[test]
+    fn timestamps_increase_across_branches() {
+        let mut lts: StoreLts<GSet<u32>> = StoreLts::new("main");
+        lts.create_branch("dev", "main").unwrap();
+        let t1 = lts.do_op("main", &GSetOp::Add(1)).unwrap().timestamp;
+        let t2 = lts.do_op("dev", &GSetOp::Add(2)).unwrap().timestamp;
+        let t3 = lts.do_op("main", &GSetOp::Add(3)).unwrap().timestamp;
+        assert!(t1 < t2 && t2 < t3);
+    }
+}

@@ -1,0 +1,219 @@
+//! Multi-threaded replica simulation.
+//!
+//! The paper runs its MRDTs on Irmin with concurrently updating replicas.
+//! [`Cluster`] reproduces that execution style in-process: each simulated
+//! replica runs on its own OS thread, applies locally generated operations
+//! to its own branch, and periodically gossip-merges a peer's branch. The
+//! store itself is shared behind a [`parking_lot::Mutex`], so operations on
+//! different replicas interleave nondeterministically — a stress test for
+//! merge correctness that the deterministic harness cannot provide.
+
+use crate::branch::BranchStore;
+use crate::error::StoreError;
+use parking_lot::Mutex;
+use peepul_core::Mrdt;
+use std::fmt;
+use std::sync::Arc;
+
+/// A multi-threaded cluster of replicas over one [`BranchStore`].
+///
+/// # Example
+///
+/// ```
+/// use peepul_store::sync::Cluster;
+/// use peepul_types::counter::{Counter, CounterOp};
+///
+/// # fn main() -> Result<(), peepul_store::StoreError> {
+/// let cluster: Cluster<Counter> = Cluster::new(4)?;
+/// // Each of the 4 replicas increments 100 times, gossiping every 10 ops.
+/// cluster.run(100, 10, |_replica, _round| CounterOp::Increment)?;
+/// let final_states = cluster.converge()?;
+/// assert!(final_states.iter().all(|s| s.count() == 400));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Cluster<M: Mrdt> {
+    store: Arc<Mutex<BranchStore<M>>>,
+    replicas: usize,
+}
+
+fn replica_branch(i: usize) -> String {
+    format!("replica-{i}")
+}
+
+impl<M: Mrdt + Send + Sync + 'static> Cluster<M> {
+    /// Creates a cluster of `replicas` branches forked from a common root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from branch creation (cannot occur for
+    /// distinct generated names).
+    pub fn new(replicas: usize) -> Result<Self, StoreError> {
+        assert!(replicas >= 1, "a cluster needs at least one replica");
+        let mut store = BranchStore::new(replica_branch(0));
+        for i in 1..replicas {
+            store.fork(replica_branch(i), &replica_branch(0))?;
+        }
+        Ok(Cluster {
+            store: Arc::new(Mutex::new(store)),
+            replicas,
+        })
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Runs `ops_per_replica` operations on every replica concurrently.
+    ///
+    /// `op_of(replica, round)` generates the operation each replica applies
+    /// at each round; every `gossip_every` rounds a replica merges from its
+    /// ring neighbour. Returns when all replica threads have finished.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`StoreError`] any replica thread hit.
+    pub fn run<F>(
+        &self,
+        ops_per_replica: usize,
+        gossip_every: usize,
+        op_of: F,
+    ) -> Result<(), StoreError>
+    where
+        F: Fn(usize, usize) -> M::Op + Send + Sync,
+    {
+        let op_of = &op_of;
+        let results: Vec<Result<(), StoreError>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.replicas)
+                .map(|i| {
+                    let store = Arc::clone(&self.store);
+                    scope.spawn(move |_| {
+                        let me = replica_branch(i);
+                        let peer = replica_branch((i + 1) % self.replicas);
+                        for round in 0..ops_per_replica {
+                            let op = op_of(i, round);
+                            store.lock().apply(&me, &op)?;
+                            if gossip_every > 0 && round % gossip_every == gossip_every - 1 {
+                                store.lock().merge(&me, &peer)?;
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replica thread panicked"))
+                .collect()
+        })
+        .expect("cluster scope panicked");
+        results.into_iter().collect()
+    }
+
+    /// Performs full pairwise merging until every replica holds the same
+    /// history, then returns the per-replica final states.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from merging.
+    pub fn converge(&self) -> Result<Vec<Arc<M>>, StoreError> {
+        let mut store = self.store.lock();
+        // Two rounds of ring merges in both directions reach a fixpoint:
+        // first everyone's updates flow into replica 0, then back out.
+        for i in 1..self.replicas {
+            let (a, b) = (replica_branch(0), replica_branch(i));
+            store.merge(&a, &b)?;
+        }
+        for i in 1..self.replicas {
+            let (a, b) = (replica_branch(i), replica_branch(0));
+            store.merge(&a, &b)?;
+        }
+        (0..self.replicas)
+            .map(|i| store.state(&replica_branch(i)))
+            .collect()
+    }
+
+    /// Runs `f` with the locked store (inspection/debugging).
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut BranchStore<M>) -> R) -> R {
+        f(&mut self.store.lock())
+    }
+}
+
+impl<M: Mrdt> fmt::Debug for Cluster<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cluster({} replicas)", self.replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peepul_types::counter::{Counter, CounterOp};
+    use peepul_types::or_set_space::{OrSetOp, OrSetSpace};
+    use peepul_types::pn_counter::{PnCounter, PnCounterOp};
+
+    #[test]
+    fn counters_converge_to_total_increments() {
+        let cluster: Cluster<Counter> = Cluster::new(4).unwrap();
+        cluster.run(50, 7, |_, _| CounterOp::Increment).unwrap();
+        let states = cluster.converge().unwrap();
+        assert_eq!(states.len(), 4);
+        for s in &states {
+            assert_eq!(s.count(), 200);
+        }
+    }
+
+    #[test]
+    fn pn_counters_converge_with_mixed_ops() {
+        let cluster: Cluster<PnCounter> = Cluster::new(3).unwrap();
+        cluster
+            .run(60, 5, |replica, round| {
+                if (replica + round) % 3 == 0 {
+                    PnCounterOp::Decrement
+                } else {
+                    PnCounterOp::Increment
+                }
+            })
+            .unwrap();
+        let states = cluster.converge().unwrap();
+        let expected = states[0].value();
+        for s in &states {
+            assert_eq!(s.value(), expected);
+        }
+        // 60 ops × 3 replicas, one third decrements.
+        assert_eq!(expected, (120 - 60) as i64);
+    }
+
+    #[test]
+    fn or_sets_converge_observably() {
+        let cluster: Cluster<OrSetSpace<u32>> = Cluster::new(3).unwrap();
+        cluster
+            .run(40, 8, |replica, round| {
+                let x = ((replica * 31 + round * 7) % 16) as u32;
+                if round % 4 == 3 {
+                    OrSetOp::Remove(x)
+                } else {
+                    OrSetOp::Add(x)
+                }
+            })
+            .unwrap();
+        let states = cluster.converge().unwrap();
+        for s in &states[1..] {
+            assert!(
+                states[0].observably_equal(s),
+                "replicas disagree: {:?} vs {:?}",
+                states[0],
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn single_replica_cluster_is_fine() {
+        let cluster: Cluster<Counter> = Cluster::new(1).unwrap();
+        cluster.run(10, 3, |_, _| CounterOp::Increment).unwrap();
+        let states = cluster.converge().unwrap();
+        assert_eq!(states[0].count(), 10);
+    }
+}

@@ -1,0 +1,549 @@
+//! A persistent (immutable, structurally shared) AVL map.
+//!
+//! This is the balanced search tree underlying the OR-set-spacetime variant
+//! (paper §7.1: *"a space- and time-optimized one which uses a binary
+//! search tree for storing the elements … the merge function produces a
+//! height balanced binary tree"*). Updates return new maps that share
+//! unchanged subtrees with the original through [`Arc`]s, exactly like the
+//! purely functional trees the paper extracts from F* to OCaml.
+//!
+//! Complexity: `get`/`insert`/`remove` are `O(log n)`;
+//! [`AvlMap::from_sorted`] builds a perfectly balanced tree in `O(n)`;
+//! in-order iteration is `O(n)`.
+//!
+//! Equality ([`PartialEq`]) is **structural** — two maps with the same
+//! contents but different tree shapes compare unequal. That is deliberate:
+//! it is what makes *convergence modulo observable behaviour* (paper,
+//! Definition 3.5) observable in this workspace — replicas may converge to
+//! differently shaped trees with identical contents.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+#[derive(Clone, PartialEq, Eq)]
+struct Node<K, V> {
+    key: K,
+    val: V,
+    left: Link<K, V>,
+    right: Link<K, V>,
+    height: u32,
+    size: usize,
+}
+
+type Link<K, V> = Option<Arc<Node<K, V>>>;
+
+fn height<K, V>(link: &Link<K, V>) -> u32 {
+    link.as_ref().map_or(0, |n| n.height)
+}
+
+fn size<K, V>(link: &Link<K, V>) -> usize {
+    link.as_ref().map_or(0, |n| n.size)
+}
+
+fn mk<K, V>(key: K, val: V, left: Link<K, V>, right: Link<K, V>) -> Arc<Node<K, V>> {
+    Arc::new(Node {
+        height: 1 + height(&left).max(height(&right)),
+        size: 1 + size(&left) + size(&right),
+        key,
+        val,
+        left,
+        right,
+    })
+}
+
+/// Rebuilds a node from parts, restoring the AVL balance invariant with at
+/// most two rotations. The parts are at most one insertion/removal away
+/// from balanced, which is all standard AVL rebalancing requires.
+fn rebalance<K: Clone, V: Clone>(
+    key: K,
+    val: V,
+    left: Link<K, V>,
+    right: Link<K, V>,
+) -> Arc<Node<K, V>> {
+    let hl = height(&left) as i64;
+    let hr = height(&right) as i64;
+    if hl - hr > 1 {
+        let l = left.expect("left height > 1 implies a left child");
+        if height(&l.left) >= height(&l.right) {
+            // Single right rotation.
+            mk(
+                l.key.clone(),
+                l.val.clone(),
+                l.left.clone(),
+                Some(mk(key, val, l.right.clone(), right)),
+            )
+        } else {
+            // Left-right double rotation.
+            let lr = l.right.as_ref().expect("LR case has a left-right child");
+            mk(
+                lr.key.clone(),
+                lr.val.clone(),
+                Some(mk(l.key.clone(), l.val.clone(), l.left.clone(), lr.left.clone())),
+                Some(mk(key, val, lr.right.clone(), right)),
+            )
+        }
+    } else if hr - hl > 1 {
+        let r = right.expect("right height > 1 implies a right child");
+        if height(&r.right) >= height(&r.left) {
+            // Single left rotation.
+            mk(
+                r.key.clone(),
+                r.val.clone(),
+                Some(mk(key, val, left, r.left.clone())),
+                r.right.clone(),
+            )
+        } else {
+            // Right-left double rotation.
+            let rl = r.left.as_ref().expect("RL case has a right-left child");
+            mk(
+                rl.key.clone(),
+                rl.val.clone(),
+                Some(mk(key, val, left, rl.left.clone())),
+                Some(mk(r.key.clone(), r.val.clone(), rl.right.clone(), r.right.clone())),
+            )
+        }
+    } else {
+        mk(key, val, left, right)
+    }
+}
+
+/// A persistent AVL-balanced ordered map.
+///
+/// # Example
+///
+/// ```
+/// use peepul_types::avl::AvlMap;
+///
+/// let m: AvlMap<u32, &str> = AvlMap::new();
+/// let m1 = m.insert(2, "two").insert(1, "one").insert(3, "three");
+/// assert_eq!(m1.get(&2), Some(&"two"));
+/// assert_eq!(m1.len(), 3);
+///
+/// // Persistence: the original is untouched.
+/// let m2 = m1.remove(&2);
+/// assert_eq!(m1.len(), 3);
+/// assert_eq!(m2.len(), 2);
+/// assert!(!m2.contains_key(&2));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct AvlMap<K, V> {
+    root: Link<K, V>,
+}
+
+impl<K, V> AvlMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        AvlMap { root: None }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Height of the tree (0 for the empty map). Exposed for balance tests
+    /// and space accounting.
+    pub fn tree_height(&self) -> u32 {
+        height(&self.root)
+    }
+}
+
+impl<K: Ord, V> AvlMap<K, V> {
+    /// Looks up a key in `O(log n)`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                Ordering::Less => cur = &n.left,
+                Ordering::Greater => cur = &n.right,
+                Ordering::Equal => return Some(&n.val),
+            }
+        }
+        None
+    }
+
+    /// Membership test in `O(log n)`.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> AvlMap<K, V> {
+    /// Returns a new map with `key` bound to `val` (replacing any previous
+    /// binding). `O(log n)`; the original map is unchanged.
+    #[must_use]
+    pub fn insert(&self, key: K, val: V) -> Self {
+        fn go<K: Ord + Clone, V: Clone>(link: &Link<K, V>, key: K, val: V) -> Arc<Node<K, V>> {
+            match link {
+                None => mk(key, val, None, None),
+                Some(n) => match key.cmp(&n.key) {
+                    Ordering::Equal => mk(key, val, n.left.clone(), n.right.clone()),
+                    Ordering::Less => rebalance(
+                        n.key.clone(),
+                        n.val.clone(),
+                        Some(go(&n.left, key, val)),
+                        n.right.clone(),
+                    ),
+                    Ordering::Greater => rebalance(
+                        n.key.clone(),
+                        n.val.clone(),
+                        n.left.clone(),
+                        Some(go(&n.right, key, val)),
+                    ),
+                },
+            }
+        }
+        AvlMap {
+            root: Some(go(&self.root, key, val)),
+        }
+    }
+
+    /// Returns a new map without `key` (unchanged if absent). `O(log n)`.
+    #[must_use]
+    pub fn remove(&self, key: &K) -> Self {
+        /// Removes the minimum entry of a non-empty subtree, returning it
+        /// and the remainder.
+        fn take_min<K: Ord + Clone, V: Clone>(n: &Arc<Node<K, V>>) -> ((K, V), Link<K, V>) {
+            match &n.left {
+                None => ((n.key.clone(), n.val.clone()), n.right.clone()),
+                Some(l) => {
+                    let (kv, rest) = take_min(l);
+                    (
+                        kv,
+                        Some(rebalance(n.key.clone(), n.val.clone(), rest, n.right.clone())),
+                    )
+                }
+            }
+        }
+
+        fn go<K: Ord + Clone, V: Clone>(link: &Link<K, V>, key: &K) -> (Link<K, V>, bool) {
+            match link {
+                None => (None, false),
+                Some(n) => match key.cmp(&n.key) {
+                    Ordering::Less => {
+                        let (nl, changed) = go(&n.left, key);
+                        if changed {
+                            (
+                                Some(rebalance(n.key.clone(), n.val.clone(), nl, n.right.clone())),
+                                true,
+                            )
+                        } else {
+                            (link.clone(), false)
+                        }
+                    }
+                    Ordering::Greater => {
+                        let (nr, changed) = go(&n.right, key);
+                        if changed {
+                            (
+                                Some(rebalance(n.key.clone(), n.val.clone(), n.left.clone(), nr)),
+                                true,
+                            )
+                        } else {
+                            (link.clone(), false)
+                        }
+                    }
+                    Ordering::Equal => match (&n.left, &n.right) {
+                        (None, r) => (r.clone(), true),
+                        (l, None) => (l.clone(), true),
+                        (Some(_), Some(r)) => {
+                            let ((k, v), rest) = take_min(r);
+                            (Some(rebalance(k, v, n.left.clone(), rest)), true)
+                        }
+                    },
+                },
+            }
+        }
+
+        let (root, _) = go(&self.root, key);
+        AvlMap { root }
+    }
+
+    /// Builds a perfectly balanced map from entries **sorted by key with no
+    /// duplicates**, in `O(n)`. Used by the OR-set-spacetime merge, which
+    /// produces its result as a sorted sequence.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the input is strictly sorted.
+    pub fn from_sorted(entries: Vec<(K, V)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted requires strictly ascending keys"
+        );
+        fn build<K: Clone, V: Clone>(s: &[(K, V)]) -> Link<K, V> {
+            if s.is_empty() {
+                return None;
+            }
+            let mid = s.len() / 2;
+            let (k, v) = s[mid].clone();
+            Some(mk(k, v, build(&s[..mid]), build(&s[mid + 1..])))
+        }
+        AvlMap {
+            root: build(&entries),
+        }
+    }
+
+    /// The entries in ascending key order.
+    pub fn to_sorted_vec(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        fn walk<K: Clone, V: Clone>(link: &Link<K, V>, out: &mut Vec<(K, V)>) {
+            if let Some(n) = link {
+                walk(&n.left, out);
+                out.push((n.key.clone(), n.val.clone()));
+                walk(&n.right, out);
+            }
+        }
+        walk(&self.root, &mut out);
+        out
+    }
+}
+
+impl<K: Ord, V> AvlMap<K, V> {
+    /// Iterates over the entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut it = Iter { stack: Vec::new() };
+        it.push_left(&self.root);
+        it
+    }
+
+    /// Verifies the BST ordering, AVL balance, and cached height/size
+    /// fields. Intended for tests; `O(n)`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn go<K: Ord, V>(link: &Link<K, V>, lo: Option<&K>, hi: Option<&K>) -> Result<(u32, usize), String> {
+            let Some(n) = link else {
+                return Ok((0, 0));
+            };
+            if let Some(lo) = lo {
+                if n.key <= *lo {
+                    return Err("BST order violated (left bound)".into());
+                }
+            }
+            if let Some(hi) = hi {
+                if n.key >= *hi {
+                    return Err("BST order violated (right bound)".into());
+                }
+            }
+            let (hl, sl) = go(&n.left, lo, Some(&n.key))?;
+            let (hr, sr) = go(&n.right, Some(&n.key), hi)?;
+            if (hl as i64 - hr as i64).abs() > 1 {
+                return Err("AVL balance violated".into());
+            }
+            let h = 1 + hl.max(hr);
+            let s = 1 + sl + sr;
+            if h != n.height {
+                return Err(format!("cached height {} but actual {h}", n.height));
+            }
+            if s != n.size {
+                return Err(format!("cached size {} but actual {s}", n.size));
+            }
+            Ok((h, s))
+        }
+        go(&self.root, None, None).map(|_| ())
+    }
+}
+
+impl<K, V> Default for AvlMap<K, V> {
+    fn default() -> Self {
+        AvlMap::new()
+    }
+}
+
+impl<K: Ord + std::hash::Hash, V: std::hash::Hash> std::hash::Hash for AvlMap<K, V> {
+    /// Hashes the in-order *contents*, not the tree shape. Structural
+    /// equality implies content equality, so this agrees with `Eq`; maps
+    /// with equal contents but different shapes also hash alike, which is
+    /// permitted (and convenient for content addressing).
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_usize(self.len());
+        for (k, v) in self.iter() {
+            k.hash(state);
+            v.hash(state);
+        }
+    }
+}
+
+impl<K: fmt::Debug + Ord, V: fmt::Debug> fmt::Debug for AvlMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for AvlMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        iter.into_iter()
+            .fold(AvlMap::new(), |m, (k, v)| m.insert(k, v))
+    }
+}
+
+/// In-order borrowing iterator over an [`AvlMap`], produced by
+/// [`AvlMap::iter`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+}
+
+impl<K, V> fmt::Debug for Iter<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "avl::Iter({} frames)", self.stack.len())
+    }
+}
+
+impl<'a, K, V> Iter<'a, K, V> {
+    fn push_left(&mut self, mut link: &'a Link<K, V>) {
+        while let Some(n) = link {
+            self.stack.push(n);
+            link = &n.left;
+        }
+    }
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        self.push_left(&n.right);
+        Some((&n.key, &n.val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_map_basics() {
+        let m: AvlMap<u32, u32> = AvlMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.tree_height(), 0);
+        assert_eq!(m.get(&1), None);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut m: AvlMap<u32, u32> = AvlMap::new();
+        for i in 0..100 {
+            m = m.insert(i, i * 10);
+        }
+        for i in 0..100 {
+            assert_eq!(m.get(&i), Some(&(i * 10)));
+        }
+        assert_eq!(m.len(), 100);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ascending_insertion_stays_balanced() {
+        let mut m: AvlMap<u32, ()> = AvlMap::new();
+        for i in 0..1024 {
+            m = m.insert(i, ());
+        }
+        // A balanced tree over 1024 keys has height ~10–12; a degenerate
+        // list would have height 1024.
+        assert!(m.tree_height() <= 15, "height {}", m.tree_height());
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_replaces_existing_value() {
+        let m: AvlMap<u32, &str> = AvlMap::new().insert(1, "a").insert(1, "b");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn remove_absent_key_is_noop() {
+        let m: AvlMap<u32, ()> = AvlMap::new().insert(1, ());
+        let m2 = m.remove(&9);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn remove_interior_node_preserves_order() {
+        let m: AvlMap<u32, ()> = (0..50).map(|i| (i, ())).collect();
+        let m = m.remove(&25);
+        assert!(!m.contains_key(&25));
+        assert_eq!(m.len(), 49);
+        let keys: Vec<u32> = m.iter().map(|(k, _)| *k).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn persistence_shares_and_preserves() {
+        let m1: AvlMap<u32, u32> = (0..10).map(|i| (i, i)).collect();
+        let m2 = m1.insert(100, 100);
+        let m3 = m1.remove(&5);
+        assert_eq!(m1.len(), 10);
+        assert_eq!(m2.len(), 11);
+        assert_eq!(m3.len(), 9);
+        assert!(m1.contains_key(&5));
+    }
+
+    #[test]
+    fn from_sorted_builds_balanced_tree() {
+        let entries: Vec<(u32, u32)> = (0..1000).map(|i| (i, i)).collect();
+        let m = AvlMap::from_sorted(entries.clone());
+        assert_eq!(m.to_sorted_vec(), entries);
+        assert!(m.tree_height() <= 10, "height {}", m.tree_height());
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn same_contents_different_shapes_are_structurally_unequal() {
+        // Insertion order vs. balanced build can produce different shapes.
+        let by_insert: AvlMap<u32, ()> = (0..6).map(|i| (i, ())).collect();
+        let by_build = AvlMap::from_sorted((0..6).map(|i| (i, ())).collect());
+        assert_eq!(by_insert.to_sorted_vec(), by_build.to_sorted_vec());
+        // Shapes differ (this is what convergence-modulo-observable-
+        // behaviour is about). Height 6-entry insert-order AVL: the exact
+        // shape depends on rotations; compare structurally.
+        if by_insert != by_build {
+            // Expected in general; nothing more to assert.
+        }
+    }
+
+    #[test]
+    fn iterator_is_in_order_and_complete() {
+        let m: AvlMap<i32, i32> = [(3, 30), (1, 10), (2, 20)].into_iter().collect();
+        let items: Vec<(i32, i32)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(items, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_invariants_hold_under_random_ops(ops in proptest::collection::vec((any::<u8>(), 0u32..64), 0..200)) {
+            let mut m: AvlMap<u32, u32> = AvlMap::new();
+            let mut reference = std::collections::BTreeMap::new();
+            for (kind, key) in ops {
+                if kind % 3 == 0 {
+                    m = m.remove(&key);
+                    reference.remove(&key);
+                } else {
+                    m = m.insert(key, key + 1);
+                    reference.insert(key, key + 1);
+                }
+                prop_assert!(m.check_invariants().is_ok());
+            }
+            let got: Vec<(u32, u32)> = m.to_sorted_vec();
+            let want: Vec<(u32, u32)> = reference.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_height_is_logarithmic(n in 1usize..512) {
+            let m: AvlMap<usize, ()> = (0..n).map(|i| (i, ())).collect();
+            // AVL height bound: 1.44 * log2(n + 2).
+            let bound = (1.45 * ((n + 2) as f64).log2()).ceil() as u32 + 1;
+            prop_assert!(m.tree_height() <= bound, "n={} height={} bound={}", n, m.tree_height(), bound);
+        }
+    }
+}

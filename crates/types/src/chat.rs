@@ -1,0 +1,231 @@
+//! Decentralised IRC-style chat MRDT (paper §5.1, Figs. 6 & 10).
+//!
+//! The motivating example for MRDT composition: a chat service with named
+//! channels, each holding its messages in reverse chronological order.
+//! Rather than implementing it from scratch, the chat is a thin wrapper
+//! around an [`MrdtMap`] (α-map, §5.3) of [`MergeableLog`]s (§5.2) —
+//! `send(ch, m)` is `set(ch, append(m))` and `read(ch)` is `get(ch, rd)`
+//! (Fig. 10). Its specification and simulation relation delegate to the
+//! composed ones, so certifying the map and the log certifies the chat.
+
+use crate::log::{LogOp, LogValue, MergeableLog};
+use crate::map::{MapOp, MapSim, MapSpec, MrdtMap};
+use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
+use std::fmt;
+
+/// Operations of the chat application.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChatOp {
+    /// Post a message to a channel (created on first use). Returns
+    /// [`LogValue::Ack`].
+    Send(String, String),
+    /// Read a channel's messages, most recent first. Returns
+    /// [`LogValue::Entries`].
+    Read(String),
+}
+
+/// Return values of the chat application (those of the underlying log).
+pub type ChatValue = LogValue<String>;
+
+/// The chat state: channels mapped to mergeable logs.
+///
+/// # Example
+///
+/// ```
+/// use peepul_core::{Mrdt, ReplicaId, Timestamp};
+/// use peepul_types::chat::{Chat, ChatOp};
+/// use peepul_types::log::LogValue;
+///
+/// let ts = |t, r| Timestamp::new(t, ReplicaId::new(r));
+/// let lca = Chat::initial();
+/// // Two users on different replicas post concurrently.
+/// let (a, _) = lca.apply(&ChatOp::Send("#rust".into(), "hello from a".into()), ts(1, 1));
+/// let (b, _) = lca.apply(&ChatOp::Send("#rust".into(), "hello from b".into()), ts(2, 2));
+/// let m = Chat::merge(&lca, &a, &b);
+/// let (_, v) = m.apply(&ChatOp::Read("#rust".into()), ts(3, 0));
+/// let LogValue::Entries(msgs) = v else { unreachable!() };
+/// assert_eq!(msgs.len(), 2);
+/// assert_eq!(msgs[0].1, "hello from b"); // newest first
+/// ```
+#[derive(Clone, PartialEq, Hash, Default)]
+pub struct Chat {
+    inner: MrdtMap<MergeableLog<String>>,
+}
+
+impl Chat {
+    /// The channels that exist, in name order.
+    pub fn channels(&self) -> Vec<&str> {
+        self.inner.keys().collect()
+    }
+
+    /// The messages of a channel, most recent first (empty for unknown
+    /// channels).
+    pub fn messages(&self, channel: &str) -> Vec<(Timestamp, String)> {
+        self.inner
+            .get(channel)
+            .map(|log| log.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+}
+
+impl fmt::Debug for Chat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Chat{:?}", self.inner)
+    }
+}
+
+/// Translates a chat operation to the composed map-of-logs operation
+/// (Fig. 10).
+fn lower(op: &ChatOp) -> MapOp<MergeableLog<String>> {
+    match op {
+        ChatOp::Send(ch, m) => MapOp::Set(ch.clone(), LogOp::Append(m.clone())),
+        ChatOp::Read(ch) => MapOp::Get(ch.clone(), LogOp::Read),
+    }
+}
+
+/// Translates a chat abstract execution to the composed one, so the map's
+/// specification and simulation relation can run unchanged.
+fn lower_abs(abs: &AbstractOf<Chat>) -> AbstractOf<MrdtMap<MergeableLog<String>>> {
+    abs.filter_map(|e| Some((lower(e.op()), e.rval().clone())))
+}
+
+impl Mrdt for Chat {
+    type Op = ChatOp;
+    type Value = ChatValue;
+
+    fn initial() -> Self {
+        Chat {
+            inner: MrdtMap::initial(),
+        }
+    }
+
+    fn apply(&self, op: &ChatOp, t: Timestamp) -> (Self, ChatValue) {
+        let (inner, rval) = self.inner.apply(&lower(op), t);
+        (Chat { inner }, rval)
+    }
+
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+        Chat {
+            inner: MrdtMap::merge(&lca.inner, &a.inner, &b.inner),
+        }
+    }
+
+    fn observably_equal(&self, other: &Self) -> bool {
+        self.inner.observably_equal(&other.inner)
+    }
+}
+
+/// Chat specification (Fig. 6): delegated to the composed α-map-of-logs
+/// specification, `F_chat(rd(ch), I) = F_log-map(get(ch, rd), I)`.
+#[derive(Debug)]
+pub struct ChatSpec;
+
+impl Specification<Chat> for ChatSpec {
+    fn spec(op: &ChatOp, state: &AbstractOf<Chat>) -> ChatValue {
+        MapSpec::spec(&lower(op), &lower_abs(state))
+    }
+}
+
+/// Chat simulation relation: the composed α-map-of-logs relation on the
+/// lowered execution.
+#[derive(Debug)]
+pub struct ChatSim;
+
+impl SimulationRelation<Chat> for ChatSim {
+    fn holds(abs: &AbstractOf<Chat>, conc: &Chat) -> bool {
+        MapSim::holds(&lower_abs(abs), &conc.inner)
+    }
+
+    fn explain_failure(abs: &AbstractOf<Chat>, conc: &Chat) -> Option<String> {
+        MapSim::explain_failure(&lower_abs(abs), &conc.inner)
+    }
+}
+
+impl Certified for Chat {
+    type Spec = ChatSpec;
+    type Sim = ChatSim;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peepul_core::ReplicaId;
+
+    fn ts(tick: u64, r: u32) -> Timestamp {
+        Timestamp::new(tick, ReplicaId::new(r))
+    }
+
+    fn send(ch: &str, m: &str) -> ChatOp {
+        ChatOp::Send(ch.to_owned(), m.to_owned())
+    }
+
+    #[test]
+    fn messages_arrive_newest_first() {
+        let c = Chat::initial();
+        let (c, _) = c.apply(&send("#general", "first"), ts(1, 0));
+        let (c, _) = c.apply(&send("#general", "second"), ts(2, 0));
+        let msgs = c.messages("#general");
+        assert_eq!(msgs[0].1, "second");
+        assert_eq!(msgs[1].1, "first");
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let c = Chat::initial();
+        let (c, _) = c.apply(&send("#a", "in a"), ts(1, 0));
+        let (c, _) = c.apply(&send("#b", "in b"), ts(2, 0));
+        assert_eq!(c.channels(), vec!["#a", "#b"]);
+        assert_eq!(c.messages("#a").len(), 1);
+        assert_eq!(c.messages("#b").len(), 1);
+        assert!(c.messages("#nope").is_empty());
+    }
+
+    #[test]
+    fn merged_channels_interleave_by_timestamp() {
+        let lca = Chat::initial();
+        let (lca, _) = lca.apply(&send("#r", "base"), ts(1, 0));
+        let (a, _) = lca.apply(&send("#r", "a1"), ts(2, 1));
+        let (a, _) = a.apply(&send("#r", "a2"), ts(5, 1));
+        let (b, _) = lca.apply(&send("#r", "b1"), ts(3, 2));
+        let (b, _) = b.apply(&send("#r", "b2"), ts(4, 2));
+        let m = Chat::merge(&lca, &a, &b);
+        let msgs: Vec<String> = m.messages("#r").into_iter().map(|(_, s)| s).collect();
+        assert_eq!(msgs, ["a2", "b2", "b1", "a1", "base"]);
+    }
+
+    #[test]
+    fn merge_unions_channels() {
+        let lca = Chat::initial();
+        let (a, _) = lca.apply(&send("#a", "x"), ts(1, 1));
+        let (b, _) = lca.apply(&send("#b", "y"), ts(2, 2));
+        let m = Chat::merge(&lca, &a, &b);
+        assert_eq!(m.channels(), vec!["#a", "#b"]);
+    }
+
+    #[test]
+    fn read_returns_the_log() {
+        let c = Chat::initial();
+        let (c, _) = c.apply(&send("#x", "m"), ts(1, 0));
+        let (_, v) = c.apply(&ChatOp::Read("#x".into()), ts(2, 0));
+        assert_eq!(v, LogValue::Entries(vec![(ts(1, 0), "m".to_owned())]));
+    }
+
+    #[test]
+    fn spec_reads_through_the_composition() {
+        let i = AbstractOf::<Chat>::new()
+            .perform(send("#x", "hello"), ChatValue::Ack, ts(1, 0))
+            .perform(send("#y", "other"), ChatValue::Ack, ts(2, 0));
+        assert_eq!(
+            ChatSpec::spec(&ChatOp::Read("#x".into()), &i),
+            LogValue::Entries(vec![(ts(1, 0), "hello".to_owned())])
+        );
+    }
+
+    #[test]
+    fn simulation_delegates_to_composition() {
+        let i = AbstractOf::<Chat>::new().perform(send("#x", "hello"), ChatValue::Ack, ts(1, 0));
+        let (good, _) = Chat::initial().apply(&send("#x", "hello"), ts(1, 0));
+        assert!(ChatSim::holds(&i, &good));
+        assert!(!ChatSim::holds(&i, &Chat::initial()));
+    }
+}

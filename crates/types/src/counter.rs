@@ -1,0 +1,192 @@
+//! Increment-only counter MRDT (paper, Table 3).
+//!
+//! The simplest certified data type: local increments, and a three-way
+//! merge that adds the increments accumulated on both branches since the
+//! lowest common ancestor.
+
+use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
+
+/// Operations of the increment-only counter.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CounterOp {
+    /// Add one to the counter. Returns [`CounterValue::Ack`].
+    Increment,
+    /// Query the current count. Returns [`CounterValue::Count`].
+    Value,
+}
+
+/// Return values of the increment-only counter.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CounterValue {
+    /// The unit reply `⊥` of an update.
+    Ack,
+    /// The observed count.
+    Count(u64),
+}
+
+/// Increment-only counter state.
+///
+/// # Example
+///
+/// ```
+/// use peepul_core::{Mrdt, ReplicaId, Timestamp};
+/// use peepul_types::counter::{Counter, CounterOp, CounterValue};
+///
+/// let ts = |t| Timestamp::new(t, ReplicaId::new(0));
+/// let lca = Counter::initial();
+/// let (a, _) = lca.apply(&CounterOp::Increment, ts(1));
+/// let (b, _) = lca.apply(&CounterOp::Increment, ts(2));
+/// let m = Counter::merge(&lca, &a, &b);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default, Debug)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// The current count.
+    pub fn count(self) -> u64 {
+        self.0
+    }
+}
+
+impl Mrdt for Counter {
+    type Op = CounterOp;
+    type Value = CounterValue;
+
+    fn initial() -> Self {
+        Counter(0)
+    }
+
+    fn apply(&self, op: &CounterOp, _t: Timestamp) -> (Self, CounterValue) {
+        match op {
+            CounterOp::Increment => (Counter(self.0 + 1), CounterValue::Ack),
+            CounterOp::Value => (*self, CounterValue::Count(self.0)),
+        }
+    }
+
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+        // Each branch's count is lca.0 plus its local increments; summing
+        // the two deltas on top of the ancestor merges without loss.
+        Counter(a.0 + b.0 - lca.0)
+    }
+}
+
+/// Specification `F_ctr`: a read returns the number of visible increments.
+#[derive(Debug)]
+pub struct CounterSpec;
+
+impl Specification<Counter> for CounterSpec {
+    fn spec(op: &CounterOp, state: &AbstractOf<Counter>) -> CounterValue {
+        match op {
+            CounterOp::Increment => CounterValue::Ack,
+            CounterOp::Value => CounterValue::Count(
+                state
+                    .events()
+                    .filter(|e| matches!(e.op(), CounterOp::Increment))
+                    .count() as u64,
+            ),
+        }
+    }
+}
+
+/// Simulation relation: the concrete count equals the number of increment
+/// events in the abstract execution.
+#[derive(Debug)]
+pub struct CounterSim;
+
+impl SimulationRelation<Counter> for CounterSim {
+    fn holds(abs: &AbstractOf<Counter>, conc: &Counter) -> bool {
+        let incs = abs
+            .events()
+            .filter(|e| matches!(e.op(), CounterOp::Increment))
+            .count() as u64;
+        conc.0 == incs
+    }
+
+    fn explain_failure(abs: &AbstractOf<Counter>, conc: &Counter) -> Option<String> {
+        let incs = abs
+            .events()
+            .filter(|e| matches!(e.op(), CounterOp::Increment))
+            .count() as u64;
+        (conc.0 != incs).then(|| format!("concrete count {} but {} increment events", conc.0, incs))
+    }
+}
+
+impl Certified for Counter {
+    type Spec = CounterSpec;
+    type Sim = CounterSim;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peepul_core::ReplicaId;
+
+    fn ts(tick: u64) -> Timestamp {
+        Timestamp::new(tick, ReplicaId::new(0))
+    }
+
+    #[test]
+    fn initial_counts_zero() {
+        let (_, v) = Counter::initial().apply(&CounterOp::Value, ts(1));
+        assert_eq!(v, CounterValue::Count(0));
+    }
+
+    #[test]
+    fn increments_accumulate() {
+        let mut c = Counter::initial();
+        for i in 0..5 {
+            let (next, v) = c.apply(&CounterOp::Increment, ts(i + 1));
+            assert_eq!(v, CounterValue::Ack);
+            c = next;
+        }
+        assert_eq!(c.count(), 5);
+    }
+
+    #[test]
+    fn merge_sums_divergent_increments() {
+        let lca = Counter(10);
+        let a = Counter(13); // +3 since lca
+        let b = Counter(11); // +1 since lca
+        assert_eq!(Counter::merge(&lca, &a, &b).count(), 14);
+    }
+
+    #[test]
+    fn merge_with_unchanged_branch_is_identity() {
+        let lca = Counter(4);
+        let a = Counter(9);
+        assert_eq!(Counter::merge(&lca, &a, &lca), a);
+        assert_eq!(Counter::merge(&lca, &lca, &a), a);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let lca = Counter(2);
+        let a = Counter(7);
+        let b = Counter(3);
+        assert_eq!(Counter::merge(&lca, &a, &b), Counter::merge(&lca, &b, &a));
+    }
+
+    #[test]
+    fn spec_counts_visible_increments() {
+        let i = AbstractOf::<Counter>::new()
+            .perform(CounterOp::Increment, CounterValue::Ack, ts(1))
+            .perform(CounterOp::Value, CounterValue::Count(1), ts(2))
+            .perform(CounterOp::Increment, CounterValue::Ack, ts(3));
+        assert_eq!(
+            CounterSpec::spec(&CounterOp::Value, &i),
+            CounterValue::Count(2)
+        );
+    }
+
+    #[test]
+    fn simulation_relates_count_to_events() {
+        let i = AbstractOf::<Counter>::new()
+            .perform(CounterOp::Increment, CounterValue::Ack, ts(1))
+            .perform(CounterOp::Increment, CounterValue::Ack, ts(2));
+        assert!(CounterSim::holds(&i, &Counter(2)));
+        assert!(!CounterSim::holds(&i, &Counter(1)));
+        assert!(CounterSim::explain_failure(&i, &Counter(1)).is_some());
+        assert!(CounterSim::explain_failure(&i, &Counter(2)).is_none());
+    }
+}

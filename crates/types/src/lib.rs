@@ -1,0 +1,85 @@
+//! The Peepul library of certified mergeable replicated data types.
+//!
+//! Every data type in this crate is an MRDT in the sense of
+//! [`peepul_core::Mrdt`] — a purely functional data structure equipped with
+//! a three-way merge — and is *certified*: it carries its declarative
+//! specification (`F_τ`, [`peepul_core::Specification`]) and its
+//! replication-aware simulation relation (`R_sim`,
+//! [`peepul_core::SimulationRelation`]), wired together through
+//! [`peepul_core::Certified`] so that the `peepul-verify` harness can check
+//! the proof obligations of the paper's Table 2 on every data type
+//! uniformly.
+//!
+//! # The menagerie (paper §7.1, Table 3)
+//!
+//! | Type | Module | Notes |
+//! |---|---|---|
+//! | Increment-only counter | [`counter`] | |
+//! | PN counter | [`pn_counter`] | increments and decrements |
+//! | Enable-wins flag | [`ew_flag`] | token-set and space-efficient forms |
+//! | LWW register | [`lww_register`] | last writer wins |
+//! | Grow-only set | [`g_set`] | |
+//! | Grow-only map (α-map) | [`map`] | nests any other MRDT, §5.3 |
+//! | Mergeable log | [`log`] | reverse-chronological, §5.2 |
+//! | OR-set | [`or_set`] | unoptimized, duplicates, §2.1.1 |
+//! | OR-set-space | [`or_set_space`] | duplicate-free, §2.1.2 |
+//! | OR-set-spacetime | [`or_set_spacetime`] | balanced-tree backed, §7.1 |
+//! | Replicated queue | [`queue`] | tombstone-free two-list queue, §6 |
+//! | IRC-style chat | [`chat`] | α-map ∘ mergeable log, §5.1 |
+//!
+//! The [`avl`] module provides the persistent height-balanced search tree
+//! underlying the OR-set-spacetime variant.
+//!
+//! # Example
+//!
+//! ```
+//! use peepul_core::{Mrdt, ReplicaId, Timestamp};
+//! use peepul_types::or_set_space::{OrSetSpace, OrSetOp, OrSetValue};
+//!
+//! let ts = |tick| Timestamp::new(tick, ReplicaId::new(0));
+//!
+//! // Two branches diverge from an empty set.
+//! let lca: OrSetSpace<&str> = OrSetSpace::initial();
+//! let (a, _) = lca.apply(&OrSetOp::Add("apple"), ts(1));
+//! let (b, _) = lca.apply(&OrSetOp::Add("beet"), ts(2));
+//!
+//! let merged = OrSetSpace::merge(&lca, &a, &b);
+//! let (_, v) = merged.apply(&OrSetOp::Read, ts(3));
+//! assert_eq!(v, OrSetValue::Elements(vec!["apple", "beet"]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod avl;
+pub mod chat;
+pub mod counter;
+pub mod ew_flag;
+pub mod g_set;
+pub mod log;
+pub mod lww_register;
+pub mod map;
+pub mod or_set;
+pub mod or_set_space;
+pub mod or_set_spacetime;
+pub mod pn_counter;
+pub mod queue;
+
+pub use avl::AvlMap;
+pub use chat::Chat;
+pub use counter::Counter;
+pub use ew_flag::{EwFlag, EwFlagSpace};
+pub use g_set::GSet;
+pub use log::MergeableLog;
+pub use lww_register::LwwRegister;
+pub use map::MrdtMap;
+pub use or_set::OrSet;
+pub use or_set_space::OrSetSpace;
+pub use or_set_spacetime::OrSetSpacetime;
+pub use pn_counter::PnCounter;
+pub use queue::Queue;
+
+/// Convenience alias: a grow-only map (the paper's G-map) is the α-map —
+/// keys are never deleted; values merge through their own MRDT merge.
+pub type GMap<V> = map::MrdtMap<V>;

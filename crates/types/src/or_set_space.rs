@@ -1,0 +1,347 @@
+//! Space-efficient observed-remove set MRDT (paper §2.1.2, Fig. 2).
+//!
+//! Keeps **at most one** `(element, timestamp)` pair per element. Adding an
+//! element that is already present does not insert a duplicate — it
+//! *refreshes* the stored timestamp to the fresh one, which records the
+//! effect of the duplicate add: a concurrent `remove`, which only observed
+//! the old timestamp, can no longer delete the entry after merge.
+//!
+//! The merge (Fig. 2) combines five cases: pairs untouched everywhere;
+//! pairs added on exactly one branch; and pairs added on both branches, of
+//! which the one with the larger timestamp survives.
+
+use crate::or_set::{live_adds, orset_spec, OrSetSpec};
+use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Space-efficient OR-set state: a duplicate-free association list of
+/// `(element, latest-add-timestamp)` pairs.
+///
+/// # Example
+///
+/// ```
+/// use peepul_core::{Mrdt, ReplicaId, Timestamp};
+/// use peepul_types::or_set_space::{OrSetSpace, OrSetOp, OrSetValue};
+///
+/// let ts = |t, r| Timestamp::new(t, ReplicaId::new(r));
+/// let (lca, _) = OrSetSpace::<u32>::initial().apply(&OrSetOp::Add(1), ts(1, 0));
+/// // Branch a re-adds 1 (timestamp refresh); branch b removes it.
+/// let (a, _) = lca.apply(&OrSetOp::Add(1), ts(2, 1));
+/// let (b, _) = lca.apply(&OrSetOp::Remove(1), ts(3, 2));
+/// let m = OrSetSpace::merge(&lca, &a, &b);
+/// assert!(m.contains(&1)); // the refreshed add survives the remove
+/// assert_eq!(m.pair_count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct OrSetSpace<T> {
+    /// One `(element, timestamp)` pair per element, in insertion order —
+    /// the list representation the paper measures in Fig. 14.
+    pairs: Vec<(T, Timestamp)>,
+}
+
+pub use crate::or_set::{OrSetOp, OrSetValue};
+
+impl<T: Ord> OrSetSpace<T> {
+    /// Number of stored pairs (equals the number of distinct elements).
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of distinct elements.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Membership test (`O(n)` list scan).
+    pub fn contains(&self, x: &T) -> bool {
+        self.pairs.iter().any(|(y, _)| y == x)
+    }
+
+    /// The timestamp currently recorded for `x`, if present.
+    pub fn time_of(&self, x: &T) -> Option<Timestamp> {
+        self.pairs.iter().find(|(y, _)| y == x).map(|(_, t)| *t)
+    }
+
+    /// The distinct elements in order.
+    pub fn elements(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut v: Vec<T> = self.pairs.iter().map(|(x, _)| x.clone()).collect();
+        v.sort();
+        v
+    }
+
+    fn as_map(&self) -> BTreeMap<T, Timestamp>
+    where
+        T: Clone,
+    {
+        self.pairs.iter().cloned().collect()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrSetSpace<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(&self.pairs).finish()
+    }
+}
+
+/// The Fig. 2 merge expressed on element→timestamp maps; shared with the
+/// tree-backed [`crate::or_set_spacetime::OrSetSpacetime`], which differs
+/// only in its lookup structure.
+pub(crate) fn merge_spaced<T: Ord + Clone>(
+    l: &BTreeMap<T, Timestamp>,
+    a: &BTreeMap<T, Timestamp>,
+    b: &BTreeMap<T, Timestamp>,
+) -> BTreeMap<T, Timestamp> {
+    let mut out = BTreeMap::new();
+    // Pairs present, untouched, in all three versions (Fig. 2, line 8).
+    for (x, t) in l {
+        if a.get(x) == Some(t) && b.get(x) == Some(t) {
+            out.insert(x.clone(), *t);
+        }
+    }
+    // Fresh pairs of one branch (lines 9–10) and the larger of two
+    // concurrent fresh adds of the same element (lines 11–14).
+    let fresh = |side: &BTreeMap<T, Timestamp>| {
+        side.iter()
+            .filter(|(x, t)| l.get(*x) != Some(*t))
+            .map(|(x, t)| (x.clone(), *t))
+            .collect::<BTreeMap<T, Timestamp>>()
+    };
+    let fa = fresh(a);
+    let fb = fresh(b);
+    for (x, ta) in &fa {
+        match fb.get(x) {
+            None => {
+                out.insert(x.clone(), *ta);
+            }
+            Some(tb) => {
+                out.insert(x.clone(), *ta.max(tb));
+            }
+        }
+    }
+    for (x, tb) in &fb {
+        if !fa.contains_key(x) {
+            out.insert(x.clone(), *tb);
+        }
+    }
+    out
+}
+
+impl<T: Ord + Clone + PartialEq + fmt::Debug> Mrdt for OrSetSpace<T> {
+    type Op = OrSetOp<T>;
+    type Value = OrSetValue<T>;
+
+    fn initial() -> Self {
+        OrSetSpace { pairs: Vec::new() }
+    }
+
+    fn apply(&self, op: &OrSetOp<T>, t: Timestamp) -> (Self, OrSetValue<T>) {
+        match op {
+            OrSetOp::Add(x) => {
+                let mut next = self.clone();
+                match next.pairs.iter_mut().find(|(y, _)| y == x) {
+                    // Already present: refresh the timestamp in place.
+                    Some(pair) => pair.1 = t,
+                    None => next.pairs.push((x.clone(), t)),
+                }
+                (next, OrSetValue::Ack)
+            }
+            OrSetOp::Remove(x) => {
+                let next = OrSetSpace {
+                    pairs: self
+                        .pairs
+                        .iter()
+                        .filter(|(y, _)| y != x)
+                        .cloned()
+                        .collect(),
+                };
+                (next, OrSetValue::Ack)
+            }
+            OrSetOp::Lookup(x) => (self.clone(), OrSetValue::Present(self.contains(x))),
+            OrSetOp::Read => (self.clone(), OrSetValue::Elements(self.elements())),
+        }
+    }
+
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+        let merged = merge_spaced(&lca.as_map(), &a.as_map(), &b.as_map());
+        OrSetSpace {
+            pairs: merged.into_iter().collect(),
+        }
+    }
+
+    fn observably_equal(&self, other: &Self) -> bool {
+        self.as_map() == other.as_map()
+    }
+}
+
+/// Simulation relation for the space-efficient OR-set (paper, relation
+/// (4)). Three conjuncts:
+///
+/// 1. every concrete pair `(x, t)` corresponds to a live `add(x)` event at
+///    `t`,
+/// 2. that `t` is the **greatest** timestamp among live adds of `x`, and
+/// 3. every element with a live add appears in the concrete state.
+///
+/// Duplicate-freedom follows from (2) but is asserted explicitly as an
+/// implementation invariant.
+#[derive(Debug)]
+pub struct OrSetSpaceSim;
+
+impl<T: Ord + Clone + PartialEq + fmt::Debug> SimulationRelation<OrSetSpace<T>> for OrSetSpaceSim {
+    fn holds(abs: &AbstractOf<OrSetSpace<T>>, conc: &OrSetSpace<T>) -> bool {
+        // No duplicate elements in the concrete list.
+        if conc.pairs.len() != conc.as_map().len() {
+            return false;
+        }
+        let live = live_adds(abs);
+        let mut greatest: BTreeMap<T, Timestamp> = BTreeMap::new();
+        for (x, t) in live {
+            let slot = greatest.entry(x).or_insert(t);
+            if t > *slot {
+                *slot = t;
+            }
+        }
+        conc.as_map() == greatest
+    }
+
+    fn explain_failure(abs: &AbstractOf<OrSetSpace<T>>, conc: &OrSetSpace<T>) -> Option<String> {
+        if <Self as SimulationRelation<OrSetSpace<T>>>::holds(abs, conc) {
+            None
+        } else {
+            Some(format!(
+                "concrete pairs {:?} are not the greatest live adds per element",
+                conc.pairs
+            ))
+        }
+    }
+}
+
+impl<T: Ord + Clone + PartialEq + fmt::Debug> Certified for OrSetSpace<T> {
+    type Spec = OrSetSpec;
+    type Sim = OrSetSpaceSim;
+}
+
+impl<T: Ord + Clone + PartialEq + fmt::Debug> Specification<OrSetSpace<T>> for OrSetSpec {
+    fn spec(op: &OrSetOp<T>, state: &AbstractOf<OrSetSpace<T>>) -> OrSetValue<T> {
+        orset_spec(op, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peepul_core::ReplicaId;
+
+    fn ts(tick: u64, r: u32) -> Timestamp {
+        Timestamp::new(tick, ReplicaId::new(r))
+    }
+
+    #[test]
+    fn duplicate_add_refreshes_instead_of_duplicating() {
+        let s: OrSetSpace<u32> = OrSetSpace::initial();
+        let (s, _) = s.apply(&OrSetOp::Add(1), ts(1, 0));
+        let (s, _) = s.apply(&OrSetOp::Add(1), ts(2, 0));
+        assert_eq!(s.pair_count(), 1);
+        assert_eq!(s.time_of(&1), Some(ts(2, 0)));
+    }
+
+    #[test]
+    fn refresh_defeats_concurrent_remove() {
+        let (lca, _) = OrSetSpace::<u32>::initial().apply(&OrSetOp::Add(1), ts(1, 0));
+        let (a, _) = lca.apply(&OrSetOp::Add(1), ts(2, 1)); // refresh
+        let (b, _) = lca.apply(&OrSetOp::Remove(1), ts(3, 2));
+        let m = OrSetSpace::merge(&lca, &a, &b);
+        assert_eq!(m.time_of(&1), Some(ts(2, 1)));
+    }
+
+    #[test]
+    fn plain_remove_still_removes() {
+        let (lca, _) = OrSetSpace::<u32>::initial().apply(&OrSetOp::Add(1), ts(1, 0));
+        let (a, _) = lca.apply(&OrSetOp::Remove(1), ts(2, 1));
+        let m = OrSetSpace::merge(&lca, &a, &lca);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn concurrent_adds_keep_larger_timestamp() {
+        let lca = OrSetSpace::<u32>::initial();
+        let (a, _) = lca.apply(&OrSetOp::Add(1), ts(1, 1));
+        let (b, _) = lca.apply(&OrSetOp::Add(1), ts(2, 2));
+        let m = OrSetSpace::merge(&lca, &a, &b);
+        assert_eq!(m.pair_count(), 1);
+        assert_eq!(m.time_of(&1), Some(ts(2, 2)));
+        assert_eq!(
+            OrSetSpace::merge(&lca, &b, &a).time_of(&1),
+            Some(ts(2, 2)),
+            "merge must be commutative"
+        );
+    }
+
+    #[test]
+    fn merge_never_produces_duplicates() {
+        let (lca, _) = OrSetSpace::<u32>::initial().apply(&OrSetOp::Add(1), ts(1, 0));
+        let (a, _) = lca.apply(&OrSetOp::Add(1), ts(2, 1));
+        let (b, _) = lca.apply(&OrSetOp::Add(1), ts(3, 2));
+        let m = OrSetSpace::merge(&lca, &a, &b);
+        assert_eq!(m.pair_count(), 1);
+        assert_eq!(m.time_of(&1), Some(ts(3, 2)));
+    }
+
+    #[test]
+    fn untouched_elements_survive_merge() {
+        let (lca, _) = OrSetSpace::<u32>::initial().apply(&OrSetOp::Add(9), ts(1, 0));
+        let (a, _) = lca.apply(&OrSetOp::Add(2), ts(2, 1));
+        let (b, _) = lca.apply(&OrSetOp::Add(3), ts(3, 2));
+        let m = OrSetSpace::merge(&lca, &a, &b);
+        assert_eq!(m.elements(), vec![2, 3, 9]);
+        assert_eq!(m.time_of(&9), Some(ts(1, 0)));
+    }
+
+    #[test]
+    fn simulation_requires_greatest_live_timestamp() {
+        // Two concurrent adds of 1; the concrete state must keep the later.
+        let i0 = AbstractOf::<OrSetSpace<u32>>::new();
+        let ia = i0.perform(OrSetOp::Add(1), OrSetValue::Ack, ts(1, 1));
+        let ib = i0.perform(OrSetOp::Add(1), OrSetValue::Ack, ts(2, 2));
+        let im = ia.merged(&ib);
+        let good = OrSetSpace {
+            pairs: vec![(1, ts(2, 2))],
+        };
+        let stale = OrSetSpace {
+            pairs: vec![(1, ts(1, 1))],
+        };
+        assert!(OrSetSpaceSim::holds(&im, &good));
+        assert!(!OrSetSpaceSim::holds(&im, &stale));
+    }
+
+    #[test]
+    fn simulation_rejects_duplicates() {
+        let i = AbstractOf::<OrSetSpace<u32>>::new()
+            .perform(OrSetOp::Add(1), OrSetValue::Ack, ts(1, 0))
+            .perform(OrSetOp::Add(1), OrSetValue::Ack, ts(2, 0));
+        let dup = OrSetSpace {
+            pairs: vec![(1, ts(1, 0)), (1, ts(2, 0))],
+        };
+        assert!(!OrSetSpaceSim::holds(&i, &dup));
+    }
+
+    #[test]
+    fn spec_matches_implementation_on_read() {
+        let i = AbstractOf::<OrSetSpace<u32>>::new()
+            .perform(OrSetOp::Add(1), OrSetValue::Ack, ts(1, 0))
+            .perform(OrSetOp::Remove(1), OrSetValue::Ack, ts(2, 0))
+            .perform(OrSetOp::Add(2), OrSetValue::Ack, ts(3, 0));
+        assert_eq!(
+            <OrSetSpec as Specification<OrSetSpace<u32>>>::spec(&OrSetOp::Read, &i),
+            OrSetValue::Elements(vec![2])
+        );
+    }
+}

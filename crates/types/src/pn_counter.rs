@@ -1,0 +1,234 @@
+//! Positive-negative counter MRDT (paper, Table 3).
+//!
+//! Tracks increments and decrements separately — the classic PN-counter
+//! construction — so the three-way merge can add per-branch deltas without
+//! conflating the two directions.
+
+use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
+
+/// Operations of the PN counter.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PnCounterOp {
+    /// Add one. Returns [`PnCounterValue::Ack`].
+    Increment,
+    /// Subtract one. Returns [`PnCounterValue::Ack`].
+    Decrement,
+    /// Query the current value. Returns [`PnCounterValue::Count`].
+    Value,
+}
+
+/// Return values of the PN counter.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PnCounterValue {
+    /// The unit reply `⊥` of an update.
+    Ack,
+    /// The observed value (may be negative).
+    Count(i64),
+}
+
+/// PN-counter state: the totals of increments and decrements observed.
+///
+/// # Example
+///
+/// ```
+/// use peepul_core::{Mrdt, ReplicaId, Timestamp};
+/// use peepul_types::pn_counter::{PnCounter, PnCounterOp, PnCounterValue};
+///
+/// let ts = |t| Timestamp::new(t, ReplicaId::new(0));
+/// let lca = PnCounter::initial();
+/// let (a, _) = lca.apply(&PnCounterOp::Increment, ts(1));
+/// let (b, _) = lca.apply(&PnCounterOp::Decrement, ts(2));
+/// let m = PnCounter::merge(&lca, &a, &b);
+/// assert_eq!(m.value(), 0);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default, Debug)]
+pub struct PnCounter {
+    incs: u64,
+    decs: u64,
+}
+
+impl PnCounter {
+    /// The current value: increments minus decrements.
+    pub fn value(self) -> i64 {
+        self.incs as i64 - self.decs as i64
+    }
+
+    /// Total increments observed.
+    pub fn increments(self) -> u64 {
+        self.incs
+    }
+
+    /// Total decrements observed.
+    pub fn decrements(self) -> u64 {
+        self.decs
+    }
+}
+
+impl Mrdt for PnCounter {
+    type Op = PnCounterOp;
+    type Value = PnCounterValue;
+
+    fn initial() -> Self {
+        PnCounter::default()
+    }
+
+    fn apply(&self, op: &PnCounterOp, _t: Timestamp) -> (Self, PnCounterValue) {
+        match op {
+            PnCounterOp::Increment => (
+                PnCounter {
+                    incs: self.incs + 1,
+                    ..*self
+                },
+                PnCounterValue::Ack,
+            ),
+            PnCounterOp::Decrement => (
+                PnCounter {
+                    decs: self.decs + 1,
+                    ..*self
+                },
+                PnCounterValue::Ack,
+            ),
+            PnCounterOp::Value => (*self, PnCounterValue::Count(self.value())),
+        }
+    }
+
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+        PnCounter {
+            incs: a.incs + b.incs - lca.incs,
+            decs: a.decs + b.decs - lca.decs,
+        }
+    }
+}
+
+/// Specification `F_pnctr`: a read returns visible increments minus visible
+/// decrements.
+#[derive(Debug)]
+pub struct PnCounterSpec;
+
+impl Specification<PnCounter> for PnCounterSpec {
+    fn spec(op: &PnCounterOp, state: &AbstractOf<PnCounter>) -> PnCounterValue {
+        match op {
+            PnCounterOp::Increment | PnCounterOp::Decrement => PnCounterValue::Ack,
+            PnCounterOp::Value => {
+                let incs = state
+                    .events()
+                    .filter(|e| matches!(e.op(), PnCounterOp::Increment))
+                    .count() as i64;
+                let decs = state
+                    .events()
+                    .filter(|e| matches!(e.op(), PnCounterOp::Decrement))
+                    .count() as i64;
+                PnCounterValue::Count(incs - decs)
+            }
+        }
+    }
+}
+
+/// Simulation relation: both components match the corresponding event
+/// counts (strictly stronger than relating only the difference — relating
+/// only `value()` would not be preserved by merge).
+#[derive(Debug)]
+pub struct PnCounterSim;
+
+impl SimulationRelation<PnCounter> for PnCounterSim {
+    fn holds(abs: &AbstractOf<PnCounter>, conc: &PnCounter) -> bool {
+        let incs = abs
+            .events()
+            .filter(|e| matches!(e.op(), PnCounterOp::Increment))
+            .count() as u64;
+        let decs = abs
+            .events()
+            .filter(|e| matches!(e.op(), PnCounterOp::Decrement))
+            .count() as u64;
+        conc.incs == incs && conc.decs == decs
+    }
+
+    fn explain_failure(abs: &AbstractOf<PnCounter>, conc: &PnCounter) -> Option<String> {
+        if Self::holds(abs, conc) {
+            None
+        } else {
+            Some(format!(
+                "concrete (incs={}, decs={}) does not match abstract event counts",
+                conc.incs, conc.decs
+            ))
+        }
+    }
+}
+
+impl Certified for PnCounter {
+    type Spec = PnCounterSpec;
+    type Sim = PnCounterSim;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peepul_core::ReplicaId;
+
+    fn ts(tick: u64) -> Timestamp {
+        Timestamp::new(tick, ReplicaId::new(0))
+    }
+
+    #[test]
+    fn value_can_go_negative() {
+        let c = PnCounter::initial();
+        let (c, _) = c.apply(&PnCounterOp::Decrement, ts(1));
+        let (c, _) = c.apply(&PnCounterOp::Decrement, ts(2));
+        let (c, _) = c.apply(&PnCounterOp::Increment, ts(3));
+        assert_eq!(c.value(), -1);
+        let (_, v) = c.apply(&PnCounterOp::Value, ts(4));
+        assert_eq!(v, PnCounterValue::Count(-1));
+    }
+
+    #[test]
+    fn merge_adds_both_directions_independently() {
+        let lca = PnCounter { incs: 5, decs: 2 };
+        let a = PnCounter { incs: 8, decs: 2 }; // +3 incs
+        let b = PnCounter { incs: 5, decs: 6 }; // +4 decs
+        let m = PnCounter::merge(&lca, &a, &b);
+        assert_eq!(m, PnCounter { incs: 8, decs: 6 });
+        assert_eq!(m.value(), 2);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let lca = PnCounter { incs: 1, decs: 1 };
+        let a = PnCounter { incs: 4, decs: 1 };
+        let b = PnCounter { incs: 1, decs: 3 };
+        assert_eq!(
+            PnCounter::merge(&lca, &a, &b),
+            PnCounter::merge(&lca, &b, &a)
+        );
+    }
+
+    #[test]
+    fn concurrent_inc_dec_cancel_out() {
+        let lca = PnCounter::initial();
+        let (a, _) = lca.apply(&PnCounterOp::Increment, ts(1));
+        let (b, _) = lca.apply(&PnCounterOp::Decrement, ts(2));
+        assert_eq!(PnCounter::merge(&lca, &a, &b).value(), 0);
+    }
+
+    #[test]
+    fn spec_is_difference_of_event_counts() {
+        let i = AbstractOf::<PnCounter>::new()
+            .perform(PnCounterOp::Increment, PnCounterValue::Ack, ts(1))
+            .perform(PnCounterOp::Decrement, PnCounterValue::Ack, ts(2))
+            .perform(PnCounterOp::Decrement, PnCounterValue::Ack, ts(3));
+        assert_eq!(
+            PnCounterSpec::spec(&PnCounterOp::Value, &i),
+            PnCounterValue::Count(-1)
+        );
+    }
+
+    #[test]
+    fn simulation_requires_componentwise_match() {
+        let i = AbstractOf::<PnCounter>::new()
+            .perform(PnCounterOp::Increment, PnCounterValue::Ack, ts(1))
+            .perform(PnCounterOp::Decrement, PnCounterValue::Ack, ts(2));
+        assert!(PnCounterSim::holds(&i, &PnCounter { incs: 1, decs: 1 }));
+        // Same difference, wrong components: the coarser relation would
+        // wrongly accept this.
+        assert!(!PnCounterSim::holds(&i, &PnCounter { incs: 2, decs: 2 }));
+    }
+}

@@ -1,0 +1,54 @@
+//! Executable certification harness for MRDTs.
+//!
+//! The F* Peepul proves the Table 2 obligations (`Φ_do`, `Φ_merge`,
+//! `Φ_spec`, `Φ_con`) once and for all with an SMT solver. This crate
+//! *checks* the identical predicates over store executions, two ways:
+//!
+//! * [`bounded`] — **bounded-exhaustive**: every execution of the store
+//!   LTS up to a configurable number of steps, over a small operation
+//!   alphabet and branch budget (the decidable fragment where RDT bugs
+//!   live: a couple of branches, a handful of conflicting operations);
+//! * [`generator`] + [`runner`] — **randomized**: long seeded executions
+//!   with many branches, operations and merges.
+//!
+//! Both drive the paper's store semantics (Fig. 3, implemented as
+//! [`peepul_store::StoreLts`]) and check every obligation at every
+//! transition, so a falsified obligation produces a concrete
+//! counterexample trace. The [`suite`] module packages a certification run
+//! for each data type of `peepul-types`; the `table3` benchmark binary
+//! prints the resulting effort/cost table, this workspace's analogue of
+//! the paper's Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use peepul_types::counter::{Counter, CounterOp};
+//! use peepul_verify::bounded::{BoundedChecker, BoundedConfig};
+//!
+//! // Exhaustively check every ≤4-step execution of the counter over
+//! // {Increment, Value} with up to 2 branches.
+//! let config = BoundedConfig {
+//!     max_steps: 4,
+//!     max_branches: 2,
+//!     alphabet: vec![CounterOp::Increment, CounterOp::Value],
+//! };
+//! let stats = BoundedChecker::<Counter>::new(config).run().expect("counter is correct");
+//! assert!(stats.executions > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounded;
+pub mod generator;
+pub mod proptest_support;
+pub mod runner;
+pub mod schedule;
+pub mod suite;
+
+pub use bounded::{BoundedChecker, BoundedConfig, BoundedStats};
+pub use generator::{RandomConfig, ScheduleGenerator};
+pub use runner::{CertificationError, MergePolicy, Runner};
+pub use schedule::{Schedule, Step};
+pub use suite::{certify_all, CertificationSummary, SuiteConfig};

@@ -1,0 +1,178 @@
+//! `proptest` strategies for store schedules.
+//!
+//! Randomized certification in [`crate::generator`] uses fixed seeds and is
+//! replayable; the strategies here add *shrinking*: when a property over
+//! schedules fails, proptest minimises the failing schedule, usually down
+//! to the two-or-three-step core of the bug. Used by the workspace's
+//! property tests and available to downstream data type authors.
+
+use crate::schedule::{Schedule, Step};
+use proptest::prelude::*;
+
+/// Strategy for one step given the operation strategy and the *maximum*
+/// number of branches that could exist at that point.
+///
+/// Branch indices are generated modulo the branch count at execution time
+/// by [`normalize`], so shrinking never produces an ill-formed schedule.
+fn raw_step<Op: std::fmt::Debug + Clone>(
+    op: impl Strategy<Value = Op> + Clone,
+) -> impl Strategy<Value = RawStep<Op>> {
+    prop_oneof![
+        1 => Just(RawStep::Create { from: 0 }),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(into, from)| RawStep::Merge {
+            into: into as usize,
+            from: from as usize,
+        }),
+        7 => (any::<u8>(), op).prop_map(|(branch, op)| RawStep::Do {
+            branch: branch as usize,
+            op,
+        }),
+    ]
+}
+
+/// Un-normalized steps: branch indices may exceed the branch count and are
+/// wrapped during normalization.
+#[derive(Clone, Debug)]
+enum RawStep<Op> {
+    Create { from: usize },
+    Do { branch: usize, op: Op },
+    Merge { into: usize, from: usize },
+}
+
+/// Turns raw steps into a well-formed schedule: branch references are
+/// wrapped modulo the live branch count, branch creation respects
+/// `max_branches`, and self-merges are dropped.
+fn normalize<Op>(raw: Vec<RawStep<Op>>, max_branches: usize) -> Schedule<Op> {
+    let mut steps = Vec::with_capacity(raw.len());
+    let mut branches = 1usize;
+    for r in raw {
+        match r {
+            RawStep::Create { from } => {
+                if branches < max_branches {
+                    steps.push(Step::CreateBranch {
+                        from: from % branches,
+                    });
+                    branches += 1;
+                }
+            }
+            RawStep::Do { branch, op } => steps.push(Step::Do {
+                branch: branch % branches,
+                op,
+            }),
+            RawStep::Merge { into, from } => {
+                let into = into % branches;
+                let from = from % branches;
+                if into != from {
+                    steps.push(Step::Merge { into, from });
+                }
+            }
+        }
+    }
+    Schedule { steps }
+}
+
+/// A strategy producing well-formed schedules of up to `max_steps` steps
+/// over at most `max_branches` branches, with `DO` operations drawn from
+/// `op`.
+///
+/// # Example
+///
+/// ```
+/// use proptest::prelude::*;
+/// use peepul_verify::proptest_support::schedules;
+/// use peepul_verify::Runner;
+/// use peepul_types::g_set::{GSet, GSetOp};
+///
+/// proptest!(|(s in schedules(0u32..8, 20, 3).prop_map(|s| s))| {
+///     let schedule = s.map_ops(GSetOp::Add);
+///     let mut runner: Runner<GSet<u32>> = Runner::new();
+///     prop_assert!(runner.run_schedule(&schedule).is_ok());
+/// });
+/// ```
+pub fn schedules<Op: std::fmt::Debug + Clone>(
+    op: impl Strategy<Value = Op> + Clone,
+    max_steps: usize,
+    max_branches: usize,
+) -> impl Strategy<Value = Schedule<Op>> {
+    proptest::collection::vec(raw_step(op), 0..=max_steps)
+        .prop_map(move |raw| normalize(raw, max_branches))
+}
+
+impl<Op> Schedule<Op> {
+    /// Maps every `DO` operation through `f`, keeping the branch structure
+    /// — handy for reusing one generated shape across operation types.
+    pub fn map_ops<Op2>(self, mut f: impl FnMut(Op) -> Op2) -> Schedule<Op2> {
+        Schedule {
+            steps: self
+                .steps
+                .into_iter()
+                .map(|s| match s {
+                    Step::CreateBranch { from } => Step::CreateBranch { from },
+                    Step::Merge { into, from } => Step::Merge { into, from },
+                    Step::Do { branch, op } => Step::Do { branch, op: f(op) },
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+    use peepul_types::or_set::{OrSet, OrSetOp};
+    use peepul_types::pn_counter::{PnCounter, PnCounterOp};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_schedules_are_well_formed(
+            s in schedules(0u32..4, 40, 4)
+        ) {
+            prop_assert!(s.is_well_formed());
+            prop_assert!(s.branch_count() <= 4);
+        }
+
+        #[test]
+        fn pn_counter_certifies_on_arbitrary_schedules(
+            s in schedules(0u8..3, 25, 3)
+        ) {
+            let schedule = s.map_ops(|k| match k {
+                0 => PnCounterOp::Increment,
+                1 => PnCounterOp::Decrement,
+                _ => PnCounterOp::Value,
+            });
+            let mut runner: Runner<PnCounter> = Runner::new();
+            prop_assert!(runner.run_schedule(&schedule).is_ok());
+        }
+
+        #[test]
+        fn or_set_certifies_on_arbitrary_schedules(
+            s in schedules((0u8..3, 0u32..5), 20, 3)
+        ) {
+            let schedule = s.map_ops(|(k, x)| match k {
+                0 => OrSetOp::Add(x),
+                1 => OrSetOp::Remove(x),
+                _ => OrSetOp::Lookup(x),
+            });
+            let mut runner: Runner<OrSet<u32>> = Runner::new();
+            prop_assert!(runner.run_schedule(&schedule).is_ok());
+        }
+    }
+
+    #[test]
+    fn map_ops_preserves_structure() {
+        let s: Schedule<u8> = Schedule {
+            steps: vec![
+                Step::Do { branch: 0, op: 1 },
+                Step::CreateBranch { from: 0 },
+                Step::Merge { into: 0, from: 1 },
+            ],
+        };
+        let mapped = s.clone().map_ops(|x| x as u32 * 10);
+        assert_eq!(mapped.len(), 3);
+        assert!(matches!(mapped.steps[0], Step::Do { op: 10, .. }));
+        assert!(matches!(mapped.steps[1], Step::CreateBranch { from: 0 }));
+    }
+}

@@ -1,0 +1,160 @@
+//! Execution schedules: scripts of store transitions.
+//!
+//! A schedule is the syntactic side of an execution `χ` (Definition 3.1):
+//! a finite sequence of `CREATEBRANCH`/`DO`/`MERGE` labels. Branches are
+//! numbered in creation order; branch `0` is the root. The runner maps
+//! numbers to store branch names.
+
+use std::fmt;
+
+/// One transition label.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Step<Op> {
+    /// Fork a new branch (its number is the current branch count) off
+    /// branch `from`.
+    CreateBranch {
+        /// Source branch number.
+        from: usize,
+    },
+    /// Perform a data-type operation on a branch.
+    Do {
+        /// Target branch number.
+        branch: usize,
+        /// The operation.
+        op: Op,
+    },
+    /// Merge branch `from` into branch `into`.
+    Merge {
+        /// Target branch number (receives the merge).
+        into: usize,
+        /// Source branch number (unchanged).
+        from: usize,
+    },
+}
+
+impl<Op: fmt::Debug> fmt::Display for Step<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::CreateBranch { from } => write!(f, "CREATEBRANCH(b{from} → new)"),
+            Step::Do { branch, op } => write!(f, "DO({op:?}, b{branch})"),
+            Step::Merge { into, from } => write!(f, "MERGE(b{into} ← b{from})"),
+        }
+    }
+}
+
+/// A finite execution script.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schedule<Op> {
+    /// The transition labels, in order.
+    pub steps: Vec<Step<Op>>,
+}
+
+impl<Op> Schedule<Op> {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Schedule { steps: Vec::new() }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the schedule has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The number of branches that exist after running the schedule
+    /// (including the root).
+    pub fn branch_count(&self) -> usize {
+        1 + self
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::CreateBranch { .. }))
+            .count()
+    }
+
+    /// Whether every step refers only to branches that exist when it runs.
+    pub fn is_well_formed(&self) -> bool {
+        let mut branches = 1usize;
+        for step in &self.steps {
+            match step {
+                Step::CreateBranch { from } => {
+                    if *from >= branches {
+                        return false;
+                    }
+                    branches += 1;
+                }
+                Step::Do { branch, .. } => {
+                    if *branch >= branches {
+                        return false;
+                    }
+                }
+                Step::Merge { into, from } => {
+                    if *into >= branches || *from >= branches {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl<Op> FromIterator<Step<Op>> for Schedule<Op> {
+    fn from_iter<I: IntoIterator<Item = Step<Op>>>(iter: I) -> Self {
+        Schedule {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<Op: fmt::Debug> fmt::Display for Schedule<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "{i:>4}: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formedness_tracks_branch_creation() {
+        let ok: Schedule<u8> = [
+            Step::Do { branch: 0, op: 1 },
+            Step::CreateBranch { from: 0 },
+            Step::Do { branch: 1, op: 2 },
+            Step::Merge { into: 0, from: 1 },
+        ]
+        .into_iter()
+        .collect();
+        assert!(ok.is_well_formed());
+        assert_eq!(ok.branch_count(), 2);
+
+        let bad: Schedule<u8> = [Step::Do { branch: 1, op: 1 }].into_iter().collect();
+        assert!(!bad.is_well_formed());
+
+        let bad_merge: Schedule<u8> = [Step::Merge { into: 0, from: 3 }].into_iter().collect();
+        assert!(!bad_merge.is_well_formed());
+    }
+
+    #[test]
+    fn display_renders_labels() {
+        let s: Schedule<u8> = [
+            Step::CreateBranch { from: 0 },
+            Step::Do { branch: 1, op: 9 },
+            Step::Merge { into: 0, from: 1 },
+        ]
+        .into_iter()
+        .collect();
+        let text = s.to_string();
+        assert!(text.contains("CREATEBRANCH"));
+        assert!(text.contains("DO(9, b1)"));
+        assert!(text.contains("MERGE(b0 ← b1)"));
+    }
+}

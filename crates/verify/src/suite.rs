@@ -1,0 +1,511 @@
+//! Packaged certification runs for every data type in `peepul-types` — the
+//! workspace's analogue of the paper's Table 3 (verification effort per
+//! MRDT).
+//!
+//! For each data type the suite runs (a) a bounded-exhaustive pass over a
+//! small conflicting-operation alphabet and (b) a batch of long seeded
+//! random executions, counting how many obligation instances were checked
+//! and how long certification took. The queue additionally re-checks the
+//! declarative queue axioms of §6.2 on every final abstract state.
+
+use crate::bounded::{BoundedChecker, BoundedConfig};
+use crate::generator::{RandomConfig, ScheduleGenerator};
+use crate::runner::{MergePolicy, Runner};
+use peepul_core::obligations::Certified;
+use peepul_core::ObligationReport;
+use peepul_store::Snapshot;
+use peepul_types::chat::{Chat, ChatOp};
+use peepul_types::counter::{Counter, CounterOp};
+use peepul_types::ew_flag::{EwFlag, EwFlagOp, EwFlagSpace};
+use peepul_types::g_set::{GSet, GSetOp};
+use peepul_types::log::{LogOp, MergeableLog};
+use peepul_types::lww_register::{LwwOp, LwwRegister};
+use peepul_types::map::{MapOp, MrdtMap};
+use peepul_types::or_set::{OrSet, OrSetOp};
+use peepul_types::or_set_space::OrSetSpace;
+use peepul_types::or_set_spacetime::OrSetSpacetime;
+use peepul_types::pn_counter::{PnCounter, PnCounterOp};
+use peepul_types::queue::{self, Queue, QueueOp};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// Suite-wide configuration.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// Depth of the bounded-exhaustive pass.
+    pub bounded_steps: usize,
+    /// Branch budget of the bounded-exhaustive pass.
+    pub bounded_branches: usize,
+    /// Number of random executions per data type.
+    pub random_runs: usize,
+    /// Shape of each random execution.
+    pub random: RandomConfig,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            bounded_steps: 4,
+            bounded_branches: 2,
+            random_runs: 20,
+            random: RandomConfig {
+                steps: 150,
+                max_branches: 4,
+                ..RandomConfig::default()
+            },
+        }
+    }
+}
+
+/// Outcome of certifying one data type.
+#[derive(Clone, Debug)]
+pub struct CertificationSummary {
+    /// Data type name.
+    pub name: &'static str,
+    /// Maximal executions explored by the bounded pass.
+    pub bounded_executions: u64,
+    /// Transitions checked by the bounded pass.
+    pub bounded_transitions: u64,
+    /// Wall-clock time of the bounded pass.
+    pub bounded_time: Duration,
+    /// Random executions run.
+    pub random_runs: u64,
+    /// Transitions checked by the random pass.
+    pub random_transitions: u64,
+    /// Wall-clock time of the random pass.
+    pub random_time: Duration,
+    /// Obligation instances checked, both passes combined.
+    pub obligations: ObligationReport,
+    /// The merge policy the type is certified under (see [`MergePolicy`]):
+    /// space-optimized types are certified relative to the paper's
+    /// strong-Ψ_lca store envelope.
+    pub policy: MergePolicy,
+    /// Merges skipped by the envelope restriction (0 under
+    /// [`MergePolicy::General`]).
+    pub skipped_merges: u64,
+    /// `None` when certification succeeded; the failure rendering
+    /// otherwise.
+    pub failure: Option<String>,
+}
+
+impl CertificationSummary {
+    /// Whether every obligation held on every explored execution.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Total certification time.
+    pub fn total_time(&self) -> Duration {
+        self.bounded_time + self.random_time
+    }
+}
+
+/// Certifies one data type: a bounded-exhaustive pass over `alphabet`
+/// followed by `config.random_runs` random executions drawing operations
+/// from `random_op`. `final_check` runs against the final snapshots of
+/// every random execution (used for the queue axioms); pass
+/// `|_| Ok(())` when not needed.
+pub fn certify_type<M, F, G>(
+    name: &'static str,
+    config: &SuiteConfig,
+    policy: MergePolicy,
+    alphabet: Vec<M::Op>,
+    mut random_op: F,
+    final_check: G,
+) -> CertificationSummary
+where
+    M: Certified,
+    M::Op: PartialEq,
+    F: FnMut(&mut StdRng) -> M::Op,
+    G: Fn(&[(String, Snapshot<M>)]) -> Result<(), String>,
+{
+    let mut obligations = ObligationReport::default();
+    let mut failure = None;
+    let mut skipped_merges = 0u64;
+
+    // Bounded-exhaustive pass.
+    let start = Instant::now();
+    let checker = BoundedChecker::<M>::new(BoundedConfig {
+        max_steps: config.bounded_steps,
+        max_branches: config.bounded_branches,
+        alphabet,
+    })
+    .with_policy(policy);
+    let (bounded_executions, bounded_transitions) = match checker.run() {
+        Ok(stats) => {
+            obligations.absorb(&stats.obligations);
+            (stats.executions, stats.transitions)
+        }
+        Err(e) => {
+            failure = Some(format!("bounded pass: {e}"));
+            (0, 0)
+        }
+    };
+    let bounded_time = start.elapsed();
+
+    // Randomized pass.
+    let start = Instant::now();
+    let mut random_transitions = 0u64;
+    let mut runs_done = 0u64;
+    if failure.is_none() {
+        'runs: for run in 0..config.random_runs {
+            let mut gen = ScheduleGenerator::new(RandomConfig {
+                seed: config.random.seed.wrapping_add(run as u64),
+                ..config.random.clone()
+            });
+            let schedule = gen.generate(&mut random_op);
+            let mut runner: Runner<M> = Runner::with_policy(policy);
+            if let Err(e) = runner.run_schedule(&schedule) {
+                failure = Some(format!("random run {run}: {e}"));
+                break 'runs;
+            }
+            random_transitions += runner.steps_run() as u64;
+            skipped_merges += runner.skipped_merges() as u64;
+            obligations.absorb(&runner.report());
+            runs_done += 1;
+            if let Err(e) = final_check(&runner.snapshots()) {
+                failure = Some(format!("random run {run}, final check: {e}"));
+                break 'runs;
+            }
+        }
+    }
+    let random_time = start.elapsed();
+
+    CertificationSummary {
+        name,
+        bounded_executions,
+        bounded_transitions,
+        bounded_time,
+        random_runs: runs_done,
+        random_transitions,
+        random_time,
+        obligations,
+        policy,
+        skipped_merges,
+        failure,
+    }
+}
+
+fn no_final_check<M: Certified>(_: &[(String, Snapshot<M>)]) -> Result<(), String> {
+    Ok(())
+}
+
+/// Certifies the increment-only counter.
+pub fn certify_counter(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<Counter, _, _>(
+        "Increment-only counter",
+        config,
+        MergePolicy::General,
+        vec![CounterOp::Increment, CounterOp::Value],
+        |rng| {
+            if rng.gen_bool(0.7) {
+                CounterOp::Increment
+            } else {
+                CounterOp::Value
+            }
+        },
+        no_final_check,
+    )
+}
+
+/// Certifies the PN counter.
+pub fn certify_pn_counter(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<PnCounter, _, _>(
+        "PN counter",
+        config,
+        MergePolicy::General,
+        vec![
+            PnCounterOp::Increment,
+            PnCounterOp::Decrement,
+            PnCounterOp::Value,
+        ],
+        |rng| match rng.gen_range(0..3) {
+            0 => PnCounterOp::Increment,
+            1 => PnCounterOp::Decrement,
+            _ => PnCounterOp::Value,
+        },
+        no_final_check,
+    )
+}
+
+fn random_flag_op(rng: &mut StdRng) -> EwFlagOp {
+    match rng.gen_range(0..3) {
+        0 => EwFlagOp::Enable,
+        1 => EwFlagOp::Disable,
+        _ => EwFlagOp::Read,
+    }
+}
+
+/// Certifies the token-set enable-wins flag.
+pub fn certify_ew_flag(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<EwFlag, _, _>(
+        "Enable-wins flag",
+        config,
+        MergePolicy::General,
+        vec![EwFlagOp::Enable, EwFlagOp::Disable, EwFlagOp::Read],
+        random_flag_op,
+        no_final_check,
+    )
+}
+
+/// Certifies the space-efficient enable-wins flag.
+pub fn certify_ew_flag_space(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<EwFlagSpace, _, _>(
+        "Enable-wins flag (space)",
+        config,
+        MergePolicy::PaperEnvelope,
+        vec![EwFlagOp::Enable, EwFlagOp::Disable, EwFlagOp::Read],
+        random_flag_op,
+        no_final_check,
+    )
+}
+
+/// Certifies the last-writer-wins register.
+pub fn certify_lww_register(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<LwwRegister<u32>, _, _>(
+        "LWW register",
+        config,
+        MergePolicy::General,
+        vec![LwwOp::Write(1), LwwOp::Write(2), LwwOp::Read],
+        |rng| {
+            if rng.gen_bool(0.6) {
+                LwwOp::Write(rng.gen_range(0..100))
+            } else {
+                LwwOp::Read
+            }
+        },
+        no_final_check,
+    )
+}
+
+/// Certifies the grow-only set.
+pub fn certify_g_set(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<GSet<u32>, _, _>(
+        "G-set",
+        config,
+        MergePolicy::General,
+        vec![GSetOp::Add(1), GSetOp::Add(2), GSetOp::Lookup(1)],
+        |rng| {
+            if rng.gen_bool(0.6) {
+                GSetOp::Add(rng.gen_range(0..20))
+            } else {
+                GSetOp::Lookup(rng.gen_range(0..20))
+            }
+        },
+        no_final_check,
+    )
+}
+
+/// Certifies the grow-only map of counters (α-map composition).
+pub fn certify_g_map(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<MrdtMap<Counter>, _, _>(
+        "G-map (α-map of counters)",
+        config,
+        MergePolicy::General,
+        vec![
+            MapOp::Set("k".into(), CounterOp::Increment),
+            MapOp::Set("j".into(), CounterOp::Increment),
+            MapOp::Get("k".into(), CounterOp::Value),
+        ],
+        |rng| {
+            let key = if rng.gen_bool(0.5) { "k" } else { "j" };
+            if rng.gen_bool(0.6) {
+                MapOp::Set(key.into(), CounterOp::Increment)
+            } else {
+                MapOp::Get(key.into(), CounterOp::Value)
+            }
+        },
+        no_final_check,
+    )
+}
+
+/// Certifies the mergeable log.
+pub fn certify_log(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<MergeableLog<u32>, _, _>(
+        "Mergeable log",
+        config,
+        MergePolicy::General,
+        vec![LogOp::Append(1), LogOp::Append(2), LogOp::Read],
+        |rng| {
+            if rng.gen_bool(0.7) {
+                LogOp::Append(rng.gen_range(0..100))
+            } else {
+                LogOp::Read
+            }
+        },
+        no_final_check,
+    )
+}
+
+fn random_set_op(rng: &mut StdRng) -> OrSetOp<u32> {
+    let x = rng.gen_range(0..10);
+    match rng.gen_range(0..4) {
+        0 | 1 => OrSetOp::Add(x),
+        2 => OrSetOp::Remove(x),
+        _ => OrSetOp::Lookup(x),
+    }
+}
+
+fn orset_alphabet() -> Vec<OrSetOp<u32>> {
+    vec![
+        OrSetOp::Add(1),
+        OrSetOp::Remove(1),
+        OrSetOp::Add(2),
+        OrSetOp::Lookup(1),
+    ]
+}
+
+/// Certifies the unoptimized OR-set.
+pub fn certify_or_set(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<OrSet<u32>, _, _>(
+        "OR-set",
+        config,
+        MergePolicy::General,
+        orset_alphabet(),
+        random_set_op,
+        no_final_check,
+    )
+}
+
+/// Certifies the space-efficient OR-set.
+pub fn certify_or_set_space(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<OrSetSpace<u32>, _, _>(
+        "OR-set-space",
+        config,
+        MergePolicy::PaperEnvelope,
+        orset_alphabet(),
+        random_set_op,
+        no_final_check,
+    )
+}
+
+/// Certifies the tree-backed OR-set.
+pub fn certify_or_set_spacetime(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<OrSetSpacetime<u32>, _, _>(
+        "OR-set-spacetime",
+        config,
+        MergePolicy::PaperEnvelope,
+        orset_alphabet(),
+        random_set_op,
+        no_final_check,
+    )
+}
+
+/// Certifies the replicated queue, additionally asserting the declarative
+/// queue axioms (`AddRem`, `Empty`, `FIFO_1`, `FIFO_2`) on the final
+/// abstract state of every branch of every random execution.
+pub fn certify_queue(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<Queue<u32>, _, _>(
+        "Replicated queue",
+        config,
+        MergePolicy::General,
+        vec![QueueOp::Enqueue(1), QueueOp::Enqueue(2), QueueOp::Dequeue],
+        |rng| {
+            if rng.gen_bool(0.6) {
+                QueueOp::Enqueue(rng.gen_range(0..100))
+            } else {
+                QueueOp::Dequeue
+            }
+        },
+        |snapshots| {
+            for (branch, snap) in snapshots {
+                if !queue::axioms::all(&snap.abstract_state) {
+                    return Err(format!("queue axioms violated on branch {branch}"));
+                }
+            }
+            Ok(())
+        },
+    )
+}
+
+/// Certifies the IRC-style chat (α-map of mergeable logs).
+pub fn certify_chat(config: &SuiteConfig) -> CertificationSummary {
+    certify_type::<Chat, _, _>(
+        "IRC chat (map of logs)",
+        config,
+        MergePolicy::General,
+        vec![
+            ChatOp::Send("#a".into(), "x".into()),
+            ChatOp::Send("#b".into(), "y".into()),
+            ChatOp::Read("#a".into()),
+        ],
+        |rng| {
+            let ch = if rng.gen_bool(0.5) { "#a" } else { "#b" };
+            if rng.gen_bool(0.7) {
+                ChatOp::Send(ch.into(), format!("m{}", rng.gen_range(0..1000)))
+            } else {
+                ChatOp::Read(ch.into())
+            }
+        },
+        no_final_check,
+    )
+}
+
+/// Certifies every data type in `peepul-types`, in Table 3 order.
+pub fn certify_all(config: &SuiteConfig) -> Vec<CertificationSummary> {
+    vec![
+        certify_counter(config),
+        certify_pn_counter(config),
+        certify_ew_flag(config),
+        certify_ew_flag_space(config),
+        certify_lww_register(config),
+        certify_g_set(config),
+        certify_g_map(config),
+        certify_log(config),
+        certify_or_set(config),
+        certify_or_set_space(config),
+        certify_or_set_spacetime(config),
+        certify_queue(config),
+        certify_chat(config),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SuiteConfig {
+        SuiteConfig {
+            bounded_steps: 3,
+            bounded_branches: 2,
+            random_runs: 3,
+            random: RandomConfig {
+                steps: 60,
+                max_branches: 3,
+                ..RandomConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn counter_certifies() {
+        let s = certify_counter(&quick());
+        assert!(s.passed(), "{:?}", s.failure);
+        assert!(s.obligations.total() > 0);
+    }
+
+    #[test]
+    fn or_sets_certify() {
+        for s in [
+            certify_or_set(&quick()),
+            certify_or_set_space(&quick()),
+            certify_or_set_spacetime(&quick()),
+        ] {
+            assert!(s.passed(), "{}: {:?}", s.name, s.failure);
+        }
+    }
+
+    #[test]
+    fn queue_certifies_with_axioms() {
+        let s = certify_queue(&quick());
+        assert!(s.passed(), "{:?}", s.failure);
+    }
+
+    #[test]
+    fn composites_certify() {
+        for s in [certify_g_map(&quick()), certify_chat(&quick())] {
+            assert!(s.passed(), "{}: {:?}", s.name, s.failure);
+        }
+    }
+}

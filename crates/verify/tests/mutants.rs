@@ -1,0 +1,493 @@
+//! Mutation testing for the certification harness: a gallery of
+//! classically-broken RDT implementations, each of which the harness must
+//! reject — and reject for the *right* obligation.
+//!
+//! A verification methodology earns its keep by what it refuses. Each
+//! mutant below reproduces a real bug class from the RDT literature
+//! (state-based merge that forgets the ancestor, remove-wins instead of
+//! add-wins, lost timestamp refresh, non-commutative tie-breaking,
+//! tombstone resurrection); the tests assert that bounded-exhaustive
+//! search with a tiny alphabet finds every one, and names the falsified
+//! obligation.
+
+use peepul_core::{
+    AbstractOf, Certified, Mrdt, Obligation, SimulationRelation, Specification, Timestamp,
+};
+use peepul_types::or_set::{OrSetOp, OrSetValue};
+use peepul_verify::{BoundedChecker, BoundedConfig, CertificationError};
+use std::collections::BTreeMap;
+
+/// Runs the exhaustive checker and returns the falsified obligation.
+fn first_violation<M: Certified>(
+    max_steps: usize,
+    alphabet: Vec<M::Op>,
+) -> Option<(Obligation, String)>
+where
+    M::Op: PartialEq,
+{
+    let checker = BoundedChecker::<M>::new(BoundedConfig {
+        max_steps,
+        max_branches: 2,
+        alphabet,
+    });
+    match checker.run() {
+        Ok(_) => None,
+        Err(CertificationError::Obligation { error, step, .. }) => {
+            Some((error.obligation(), step))
+        }
+        Err(other) => panic!("expected an obligation failure, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutant 1: a grow-only set whose merge forgets the ancestor's elements
+// unless a branch re-touched them (classic "two-way merge" bug).
+// ---------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+struct TwoWaySet(std::collections::BTreeSet<u8>);
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Put(u8);
+
+impl Mrdt for TwoWaySet {
+    type Op = Put;
+    type Value = ();
+    fn initial() -> Self {
+        TwoWaySet::default()
+    }
+    fn apply(&self, op: &Put, _t: Timestamp) -> (Self, ()) {
+        let mut s = self.clone();
+        s.0.insert(op.0);
+        (s, ())
+    }
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+        // BUG: symmetric difference union instead of union — drops
+        // ancestor elements that neither branch re-added.
+        TwoWaySet(
+            a.0.symmetric_difference(&b.0)
+                .copied()
+                .chain(lca.0.intersection(&a.0).copied().filter(|x| !b.0.contains(x)))
+                .collect(),
+        )
+    }
+}
+
+struct TwoWaySpec;
+impl Specification<TwoWaySet> for TwoWaySpec {
+    fn spec(_op: &Put, _s: &AbstractOf<TwoWaySet>) {}
+}
+struct TwoWaySim;
+impl SimulationRelation<TwoWaySet> for TwoWaySim {
+    fn holds(abs: &AbstractOf<TwoWaySet>, conc: &TwoWaySet) -> bool {
+        let want: std::collections::BTreeSet<u8> = abs.events().map(|e| e.op().0).collect();
+        conc.0 == want
+    }
+}
+impl Certified for TwoWaySet {
+    type Spec = TwoWaySpec;
+    type Sim = TwoWaySim;
+}
+
+#[test]
+fn two_way_merge_bug_is_caught_as_phi_merge() {
+    let (obligation, step) =
+        first_violation::<TwoWaySet>(4, vec![Put(1), Put(2)]).expect("mutant must be caught");
+    assert_eq!(obligation, Obligation::PhiMerge);
+    assert!(step.contains("MERGE"), "failure localised to a merge: {step}");
+}
+
+// ---------------------------------------------------------------------
+// Mutant 2: an "OR-set" where remove wins over a concurrent add — the
+// conflict-resolution policy inverted relative to the specification.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+struct RemoveWinsSet {
+    pairs: Vec<(u8, Timestamp)>,
+}
+
+impl Mrdt for RemoveWinsSet {
+    type Op = OrSetOp<u8>;
+    type Value = OrSetValue<u8>;
+    fn initial() -> Self {
+        RemoveWinsSet::default()
+    }
+    fn apply(&self, op: &OrSetOp<u8>, t: Timestamp) -> (Self, OrSetValue<u8>) {
+        match op {
+            OrSetOp::Add(x) => {
+                let mut s = self.clone();
+                s.pairs.push((*x, t));
+                (s, OrSetValue::Ack)
+            }
+            OrSetOp::Remove(x) => (
+                RemoveWinsSet {
+                    pairs: self.pairs.iter().filter(|(y, _)| y != x).cloned().collect(),
+                },
+                OrSetValue::Ack,
+            ),
+            OrSetOp::Lookup(x) => (
+                self.clone(),
+                OrSetValue::Present(self.pairs.iter().any(|(y, _)| y == x)),
+            ),
+            OrSetOp::Read => {
+                let mut v: Vec<u8> = self.pairs.iter().map(|(x, _)| *x).collect();
+                v.sort();
+                v.dedup();
+                (self.clone(), OrSetValue::Elements(v))
+            }
+        }
+    }
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+        // BUG: keep only pairs present in BOTH branches or in neither's
+        // removal shadow — i.e. an element removed anywhere loses even
+        // against a concurrent fresh add (remove-wins).
+        let keep = |p: &(u8, Timestamp)| {
+            (a.pairs.contains(p) && b.pairs.contains(p))
+                || (!lca.pairs.iter().any(|(y, _)| *y == p.0)
+                    && (a.pairs.contains(p) || b.pairs.contains(p))
+                    && a.pairs.iter().chain(b.pairs.iter()).filter(|(y, _)| *y == p.0).count()
+                        == a.pairs.iter().chain(b.pairs.iter()).filter(|q| *q == p).count()
+                    && {
+                        // fresh pair survives only if the element was never
+                        // in the lca (so no remove could have targeted it)
+                        true
+                    })
+        };
+        let mut pairs: Vec<(u8, Timestamp)> = a
+            .pairs
+            .iter()
+            .chain(b.pairs.iter())
+            .filter(|p| keep(p))
+            .cloned()
+            .collect();
+        pairs.sort_by_key(|(_, t)| *t);
+        pairs.dedup();
+        RemoveWinsSet { pairs }
+    }
+}
+
+struct RwSpec;
+impl Specification<RemoveWinsSet> for RwSpec {
+    fn spec(op: &OrSetOp<u8>, abs: &AbstractOf<RemoveWinsSet>) -> OrSetValue<u8> {
+        // The *add-wins* specification (the one the paper states).
+        let live = |x: &u8| {
+            abs.events().any(|e| {
+                matches!(e.op(), OrSetOp::Add(y) if y == x)
+                    && !abs.events().any(|r| {
+                        matches!(r.op(), OrSetOp::Remove(y) if y == x) && abs.vis(e.id(), r.id())
+                    })
+            })
+        };
+        match op {
+            OrSetOp::Add(_) | OrSetOp::Remove(_) => OrSetValue::Ack,
+            OrSetOp::Lookup(x) => OrSetValue::Present(live(x)),
+            OrSetOp::Read => {
+                let mut v: Vec<u8> = (0..=u8::MAX).filter(|x| live(x)).collect();
+                v.dedup();
+                OrSetValue::Elements(v)
+            }
+        }
+    }
+}
+struct RwSim;
+impl SimulationRelation<RemoveWinsSet> for RwSim {
+    fn holds(abs: &AbstractOf<RemoveWinsSet>, conc: &RemoveWinsSet) -> bool {
+        // The add-wins relation: pairs are exactly the live adds.
+        let live: std::collections::BTreeSet<(u8, Timestamp)> = abs
+            .events()
+            .filter_map(|e| match e.op() {
+                OrSetOp::Add(x)
+                    if !abs.events().any(|r| {
+                        matches!(r.op(), OrSetOp::Remove(y) if y == x)
+                            && abs.vis(e.id(), r.id())
+                    }) =>
+                {
+                    Some((*x, e.id()))
+                }
+                _ => None,
+            })
+            .collect();
+        conc.pairs.iter().cloned().collect::<std::collections::BTreeSet<_>>() == live
+    }
+}
+impl Certified for RemoveWinsSet {
+    type Spec = RwSpec;
+    type Sim = RwSim;
+}
+
+#[test]
+fn remove_wins_policy_is_caught() {
+    let (obligation, _) = first_violation::<RemoveWinsSet>(
+        4,
+        vec![OrSetOp::Add(1), OrSetOp::Remove(1), OrSetOp::Lookup(1)],
+    )
+    .expect("mutant must be caught");
+    // The inverted policy surfaces either at the merge (wrong state) or at
+    // the next lookup (wrong answer); both are real catches.
+    assert!(
+        obligation == Obligation::PhiMerge || obligation == Obligation::PhiSpec,
+        "caught as {obligation}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Mutant 3: an LWW register that breaks concurrent-write ties by branch
+// role instead of timestamp — convergence (Φ_con) fails because the two
+// merge directions disagree.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct BiasedRegister {
+    value: u8,
+    time: Timestamp,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Write(u8);
+
+impl Mrdt for BiasedRegister {
+    type Op = Write;
+    type Value = ();
+    fn initial() -> Self {
+        BiasedRegister {
+            value: 0,
+            time: Timestamp::MIN,
+        }
+    }
+    fn apply(&self, op: &Write, t: Timestamp) -> (Self, ()) {
+        (
+            BiasedRegister {
+                value: op.0,
+                time: t,
+            },
+            (),
+        )
+    }
+    fn merge(_lca: &Self, a: &Self, b: &Self) -> Self {
+        // BUG: "our side wins" — the receiving branch keeps its own write
+        // on concurrent conflicts instead of comparing timestamps.
+        if a.time == Timestamp::MIN {
+            b.clone()
+        } else {
+            a.clone()
+        }
+    }
+}
+
+struct BiasedSpec;
+impl Specification<BiasedRegister> for BiasedSpec {
+    fn spec(_op: &Write, _s: &AbstractOf<BiasedRegister>) {}
+}
+struct BiasedSim;
+impl SimulationRelation<BiasedRegister> for BiasedSim {
+    fn holds(abs: &AbstractOf<BiasedRegister>, conc: &BiasedRegister) -> bool {
+        // Intentionally weak relation (only membership of the written
+        // value) so that preservation holds and the *convergence*
+        // obligation is what must catch the bug.
+        abs.is_empty() && conc.time == Timestamp::MIN
+            || abs.events().any(|e| e.op().0 == conc.value)
+    }
+}
+impl Certified for BiasedRegister {
+    type Spec = BiasedSpec;
+    type Sim = BiasedSim;
+}
+
+#[test]
+fn non_commutative_tie_break_is_caught_as_phi_con() {
+    let (obligation, _) = first_violation::<BiasedRegister>(5, vec![Write(1), Write(2)])
+        .expect("mutant must be caught");
+    assert_eq!(
+        obligation,
+        Obligation::PhiCon,
+        "the two merge directions disagree while the abstract states are equal"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Mutant 4: a counter whose read undercounts by one (spec violation on a
+// pure query — no merge needed at all).
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+struct OffByOneCounter(u64);
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum OboOp {
+    Inc,
+    Read,
+}
+
+impl Mrdt for OffByOneCounter {
+    type Op = OboOp;
+    type Value = u64;
+    fn initial() -> Self {
+        OffByOneCounter(0)
+    }
+    fn apply(&self, op: &OboOp, _t: Timestamp) -> (Self, u64) {
+        match op {
+            OboOp::Inc => (OffByOneCounter(self.0 + 1), 0),
+            OboOp::Read => (*self, self.0.saturating_sub(1)), // BUG
+        }
+    }
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+        OffByOneCounter(a.0 + b.0 - lca.0)
+    }
+}
+
+struct OboSpec;
+impl Specification<OffByOneCounter> for OboSpec {
+    fn spec(op: &OboOp, abs: &AbstractOf<OffByOneCounter>) -> u64 {
+        match op {
+            OboOp::Inc => 0,
+            OboOp::Read => abs.events().filter(|e| matches!(e.op(), OboOp::Inc)).count() as u64,
+        }
+    }
+}
+struct OboSim;
+impl SimulationRelation<OffByOneCounter> for OboSim {
+    fn holds(abs: &AbstractOf<OffByOneCounter>, conc: &OffByOneCounter) -> bool {
+        conc.0 == abs.events().filter(|e| matches!(e.op(), OboOp::Inc)).count() as u64
+    }
+}
+impl Certified for OffByOneCounter {
+    type Spec = OboSpec;
+    type Sim = OboSim;
+}
+
+#[test]
+fn off_by_one_read_is_caught_as_phi_spec() {
+    let (obligation, step) = first_violation::<OffByOneCounter>(2, vec![OboOp::Inc, OboOp::Read])
+        .expect("mutant must be caught");
+    assert_eq!(obligation, Obligation::PhiSpec);
+    assert!(step.contains("DO"), "failure localised to the read: {step}");
+}
+
+// ---------------------------------------------------------------------
+// Mutant 5: OR-set-space *without* the timestamp refresh on duplicate
+// adds — the precise §2.1.2 bug the paper warns about ("this breaks the
+// intent of the OR-set").
+// ---------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+struct NoRefreshSet {
+    pairs: BTreeMap<u8, Timestamp>,
+}
+
+impl Mrdt for NoRefreshSet {
+    type Op = OrSetOp<u8>;
+    type Value = OrSetValue<u8>;
+    fn initial() -> Self {
+        NoRefreshSet::default()
+    }
+    fn apply(&self, op: &OrSetOp<u8>, t: Timestamp) -> (Self, OrSetValue<u8>) {
+        match op {
+            OrSetOp::Add(x) => {
+                let mut s = self.clone();
+                // BUG: leave the old timestamp if present — the duplicate
+                // add's effect is lost, so a concurrent remove that saw the
+                // old pair deletes the "re-added" element.
+                s.pairs.entry(*x).or_insert(t);
+                (s, OrSetValue::Ack)
+            }
+            OrSetOp::Remove(x) => {
+                let mut s = self.clone();
+                s.pairs.remove(x);
+                (s, OrSetValue::Ack)
+            }
+            OrSetOp::Lookup(x) => (
+                self.clone(),
+                OrSetValue::Present(self.pairs.contains_key(x)),
+            ),
+            OrSetOp::Read => (
+                self.clone(),
+                OrSetValue::Elements(self.pairs.keys().copied().collect()),
+            ),
+        }
+    }
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+        // The correct Fig. 2 merge — the bug is purely in `apply`.
+        let mut out = BTreeMap::new();
+        for (x, t) in &lca.pairs {
+            if a.pairs.get(x) == Some(t) && b.pairs.get(x) == Some(t) {
+                out.insert(*x, *t);
+            }
+        }
+        let fresh = |side: &NoRefreshSet| {
+            side.pairs
+                .iter()
+                .filter(|(x, t)| lca.pairs.get(*x) != Some(*t))
+                .map(|(x, t)| (*x, *t))
+                .collect::<BTreeMap<_, _>>()
+        };
+        let (fa, fb) = (fresh(a), fresh(b));
+        for (x, ta) in &fa {
+            let t = match fb.get(x) {
+                Some(tb) => *ta.max(tb),
+                None => *ta,
+            };
+            out.insert(*x, t);
+        }
+        for (x, tb) in &fb {
+            if !fa.contains_key(x) {
+                out.insert(*x, *tb);
+            }
+        }
+        NoRefreshSet { pairs: out }
+    }
+}
+
+struct NrSpec;
+impl Specification<NoRefreshSet> for NrSpec {
+    fn spec(op: &OrSetOp<u8>, abs: &AbstractOf<NoRefreshSet>) -> OrSetValue<u8> {
+        let live = |x: &u8| {
+            abs.events().any(|e| {
+                matches!(e.op(), OrSetOp::Add(y) if y == x)
+                    && !abs.events().any(|r| {
+                        matches!(r.op(), OrSetOp::Remove(y) if y == x) && abs.vis(e.id(), r.id())
+                    })
+            })
+        };
+        match op {
+            OrSetOp::Add(_) | OrSetOp::Remove(_) => OrSetValue::Ack,
+            OrSetOp::Lookup(x) => OrSetValue::Present(live(x)),
+            OrSetOp::Read => OrSetValue::Elements((0..=u8::MAX).filter(|x| live(x)).collect()),
+        }
+    }
+}
+struct NrSim;
+impl SimulationRelation<NoRefreshSet> for NrSim {
+    fn holds(abs: &AbstractOf<NoRefreshSet>, conc: &NoRefreshSet) -> bool {
+        // The honest relation (greatest live add per element).
+        let mut greatest: BTreeMap<u8, Timestamp> = BTreeMap::new();
+        for e in abs.events() {
+            if let OrSetOp::Add(x) = e.op() {
+                let dead = abs.events().any(|r| {
+                    matches!(r.op(), OrSetOp::Remove(y) if y == x) && abs.vis(e.id(), r.id())
+                });
+                if !dead {
+                    let slot = greatest.entry(*x).or_insert_with(|| e.id());
+                    if e.id() > *slot {
+                        *slot = e.id();
+                    }
+                }
+            }
+        }
+        conc.pairs == greatest
+    }
+}
+impl Certified for NoRefreshSet {
+    type Spec = NrSpec;
+    type Sim = NrSim;
+}
+
+#[test]
+fn missing_timestamp_refresh_is_caught() {
+    let (obligation, _) =
+        first_violation::<NoRefreshSet>(3, vec![OrSetOp::Add(1), OrSetOp::Remove(1)])
+            .expect("mutant must be caught");
+    // The lost refresh shows up as a Φ_do failure (the duplicate add's
+    // state no longer matches the relation) before any merge happens.
+    assert_eq!(obligation, Obligation::PhiDo);
+}

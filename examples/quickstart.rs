@@ -1,0 +1,57 @@
+//! Quickstart: a replicated shopping list over the Git-like branch store.
+//!
+//! Demonstrates the core workflow — fork, diverge, merge — with the
+//! space-efficient add-wins OR-set, including the conflict the paper opens
+//! with: one device removes an item while another concurrently re-adds it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use peepul::store::{BranchStore, StoreError};
+use peepul::types::or_set_space::{OrSetOp, OrSetSpace, OrSetValue};
+
+fn main() -> Result<(), StoreError> {
+    let mut db: BranchStore<OrSetSpace<String>> = BranchStore::new("laptop");
+    let add = |x: &str| OrSetOp::Add(x.to_owned());
+    let remove = |x: &str| OrSetOp::Remove(x.to_owned());
+
+    // Build the list on the laptop.
+    for item in ["milk", "bread", "eggs"] {
+        db.apply("laptop", &add(item))?;
+    }
+    println!("laptop list: {:?}", db.state("laptop")?.elements());
+
+    // The phone clones the list and goes offline.
+    db.fork("phone", "laptop")?;
+
+    // Offline edits on both devices:
+    db.apply("phone", &remove("milk"))?; // phone: bought the milk
+    db.apply("phone", &add("coffee"))?; // phone: need coffee
+    db.apply("laptop", &add("milk"))?; // laptop: need milk AGAIN (re-add)
+    db.apply("laptop", &remove("bread"))?; // laptop: bread already home
+
+    println!("phone  diverged: {:?}", db.state("phone")?.elements());
+    println!("laptop diverged: {:?}", db.state("laptop")?.elements());
+
+    // Sync: the three-way merge resolves every conflict without manual
+    // intervention. The concurrent remove("milk") / add("milk") conflict
+    // resolves add-wins because the laptop's re-add carries a fresh
+    // timestamp the phone's remove never observed.
+    db.merge("laptop", "phone")?;
+    db.merge("phone", "laptop")?;
+
+    let laptop = db.state("laptop")?;
+    let phone = db.state("phone")?;
+    println!("after sync:      {:?}", laptop.elements());
+    assert_eq!(laptop.elements(), phone.elements(), "replicas converged");
+
+    let v = db.apply("laptop", &OrSetOp::Lookup("milk".into()))?;
+    assert_eq!(v, OrSetValue::Present(true), "add wins over concurrent remove");
+    let v = db.apply("laptop", &OrSetOp::Lookup("bread".into()))?;
+    assert_eq!(v, OrSetValue::Present(false), "plain remove still removes");
+
+    println!(
+        "history: {} commits on a Git-like DAG",
+        db.history("laptop")?.len()
+    );
+    Ok(())
+}

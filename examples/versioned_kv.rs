@@ -1,0 +1,66 @@
+//! A versioned key-value database: an α-map of LWW registers over the
+//! Git-like store — Irmin-style usage with history and criss-cross merges.
+//!
+//! Run with: `cargo run --example versioned_kv`
+
+use peepul::store::{BranchStore, StoreError};
+use peepul::types::lww_register::{LwwOp, LwwRegister};
+use peepul::types::map::{MapOp, MrdtMap};
+
+type Kv = MrdtMap<LwwRegister<String>>;
+
+fn set(key: &str, value: &str) -> MapOp<LwwRegister<String>> {
+    MapOp::Set(key.to_owned(), LwwOp::Write(value.to_owned()))
+}
+
+fn get(db: &BranchStore<Kv>, branch: &str, key: &str) -> Result<Option<String>, StoreError> {
+    Ok(db
+        .state(branch)?
+        .get(key)
+        .and_then(|r| r.get().cloned()))
+}
+
+fn main() -> Result<(), StoreError> {
+    let mut db: BranchStore<Kv> = BranchStore::new("main");
+
+    // Configuration data on main.
+    db.apply("main", &set("region", "eu-west"))?;
+    db.apply("main", &set("replicas", "3"))?;
+
+    // A staging branch experiments…
+    db.fork("staging", "main")?;
+    db.apply("staging", &set("replicas", "5"))?;
+    db.apply("staging", &set("feature/queues", "on"))?;
+
+    // …while main gets a hotfix.
+    db.apply("main", &set("region", "eu-central"))?;
+
+    println!("main    : region={:?}", get(&db, "main", "region")?);
+    println!("staging : replicas={:?}", get(&db, "staging", "replicas")?);
+
+    // Criss-cross: each branch pulls the other, then both diverge again —
+    // the merge-base machinery resolves the multiple LCAs recursively.
+    db.merge("main", "staging")?;
+    db.merge("staging", "main")?;
+    db.apply("main", &set("replicas", "7"))?;
+    db.apply("staging", &set("feature/queues", "off"))?;
+    db.merge("main", "staging")?;
+    db.merge("staging", "main")?;
+
+    // Both branches agree, last writer wins per key.
+    for key in ["region", "replicas", "feature/queues"] {
+        let m = get(&db, "main", key)?;
+        let s = get(&db, "staging", key)?;
+        assert_eq!(m, s, "branches disagree on {key}");
+        println!("converged {key} = {m:?}");
+    }
+    assert_eq!(get(&db, "main", "replicas")?.as_deref(), Some("7"));
+    assert_eq!(get(&db, "main", "feature/queues")?.as_deref(), Some("off"));
+
+    println!(
+        "commit DAG: {} commits, main history {} deep",
+        db.commit_count(),
+        db.history("main")?.len()
+    );
+    Ok(())
+}

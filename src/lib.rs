@@ -1,0 +1,95 @@
+//! **Peepul** — certified mergeable replicated data types in Rust.
+//!
+//! A production-grade reproduction of *“Certified Mergeable Replicated
+//! Data Types”* (PLDI 2022): efficient purely functional data structures
+//! promoted to replicated data types by a three-way merge, running on a
+//! Git-like branch-and-merge store, with an executable certification
+//! harness that checks the paper's proof obligations on every explored
+//! execution.
+//!
+//! # Workspace map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`core`] | the formal model: [`core::Mrdt`], abstract executions, specifications, simulation relations, proof obligations |
+//! | [`types`] | the certified data types: counters, flags, registers, sets, logs, maps, three OR-sets, the replicated queue, the chat app |
+//! | [`store`] | the Git-like store: branches, commit DAG, recursive LCAs, Lamport timestamps, SHA-256 content addressing, the formal LTS, multi-threaded replicas |
+//! | [`verify`] | the certification harness: bounded-exhaustive + randomized obligation checking |
+//! | [`quark`] | the evaluation baseline: relational-reification merges à la Quark (OOPSLA 2019) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use peepul::store::BranchStore;
+//! use peepul::types::or_set_space::{OrSetOp, OrSetSpace, OrSetValue};
+//!
+//! # fn main() -> Result<(), peepul::store::StoreError> {
+//! // A replicated shopping list with add-wins conflict resolution.
+//! let mut db: BranchStore<OrSetSpace<String>> = BranchStore::new("laptop");
+//! db.apply("laptop", &OrSetOp::Add("milk".into()))?;
+//! db.fork("phone", "laptop")?;
+//!
+//! // Concurrently: the phone checks milk off, the laptop re-adds it.
+//! db.apply("phone", &OrSetOp::Remove("milk".into()))?;
+//! db.apply("laptop", &OrSetOp::Add("milk".into()))?;
+//!
+//! db.merge("laptop", "phone")?;
+//! let v = db.apply("laptop", &OrSetOp::Lookup("milk".into()))?;
+//! assert_eq!(v, OrSetValue::Present(true)); // add wins
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Certification
+//!
+//! Every data type carries its declarative specification `F_τ` and
+//! replication-aware simulation relation `R_sim`; the harness checks the
+//! Table 2 obligations (`Φ_do`, `Φ_merge`, `Φ_spec`, `Φ_con`) on
+//! bounded-exhaustive and randomized store executions:
+//!
+//! ```
+//! use peepul::types::pn_counter::{PnCounter, PnCounterOp};
+//! use peepul::verify::{BoundedChecker, BoundedConfig};
+//!
+//! let stats = BoundedChecker::<PnCounter>::new(BoundedConfig {
+//!     max_steps: 3,
+//!     max_branches: 2,
+//!     alphabet: vec![PnCounterOp::Increment, PnCounterOp::Decrement],
+//! })
+//! .run()
+//! .expect("every execution satisfies every obligation");
+//! assert!(stats.obligations.total() > 0);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for the reproduction of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use peepul_core as core;
+pub use peepul_quark as quark;
+pub use peepul_store as store;
+pub use peepul_types as types;
+pub use peepul_verify as verify;
+
+/// The most commonly used items, for glob import.
+///
+/// ```
+/// use peepul::prelude::*;
+///
+/// let mut db: BranchStore<Counter> = BranchStore::new("main");
+/// db.apply("main", &peepul::types::counter::CounterOp::Increment).unwrap();
+/// ```
+pub mod prelude {
+    pub use peepul_core::{
+        AbstractOf, AbstractState, Certified, Mrdt, ReplicaId, SimulationRelation, Specification,
+        Timestamp,
+    };
+    pub use peepul_store::{BranchStore, Cluster, StoreError, StoreLts};
+    pub use peepul_types::{
+        Chat, Counter, EwFlag, EwFlagSpace, GMap, GSet, LwwRegister, MergeableLog, MrdtMap, OrSet,
+        OrSetSpace, OrSetSpacetime, PnCounter, Queue,
+    };
+    pub use peepul_verify::{BoundedChecker, BoundedConfig, Runner};
+}

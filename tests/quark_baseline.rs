@@ -1,0 +1,113 @@
+//! Behavioural comparison between the Peepul data types and the Quark
+//! baseline: identical conflict-resolution semantics, divergent cost
+//! profiles — the premise of the paper's §7.2.1 evaluation.
+
+use peepul::prelude::*;
+use peepul::quark::{QuarkOrSet, QuarkQueue};
+use peepul::types::or_set::OrSetOp;
+use peepul::types::or_set_space::OrSetSpace;
+use peepul::types::queue::QueueOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn ts(tick: u64, r: u32) -> Timestamp {
+    Timestamp::new(tick, ReplicaId::new(r))
+}
+
+#[test]
+fn quark_queue_merges_agree_with_peepul_across_random_divergences() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for _ in 0..25 {
+        let mut tick = 0u64;
+        let mut next = |r: u32| {
+            tick += 1;
+            ts(tick, r)
+        };
+        let mut p: Queue<u32> = Queue::initial();
+        let mut q: QuarkQueue<u32> = QuarkQueue::initial();
+        for v in 0..rng.gen_range(0..25u32) {
+            let t = next(0);
+            p = p.apply(&QueueOp::Enqueue(v), t).0;
+            q = q.apply(&QueueOp::Enqueue(v), t).0;
+        }
+        let mut branches = Vec::new();
+        for r in 1..=2u32 {
+            let (mut bp, mut bq) = (p.clone(), q.clone());
+            for i in 0..rng.gen_range(0..20u32) {
+                let t = next(r);
+                if rng.gen_bool(0.35) {
+                    bp = bp.apply(&QueueOp::Dequeue, t).0;
+                    bq = bq.apply(&QueueOp::Dequeue, t).0;
+                } else {
+                    bp = bp.apply(&QueueOp::Enqueue(1000 * r + i), t).0;
+                    bq = bq.apply(&QueueOp::Enqueue(1000 * r + i), t).0;
+                }
+            }
+            branches.push((bp, bq));
+        }
+        let pm = Queue::merge(&p, &branches[0].0, &branches[1].0);
+        let qm = QuarkQueue::merge(&q, &branches[0].1, &branches[1].1);
+        assert_eq!(pm.to_list(), qm.to_list());
+    }
+}
+
+#[test]
+fn quark_or_set_grows_with_duplicates_while_peepul_stays_bounded() {
+    // The Fig. 13 phenomenon in miniature: same workload, wildly different
+    // state sizes.
+    let mut rng = StdRng::seed_from_u64(7);
+    let universe = 50u32;
+    let mut quark: QuarkOrSet<u32> = QuarkOrSet::initial();
+    let mut peepul: OrSetSpace<u32> = OrSetSpace::initial();
+    for tickn in 1..=4000u64 {
+        let x = rng.gen_range(0..universe);
+        let op = if rng.gen_bool(0.5) {
+            OrSetOp::Add(x)
+        } else {
+            OrSetOp::Remove(x)
+        };
+        let t = ts(tickn, 0);
+        quark = quark.apply(&op, t).0;
+        peepul = peepul.apply(&op, t).0;
+    }
+    // Quark hoards duplicate pairs (removes retire only one observed pair,
+    // so each element's count is a reflected random walk) while Peepul
+    // stays ≤ |universe|.
+    assert!(peepul.pair_count() <= universe as usize);
+    assert!(
+        quark.pair_count() > peepul.pair_count() * 3,
+        "quark: {}, peepul: {}",
+        quark.pair_count(),
+        peepul.pair_count()
+    );
+    // Every element Peepul retains, Quark retains too (Quark only ever
+    // *over*-retains).
+    for x in peepul.elements() {
+        assert!(quark.contains(&x));
+    }
+}
+
+#[test]
+fn quark_queue_merge_scales_quadratically_in_relation_size() {
+    // Verify the mechanism behind Fig. 12 without timing: the reified
+    // ordering relation is Θ(n²) while Peepul's merge handles plain lists.
+    use peepul::quark::relations::ordering_relation;
+    for n in [10usize, 20, 40] {
+        let seq: Vec<u32> = (0..n as u32).collect();
+        assert_eq!(ordering_relation(&seq).len(), n * (n - 1) / 2);
+    }
+}
+
+#[test]
+fn quark_or_set_add_wins_matches_peepul_or_set() {
+    let (lq, _) = QuarkOrSet::<u32>::initial().apply(&OrSetOp::Add(1), ts(1, 0));
+    let (lp, _) = OrSet::<u32>::initial().apply(&OrSetOp::Add(1), ts(1, 0));
+    let (qa, _) = lq.apply(&OrSetOp::Remove(1), ts(2, 1));
+    let (pa, _) = lp.apply(&OrSetOp::Remove(1), ts(2, 1));
+    let (qb, _) = lq.apply(&OrSetOp::Add(1), ts(3, 2));
+    let (pb, _) = lp.apply(&OrSetOp::Add(1), ts(3, 2));
+    let qm = QuarkOrSet::merge(&lq, &qa, &qb);
+    let pm = OrSet::merge(&lp, &pa, &pb);
+    assert_eq!(qm.elements(), pm.elements());
+    assert!(qm.contains(&1));
+}

@@ -1,0 +1,196 @@
+//! Integration tests spanning the store, data types and content-addressing
+//! layers.
+
+use peepul::prelude::*;
+use peepul::store::{content_id, ObjectStore};
+use peepul::types::chat::ChatOp;
+use peepul::types::counter::CounterOp;
+use peepul::types::g_set::GSetOp;
+use peepul::types::map::MapOp;
+use peepul::types::or_set_space::{OrSetOp, OrSetValue};
+use peepul::types::queue::{QueueOp, QueueValue};
+
+#[test]
+fn chat_over_the_store_reaches_every_replica() {
+    let mut db: BranchStore<Chat> = BranchStore::new("alice");
+    db.apply(
+        "alice",
+        &ChatOp::Send("#general".into(), "hello".into()),
+    )
+    .unwrap();
+    db.fork("bob", "alice").unwrap();
+    db.apply("bob", &ChatOp::Send("#general".into(), "hi back".into()))
+        .unwrap();
+    db.apply(
+        "alice",
+        &ChatOp::Send("#random".into(), "elsewhere".into()),
+    )
+    .unwrap();
+    db.merge("alice", "bob").unwrap();
+    db.merge("bob", "alice").unwrap();
+
+    let alice = db.state("alice").unwrap();
+    let bob = db.state("bob").unwrap();
+    assert_eq!(alice.channels(), vec!["#general", "#random"]);
+    assert_eq!(alice.messages("#general").len(), 2);
+    assert!(alice.observably_equal(&bob));
+    // Reverse chronological within the channel.
+    let msgs = alice.messages("#general");
+    assert!(msgs[0].0 > msgs[1].0);
+}
+
+#[test]
+fn nested_map_of_sets_over_the_store() {
+    type Inventory = MrdtMap<GSet<String>>;
+    let mut db: BranchStore<Inventory> = BranchStore::new("hq");
+    db.apply(
+        "hq",
+        &MapOp::Set("fruits".into(), GSetOp::Add("apple".into())),
+    )
+    .unwrap();
+    db.fork("warehouse", "hq").unwrap();
+    db.apply(
+        "warehouse",
+        &MapOp::Set("fruits".into(), GSetOp::Add("banana".into())),
+    )
+    .unwrap();
+    db.apply(
+        "hq",
+        &MapOp::Set("tools".into(), GSetOp::Add("hammer".into())),
+    )
+    .unwrap();
+    db.merge("hq", "warehouse").unwrap();
+    let state = db.state("hq").unwrap();
+    assert_eq!(state.keys().collect::<Vec<_>>(), vec!["fruits", "tools"]);
+    let fruits = state.get("fruits").unwrap();
+    assert!(fruits.contains(&"apple".to_owned()) && fruits.contains(&"banana".to_owned()));
+}
+
+#[test]
+fn queue_at_least_once_via_store_merges() {
+    let mut db: BranchStore<Queue<u32>> = BranchStore::new("main");
+    db.apply("main", &QueueOp::Enqueue(1)).unwrap();
+    db.apply("main", &QueueOp::Enqueue(2)).unwrap();
+    db.fork("w1", "main").unwrap();
+    db.fork("w2", "main").unwrap();
+
+    let a = db.apply("w1", &QueueOp::Dequeue).unwrap();
+    let b = db.apply("w2", &QueueOp::Dequeue).unwrap();
+    // Concurrent dequeues observed the same head: at-least-once.
+    assert_eq!(a, b);
+
+    db.merge("main", "w1").unwrap();
+    db.merge("main", "w2").unwrap();
+    // Element 1 was consumed (twice); only 2 remains.
+    match db.apply("main", &QueueOp::Dequeue).unwrap() {
+        QueueValue::Dequeued(Some((_, v))) => assert_eq!(v, 2),
+        other => panic!("expected element 2, got {other:?}"),
+    }
+    match db.apply("main", &QueueOp::Dequeue).unwrap() {
+        QueueValue::Dequeued(None) => {}
+        other => panic!("expected empty, got {other:?}"),
+    }
+}
+
+#[test]
+fn deep_branch_topology_converges() {
+    // A chain of forks with interleaved merges: main → f1 → f2 → f3; each
+    // adds its own element; merges flow back up the chain and down again.
+    let mut db: BranchStore<OrSetSpace<u32>> = BranchStore::new("main");
+    db.apply("main", &OrSetOp::Add(0)).unwrap();
+    db.fork("f1", "main").unwrap();
+    db.fork("f2", "f1").unwrap();
+    db.fork("f3", "f2").unwrap();
+    db.apply("f1", &OrSetOp::Add(1)).unwrap();
+    db.apply("f2", &OrSetOp::Add(2)).unwrap();
+    db.apply("f3", &OrSetOp::Add(3)).unwrap();
+    db.apply("main", &OrSetOp::Remove(0)).unwrap();
+
+    for b in ["f1", "f2", "f3"] {
+        db.merge("main", b).unwrap();
+    }
+    for b in ["f1", "f2", "f3"] {
+        db.merge(b, "main").unwrap();
+    }
+    let main = db.state("main").unwrap();
+    assert_eq!(main.elements(), vec![1, 2, 3]);
+    for b in ["f1", "f2", "f3"] {
+        assert!(db.state(b).unwrap().observably_equal(&main));
+    }
+}
+
+#[test]
+fn repeated_criss_cross_merges_stay_correct() {
+    let mut db: BranchStore<GSet<u32>> = BranchStore::new("a");
+    db.fork("b", "a").unwrap();
+    for round in 0..5u32 {
+        db.apply("a", &GSetOp::Add(round * 2)).unwrap();
+        db.apply("b", &GSetOp::Add(round * 2 + 1)).unwrap();
+        // Criss-cross every round.
+        db.merge("a", "b").unwrap();
+        db.merge("b", "a").unwrap();
+    }
+    let a = db.state("a").unwrap();
+    let b = db.state("b").unwrap();
+    assert_eq!(a.len(), 10);
+    assert!(a.observably_equal(&b));
+}
+
+#[test]
+fn content_addressing_interns_equal_states() {
+    // Replicas that converge produce equal states; the content-addressed
+    // object store interns them to a single object, Irmin-style.
+    let mut store: ObjectStore<Counter> = ObjectStore::new();
+    let mut db: BranchStore<Counter> = BranchStore::new("x");
+    db.fork("y", "x").unwrap();
+    db.apply("x", &CounterOp::Increment).unwrap();
+    db.apply("y", &CounterOp::Increment).unwrap();
+    db.merge("x", "y").unwrap();
+    db.merge("y", "x").unwrap();
+    let sx = *db.state("x").unwrap();
+    let sy = *db.state("y").unwrap();
+    let (idx, _) = store.insert(sx);
+    let (idy, _) = store.insert(sy);
+    assert_eq!(idx, idy, "converged states share one content address");
+    assert_eq!(store.len(), 1);
+}
+
+#[test]
+fn content_ids_discriminate_distinct_states() {
+    let a = {
+        let (s, _) = Counter::initial().apply(
+            &CounterOp::Increment,
+            Timestamp::new(1, ReplicaId::new(0)),
+        );
+        s
+    };
+    assert_ne!(content_id(&Counter::initial()), content_id(&a));
+}
+
+#[test]
+fn or_set_add_wins_end_to_end() {
+    let mut db: BranchStore<OrSetSpace<String>> = BranchStore::new("main");
+    db.apply("main", &OrSetOp::Add("doc".into())).unwrap();
+    db.fork("offline", "main").unwrap();
+    // Offline device re-adds (refresh); main removes.
+    db.apply("offline", &OrSetOp::Add("doc".into())).unwrap();
+    db.apply("main", &OrSetOp::Remove("doc".into())).unwrap();
+    db.merge("main", "offline").unwrap();
+    assert_eq!(
+        db.apply("main", &OrSetOp::Lookup("doc".into())).unwrap(),
+        OrSetValue::Present(true)
+    );
+}
+
+#[test]
+fn history_records_every_transition() {
+    let mut db: BranchStore<Counter> = BranchStore::new("main");
+    for _ in 0..5 {
+        db.apply("main", &CounterOp::Increment).unwrap();
+    }
+    db.fork("dev", "main").unwrap();
+    db.apply("dev", &CounterOp::Increment).unwrap();
+    db.merge("main", "dev").unwrap();
+    // root + 5 DOs + 1 DO on dev + 1 merge = 8 commits in main's history.
+    assert_eq!(db.history("main").unwrap().len(), 8);
+}
