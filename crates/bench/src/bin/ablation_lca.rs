@@ -54,9 +54,21 @@ fn main() {
     let flat_b = Counter::merge(&b1, &a3, &b3);
 
     println!("specification (total increments): {total_increments}");
-    println!("recursive virtual LCA ({}):  merged = {}", virtual_lca.count(), recursive.count());
-    println!("flat LCA = a1's head ({}):   merged = {}", a1.count(), flat_a.count());
-    println!("flat LCA = b1's head ({}):   merged = {}", b1.count(), flat_b.count());
+    println!(
+        "recursive virtual LCA ({}):  merged = {}",
+        virtual_lca.count(),
+        recursive.count()
+    );
+    println!(
+        "flat LCA = a1's head ({}):   merged = {}",
+        a1.count(),
+        flat_a.count()
+    );
+    println!(
+        "flat LCA = b1's head ({}):   merged = {}",
+        b1.count(),
+        flat_b.count()
+    );
 
     assert_eq!(recursive.count(), total_increments, "recursive is correct");
     assert_ne!(flat_a.count(), total_increments, "flat(a1) double-counts");

@@ -34,7 +34,10 @@ fn main() {
         let (pl, pa, pb) = orset_session::<OrSetSpace<u64>>(n, seed);
         let quark = QuarkOrSet::merge(&ql, &qa, &qb);
         let peepul = OrSetSpace::merge(&pl, &pa, &pb);
-        assert!(peepul.pair_count() <= 1000, "Peepul is bounded by the range");
+        assert!(
+            peepul.pair_count() <= 1000,
+            "Peepul is bounded by the range"
+        );
         println!(
             "{:>8} {:>14} {:>14} {:>7.1}x",
             n,

@@ -25,7 +25,10 @@ const SOURCES: &[(&str, &str)] = &[
         "PN counter",
         include_str!("../../../types/src/pn_counter.rs"),
     ),
-    ("Enable-wins flag", include_str!("../../../types/src/ew_flag.rs")),
+    (
+        "Enable-wins flag",
+        include_str!("../../../types/src/ew_flag.rs"),
+    ),
     (
         "Enable-wins flag (space)",
         include_str!("../../../types/src/ew_flag.rs"),
@@ -49,7 +52,10 @@ const SOURCES: &[(&str, &str)] = &[
         "OR-set-spacetime",
         include_str!("../../../types/src/or_set_spacetime.rs"),
     ),
-    ("Replicated queue", include_str!("../../../types/src/queue.rs")),
+    (
+        "Replicated queue",
+        include_str!("../../../types/src/queue.rs"),
+    ),
     (
         "IRC chat (map of logs)",
         include_str!("../../../types/src/chat.rs"),
@@ -85,7 +91,14 @@ fn main() {
     println!("# Table 3 analogue: certification effort per MRDT");
     println!(
         "{:<28} {:>6} {:>12} {:>12} {:>12} {:>10} {:>9} {:>8}",
-        "MRDT", "LoC", "exhaustive", "transitions", "obligations", "time (s)", "envelope", "verdict"
+        "MRDT",
+        "LoC",
+        "exhaustive",
+        "transitions",
+        "obligations",
+        "time (s)",
+        "envelope",
+        "verdict"
     );
     println!("{}", "-".repeat(104));
     let mut failures = 0;

@@ -317,7 +317,10 @@ mod tests {
     impl Specification<Ctr> for CtrSpec {
         fn spec(op: &CtrOp, state: &AbstractOf<Ctr>) -> u64 {
             match op {
-                CtrOp::Read => state.events().filter(|e| matches!(e.op(), CtrOp::Inc)).count() as u64,
+                CtrOp::Read => state
+                    .events()
+                    .filter(|e| matches!(e.op(), CtrOp::Inc))
+                    .count() as u64,
                 CtrOp::Inc => 0,
             }
         }
@@ -326,7 +329,10 @@ mod tests {
     struct CtrSim;
     impl SimulationRelation<Ctr> for CtrSim {
         fn holds(abs: &AbstractOf<Ctr>, conc: &Ctr) -> bool {
-            let incs = abs.events().filter(|e| matches!(e.op(), CtrOp::Inc)).count() as u64;
+            let incs = abs
+                .events()
+                .filter(|e| matches!(e.op(), CtrOp::Inc))
+                .count() as u64;
             conc.0 == incs
         }
     }

@@ -44,13 +44,22 @@ impl fmt::Display for StorePropertyError {
                 write!(f, "Ψ_ts violated: visibility not timestamp-monotone ({d})")
             }
             StorePropertyError::VisibilityMismatch(d) => {
-                write!(f, "Ψ_lca violated: visibility mismatch on shared events ({d})")
+                write!(
+                    f,
+                    "Ψ_lca violated: visibility mismatch on shared events ({d})"
+                )
             }
             StorePropertyError::LcaNotVisible(d) => {
-                write!(f, "Ψ_lca violated: lca event not visible to branch event ({d})")
+                write!(
+                    f,
+                    "Ψ_lca violated: lca event not visible to branch event ({d})"
+                )
             }
             StorePropertyError::NotIntersection(d) => {
-                write!(f, "Ψ_lca violated: lca is not the branch intersection ({d})")
+                write!(
+                    f,
+                    "Ψ_lca violated: lca is not the branch intersection ({d})"
+                )
             }
         }
     }
@@ -203,9 +212,10 @@ mod tests {
 
     #[test]
     fn psi_ts_holds_on_well_formed_executions() {
-        let i: AbstractState<&str, ()> = AbstractState::new()
-            .perform("a", (), ts(1, 0))
-            .perform("b", (), ts(2, 0));
+        let i: AbstractState<&str, ()> =
+            AbstractState::new()
+                .perform("a", (), ts(1, 0))
+                .perform("b", (), ts(2, 0));
         assert!(psi_ts(&i).is_ok());
     }
 
@@ -272,9 +282,9 @@ mod paper_variant_tests {
         let i1: AbstractState<&str, ()> = AbstractState::new().perform("add1", (), ts(1, 0));
         let b0 = i1.perform("add2", (), ts(2, 0));
         let b1 = i1.perform("rm", (), ts(3, 1));
-        let b0 = b0.merged(&b1); // b0 pulled b1
-        // Merging b1 ← b0: the LCA is b1's state {t1, t3}; t2 ∈ b0 \ lca
-        // does not see t3.
+        // b0 pulls b1. Merging b1 ← b0 afterwards: the LCA is b1's state
+        // {t1, t3}; t2 ∈ b0 \ lca does not see t3.
+        let b0 = b0.merged(&b1);
         let l = b1.lca(&b0);
         assert!(l.contains(ts(3, 1)));
         assert!(psi_lca(&l, &b1, &b0).is_ok(), "general form must hold");

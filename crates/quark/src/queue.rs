@@ -132,7 +132,11 @@ impl<T: Clone + PartialEq + Eq + Hash + fmt::Debug> Mrdt for QuarkQueue<T> {
 
 impl<T: fmt::Debug> fmt::Debug for QuarkQueue<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "QuarkQueue(front≤{:?}, rear≥{:?})", self.front, self.rear)
+        write!(
+            f,
+            "QuarkQueue(front≤{:?}, rear≥{:?})",
+            self.front, self.rear
+        )
     }
 }
 

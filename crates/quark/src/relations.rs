@@ -102,7 +102,11 @@ where
             }
         }
     }
-    debug_assert_eq!(out.len(), nodes.len(), "merged ordering relation is acyclic");
+    debug_assert_eq!(
+        out.len(),
+        nodes.len(),
+        "merged ordering relation is acyclic"
+    );
     out
 }
 

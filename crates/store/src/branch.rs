@@ -273,10 +273,7 @@ mod tests {
         s.apply("main", &CounterOp::Increment).unwrap();
         s.fork("dev", "main").unwrap();
         assert_eq!(s.state("dev").unwrap().count(), 1);
-        assert_ne!(
-            s.replica_of("main").unwrap(),
-            s.replica_of("dev").unwrap()
-        );
+        assert_ne!(s.replica_of("main").unwrap(), s.replica_of("dev").unwrap());
     }
 
     #[test]
@@ -382,7 +379,10 @@ mod tests {
         s.apply("main", &CounterOp::Increment).unwrap();
         let h = s.history("main").unwrap();
         assert_eq!(h.len(), 3); // root + 2 DO commits
-        assert_eq!(h.last().copied(), s.history("main").unwrap().last().copied());
+        assert_eq!(
+            h.last().copied(),
+            s.history("main").unwrap().last().copied()
+        );
     }
 
     #[test]

@@ -183,10 +183,8 @@ impl<P> CommitGraph<P> {
         // Keep only the maximal elements: walk candidates from the highest
         // generation down; each new base dominates (excludes) its own
         // ancestors.
-        let mut heap: BinaryHeap<(u64, CommitId)> = common
-            .iter()
-            .map(|&c| (self.generation(c), c))
-            .collect();
+        let mut heap: BinaryHeap<(u64, CommitId)> =
+            common.iter().map(|&c| (self.generation(c), c)).collect();
         let mut dominated: HashSet<CommitId> = HashSet::new();
         let mut bases = Vec::new();
         while let Some((_, c)) = heap.pop() {

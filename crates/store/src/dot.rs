@@ -38,7 +38,12 @@ pub fn render<P>(
     );
     for id in graph.ids() {
         let label = label_of(graph.payload(id)).replace('"', "'");
-        let _ = writeln!(out, "  c{} [label=\"c{}: {label}\"];", id.index(), id.index());
+        let _ = writeln!(
+            out,
+            "  c{} [label=\"c{}: {label}\"];",
+            id.index(),
+            id.index()
+        );
         for parent in graph.parents(id) {
             let _ = writeln!(out, "  c{} -> c{};", parent.index(), id.index());
         }

@@ -275,10 +275,7 @@ impl<M: Mrdt> StoreLts<M> {
             .graph
             .add_commit(vec![c_into, c_from], post.clone())
             .expect("heads are valid parents");
-        self.branches
-            .get_mut(into)
-            .expect("branch checked above")
-            .0 = new_head;
+        self.branches.get_mut(into).expect("branch checked above").0 = new_head;
         Ok(MergeOutcome {
             lca,
             pre_into,

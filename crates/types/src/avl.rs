@@ -79,7 +79,12 @@ fn rebalance<K: Clone, V: Clone>(
             mk(
                 lr.key.clone(),
                 lr.val.clone(),
-                Some(mk(l.key.clone(), l.val.clone(), l.left.clone(), lr.left.clone())),
+                Some(mk(
+                    l.key.clone(),
+                    l.val.clone(),
+                    l.left.clone(),
+                    lr.left.clone(),
+                )),
                 Some(mk(key, val, lr.right.clone(), right)),
             )
         }
@@ -100,7 +105,12 @@ fn rebalance<K: Clone, V: Clone>(
                 rl.key.clone(),
                 rl.val.clone(),
                 Some(mk(key, val, left, rl.left.clone())),
-                Some(mk(r.key.clone(), r.val.clone(), rl.right.clone(), r.right.clone())),
+                Some(mk(
+                    r.key.clone(),
+                    r.val.clone(),
+                    rl.right.clone(),
+                    r.right.clone(),
+                )),
             )
         }
     } else {
@@ -216,7 +226,12 @@ impl<K: Ord + Clone, V: Clone> AvlMap<K, V> {
                     let (kv, rest) = take_min(l);
                     (
                         kv,
-                        Some(rebalance(n.key.clone(), n.val.clone(), rest, n.right.clone())),
+                        Some(rebalance(
+                            n.key.clone(),
+                            n.val.clone(),
+                            rest,
+                            n.right.clone(),
+                        )),
                     )
                 }
             }
@@ -315,7 +330,11 @@ impl<K: Ord, V> AvlMap<K, V> {
     /// Verifies the BST ordering, AVL balance, and cached height/size
     /// fields. Intended for tests; `O(n)`.
     pub fn check_invariants(&self) -> Result<(), String> {
-        fn go<K: Ord, V>(link: &Link<K, V>, lo: Option<&K>, hi: Option<&K>) -> Result<(u32, usize), String> {
+        fn go<K: Ord, V>(
+            link: &Link<K, V>,
+            lo: Option<&K>,
+            hi: Option<&K>,
+        ) -> Result<(u32, usize), String> {
             let Some(n) = link else {
                 return Ok((0, 0));
             };

@@ -391,8 +391,8 @@ mod tests {
 
     #[test]
     fn space_simulation_requires_greatest_live_token() {
-        let i = AbstractOf::<EwFlagSpace>::new()
-            .perform(EwFlagOp::Enable, EwFlagValue::Ack, tsr(1, 1));
+        let i =
+            AbstractOf::<EwFlagSpace>::new().perform(EwFlagOp::Enable, EwFlagValue::Ack, tsr(1, 1));
         let i = i.perform(EwFlagOp::Enable, EwFlagValue::Ack, tsr(2, 2));
         assert!(EwFlagSpaceSim::holds(
             &i,

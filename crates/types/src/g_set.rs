@@ -193,10 +193,7 @@ mod tests {
         let (a, _) = a.apply(&GSetOp::Add(2), ts(2));
         let (b, _) = lca.apply(&GSetOp::Add(3), ts(3));
         let m = GSet::merge(&lca, &a, &b);
-        assert_eq!(
-            m.iter().copied().collect::<Vec<_>>(),
-            vec![1, 2, 3]
-        );
+        assert_eq!(m.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
     }
 
     #[test]

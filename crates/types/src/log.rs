@@ -124,12 +124,8 @@ impl<M: Ord + Clone + PartialEq + fmt::Debug> Mrdt for MergeableLog<M> {
         // merges that assumption fails and the concatenation would break
         // the reverse-chronological invariant, so the general union form
         // is used here. The two agree on the paper's envelope.
-        let mut entries: Vec<(Timestamp, M)> = a
-            .entries
-            .iter()
-            .chain(b.entries.iter())
-            .cloned()
-            .collect();
+        let mut entries: Vec<(Timestamp, M)> =
+            a.entries.iter().chain(b.entries.iter()).cloned().collect();
         entries.sort_by(|(t1, _), (t2, _)| t2.cmp(t1));
         entries.dedup_by(|x, y| x.0 == y.0);
         MergeableLog {

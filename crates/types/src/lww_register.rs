@@ -224,7 +224,8 @@ mod tests {
 
     #[test]
     fn simulation_checks_value_and_time() {
-        let i = AbstractOf::<LwwRegister<u32>>::new().perform(LwwOp::Write(1), LwwValue::Ack, ts(1, 0));
+        let i =
+            AbstractOf::<LwwRegister<u32>>::new().perform(LwwOp::Write(1), LwwValue::Ack, ts(1, 0));
         let (good, _) = LwwRegister::<u32>::initial().apply(&LwwOp::Write(1), ts(1, 0));
         assert!(LwwSim::holds(&i, &good));
         let (stale_time, _) = LwwRegister::<u32>::initial().apply(&LwwOp::Write(1), ts(9, 0));

@@ -210,12 +210,10 @@ impl<V: Mrdt> Mrdt for MrdtMap<V> {
     fn observably_equal(&self, other: &Self) -> bool {
         // Same keys, and the nested values observationally equal per key.
         self.entries.len() == other.entries.len()
-            && self.entries.iter().all(|(k, v)| {
-                other
-                    .entries
-                    .get(k)
-                    .is_some_and(|w| v.observably_equal(w))
-            })
+            && self
+                .entries
+                .iter()
+                .all(|(k, v)| other.entries.get(k).is_some_and(|w| v.observably_equal(w)))
     }
 }
 
@@ -404,7 +402,8 @@ mod tests {
             CounterValue::Ack,
             ts(1, 0),
         );
-        let (good, _) = MrdtMap::<Counter>::initial().apply(&set("a", CounterOp::Increment), ts(1, 0));
+        let (good, _) =
+            MrdtMap::<Counter>::initial().apply(&set("a", CounterOp::Increment), ts(1, 0));
         assert!(MapSim::holds(&i, &good));
         // Wrong domain.
         assert!(!MapSim::holds(&i, &MrdtMap::initial()));

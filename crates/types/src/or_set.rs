@@ -49,19 +49,13 @@ pub struct OrSetSpec;
 
 /// The abstract-execution type shared by all three OR-set variants (they
 /// have identical operation and return-value types).
-pub(crate) type OrSetAbstract<T> =
-    peepul_core::AbstractState<OrSetOp<T>, OrSetValue<T>>;
+pub(crate) type OrSetAbstract<T> = peepul_core::AbstractState<OrSetOp<T>, OrSetValue<T>>;
 
 /// Is the `add` event `add_id` of element `x` *live* (unseen by any
 /// `remove(x)`)?
-pub(crate) fn add_is_live<T: PartialEq>(
-    abs: &OrSetAbstract<T>,
-    add_id: Timestamp,
-    x: &T,
-) -> bool {
-    !abs.events().any(|r| {
-        matches!(r.op(), OrSetOp::Remove(y) if y == x) && abs.vis(add_id, r.id())
-    })
+pub(crate) fn add_is_live<T: PartialEq>(abs: &OrSetAbstract<T>, add_id: Timestamp, x: &T) -> bool {
+    !abs.events()
+        .any(|r| matches!(r.op(), OrSetOp::Remove(y) if y == x) && abs.vis(add_id, r.id()))
 }
 
 /// All live `(element, add-timestamp)` pairs of an abstract OR-set
@@ -186,12 +180,7 @@ impl<T: Ord + Clone + PartialEq + fmt::Debug> Mrdt for OrSet<T> {
             }
             OrSetOp::Remove(x) => {
                 let next = OrSet {
-                    pairs: self
-                        .pairs
-                        .iter()
-                        .filter(|(y, _)| y != x)
-                        .cloned()
-                        .collect(),
+                    pairs: self.pairs.iter().filter(|(y, _)| y != x).cloned().collect(),
                 };
                 (next, OrSetValue::Ack)
             }
@@ -232,16 +221,12 @@ pub struct OrSetSim;
 
 impl<T: Ord + Clone + PartialEq + fmt::Debug> SimulationRelation<OrSet<T>> for OrSetSim {
     fn holds(abs: &AbstractOf<OrSet<T>>, conc: &OrSet<T>) -> bool {
-        let live: BTreeSet<(T, Timestamp)> = live_adds(abs)
-            .into_iter()
-            .collect();
+        let live: BTreeSet<(T, Timestamp)> = live_adds(abs).into_iter().collect();
         conc.pair_set() == live
     }
 
     fn explain_failure(abs: &AbstractOf<OrSet<T>>, conc: &OrSet<T>) -> Option<String> {
-        let live: BTreeSet<(T, Timestamp)> = live_adds(abs)
-            .into_iter()
-            .collect();
+        let live: BTreeSet<(T, Timestamp)> = live_adds(abs).into_iter().collect();
         (conc.pair_set() != live).then(|| {
             format!(
                 "concrete pairs {:?} differ from live adds {:?}",

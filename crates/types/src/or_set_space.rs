@@ -156,12 +156,7 @@ impl<T: Ord + Clone + PartialEq + fmt::Debug> Mrdt for OrSetSpace<T> {
             }
             OrSetOp::Remove(x) => {
                 let next = OrSetSpace {
-                    pairs: self
-                        .pairs
-                        .iter()
-                        .filter(|(y, _)| y != x)
-                        .cloned()
-                        .collect(),
+                    pairs: self.pairs.iter().filter(|(y, _)| y != x).cloned().collect(),
                 };
                 (next, OrSetValue::Ack)
             }

@@ -260,7 +260,11 @@ mod tests {
         for _ in 0..100 {
             let x = rng.gen_range(0..20);
             let add = rng.gen_bool(0.5);
-            let op = if add { OrSetOp::Add(x) } else { OrSetOp::Remove(x) };
+            let op = if add {
+                OrSetOp::Add(x)
+            } else {
+                OrSetOp::Remove(x)
+            };
             if rng.gen_bool(0.5) {
                 let t = next(1);
                 a_list = a_list.apply(&op, t).0;

@@ -303,9 +303,8 @@ pub fn live_enqueues<T: Clone + PartialEq + fmt::Debug>(
             _ => None,
         })
         .filter(|(t, _)| {
-            !abs.events().any(|d| {
-                matches!(d.rval(), QueueValue::Dequeued(Some((dt, _))) if dt == t)
-            })
+            !abs.events()
+                .any(|d| matches!(d.rval(), QueueValue::Dequeued(Some((dt, _))) if dt == t))
         })
         .collect();
     live.sort_by_key(|(t, _)| *t);
@@ -378,18 +377,14 @@ pub mod axioms {
             && matches!(deq.rval(), QueueValue::Dequeued(Some((t, _))) if *t == e1)
     }
 
-    fn dequeues<T: Clone + PartialEq + fmt::Debug>(
-        abs: &AbstractOf<Queue<T>>,
-    ) -> Vec<EventId> {
+    fn dequeues<T: Clone + PartialEq + fmt::Debug>(abs: &AbstractOf<Queue<T>>) -> Vec<EventId> {
         abs.events()
             .filter(|e| matches!(e.op(), QueueOp::Dequeue))
             .map(|e| e.id())
             .collect()
     }
 
-    fn enqueues<T: Clone + PartialEq + fmt::Debug>(
-        abs: &AbstractOf<Queue<T>>,
-    ) -> Vec<EventId> {
+    fn enqueues<T: Clone + PartialEq + fmt::Debug>(abs: &AbstractOf<Queue<T>>) -> Vec<EventId> {
         abs.events()
             .filter(|e| matches!(e.op(), QueueOp::Enqueue(_)))
             .map(|e| e.id())
@@ -401,9 +396,7 @@ pub mod axioms {
     pub fn add_rem<T: Clone + PartialEq + fmt::Debug>(abs: &AbstractOf<Queue<T>>) -> bool {
         dequeues(abs).into_iter().all(|d| {
             match abs.event(d).expect("dequeue id came from abs").rval() {
-                QueueValue::Dequeued(Some((t, _))) => {
-                    enqueues(abs).contains(t) && abs.vis(*t, d)
-                }
+                QueueValue::Dequeued(Some((t, _))) => enqueues(abs).contains(t) && abs.vis(*t, d),
                 _ => true,
             }
         })
@@ -686,7 +679,8 @@ mod tests {
         let lca: Queue<u32> = Queue::initial();
         let b0 = enq(&lca, 10, ts(1, 0));
         let b1 = enq(&lca, 20, ts(2, 1));
-        let b0 = Queue::merge(&lca, &b0, &b1); // b0 pulls b1: [10, 20]
+        // b0 pulls b1, becoming [10, 20].
+        let b0 = Queue::merge(&lca, &b0, &b1);
         // Second merge: merge b1 ← b0 with LCA = b1's head.
         let general = Queue::merge(&b1, &b1, &b0);
         assert_eq!(

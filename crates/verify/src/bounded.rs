@@ -175,9 +175,7 @@ mod tests {
 
     #[test]
     fn exhaustive_search_finds_injected_bug() {
-        use peepul_core::{
-            AbstractOf, Mrdt, SimulationRelation, Specification, Timestamp,
-        };
+        use peepul_core::{AbstractOf, Mrdt, SimulationRelation, Specification, Timestamp};
 
         /// A counter whose merge double-counts the LCA.
         #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]

@@ -14,8 +14,8 @@ use proptest::prelude::*;
 ///
 /// Branch indices are generated modulo the branch count at execution time
 /// by [`normalize`], so shrinking never produces an ill-formed schedule.
-fn raw_step<Op: std::fmt::Debug + Clone>(
-    op: impl Strategy<Value = Op> + Clone,
+fn raw_step<Op: std::fmt::Debug + Clone + 'static>(
+    op: impl Strategy<Value = Op> + Clone + 'static,
 ) -> impl Strategy<Value = RawStep<Op>> {
     prop_oneof![
         1 => Just(RawStep::Create { from: 0 }),
@@ -89,8 +89,8 @@ fn normalize<Op>(raw: Vec<RawStep<Op>>, max_branches: usize) -> Schedule<Op> {
 ///     prop_assert!(runner.run_schedule(&schedule).is_ok());
 /// });
 /// ```
-pub fn schedules<Op: std::fmt::Debug + Clone>(
-    op: impl Strategy<Value = Op> + Clone,
+pub fn schedules<Op: std::fmt::Debug + Clone + 'static>(
+    op: impl Strategy<Value = Op> + Clone + 'static,
     max_steps: usize,
     max_branches: usize,
 ) -> impl Strategy<Value = Schedule<Op>> {

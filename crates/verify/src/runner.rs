@@ -184,9 +184,7 @@ where
                 // The checker recomputed the transition from the same pure
                 // inputs; a mismatch means the harness (not the data type)
                 // is broken.
-                if abs_next != *outcome.post.abstract_state
-                    || conc_next != *outcome.post.concrete
-                {
+                if abs_next != *outcome.post.abstract_state || conc_next != *outcome.post.concrete {
                     return Err(CertificationError::HarnessMismatch(format!(
                         "DO at step {index} disagrees with store transition"
                     )));
@@ -219,9 +217,7 @@ where
                     step: describe(step),
                     error,
                 })?;
-                if abs_next != *outcome.post.abstract_state
-                    || conc_next != *outcome.post.concrete
-                {
+                if abs_next != *outcome.post.abstract_state || conc_next != *outcome.post.concrete {
                     return Err(CertificationError::HarnessMismatch(format!(
                         "MERGE at step {index} disagrees with store transition"
                     )));
@@ -392,8 +388,7 @@ mod tests {
     struct LossySim;
     impl SimulationRelation<LossySet> for LossySim {
         fn holds(abs: &AbstractOf<LossySet>, conc: &LossySet) -> bool {
-            let added: std::collections::BTreeSet<u32> =
-                abs.events().map(|e| e.op().0).collect();
+            let added: std::collections::BTreeSet<u32> = abs.events().map(|e| e.op().0).collect();
             conc.0 == added
         }
     }
@@ -426,10 +421,7 @@ mod tests {
                 step_index, error, ..
             } => {
                 assert_eq!(step_index, 3);
-                assert_eq!(
-                    error.obligation(),
-                    peepul_core::Obligation::PhiMerge
-                );
+                assert_eq!(error.obligation(), peepul_core::Obligation::PhiMerge);
             }
             other => panic!("expected obligation failure, got {other}"),
         }

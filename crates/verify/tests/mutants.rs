@@ -32,9 +32,7 @@ where
     });
     match checker.run() {
         Ok(_) => None,
-        Err(CertificationError::Obligation { error, step, .. }) => {
-            Some((error.obligation(), step))
-        }
+        Err(CertificationError::Obligation { error, step, .. }) => Some((error.obligation(), step)),
         Err(other) => panic!("expected an obligation failure, got {other}"),
     }
 }
@@ -67,7 +65,12 @@ impl Mrdt for TwoWaySet {
         TwoWaySet(
             a.0.symmetric_difference(&b.0)
                 .copied()
-                .chain(lca.0.intersection(&a.0).copied().filter(|x| !b.0.contains(x)))
+                .chain(
+                    lca.0
+                        .intersection(&a.0)
+                        .copied()
+                        .filter(|x| !b.0.contains(x)),
+                )
                 .collect(),
         )
     }
@@ -94,7 +97,10 @@ fn two_way_merge_bug_is_caught_as_phi_merge() {
     let (obligation, step) =
         first_violation::<TwoWaySet>(4, vec![Put(1), Put(2)]).expect("mutant must be caught");
     assert_eq!(obligation, Obligation::PhiMerge);
-    assert!(step.contains("MERGE"), "failure localised to a merge: {step}");
+    assert!(
+        step.contains("MERGE"),
+        "failure localised to a merge: {step}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -146,8 +152,16 @@ impl Mrdt for RemoveWinsSet {
             (a.pairs.contains(p) && b.pairs.contains(p))
                 || (!lca.pairs.iter().any(|(y, _)| *y == p.0)
                     && (a.pairs.contains(p) || b.pairs.contains(p))
-                    && a.pairs.iter().chain(b.pairs.iter()).filter(|(y, _)| *y == p.0).count()
-                        == a.pairs.iter().chain(b.pairs.iter()).filter(|q| *q == p).count()
+                    && a.pairs
+                        .iter()
+                        .chain(b.pairs.iter())
+                        .filter(|(y, _)| *y == p.0)
+                        .count()
+                        == a.pairs
+                            .iter()
+                            .chain(b.pairs.iter())
+                            .filter(|q| *q == p)
+                            .count()
                     && {
                         // fresh pair survives only if the element was never
                         // in the lca (so no remove could have targeted it)
@@ -199,8 +213,7 @@ impl SimulationRelation<RemoveWinsSet> for RwSim {
             .filter_map(|e| match e.op() {
                 OrSetOp::Add(x)
                     if !abs.events().any(|r| {
-                        matches!(r.op(), OrSetOp::Remove(y) if y == x)
-                            && abs.vis(e.id(), r.id())
+                        matches!(r.op(), OrSetOp::Remove(y) if y == x) && abs.vis(e.id(), r.id())
                     }) =>
                 {
                     Some((*x, e.id()))
@@ -208,7 +221,11 @@ impl SimulationRelation<RemoveWinsSet> for RwSim {
                 _ => None,
             })
             .collect();
-        conc.pairs.iter().cloned().collect::<std::collections::BTreeSet<_>>() == live
+        conc.pairs
+            .iter()
+            .cloned()
+            .collect::<std::collections::BTreeSet<_>>()
+            == live
     }
 }
 impl Certified for RemoveWinsSet {
@@ -341,14 +358,21 @@ impl Specification<OffByOneCounter> for OboSpec {
     fn spec(op: &OboOp, abs: &AbstractOf<OffByOneCounter>) -> u64 {
         match op {
             OboOp::Inc => 0,
-            OboOp::Read => abs.events().filter(|e| matches!(e.op(), OboOp::Inc)).count() as u64,
+            OboOp::Read => abs
+                .events()
+                .filter(|e| matches!(e.op(), OboOp::Inc))
+                .count() as u64,
         }
     }
 }
 struct OboSim;
 impl SimulationRelation<OffByOneCounter> for OboSim {
     fn holds(abs: &AbstractOf<OffByOneCounter>, conc: &OffByOneCounter) -> bool {
-        conc.0 == abs.events().filter(|e| matches!(e.op(), OboOp::Inc)).count() as u64
+        conc.0
+            == abs
+                .events()
+                .filter(|e| matches!(e.op(), OboOp::Inc))
+                .count() as u64
     }
 }
 impl Certified for OffByOneCounter {

@@ -48,7 +48,9 @@ fn main() {
          see DESIGN.md §6 — the space-optimized types cannot merge correctly outside it."
     );
     if all_passed {
-        println!("every data type certified: Φ_do ∧ Φ_merge ∧ Φ_spec ∧ Φ_con on all explored executions");
+        println!(
+            "every data type certified: Φ_do ∧ Φ_merge ∧ Φ_spec ∧ Φ_con on all explored executions"
+        );
     } else {
         std::process::exit(1);
     }

@@ -52,15 +52,17 @@ fn main() -> Result<(), StoreError> {
         let view = db.state(user)?;
         assert_eq!(alice.channels(), view.channels());
         for ch in alice.channels() {
-            assert_eq!(alice.messages(ch), view.messages(ch), "{user} diverges on {ch}");
+            assert_eq!(
+                alice.messages(ch),
+                view.messages(ch),
+                "{user} diverges on {ch}"
+            );
         }
     }
     println!("replicas converged: {} channels", alice.channels().len());
 
     // Logs are reverse chronological: newest message first.
     let rust_log = alice.messages("#rust");
-    assert!(rust_log
-        .windows(2)
-        .all(|w| w[0].0 > w[1].0));
+    assert!(rust_log.windows(2).all(|w| w[0].0 > w[1].0));
     Ok(())
 }

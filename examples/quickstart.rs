@@ -45,7 +45,11 @@ fn main() -> Result<(), StoreError> {
     assert_eq!(laptop.elements(), phone.elements(), "replicas converged");
 
     let v = db.apply("laptop", &OrSetOp::Lookup("milk".into()))?;
-    assert_eq!(v, OrSetValue::Present(true), "add wins over concurrent remove");
+    assert_eq!(
+        v,
+        OrSetValue::Present(true),
+        "add wins over concurrent remove"
+    );
     let v = db.apply("laptop", &OrSetOp::Lookup("bread".into()))?;
     assert_eq!(v, OrSetValue::Present(false), "plain remove still removes");
 

@@ -14,10 +14,7 @@ fn set(key: &str, value: &str) -> MapOp<LwwRegister<String>> {
 }
 
 fn get(db: &BranchStore<Kv>, branch: &str, key: &str) -> Result<Option<String>, StoreError> {
-    Ok(db
-        .state(branch)?
-        .get(key)
-        .and_then(|r| r.get().cloned()))
+    Ok(db.state(branch)?.get(key).and_then(|r| r.get().cloned()))
 }
 
 fn main() -> Result<(), StoreError> {

@@ -12,7 +12,10 @@
 use peepul::store::{BranchStore, StoreError};
 use peepul::types::queue::{Queue, QueueOp, QueueValue};
 
-fn dequeue(db: &mut BranchStore<Queue<String>>, worker: &str) -> Result<Option<String>, StoreError> {
+fn dequeue(
+    db: &mut BranchStore<Queue<String>>,
+    worker: &str,
+) -> Result<Option<String>, StoreError> {
     match db.apply(worker, &QueueOp::Dequeue)? {
         QueueValue::Dequeued(Some((_, job))) => Ok(Some(job)),
         QueueValue::Dequeued(None) => Ok(None),
@@ -72,7 +75,12 @@ fn main() -> Result<(), StoreError> {
     fig.apply("a", &QueueOp::Enqueue(8))?;
     fig.apply("a", &QueueOp::Enqueue(9))?;
     fig.merge("a", "b")?;
-    let merged: Vec<u32> = fig.state("a")?.to_list().into_iter().map(|(_, v)| v).collect();
+    let merged: Vec<u32> = fig
+        .state("a")?
+        .to_list()
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
     println!("figure 11 merge: {merged:?}");
     assert_eq!(merged, vec![3, 4, 5, 6, 7, 8, 9]);
     Ok(())

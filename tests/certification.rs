@@ -43,7 +43,11 @@ fn space_optimized_types_are_certified_relative_to_the_envelope() {
             .find(|s| s.name == n)
             .unwrap_or_else(|| panic!("missing summary {n}"))
     };
-    for name in ["OR-set-space", "OR-set-spacetime", "Enable-wins flag (space)"] {
+    for name in [
+        "OR-set-space",
+        "OR-set-spacetime",
+        "Enable-wins flag (space)",
+    ] {
         assert_eq!(by_name(name).policy, MergePolicy::PaperEnvelope, "{name}");
     }
     for name in ["OR-set", "Replicated queue", "Mergeable log"] {

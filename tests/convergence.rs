@@ -58,7 +58,10 @@ fn merge_laws<M: Mrdt>(lca: &M, a: &M, b: &M) {
     // supply (and which delta-style merges like the counter's rightly
     // reject).
     let aa = M::merge(a, a, a);
-    assert!(aa.observably_equal(a), "merge not idempotent: {aa:?} vs {a:?}");
+    assert!(
+        aa.observably_equal(a),
+        "merge not idempotent: {aa:?} vs {a:?}"
+    );
     let al = M::merge(lca, a, lca);
     assert!(
         al.observably_equal(a),

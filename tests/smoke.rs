@@ -1,0 +1,132 @@
+//! Tier-1 canary: the fastest end-to-end exercise of the store.
+//!
+//! One fork/apply/merge round-trip through [`BranchStore`] for three
+//! representative data types — a delta-merge counter, an add-wins OR-set
+//! and the replicated queue. If this file fails, nothing deeper (the
+//! certification harness, the convergence properties, the benchmarks) is
+//! worth reading; it is deliberately free of randomness and finishes in
+//! milliseconds.
+
+use peepul::prelude::*;
+use peepul::types::counter::{CounterOp, CounterValue};
+use peepul::types::or_set::{OrSetOp, OrSetValue};
+use peepul::types::queue::{QueueOp, QueueValue};
+
+#[test]
+fn counter_fork_apply_merge() {
+    let mut db: BranchStore<Counter> = BranchStore::new("main");
+    db.apply("main", &CounterOp::Increment).unwrap();
+    db.fork("feature", "main").unwrap();
+
+    // Concurrent increments on both branches.
+    db.apply("main", &CounterOp::Increment).unwrap();
+    db.apply("feature", &CounterOp::Increment).unwrap();
+    db.apply("feature", &CounterOp::Increment).unwrap();
+
+    db.merge("main", "feature").unwrap();
+    let v = db.apply("main", &CounterOp::Value).unwrap();
+    // 1 shared + 1 on main + 2 on feature: the delta merge loses nothing.
+    assert_eq!(v, CounterValue::Count(4));
+}
+
+#[test]
+fn or_set_add_wins_across_merge() {
+    let mut db: BranchStore<OrSetSpace<String>> = BranchStore::new("laptop");
+    db.apply("laptop", &OrSetOp::Add("milk".into())).unwrap();
+    db.fork("phone", "laptop").unwrap();
+
+    // Concurrently: phone removes, laptop re-adds — add must win.
+    db.apply("phone", &OrSetOp::Remove("milk".into())).unwrap();
+    db.apply("laptop", &OrSetOp::Add("milk".into())).unwrap();
+
+    db.merge("laptop", "phone").unwrap();
+    let v = db.apply("laptop", &OrSetOp::Lookup("milk".into())).unwrap();
+    assert_eq!(v, OrSetValue::Present(true));
+
+    // And the removal of a non-re-added element does stick.
+    db.apply("phone", &OrSetOp::Add("eggs".into())).unwrap();
+    db.merge("laptop", "phone").unwrap();
+    db.apply("laptop", &OrSetOp::Remove("eggs".into())).unwrap();
+    db.fork("tablet", "laptop").unwrap();
+    db.merge("laptop", "tablet").unwrap();
+    let v = db.apply("laptop", &OrSetOp::Lookup("eggs".into())).unwrap();
+    assert_eq!(v, OrSetValue::Present(false));
+}
+
+#[test]
+fn queue_merge_interleaves_in_timestamp_order() {
+    let mut db: BranchStore<Queue<u32>> = BranchStore::new("a");
+    db.apply("a", &QueueOp::Enqueue(1)).unwrap();
+    db.fork("b", "a").unwrap();
+
+    // Divergent enqueues: a gets 2, then b gets 3 (later Lamport time).
+    db.apply("a", &QueueOp::Enqueue(2)).unwrap();
+    db.apply("b", &QueueOp::Enqueue(3)).unwrap();
+    // b consumes the shared head concurrently.
+    let v = db.apply("b", &QueueOp::Dequeue).unwrap();
+    match v {
+        QueueValue::Dequeued(Some(entry)) => assert_eq!(entry.1, 1),
+        other => panic!("expected to dequeue the shared head, got {other:?}"),
+    }
+
+    db.merge("a", "b").unwrap();
+    // After the merge: 1 was dequeued on b (dequeues win), and the
+    // concurrent enqueues appear in timestamp order.
+    let first = db.apply("a", &QueueOp::Dequeue).unwrap();
+    let second = db.apply("a", &QueueOp::Dequeue).unwrap();
+    let drained = db.apply("a", &QueueOp::Dequeue).unwrap();
+    match (first, second) {
+        (QueueValue::Dequeued(Some(x)), QueueValue::Dequeued(Some(y))) => {
+            assert_eq!(
+                (x.1, y.1),
+                (2, 3),
+                "merge must keep both branches' enqueues in order"
+            );
+        }
+        other => panic!("expected two dequeues, got {other:?}"),
+    }
+    assert_eq!(
+        drained,
+        QueueValue::Dequeued(None),
+        "queue must then be empty"
+    );
+}
+
+/// The three types above, driven through the same fork/apply/merge shape by
+/// one generic function — guards the `Mrdt`-generic store path itself
+/// (monomorphization differences can't hide here).
+#[test]
+fn generic_store_round_trip_for_three_types() {
+    fn round_trip<M: Mrdt>(ops: &[M::Op]) -> BranchStore<M> {
+        let mut db: BranchStore<M> = BranchStore::new("root");
+        db.fork("left", "root").unwrap();
+        db.fork("right", "root").unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            let branch = if i % 2 == 0 { "left" } else { "right" };
+            db.apply(branch, op).unwrap();
+        }
+        db.merge("left", "right").unwrap();
+        db.merge("right", "left").unwrap();
+        let l = db.state("left").unwrap();
+        let r = db.state("right").unwrap();
+        assert!(
+            l.observably_equal(&r),
+            "left/right disagree after bidirectional merge"
+        );
+        db
+    }
+
+    round_trip::<Counter>(&[CounterOp::Increment; 6]);
+    round_trip::<OrSetSpace<u32>>(&[
+        OrSetOp::Add(1),
+        OrSetOp::Add(2),
+        OrSetOp::Remove(1),
+        OrSetOp::Add(3),
+    ]);
+    round_trip::<Queue<u32>>(&[
+        QueueOp::Enqueue(10),
+        QueueOp::Enqueue(20),
+        QueueOp::Dequeue,
+        QueueOp::Enqueue(30),
+    ]);
+}

@@ -13,19 +13,13 @@ use peepul::types::queue::{QueueOp, QueueValue};
 #[test]
 fn chat_over_the_store_reaches_every_replica() {
     let mut db: BranchStore<Chat> = BranchStore::new("alice");
-    db.apply(
-        "alice",
-        &ChatOp::Send("#general".into(), "hello".into()),
-    )
-    .unwrap();
+    db.apply("alice", &ChatOp::Send("#general".into(), "hello".into()))
+        .unwrap();
     db.fork("bob", "alice").unwrap();
     db.apply("bob", &ChatOp::Send("#general".into(), "hi back".into()))
         .unwrap();
-    db.apply(
-        "alice",
-        &ChatOp::Send("#random".into(), "elsewhere".into()),
-    )
-    .unwrap();
+    db.apply("alice", &ChatOp::Send("#random".into(), "elsewhere".into()))
+        .unwrap();
     db.merge("alice", "bob").unwrap();
     db.merge("bob", "alice").unwrap();
 
@@ -158,10 +152,8 @@ fn content_addressing_interns_equal_states() {
 #[test]
 fn content_ids_discriminate_distinct_states() {
     let a = {
-        let (s, _) = Counter::initial().apply(
-            &CounterOp::Increment,
-            Timestamp::new(1, ReplicaId::new(0)),
-        );
+        let (s, _) =
+            Counter::initial().apply(&CounterOp::Increment, Timestamp::new(1, ReplicaId::new(0)));
         s
     };
     assert_ne!(content_id(&Counter::initial()), content_id(&a));

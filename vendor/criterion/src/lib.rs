@@ -1,0 +1,284 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! vendored so the workspace builds without network access.
+//!
+//! Benchmarks compile and *run*: each `Bencher::iter` target is warmed up
+//! and then timed over enough iterations to fill the group's measurement
+//! time, and the median per-iteration time is printed as
+//! `group/function/param  time: …`. There is no statistical analysis, no
+//! HTML report and no saved baselines — `cargo bench` here is a smoke-run
+//! plus a rough number, and `cargo bench --no-run` (the CI gate) is a pure
+//! compile check. The real criterion can be swapped back in by deleting
+//! `vendor/criterion` once the build environment has registry access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark context handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` narrows which benchmarks run. Flags the
+        // real criterion accepts are ignored — including the value of
+        // value-taking flags like `--sample-size 50`, which must not be
+        // mistaken for a filter.
+        const BOOLEAN_FLAGS: &[&str] = &["--bench", "--list", "--exact", "--nocapture"];
+        let mut filter = None;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            if a.starts_with('-') {
+                let takes_value = !BOOLEAN_FLAGS.contains(&a.as_str()) && !a.contains('=');
+                if takes_value {
+                    args.next();
+                }
+            } else {
+                filter = Some(a);
+                break;
+            }
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; argument handling already
+    /// happens in `Default`, so this is the identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("").bench_function(id, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered into the id.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("merge", 1000)` → id `merge/1000`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the wall-clock budget for one benchmark's measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = self.full_id(&id.id);
+        if self.criterion.matches(&full) {
+            let mut b = Bencher::new(self.sample_size, self.measurement_time);
+            f(&mut b, input);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = self.full_id(&id.to_string());
+        if self.criterion.matches(&full) {
+            let mut b = Bencher::new(self.sample_size, self.measurement_time);
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Ends the group (output already happened per-benchmark).
+    pub fn finish(self) {}
+
+    fn full_id(&self, id: &str) -> String {
+        if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Bencher {
+            sample_size,
+            measurement_time,
+            median_ns: None,
+        }
+    }
+
+    /// Times `routine`, retaining the median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: how many iterations fit in one sample?
+        let calib = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib.elapsed() < self.measurement_time / 10 {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        // Calibration observed measurement_time/10; scale back up so the
+        // sample loop actually fills the configured measurement budget.
+        let per_sample = (calib_iters.saturating_mul(10) / self.sample_size.max(1) as u64).max(1);
+
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / per_sample as f64);
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples_ns[samples_ns.len() / 2]);
+    }
+
+    fn report(&self, id: &str) {
+        if let Some(ns) = self.median_ns {
+            println!("{id:<50} time: {}", fmt_ns(ns));
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark in this group (generated by `criterion_group!`).
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(10));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_produces_runnable_fn() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("merge", 1000).id, "merge/1000");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

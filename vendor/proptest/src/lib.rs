@@ -1,0 +1,543 @@
+//! Offline, API-compatible subset of the
+//! [`proptest`](https://crates.io/crates/proptest) crate, vendored so the
+//! workspace builds without network access.
+//!
+//! What is provided — exactly the surface the Peepul workspace uses:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map` and `boxed`,
+//! * strategies for integer ranges, tuples, [`strategy::Just`],
+//!   [`strategy::any`], [`bool::ANY`], [`collection::vec`] and the weighted
+//!   union behind [`prop_oneof!`],
+//! * the [`proptest!`] macro (block form with optional
+//!   `#![proptest_config(..)]`, and closure form) plus [`prop_assert!`] /
+//!   [`prop_assert_eq!`],
+//! * [`test_runner::ProptestConfig`] with `with_cases`, honouring two
+//!   environment overrides: `PROPTEST_CASES_SCALE` multiplies every case
+//!   count including explicit `with_cases(N)` call sites (the lever the
+//!   nightly CI job uses), and `PROPTEST_CASES` replaces the default count
+//!   for properties that don't call `with_cases`.
+//!
+//! What is *not* provided: shrinking. A failing case reports the generated
+//! inputs as-is (rendered via `Debug` to stderr before the panic
+//! propagates) instead of a minimised counterexample. Cases are generated
+//! from a fixed per-test seed, so failures are reproducible run-to-run.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the workspace uses.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test values.
+    ///
+    /// Unlike real proptest there is no value *tree* (no shrinking): a
+    /// strategy draws a single value from a seeded RNG.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy (note: `prop_map`/`boxed` require `Sized`, so
+    /// the trait stays object-safe).
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of its value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical "any value" strategy — the integer and bool
+    /// primitives, which is all the workspace draws with [`any`].
+    pub trait Arbitrary: Debug + Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rand::Standard::from_uniform_bits(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for Any<T> {}
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The "any value of `T`" strategy.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    if hi < <$t>::MAX {
+                        rng.gen_range(lo..hi + 1)
+                    } else if lo > <$t>::MIN {
+                        // Sample lo-1..hi then shift to cover hi itself.
+                        rng.gen_range(lo - 1..hi) + 1
+                    } else {
+                        // Full domain.
+                        rand::Standard::from_uniform_bits(rng)
+                    }
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+    }
+
+    /// Weighted union of strategies — the implementation behind
+    /// [`crate::prop_oneof!`].
+    pub struct Union<V> {
+        variants: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(variants: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total: u64 = variants.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one nonzero weight");
+            Union { variants, total }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let mut roll = rng.gen_range(0..self.total);
+            for (w, s) in &self.variants {
+                if roll < *w as u64 {
+                    return s.generate(rng);
+                }
+                roll -= *w as u64;
+            }
+            unreachable!("roll bounded by total weight")
+        }
+    }
+
+    impl<V> Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union")
+                .field("variants", &self.variants.len())
+                .finish()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec`s with sizes drawn from `size` and elements from
+    /// `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Strategies for `bool`.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rand::Standard::from_uniform_bits(rng)
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    /// How many cases [`crate::proptest!`] runs per property.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases (scaled by `PROPTEST_CASES_SCALE`
+        /// if that environment variable is set — the nightly CI lever).
+        pub fn with_cases(cases: u32) -> Self {
+            let scale = std::env::var("PROPTEST_CASES_SCALE")
+                .ok()
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(1)
+                .max(1);
+            ProptestConfig {
+                cases: cases.saturating_mul(scale),
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// 64 cases (real proptest defaults to 256; the smaller default
+        /// keeps the PR gate fast), overridable via `PROPTEST_CASES`.
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(64);
+            ProptestConfig::with_cases(cases)
+        }
+    }
+
+    /// Prints the generated inputs of the current case if the property
+    /// body panics — the stub's stand-in for proptest's minimised
+    /// counterexample (no shrinking: the case is reported as generated).
+    #[derive(Debug)]
+    pub struct CaseReporter {
+        case: u32,
+        rendered: String,
+    }
+
+    impl CaseReporter {
+        /// Arms a reporter for case number `case` with the inputs already
+        /// rendered via `Debug` (rendered eagerly because the body may
+        /// consume the values).
+        pub fn new(case: u32, rendered: String) -> Self {
+            CaseReporter { case, rendered }
+        }
+    }
+
+    impl Drop for CaseReporter {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest (vendored stub, no shrinking): failing case #{} with inputs:\n{}",
+                    self.case, self.rendered
+                );
+            }
+        }
+    }
+
+    /// Seeds one RNG per property from the property's name, so failures
+    /// reproduce run-to-run (FNV-1a over the name).
+    pub fn rng_for(test_name: &str) -> rand::rngs::StdRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+///
+/// Without shrinking this is a plain `assert!` — the panic message carries
+/// the generated inputs via the property arguments' `Debug` rendering.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Weighted choice between strategies: `prop_oneof![3 => a, 1 => b]` or
+/// unweighted `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Defines property tests (block form) or runs one property inline
+/// (closure form). See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (|($($arg:ident in $strategy:expr),* $(,)?)| $body:block) => {{
+        let __config = $crate::test_runner::ProptestConfig::default();
+        let mut __rng = $crate::test_runner::rng_for(concat!(file!(), ":", line!()));
+        // Each strategy is built once, bound under its argument's name; the
+        // per-case `let` below shadows it with the generated value.
+        $(let $arg = $strategy;)*
+        for __case in 0..__config.cases {
+            $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)*
+            let __reporter = $crate::test_runner::CaseReporter::new(
+                __case,
+                format!("{:#?}", ($(&$arg,)*)),
+            );
+            $body
+            drop(__reporter);
+        }
+    }};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_properties! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_properties! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`] — expands each property `fn`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_properties {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+                // Each strategy is built once, bound under its argument's
+                // name; the per-case `let` shadows it with the value.
+                $(let $arg = $strategy;)*
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)*
+                    let __reporter = $crate::test_runner::CaseReporter::new(
+                        __case,
+                        format!("{:#?}", ($(&$arg,)*)),
+                    );
+                    $body
+                    drop(__reporter);
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            v in crate::collection::vec((any::<u8>(), 0u32..64).prop_map(|(a, b)| a as u32 + b), 0..20)
+        ) {
+            prop_assert!(v.len() < 20);
+            for x in v {
+                prop_assert!(x < 255 + 64);
+            }
+        }
+
+        #[test]
+        fn oneof_respects_variants(k in 0u8..1) {
+            let s = prop_oneof![
+                1 => Just(10u32),
+                2 => (0u32..5).prop_map(|x| x + 20),
+            ];
+            let mut rng = crate::test_runner::rng_for("oneof");
+            let _ = k;
+            for _ in 0..50 {
+                let v = s.generate(&mut rng);
+                prop_assert!(v == 10 || (20..25).contains(&v), "unexpected {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_form_runs() {
+        let mut total = 0u64;
+        proptest!(|(x in 1u8..3, b in crate::bool::ANY)| {
+            let _ = b;
+            total += x as u64;
+        });
+        assert!(total > 0, "closure body must have run");
+    }
+
+    #[test]
+    fn inclusive_size_ranges_hit_upper_bound() {
+        let s = crate::collection::vec(0u8..2, 0..=3);
+        let mut rng = crate::test_runner::rng_for("sizes");
+        let mut seen_max = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() <= 3);
+            seen_max |= v.len() == 3;
+        }
+        assert!(seen_max, "inclusive upper bound never generated");
+    }
+}
