@@ -1,0 +1,101 @@
+//! Store-level merge cost: `BranchStore::merge` through the backend and
+//! memoization layers, in-memory vs on-disk segment, cache on vs off.
+//!
+//! The type-level benches (`orset_merge` etc.) isolate `M::merge`; this
+//! one measures the whole store path the application actually calls —
+//! LCA search, virtual base merges, content addressing, backend publish.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peepul_store::{Backend, BranchStore, MemoryBackend, SegmentBackend, SegmentOptions};
+use peepul_types::or_set_space::{OrSetOp, OrSetSpace};
+
+/// Builds a store holding a criss-cross (two maximal merge bases between
+/// `x` and `y2`) with `n` elements per side, plus `probes` branches
+/// forked off `x` — each probe merge re-derives the same virtual base
+/// merge, which is exactly what the memo caches.
+fn criss_cross_store<B: Backend>(
+    backend: B,
+    n: u32,
+    probes: u32,
+) -> BranchStore<OrSetSpace<u64>, B> {
+    let mut s = BranchStore::with_backend("x", backend).expect("open");
+    for i in 0..n {
+        s.apply("x", &OrSetOp::Add(u64::from(i))).unwrap();
+    }
+    s.fork("y", "x").unwrap();
+    for i in 0..n {
+        s.apply("x", &OrSetOp::Add(u64::from(1_000 + i))).unwrap();
+        s.apply("y", &OrSetOp::Add(u64::from(2_000 + i))).unwrap();
+    }
+    s.fork("x-pin", "x").unwrap();
+    s.fork("y2", "y").unwrap();
+    s.merge("x", "y").unwrap();
+    s.merge("y2", "x-pin").unwrap();
+    s.apply("x", &OrSetOp::Add(9_999)).unwrap();
+    s.apply("y2", &OrSetOp::Add(9_998)).unwrap();
+    for p in 0..probes {
+        s.fork(format!("probe-{p}"), "x").unwrap();
+    }
+    s
+}
+
+fn bench_store_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_merge");
+    for n in [200u32, 800] {
+        for cache in [true, false] {
+            let label = if cache { "cached" } else { "uncached" };
+            // Build once; every `lca_state` call between the criss-cross
+            // heads re-derives the virtual base merge — a cache hit when
+            // memoization is on, a full O(state) re-merge when off.
+            let mut s = criss_cross_store(MemoryBackend::new(), n, 0);
+            s.set_merge_cache(cache);
+            group.bench_with_input(
+                BenchmarkId::new(format!("virtual_lca/{label}"), n),
+                &n,
+                |bench, _| {
+                    bench.iter(|| s.lca_state("x", "y2").unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_backend_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_publish");
+    let scratch = std::env::temp_dir().join(format!("peepul-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut run = 0u32;
+    for n in [250u32, 500] {
+        group.bench_with_input(BenchmarkId::new("memory", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut s: BranchStore<OrSetSpace<u64>> = BranchStore::new("main");
+                for i in 0..n {
+                    s.apply("main", &OrSetOp::Add(u64::from(i))).unwrap();
+                }
+                s.commit_count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("segment", n), &n, |bench, &n| {
+            bench.iter(|| {
+                run += 1;
+                let backend = SegmentBackend::open_with(
+                    scratch.join(run.to_string()),
+                    SegmentOptions { durable: false },
+                )
+                .unwrap();
+                let mut s: BranchStore<OrSetSpace<u64>, _> =
+                    BranchStore::with_backend("main", backend).unwrap();
+                for i in 0..n {
+                    s.apply("main", &OrSetOp::Add(u64::from(i))).unwrap();
+                }
+                s.commit_count()
+            });
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+criterion_group!(benches, bench_store_merge, bench_backend_publish);
+criterion_main!(benches);

@@ -1,0 +1,300 @@
+//! **Store benchmark** — the CI perf gate's data source.
+//!
+//! Measures the three store-level metrics the ROADMAP's "hot path
+//! measurably faster" goal tracks, and writes them as machine-readable
+//! JSON (`BENCH_store.json` at the repo root in CI):
+//!
+//! * `merge_throughput_per_sec` — full `BranchStore::merge` round-trips
+//!   per second on a two-branch gossip workload (higher is better);
+//! * `lca_ns` — merge-base search time on a criss-cross DAG (lower);
+//! * `merge_cache_hit_rate` — fraction of three-way merges answered by
+//!   the memo on the criss-cross probe workload (higher; the CI gate
+//!   requires it to be strictly positive).
+//!
+//! With `--baseline <path>`: if the file exists, each metric is compared
+//! against it and the run **fails (exit 1) when any metric regresses by
+//! more than `--tolerance`** (default 0.25); if it does not exist, the
+//! current numbers are written there so the first CI run establishes the
+//! baseline.
+//!
+//! Run: `cargo run --release -p peepul-bench --bin bench_store -- \
+//!           --out BENCH_store.json --baseline BENCH_store.baseline.json`
+
+use peepul_store::{BranchStore, MemoryBackend};
+use peepul_types::or_set_space::{OrSetOp, OrSetSpace};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Direction of improvement for a metric.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Better {
+    Higher,
+    Lower,
+}
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+    better: Better,
+}
+
+fn quick_mode(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--quick")
+        || std::env::var("PEEPUL_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Two-branch gossip: `rounds` rounds of (5 ops per side, merge both
+/// ways). Returns merges per second.
+fn merge_throughput(rounds: u32) -> f64 {
+    let mut s: BranchStore<OrSetSpace<u64>> = BranchStore::new("a");
+    s.fork("b", "a").unwrap();
+    let mut merges = 0u64;
+    let start = Instant::now();
+    for r in 0..rounds {
+        for k in 0..5u32 {
+            let v = u64::from(r * 5 + k) % 512;
+            s.apply("a", &OrSetOp::Add(v)).unwrap();
+            s.apply("b", &OrSetOp::Add(v + 512)).unwrap();
+        }
+        s.merge("a", "b").unwrap();
+        s.merge("b", "a").unwrap();
+        merges += 2;
+    }
+    merges as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Builds a criss-cross store (two maximal merge bases between `x` and
+/// `y2`) with `n` adds per phase and `probes` probe branches off `x`.
+fn criss_cross_store(n: u32, probes: u32) -> BranchStore<OrSetSpace<u64>, MemoryBackend> {
+    let mut s: BranchStore<OrSetSpace<u64>> = BranchStore::new("x");
+    for i in 0..n {
+        s.apply("x", &OrSetOp::Add(u64::from(i))).unwrap();
+    }
+    s.fork("y", "x").unwrap();
+    for i in 0..n {
+        s.apply("x", &OrSetOp::Add(u64::from(10_000 + i))).unwrap();
+        s.apply("y", &OrSetOp::Add(u64::from(20_000 + i))).unwrap();
+    }
+    s.fork("x-pin", "x").unwrap();
+    s.fork("y2", "y").unwrap();
+    s.merge("x", "y").unwrap();
+    s.merge("y2", "x-pin").unwrap();
+    s.apply("x", &OrSetOp::Add(99_999)).unwrap();
+    s.apply("y2", &OrSetOp::Add(99_998)).unwrap();
+    for p in 0..probes {
+        s.fork(format!("probe-{p}"), "x").unwrap();
+    }
+    s
+}
+
+/// Average nanoseconds per merge-base search on the criss-cross heads.
+fn lca_ns(n: u32, iters: u32) -> f64 {
+    let s = criss_cross_store(n, 0);
+    let (hx, hy) = (s.head("x").unwrap(), s.head("y2").unwrap());
+    assert_eq!(
+        s.graph().merge_bases(hx, hy).len(),
+        2,
+        "workload must criss-cross"
+    );
+    let start = Instant::now();
+    let mut found = 0usize;
+    for _ in 0..iters {
+        found += std::hint::black_box(s.graph().merge_bases(hx, hy)).len();
+    }
+    assert_eq!(found, 2 * iters as usize);
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// The criss-cross probe workload: each probe branch merges `y2`,
+/// re-deriving the identical virtual base merge. Returns
+/// `(hit_rate, hits, misses, elapsed_secs)` for `cached` on/off.
+fn probe_workload(n: u32, probes: u32, cached: bool) -> (f64, u64, u64, f64) {
+    let mut s = criss_cross_store(n, probes);
+    s.set_merge_cache(cached);
+    let start = Instant::now();
+    for p in 0..probes {
+        s.merge(&format!("probe-{p}"), "y2").unwrap();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = s.merge_cache_stats();
+    (stats.hit_rate(), stats.hits, stats.misses, elapsed)
+}
+
+/// Renders the report as JSON (hand-rolled: the workspace deliberately
+/// has no serde; EXPERIMENTS.md documents this schema).
+fn render_json(metrics: &[Metric], quick: bool, info: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"peepul/bench-store/v1\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"metrics\": {{");
+    for (i, m) in metrics.iter().enumerate() {
+        let better = match m.better {
+            Better::Higher => "higher",
+            Better::Lower => "lower",
+        };
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"value\": {:.6}, \"better\": \"{better}\" }}{comma}",
+            m.name, m.value
+        );
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"info\": {{");
+    for (i, (name, value)) in info.iter().enumerate() {
+        let comma = if i + 1 < info.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{name}\": {value:.6}{comma}");
+    }
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `"name": { "value": <f64>` from a report produced by
+/// `render_json` (tolerant scan, not a general JSON parser).
+fn baseline_value(json: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\"");
+    let after_key = &json[json.find(&key)? + key.len()..];
+    let after_value = &after_key[after_key.find("\"value\":")? + "\"value\":".len()..];
+    let num: String = after_value
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = quick_mode(&args);
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_store.json".into());
+    let baseline_path = flag_value(&args, "--baseline");
+    let tolerance: f64 = flag_value(&args, "--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a number"))
+        .unwrap_or(0.25);
+
+    // Quick mode still runs long enough to average out scheduler noise on
+    // shared CI runners — the timing metrics are gated at ±25%.
+    let (rounds, lca_n, lca_iters, probes) = if quick {
+        (300, 150, 400, 8)
+    } else {
+        (1_000, 400, 2_000, 8)
+    };
+
+    println!(
+        "# bench_store ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    let throughput = merge_throughput(rounds);
+    println!("merge throughput      : {throughput:.0} merges/s ({rounds} rounds)");
+    let lca = lca_ns(lca_n, lca_iters);
+    println!("LCA (criss-cross)     : {lca:.0} ns/search");
+    let (hit_rate, hits, misses, cached_secs) = probe_workload(lca_n, probes, true);
+    let (_, _, _, uncached_secs) = probe_workload(lca_n, probes, false);
+    let speedup = if cached_secs > 0.0 {
+        uncached_secs / cached_secs
+    } else {
+        1.0
+    };
+    println!(
+        "merge cache           : {hits} hits / {misses} misses (rate {hit_rate:.2}), probe speedup {speedup:.2}x"
+    );
+
+    let metrics = [
+        Metric {
+            name: "merge_throughput_per_sec",
+            value: throughput,
+            better: Better::Higher,
+        },
+        Metric {
+            name: "lca_ns",
+            value: lca,
+            better: Better::Lower,
+        },
+        Metric {
+            name: "merge_cache_hit_rate",
+            value: hit_rate,
+            better: Better::Higher,
+        },
+    ];
+    let info = [
+        ("merge_cache_hits", hits as f64),
+        ("merge_cache_misses", misses as f64),
+        ("memo_probe_speedup", speedup),
+    ];
+
+    let json = render_json(&metrics, quick, &info);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    // Hard functional gate: the criss-cross workload must exercise the
+    // merge cache at all — a 0% hit rate means the memo layer is broken.
+    if hit_rate <= 0.0 {
+        eprintln!("FAIL: merge cache hit rate is 0 on the criss-cross workload");
+        std::process::exit(1);
+    }
+
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    match std::fs::read_to_string(&baseline_path) {
+        Err(_) => {
+            // First run: establish the baseline (CI commits this file).
+            std::fs::write(&baseline_path, &json).expect("write baseline");
+            println!("no baseline found; wrote initial baseline to {baseline_path}");
+        }
+        Ok(baseline) => {
+            // Quick and full mode run different workload sizes; comparing
+            // across modes would flag spurious "regressions". Only gate
+            // against a baseline recorded in the same mode.
+            let baseline_quick = baseline.contains("\"quick\": true");
+            if baseline_quick != quick {
+                println!(
+                    "baseline at {baseline_path} was recorded in {} mode, this run is {} mode — skipping the regression gate",
+                    if baseline_quick { "quick" } else { "full" },
+                    if quick { "quick" } else { "full" },
+                );
+                return;
+            }
+            let mut regressed = false;
+            for m in &metrics {
+                let Some(base) = baseline_value(&baseline, m.name) else {
+                    println!("baseline lacks {} — skipping", m.name);
+                    continue;
+                };
+                let (bad, verdict) = match m.better {
+                    Better::Higher => (
+                        m.value < base * (1.0 - tolerance),
+                        m.value / base.max(f64::MIN_POSITIVE),
+                    ),
+                    Better::Lower => (
+                        m.value > base * (1.0 + tolerance),
+                        base / m.value.max(f64::MIN_POSITIVE),
+                    ),
+                };
+                println!(
+                    "{:<26} current {:>12.2}  baseline {:>12.2}  ratio {:.2} {}",
+                    m.name,
+                    m.value,
+                    base,
+                    verdict,
+                    if bad { "REGRESSED" } else { "ok" }
+                );
+                regressed |= bad;
+            }
+            if regressed {
+                eprintln!(
+                    "FAIL: at least one metric regressed more than {:.0}% vs {baseline_path}",
+                    tolerance * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

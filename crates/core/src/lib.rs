@@ -31,7 +31,7 @@
 //! use peepul_core::{Mrdt, Timestamp, ReplicaId};
 //!
 //! /// A tiny increment-only counter MRDT.
-//! #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+//! #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 //! struct Ctr(u64);
 //!
 //! #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -2,6 +2,7 @@
 
 use crate::Timestamp;
 use std::fmt;
+use std::hash::Hash;
 
 /// A mergeable replicated data type implementation `D_τ = (Σ, σ0, do, merge)`.
 ///
@@ -31,11 +32,20 @@ use std::fmt;
 /// what lets executions satisfy *convergence modulo observable behaviour*
 /// (Definition 3.5) instead of strict state convergence.
 ///
+/// # Content addressing
+///
+/// The `Hash` bound is the store's serialization hook: a state's `Hash`
+/// byte stream is its canonical encoding, fed to SHA-256 to produce the
+/// content address under which the branch store persists the state in a
+/// pluggable backend (`peepul-store`'s `Backend`). Implementations must
+/// therefore hash *deterministically* — derive `Hash` over ordered
+/// containers (`BTreeMap`, `Vec`), never iterate a `HashMap`/`HashSet`.
+///
 /// # Example
 ///
 /// See the [crate-level documentation](crate) for a complete counter
 /// implementation.
-pub trait Mrdt: Clone + PartialEq + fmt::Debug {
+pub trait Mrdt: Clone + PartialEq + Hash + fmt::Debug {
     /// The operations `Op_τ` supported by the data type (both queries and
     /// updates).
     type Op: Clone + fmt::Debug;
@@ -79,7 +89,7 @@ mod tests {
     use super::*;
     use crate::ReplicaId;
 
-    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
     struct Reg(u64, Timestamp);
 
     #[derive(Clone, Copy, Debug)]

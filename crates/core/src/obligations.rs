@@ -287,7 +287,7 @@ mod tests {
 
     /// Increment-only counter with its spec and simulation relation, used to
     /// exercise the obligation checkers; `peepul-types` has the real one.
-    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
     struct Ctr(u64);
 
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -384,7 +384,7 @@ mod tests {
     #[test]
     fn check_merge_catches_broken_merge() {
         /// Counter whose merge loses one branch's updates.
-        #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
         struct BadCtr(u64);
         #[derive(Clone, Copy, Debug, PartialEq, Eq)]
         struct Inc;

@@ -24,7 +24,7 @@ use crate::{AbstractOf, Mrdt};
 /// ```
 /// use peepul_core::{AbstractOf, Mrdt, Specification, Timestamp};
 ///
-/// # #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// # #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 /// # struct Ctr(u64);
 /// # #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 /// # enum CtrOp { Inc, Read }

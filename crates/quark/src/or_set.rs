@@ -37,7 +37,7 @@ pub use peepul_types::or_set::{OrSetOp, OrSetValue};
 /// assert_eq!(s.pair_count(), 2);
 /// assert_eq!(s.len(), 1);
 /// ```
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct QuarkOrSet<T> {
     /// `(element, id)` pairs; duplicates per element accumulate.
     pairs: Vec<(T, Timestamp)>,

@@ -35,7 +35,7 @@ pub use peepul_types::queue::{QueueOp, QueueValue};
 /// let vals: Vec<&str> = m.to_list().into_iter().map(|(_, v)| v).collect();
 /// assert_eq!(vals, ["a", "b"]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct QuarkQueue<T> {
     /// Next-out at the end (popped).
     front: Vec<Entry<T>>,

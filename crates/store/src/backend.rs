@@ -1,0 +1,301 @@
+//! Pluggable object persistence: the [`Backend`] trait and the in-memory
+//! reference implementation.
+//!
+//! The paper runs its certified MRDTs on Irmin, a content-addressed store
+//! with *pluggable backends* (in-memory, on-disk, Git). This module is the
+//! workspace's version of that seam: a backend stores immutable byte
+//! objects addressed by the SHA-256 of their content, plus a mutable
+//! namespace of refs (branch heads), exactly Git's object-store/refs
+//! split. [`BranchStore`](crate::BranchStore) publishes every state and
+//! commit it creates through a backend, so the same branch-and-merge
+//! semantics runs unchanged over [`MemoryBackend`] or the append-only
+//! on-disk [`SegmentBackend`](crate::SegmentBackend).
+//!
+//! Object bytes are the value's canonical encoding
+//! ([`canonical_bytes`](crate::object::canonical_bytes)), which hashes to
+//! its [`ObjectId`] — every stored object is integrity-checkable against
+//! its own address.
+
+use crate::error::StoreError;
+use crate::object::ObjectId;
+use crate::sha256::Sha256;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Interning counters a backend keeps for the dedup the content
+/// addressing bought (Irmin/Git-style structural sharing).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Total `put` calls.
+    pub puts: u64,
+    /// `put` calls that found the object already stored (deduplicated).
+    pub dedup_hits: u64,
+}
+
+/// Abstract object persistence: content-addressed immutable objects plus
+/// named mutable refs.
+///
+/// Implementations must guarantee:
+///
+/// * `put(bytes)` returns `sha256(bytes)` and is idempotent — putting the
+///   same bytes twice stores one object;
+/// * `get(id)` returns exactly the bytes that were put (or `None`);
+/// * refs are last-writer-wins by `set_ref` order;
+/// * once `put`/`set_ref` returns `Ok`, the write is *published*: a
+///   persistent backend must survive reopen with it intact (crash
+///   durability is write → fsync → publish, see
+///   [`SegmentBackend`](crate::SegmentBackend)).
+///
+/// The trait is object-safe; `Box<dyn Backend + Send>` implements it too,
+/// which is how the test harness drives every suite over both backends.
+pub trait Backend: fmt::Debug {
+    /// Stores `bytes` under their content address and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on persistence failure.
+    fn put(&mut self, bytes: &[u8]) -> Result<ObjectId, StoreError>;
+
+    /// Fetches the bytes stored under `id`, or `None` if absent.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on read failure; [`StoreError::Corrupt`] if the
+    /// stored bytes no longer hash to `id`.
+    fn get(&self, id: ObjectId) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Whether an object is stored under `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on read failure.
+    fn contains(&self, id: ObjectId) -> Result<bool, StoreError>;
+
+    /// Points the ref `name` at `id` (creating or overwriting it).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on persistence failure.
+    fn set_ref(&mut self, name: &str, id: ObjectId) -> Result<(), StoreError>;
+
+    /// The current target of ref `name`, or `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on read failure.
+    fn get_ref(&self, name: &str) -> Result<Option<ObjectId>, StoreError>;
+
+    /// All refs, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on read failure.
+    fn refs(&self) -> Result<Vec<(String, ObjectId)>, StoreError>;
+
+    /// Number of distinct objects stored.
+    fn object_count(&self) -> usize;
+
+    /// Interning/dedup counters.
+    fn stats(&self) -> BackendStats;
+
+    /// Forces any buffered writes to stable storage (no-op for volatile
+    /// backends).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on persistence failure.
+    fn flush(&mut self) -> Result<(), StoreError>;
+
+    /// A short human-readable backend name (`"memory"`, `"segment"`).
+    fn kind(&self) -> &'static str;
+}
+
+impl<B: Backend + ?Sized> Backend for Box<B> {
+    fn put(&mut self, bytes: &[u8]) -> Result<ObjectId, StoreError> {
+        (**self).put(bytes)
+    }
+
+    fn get(&self, id: ObjectId) -> Result<Option<Vec<u8>>, StoreError> {
+        (**self).get(id)
+    }
+
+    fn contains(&self, id: ObjectId) -> Result<bool, StoreError> {
+        (**self).contains(id)
+    }
+
+    fn set_ref(&mut self, name: &str, id: ObjectId) -> Result<(), StoreError> {
+        (**self).set_ref(name, id)
+    }
+
+    fn get_ref(&self, name: &str) -> Result<Option<ObjectId>, StoreError> {
+        (**self).get_ref(name)
+    }
+
+    fn refs(&self) -> Result<Vec<(String, ObjectId)>, StoreError> {
+        (**self).refs()
+    }
+
+    fn object_count(&self) -> usize {
+        (**self).object_count()
+    }
+
+    fn stats(&self) -> BackendStats {
+        (**self).stats()
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        (**self).flush()
+    }
+
+    fn kind(&self) -> &'static str {
+        (**self).kind()
+    }
+}
+
+/// The interning in-memory backend: a `HashMap` object heap plus a
+/// `BTreeMap` of refs.
+///
+/// This is the byte-level refactor of the original typed `ObjectStore`:
+/// equal contents intern to one allocation, and [`BackendStats`] records
+/// how much the dedup saved.
+///
+/// # Example
+///
+/// ```
+/// use peepul_store::backend::{Backend, MemoryBackend};
+///
+/// let mut b = MemoryBackend::new();
+/// let id = b.put(b"hello").unwrap();
+/// assert_eq!(b.put(b"hello").unwrap(), id); // deduplicated
+/// assert_eq!(b.object_count(), 1);
+/// assert_eq!(b.get(id).unwrap().as_deref(), Some(&b"hello"[..]));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MemoryBackend {
+    objects: HashMap<ObjectId, Arc<[u8]>>,
+    refs: BTreeMap<String, ObjectId>,
+    stats: BackendStats,
+}
+
+impl MemoryBackend {
+    /// Creates an empty backend.
+    pub fn new() -> Self {
+        MemoryBackend::default()
+    }
+}
+
+impl Backend for MemoryBackend {
+    fn put(&mut self, bytes: &[u8]) -> Result<ObjectId, StoreError> {
+        self.stats.puts += 1;
+        let id = ObjectId::from_bytes(Sha256::digest(bytes));
+        match self.objects.entry(id) {
+            std::collections::hash_map::Entry::Occupied(_) => self.stats.dedup_hits += 1,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Arc::from(bytes));
+            }
+        }
+        Ok(id)
+    }
+
+    fn get(&self, id: ObjectId) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.objects.get(&id).map(|b| b.to_vec()))
+    }
+
+    fn contains(&self, id: ObjectId) -> Result<bool, StoreError> {
+        Ok(self.objects.contains_key(&id))
+    }
+
+    fn set_ref(&mut self, name: &str, id: ObjectId) -> Result<(), StoreError> {
+        self.refs.insert(name.to_owned(), id);
+        Ok(())
+    }
+
+    fn get_ref(&self, name: &str) -> Result<Option<ObjectId>, StoreError> {
+        Ok(self.refs.get(name).copied())
+    }
+
+    fn refs(&self) -> Result<Vec<(String, ObjectId)>, StoreError> {
+        Ok(self.refs.iter().map(|(n, i)| (n.clone(), *i)).collect())
+    }
+
+    fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn kind(&self) -> &'static str {
+        "memory"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::content_id;
+
+    #[test]
+    fn put_is_content_addressed_and_idempotent() {
+        let mut b = MemoryBackend::new();
+        let id1 = b.put(b"abc").unwrap();
+        let id2 = b.put(b"abc").unwrap();
+        let id3 = b.put(b"abd").unwrap();
+        assert_eq!(id1, id2);
+        assert_ne!(id1, id3);
+        assert_eq!(b.object_count(), 2);
+        assert_eq!(
+            b.stats(),
+            BackendStats {
+                puts: 3,
+                dedup_hits: 1
+            }
+        );
+    }
+
+    #[test]
+    fn put_agrees_with_content_id_on_canonical_bytes() {
+        use crate::object::canonical_bytes;
+        let mut b = MemoryBackend::new();
+        let value = vec![9u64, 8, 7];
+        let id = b.put(&canonical_bytes(&value)).unwrap();
+        assert_eq!(id, content_id(&value));
+    }
+
+    #[test]
+    fn refs_are_last_writer_wins() {
+        let mut b = MemoryBackend::new();
+        let a = b.put(b"a").unwrap();
+        let c = b.put(b"c").unwrap();
+        b.set_ref("main", a).unwrap();
+        b.set_ref("main", c).unwrap();
+        b.set_ref("dev", a).unwrap();
+        assert_eq!(b.get_ref("main").unwrap(), Some(c));
+        assert_eq!(
+            b.refs().unwrap(),
+            vec![("dev".into(), a), ("main".into(), c)]
+        );
+    }
+
+    #[test]
+    fn get_missing_is_none() {
+        let b = MemoryBackend::new();
+        assert_eq!(b.get(content_id(&0u8)).unwrap(), None);
+        assert!(!b.contains(content_id(&0u8)).unwrap());
+        assert_eq!(b.get_ref("nope").unwrap(), None);
+    }
+
+    #[test]
+    fn boxed_backend_delegates() {
+        let mut b: Box<dyn Backend + Send> = Box::new(MemoryBackend::new());
+        let id = b.put(b"boxed").unwrap();
+        assert!(b.contains(id).unwrap());
+        assert_eq!(b.kind(), "memory");
+    }
+}

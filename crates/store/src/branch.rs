@@ -9,9 +9,22 @@
 //! common ancestors are resolved by *recursive virtual merges*, the
 //! strategy of Git's `merge-recursive`: merge the merge-bases (recursively)
 //! into a virtual ancestor, then use that as the LCA.
+//!
+//! Since the backend refactor the store is generic over its persistence
+//! layer: every state and commit it creates is *published* to a pluggable
+//! [`Backend`] under its content address, and every branch head is a
+//! backend ref — run it over [`MemoryBackend`] (default) or the on-disk
+//! [`SegmentBackend`](crate::SegmentBackend) interchangeably. Merges are
+//! memoized by `(lca, left, right)` content-address triple
+//! ([`MergeMemo`]): recursive virtual merges on criss-cross DAGs re-derive
+//! the same triples over and over, and the cache turns those repeated
+//! O(state) merges into lookups.
 
+use crate::backend::{Backend, MemoryBackend};
 use crate::dag::{CommitGraph, CommitId};
 use crate::error::StoreError;
+use crate::memo::{MergeCacheStats, MergeMemo};
+use crate::object::{canonical_bytes, ObjectId};
 use peepul_core::{Mrdt, ReplicaId, Timestamp};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -21,6 +34,22 @@ use std::sync::Arc;
 struct BranchInfo {
     head: CommitId,
     replica: ReplicaId,
+}
+
+/// Builds the deterministic byte encoding of a commit record: a tag, the
+/// parents' commit addresses in order, and the state's address. Hashing
+/// this yields the commit's own address, so equal histories produce equal
+/// (Merkle) head ids on *any* backend — the property the
+/// backend-equivalence suite checks.
+fn commit_record(parents: &[ObjectId], state: ObjectId) -> Vec<u8> {
+    let mut record = Vec::with_capacity(8 + 4 + 32 * (parents.len() + 1));
+    record.extend_from_slice(b"commit\0");
+    record.extend_from_slice(&(parents.len() as u32).to_le_bytes());
+    for p in parents {
+        record.extend_from_slice(p.as_bytes());
+    }
+    record.extend_from_slice(state.as_bytes());
+    record
 }
 
 /// A Git-like store replicating one MRDT object across branches.
@@ -42,34 +71,86 @@ struct BranchInfo {
 /// # Ok(())
 /// # }
 /// ```
-pub struct BranchStore<M: Mrdt> {
+pub struct BranchStore<M: Mrdt, B: Backend = MemoryBackend> {
     graph: CommitGraph<Arc<M>>,
+    /// Content address of each commit's *state*, indexed like the graph.
+    state_ids: Vec<ObjectId>,
+    /// Content address of each *commit record*, indexed like the graph.
+    commit_ids: Vec<ObjectId>,
     branches: BTreeMap<String, BranchInfo>,
     /// Global Lamport tick: unique and happens-before consistent because
     /// the store is the sole timestamp authority (Ψ_ts).
     tick: u64,
     next_replica: u32,
+    backend: B,
+    memo: MergeMemo<M>,
 }
 
 impl<M: Mrdt> BranchStore<M> {
-    /// Creates a store with a single branch holding the initial state.
+    /// Creates a store over the in-memory backend with a single branch
+    /// holding the initial state.
     pub fn new(root_branch: impl Into<String>) -> Self {
-        let mut graph = CommitGraph::new();
-        let root = graph.add_root(Arc::new(M::initial()));
-        let mut branches = BTreeMap::new();
-        branches.insert(
-            root_branch.into(),
+        Self::with_backend(root_branch, MemoryBackend::new())
+            .expect("the in-memory backend cannot fail")
+    }
+}
+
+impl<M: Mrdt, B: Backend> BranchStore<M, B> {
+    /// Creates a store over an explicit backend with a single branch
+    /// holding the initial state.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if publishing the root commit fails.
+    pub fn with_backend(root_branch: impl Into<String>, backend: B) -> Result<Self, StoreError> {
+        let mut store = BranchStore {
+            graph: CommitGraph::new(),
+            state_ids: Vec::new(),
+            commit_ids: Vec::new(),
+            branches: BTreeMap::new(),
+            tick: 0,
+            next_replica: 1,
+            backend,
+            memo: MergeMemo::new(),
+        };
+        let root = store.commit(Vec::new(), Arc::new(M::initial()))?;
+        let root_branch = root_branch.into();
+        store.set_head(&root_branch, root)?;
+        store.branches.insert(
+            root_branch,
             BranchInfo {
                 head: root,
                 replica: ReplicaId::new(0),
             },
         );
-        BranchStore {
-            graph,
-            branches,
-            tick: 0,
-            next_replica: 1,
-        }
+        Ok(store)
+    }
+
+    /// Publishes a state + commit record to the backend, then appends the
+    /// commit to the in-memory DAG. Backend first: a failed publish leaves
+    /// the graph untouched (the orphaned object, if any, is harmless in a
+    /// content-addressed store).
+    fn commit(&mut self, parents: Vec<CommitId>, state: Arc<M>) -> Result<CommitId, StoreError> {
+        let state_id = self.backend.put(&canonical_bytes(state.as_ref()))?;
+        let parent_ids: Vec<ObjectId> =
+            parents.iter().map(|p| self.commit_ids[p.index()]).collect();
+        let commit_oid = self.backend.put(&commit_record(&parent_ids, state_id))?;
+        let cid = if parents.is_empty() {
+            self.graph.add_root(state)
+        } else {
+            self.graph
+                .add_commit(parents, state)
+                .expect("callers pass live parents")
+        };
+        self.state_ids.push(state_id);
+        self.commit_ids.push(commit_oid);
+        Ok(cid)
+    }
+
+    /// Points the branch's backend ref at a commit (the in-memory
+    /// `branches` entry is the caller's to update).
+    fn set_head(&mut self, branch: &str, head: CommitId) -> Result<(), StoreError> {
+        self.backend.set_ref(branch, self.commit_ids[head.index()])
     }
 
     /// The branch names, in order.
@@ -106,6 +187,25 @@ impl<M: Mrdt> BranchStore<M> {
         self.info(branch).map(|i| i.head)
     }
 
+    /// The content address of a branch's head *commit* (Merkle over the
+    /// whole history) — what the backend ref for `branch` points at.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn head_id(&self, branch: &str) -> Result<ObjectId, StoreError> {
+        Ok(self.commit_ids[self.head(branch)?.index()])
+    }
+
+    /// The content address of a branch's head *state*.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn state_id(&self, branch: &str) -> Result<ObjectId, StoreError> {
+        Ok(self.state_ids[self.head(branch)?.index()])
+    }
+
     /// The current state of a branch (cheap `Arc` clone).
     ///
     /// # Errors
@@ -121,13 +221,15 @@ impl<M: Mrdt> BranchStore<M> {
     /// # Errors
     ///
     /// [`StoreError::UnknownBranch`] if `from` does not exist;
-    /// [`StoreError::BranchExists`] if `new` already does.
+    /// [`StoreError::BranchExists`] if `new` already does;
+    /// [`StoreError::Io`] if publishing the new ref fails.
     pub fn fork(&mut self, new: impl Into<String>, from: &str) -> Result<(), StoreError> {
         let new = new.into();
         if self.branches.contains_key(&new) {
             return Err(StoreError::BranchExists(new));
         }
         let head = self.head(from)?;
+        self.set_head(&new, head)?;
         let replica = ReplicaId::new(self.next_replica);
         self.next_replica += 1;
         self.branches.insert(new, BranchInfo { head, replica });
@@ -139,7 +241,8 @@ impl<M: Mrdt> BranchStore<M> {
     ///
     /// # Errors
     ///
-    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    /// [`StoreError::UnknownBranch`] if the branch does not exist;
+    /// [`StoreError::Io`] if publishing fails.
     pub fn apply(&mut self, branch: &str, op: &M::Op) -> Result<M::Value, StoreError> {
         let (head, replica) = {
             let info = self.info(branch)?;
@@ -148,10 +251,8 @@ impl<M: Mrdt> BranchStore<M> {
         self.tick += 1;
         let t = Timestamp::new(self.tick, replica);
         let (next, value) = self.graph.payload(head).apply(op, t);
-        let new_head = self
-            .graph
-            .add_commit(vec![head], Arc::new(next))
-            .expect("head is a valid parent");
+        let new_head = self.commit(vec![head], Arc::new(next))?;
+        self.set_head(branch, new_head)?;
         self.branches
             .get_mut(branch)
             .expect("branch checked above")
@@ -183,19 +284,27 @@ impl<M: Mrdt> BranchStore<M> {
         let mut virt = first;
         for &base in rest {
             // Recursively merge the bases into a virtual ancestor, exactly
-            // like git merge-recursive.
+            // like git merge-recursive. Criss-cross rounds re-derive the
+            // same base triples, so these merges are where the memo pays.
             let sub_lca = self.lca_commit(virt, base)?;
-            let merged = M::merge(
-                self.graph.payload(sub_lca),
-                self.graph.payload(virt),
-                self.graph.payload(base),
-            );
-            virt = self
-                .graph
-                .add_commit(vec![virt, base], Arc::new(merged))
-                .expect("bases are valid parents");
+            let merged = self.memoized_merge(sub_lca, virt, base);
+            virt = self.commit(vec![virt, base], merged)?;
         }
         Ok(virt)
+    }
+
+    /// Three-way merge of the states at three commits, answered from the
+    /// content-address cache when the identical triple has merged before.
+    fn memoized_merge(&mut self, lca: CommitId, a: CommitId, b: CommitId) -> Arc<M> {
+        let key = (
+            self.state_ids[lca.index()],
+            self.state_ids[a.index()],
+            self.state_ids[b.index()],
+        );
+        let graph = &self.graph;
+        self.memo.merged(key, || {
+            M::merge(graph.payload(lca), graph.payload(a), graph.payload(b))
+        })
     }
 
     /// Merges branch `from` into branch `into` (`MERGE` of Fig. 3): runs
@@ -205,22 +314,17 @@ impl<M: Mrdt> BranchStore<M> {
     ///
     /// # Errors
     ///
-    /// [`StoreError::UnknownBranch`] for missing branches.
+    /// [`StoreError::UnknownBranch`] for missing branches;
+    /// [`StoreError::Io`] if publishing fails.
     pub fn merge(&mut self, into: &str, from: &str) -> Result<(), StoreError> {
         let (c_into, c_from) = (self.head(into)?, self.head(from)?);
         if self.graph.is_ancestor(c_from, c_into) {
             return Ok(()); // nothing new to integrate
         }
         let lca = self.lca_commit(c_into, c_from)?;
-        let merged = M::merge(
-            self.graph.payload(lca),
-            self.graph.payload(c_into),
-            self.graph.payload(c_from),
-        );
-        let new_head = self
-            .graph
-            .add_commit(vec![c_into, c_from], Arc::new(merged))
-            .expect("heads are valid parents");
+        let merged = self.memoized_merge(lca, c_into, c_from);
+        let new_head = self.commit(vec![c_into, c_from], merged)?;
+        self.set_head(into, new_head)?;
         self.branches
             .get_mut(into)
             .expect("branch checked above")
@@ -246,16 +350,43 @@ impl<M: Mrdt> BranchStore<M> {
     pub fn graph(&self) -> &CommitGraph<Arc<M>> {
         &self.graph
     }
+
+    /// The persistence backend (read-only).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Flushes the backend to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on persistence failure.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.backend.flush()
+    }
+
+    /// Merge-cache hit/miss counters (for the bench pipeline).
+    pub fn merge_cache_stats(&self) -> MergeCacheStats {
+        self.memo.stats()
+    }
+
+    /// Enables or disables merge memoization (disabling clears the cache).
+    /// Used by the equivalence suite to check cached ≡ uncached.
+    pub fn set_merge_cache(&mut self, enabled: bool) {
+        self.memo.set_enabled(enabled);
+    }
 }
 
-impl<M: Mrdt> fmt::Debug for BranchStore<M> {
+impl<M: Mrdt, B: Backend> fmt::Debug for BranchStore<M, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "BranchStore({} branches, {} commits, tick {})",
+            "BranchStore({} branches, {} commits, tick {}, {} backend, {:?})",
             self.branches.len(),
             self.graph.len(),
-            self.tick
+            self.tick,
+            self.backend.kind(),
+            self.memo
         )
     }
 }
@@ -358,6 +489,125 @@ mod tests {
         assert_eq!(elems, vec![0, 1, 2, 3, 4]);
     }
 
+    /// Builds a *true* criss-cross: two merge commits with swapped parents
+    /// created from the same pair of heads. Sequential `merge(a,b);
+    /// merge(b,a)` cannot produce one (the second merge already sees the
+    /// first's result), so the swapped merge goes through helper forks.
+    /// Afterwards `merge_bases(x, y2)` yields two maximal candidates.
+    fn criss_cross_store() -> BranchStore<OrSet<u32>> {
+        let mut s: BranchStore<OrSet<u32>> = BranchStore::new("x");
+        s.apply("x", &OrSetOp::Add(0)).unwrap();
+        s.fork("y", "x").unwrap();
+        s.apply("x", &OrSetOp::Add(1)).unwrap(); // x1
+        s.apply("y", &OrSetOp::Add(2)).unwrap(); // y1
+        s.fork("x-pin", "x").unwrap();
+        s.fork("y2", "y").unwrap();
+        s.merge("x", "y").unwrap(); // m1 = (x1, y1)
+        s.merge("y2", "x-pin").unwrap(); // m2 = (y1, x1) — the criss-cross
+        s.apply("x", &OrSetOp::Add(3)).unwrap();
+        s.apply("y2", &OrSetOp::Add(4)).unwrap();
+        s
+    }
+
+    #[test]
+    fn repeated_criss_cross_merges_hit_the_merge_cache() {
+        let mut s = criss_cross_store();
+        let (hx, hy) = (s.head("x").unwrap(), s.head("y2").unwrap());
+        assert_eq!(s.graph().merge_bases(hx, hy).len(), 2, "need a criss-cross");
+
+        // Building the criss-cross merged (lca, y1, x1) already; the
+        // virtual merge of the two bases re-derives that exact triple, so
+        // even the *first* LCA computation hits the cache.
+        assert_eq!(s.merge_cache_stats().hits, 0);
+        s.lca_state("x", "y2").unwrap();
+        let after_first = s.merge_cache_stats();
+        assert!(
+            after_first.hits >= 1,
+            "virtual base merge must hit: {after_first:?}"
+        );
+        // Recomputing the LCA re-derives the identical triple again.
+        s.lca_state("x", "y2").unwrap();
+        let after_second = s.merge_cache_stats();
+        assert!(after_second.hits > after_first.hits, "{after_second:?}");
+        // A real merge between the branches re-derives it again.
+        s.merge("x", "y2").unwrap();
+        let after_merge = s.merge_cache_stats();
+        assert!(after_merge.hits > after_second.hits, "{after_merge:?}");
+        assert!(after_merge.hit_rate() > 0.0);
+
+        // Correctness is untouched by the cache.
+        let OrSetValue::Elements(elems) = s.apply("x", &OrSetOp::Read).unwrap() else {
+            panic!("read returns elements");
+        };
+        assert_eq!(elems, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn probe_branches_reuse_the_cached_base_merge() {
+        let mut s = criss_cross_store();
+        // Fork probes off the x side; each merge with y2 recomputes the
+        // same two-base virtual merge — only the first is a miss.
+        for i in 0..4 {
+            s.fork(format!("probe-{i}"), "x").unwrap();
+        }
+        for i in 0..4 {
+            s.merge(&format!("probe-{i}"), "y2").unwrap();
+        }
+        let stats = s.merge_cache_stats();
+        assert!(
+            stats.hits >= 3,
+            "probes must share the base merge: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn cached_and_uncached_merges_produce_identical_heads() {
+        let run = |cache: bool| {
+            let mut s: BranchStore<OrSet<u32>> = BranchStore::new("a");
+            s.set_merge_cache(cache);
+            s.fork("b", "a").unwrap();
+            for round in 0..5u32 {
+                s.apply("a", &OrSetOp::Add(round)).unwrap();
+                s.apply("b", &OrSetOp::Add(round + 100)).unwrap();
+                s.merge("a", "b").unwrap();
+                s.merge("b", "a").unwrap();
+            }
+            (s.head_id("a").unwrap(), s.state_id("b").unwrap())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn backend_refs_track_branch_heads() {
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        s.apply("main", &CounterOp::Increment).unwrap();
+        s.fork("dev", "main").unwrap();
+        s.apply("dev", &CounterOp::Increment).unwrap();
+        assert_eq!(
+            s.backend().get_ref("main").unwrap(),
+            Some(s.head_id("main").unwrap())
+        );
+        assert_eq!(
+            s.backend().get_ref("dev").unwrap(),
+            Some(s.head_id("dev").unwrap())
+        );
+        // Every published state is retrievable and integrity-checked.
+        let sid = s.state_id("dev").unwrap();
+        assert!(s.backend().contains(sid).unwrap());
+    }
+
+    #[test]
+    fn converged_branches_share_one_state_object() {
+        let mut s: BranchStore<Counter> = BranchStore::new("x");
+        s.fork("y", "x").unwrap();
+        s.apply("x", &CounterOp::Increment).unwrap();
+        s.apply("y", &CounterOp::Increment).unwrap();
+        s.merge("x", "y").unwrap();
+        s.merge("y", "x").unwrap();
+        // Equal states intern to one content address in the backend.
+        assert_eq!(s.state_id("x").unwrap(), s.state_id("y").unwrap());
+    }
+
     #[test]
     fn queue_fifo_across_branches() {
         let mut s: BranchStore<Queue<&str>> = BranchStore::new("main");
@@ -398,7 +648,7 @@ mod tests {
     }
 }
 
-impl<M: Mrdt> BranchStore<M> {
+impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     /// Renders the commit DAG with branch heads in Graphviz DOT format —
     /// `git log --graph` for this store. Pipe through `dot -Tsvg` to
     /// visualise criss-cross histories and virtual LCA commits.

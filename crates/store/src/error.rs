@@ -14,6 +14,19 @@ pub enum StoreError {
     /// The two versions share no history (distinct roots); a three-way
     /// merge is impossible. Cannot occur for branches forked from one root.
     NoCommonAncestor,
+    /// An I/O failure in a persistent backend (message carries the
+    /// `std::io::Error` rendering; the error itself is not `Clone`).
+    Io(String),
+    /// A persistent backend record failed its integrity check — its bytes
+    /// do not hash to the id it is indexed under, or its on-disk framing
+    /// is malformed past the recoverable tail.
+    Corrupt(String),
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
 }
 
 impl fmt::Debug for StoreError {
@@ -28,6 +41,8 @@ impl fmt::Display for StoreError {
             StoreError::UnknownBranch(b) => write!(f, "unknown branch {b:?}"),
             StoreError::BranchExists(b) => write!(f, "branch {b:?} already exists"),
             StoreError::NoCommonAncestor => write!(f, "versions share no common ancestor"),
+            StoreError::Io(msg) => write!(f, "backend i/o error: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "backend corruption: {msg}"),
         }
     }
 }

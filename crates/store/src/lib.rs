@@ -11,6 +11,13 @@
 //!   (the store property Ψ_ts) via Lamport clocks ([`clock`]),
 //! * **content addressing** of states by SHA-256, implemented from scratch
 //!   ([`sha256`], [`object`]),
+//! * **pluggable persistence backends** behind the [`Backend`] trait —
+//!   the interning in-memory store and a crash-safe append-only on-disk
+//!   segment ([`backend`], [`segment`]) — every state/commit the branch
+//!   store creates is published under its content address,
+//! * **merge memoization** keyed by `(lca, left, right)` content-address
+//!   triples, which recursive virtual merges on criss-cross histories
+//!   repeatedly re-derive ([`memo`]),
 //! * the paper's formal **labelled transition system** `M_Dτ` (Fig. 3),
 //!   maintaining paired concrete/abstract states per branch — the
 //!   reference semantics the `peepul-verify` harness drives
@@ -43,20 +50,26 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod branch;
 pub mod clock;
 pub mod dag;
 pub mod dot;
 pub mod error;
+pub mod memo;
 pub mod object;
+pub mod segment;
 pub mod semantics;
 pub mod sha256;
 pub mod sync;
 
+pub use backend::{Backend, BackendStats, MemoryBackend};
 pub use branch::BranchStore;
 pub use clock::LamportClock;
 pub use dag::{CommitGraph, CommitId};
 pub use error::StoreError;
-pub use object::{content_id, ObjectId, ObjectStore, Sha256Hasher};
+pub use memo::{MergeCacheStats, MergeMemo};
+pub use object::{canonical_bytes, content_id, ObjectId, ObjectStore, Sha256Hasher};
+pub use segment::{SegmentBackend, SegmentOptions};
 pub use semantics::{DoOutcome, MergeOutcome, Snapshot, StoreLts};
 pub use sync::Cluster;

@@ -1,0 +1,227 @@
+//! Merge memoization: caching three-way merges by content address.
+//!
+//! An MRDT merge is a pure function of `(σ_lca, σ_a, σ_b)`, so its result
+//! is determined by the three states' content addresses. Recursive
+//! virtual merges on criss-cross DAGs (Git's `merge-recursive` strategy,
+//! which [`BranchStore`](crate::BranchStore) implements) repeatedly
+//! re-derive the *same* base triples — every further merge between two
+//! criss-crossing branches recomputes the virtual ancestors of the round
+//! before. Caching by `(lca, left, right)` [`ObjectId`] triple turns
+//! those recomputations — each O(state size) — into map lookups, and the
+//! returned `Arc` shares the merged state's allocation with every commit
+//! that reuses it.
+//!
+//! The cache is *not* symmetric in `(left, right)`: merges are only
+//! guaranteed commutative modulo observational equivalence (Definition
+//! 3.4), not byte-identical, and the cache must never change which exact
+//! state a schedule produces (the backend-equivalence property test
+//! replays schedules with the cache on and off and demands identical
+//! content addresses).
+
+use crate::object::ObjectId;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// Default bound on cached triples. Workloads that never repeat a triple
+/// (e.g. a long two-branch gossip chain) would otherwise grow the cache —
+/// and the `Arc`-pinned merged states behind it — linearly with history.
+pub const DEFAULT_MEMO_CAPACITY: usize = 1024;
+
+/// Hit/miss counters of a [`MergeMemo`], exposed for the bench pipeline
+/// (`BENCH_store.json` reports the hit rate on the criss-cross workload).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MergeCacheStats {
+    /// Merges answered from the cache.
+    pub hits: u64,
+    /// Merges that had to run the data type's `merge`.
+    pub misses: u64,
+}
+
+impl MergeCacheStats {
+    /// `hits / (hits + misses)`, or 0 when no merges ran.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A content-addressed cache of three-way merge results, bounded to
+/// `capacity` triples with FIFO eviction (criss-cross re-derivations are
+/// temporally clustered, so recency-ignorant eviction loses little).
+pub struct MergeMemo<M> {
+    cache: HashMap<(ObjectId, ObjectId, ObjectId), Arc<M>>,
+    /// Insertion order, for FIFO eviction once `capacity` is reached.
+    order: VecDeque<(ObjectId, ObjectId, ObjectId)>,
+    capacity: usize,
+    stats: MergeCacheStats,
+    enabled: bool,
+}
+
+impl<M> MergeMemo<M> {
+    /// Creates an enabled, empty cache with [`DEFAULT_MEMO_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_MEMO_CAPACITY)
+    }
+
+    /// Creates an enabled, empty cache bounded to `capacity` triples
+    /// (`0` disables caching outright).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MergeMemo {
+            cache: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            stats: MergeCacheStats::default(),
+            enabled: true,
+        }
+    }
+
+    /// Enables or disables the cache; disabling clears it (and the
+    /// subsequent merges count as misses).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.cache.clear();
+            self.order.clear();
+        }
+    }
+
+    /// Whether the cache is consulted at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The merged state for `(lca, left, right)`, computing and caching it
+    /// via `merge` on a miss.
+    pub fn merged(
+        &mut self,
+        key: (ObjectId, ObjectId, ObjectId),
+        merge: impl FnOnce() -> M,
+    ) -> Arc<M> {
+        if self.enabled {
+            if let Some(hit) = self.cache.get(&key) {
+                self.stats.hits += 1;
+                return Arc::clone(hit);
+            }
+        }
+        self.stats.misses += 1;
+        let computed = Arc::new(merge());
+        if self.enabled && self.capacity > 0 {
+            while self.cache.len() >= self.capacity {
+                let oldest = self.order.pop_front().expect("order tracks cache");
+                self.cache.remove(&oldest);
+            }
+            if self.cache.insert(key, Arc::clone(&computed)).is_none() {
+                self.order.push_back(key);
+            }
+        }
+        computed
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> MergeCacheStats {
+        self.stats
+    }
+
+    /// Number of distinct cached triples.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+impl<M> Default for MergeMemo<M> {
+    fn default() -> Self {
+        MergeMemo::new()
+    }
+}
+
+impl<M> fmt::Debug for MergeMemo<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MergeMemo({} entries, {} hits, {} misses)",
+            self.cache.len(),
+            self.stats.hits,
+            self.stats.misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::content_id;
+
+    #[test]
+    fn second_identical_merge_is_a_hit() {
+        let mut memo: MergeMemo<u64> = MergeMemo::new();
+        let key = (content_id(&0u8), content_id(&1u8), content_id(&2u8));
+        let a = memo.merged(key, || 42);
+        let b = memo.merged(key, || panic!("must not recompute"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(memo.stats(), MergeCacheStats { hits: 1, misses: 1 });
+        assert!((memo.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_order_matters() {
+        let mut memo: MergeMemo<u64> = MergeMemo::new();
+        let (l, a, b) = (content_id(&0u8), content_id(&1u8), content_id(&2u8));
+        memo.merged((l, a, b), || 1);
+        memo.merged((l, b, a), || 2);
+        assert_eq!(memo.stats().hits, 0);
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn disabling_clears_and_bypasses() {
+        let mut memo: MergeMemo<u64> = MergeMemo::new();
+        let key = (content_id(&0u8), content_id(&1u8), content_id(&2u8));
+        memo.merged(key, || 1);
+        memo.set_enabled(false);
+        assert!(memo.is_empty());
+        memo.merged(key, || 2);
+        memo.merged(key, || 3);
+        assert_eq!(memo.stats().hits, 0);
+        assert_eq!(memo.stats().misses, 3);
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_zero() {
+        let memo: MergeMemo<u64> = MergeMemo::new();
+        assert_eq!(memo.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let mut memo: MergeMemo<u64> = MergeMemo::with_capacity(2);
+        let key = |i: u8| (content_id(&i), content_id(&i), content_id(&i));
+        memo.merged(key(0), || 0);
+        memo.merged(key(1), || 1);
+        memo.merged(key(2), || 2); // cache {1, 2}: key(0) evicted (oldest)
+        assert_eq!(memo.len(), 2);
+        memo.merged(key(0), || 0); // miss — evicted; refilling drops key(1)
+        assert_eq!(memo.stats().hits, 0);
+        memo.merged(key(2), || panic!("must still be cached"));
+        assert_eq!(memo.stats().hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut memo: MergeMemo<u64> = MergeMemo::with_capacity(0);
+        let key = (content_id(&0u8), content_id(&1u8), content_id(&2u8));
+        memo.merged(key, || 1);
+        memo.merged(key, || 2);
+        assert_eq!(memo.stats().hits, 0);
+        assert!(memo.is_empty());
+    }
+}

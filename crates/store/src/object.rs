@@ -7,11 +7,24 @@
 //! [`ObjectStore`], giving Git-style structural sharing of repeated states
 //! (e.g. the many identical heads produced by read-only operations).
 
+use crate::backend::{Backend, MemoryBackend};
 use crate::sha256::Sha256;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+/// Appends the lowercase hex rendering of `bytes` to `out` — one `String`
+/// reservation, no per-byte formatting machinery.
+pub(crate) fn push_hex(bytes: &[u8], out: &mut String) {
+    out.reserve(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0x0f) as usize] as char);
+    }
+}
 
 /// A 256-bit content address.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -23,9 +36,17 @@ impl ObjectId {
         &self.0
     }
 
+    /// Reconstructs an id from raw digest bytes (e.g. read back from a
+    /// persistent backend's index).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        ObjectId(bytes)
+    }
+
     /// Abbreviated hex form (first 8 hex digits), like `git log --oneline`.
     pub fn short(&self) -> String {
-        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+        let mut s = String::new();
+        push_hex(&self.0[..4], &mut s);
+        s
     }
 }
 
@@ -37,10 +58,10 @@ impl fmt::Debug for ObjectId {
 
 impl fmt::Display for ObjectId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for b in &self.0 {
-            write!(f, "{b:02x}")?;
-        }
-        Ok(())
+        // One buffered write_str instead of 32 formatter round-trips.
+        let mut s = String::new();
+        push_hex(&self.0, &mut s);
+        f.write_str(&s)
     }
 }
 
@@ -95,61 +116,101 @@ pub fn content_id<T: Hash>(value: &T) -> ObjectId {
     hasher.digest()
 }
 
-/// An interning, content-addressed store of immutable values.
+/// A [`std::hash::Hasher`] that records the exact byte stream it is fed.
+///
+/// The recorded stream is the workspace's *canonical encoding* of a
+/// hashable value: deterministic for a given value (the `Hash` contract
+/// plus our ordered-container convention), and by construction it hashes
+/// to the value's [`content_id`]. Persistent backends store these bytes,
+/// which makes every stored object integrity-checkable against its id.
+#[derive(Clone, Debug, Default)]
+struct CaptureHasher {
+    bytes: Vec<u8>,
+}
+
+impl Hasher for CaptureHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        0 // never used as an integer hash
+    }
+}
+
+/// The canonical byte encoding of a value: its `Hash` stream.
+///
+/// Invariant (tested below): `sha256(canonical_bytes(v))` equals
+/// [`content_id`]`(v)` — ids computed by streaming and by encoding agree,
+/// so a backend can verify any stored object against its address.
+///
+/// The stream is deterministic for one build on one platform, which is
+/// what the backend-equivalence suite relies on; std does not guarantee
+/// it across architectures or Rust releases (native-endian length
+/// prefixes), so segment files are not a portable interchange format —
+/// see DESIGN.md §4.1.
+pub fn canonical_bytes<T: Hash>(value: &T) -> Vec<u8> {
+    let mut capture = CaptureHasher::default();
+    value.hash(&mut capture);
+    capture.bytes
+}
+
+/// An interning, content-addressed store of immutable *typed* values.
 ///
 /// Inserting a value returns its [`ObjectId`]; inserting an equal value
-/// again returns the same id and the same shared allocation.
+/// again returns the same id and the same shared allocation. Since the
+/// backend refactor this is a typed view over a byte-level
+/// [`MemoryBackend`]: the value's [`canonical_bytes`] go to the backend
+/// (which owns the dedup/interning accounting), while the typed `Arc<T>`
+/// handles are kept here so reads need no decoding.
 pub struct ObjectStore<T> {
-    objects: HashMap<ObjectId, Arc<T>>,
-    inserts: u64,
-    hits: u64,
+    backend: MemoryBackend,
+    typed: HashMap<ObjectId, Arc<T>>,
 }
 
 impl<T: Hash> ObjectStore<T> {
     /// Creates an empty store.
     pub fn new() -> Self {
         ObjectStore {
-            objects: HashMap::new(),
-            inserts: 0,
-            hits: 0,
+            backend: MemoryBackend::new(),
+            typed: HashMap::new(),
         }
     }
 
     /// Interns a value, returning its content address and shared handle.
     pub fn insert(&mut self, value: T) -> (ObjectId, Arc<T>) {
-        self.inserts += 1;
-        let id = content_id(&value);
-        let arc = self
-            .objects
-            .entry(id)
-            .or_insert_with(|| Arc::new(value))
-            .clone();
-        if Arc::strong_count(&arc) > 2 {
-            // Entry existed before (store + returned handle + prior users).
-            self.hits += 1;
-        }
-        (id, arc)
+        let id = self
+            .backend
+            .put(&canonical_bytes(&value))
+            .expect("in-memory put is infallible");
+        let arc = self.typed.entry(id).or_insert_with(|| Arc::new(value));
+        (id, arc.clone())
     }
 
     /// Fetches a value by content address.
     pub fn get(&self, id: ObjectId) -> Option<Arc<T>> {
-        self.objects.get(&id).cloned()
+        self.typed.get(&id).cloned()
     }
 
     /// Number of *distinct* objects stored.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.typed.len()
     }
 
     /// Whether the store holds no objects.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.typed.is_empty()
     }
 
     /// `(total inserts, distinct objects)` — the gap is the structural
     /// sharing the content addressing bought.
     pub fn dedup_stats(&self) -> (u64, usize) {
-        (self.inserts, self.objects.len())
+        (self.backend.stats().puts, self.typed.len())
+    }
+
+    /// The underlying byte-level backend (canonical encodings + stats).
+    pub fn backend(&self) -> &MemoryBackend {
+        &self.backend
     }
 }
 
@@ -164,8 +225,8 @@ impl<T> fmt::Debug for ObjectStore<T> {
         write!(
             f,
             "ObjectStore({} objects, {} inserts)",
-            self.objects.len(),
-            self.inserts
+            self.typed.len(),
+            self.backend.stats().puts
         )
     }
 }
@@ -219,5 +280,24 @@ mod tests {
         assert_eq!(id.to_string().len(), 64);
         assert_eq!(id.short().len(), 8);
         assert!(id.to_string().starts_with(&id.short()));
+        assert!(id.to_string().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn canonical_bytes_hash_to_the_content_id() {
+        // The invariant persistent backends rely on: encoding then hashing
+        // equals hashing directly.
+        let values = [vec![1u32, 2, 3], vec![], vec![u32::MAX; 9]];
+        for v in &values {
+            assert_eq!(ObjectId(Sha256::digest(&canonical_bytes(v))), content_id(v));
+        }
+    }
+
+    #[test]
+    fn object_store_exposes_backend_bytes() {
+        let mut store: ObjectStore<u64> = ObjectStore::new();
+        let (id, _) = store.insert(7);
+        let bytes = store.backend().get(id).unwrap().expect("stored");
+        assert_eq!(bytes, canonical_bytes(&7u64));
     }
 }

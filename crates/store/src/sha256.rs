@@ -40,7 +40,11 @@ const K: [u32; 64] = [
 /// );
 ///
 /// fn hex(bytes: &[u8]) -> String {
-///     bytes.iter().map(|b| format!("{b:02x}")).collect()
+///     bytes.iter().fold(String::new(), |mut s, b| {
+///         use std::fmt::Write;
+///         write!(s, "{b:02x}").unwrap();
+///         s
+///     })
 /// }
 /// ```
 #[derive(Clone, Debug)]
@@ -175,7 +179,11 @@ mod tests {
     use super::*;
 
     fn hex(bytes: &[u8]) -> String {
-        bytes.iter().map(|b| format!("{b:02x}")).collect()
+        // One allocation for the whole rendering — the `format!`-per-byte
+        // pattern this replaces allocated a String per byte.
+        let mut s = String::new();
+        crate::object::push_hex(bytes, &mut s);
+        s
     }
 
     /// NIST FIPS 180-4 / secure hash test vectors.

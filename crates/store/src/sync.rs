@@ -8,6 +8,7 @@
 //! different replicas interleave nondeterministically — a stress test for
 //! merge correctness that the deterministic harness cannot provide.
 
+use crate::backend::{Backend, MemoryBackend};
 use crate::branch::BranchStore;
 use crate::error::StoreError;
 use parking_lot::Mutex;
@@ -16,6 +17,11 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A multi-threaded cluster of replicas over one [`BranchStore`].
+///
+/// Generic over the persistence [`Backend`] like the store itself:
+/// [`Cluster::new`] runs in memory, [`Cluster::with_backend`] runs the
+/// identical replica simulation over any backend (the convergence suite
+/// drives it over the on-disk segment backend too).
 ///
 /// # Example
 ///
@@ -32,8 +38,8 @@ use std::sync::Arc;
 /// # Ok(())
 /// # }
 /// ```
-pub struct Cluster<M: Mrdt> {
-    store: Arc<Mutex<BranchStore<M>>>,
+pub struct Cluster<M: Mrdt, B: Backend = MemoryBackend> {
+    store: Arc<Mutex<BranchStore<M, B>>>,
     replicas: usize,
 }
 
@@ -42,15 +48,28 @@ fn replica_branch(i: usize) -> String {
 }
 
 impl<M: Mrdt + Send + Sync + 'static> Cluster<M> {
-    /// Creates a cluster of `replicas` branches forked from a common root.
+    /// Creates a cluster of `replicas` branches forked from a common root,
+    /// stored in memory.
     ///
     /// # Errors
     ///
     /// Propagates [`StoreError`] from branch creation (cannot occur for
     /// distinct generated names).
     pub fn new(replicas: usize) -> Result<Self, StoreError> {
+        Self::with_backend(replicas, MemoryBackend::new())
+    }
+}
+
+impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + 'static> Cluster<M, B> {
+    /// Creates a cluster of `replicas` branches forked from a common root
+    /// over an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from publishing or branch creation.
+    pub fn with_backend(replicas: usize, backend: B) -> Result<Self, StoreError> {
         assert!(replicas >= 1, "a cluster needs at least one replica");
-        let mut store = BranchStore::new(replica_branch(0));
+        let mut store = BranchStore::with_backend(replica_branch(0), backend)?;
         for i in 1..replicas {
             store.fork(replica_branch(i), &replica_branch(0))?;
         }
@@ -134,12 +153,12 @@ impl<M: Mrdt + Send + Sync + 'static> Cluster<M> {
     }
 
     /// Runs `f` with the locked store (inspection/debugging).
-    pub fn with_store<R>(&self, f: impl FnOnce(&mut BranchStore<M>) -> R) -> R {
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut BranchStore<M, B>) -> R) -> R {
         f(&mut self.store.lock())
     }
 }
 
-impl<M: Mrdt> fmt::Debug for Cluster<M> {
+impl<M: Mrdt, B: Backend> fmt::Debug for Cluster<M, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Cluster({} replicas)", self.replicas)
     }

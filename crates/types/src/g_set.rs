@@ -78,7 +78,7 @@ impl<T: fmt::Debug> fmt::Debug for GSet<T> {
     }
 }
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> Mrdt for GSet<T> {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for GSet<T> {
     type Op = GSetOp<T>;
     type Value = GSetValue<T>;
 
@@ -115,7 +115,9 @@ impl<T: Ord + Clone + PartialEq + fmt::Debug> Mrdt for GSet<T> {
 #[derive(Debug)]
 pub struct GSetSpec;
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> Specification<GSet<T>> for GSetSpec {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<GSet<T>>
+    for GSetSpec
+{
     fn spec(op: &GSetOp<T>, state: &AbstractOf<GSet<T>>) -> GSetValue<T> {
         let added = || {
             state
@@ -139,7 +141,9 @@ impl<T: Ord + Clone + PartialEq + fmt::Debug> Specification<GSet<T>> for GSetSpe
 #[derive(Debug)]
 pub struct GSetSim;
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> SimulationRelation<GSet<T>> for GSetSim {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<GSet<T>>
+    for GSetSim
+{
     fn holds(abs: &AbstractOf<GSet<T>>, conc: &GSet<T>) -> bool {
         let added: BTreeSet<T> = abs
             .events()
@@ -152,7 +156,7 @@ impl<T: Ord + Clone + PartialEq + fmt::Debug> SimulationRelation<GSet<T>> for GS
     }
 }
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> Certified for GSet<T> {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for GSet<T> {
     type Spec = GSetSpec;
     type Sim = GSetSim;
 }

@@ -83,7 +83,7 @@ impl<M: fmt::Debug> fmt::Debug for MergeableLog<M> {
     }
 }
 
-impl<M: Ord + Clone + PartialEq + fmt::Debug> Mrdt for MergeableLog<M> {
+impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for MergeableLog<M> {
     type Op = LogOp<M>;
     type Value = LogValue<M>;
 
@@ -139,7 +139,9 @@ impl<M: Ord + Clone + PartialEq + fmt::Debug> Mrdt for MergeableLog<M> {
 #[derive(Debug)]
 pub struct LogSpec;
 
-impl<M: Ord + Clone + PartialEq + fmt::Debug> Specification<MergeableLog<M>> for LogSpec {
+impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<MergeableLog<M>>
+    for LogSpec
+{
     fn spec(op: &LogOp<M>, state: &AbstractOf<MergeableLog<M>>) -> LogValue<M> {
         match op {
             LogOp::Append(_) => LogValue::Ack,
@@ -163,7 +165,9 @@ impl<M: Ord + Clone + PartialEq + fmt::Debug> Specification<MergeableLog<M>> for
 #[derive(Debug)]
 pub struct LogSim;
 
-impl<M: Ord + Clone + PartialEq + fmt::Debug> SimulationRelation<MergeableLog<M>> for LogSim {
+impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<MergeableLog<M>>
+    for LogSim
+{
     fn holds(abs: &AbstractOf<MergeableLog<M>>, conc: &MergeableLog<M>) -> bool {
         let mut appended: Vec<(Timestamp, M)> = abs
             .events()
@@ -191,7 +195,7 @@ impl<M: Ord + Clone + PartialEq + fmt::Debug> SimulationRelation<MergeableLog<M>
     }
 }
 
-impl<M: Ord + Clone + PartialEq + fmt::Debug> Certified for MergeableLog<M> {
+impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for MergeableLog<M> {
     type Spec = LogSpec;
     type Sim = LogSim;
 }

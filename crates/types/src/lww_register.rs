@@ -65,7 +65,7 @@ impl<T: fmt::Debug> fmt::Debug for LwwRegister<T> {
     }
 }
 
-impl<T: Clone + PartialEq + fmt::Debug> Mrdt for LwwRegister<T> {
+impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for LwwRegister<T> {
     type Op = LwwOp<T>;
     type Value = LwwValue<T>;
 
@@ -105,7 +105,9 @@ impl<T: Clone + PartialEq + fmt::Debug> Mrdt for LwwRegister<T> {
 #[derive(Debug)]
 pub struct LwwSpec;
 
-impl<T: Clone + PartialEq + fmt::Debug> Specification<LwwRegister<T>> for LwwSpec {
+impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<LwwRegister<T>>
+    for LwwSpec
+{
     fn spec(op: &LwwOp<T>, state: &AbstractOf<LwwRegister<T>>) -> LwwValue<T> {
         match op {
             LwwOp::Write(_) => LwwValue::Ack,
@@ -114,7 +116,7 @@ impl<T: Clone + PartialEq + fmt::Debug> Specification<LwwRegister<T>> for LwwSpe
     }
 }
 
-fn latest_write<T: Clone + PartialEq + fmt::Debug>(
+fn latest_write<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
     state: &AbstractOf<LwwRegister<T>>,
 ) -> Option<(Timestamp, T)> {
     state
@@ -131,7 +133,9 @@ fn latest_write<T: Clone + PartialEq + fmt::Debug>(
 #[derive(Debug)]
 pub struct LwwSim;
 
-impl<T: Clone + PartialEq + fmt::Debug> SimulationRelation<LwwRegister<T>> for LwwSim {
+impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<LwwRegister<T>>
+    for LwwSim
+{
     fn holds(abs: &AbstractOf<LwwRegister<T>>, conc: &LwwRegister<T>) -> bool {
         match latest_write(abs) {
             Some((t, v)) => conc.time == t && conc.value.as_ref() == Some(&v),
@@ -151,7 +155,7 @@ impl<T: Clone + PartialEq + fmt::Debug> SimulationRelation<LwwRegister<T>> for L
     }
 }
 
-impl<T: Clone + PartialEq + fmt::Debug> Certified for LwwRegister<T> {
+impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for LwwRegister<T> {
     type Spec = LwwSpec;
     type Sim = LwwSim;
 }

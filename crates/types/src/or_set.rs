@@ -84,7 +84,9 @@ pub(crate) fn orset_spec<T: Ord + Clone + PartialEq>(
     }
 }
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> Specification<OrSet<T>> for OrSetSpec {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<OrSet<T>>
+    for OrSetSpec
+{
     fn spec(op: &OrSetOp<T>, state: &AbstractOf<OrSet<T>>) -> OrSetValue<T> {
         orset_spec(op, state)
     }
@@ -163,7 +165,7 @@ impl<T: fmt::Debug> fmt::Debug for OrSet<T> {
     }
 }
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> Mrdt for OrSet<T> {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSet<T> {
     type Op = OrSetOp<T>;
     type Value = OrSetValue<T>;
 
@@ -219,7 +221,9 @@ impl<T: Ord + Clone + PartialEq + fmt::Debug> Mrdt for OrSet<T> {
 #[derive(Debug)]
 pub struct OrSetSim;
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> SimulationRelation<OrSet<T>> for OrSetSim {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<OrSet<T>>
+    for OrSetSim
+{
     fn holds(abs: &AbstractOf<OrSet<T>>, conc: &OrSet<T>) -> bool {
         let live: BTreeSet<(T, Timestamp)> = live_adds(abs).into_iter().collect();
         conc.pair_set() == live
@@ -237,7 +241,7 @@ impl<T: Ord + Clone + PartialEq + fmt::Debug> SimulationRelation<OrSet<T>> for O
     }
 }
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> Certified for OrSet<T> {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for OrSet<T> {
     type Spec = OrSetSpec;
     type Sim = OrSetSim;
 }

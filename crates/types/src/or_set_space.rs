@@ -135,7 +135,7 @@ pub(crate) fn merge_spaced<T: Ord + Clone>(
     out
 }
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> Mrdt for OrSetSpace<T> {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSetSpace<T> {
     type Op = OrSetOp<T>;
     type Value = OrSetValue<T>;
 
@@ -190,7 +190,9 @@ impl<T: Ord + Clone + PartialEq + fmt::Debug> Mrdt for OrSetSpace<T> {
 #[derive(Debug)]
 pub struct OrSetSpaceSim;
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> SimulationRelation<OrSetSpace<T>> for OrSetSpaceSim {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<OrSetSpace<T>>
+    for OrSetSpaceSim
+{
     fn holds(abs: &AbstractOf<OrSetSpace<T>>, conc: &OrSetSpace<T>) -> bool {
         // No duplicate elements in the concrete list.
         if conc.pairs.len() != conc.as_map().len() {
@@ -219,12 +221,14 @@ impl<T: Ord + Clone + PartialEq + fmt::Debug> SimulationRelation<OrSetSpace<T>> 
     }
 }
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> Certified for OrSetSpace<T> {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for OrSetSpace<T> {
     type Spec = OrSetSpec;
     type Sim = OrSetSpaceSim;
 }
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> Specification<OrSetSpace<T>> for OrSetSpec {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<OrSetSpace<T>>
+    for OrSetSpec
+{
     fn spec(op: &OrSetOp<T>, state: &AbstractOf<OrSetSpace<T>>) -> OrSetValue<T> {
         orset_spec(op, state)
     }

@@ -105,7 +105,7 @@ impl<T: fmt::Debug + Ord> fmt::Debug for OrSetSpacetime<T> {
     }
 }
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> Mrdt for OrSetSpacetime<T> {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSetSpacetime<T> {
     type Op = OrSetOp<T>;
     type Value = OrSetValue<T>;
 
@@ -158,8 +158,8 @@ impl<T: Ord + Clone + PartialEq + fmt::Debug> Mrdt for OrSetSpacetime<T> {
 #[derive(Debug)]
 pub struct OrSetSpacetimeSim;
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> SimulationRelation<OrSetSpacetime<T>>
-    for OrSetSpacetimeSim
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug>
+    SimulationRelation<OrSetSpacetime<T>> for OrSetSpacetimeSim
 {
     fn holds(abs: &AbstractOf<OrSetSpacetime<T>>, conc: &OrSetSpacetime<T>) -> bool {
         // The backing tree must also be a valid AVL tree: representation
@@ -195,12 +195,14 @@ impl<T: Ord + Clone + PartialEq + fmt::Debug> SimulationRelation<OrSetSpacetime<
     }
 }
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> Certified for OrSetSpacetime<T> {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for OrSetSpacetime<T> {
     type Spec = OrSetSpec;
     type Sim = OrSetSpacetimeSim;
 }
 
-impl<T: Ord + Clone + PartialEq + fmt::Debug> Specification<OrSetSpacetime<T>> for OrSetSpec {
+impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<OrSetSpacetime<T>>
+    for OrSetSpec
+{
     fn spec(op: &OrSetOp<T>, state: &AbstractOf<OrSetSpacetime<T>>) -> OrSetValue<T> {
         orset_spec(op, state)
     }

@@ -187,7 +187,7 @@ fn union<T: Clone>(x: &[Entry<T>], y: &[Entry<T>]) -> Vec<Entry<T>> {
     out
 }
 
-impl<T: Clone + PartialEq + fmt::Debug> Mrdt for Queue<T> {
+impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for Queue<T> {
     type Op = QueueOp<T>;
     type Value = QueueValue<T>;
 
@@ -254,7 +254,7 @@ impl<T: Clone + PartialEq + fmt::Debug> Mrdt for Queue<T> {
     }
 }
 
-impl<T: Clone + PartialEq + fmt::Debug> Queue<T> {
+impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Queue<T> {
     /// The paper's Appendix-B three-way merge, verbatim: longest common
     /// contiguous subsequence (`intersection`), newly enqueued suffixes
     /// (`diff_s`), timestamp-merged (`union`).
@@ -293,7 +293,7 @@ impl<T: fmt::Debug> fmt::Debug for Queue<T> {
 /// matched (by enqueue-timestamp tag) by any visible dequeue's return
 /// value. Sorted ascending by timestamp — the FIFO order, since visibility
 /// refines timestamp order (Ψ_ts).
-pub fn live_enqueues<T: Clone + PartialEq + fmt::Debug>(
+pub fn live_enqueues<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
     abs: &AbstractOf<Queue<T>>,
 ) -> Vec<Entry<T>> {
     let mut live: Vec<Entry<T>> = abs
@@ -319,7 +319,7 @@ pub fn live_enqueues<T: Clone + PartialEq + fmt::Debug>(
 #[derive(Debug)]
 pub struct QueueSpec;
 
-impl<T: Clone + PartialEq + fmt::Debug> Specification<Queue<T>> for QueueSpec {
+impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<Queue<T>> for QueueSpec {
     fn spec(op: &QueueOp<T>, state: &AbstractOf<Queue<T>>) -> QueueValue<T> {
         match op {
             QueueOp::Enqueue(_) => QueueValue::Ack,
@@ -336,7 +336,9 @@ impl<T: Clone + PartialEq + fmt::Debug> Specification<Queue<T>> for QueueSpec {
 #[derive(Debug)]
 pub struct QueueSim;
 
-impl<T: Clone + PartialEq + fmt::Debug> SimulationRelation<Queue<T>> for QueueSim {
+impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<Queue<T>>
+    for QueueSim
+{
     fn holds(abs: &AbstractOf<Queue<T>>, conc: &Queue<T>) -> bool {
         conc.to_list() == live_enqueues(abs)
     }
@@ -348,7 +350,7 @@ impl<T: Clone + PartialEq + fmt::Debug> SimulationRelation<Queue<T>> for QueueSi
     }
 }
 
-impl<T: Clone + PartialEq + fmt::Debug> Certified for Queue<T> {
+impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for Queue<T> {
     type Spec = QueueSpec;
     type Sim = QueueSim;
 }
@@ -365,7 +367,7 @@ pub mod axioms {
 
     /// `match_I(e1, e2)`: `e1` is an enqueue whose tagged entry the dequeue
     /// `e2` returned.
-    pub fn matches<T: Clone + PartialEq + fmt::Debug>(
+    pub fn matches<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
         abs: &AbstractOf<Queue<T>>,
         e1: EventId,
         e2: EventId,
@@ -377,14 +379,18 @@ pub mod axioms {
             && matches!(deq.rval(), QueueValue::Dequeued(Some((t, _))) if *t == e1)
     }
 
-    fn dequeues<T: Clone + PartialEq + fmt::Debug>(abs: &AbstractOf<Queue<T>>) -> Vec<EventId> {
+    fn dequeues<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+        abs: &AbstractOf<Queue<T>>,
+    ) -> Vec<EventId> {
         abs.events()
             .filter(|e| matches!(e.op(), QueueOp::Dequeue))
             .map(|e| e.id())
             .collect()
     }
 
-    fn enqueues<T: Clone + PartialEq + fmt::Debug>(abs: &AbstractOf<Queue<T>>) -> Vec<EventId> {
+    fn enqueues<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+        abs: &AbstractOf<Queue<T>>,
+    ) -> Vec<EventId> {
         abs.events()
             .filter(|e| matches!(e.op(), QueueOp::Enqueue(_)))
             .map(|e| e.id())
@@ -393,7 +399,9 @@ pub mod axioms {
 
     /// `AddRem`: every dequeue that returns an entry has a matching
     /// enqueue that it observed.
-    pub fn add_rem<T: Clone + PartialEq + fmt::Debug>(abs: &AbstractOf<Queue<T>>) -> bool {
+    pub fn add_rem<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+        abs: &AbstractOf<Queue<T>>,
+    ) -> bool {
         dequeues(abs).into_iter().all(|d| {
             match abs.event(d).expect("dequeue id came from abs").rval() {
                 QueueValue::Dequeued(Some((t, _))) => enqueues(abs).contains(t) && abs.vis(*t, d),
@@ -405,7 +413,9 @@ pub mod axioms {
     /// `Empty`: a dequeue that returned `EMPTY` has no *unmatched* enqueue
     /// visible to it — every enqueue it saw was already consumed by a
     /// dequeue it also saw.
-    pub fn empty<T: Clone + PartialEq + fmt::Debug>(abs: &AbstractOf<Queue<T>>) -> bool {
+    pub fn empty<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+        abs: &AbstractOf<Queue<T>>,
+    ) -> bool {
         dequeues(abs).into_iter().all(|d1| {
             let returned_empty = matches!(
                 abs.event(d1).expect("dequeue id came from abs").rval(),
@@ -428,7 +438,9 @@ pub mod axioms {
     /// `FIFO_1`: if an enqueue `e1` precedes (is visible to) an enqueue
     /// `e2` whose entry has been dequeued somewhere, then `e1`'s entry has
     /// been dequeued somewhere too.
-    pub fn fifo1<T: Clone + PartialEq + fmt::Debug>(abs: &AbstractOf<Queue<T>>) -> bool {
+    pub fn fifo1<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+        abs: &AbstractOf<Queue<T>>,
+    ) -> bool {
         let enqs = enqueues(abs);
         let deqs = dequeues(abs);
         enqs.iter().all(|&e1| {
@@ -448,7 +460,9 @@ pub mod axioms {
     /// `FIFO_2`: no out-of-order consumption — it never happens that a
     /// later dequeue (`d4`, after `d3`) returns an *earlier* enqueue (`e1`,
     /// before `e2`) while `d3` returned `e2`.
-    pub fn fifo2<T: Clone + PartialEq + fmt::Debug>(abs: &AbstractOf<Queue<T>>) -> bool {
+    pub fn fifo2<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+        abs: &AbstractOf<Queue<T>>,
+    ) -> bool {
         let enqs = enqueues(abs);
         let deqs = dequeues(abs);
         for &e1 in &enqs {
@@ -472,7 +486,9 @@ pub mod axioms {
     }
 
     /// All four axioms at once.
-    pub fn all<T: Clone + PartialEq + fmt::Debug>(abs: &AbstractOf<Queue<T>>) -> bool {
+    pub fn all<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+        abs: &AbstractOf<Queue<T>>,
+    ) -> bool {
         add_rem(abs) && empty(abs) && fifo1(abs) && fifo2(abs)
     }
 }

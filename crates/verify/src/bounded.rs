@@ -178,7 +178,7 @@ mod tests {
         use peepul_core::{AbstractOf, Mrdt, SimulationRelation, Specification, Timestamp};
 
         /// A counter whose merge double-counts the LCA.
-        #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
         struct DoubleCounter(u64);
 
         #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -358,7 +358,7 @@ mod tests {
     /// A deliberately broken data type: its merge keeps only branch `a`,
     /// losing `b`'s additions. The runner must localise the failure to
     /// `Φ_merge` at the merge step.
-    #[derive(Clone, PartialEq, Eq, Debug, Default)]
+    #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
     struct LossySet(std::collections::BTreeSet<u32>);
 
     #[derive(Clone, PartialEq, Eq, Debug)]

@@ -42,7 +42,7 @@ where
 // unless a branch re-touched them (classic "two-way merge" bug).
 // ---------------------------------------------------------------------
 
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 struct TwoWaySet(std::collections::BTreeSet<u8>);
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -108,7 +108,7 @@ fn two_way_merge_bug_is_caught_as_phi_merge() {
 // conflict-resolution policy inverted relative to the specification.
 // ---------------------------------------------------------------------
 
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 struct RemoveWinsSet {
     pairs: Vec<(u8, Timestamp)>,
 }
@@ -254,7 +254,7 @@ fn remove_wins_policy_is_caught() {
 // merge directions disagree.
 // ---------------------------------------------------------------------
 
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct BiasedRegister {
     value: u8,
     time: Timestamp,
@@ -327,7 +327,7 @@ fn non_commutative_tie_break_is_caught_as_phi_con() {
 // pure query — no merge needed at all).
 // ---------------------------------------------------------------------
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 struct OffByOneCounter(u64);
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -394,7 +394,7 @@ fn off_by_one_read_is_caught_as_phi_spec() {
 // intent of the OR-set").
 // ---------------------------------------------------------------------
 
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 struct NoRefreshSet {
     pairs: BTreeMap<u8, Timestamp>,
 }

@@ -1,9 +1,12 @@
 //! A versioned key-value database: an α-map of LWW registers over the
-//! Git-like store — Irmin-style usage with history and criss-cross merges.
+//! Git-like store — Irmin-style usage with history, criss-cross merges,
+//! and *durable* storage: the store runs on the append-only on-disk
+//! segment backend, and the example finishes by reopening the segment
+//! from disk to show every published head survived.
 //!
 //! Run with: `cargo run --example versioned_kv`
 
-use peepul::store::{BranchStore, StoreError};
+use peepul::store::{Backend, BranchStore, SegmentBackend, StoreError};
 use peepul::types::lww_register::{LwwOp, LwwRegister};
 use peepul::types::map::{MapOp, MrdtMap};
 
@@ -13,12 +16,19 @@ fn set(key: &str, value: &str) -> MapOp<LwwRegister<String>> {
     MapOp::Set(key.to_owned(), LwwOp::Write(value.to_owned()))
 }
 
-fn get(db: &BranchStore<Kv>, branch: &str, key: &str) -> Result<Option<String>, StoreError> {
+fn get(
+    db: &BranchStore<Kv, SegmentBackend>,
+    branch: &str,
+    key: &str,
+) -> Result<Option<String>, StoreError> {
     Ok(db.state(branch)?.get(key).and_then(|r| r.get().cloned()))
 }
 
 fn main() -> Result<(), StoreError> {
-    let mut db: BranchStore<Kv> = BranchStore::new("main");
+    let dir = std::env::temp_dir().join(format!("peepul-versioned-kv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db: BranchStore<Kv, SegmentBackend> =
+        BranchStore::with_backend("main", SegmentBackend::open(&dir)?)?;
 
     // Configuration data on main.
     db.apply("main", &set("region", "eu-west"))?;
@@ -59,5 +69,19 @@ fn main() -> Result<(), StoreError> {
         db.commit_count(),
         db.history("main")?.len()
     );
+
+    // Durability: a "new process" reopens the segment directory and finds
+    // every branch head the session published, integrity-checked.
+    let main_head = db.head_id("main")?;
+    drop(db);
+    let reopened = SegmentBackend::open(&dir)?;
+    assert_eq!(reopened.get_ref("main")?, Some(main_head));
+    assert!(reopened.get(main_head)?.is_some());
+    println!(
+        "reopened from disk: {} objects, main @ {}",
+        reopened.object_count(),
+        main_head.short()
+    );
+    std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example work_queue`
 
-use peepul::store::{BranchStore, StoreError};
+use peepul::store::{Backend, BranchStore, StoreError};
 use peepul::types::queue::{Queue, QueueOp, QueueValue};
 
 fn dequeue(
@@ -83,5 +83,15 @@ fn main() -> Result<(), StoreError> {
         .collect();
     println!("figure 11 merge: {merged:?}");
     assert_eq!(merged, vec![3, 4, 5, 6, 7, 8, 9]);
+
+    // The stores content-address every state; the dedup and merge-cache
+    // counters show what the structural sharing bought.
+    let dedup = db.backend().stats();
+    println!(
+        "producer store: {} puts, {} deduplicated; merge cache {:?}",
+        dedup.puts,
+        dedup.dedup_hits,
+        db.merge_cache_stats()
+    );
     Ok(())
 }

@@ -13,7 +13,7 @@
 //! |---|---|
 //! | [`core`] | the formal model: [`core::Mrdt`], abstract executions, specifications, simulation relations, proof obligations |
 //! | [`types`] | the certified data types: counters, flags, registers, sets, logs, maps, three OR-sets, the replicated queue, the chat app |
-//! | [`store`] | the Git-like store: branches, commit DAG, recursive LCAs, Lamport timestamps, SHA-256 content addressing, the formal LTS, multi-threaded replicas |
+//! | [`store`] | the Git-like store: branches, commit DAG, recursive LCAs, Lamport timestamps, SHA-256 content addressing, pluggable backends (in-memory + on-disk segment), merge memoization, the formal LTS, multi-threaded replicas |
 //! | [`verify`] | the certification harness: bounded-exhaustive + randomized obligation checking |
 //! | [`quark`] | the evaluation baseline: relational-reification merges à la Quark (OOPSLA 2019) |
 //!
@@ -86,7 +86,10 @@ pub mod prelude {
         AbstractOf, AbstractState, Certified, Mrdt, ReplicaId, SimulationRelation, Specification,
         Timestamp,
     };
-    pub use peepul_store::{BranchStore, Cluster, StoreError, StoreLts};
+    pub use peepul_store::{
+        Backend, BranchStore, Cluster, MemoryBackend, SegmentBackend, SegmentOptions, StoreError,
+        StoreLts,
+    };
     pub use peepul_types::{
         Chat, Counter, EwFlag, EwFlagSpace, GMap, GSet, LwwRegister, MergeableLog, MrdtMap, OrSet,
         OrSetSpace, OrSetSpacetime, PnCounter, Queue,

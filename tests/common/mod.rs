@@ -1,0 +1,72 @@
+//! Shared harness running integration suites against **every** backend.
+//!
+//! A test written as `fn body(make: &mut BackendFactory)` constructs each
+//! of its stores through the factory and is executed once per backend:
+//! the interning [`MemoryBackend`] and the on-disk [`SegmentBackend`]
+//! (each store in its own scratch directory, fsync off — durability
+//! ordering is exercised by `tests/crash_reopen.rs`, not here). A failure
+//! message names the backend that broke.
+
+// Each test binary compiles this module separately and uses a subset.
+#![allow(dead_code)]
+
+use peepul::store::{Backend, MemoryBackend, SegmentBackend, SegmentOptions};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Produces a fresh backend per store the test builds.
+pub type BackendFactory<'a> = dyn FnMut() -> Box<dyn Backend + Send> + 'a;
+
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory under the system temp dir; removed (best
+/// effort) by [`Scratch::drop`].
+pub struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    pub fn new(tag: &str) -> Self {
+        let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+        let root =
+            std::env::temp_dir().join(format!("peepul-test-{}-{tag}-{seq}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create scratch dir");
+        Scratch { root }
+    }
+
+    pub fn path(&self) -> &std::path::Path {
+        &self.root
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Runs `test` once per backend kind. `tag` isolates the on-disk scratch
+/// space per test.
+pub fn for_each_backend(tag: &str, mut test: impl FnMut(&str, &mut BackendFactory<'_>)) {
+    {
+        let mut make: Box<dyn FnMut() -> Box<dyn Backend + Send>> =
+            Box::new(|| Box::new(MemoryBackend::new()));
+        test("memory", &mut *make);
+    }
+    {
+        let scratch = Scratch::new(tag);
+        let mut n = 0u32;
+        let mut make: Box<dyn FnMut() -> Box<dyn Backend + Send>> = Box::new(|| {
+            n += 1;
+            Box::new(
+                SegmentBackend::open_with(
+                    scratch.path().join(n.to_string()),
+                    SegmentOptions { durable: false },
+                )
+                .expect("open segment backend"),
+            )
+        });
+        test("segment", &mut *make);
+    }
+}

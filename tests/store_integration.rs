@@ -1,6 +1,11 @@
 //! Integration tests spanning the store, data types and content-addressing
-//! layers.
+//! layers — every store-driven scenario runs against **both** persistence
+//! backends (in-memory and on-disk segment) through the shared harness in
+//! `tests/common`.
 
+mod common;
+
+use common::{for_each_backend, BackendFactory};
 use peepul::prelude::*;
 use peepul::store::{content_id, ObjectStore};
 use peepul::types::chat::ChatOp;
@@ -10,130 +15,170 @@ use peepul::types::map::MapOp;
 use peepul::types::or_set_space::{OrSetOp, OrSetValue};
 use peepul::types::queue::{QueueOp, QueueValue};
 
+type Db<M> = BranchStore<M, Box<dyn Backend + Send>>;
+
+fn open<M: Mrdt>(make: &mut BackendFactory<'_>, root: &str) -> Db<M> {
+    BranchStore::with_backend(root, make()).expect("open store")
+}
+
 #[test]
 fn chat_over_the_store_reaches_every_replica() {
-    let mut db: BranchStore<Chat> = BranchStore::new("alice");
-    db.apply("alice", &ChatOp::Send("#general".into(), "hello".into()))
-        .unwrap();
-    db.fork("bob", "alice").unwrap();
-    db.apply("bob", &ChatOp::Send("#general".into(), "hi back".into()))
-        .unwrap();
-    db.apply("alice", &ChatOp::Send("#random".into(), "elsewhere".into()))
-        .unwrap();
-    db.merge("alice", "bob").unwrap();
-    db.merge("bob", "alice").unwrap();
+    for_each_backend("chat", |kind, make| {
+        let mut db: Db<Chat> = open(make, "alice");
+        db.apply("alice", &ChatOp::Send("#general".into(), "hello".into()))
+            .unwrap();
+        db.fork("bob", "alice").unwrap();
+        db.apply("bob", &ChatOp::Send("#general".into(), "hi back".into()))
+            .unwrap();
+        db.apply("alice", &ChatOp::Send("#random".into(), "elsewhere".into()))
+            .unwrap();
+        db.merge("alice", "bob").unwrap();
+        db.merge("bob", "alice").unwrap();
 
-    let alice = db.state("alice").unwrap();
-    let bob = db.state("bob").unwrap();
-    assert_eq!(alice.channels(), vec!["#general", "#random"]);
-    assert_eq!(alice.messages("#general").len(), 2);
-    assert!(alice.observably_equal(&bob));
-    // Reverse chronological within the channel.
-    let msgs = alice.messages("#general");
-    assert!(msgs[0].0 > msgs[1].0);
+        let alice = db.state("alice").unwrap();
+        let bob = db.state("bob").unwrap();
+        assert_eq!(alice.channels(), vec!["#general", "#random"], "{kind}");
+        assert_eq!(alice.messages("#general").len(), 2, "{kind}");
+        assert!(alice.observably_equal(&bob), "{kind}");
+        // Reverse chronological within the channel.
+        let msgs = alice.messages("#general");
+        assert!(msgs[0].0 > msgs[1].0, "{kind}");
+    });
 }
 
 #[test]
 fn nested_map_of_sets_over_the_store() {
     type Inventory = MrdtMap<GSet<String>>;
-    let mut db: BranchStore<Inventory> = BranchStore::new("hq");
-    db.apply(
-        "hq",
-        &MapOp::Set("fruits".into(), GSetOp::Add("apple".into())),
-    )
-    .unwrap();
-    db.fork("warehouse", "hq").unwrap();
-    db.apply(
-        "warehouse",
-        &MapOp::Set("fruits".into(), GSetOp::Add("banana".into())),
-    )
-    .unwrap();
-    db.apply(
-        "hq",
-        &MapOp::Set("tools".into(), GSetOp::Add("hammer".into())),
-    )
-    .unwrap();
-    db.merge("hq", "warehouse").unwrap();
-    let state = db.state("hq").unwrap();
-    assert_eq!(state.keys().collect::<Vec<_>>(), vec!["fruits", "tools"]);
-    let fruits = state.get("fruits").unwrap();
-    assert!(fruits.contains(&"apple".to_owned()) && fruits.contains(&"banana".to_owned()));
+    for_each_backend("nested-map", |kind, make| {
+        let mut db: Db<Inventory> = open(make, "hq");
+        db.apply(
+            "hq",
+            &MapOp::Set("fruits".into(), GSetOp::Add("apple".into())),
+        )
+        .unwrap();
+        db.fork("warehouse", "hq").unwrap();
+        db.apply(
+            "warehouse",
+            &MapOp::Set("fruits".into(), GSetOp::Add("banana".into())),
+        )
+        .unwrap();
+        db.apply(
+            "hq",
+            &MapOp::Set("tools".into(), GSetOp::Add("hammer".into())),
+        )
+        .unwrap();
+        db.merge("hq", "warehouse").unwrap();
+        let state = db.state("hq").unwrap();
+        assert_eq!(
+            state.keys().collect::<Vec<_>>(),
+            vec!["fruits", "tools"],
+            "{kind}"
+        );
+        let fruits = state.get("fruits").unwrap();
+        assert!(
+            fruits.contains(&"apple".to_owned()) && fruits.contains(&"banana".to_owned()),
+            "{kind}"
+        );
+    });
 }
 
 #[test]
 fn queue_at_least_once_via_store_merges() {
-    let mut db: BranchStore<Queue<u32>> = BranchStore::new("main");
-    db.apply("main", &QueueOp::Enqueue(1)).unwrap();
-    db.apply("main", &QueueOp::Enqueue(2)).unwrap();
-    db.fork("w1", "main").unwrap();
-    db.fork("w2", "main").unwrap();
+    for_each_backend("queue-alo", |kind, make| {
+        let mut db: Db<Queue<u32>> = open(make, "main");
+        db.apply("main", &QueueOp::Enqueue(1)).unwrap();
+        db.apply("main", &QueueOp::Enqueue(2)).unwrap();
+        db.fork("w1", "main").unwrap();
+        db.fork("w2", "main").unwrap();
 
-    let a = db.apply("w1", &QueueOp::Dequeue).unwrap();
-    let b = db.apply("w2", &QueueOp::Dequeue).unwrap();
-    // Concurrent dequeues observed the same head: at-least-once.
-    assert_eq!(a, b);
+        let a = db.apply("w1", &QueueOp::Dequeue).unwrap();
+        let b = db.apply("w2", &QueueOp::Dequeue).unwrap();
+        // Concurrent dequeues observed the same head: at-least-once.
+        assert_eq!(a, b, "{kind}");
 
-    db.merge("main", "w1").unwrap();
-    db.merge("main", "w2").unwrap();
-    // Element 1 was consumed (twice); only 2 remains.
-    match db.apply("main", &QueueOp::Dequeue).unwrap() {
-        QueueValue::Dequeued(Some((_, v))) => assert_eq!(v, 2),
-        other => panic!("expected element 2, got {other:?}"),
-    }
-    match db.apply("main", &QueueOp::Dequeue).unwrap() {
-        QueueValue::Dequeued(None) => {}
-        other => panic!("expected empty, got {other:?}"),
-    }
+        db.merge("main", "w1").unwrap();
+        db.merge("main", "w2").unwrap();
+        // Element 1 was consumed (twice); only 2 remains.
+        match db.apply("main", &QueueOp::Dequeue).unwrap() {
+            QueueValue::Dequeued(Some((_, v))) => assert_eq!(v, 2, "{kind}"),
+            other => panic!("{kind}: expected element 2, got {other:?}"),
+        }
+        match db.apply("main", &QueueOp::Dequeue).unwrap() {
+            QueueValue::Dequeued(None) => {}
+            other => panic!("{kind}: expected empty, got {other:?}"),
+        }
+    });
 }
 
 #[test]
 fn deep_branch_topology_converges() {
     // A chain of forks with interleaved merges: main → f1 → f2 → f3; each
     // adds its own element; merges flow back up the chain and down again.
-    let mut db: BranchStore<OrSetSpace<u32>> = BranchStore::new("main");
-    db.apply("main", &OrSetOp::Add(0)).unwrap();
-    db.fork("f1", "main").unwrap();
-    db.fork("f2", "f1").unwrap();
-    db.fork("f3", "f2").unwrap();
-    db.apply("f1", &OrSetOp::Add(1)).unwrap();
-    db.apply("f2", &OrSetOp::Add(2)).unwrap();
-    db.apply("f3", &OrSetOp::Add(3)).unwrap();
-    db.apply("main", &OrSetOp::Remove(0)).unwrap();
+    for_each_backend("deep-topology", |kind, make| {
+        let mut db: Db<OrSetSpace<u32>> = open(make, "main");
+        db.apply("main", &OrSetOp::Add(0)).unwrap();
+        db.fork("f1", "main").unwrap();
+        db.fork("f2", "f1").unwrap();
+        db.fork("f3", "f2").unwrap();
+        db.apply("f1", &OrSetOp::Add(1)).unwrap();
+        db.apply("f2", &OrSetOp::Add(2)).unwrap();
+        db.apply("f3", &OrSetOp::Add(3)).unwrap();
+        db.apply("main", &OrSetOp::Remove(0)).unwrap();
 
-    for b in ["f1", "f2", "f3"] {
-        db.merge("main", b).unwrap();
-    }
-    for b in ["f1", "f2", "f3"] {
-        db.merge(b, "main").unwrap();
-    }
-    let main = db.state("main").unwrap();
-    assert_eq!(main.elements(), vec![1, 2, 3]);
-    for b in ["f1", "f2", "f3"] {
-        assert!(db.state(b).unwrap().observably_equal(&main));
-    }
+        for b in ["f1", "f2", "f3"] {
+            db.merge("main", b).unwrap();
+        }
+        for b in ["f1", "f2", "f3"] {
+            db.merge(b, "main").unwrap();
+        }
+        let main = db.state("main").unwrap();
+        assert_eq!(main.elements(), vec![1, 2, 3], "{kind}");
+        for b in ["f1", "f2", "f3"] {
+            assert!(db.state(b).unwrap().observably_equal(&main), "{kind}");
+        }
+    });
 }
 
 #[test]
 fn repeated_criss_cross_merges_stay_correct() {
-    let mut db: BranchStore<GSet<u32>> = BranchStore::new("a");
-    db.fork("b", "a").unwrap();
-    for round in 0..5u32 {
-        db.apply("a", &GSetOp::Add(round * 2)).unwrap();
-        db.apply("b", &GSetOp::Add(round * 2 + 1)).unwrap();
-        // Criss-cross every round.
-        db.merge("a", "b").unwrap();
-        db.merge("b", "a").unwrap();
-    }
-    let a = db.state("a").unwrap();
-    let b = db.state("b").unwrap();
-    assert_eq!(a.len(), 10);
-    assert!(a.observably_equal(&b));
+    for_each_backend("criss-cross", |kind, make| {
+        let mut db: Db<GSet<u32>> = open(make, "a");
+        db.fork("b", "a").unwrap();
+        for round in 0..5u32 {
+            db.apply("a", &GSetOp::Add(round * 2)).unwrap();
+            db.apply("b", &GSetOp::Add(round * 2 + 1)).unwrap();
+            // Criss-cross every round.
+            db.merge("a", "b").unwrap();
+            db.merge("b", "a").unwrap();
+        }
+        let a = db.state("a").unwrap();
+        let b = db.state("b").unwrap();
+        assert_eq!(a.len(), 10, "{kind}");
+        assert!(a.observably_equal(&b), "{kind}");
+    });
 }
 
 #[test]
 fn content_addressing_interns_equal_states() {
-    // Replicas that converge produce equal states; the content-addressed
-    // object store interns them to a single object, Irmin-style.
+    // Replicas that converge produce equal states; on *any* backend they
+    // intern to a single state object with one content address.
+    for_each_backend("interning", |kind, make| {
+        let mut db: Db<Counter> = open(make, "x");
+        db.fork("y", "x").unwrap();
+        db.apply("x", &CounterOp::Increment).unwrap();
+        db.apply("y", &CounterOp::Increment).unwrap();
+        db.merge("x", "y").unwrap();
+        db.merge("y", "x").unwrap();
+        assert_eq!(
+            db.state_id("x").unwrap(),
+            db.state_id("y").unwrap(),
+            "{kind}: converged states share one content address"
+        );
+        // The backend's dedup counters saw the sharing.
+        assert!(db.backend().stats().dedup_hits > 0, "{kind}");
+    });
+
+    // The typed ObjectStore view still interns too.
     let mut store: ObjectStore<Counter> = ObjectStore::new();
     let mut db: BranchStore<Counter> = BranchStore::new("x");
     db.fork("y", "x").unwrap();
@@ -161,28 +206,56 @@ fn content_ids_discriminate_distinct_states() {
 
 #[test]
 fn or_set_add_wins_end_to_end() {
-    let mut db: BranchStore<OrSetSpace<String>> = BranchStore::new("main");
-    db.apply("main", &OrSetOp::Add("doc".into())).unwrap();
-    db.fork("offline", "main").unwrap();
-    // Offline device re-adds (refresh); main removes.
-    db.apply("offline", &OrSetOp::Add("doc".into())).unwrap();
-    db.apply("main", &OrSetOp::Remove("doc".into())).unwrap();
-    db.merge("main", "offline").unwrap();
-    assert_eq!(
-        db.apply("main", &OrSetOp::Lookup("doc".into())).unwrap(),
-        OrSetValue::Present(true)
-    );
+    for_each_backend("add-wins", |kind, make| {
+        let mut db: Db<OrSetSpace<String>> = open(make, "main");
+        db.apply("main", &OrSetOp::Add("doc".into())).unwrap();
+        db.fork("offline", "main").unwrap();
+        // Offline device re-adds (refresh); main removes.
+        db.apply("offline", &OrSetOp::Add("doc".into())).unwrap();
+        db.apply("main", &OrSetOp::Remove("doc".into())).unwrap();
+        db.merge("main", "offline").unwrap();
+        assert_eq!(
+            db.apply("main", &OrSetOp::Lookup("doc".into())).unwrap(),
+            OrSetValue::Present(true),
+            "{kind}"
+        );
+    });
 }
 
 #[test]
 fn history_records_every_transition() {
-    let mut db: BranchStore<Counter> = BranchStore::new("main");
-    for _ in 0..5 {
+    for_each_backend("history", |kind, make| {
+        let mut db: Db<Counter> = open(make, "main");
+        for _ in 0..5 {
+            db.apply("main", &CounterOp::Increment).unwrap();
+        }
+        db.fork("dev", "main").unwrap();
+        db.apply("dev", &CounterOp::Increment).unwrap();
+        db.merge("main", "dev").unwrap();
+        // root + 5 DOs + 1 DO on dev + 1 merge = 8 commits in main's history.
+        assert_eq!(db.history("main").unwrap().len(), 8, "{kind}");
+    });
+}
+
+#[test]
+fn backend_refs_and_objects_mirror_the_store() {
+    for_each_backend("refs-mirror", |kind, make| {
+        let mut db: Db<Counter> = open(make, "main");
         db.apply("main", &CounterOp::Increment).unwrap();
-    }
-    db.fork("dev", "main").unwrap();
-    db.apply("dev", &CounterOp::Increment).unwrap();
-    db.merge("main", "dev").unwrap();
-    // root + 5 DOs + 1 DO on dev + 1 merge = 8 commits in main's history.
-    assert_eq!(db.history("main").unwrap().len(), 8);
+        db.fork("dev", "main").unwrap();
+        db.apply("dev", &CounterOp::Increment).unwrap();
+        db.merge("main", "dev").unwrap();
+        // Every branch head is a published ref pointing at a stored commit.
+        for branch in db.branch_names().into_iter().map(str::to_owned) {
+            let head = db.head_id(&branch).unwrap();
+            assert_eq!(
+                db.backend().get_ref(&branch).unwrap(),
+                Some(head),
+                "{kind}: ref {branch}"
+            );
+            assert!(db.backend().contains(head).unwrap(), "{kind}");
+            let state = db.state_id(&branch).unwrap();
+            assert!(db.backend().contains(state).unwrap(), "{kind}");
+        }
+    });
 }

@@ -175,8 +175,23 @@ pub struct Bencher {
     median_ns: Option<f64>,
 }
 
+/// Whether quick mode is on: `PEEPUL_BENCH_QUICK=1` (any non-empty value
+/// but `0`) caps sample sizes and measurement budgets so a full
+/// `cargo bench` finishes in seconds — the CI bench job's mode.
+fn quick_mode() -> bool {
+    std::env::var("PEEPUL_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 impl Bencher {
     fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        let (sample_size, measurement_time) = if quick_mode() {
+            (
+                sample_size.min(5),
+                measurement_time.min(Duration::from_millis(60)),
+            )
+        } else {
+            (sample_size, measurement_time)
+        };
         Bencher {
             sample_size,
             measurement_time,
