@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use peepul_bench::Ticker;
 use peepul_core::Mrdt;
-use peepul_types::or_set::{OrSet, OrSetOp};
+use peepul_types::or_set::{OrSet, OrSetOp, OrSetQuery};
 use peepul_types::or_set_space::OrSetSpace;
 use peepul_types::or_set_spacetime::OrSetSpacetime;
 
@@ -19,20 +19,22 @@ fn filled<M: Mrdt<Op = OrSetOp<u64>>>(n: u64) -> M {
 }
 
 fn bench_lookup(c: &mut Criterion) {
+    // Lookups go through the pure query path since the query/update split
+    // — no timestamp, no successor state, exactly what `BranchStore::read`
+    // serves.
     let mut group = c.benchmark_group("orset_lookup");
     for n in [256u64, 1024, 4096] {
-        let t = peepul_core::Timestamp::new(n + 1, peepul_core::ReplicaId::new(0));
         let plain: OrSet<u64> = filled(n);
         group.bench_with_input(BenchmarkId::new("or_set", n), &n, |b, &n| {
-            b.iter(|| plain.apply(&OrSetOp::Lookup(n / 2), t));
+            b.iter(|| plain.query(&OrSetQuery::Lookup(n / 2)));
         });
         let space: OrSetSpace<u64> = filled(n);
         group.bench_with_input(BenchmarkId::new("or_set_space", n), &n, |b, &n| {
-            b.iter(|| space.apply(&OrSetOp::Lookup(n / 2), t));
+            b.iter(|| space.query(&OrSetQuery::Lookup(n / 2)));
         });
         let tree: OrSetSpacetime<u64> = filled(n);
         group.bench_with_input(BenchmarkId::new("or_set_spacetime", n), &n, |b, &n| {
-            b.iter(|| tree.apply(&OrSetOp::Lookup(n / 2), t));
+            b.iter(|| tree.query(&OrSetQuery::Lookup(n / 2)));
         });
     }
     group.finish();

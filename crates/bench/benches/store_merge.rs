@@ -20,21 +20,39 @@ fn criss_cross_store<B: Backend>(
 ) -> BranchStore<OrSetSpace<u64>, B> {
     let mut s = BranchStore::with_backend("x", backend).expect("open");
     for i in 0..n {
-        s.apply("x", &OrSetOp::Add(u64::from(i))).unwrap();
+        s.branch_mut("x")
+            .unwrap()
+            .apply(&OrSetOp::Add(u64::from(i)))
+            .unwrap();
     }
-    s.fork("y", "x").unwrap();
+    s.branch_mut("x").unwrap().fork("y").unwrap();
     for i in 0..n {
-        s.apply("x", &OrSetOp::Add(u64::from(1_000 + i))).unwrap();
-        s.apply("y", &OrSetOp::Add(u64::from(2_000 + i))).unwrap();
+        s.branch_mut("x")
+            .unwrap()
+            .apply(&OrSetOp::Add(u64::from(1_000 + i)))
+            .unwrap();
+        s.branch_mut("y")
+            .unwrap()
+            .apply(&OrSetOp::Add(u64::from(2_000 + i)))
+            .unwrap();
     }
-    s.fork("x-pin", "x").unwrap();
-    s.fork("y2", "y").unwrap();
-    s.merge("x", "y").unwrap();
-    s.merge("y2", "x-pin").unwrap();
-    s.apply("x", &OrSetOp::Add(9_999)).unwrap();
-    s.apply("y2", &OrSetOp::Add(9_998)).unwrap();
+    s.branch_mut("x").unwrap().fork("x-pin").unwrap();
+    s.branch_mut("y").unwrap().fork("y2").unwrap();
+    s.branch_mut("x").unwrap().merge_from("y").unwrap();
+    s.branch_mut("y2").unwrap().merge_from("x-pin").unwrap();
+    s.branch_mut("x")
+        .unwrap()
+        .apply(&OrSetOp::Add(9_999))
+        .unwrap();
+    s.branch_mut("y2")
+        .unwrap()
+        .apply(&OrSetOp::Add(9_998))
+        .unwrap();
     for p in 0..probes {
-        s.fork(format!("probe-{p}"), "x").unwrap();
+        s.branch_mut("x")
+            .unwrap()
+            .fork(format!("probe-{p}"))
+            .unwrap();
     }
     s
 }
@@ -46,8 +64,9 @@ fn bench_store_merge(c: &mut Criterion) {
             let label = if cache { "cached" } else { "uncached" };
             // Build once; every `lca_state` call between the criss-cross
             // heads re-derives the virtual base merge — a cache hit when
-            // memoization is on, a full O(state) re-merge when off.
-            let mut s = criss_cross_store(MemoryBackend::new(), n, 0);
+            // memoization is on, a full O(state) re-merge when off. Since
+            // the read-path redesign `lca_state` runs on `&s`: no `mut`.
+            let s = criss_cross_store(MemoryBackend::new(), n, 0);
             s.set_merge_cache(cache);
             group.bench_with_input(
                 BenchmarkId::new(format!("virtual_lca/{label}"), n),
@@ -71,7 +90,10 @@ fn bench_backend_publish(c: &mut Criterion) {
             bench.iter(|| {
                 let mut s: BranchStore<OrSetSpace<u64>> = BranchStore::new("main");
                 for i in 0..n {
-                    s.apply("main", &OrSetOp::Add(u64::from(i))).unwrap();
+                    s.branch_mut("main")
+                        .unwrap()
+                        .apply(&OrSetOp::Add(u64::from(i)))
+                        .unwrap();
                 }
                 s.commit_count()
             });
@@ -87,7 +109,10 @@ fn bench_backend_publish(c: &mut Criterion) {
                 let mut s: BranchStore<OrSetSpace<u64>, _> =
                     BranchStore::with_backend("main", backend).unwrap();
                 for i in 0..n {
-                    s.apply("main", &OrSetOp::Add(u64::from(i))).unwrap();
+                    s.branch_mut("main")
+                        .unwrap()
+                        .apply(&OrSetOp::Add(u64::from(i)))
+                        .unwrap();
                 }
                 s.commit_count()
             });

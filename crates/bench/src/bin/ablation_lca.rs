@@ -77,16 +77,34 @@ fn main() {
     // And the real store gets it right end to end.
     use peepul_store::BranchStore;
     let mut db: BranchStore<Counter> = BranchStore::new("a");
-    db.apply("a", &CounterOp::Increment).unwrap();
-    db.fork("b", "a").unwrap();
-    db.apply("a", &CounterOp::Increment).unwrap();
-    db.apply("b", &CounterOp::Increment).unwrap();
-    db.apply("b", &CounterOp::Increment).unwrap();
-    db.merge("a", "b").unwrap();
-    db.merge("b", "a").unwrap();
-    db.apply("a", &CounterOp::Increment).unwrap();
-    db.apply("b", &CounterOp::Increment).unwrap();
-    db.merge("a", "b").unwrap();
+    db.branch_mut("a")
+        .unwrap()
+        .apply(&CounterOp::Increment)
+        .unwrap();
+    db.branch_mut("a").unwrap().fork("b").unwrap();
+    db.branch_mut("a")
+        .unwrap()
+        .apply(&CounterOp::Increment)
+        .unwrap();
+    db.branch_mut("b")
+        .unwrap()
+        .apply(&CounterOp::Increment)
+        .unwrap();
+    db.branch_mut("b")
+        .unwrap()
+        .apply(&CounterOp::Increment)
+        .unwrap();
+    db.branch_mut("a").unwrap().merge_from("b").unwrap();
+    db.branch_mut("b").unwrap().merge_from("a").unwrap();
+    db.branch_mut("a")
+        .unwrap()
+        .apply(&CounterOp::Increment)
+        .unwrap();
+    db.branch_mut("b")
+        .unwrap()
+        .apply(&CounterOp::Increment)
+        .unwrap();
+    db.branch_mut("a").unwrap().merge_from("b").unwrap();
     let store_count = db.state("a").unwrap().count();
     println!("peepul-store (recursive merge-base): merged = {store_count}");
     assert_eq!(store_count, total_increments);

@@ -53,17 +53,20 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 /// ways). Returns merges per second.
 fn merge_throughput(rounds: u32) -> f64 {
     let mut s: BranchStore<OrSetSpace<u64>> = BranchStore::new("a");
-    s.fork("b", "a").unwrap();
+    s.branch_mut("a").unwrap().fork("b").unwrap();
     let mut merges = 0u64;
     let start = Instant::now();
     for r in 0..rounds {
         for k in 0..5u32 {
             let v = u64::from(r * 5 + k) % 512;
-            s.apply("a", &OrSetOp::Add(v)).unwrap();
-            s.apply("b", &OrSetOp::Add(v + 512)).unwrap();
+            s.branch_mut("a").unwrap().apply(&OrSetOp::Add(v)).unwrap();
+            s.branch_mut("b")
+                .unwrap()
+                .apply(&OrSetOp::Add(v + 512))
+                .unwrap();
         }
-        s.merge("a", "b").unwrap();
-        s.merge("b", "a").unwrap();
+        s.branch_mut("a").unwrap().merge_from("b").unwrap();
+        s.branch_mut("b").unwrap().merge_from("a").unwrap();
         merges += 2;
     }
     merges as f64 / start.elapsed().as_secs_f64()
@@ -73,22 +76,41 @@ fn merge_throughput(rounds: u32) -> f64 {
 /// `y2`) with `n` adds per phase and `probes` probe branches off `x`.
 fn criss_cross_store(n: u32, probes: u32) -> BranchStore<OrSetSpace<u64>, MemoryBackend> {
     let mut s: BranchStore<OrSetSpace<u64>> = BranchStore::new("x");
-    for i in 0..n {
-        s.apply("x", &OrSetOp::Add(u64::from(i))).unwrap();
+    // Consecutive ops on one branch reuse one handle: the measured work is
+    // merging, not handle lookups.
+    {
+        let mut x = s.branch_mut("x").unwrap();
+        for i in 0..n {
+            x.apply(&OrSetOp::Add(u64::from(i))).unwrap();
+        }
+        x.fork("y").unwrap();
+        for i in 0..n {
+            x.apply(&OrSetOp::Add(u64::from(10_000 + i))).unwrap();
+        }
     }
-    s.fork("y", "x").unwrap();
-    for i in 0..n {
-        s.apply("x", &OrSetOp::Add(u64::from(10_000 + i))).unwrap();
-        s.apply("y", &OrSetOp::Add(u64::from(20_000 + i))).unwrap();
+    {
+        let mut y = s.branch_mut("y").unwrap();
+        for i in 0..n {
+            y.apply(&OrSetOp::Add(u64::from(20_000 + i))).unwrap();
+        }
     }
-    s.fork("x-pin", "x").unwrap();
-    s.fork("y2", "y").unwrap();
-    s.merge("x", "y").unwrap();
-    s.merge("y2", "x-pin").unwrap();
-    s.apply("x", &OrSetOp::Add(99_999)).unwrap();
-    s.apply("y2", &OrSetOp::Add(99_998)).unwrap();
+    s.branch_mut("x").unwrap().fork("x-pin").unwrap();
+    s.branch_mut("y").unwrap().fork("y2").unwrap();
+    s.branch_mut("x").unwrap().merge_from("y").unwrap();
+    s.branch_mut("y2").unwrap().merge_from("x-pin").unwrap();
+    s.branch_mut("x")
+        .unwrap()
+        .apply(&OrSetOp::Add(99_999))
+        .unwrap();
+    s.branch_mut("y2")
+        .unwrap()
+        .apply(&OrSetOp::Add(99_998))
+        .unwrap();
     for p in 0..probes {
-        s.fork(format!("probe-{p}"), "x").unwrap();
+        s.branch_mut("x")
+            .unwrap()
+            .fork(format!("probe-{p}"))
+            .unwrap();
     }
     s
 }
@@ -119,7 +141,10 @@ fn probe_workload(n: u32, probes: u32, cached: bool) -> (f64, u64, u64, f64) {
     s.set_merge_cache(cached);
     let start = Instant::now();
     for p in 0..probes {
-        s.merge(&format!("probe-{p}"), "y2").unwrap();
+        s.branch_mut(&format!("probe-{p}"))
+            .unwrap()
+            .merge_from("y2")
+            .unwrap();
     }
     let elapsed = start.elapsed().as_secs_f64();
     let stats = s.merge_cache_stats();

@@ -15,11 +15,11 @@
 //! (default max depth 5).
 
 use peepul_core::Certified;
-use peepul_types::counter::{Counter, CounterOp};
-use peepul_types::ew_flag::{EwFlag, EwFlagOp};
-use peepul_types::or_set::{OrSet, OrSetOp};
+use peepul_types::counter::{Counter, CounterOp, CounterQuery};
+use peepul_types::ew_flag::{EwFlag, EwFlagOp, EwFlagQuery};
+use peepul_types::or_set::{OrSet, OrSetOp, OrSetQuery};
 use peepul_types::or_set_space::OrSetSpace;
-use peepul_types::queue::{Queue, QueueOp};
+use peepul_types::queue::{Queue, QueueOp, QueueQuery};
 use peepul_verify::bounded::{BoundedChecker, BoundedConfig};
 use peepul_verify::runner::MergePolicy;
 use std::time::Instant;
@@ -37,6 +37,7 @@ fn depth_sweep<M: Certified>(
     name: &'static str,
     policy: MergePolicy,
     alphabet: Vec<M::Op>,
+    queries: Vec<M::Query>,
     depths: std::ops::RangeInclusive<usize>,
     rows: &mut Vec<Row>,
 ) where
@@ -48,6 +49,7 @@ fn depth_sweep<M: Certified>(
             max_steps: depth,
             max_branches: 2,
             alphabet: alphabet.clone(),
+            queries: queries.clone(),
         })
         .with_policy(policy)
         .run()
@@ -80,28 +82,32 @@ fn main() {
     depth_sweep::<Counter>(
         "Increment-only counter",
         MergePolicy::General,
-        vec![CounterOp::Increment, CounterOp::Value],
+        vec![CounterOp::Increment],
+        vec![CounterQuery::Value],
         depths.clone(),
         &mut rows,
     );
     depth_sweep::<EwFlag>(
         "Enable-wins flag",
         MergePolicy::General,
-        vec![EwFlagOp::Enable, EwFlagOp::Disable, EwFlagOp::Read],
+        vec![EwFlagOp::Enable, EwFlagOp::Disable],
+        vec![EwFlagQuery::Read],
         depths.clone(),
         &mut rows,
     );
     depth_sweep::<OrSet<u32>>(
         "OR-set",
         MergePolicy::General,
-        vec![OrSetOp::Add(1), OrSetOp::Remove(1), OrSetOp::Lookup(1)],
+        vec![OrSetOp::Add(1), OrSetOp::Remove(1)],
+        vec![OrSetQuery::Lookup(1)],
         depths.clone(),
         &mut rows,
     );
     depth_sweep::<OrSetSpace<u32>>(
         "OR-set-space",
         MergePolicy::PaperEnvelope,
-        vec![OrSetOp::Add(1), OrSetOp::Remove(1), OrSetOp::Lookup(1)],
+        vec![OrSetOp::Add(1), OrSetOp::Remove(1)],
+        vec![OrSetQuery::Lookup(1)],
         depths.clone(),
         &mut rows,
     );
@@ -109,6 +115,7 @@ fn main() {
         "Replicated queue",
         MergePolicy::General,
         vec![QueueOp::Enqueue(1), QueueOp::Dequeue],
+        vec![QueueQuery::Peek],
         depths.clone(),
         &mut rows,
     );

@@ -10,7 +10,7 @@
 #![warn(missing_docs)]
 
 use peepul_core::{Mrdt, ReplicaId, Timestamp};
-use peepul_types::or_set::{OrSetOp, OrSetValue};
+use peepul_types::or_set::{OrSetOp, OrSetQuery};
 use peepul_types::queue::QueueOp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -164,9 +164,11 @@ pub struct OrSetRun {
 /// drawn 70% lookup / 20% add / 10% remove (values in `0..1000`),
 /// alternating randomly between the branches, with a merge every 500
 /// operations (after which both branches resume from the merged state).
+/// Lookups ride the commit-free query path — they observe a branch without
+/// transforming it, exactly as the redesigned store serves them.
 pub fn orset_workload<M>(total_ops: usize, seed: u64) -> OrSetRun
 where
-    M: Mrdt<Op = OrSetOp<u64>, Value = OrSetValue<u64>> + SpaceUsage,
+    M: Mrdt<Op = OrSetOp<u64>, Query = OrSetQuery<u64>> + SpaceUsage,
 {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ticker = Ticker::new();
@@ -179,17 +181,22 @@ where
     for i in 0..total_ops {
         let x = rng.gen_range(0..1000u64);
         let roll: f64 = rng.gen();
-        let op = if roll < 0.7 {
-            OrSetOp::Lookup(x)
-        } else if roll < 0.9 {
-            OrSetOp::Add(x)
+        let on_a = rng.gen_bool(0.5);
+        if roll < 0.7 {
+            // Query path: pure observation, no timestamp, no new state.
+            let q = OrSetQuery::Lookup(x);
+            std::hint::black_box(if on_a { a.query(&q) } else { b.query(&q) });
         } else {
-            OrSetOp::Remove(x)
-        };
-        if rng.gen_bool(0.5) {
-            a = a.apply(&op, ticker.next(1)).0;
-        } else {
-            b = b.apply(&op, ticker.next(2)).0;
+            let op = if roll < 0.9 {
+                OrSetOp::Add(x)
+            } else {
+                OrSetOp::Remove(x)
+            };
+            if on_a {
+                a = a.apply(&op, ticker.next(1)).0;
+            } else {
+                b = b.apply(&op, ticker.next(2)).0;
+            }
         }
         if i % 500 == 499 {
             let merged = M::merge(&lca, &a, &b);

@@ -34,17 +34,28 @@
 //! #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 //! struct Ctr(u64);
 //!
+//! /// Updates transform the state and are recorded as events…
 //! #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-//! enum CtrOp { Inc, Read }
+//! enum CtrOp { Inc }
+//!
+//! /// …while queries are pure observations, answered commit-free.
+//! #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+//! enum CtrQuery { Read }
 //!
 //! impl Mrdt for Ctr {
 //!     type Op = CtrOp;
-//!     type Value = u64;
+//!     type Value = ();
+//!     type Query = CtrQuery;
+//!     type Output = u64;
 //!     fn initial() -> Self { Ctr(0) }
-//!     fn apply(&self, op: &CtrOp, _t: Timestamp) -> (Self, u64) {
+//!     fn apply(&self, op: &CtrOp, _t: Timestamp) -> (Self, ()) {
 //!         match op {
-//!             CtrOp::Inc => (Ctr(self.0 + 1), 0),
-//!             CtrOp::Read => (*self, self.0),
+//!             CtrOp::Inc => (Ctr(self.0 + 1), ()),
+//!         }
+//!     }
+//!     fn query(&self, q: &CtrQuery) -> u64 {
+//!         match q {
+//!             CtrQuery::Read => self.0,
 //!         }
 //!     }
 //!     fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
@@ -54,7 +65,7 @@
 //!
 //! let t = Timestamp::new(1, ReplicaId::new(0));
 //! let (c, _) = Ctr::initial().apply(&CtrOp::Inc, t);
-//! assert_eq!(c, Ctr(1));
+//! assert_eq!(c.query(&CtrQuery::Read), 1);
 //! ```
 
 #![forbid(unsafe_code)]

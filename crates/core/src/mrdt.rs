@@ -1,4 +1,5 @@
-//! The MRDT implementation interface (paper, Definition 2.1).
+//! The MRDT implementation interface (paper, Definition 2.1), with the
+//! query/update split of replication-aware linearizability.
 
 use crate::Timestamp;
 use std::fmt;
@@ -15,6 +16,21 @@ use std::hash::Hash;
 ///   by the store as `merge(σ_lca, σ_a, σ_b)` where `σ_lca` is the state of
 ///   the lowest common ancestor of the two branches.
 ///
+/// # Queries versus updates
+///
+/// The paper's operation alphabet `Op_τ` mixes state-transforming
+/// operations with pure observations. This interface splits them, in the
+/// style of RDT specifications via query/update separation:
+///
+/// * [`Mrdt::Op`] contains only **updates** — operations that may change
+///   the state and are recorded as events of the abstract execution;
+/// * [`Mrdt::Query`] contains the **observations**, answered by the pure
+///   [`Mrdt::query`] from a state alone, with no timestamp, no successor
+///   state, and no event.
+///
+/// The split is what lets the branch store serve reads commit-free from a
+/// shared reference while updates batch into transactions.
+///
 /// Implementations are **purely functional**: `apply` and `merge` return new
 /// states rather than mutating in place, mirroring the OCaml data structures
 /// the paper extracts from F*. The store guarantees that the timestamps
@@ -24,7 +40,7 @@ use std::hash::Hash;
 /// # Observational equivalence
 ///
 /// [`Mrdt::observably_equal`] realises Definition 3.4: two states are
-/// observationally equivalent when every operation returns the same value on
+/// observationally equivalent when every **query** returns the same value on
 /// both. The default is structural equality, which is sound for every data
 /// type (structurally equal states behave identically); data types whose
 /// internal representation may diverge without affecting behaviour — the
@@ -46,23 +62,40 @@ use std::hash::Hash;
 /// See the [crate-level documentation](crate) for a complete counter
 /// implementation.
 pub trait Mrdt: Clone + PartialEq + Hash + fmt::Debug {
-    /// The operations `Op_τ` supported by the data type (both queries and
-    /// updates).
+    /// The **update** operations `Op_τ` of the data type. Every element may
+    /// transform the state and is recorded as an event of the abstract
+    /// execution. Pure observations do not belong here — they go in
+    /// [`Mrdt::Query`].
     type Op: Clone + fmt::Debug;
 
-    /// The return values `Val_τ`. Operations that return nothing use `()`
-    /// (the paper's `⊥`) or embed it in an enum.
+    /// The return values `Val_τ` of updates. Updates that return nothing
+    /// use `()` (the paper's `⊥`); updates with a payload (e.g. the queue's
+    /// `dequeue`) embed it in an enum.
     type Value: Clone + PartialEq + fmt::Debug;
+
+    /// The pure observations of the data type (lookups, reads, peeks).
+    type Query: Clone + fmt::Debug;
+
+    /// The answers queries produce.
+    type Output: Clone + PartialEq + fmt::Debug;
 
     /// The initial state `σ0` of a freshly created object.
     fn initial() -> Self;
 
-    /// Applies one data-type operation at this state.
+    /// Applies one update operation at this state.
     ///
     /// `t` is the unique store-supplied timestamp of the operation. Returns
     /// the successor state and the operation's return value.
     #[must_use]
     fn apply(&self, op: &Self::Op, t: Timestamp) -> (Self, Self::Value);
+
+    /// Answers a pure observation of this state.
+    ///
+    /// Queries take no timestamp, create no event and produce no successor
+    /// state — they are what the branch store serves commit-free through
+    /// `BranchStore::read` and `BranchRef::read`.
+    #[must_use]
+    fn query(&self, q: &Self::Query) -> Self::Output;
 
     /// Three-way merge of two divergent states `a` and `b` whose lowest
     /// common ancestor state is `lca`.
@@ -95,21 +128,32 @@ mod tests {
     #[derive(Clone, Copy, Debug)]
     enum RegOp {
         Write(u64),
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    enum RegQuery {
         Read,
     }
 
     impl Mrdt for Reg {
         type Op = RegOp;
-        type Value = u64;
+        type Value = ();
+        type Query = RegQuery;
+        type Output = u64;
 
         fn initial() -> Self {
             Reg(0, Timestamp::MIN)
         }
 
-        fn apply(&self, op: &RegOp, t: Timestamp) -> (Self, u64) {
+        fn apply(&self, op: &RegOp, t: Timestamp) -> (Self, ()) {
             match *op {
-                RegOp::Write(v) => (Reg(v, t), v),
-                RegOp::Read => (*self, self.0),
+                RegOp::Write(v) => (Reg(v, t), ()),
+            }
+        }
+
+        fn query(&self, q: &RegQuery) -> u64 {
+            match q {
+                RegQuery::Read => self.0,
             }
         }
 
@@ -127,12 +171,12 @@ mod tests {
     }
 
     #[test]
-    fn apply_returns_successor_and_value() {
+    fn apply_returns_successor_and_query_observes_it() {
         let r = Reg::initial();
-        let (r2, v) = r.apply(&RegOp::Write(9), ts(1));
-        assert_eq!(v, 9);
-        let (_, read) = r2.apply(&RegOp::Read, ts(2));
-        assert_eq!(read, 9);
+        let (r2, ()) = r.apply(&RegOp::Write(9), ts(1));
+        assert_eq!(r2.query(&RegQuery::Read), 9);
+        // Queries are pure: the observed state is unchanged.
+        assert_eq!(r2.query(&RegQuery::Read), 9);
     }
 
     #[test]
@@ -141,7 +185,7 @@ mod tests {
         let (a, _) = l.apply(&RegOp::Write(1), ts(1));
         let (b, _) = l.apply(&RegOp::Write(2), ts(2));
         let m = Reg::merge(&l, &a, &b);
-        assert_eq!(m.0, 2);
+        assert_eq!(m.query(&RegQuery::Read), 2);
     }
 
     #[test]

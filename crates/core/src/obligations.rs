@@ -188,6 +188,42 @@ pub fn check_do<M: Certified>(
     Ok((abs_next, conc_next))
 }
 
+/// Checks `Φ_spec` for a batch of query probes against one state pair.
+///
+/// Queries are pure observations, so the specification must agree with the
+/// implementation at **every** reachable state, not only at states where a
+/// schedule happens to perform a read. The harness calls this after each
+/// `DO` and `MERGE` with a per-data-type probe set: for each probe `q` it
+/// verifies `σ.query(q) = F_τ(q, I)`.
+///
+/// # Errors
+///
+/// Returns the first probe whose implementation answer differs from the
+/// specified one.
+pub fn check_queries<M: Certified>(
+    abs: &AbstractOf<M>,
+    conc: &M,
+    probes: &[M::Query],
+    report: &mut ObligationReport,
+) -> Result<(), ObligationError> {
+    for q in probes {
+        report.phi_spec += 1;
+        let got = conc.query(q);
+        let specified = M::Spec::query(q, abs);
+        if got != specified {
+            return Err(ObligationError::new(
+                Obligation::PhiSpec,
+                format!(
+                    "query {q:?} answered {got:?} but F_τ specifies {specified:?} \
+                     (abstract state: {} events; concrete = {conc:?})",
+                    abs.len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Checks `Φ_merge` for one merge instance, returning the merged pair of
 /// states.
 ///
@@ -293,19 +329,29 @@ mod tests {
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     enum CtrOp {
         Inc,
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum CtrQuery {
         Read,
     }
 
     impl Mrdt for Ctr {
         type Op = CtrOp;
-        type Value = u64;
+        type Value = ();
+        type Query = CtrQuery;
+        type Output = u64;
         fn initial() -> Self {
             Ctr(0)
         }
-        fn apply(&self, op: &CtrOp, _t: Timestamp) -> (Self, u64) {
+        fn apply(&self, op: &CtrOp, _t: Timestamp) -> (Self, ()) {
             match op {
-                CtrOp::Inc => (Ctr(self.0 + 1), 0),
-                CtrOp::Read => (*self, self.0),
+                CtrOp::Inc => (Ctr(self.0 + 1), ()),
+            }
+        }
+        fn query(&self, q: &CtrQuery) -> u64 {
+            match q {
+                CtrQuery::Read => self.0,
             }
         }
         fn merge(l: &Self, a: &Self, b: &Self) -> Self {
@@ -315,13 +361,13 @@ mod tests {
 
     struct CtrSpec;
     impl Specification<Ctr> for CtrSpec {
-        fn spec(op: &CtrOp, state: &AbstractOf<Ctr>) -> u64 {
-            match op {
-                CtrOp::Read => state
+        fn spec(_op: &CtrOp, _state: &AbstractOf<Ctr>) {}
+        fn query(q: &CtrQuery, state: &AbstractOf<Ctr>) -> u64 {
+            match q {
+                CtrQuery::Read => state
                     .events()
                     .filter(|e| matches!(e.op(), CtrOp::Inc))
                     .count() as u64,
-                CtrOp::Inc => 0,
             }
         }
     }
@@ -351,21 +397,30 @@ mod tests {
         let mut rep = ObligationReport::default();
         let (i, c) = (AbstractOf::<Ctr>::new(), Ctr::initial());
         let (i, c) = check_do(&i, &c, &CtrOp::Inc, ts(1, 0), &mut rep).unwrap();
-        let (_, c) = check_do(&i, &c, &CtrOp::Read, ts(2, 0), &mut rep).unwrap();
-        assert_eq!(c.0, 1);
+        let (i, c) = check_do(&i, &c, &CtrOp::Inc, ts(2, 0), &mut rep).unwrap();
+        assert_eq!(c.0, 2);
+        check_queries(&i, &c, &[CtrQuery::Read], &mut rep).unwrap();
         assert_eq!(rep.phi_do, 2);
-        assert_eq!(rep.phi_spec, 2);
+        assert_eq!(rep.phi_spec, 3);
     }
 
     #[test]
-    fn check_do_catches_wrong_return_value() {
+    fn check_queries_catches_wrong_answer() {
         // A read against an abstract state that already has an Inc the
         // concrete state does not reflect → Φ_spec fires.
         let mut rep = ObligationReport::default();
-        let i = AbstractOf::<Ctr>::new().perform(CtrOp::Inc, 0, ts(1, 0));
+        let i = AbstractOf::<Ctr>::new().perform(CtrOp::Inc, (), ts(1, 0));
         let stale = Ctr(0);
-        let err = check_do(&i, &stale, &CtrOp::Read, ts(2, 0), &mut rep).unwrap_err();
+        let err = check_queries(&i, &stale, &[CtrQuery::Read], &mut rep).unwrap_err();
         assert_eq!(err.obligation(), Obligation::PhiSpec);
+        assert!(err.to_string().contains("Read"));
+    }
+
+    #[test]
+    fn check_queries_with_no_probes_is_vacuous() {
+        let mut rep = ObligationReport::default();
+        check_queries(&AbstractOf::<Ctr>::new(), &Ctr(7), &[], &mut rep).unwrap();
+        assert_eq!(rep.phi_spec, 0);
     }
 
     #[test]
@@ -391,12 +446,15 @@ mod tests {
         impl Mrdt for BadCtr {
             type Op = Inc;
             type Value = u64;
+            type Query = ();
+            type Output = ();
             fn initial() -> Self {
                 BadCtr(0)
             }
             fn apply(&self, _op: &Inc, _t: Timestamp) -> (Self, u64) {
                 (BadCtr(self.0 + 1), 0)
             }
+            fn query(&self, _q: &()) {}
             fn merge(_l: &Self, a: &Self, _b: &Self) -> Self {
                 *a // drops b's increments
             }
@@ -406,6 +464,7 @@ mod tests {
             fn spec(_op: &Inc, _state: &AbstractOf<BadCtr>) -> u64 {
                 0
             }
+            fn query(_q: &(), _state: &AbstractOf<BadCtr>) {}
         }
         struct BadSim;
         impl SimulationRelation<BadCtr> for BadSim {
@@ -430,7 +489,7 @@ mod tests {
     #[test]
     fn check_con_holds_for_equal_abstract_states() {
         let mut rep = ObligationReport::default();
-        let i = AbstractOf::<Ctr>::new().perform(CtrOp::Inc, 0, ts(1, 0));
+        let i = AbstractOf::<Ctr>::new().perform(CtrOp::Inc, (), ts(1, 0));
         check_con(&i, &Ctr(1), &i, &Ctr(1), &mut rep).unwrap();
         assert_eq!(rep.phi_con, 1);
     }
@@ -438,7 +497,7 @@ mod tests {
     #[test]
     fn check_con_catches_divergent_states() {
         let mut rep = ObligationReport::default();
-        let i = AbstractOf::<Ctr>::new().perform(CtrOp::Inc, 0, ts(1, 0));
+        let i = AbstractOf::<Ctr>::new().perform(CtrOp::Inc, (), ts(1, 0));
         let err = check_con(&i, &Ctr(1), &i, &Ctr(2), &mut rep).unwrap_err();
         assert_eq!(err.obligation(), Obligation::PhiCon);
     }
@@ -446,8 +505,8 @@ mod tests {
     #[test]
     fn check_con_is_vacuous_for_different_abstract_states() {
         let mut rep = ObligationReport::default();
-        let i1 = AbstractOf::<Ctr>::new().perform(CtrOp::Inc, 0, ts(1, 0));
-        let i2 = AbstractOf::<Ctr>::new().perform(CtrOp::Inc, 0, ts(2, 0));
+        let i1 = AbstractOf::<Ctr>::new().perform(CtrOp::Inc, (), ts(1, 0));
+        let i2 = AbstractOf::<Ctr>::new().perform(CtrOp::Inc, (), ts(2, 0));
         check_con(&i1, &Ctr(1), &i2, &Ctr(7), &mut rep).unwrap();
         assert_eq!(rep.phi_con, 0);
     }

@@ -4,10 +4,18 @@ use crate::{AbstractOf, Mrdt};
 
 /// A replicated data type specification `F_τ`.
 ///
-/// Given an operation `o ∈ Op_τ` and the abstract state `I` visible to it,
-/// `F_τ(o, I)` is the return value the operation *must* produce. The
-/// specification is evaluated on the branch's abstract state as it was
-/// **before** the operation ran (Table 2, `Φ_spec`).
+/// The specification answers two questions about an abstract state `I`
+/// (the events visible to an observer, Definition 2.2):
+///
+/// * [`Specification::spec`] — given an **update** `o ∈ Op_τ` and the
+///   abstract state visible to it, the return value the update *must*
+///   produce. Evaluated on the branch's abstract state as it was
+///   **before** the operation ran (Table 2, `Φ_spec`).
+/// * [`Specification::query`] — given a **query** `q ∈ Query_τ` and an
+///   abstract state, the answer the query *must* produce on any concrete
+///   state related to `I`. Because queries are pure, the harness can check
+///   this at *every* reachable state, not only when a schedule happens to
+///   contain a read.
 ///
 /// Specifications are deliberately far removed from implementations — the
 /// OR-set specification, for instance, quantifies over `add`/`remove` events
@@ -27,33 +35,37 @@ use crate::{AbstractOf, Mrdt};
 /// # #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 /// # struct Ctr(u64);
 /// # #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-/// # enum CtrOp { Inc, Read }
+/// # enum CtrOp { Inc }
+/// # #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// # enum CtrQuery { Read }
 /// # impl Mrdt for Ctr {
 /// #     type Op = CtrOp;
-/// #     type Value = u64;
+/// #     type Value = ();
+/// #     type Query = CtrQuery;
+/// #     type Output = u64;
 /// #     fn initial() -> Self { Ctr(0) }
-/// #     fn apply(&self, op: &CtrOp, _t: Timestamp) -> (Self, u64) {
-/// #         match op { CtrOp::Inc => (Ctr(self.0 + 1), 0), CtrOp::Read => (*self, self.0) }
-/// #     }
+/// #     fn apply(&self, _op: &CtrOp, _t: Timestamp) -> (Self, ()) { (Ctr(self.0 + 1), ()) }
+/// #     fn query(&self, _q: &CtrQuery) -> u64 { self.0 }
 /// #     fn merge(l: &Self, a: &Self, b: &Self) -> Self { Ctr(a.0 + b.0 - l.0) }
 /// # }
 /// struct CtrSpec;
 ///
 /// impl Specification<Ctr> for CtrSpec {
-///     fn spec(op: &CtrOp, state: &AbstractOf<Ctr>) -> u64 {
-///         match op {
-///             // A read returns the number of visible increments.
-///             CtrOp::Read => state
-///                 .events()
-///                 .filter(|e| matches!(e.op(), CtrOp::Inc))
-///                 .count() as u64,
-///             CtrOp::Inc => 0,
+///     fn spec(_op: &CtrOp, _state: &AbstractOf<Ctr>) {}
+///
+///     fn query(q: &CtrQuery, state: &AbstractOf<Ctr>) -> u64 {
+///         // A read returns the number of visible increments.
+///         match q {
+///             CtrQuery::Read => state.events().count() as u64,
 ///         }
 ///     }
 /// }
 /// ```
 pub trait Specification<M: Mrdt> {
-    /// The specified return value of `op` when executed against abstract
-    /// state `state`.
+    /// The specified return value of update `op` when executed against
+    /// abstract state `state`.
     fn spec(op: &M::Op, state: &AbstractOf<M>) -> M::Value;
+
+    /// The specified answer of query `q` against abstract state `state`.
+    fn query(q: &M::Query, state: &AbstractOf<M>) -> M::Output;
 }

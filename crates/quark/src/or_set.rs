@@ -20,7 +20,7 @@ use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 use std::hash::Hash;
 
-pub use peepul_types::or_set::{OrSetOp, OrSetValue};
+pub use peepul_types::or_set::{OrSetOp, OrSetOutput, OrSetQuery};
 
 /// OR-set with relationally derived merge (the Quark strategy).
 ///
@@ -87,20 +87,22 @@ impl<T: fmt::Debug> fmt::Debug for QuarkOrSet<T> {
 
 impl<T: Ord + Clone + Eq + Hash + fmt::Debug> Mrdt for QuarkOrSet<T> {
     type Op = OrSetOp<T>;
-    type Value = OrSetValue<T>;
+    type Value = ();
+    type Query = OrSetQuery<T>;
+    type Output = OrSetOutput<T>;
 
     fn initial() -> Self {
         QuarkOrSet { pairs: Vec::new() }
     }
 
-    fn apply(&self, op: &OrSetOp<T>, t: Timestamp) -> (Self, OrSetValue<T>) {
+    fn apply(&self, op: &OrSetOp<T>, t: Timestamp) -> (Self, ()) {
         match op {
             OrSetOp::Add(x) => {
                 // Always a fresh pair: the relational representation has no
                 // way to express "refresh in place".
                 let mut next = self.clone();
                 next.pairs.push((x.clone(), t));
-                (next, OrSetValue::Ack)
+                (next, ())
             }
             OrSetOp::Remove(x) => {
                 // Retire a single observed pair (the oldest): the derived
@@ -110,10 +112,15 @@ impl<T: Ord + Clone + Eq + Hash + fmt::Debug> Mrdt for QuarkOrSet<T> {
                 if let Some(pos) = next.pairs.iter().position(|(y, _)| y == x) {
                     next.pairs.remove(pos);
                 }
-                (next, OrSetValue::Ack)
+                (next, ())
             }
-            OrSetOp::Lookup(x) => (self.clone(), OrSetValue::Present(self.contains(x))),
-            OrSetOp::Read => (self.clone(), OrSetValue::Elements(self.elements())),
+        }
+    }
+
+    fn query(&self, q: &OrSetQuery<T>) -> OrSetOutput<T> {
+        match q {
+            OrSetQuery::Lookup(x) => OrSetOutput::Present(self.contains(x)),
+            OrSetQuery::Read => OrSetOutput::Elements(self.elements()),
         }
     }
 

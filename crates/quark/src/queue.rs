@@ -16,7 +16,7 @@ use peepul_types::queue::Entry;
 use std::fmt;
 use std::hash::Hash;
 
-pub use peepul_types::queue::{QueueOp, QueueValue};
+pub use peepul_types::queue::{QueueOp, QueueQuery, QueueValue};
 
 /// Two-list queue whose merge reifies membership and ordering relations
 /// (the Quark strategy).
@@ -72,6 +72,8 @@ impl<T: Clone> QuarkQueue<T> {
 impl<T: Clone + PartialEq + Eq + Hash + fmt::Debug> Mrdt for QuarkQueue<T> {
     type Op = QueueOp<T>;
     type Value = QueueValue<T>;
+    type Query = QueueQuery;
+    type Output = Option<Entry<T>>;
 
     fn initial() -> Self {
         QuarkQueue {
@@ -96,10 +98,12 @@ impl<T: Clone + PartialEq + Eq + Hash + fmt::Debug> Mrdt for QuarkQueue<T> {
                 let popped = next.front.pop();
                 (next, QueueValue::Dequeued(popped))
             }
-            QueueOp::Peek => (
-                self.clone(),
-                QueueValue::Peeked(self.front.last().or(self.rear.first()).cloned()),
-            ),
+        }
+    }
+
+    fn query(&self, q: &QueueQuery) -> Option<Entry<T>> {
+        match q {
+            QueueQuery::Peek => self.front.last().or(self.rear.first()).cloned(),
         }
     }
 

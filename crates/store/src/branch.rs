@@ -1,14 +1,27 @@
 //! The user-facing branch store: an Irmin-style versioned database of one
 //! MRDT object.
 //!
-//! Clients fork branches, apply data-type operations to a branch's local
-//! version, and merge branches pairwise; the store tracks the commit DAG,
-//! mints unique happens-before-consistent timestamps, finds the lowest
-//! common ancestor for every merge, and invokes the data type's three-way
-//! merge (§2.1 of the paper). Criss-cross histories with several maximal
-//! common ancestors are resolved by *recursive virtual merges*, the
-//! strategy of Git's `merge-recursive`: merge the merge-bases (recursively)
-//! into a virtual ancestor, then use that as the LCA.
+//! Clients address branches through **typed handles** ([`BranchRef`],
+//! [`BranchMut`], see [`handle`]): a handle is created from a branch name
+//! exactly once — where a typo surfaces immediately as
+//! [`StoreError::UnknownBranch`] — and everything else (`apply`, `read`,
+//! `fork`, `merge_from`, `history`, transactions) hangs off the handle,
+//! infallibly addressed. Updates commit new versions; **queries are
+//! commit-free**: [`BranchStore::read`] and [`BranchRef::read`] answer from
+//! the branch head against `&self`, minting no commit, no timestamp and no
+//! backend write. Batched updates go through [`BranchMut::transaction`],
+//! which stages any number of operations against a scratch state and
+//! publishes **one** commit and one backend write for the whole batch.
+//!
+//! The store tracks the commit DAG, mints unique happens-before-consistent
+//! timestamps, finds the lowest common ancestor for every merge, and
+//! invokes the data type's three-way merge (§2.1 of the paper).
+//! Criss-cross histories with several maximal common ancestors are resolved
+//! by *recursive virtual merges*, the strategy of Git's `merge-recursive` —
+//! computed **without materialising virtual commits**
+//! ([`CommitGraph::merge_bases_of`] works on leaf sets), which keeps the
+//! whole LCA path `&self`-clean and the commit count equal to the number of
+//! real versions.
 //!
 //! Since the backend refactor the store is generic over its persistence
 //! layer: every state and commit it creates is *published* to a pluggable
@@ -30,10 +43,16 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+pub mod handle;
+
+pub use handle::{BranchId, BranchMut, BranchRef, Transaction};
+
 #[derive(Clone, Debug)]
 struct BranchInfo {
     head: CommitId,
     replica: ReplicaId,
+    /// The interned validated name; handles clone this (cheap `Arc`).
+    id: BranchId,
 }
 
 /// Builds the deterministic byte encoding of a commit record: a tag, the
@@ -58,16 +77,23 @@ fn commit_record(parents: &[ObjectId], state: ObjectId) -> Vec<u8> {
 ///
 /// ```
 /// use peepul_store::BranchStore;
-/// use peepul_types::counter::{Counter, CounterOp, CounterValue};
+/// use peepul_types::counter::{Counter, CounterOp, CounterQuery};
 ///
 /// # fn main() -> Result<(), peepul_store::StoreError> {
 /// let mut store: BranchStore<Counter> = BranchStore::new("main");
-/// store.apply("main", &CounterOp::Increment)?;
-/// store.fork("feature", "main")?;
-/// store.apply("feature", &CounterOp::Increment)?;
-/// store.apply("main", &CounterOp::Increment)?;
-/// store.merge("main", "feature")?;
-/// assert_eq!(store.state("main")?.count(), 3);
+/// let dev = store.branch_mut("main")?.fork("dev")?;
+///
+/// // Updates go through a mutable handle; a transaction batches them into
+/// // one commit.
+/// store.branch_mut(&dev)?.transaction(|tx| {
+///     tx.apply(&CounterOp::Increment);
+///     tx.apply(&CounterOp::Increment);
+/// })?;
+/// store.branch_mut("main")?.apply(&CounterOp::Increment)?;
+/// store.branch_mut("main")?.merge_from(&dev)?;
+///
+/// // Queries are commit-free and need no `&mut`.
+/// assert_eq!(store.read("main", &CounterQuery::Value)?, 3);
 /// # Ok(())
 /// # }
 /// ```
@@ -89,9 +115,15 @@ pub struct BranchStore<M: Mrdt, B: Backend = MemoryBackend> {
 impl<M: Mrdt> BranchStore<M> {
     /// Creates a store over the in-memory backend with a single branch
     /// holding the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root_branch` is not a valid branch name (see
+    /// [`BranchId`]); use [`BranchStore::with_backend`] for a fallible
+    /// constructor.
     pub fn new(root_branch: impl Into<String>) -> Self {
         Self::with_backend(root_branch, MemoryBackend::new())
-            .expect("the in-memory backend cannot fail")
+            .expect("the in-memory backend cannot fail and the name must be valid")
     }
 }
 
@@ -101,8 +133,11 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] if publishing the root commit fails.
+    /// [`StoreError::InvalidBranchName`] if `root_branch` is not a legal
+    /// name; [`StoreError::Io`] if publishing the root commit fails.
     pub fn with_backend(root_branch: impl Into<String>, backend: B) -> Result<Self, StoreError> {
+        let root_branch = root_branch.into();
+        let id = BranchId::new(&root_branch)?;
         let mut store = BranchStore {
             graph: CommitGraph::new(),
             state_ids: Vec::new(),
@@ -114,13 +149,13 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             memo: MergeMemo::new(),
         };
         let root = store.commit(Vec::new(), Arc::new(M::initial()))?;
-        let root_branch = root_branch.into();
         store.set_head(&root_branch, root)?;
         store.branches.insert(
             root_branch,
             BranchInfo {
                 head: root,
                 replica: ReplicaId::new(0),
+                id,
             },
         );
         Ok(store)
@@ -153,7 +188,12 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         self.backend.set_ref(branch, self.commit_ids[head.index()])
     }
 
-    /// The branch names, in order.
+    /// The branch names, sorted lexicographically.
+    ///
+    /// The order is **guaranteed deterministic** across backends and runs
+    /// (branches live in an ordered map), so iteration-driven artefacts —
+    /// [`BranchStore::to_dot`] output, convergence sweeps, test fixtures —
+    /// are stable.
     pub fn branch_names(&self) -> Vec<&str> {
         self.branches.keys().map(String::as_str).collect()
     }
@@ -161,6 +201,43 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     /// Whether `branch` exists.
     pub fn has_branch(&self, branch: &str) -> bool {
         self.branches.contains_key(branch)
+    }
+
+    /// A validated, cheaply clonable identifier for an existing branch.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn branch_id(&self, branch: &str) -> Result<BranchId, StoreError> {
+        self.info(branch).map(|i| i.id.clone())
+    }
+
+    /// A read-only handle to an existing branch — the typo check happens
+    /// here, once; every method on the returned [`BranchRef`] is
+    /// infallible.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn branch(&self, branch: &str) -> Result<BranchRef<'_, M, B>, StoreError> {
+        let info = self.info(branch)?;
+        Ok(BranchRef::new(
+            self,
+            info.id.clone(),
+            info.head,
+            info.replica,
+        ))
+    }
+
+    /// A mutable handle to an existing branch, for `apply`, `fork`,
+    /// `merge_from` and transactions.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn branch_mut(&mut self, branch: &str) -> Result<BranchMut<'_, M, B>, StoreError> {
+        let id = self.info(branch)?.id.clone();
+        Ok(BranchMut::new(self, id))
     }
 
     /// The replica id minting timestamps for `branch`.
@@ -215,16 +292,19 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         Ok(self.graph.payload(self.head(branch)?).clone())
     }
 
-    /// Forks a new branch off an existing one (`CREATEBRANCH` of Fig. 3):
-    /// the new branch starts at the same version.
+    /// Answers a pure query against a branch's head state — the
+    /// **commit-free read path**: no commit is minted, no timestamp
+    /// consumed, no backend write issued, and no `&mut` access required.
     ///
     /// # Errors
     ///
-    /// [`StoreError::UnknownBranch`] if `from` does not exist;
-    /// [`StoreError::BranchExists`] if `new` already does;
-    /// [`StoreError::Io`] if publishing the new ref fails.
-    pub fn fork(&mut self, new: impl Into<String>, from: &str) -> Result<(), StoreError> {
-        let new = new.into();
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn read(&self, branch: &str, q: &M::Query) -> Result<M::Output, StoreError> {
+        Ok(self.graph.payload(self.head(branch)?).query(q))
+    }
+
+    pub(crate) fn do_fork(&mut self, new: String, from: &str) -> Result<BranchId, StoreError> {
+        let id = BranchId::new(&new)?;
         if self.branches.contains_key(&new) {
             return Err(StoreError::BranchExists(new));
         }
@@ -232,18 +312,18 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         self.set_head(&new, head)?;
         let replica = ReplicaId::new(self.next_replica);
         self.next_replica += 1;
-        self.branches.insert(new, BranchInfo { head, replica });
-        Ok(())
+        self.branches.insert(
+            new,
+            BranchInfo {
+                head,
+                replica,
+                id: id.clone(),
+            },
+        );
+        Ok(id)
     }
 
-    /// Applies a data-type operation at a branch (`DO` of Fig. 3),
-    /// committing the successor state and returning the operation's value.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::UnknownBranch`] if the branch does not exist;
-    /// [`StoreError::Io`] if publishing fails.
-    pub fn apply(&mut self, branch: &str, op: &M::Op) -> Result<M::Value, StoreError> {
+    pub(crate) fn do_apply(&mut self, branch: &str, op: &M::Op) -> Result<M::Value, StoreError> {
         let (head, replica) = {
             let info = self.info(branch)?;
             (info.head, info.replica)
@@ -263,66 +343,81 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     /// The lowest-common-ancestor *state* of two branches, resolving
     /// multiple merge bases by recursive virtual merging.
     ///
+    /// This is a **read**: virtual ancestors are computed on the fly from
+    /// merge-base leaf sets ([`CommitGraph::merge_bases_of`]) instead of
+    /// being committed into the graph, so the whole path works against
+    /// `&self` — read-only callers no longer need `&mut BranchStore`. The
+    /// interior-mutable [`MergeMemo`] still caches (and serves) the
+    /// virtual merges by content-address triple.
+    ///
     /// # Errors
     ///
     /// [`StoreError::UnknownBranch`] for missing branches;
     /// [`StoreError::NoCommonAncestor`] for unrelated histories (impossible
     /// for branches forked from one root).
-    pub fn lca_state(&mut self, b1: &str, b2: &str) -> Result<Arc<M>, StoreError> {
+    pub fn lca_state(&self, b1: &str, b2: &str) -> Result<Arc<M>, StoreError> {
         let (c1, c2) = (self.head(b1)?, self.head(b2)?);
-        let lca = self.lca_commit(c1, c2)?;
-        Ok(self.graph.payload(lca).clone())
+        let (state, _, _) = self.virtual_lca(&[c1], &[c2])?;
+        Ok(state)
     }
 
-    /// Returns a commit (possibly virtual) whose state is the LCA state of
-    /// `c1` and `c2`.
-    fn lca_commit(&mut self, c1: CommitId, c2: CommitId) -> Result<CommitId, StoreError> {
-        let bases = self.graph.merge_bases(c1, c2);
+    /// Recursive virtual merge of the merge bases of two virtual commits
+    /// (each given by its real leaf set), exactly like git merge-recursive
+    /// — but materialising nothing. Returns the LCA state, its content
+    /// address, and the leaf set describing the virtual ancestor.
+    ///
+    /// Criss-cross rounds re-derive the same `(lca, left, right)` triples,
+    /// so these merges are where the memo pays.
+    #[allow(clippy::type_complexity)]
+    fn virtual_lca(
+        &self,
+        left: &[CommitId],
+        right: &[CommitId],
+    ) -> Result<(Arc<M>, ObjectId, Vec<CommitId>), StoreError> {
+        let bases = self.graph.merge_bases_of(left, right);
         let Some((&first, rest)) = bases.split_first() else {
             return Err(StoreError::NoCommonAncestor);
         };
-        let mut virt = first;
+        let mut state = self.graph.payload(first).clone();
+        let mut sid = self.state_ids[first.index()];
+        let mut leaves = vec![first];
         for &base in rest {
-            // Recursively merge the bases into a virtual ancestor, exactly
-            // like git merge-recursive. Criss-cross rounds re-derive the
-            // same base triples, so these merges are where the memo pays.
-            let sub_lca = self.lca_commit(virt, base)?;
-            let merged = self.memoized_merge(sub_lca, virt, base);
-            virt = self.commit(vec![virt, base], merged)?;
+            let (sub_state, sub_sid, _) = self.virtual_lca(&leaves, &[base])?;
+            let base_sid = self.state_ids[base.index()];
+            // merged_with_id caches the result's content address with the
+            // entry, so repeated criss-cross derivations skip both the
+            // merge AND the O(state) re-hash.
+            let (merged, merged_sid) = {
+                let graph = &self.graph;
+                let virt_state = Arc::clone(&state);
+                self.memo.merged_with_id((sub_sid, sid, base_sid), move || {
+                    M::merge(&sub_state, &virt_state, graph.payload(base))
+                })
+            };
+            sid = merged_sid;
+            state = merged;
+            leaves.push(base);
         }
-        Ok(virt)
+        Ok((state, sid, leaves))
     }
 
-    /// Three-way merge of the states at three commits, answered from the
-    /// content-address cache when the identical triple has merged before.
-    fn memoized_merge(&mut self, lca: CommitId, a: CommitId, b: CommitId) -> Arc<M> {
-        let key = (
-            self.state_ids[lca.index()],
-            self.state_ids[a.index()],
-            self.state_ids[b.index()],
-        );
-        let graph = &self.graph;
-        self.memo.merged(key, || {
-            M::merge(graph.payload(lca), graph.payload(a), graph.payload(b))
-        })
-    }
-
-    /// Merges branch `from` into branch `into` (`MERGE` of Fig. 3): runs
-    /// the data type's three-way merge against the store-computed LCA and
-    /// commits the result on `into`. Merging a branch whose history is
-    /// already contained in `into` is a no-op.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::UnknownBranch`] for missing branches;
-    /// [`StoreError::Io`] if publishing fails.
-    pub fn merge(&mut self, into: &str, from: &str) -> Result<(), StoreError> {
+    pub(crate) fn do_merge(&mut self, into: &str, from: &str) -> Result<(), StoreError> {
         let (c_into, c_from) = (self.head(into)?, self.head(from)?);
         if self.graph.is_ancestor(c_from, c_into) {
             return Ok(()); // nothing new to integrate
         }
-        let lca = self.lca_commit(c_into, c_from)?;
-        let merged = self.memoized_merge(lca, c_into, c_from);
+        let (lca_state, lca_sid, _) = self.virtual_lca(&[c_into], &[c_from])?;
+        let key = (
+            lca_sid,
+            self.state_ids[c_into.index()],
+            self.state_ids[c_from.index()],
+        );
+        let merged = {
+            let graph = &self.graph;
+            self.memo.merged(key, || {
+                M::merge(&lca_state, graph.payload(c_into), graph.payload(c_from))
+            })
+        };
         let new_head = self.commit(vec![c_into, c_from], merged)?;
         self.set_head(into, new_head)?;
         self.branches
@@ -333,15 +428,12 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     }
 
     /// The commit history of a branch, newest first.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::UnknownBranch`] if the branch does not exist.
-    pub fn history(&self, branch: &str) -> Result<Vec<CommitId>, StoreError> {
+    pub(crate) fn do_history(&self, branch: &str) -> Result<Vec<CommitId>, StoreError> {
         Ok(self.graph.history(self.head(branch)?))
     }
 
-    /// Total number of commits (including virtual LCA commits).
+    /// Total number of commits. Every commit is a real version: virtual
+    /// LCA ancestors are computed on the fly and never enter the graph.
     pub fn commit_count(&self) -> usize {
         self.graph.len()
     }
@@ -372,8 +464,80 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
 
     /// Enables or disables merge memoization (disabling clears the cache).
     /// Used by the equivalence suite to check cached ≡ uncached.
-    pub fn set_merge_cache(&mut self, enabled: bool) {
+    pub fn set_merge_cache(&self, enabled: bool) {
         self.memo.set_enabled(enabled);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated string-addressed shims (one release of grace)
+// ---------------------------------------------------------------------------
+
+impl<M: Mrdt, B: Backend> BranchStore<M, B> {
+    /// Applies a data-type operation at a branch (`DO` of Fig. 3),
+    /// committing the successor state and returning the operation's value.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist;
+    /// [`StoreError::Io`] if publishing fails.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `store.branch_mut(name)?.apply(&op)` — string-addressed \
+                shims are kept for one release"
+    )]
+    pub fn apply(&mut self, branch: &str, op: &M::Op) -> Result<M::Value, StoreError> {
+        self.do_apply(branch, op)
+    }
+
+    /// Forks a new branch off an existing one (`CREATEBRANCH` of Fig. 3):
+    /// the new branch starts at the same version.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if `from` does not exist;
+    /// [`StoreError::BranchExists`] if `new` already does;
+    /// [`StoreError::InvalidBranchName`] if `new` is not a legal name;
+    /// [`StoreError::Io`] if publishing the new ref fails.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `store.branch_mut(from)?.fork(new)` — string-addressed \
+                shims are kept for one release"
+    )]
+    pub fn fork(&mut self, new: impl Into<String>, from: &str) -> Result<(), StoreError> {
+        self.do_fork(new.into(), from).map(|_| ())
+    }
+
+    /// Merges branch `from` into branch `into` (`MERGE` of Fig. 3): runs
+    /// the data type's three-way merge against the store-computed LCA and
+    /// commits the result on `into`. Merging a branch whose history is
+    /// already contained in `into` is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] for missing branches;
+    /// [`StoreError::Io`] if publishing fails.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `store.branch_mut(into)?.merge_from(from)` — \
+                string-addressed shims are kept for one release"
+    )]
+    pub fn merge(&mut self, into: &str, from: &str) -> Result<(), StoreError> {
+        self.do_merge(into, from)
+    }
+
+    /// The commit history of a branch, newest first.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `store.branch(name)?.history()` — string-addressed shims \
+                are kept for one release"
+    )]
+    pub fn history(&self, branch: &str) -> Result<Vec<CommitId>, StoreError> {
+        self.do_history(branch)
     }
 }
 
@@ -394,75 +558,116 @@ impl<M: Mrdt, B: Backend> fmt::Debug for BranchStore<M, B> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use peepul_types::counter::{Counter, CounterOp};
-    use peepul_types::or_set::{OrSet, OrSetOp, OrSetValue};
+    use peepul_types::counter::{Counter, CounterOp, CounterQuery};
+    use peepul_types::or_set::{OrSet, OrSetOp, OrSetOutput, OrSetQuery};
     use peepul_types::queue::{Queue, QueueOp, QueueValue};
 
     #[test]
     fn fork_copies_state_and_mints_new_replica() {
         let mut s: BranchStore<Counter> = BranchStore::new("main");
-        s.apply("main", &CounterOp::Increment).unwrap();
-        s.fork("dev", "main").unwrap();
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        s.branch_mut("main").unwrap().fork("dev").unwrap();
         assert_eq!(s.state("dev").unwrap().count(), 1);
         assert_ne!(s.replica_of("main").unwrap(), s.replica_of("dev").unwrap());
     }
 
     #[test]
-    fn unknown_branch_errors() {
+    fn unknown_branch_errors_at_handle_creation() {
         let mut s: BranchStore<Counter> = BranchStore::new("main");
         assert_eq!(
-            s.apply("nope", &CounterOp::Increment),
-            Err(StoreError::UnknownBranch("nope".into()))
+            s.branch_mut("nope").err(),
+            Some(StoreError::UnknownBranch("nope".into()))
+        );
+        assert_eq!(
+            s.branch("nope").err(),
+            Some(StoreError::UnknownBranch("nope".into()))
         );
         assert!(matches!(
-            s.fork("x", "nope"),
-            Err(StoreError::UnknownBranch(_))
+            s.branch_mut("main").unwrap().fork("main"),
+            Err(StoreError::BranchExists(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_branch_names_are_rejected() {
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        assert!(matches!(
+            s.branch_mut("main").unwrap().fork(""),
+            Err(StoreError::InvalidBranchName(_))
         ));
         assert!(matches!(
-            s.fork("main", "main"),
-            Err(StoreError::BranchExists(_))
+            s.branch_mut("main").unwrap().fork("bad\nname"),
+            Err(StoreError::InvalidBranchName(_))
+        ));
+        assert!(matches!(
+            BranchId::new("nul\0"),
+            Err(StoreError::InvalidBranchName(_))
         ));
     }
 
     #[test]
     fn divergent_counters_merge_additively() {
         let mut s: BranchStore<Counter> = BranchStore::new("main");
-        s.fork("dev", "main").unwrap();
+        s.branch_mut("main").unwrap().fork("dev").unwrap();
         for _ in 0..3 {
-            s.apply("main", &CounterOp::Increment).unwrap();
+            s.branch_mut("main")
+                .unwrap()
+                .apply(&CounterOp::Increment)
+                .unwrap();
         }
         for _ in 0..2 {
-            s.apply("dev", &CounterOp::Increment).unwrap();
+            s.branch_mut("dev")
+                .unwrap()
+                .apply(&CounterOp::Increment)
+                .unwrap();
         }
-        s.merge("main", "dev").unwrap();
+        s.branch_mut("main").unwrap().merge_from("dev").unwrap();
         assert_eq!(s.state("main").unwrap().count(), 5);
         // dev hasn't pulled yet.
         assert_eq!(s.state("dev").unwrap().count(), 2);
-        s.merge("dev", "main").unwrap();
+        s.branch_mut("dev").unwrap().merge_from("main").unwrap();
         assert_eq!(s.state("dev").unwrap().count(), 5);
     }
 
     #[test]
     fn merge_of_contained_history_is_noop() {
         let mut s: BranchStore<Counter> = BranchStore::new("main");
-        s.fork("dev", "main").unwrap();
-        s.apply("main", &CounterOp::Increment).unwrap();
+        s.branch_mut("main").unwrap().fork("dev").unwrap();
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
         let commits_before = s.commit_count();
         // dev is an ancestor of main: nothing to do.
-        s.merge("main", "dev").unwrap();
+        s.branch_mut("main").unwrap().merge_from("dev").unwrap();
         assert_eq!(s.commit_count(), commits_before);
     }
 
     #[test]
     fn or_set_add_wins_through_the_store() {
         let mut s: BranchStore<OrSet<u32>> = BranchStore::new("main");
-        s.apply("main", &OrSetOp::Add(1)).unwrap();
-        s.fork("dev", "main").unwrap();
-        s.apply("main", &OrSetOp::Remove(1)).unwrap();
-        s.apply("dev", &OrSetOp::Add(1)).unwrap();
-        s.merge("main", "dev").unwrap();
-        let v = s.apply("main", &OrSetOp::Lookup(1)).unwrap();
-        assert_eq!(v, OrSetValue::Present(true));
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Add(1))
+            .unwrap();
+        s.branch_mut("main").unwrap().fork("dev").unwrap();
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Remove(1))
+            .unwrap();
+        s.branch_mut("dev")
+            .unwrap()
+            .apply(&OrSetOp::Add(1))
+            .unwrap();
+        s.branch_mut("main").unwrap().merge_from("dev").unwrap();
+        // The lookup is a commit-free read.
+        let commits = s.commit_count();
+        let v = s.read("main", &OrSetQuery::Lookup(1)).unwrap();
+        assert_eq!(v, OrSetOutput::Present(true));
+        assert_eq!(s.commit_count(), commits);
     }
 
     #[test]
@@ -472,18 +677,18 @@ mod tests {
         // diverge again, then merge. merge_bases yields two candidates and
         // the recursive virtual LCA must still produce a correct merge.
         let mut s: BranchStore<OrSet<u32>> = BranchStore::new("a");
-        s.apply("a", &OrSetOp::Add(0)).unwrap();
-        s.fork("b", "a").unwrap();
-        s.apply("a", &OrSetOp::Add(1)).unwrap();
-        s.apply("b", &OrSetOp::Add(2)).unwrap();
+        s.branch_mut("a").unwrap().apply(&OrSetOp::Add(0)).unwrap();
+        s.branch_mut("a").unwrap().fork("b").unwrap();
+        s.branch_mut("a").unwrap().apply(&OrSetOp::Add(1)).unwrap();
+        s.branch_mut("b").unwrap().apply(&OrSetOp::Add(2)).unwrap();
         // Criss-cross: each pulls the other.
-        s.merge("a", "b").unwrap();
-        s.merge("b", "a").unwrap();
+        s.branch_mut("a").unwrap().merge_from("b").unwrap();
+        s.branch_mut("b").unwrap().merge_from("a").unwrap();
         // Diverge again.
-        s.apply("a", &OrSetOp::Add(3)).unwrap();
-        s.apply("b", &OrSetOp::Add(4)).unwrap();
-        s.merge("a", "b").unwrap();
-        let OrSetValue::Elements(elems) = s.apply("a", &OrSetOp::Read).unwrap() else {
+        s.branch_mut("a").unwrap().apply(&OrSetOp::Add(3)).unwrap();
+        s.branch_mut("b").unwrap().apply(&OrSetOp::Add(4)).unwrap();
+        s.branch_mut("a").unwrap().merge_from("b").unwrap();
+        let OrSetOutput::Elements(elems) = s.read("a", &OrSetQuery::Read).unwrap() else {
             panic!("read returns elements");
         };
         assert_eq!(elems, vec![0, 1, 2, 3, 4]);
@@ -496,16 +701,16 @@ mod tests {
     /// Afterwards `merge_bases(x, y2)` yields two maximal candidates.
     fn criss_cross_store() -> BranchStore<OrSet<u32>> {
         let mut s: BranchStore<OrSet<u32>> = BranchStore::new("x");
-        s.apply("x", &OrSetOp::Add(0)).unwrap();
-        s.fork("y", "x").unwrap();
-        s.apply("x", &OrSetOp::Add(1)).unwrap(); // x1
-        s.apply("y", &OrSetOp::Add(2)).unwrap(); // y1
-        s.fork("x-pin", "x").unwrap();
-        s.fork("y2", "y").unwrap();
-        s.merge("x", "y").unwrap(); // m1 = (x1, y1)
-        s.merge("y2", "x-pin").unwrap(); // m2 = (y1, x1) — the criss-cross
-        s.apply("x", &OrSetOp::Add(3)).unwrap();
-        s.apply("y2", &OrSetOp::Add(4)).unwrap();
+        s.branch_mut("x").unwrap().apply(&OrSetOp::Add(0)).unwrap();
+        s.branch_mut("x").unwrap().fork("y").unwrap();
+        s.branch_mut("x").unwrap().apply(&OrSetOp::Add(1)).unwrap(); // x1
+        s.branch_mut("y").unwrap().apply(&OrSetOp::Add(2)).unwrap(); // y1
+        s.branch_mut("x").unwrap().fork("x-pin").unwrap();
+        s.branch_mut("y").unwrap().fork("y2").unwrap();
+        s.branch_mut("x").unwrap().merge_from("y").unwrap(); // m1 = (x1, y1)
+        s.branch_mut("y2").unwrap().merge_from("x-pin").unwrap(); // m2 = (y1, x1) — the criss-cross
+        s.branch_mut("x").unwrap().apply(&OrSetOp::Add(3)).unwrap();
+        s.branch_mut("y2").unwrap().apply(&OrSetOp::Add(4)).unwrap();
         s
     }
 
@@ -530,16 +735,28 @@ mod tests {
         let after_second = s.merge_cache_stats();
         assert!(after_second.hits > after_first.hits, "{after_second:?}");
         // A real merge between the branches re-derives it again.
-        s.merge("x", "y2").unwrap();
+        s.branch_mut("x").unwrap().merge_from("y2").unwrap();
         let after_merge = s.merge_cache_stats();
         assert!(after_merge.hits > after_second.hits, "{after_merge:?}");
         assert!(after_merge.hit_rate() > 0.0);
 
         // Correctness is untouched by the cache.
-        let OrSetValue::Elements(elems) = s.apply("x", &OrSetOp::Read).unwrap() else {
+        let OrSetOutput::Elements(elems) = s.read("x", &OrSetQuery::Read).unwrap() else {
             panic!("read returns elements");
         };
         assert_eq!(elems, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lca_state_needs_no_mut_and_mints_no_commit() {
+        let s = criss_cross_store();
+        let commits = s.commit_count();
+        // Shared reference only: the signature itself is the proof that no
+        // &mut is needed.
+        let shared: &BranchStore<OrSet<u32>> = &s;
+        let lca = shared.lca_state("x", "y2").unwrap();
+        assert!(lca.contains(&0) && lca.contains(&1) && lca.contains(&2));
+        assert_eq!(shared.commit_count(), commits, "LCA reads mint no commits");
     }
 
     #[test]
@@ -548,10 +765,16 @@ mod tests {
         // Fork probes off the x side; each merge with y2 recomputes the
         // same two-base virtual merge — only the first is a miss.
         for i in 0..4 {
-            s.fork(format!("probe-{i}"), "x").unwrap();
+            s.branch_mut("x")
+                .unwrap()
+                .fork(format!("probe-{i}"))
+                .unwrap();
         }
         for i in 0..4 {
-            s.merge(&format!("probe-{i}"), "y2").unwrap();
+            s.branch_mut(&format!("probe-{i}"))
+                .unwrap()
+                .merge_from("y2")
+                .unwrap();
         }
         let stats = s.merge_cache_stats();
         assert!(
@@ -565,12 +788,18 @@ mod tests {
         let run = |cache: bool| {
             let mut s: BranchStore<OrSet<u32>> = BranchStore::new("a");
             s.set_merge_cache(cache);
-            s.fork("b", "a").unwrap();
+            s.branch_mut("a").unwrap().fork("b").unwrap();
             for round in 0..5u32 {
-                s.apply("a", &OrSetOp::Add(round)).unwrap();
-                s.apply("b", &OrSetOp::Add(round + 100)).unwrap();
-                s.merge("a", "b").unwrap();
-                s.merge("b", "a").unwrap();
+                s.branch_mut("a")
+                    .unwrap()
+                    .apply(&OrSetOp::Add(round))
+                    .unwrap();
+                s.branch_mut("b")
+                    .unwrap()
+                    .apply(&OrSetOp::Add(round + 100))
+                    .unwrap();
+                s.branch_mut("a").unwrap().merge_from("b").unwrap();
+                s.branch_mut("b").unwrap().merge_from("a").unwrap();
             }
             (s.head_id("a").unwrap(), s.state_id("b").unwrap())
         };
@@ -580,9 +809,15 @@ mod tests {
     #[test]
     fn backend_refs_track_branch_heads() {
         let mut s: BranchStore<Counter> = BranchStore::new("main");
-        s.apply("main", &CounterOp::Increment).unwrap();
-        s.fork("dev", "main").unwrap();
-        s.apply("dev", &CounterOp::Increment).unwrap();
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        s.branch_mut("main").unwrap().fork("dev").unwrap();
+        s.branch_mut("dev")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
         assert_eq!(
             s.backend().get_ref("main").unwrap(),
             Some(s.head_id("main").unwrap())
@@ -599,11 +834,17 @@ mod tests {
     #[test]
     fn converged_branches_share_one_state_object() {
         let mut s: BranchStore<Counter> = BranchStore::new("x");
-        s.fork("y", "x").unwrap();
-        s.apply("x", &CounterOp::Increment).unwrap();
-        s.apply("y", &CounterOp::Increment).unwrap();
-        s.merge("x", "y").unwrap();
-        s.merge("y", "x").unwrap();
+        s.branch_mut("x").unwrap().fork("y").unwrap();
+        s.branch_mut("x")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        s.branch_mut("y")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        s.branch_mut("x").unwrap().merge_from("y").unwrap();
+        s.branch_mut("y").unwrap().merge_from("x").unwrap();
         // Equal states intern to one content address in the backend.
         assert_eq!(s.state_id("x").unwrap(), s.state_id("y").unwrap());
     }
@@ -611,27 +852,47 @@ mod tests {
     #[test]
     fn queue_fifo_across_branches() {
         let mut s: BranchStore<Queue<&str>> = BranchStore::new("main");
-        s.apply("main", &QueueOp::Enqueue("job-1")).unwrap();
-        s.fork("worker", "main").unwrap();
-        s.apply("main", &QueueOp::Enqueue("job-2")).unwrap();
-        let v = s.apply("worker", &QueueOp::Dequeue).unwrap();
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&QueueOp::Enqueue("job-1"))
+            .unwrap();
+        s.branch_mut("main").unwrap().fork("worker").unwrap();
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&QueueOp::Enqueue("job-2"))
+            .unwrap();
+        let v = s
+            .branch_mut("worker")
+            .unwrap()
+            .apply(&QueueOp::Dequeue)
+            .unwrap();
         assert!(matches!(v, QueueValue::Dequeued(Some((_, "job-1")))));
-        s.merge("main", "worker").unwrap();
+        s.branch_mut("main").unwrap().merge_from("worker").unwrap();
         // job-1 consumed on worker; only job-2 remains on main.
-        let v = s.apply("main", &QueueOp::Dequeue).unwrap();
+        let v = s
+            .branch_mut("main")
+            .unwrap()
+            .apply(&QueueOp::Dequeue)
+            .unwrap();
         assert!(matches!(v, QueueValue::Dequeued(Some((_, "job-2")))));
     }
 
     #[test]
     fn history_grows_with_operations() {
         let mut s: BranchStore<Counter> = BranchStore::new("main");
-        s.apply("main", &CounterOp::Increment).unwrap();
-        s.apply("main", &CounterOp::Increment).unwrap();
-        let h = s.history("main").unwrap();
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        let h = s.branch("main").unwrap().history();
         assert_eq!(h.len(), 3); // root + 2 DO commits
         assert_eq!(
             h.last().copied(),
-            s.history("main").unwrap().last().copied()
+            s.branch("main").unwrap().history().last().copied()
         );
     }
 
@@ -639,19 +900,74 @@ mod tests {
     fn timestamps_are_unique_across_branches() {
         // Indirectly observable through the OR-set's stored pairs.
         let mut s: BranchStore<OrSet<u32>> = BranchStore::new("main");
-        s.fork("dev", "main").unwrap();
-        s.apply("main", &OrSetOp::Add(1)).unwrap();
-        s.apply("dev", &OrSetOp::Add(2)).unwrap();
-        s.merge("main", "dev").unwrap();
+        s.branch_mut("main").unwrap().fork("dev").unwrap();
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Add(1))
+            .unwrap();
+        s.branch_mut("dev")
+            .unwrap()
+            .apply(&OrSetOp::Add(2))
+            .unwrap();
+        s.branch_mut("main").unwrap().merge_from("dev").unwrap();
         let main_state = s.state("main").unwrap();
         assert_eq!(main_state.pair_count(), 2);
+    }
+
+    #[test]
+    fn branch_names_are_sorted_lexicographically() {
+        let mut s: BranchStore<Counter> = BranchStore::new("zeta");
+        s.branch_mut("zeta").unwrap().fork("alpha").unwrap();
+        s.branch_mut("zeta").unwrap().fork("mu").unwrap();
+        s.branch_mut("alpha").unwrap().fork("beta").unwrap();
+        assert_eq!(s.branch_names(), vec!["alpha", "beta", "mu", "zeta"]);
+        let mut sorted = s.branch_names();
+        sorted.sort_unstable();
+        assert_eq!(s.branch_names(), sorted, "branch_names is always sorted");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn string_shims_still_work_for_one_release() {
+        // The deprecated string-addressed API must stay behaviourally
+        // identical to the handle path during the grace release.
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        s.apply("main", &CounterOp::Increment).unwrap();
+        s.fork("dev", "main").unwrap();
+        s.apply("dev", &CounterOp::Increment).unwrap();
+        s.merge("main", "dev").unwrap();
+        assert_eq!(s.state("main").unwrap().count(), 2);
+        assert_eq!(s.history("main").unwrap().len(), 4);
+        assert_eq!(
+            s.apply("nope", &CounterOp::Increment),
+            Err(StoreError::UnknownBranch("nope".into()))
+        );
+    }
+
+    #[test]
+    fn read_answers_queries_without_commits() {
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        let commits = s.commit_count();
+        for _ in 0..100 {
+            assert_eq!(s.read("main", &CounterQuery::Value).unwrap(), 1);
+        }
+        assert_eq!(s.commit_count(), commits);
+        assert_eq!(
+            s.read("nope", &CounterQuery::Value),
+            Err(StoreError::UnknownBranch("nope".into()))
+        );
     }
 }
 
 impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     /// Renders the commit DAG with branch heads in Graphviz DOT format —
     /// `git log --graph` for this store. Pipe through `dot -Tsvg` to
-    /// visualise criss-cross histories and virtual LCA commits.
+    /// visualise criss-cross histories. Branch heads render in sorted name
+    /// order, so the output is deterministic across backends and runs.
     pub fn to_dot(&self) -> String {
         let heads: std::collections::BTreeMap<String, crate::dag::CommitId> = self
             .branches
@@ -670,10 +986,16 @@ mod dot_tests {
     #[test]
     fn branch_store_renders_to_dot() {
         let mut s: BranchStore<Counter> = BranchStore::new("main");
-        s.apply("main", &CounterOp::Increment).unwrap();
-        s.fork("dev", "main").unwrap();
-        s.apply("dev", &CounterOp::Increment).unwrap();
-        s.merge("main", "dev").unwrap();
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        s.branch_mut("main").unwrap().fork("dev").unwrap();
+        s.branch_mut("dev")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        s.branch_mut("main").unwrap().merge_from("dev").unwrap();
         let dot = s.to_dot();
         assert!(dot.contains("\"main\""));
         assert!(dot.contains("\"dev\""));

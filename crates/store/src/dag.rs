@@ -172,9 +172,31 @@ impl<P> CommitGraph<P> {
     /// criss-cross merges can yield several, which the store resolves by
     /// recursive virtual merging.
     pub fn merge_bases(&self, c1: CommitId, c2: CommitId) -> Vec<CommitId> {
+        self.merge_bases_of(&[c1], &[c2])
+    }
+
+    /// The merge bases of two *virtual* commits, each given as its set of
+    /// real leaf commits: the maximal elements of
+    /// `ancestors(left) ∩ ancestors(right)`.
+    ///
+    /// A virtual merge commit (the recursive-merge strategy's intermediate
+    /// ancestor) is fully described by the real commits it merges — it has
+    /// no ancestors of its own beyond theirs, and it cannot itself be a
+    /// common ancestor of anything older. This is what lets the branch
+    /// store resolve criss-cross LCAs **without materialising virtual
+    /// commits in the graph**, which in turn is what makes its read-only
+    /// `lca_state` possible.
+    pub fn merge_bases_of(&self, left: &[CommitId], right: &[CommitId]) -> Vec<CommitId> {
+        let union_ancestors = |leaves: &[CommitId]| -> BTreeSet<CommitId> {
+            let mut all = BTreeSet::new();
+            for &leaf in leaves {
+                all.extend(self.ancestors(leaf));
+            }
+            all
+        };
         let common: BTreeSet<CommitId> = {
-            let a1 = self.ancestors(c1);
-            let a2 = self.ancestors(c2);
+            let a1 = union_ancestors(left);
+            let a2 = union_ancestors(right);
             a1.intersection(&a2).copied().collect()
         };
         if common.is_empty() {
@@ -291,6 +313,23 @@ mod tests {
         let b2 = g.add_commit(vec![mb], "b2").unwrap();
         let bases: BTreeSet<CommitId> = g.merge_bases(a2, b2).into_iter().collect();
         assert_eq!(bases, BTreeSet::from([a1, b1]));
+    }
+
+    #[test]
+    fn merge_bases_of_leaf_sets_match_virtual_commits() {
+        // Criss-cross as above; the virtual merge of {a1, b1} against root
+        // must see the same bases as a materialised merge commit would.
+        let mut g: CommitGraph<&str> = CommitGraph::new();
+        let root = g.add_root("root");
+        let a1 = g.add_commit(vec![root], "a1").unwrap();
+        let b1 = g.add_commit(vec![root], "b1").unwrap();
+        let c = g.add_commit(vec![a1], "c").unwrap();
+        // Virtual merge of (a1, b1) vs. c: common ancestors are {a1, root};
+        // maximal = {a1}. A real merge commit m(a1, b1) would answer the
+        // same.
+        assert_eq!(g.merge_bases_of(&[a1, b1], &[c]), vec![a1]);
+        let m = g.add_commit(vec![a1, b1], "m").unwrap();
+        assert_eq!(g.merge_bases(m, c), vec![a1]);
     }
 
     #[test]

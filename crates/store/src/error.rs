@@ -11,6 +11,11 @@ pub enum StoreError {
     UnknownBranch(String),
     /// A branch with this name already exists.
     BranchExists(String),
+    /// The name is not a legal branch name (empty, or contains control
+    /// characters). Rejected when a handle or branch is created, so typos
+    /// and corrupted names surface at the edge of the API instead of deep
+    /// inside a merge.
+    InvalidBranchName(String),
     /// The two versions share no history (distinct roots); a three-way
     /// merge is impossible. Cannot occur for branches forked from one root.
     NoCommonAncestor,
@@ -40,6 +45,7 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::UnknownBranch(b) => write!(f, "unknown branch {b:?}"),
             StoreError::BranchExists(b) => write!(f, "branch {b:?} already exists"),
+            StoreError::InvalidBranchName(b) => write!(f, "invalid branch name {b:?}"),
             StoreError::NoCommonAncestor => write!(f, "versions share no common ancestor"),
             StoreError::Io(msg) => write!(f, "backend i/o error: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "backend corruption: {msg}"),

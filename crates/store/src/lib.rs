@@ -4,7 +4,10 @@
 //! The store realises the system model of the paper's §2.1 and §3:
 //!
 //! * versioned states in **branches** with explicit three-way **merges**
-//!   ([`BranchStore`]),
+//!   ([`BranchStore`]), addressed through validated **typed handles**
+//!   ([`BranchRef`], [`BranchMut`], [`BranchId`]) with a **commit-free
+//!   query path** ([`BranchStore::read`]) and batched **transactions**
+//!   ([`Transaction`]),
 //! * a commit **DAG** with Git-style merge-base computation, including
 //!   recursive virtual LCAs for criss-cross histories ([`dag`]),
 //! * a **timestamp service** that is unique and happens-before consistent
@@ -29,19 +32,19 @@
 //!
 //! ```
 //! use peepul_store::BranchStore;
-//! use peepul_types::or_set_space::{OrSetOp, OrSetSpace, OrSetValue};
+//! use peepul_types::or_set_space::{OrSetOp, OrSetOutput, OrSetQuery, OrSetSpace};
 //!
 //! # fn main() -> Result<(), peepul_store::StoreError> {
 //! let mut store: BranchStore<OrSetSpace<String>> = BranchStore::new("main");
-//! store.apply("main", &OrSetOp::Add("milk".into()))?;
-//! store.fork("phone", "main")?;
+//! store.branch_mut("main")?.apply(&OrSetOp::Add("milk".into()))?;
+//! let phone = store.branch_mut("main")?.fork("phone")?;
 //! // The phone removes milk while the laptop re-adds it…
-//! store.apply("phone", &OrSetOp::Remove("milk".into()))?;
-//! store.apply("main", &OrSetOp::Add("milk".into()))?;
-//! store.merge("main", "phone")?;
-//! // …and the add wins.
-//! let v = store.apply("main", &OrSetOp::Lookup("milk".into()))?;
-//! assert_eq!(v, OrSetValue::Present(true));
+//! store.branch_mut(&phone)?.apply(&OrSetOp::Remove("milk".into()))?;
+//! store.branch_mut("main")?.apply(&OrSetOp::Add("milk".into()))?;
+//! store.branch_mut("main")?.merge_from(&phone)?;
+//! // …and the add wins. The lookup is a commit-free read on `&store`.
+//! let v = store.read("main", &OrSetQuery::Lookup("milk".into()))?;
+//! assert_eq!(v, OrSetOutput::Present(true));
 //! # Ok(())
 //! # }
 //! ```
@@ -64,7 +67,7 @@ pub mod sha256;
 pub mod sync;
 
 pub use backend::{Backend, BackendStats, MemoryBackend};
-pub use branch::BranchStore;
+pub use branch::{BranchId, BranchMut, BranchRef, BranchStore, Transaction};
 pub use clock::LamportClock;
 pub use dag::{CommitGraph, CommitId};
 pub use error::StoreError;

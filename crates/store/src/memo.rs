@@ -11,6 +11,12 @@
 //! returned `Arc` shares the merged state's allocation with every commit
 //! that reuses it.
 //!
+//! The cache is **interior-mutable** (a mutex around the map): memoized
+//! merges are a pure-function cache, so warming or probing it is logically
+//! a read. This is what lets `BranchStore::lca_state` and the commit-free
+//! query path run against `&BranchStore` while still sharing cache hits
+//! with real merges.
+//!
 //! The cache is *not* symmetric in `(left, right)`: merges are only
 //! guaranteed commutative modulo observational equivalence (Definition
 //! 3.4), not byte-identical, and the cache must never change which exact
@@ -19,6 +25,7 @@
 //! content addresses).
 
 use crate::object::ObjectId;
+use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -50,16 +57,32 @@ impl MergeCacheStats {
     }
 }
 
+type MemoKey = (ObjectId, ObjectId, ObjectId);
+
+/// One cached merge result. The result's own content address is cached
+/// lazily alongside it (`None` until some caller needed it): the
+/// recursive virtual-LCA path keys further merges by it, and recomputing
+/// a SHA-256 over the whole state on every cache *hit* would claw back
+/// much of what the cache saves.
+struct MemoEntry<M> {
+    state: Arc<M>,
+    id: Option<ObjectId>,
+}
+
+struct MemoInner<M> {
+    cache: HashMap<MemoKey, MemoEntry<M>>,
+    /// Insertion order, for FIFO eviction once `capacity` is reached.
+    order: VecDeque<MemoKey>,
+    capacity: usize,
+    stats: MergeCacheStats,
+    enabled: bool,
+}
+
 /// A content-addressed cache of three-way merge results, bounded to
 /// `capacity` triples with FIFO eviction (criss-cross re-derivations are
 /// temporally clustered, so recency-ignorant eviction loses little).
 pub struct MergeMemo<M> {
-    cache: HashMap<(ObjectId, ObjectId, ObjectId), Arc<M>>,
-    /// Insertion order, for FIFO eviction once `capacity` is reached.
-    order: VecDeque<(ObjectId, ObjectId, ObjectId)>,
-    capacity: usize,
-    stats: MergeCacheStats,
-    enabled: bool,
+    inner: Mutex<MemoInner<M>>,
 }
 
 impl<M> MergeMemo<M> {
@@ -72,69 +95,124 @@ impl<M> MergeMemo<M> {
     /// (`0` disables caching outright).
     pub fn with_capacity(capacity: usize) -> Self {
         MergeMemo {
-            cache: HashMap::new(),
-            order: VecDeque::new(),
-            capacity,
-            stats: MergeCacheStats::default(),
-            enabled: true,
+            inner: Mutex::new(MemoInner {
+                cache: HashMap::new(),
+                order: VecDeque::new(),
+                capacity,
+                stats: MergeCacheStats::default(),
+                enabled: true,
+            }),
         }
     }
 
     /// Enables or disables the cache; disabling clears it (and the
     /// subsequent merges count as misses).
-    pub fn set_enabled(&mut self, enabled: bool) {
-        self.enabled = enabled;
+    pub fn set_enabled(&self, enabled: bool) {
+        let mut inner = self.inner.lock();
+        inner.enabled = enabled;
         if !enabled {
-            self.cache.clear();
-            self.order.clear();
+            inner.cache.clear();
+            inner.order.clear();
         }
     }
 
     /// Whether the cache is consulted at all.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        self.inner.lock().enabled
     }
 
     /// The merged state for `(lca, left, right)`, computing and caching it
     /// via `merge` on a miss.
-    pub fn merged(
-        &mut self,
-        key: (ObjectId, ObjectId, ObjectId),
-        merge: impl FnOnce() -> M,
-    ) -> Arc<M> {
-        if self.enabled {
-            if let Some(hit) = self.cache.get(&key) {
-                self.stats.hits += 1;
-                return Arc::clone(hit);
+    ///
+    /// The lock is **not** held while `merge` runs, so `merge` may
+    /// recursively consult the same memo (recursive virtual merges do).
+    /// Two racing misses on the same key both compute; the later insert
+    /// overwrites the earlier one's `Arc` (the eviction queue records the
+    /// key only once), and the two values are identical by purity, so
+    /// which allocation survives is unobservable.
+    pub fn merged(&self, key: MemoKey, merge: impl FnOnce() -> M) -> Arc<M> {
+        {
+            let mut inner = self.inner.lock();
+            if inner.enabled {
+                if let Some(hit) = inner.cache.get(&key) {
+                    let hit = Arc::clone(&hit.state);
+                    inner.stats.hits += 1;
+                    return hit;
+                }
             }
+            inner.stats.misses += 1;
         }
-        self.stats.misses += 1;
         let computed = Arc::new(merge());
-        if self.enabled && self.capacity > 0 {
-            while self.cache.len() >= self.capacity {
-                let oldest = self.order.pop_front().expect("order tracks cache");
-                self.cache.remove(&oldest);
+        self.insert(key, &computed, None);
+        computed
+    }
+
+    /// Like [`MergeMemo::merged`], additionally returning the merged
+    /// state's content address — cached with the entry, so a hit costs no
+    /// re-hash of the state. The recursive virtual-LCA path uses this to
+    /// key sub-merges without paying O(state) SHA-256 per level per hit.
+    pub fn merged_with_id(&self, key: MemoKey, merge: impl FnOnce() -> M) -> (Arc<M>, ObjectId)
+    where
+        M: std::hash::Hash,
+    {
+        {
+            let mut inner = self.inner.lock();
+            if inner.enabled {
+                if let Some(hit) = inner.cache.get(&key) {
+                    let state = Arc::clone(&hit.state);
+                    let cached_id = hit.id;
+                    inner.stats.hits += 1;
+                    drop(inner);
+                    // Backfill the id if an earlier `merged` call cached
+                    // the entry without one.
+                    let id = cached_id.unwrap_or_else(|| {
+                        let id = crate::object::content_id(state.as_ref());
+                        if let Some(entry) = self.inner.lock().cache.get_mut(&key) {
+                            entry.id = Some(id);
+                        }
+                        id
+                    });
+                    return (state, id);
+                }
             }
-            if self.cache.insert(key, Arc::clone(&computed)).is_none() {
-                self.order.push_back(key);
+            inner.stats.misses += 1;
+        }
+        let computed = Arc::new(merge());
+        let id = crate::object::content_id(computed.as_ref());
+        self.insert(key, &computed, Some(id));
+        (computed, id)
+    }
+
+    fn insert(&self, key: MemoKey, state: &Arc<M>, id: Option<ObjectId>) {
+        let mut inner = self.inner.lock();
+        if inner.enabled && inner.capacity > 0 {
+            while inner.cache.len() >= inner.capacity {
+                let oldest = inner.order.pop_front().expect("order tracks cache");
+                inner.cache.remove(&oldest);
+            }
+            let entry = MemoEntry {
+                state: Arc::clone(state),
+                id,
+            };
+            if inner.cache.insert(key, entry).is_none() {
+                inner.order.push_back(key);
             }
         }
-        computed
     }
 
     /// Hit/miss counters since construction.
     pub fn stats(&self) -> MergeCacheStats {
-        self.stats
+        self.inner.lock().stats
     }
 
     /// Number of distinct cached triples.
     pub fn len(&self) -> usize {
-        self.cache.len()
+        self.inner.lock().cache.len()
     }
 
     /// Whether nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.cache.is_empty()
+        self.inner.lock().cache.is_empty()
     }
 }
 
@@ -146,12 +224,13 @@ impl<M> Default for MergeMemo<M> {
 
 impl<M> fmt::Debug for MergeMemo<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
         write!(
             f,
             "MergeMemo({} entries, {} hits, {} misses)",
-            self.cache.len(),
-            self.stats.hits,
-            self.stats.misses
+            inner.cache.len(),
+            inner.stats.hits,
+            inner.stats.misses
         )
     }
 }
@@ -163,7 +242,7 @@ mod tests {
 
     #[test]
     fn second_identical_merge_is_a_hit() {
-        let mut memo: MergeMemo<u64> = MergeMemo::new();
+        let memo: MergeMemo<u64> = MergeMemo::new();
         let key = (content_id(&0u8), content_id(&1u8), content_id(&2u8));
         let a = memo.merged(key, || 42);
         let b = memo.merged(key, || panic!("must not recompute"));
@@ -174,7 +253,7 @@ mod tests {
 
     #[test]
     fn key_order_matters() {
-        let mut memo: MergeMemo<u64> = MergeMemo::new();
+        let memo: MergeMemo<u64> = MergeMemo::new();
         let (l, a, b) = (content_id(&0u8), content_id(&1u8), content_id(&2u8));
         memo.merged((l, a, b), || 1);
         memo.merged((l, b, a), || 2);
@@ -184,7 +263,7 @@ mod tests {
 
     #[test]
     fn disabling_clears_and_bypasses() {
-        let mut memo: MergeMemo<u64> = MergeMemo::new();
+        let memo: MergeMemo<u64> = MergeMemo::new();
         let key = (content_id(&0u8), content_id(&1u8), content_id(&2u8));
         memo.merged(key, || 1);
         memo.set_enabled(false);
@@ -203,7 +282,7 @@ mod tests {
 
     #[test]
     fn capacity_bound_evicts_fifo() {
-        let mut memo: MergeMemo<u64> = MergeMemo::with_capacity(2);
+        let memo: MergeMemo<u64> = MergeMemo::with_capacity(2);
         let key = |i: u8| (content_id(&i), content_id(&i), content_id(&i));
         memo.merged(key(0), || 0);
         memo.merged(key(1), || 1);
@@ -217,11 +296,33 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables_caching() {
-        let mut memo: MergeMemo<u64> = MergeMemo::with_capacity(0);
+        let memo: MergeMemo<u64> = MergeMemo::with_capacity(0);
         let key = (content_id(&0u8), content_id(&1u8), content_id(&2u8));
         memo.merged(key, || 1);
         memo.merged(key, || 2);
         assert_eq!(memo.stats().hits, 0);
         assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn shared_reference_probing_works() {
+        // The point of interior mutability: a &MergeMemo can serve and warm
+        // the cache.
+        let memo: MergeMemo<u64> = MergeMemo::new();
+        let r: &MergeMemo<u64> = &memo;
+        let key = (content_id(&0u8), content_id(&1u8), content_id(&2u8));
+        r.merged(key, || 9);
+        r.merged(key, || panic!("hit expected"));
+        assert_eq!(r.stats().hits, 1);
+    }
+
+    #[test]
+    fn recursive_merge_does_not_deadlock() {
+        let memo: MergeMemo<u64> = MergeMemo::new();
+        let k1 = (content_id(&0u8), content_id(&1u8), content_id(&2u8));
+        let k2 = (content_id(&3u8), content_id(&4u8), content_id(&5u8));
+        let v = memo.merged(k1, || *memo.merged(k2, || 5) + 1);
+        assert_eq!(*v, 6);
+        assert_eq!(memo.len(), 2);
     }
 }

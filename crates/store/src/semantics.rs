@@ -85,7 +85,7 @@ pub struct MergeOutcome<M: Mrdt> {
 ///
 /// ```
 /// use peepul_store::StoreLts;
-/// use peepul_types::counter::{Counter, CounterOp, CounterValue};
+/// use peepul_types::counter::{Counter, CounterOp, CounterQuery};
 ///
 /// # fn main() -> Result<(), peepul_store::StoreError> {
 /// let mut lts: StoreLts<Counter> = StoreLts::new("main");
@@ -95,6 +95,8 @@ pub struct MergeOutcome<M: Mrdt> {
 /// let outcome = lts.merge("main", "dev")?;
 /// assert_eq!(outcome.post.concrete.count(), 2);
 /// assert_eq!(outcome.post.abstract_state.len(), 2);
+/// // Queries observe without transitioning (no event, no tick).
+/// assert_eq!(lts.query("main", &CounterQuery::Value)?, 2);
 /// # Ok(())
 /// # }
 /// ```
@@ -123,9 +125,24 @@ impl<M: Mrdt> StoreLts<M> {
         }
     }
 
-    /// The branch names, in order.
+    /// The branch names, sorted lexicographically (deterministic across
+    /// runs, matching [`crate::BranchStore::branch_names`]).
     pub fn branch_names(&self) -> Vec<&str> {
         self.branches.keys().map(String::as_str).collect()
+    }
+
+    /// Answers a pure query against a branch's concrete head state.
+    ///
+    /// Queries are not transitions of `M_Dτ`: no event is minted, the
+    /// timestamp counter does not advance, and the LTS state is untouched
+    /// — mirroring the commit-free read path of the branch store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn query(&self, branch: &str, q: &M::Query) -> Result<M::Output, StoreError> {
+        let (head, _) = self.head(branch)?;
+        Ok(self.graph.payload(head).concrete.query(q))
     }
 
     /// Number of branches.

@@ -71,7 +71,9 @@ impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + 'static> Cluster<M, B>
         assert!(replicas >= 1, "a cluster needs at least one replica");
         let mut store = BranchStore::with_backend(replica_branch(0), backend)?;
         for i in 1..replicas {
-            store.fork(replica_branch(i), &replica_branch(0))?;
+            store
+                .branch_mut(&replica_branch(0))?
+                .fork(replica_branch(i))?;
         }
         Ok(Cluster {
             store: Arc::new(Mutex::new(store)),
@@ -82,6 +84,17 @@ impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + 'static> Cluster<M, B>
     /// Number of replicas.
     pub fn replicas(&self) -> usize {
         self.replicas
+    }
+
+    /// Answers a pure query against one replica's current head — the
+    /// commit-free read path, under the shared lock only long enough to
+    /// reach the head state.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if `replica >= self.replicas()`.
+    pub fn read(&self, replica: usize, q: &M::Query) -> Result<M::Output, StoreError> {
+        self.store.lock().read(&replica_branch(replica), q)
     }
 
     /// Runs `ops_per_replica` operations on every replica concurrently.
@@ -112,9 +125,9 @@ impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + 'static> Cluster<M, B>
                         let peer = replica_branch((i + 1) % self.replicas);
                         for round in 0..ops_per_replica {
                             let op = op_of(i, round);
-                            store.lock().apply(&me, &op)?;
+                            store.lock().branch_mut(&me)?.apply(&op)?;
                             if gossip_every > 0 && round % gossip_every == gossip_every - 1 {
-                                store.lock().merge(&me, &peer)?;
+                                store.lock().branch_mut(&me)?.merge_from(&peer)?;
                             }
                         }
                         Ok(())
@@ -141,11 +154,11 @@ impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + 'static> Cluster<M, B>
         // first everyone's updates flow into replica 0, then back out.
         for i in 1..self.replicas {
             let (a, b) = (replica_branch(0), replica_branch(i));
-            store.merge(&a, &b)?;
+            store.branch_mut(&a)?.merge_from(&b)?;
         }
         for i in 1..self.replicas {
             let (a, b) = (replica_branch(i), replica_branch(0));
-            store.merge(&a, &b)?;
+            store.branch_mut(&a)?.merge_from(&b)?;
         }
         (0..self.replicas)
             .map(|i| store.state(&replica_branch(i)))

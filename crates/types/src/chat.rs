@@ -8,24 +8,25 @@
 //! (Fig. 10). Its specification and simulation relation delegate to the
 //! composed ones, so certifying the map and the log certifies the chat.
 
-use crate::log::{LogOp, LogValue, MergeableLog};
-use crate::map::{MapOp, MapSim, MapSpec, MrdtMap};
+use crate::log::{LogOp, LogQuery, MergeableLog};
+use crate::map::{MapOp, MapQuery, MapSim, MapSpec, MrdtMap};
 use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
 use std::fmt;
 
-/// Operations of the chat application.
+/// Update operations of the chat application.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ChatOp {
-    /// Post a message to a channel (created on first use). Returns
-    /// [`LogValue::Ack`].
+    /// Post a message to a channel (created on first use).
     Send(String, String),
-    /// Read a channel's messages, most recent first. Returns
-    /// [`LogValue::Entries`].
-    Read(String),
 }
 
-/// Return values of the chat application (those of the underlying log).
-pub type ChatValue = LogValue<String>;
+/// Queries of the chat application.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChatQuery {
+    /// Read a channel's messages, most recent first (empty for unknown
+    /// channels).
+    Read(String),
+}
 
 /// The chat state: channels mapped to mergeable logs.
 ///
@@ -33,8 +34,7 @@ pub type ChatValue = LogValue<String>;
 ///
 /// ```
 /// use peepul_core::{Mrdt, ReplicaId, Timestamp};
-/// use peepul_types::chat::{Chat, ChatOp};
-/// use peepul_types::log::LogValue;
+/// use peepul_types::chat::{Chat, ChatOp, ChatQuery};
 ///
 /// let ts = |t, r| Timestamp::new(t, ReplicaId::new(r));
 /// let lca = Chat::initial();
@@ -42,8 +42,7 @@ pub type ChatValue = LogValue<String>;
 /// let (a, _) = lca.apply(&ChatOp::Send("#rust".into(), "hello from a".into()), ts(1, 1));
 /// let (b, _) = lca.apply(&ChatOp::Send("#rust".into(), "hello from b".into()), ts(2, 2));
 /// let m = Chat::merge(&lca, &a, &b);
-/// let (_, v) = m.apply(&ChatOp::Read("#rust".into()), ts(3, 0));
-/// let LogValue::Entries(msgs) = v else { unreachable!() };
+/// let msgs = m.query(&ChatQuery::Read("#rust".into()));
 /// assert_eq!(msgs.len(), 2);
 /// assert_eq!(msgs[0].1, "hello from b"); // newest first
 /// ```
@@ -74,24 +73,32 @@ impl fmt::Debug for Chat {
     }
 }
 
-/// Translates a chat operation to the composed map-of-logs operation
-/// (Fig. 10).
+/// Translates a chat update to the composed map-of-logs update (Fig. 10).
 fn lower(op: &ChatOp) -> MapOp<MergeableLog<String>> {
     match op {
         ChatOp::Send(ch, m) => MapOp::Set(ch.clone(), LogOp::Append(m.clone())),
-        ChatOp::Read(ch) => MapOp::Get(ch.clone(), LogOp::Read),
+    }
+}
+
+/// Translates a chat query to the composed map-of-logs query (Fig. 10):
+/// `read(ch)` is `get(ch, rd)`.
+fn lower_query(q: &ChatQuery) -> MapQuery<MergeableLog<String>> {
+    match q {
+        ChatQuery::Read(ch) => MapQuery::Get(ch.clone(), LogQuery::Read),
     }
 }
 
 /// Translates a chat abstract execution to the composed one, so the map's
 /// specification and simulation relation can run unchanged.
 fn lower_abs(abs: &AbstractOf<Chat>) -> AbstractOf<MrdtMap<MergeableLog<String>>> {
-    abs.filter_map(|e| Some((lower(e.op()), e.rval().clone())))
+    abs.filter_map(|e| Some((lower(e.op()), *e.rval())))
 }
 
 impl Mrdt for Chat {
     type Op = ChatOp;
-    type Value = ChatValue;
+    type Value = ();
+    type Query = ChatQuery;
+    type Output = Vec<(Timestamp, String)>;
 
     fn initial() -> Self {
         Chat {
@@ -99,9 +106,13 @@ impl Mrdt for Chat {
         }
     }
 
-    fn apply(&self, op: &ChatOp, t: Timestamp) -> (Self, ChatValue) {
+    fn apply(&self, op: &ChatOp, t: Timestamp) -> (Self, ()) {
         let (inner, rval) = self.inner.apply(&lower(op), t);
         (Chat { inner }, rval)
+    }
+
+    fn query(&self, q: &ChatQuery) -> Vec<(Timestamp, String)> {
+        self.inner.query(&lower_query(q))
     }
 
     fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
@@ -121,8 +132,12 @@ impl Mrdt for Chat {
 pub struct ChatSpec;
 
 impl Specification<Chat> for ChatSpec {
-    fn spec(op: &ChatOp, state: &AbstractOf<Chat>) -> ChatValue {
+    fn spec(op: &ChatOp, state: &AbstractOf<Chat>) {
         MapSpec::spec(&lower(op), &lower_abs(state))
+    }
+
+    fn query(q: &ChatQuery, state: &AbstractOf<Chat>) -> Vec<(Timestamp, String)> {
+        MapSpec::query(&lower_query(q), &lower_abs(state))
     }
 }
 
@@ -206,24 +221,26 @@ mod tests {
     fn read_returns_the_log() {
         let c = Chat::initial();
         let (c, _) = c.apply(&send("#x", "m"), ts(1, 0));
-        let (_, v) = c.apply(&ChatOp::Read("#x".into()), ts(2, 0));
-        assert_eq!(v, LogValue::Entries(vec![(ts(1, 0), "m".to_owned())]));
+        assert_eq!(
+            c.query(&ChatQuery::Read("#x".into())),
+            vec![(ts(1, 0), "m".to_owned())]
+        );
     }
 
     #[test]
-    fn spec_reads_through_the_composition() {
+    fn query_spec_reads_through_the_composition() {
         let i = AbstractOf::<Chat>::new()
-            .perform(send("#x", "hello"), ChatValue::Ack, ts(1, 0))
-            .perform(send("#y", "other"), ChatValue::Ack, ts(2, 0));
+            .perform(send("#x", "hello"), (), ts(1, 0))
+            .perform(send("#y", "other"), (), ts(2, 0));
         assert_eq!(
-            ChatSpec::spec(&ChatOp::Read("#x".into()), &i),
-            LogValue::Entries(vec![(ts(1, 0), "hello".to_owned())])
+            ChatSpec::query(&ChatQuery::Read("#x".into()), &i),
+            vec![(ts(1, 0), "hello".to_owned())]
         );
     }
 
     #[test]
     fn simulation_delegates_to_composition() {
-        let i = AbstractOf::<Chat>::new().perform(send("#x", "hello"), ChatValue::Ack, ts(1, 0));
+        let i = AbstractOf::<Chat>::new().perform(send("#x", "hello"), (), ts(1, 0));
         let (good, _) = Chat::initial().apply(&send("#x", "hello"), ts(1, 0));
         assert!(ChatSim::holds(&i, &good));
         assert!(!ChatSim::holds(&i, &Chat::initial()));

@@ -6,22 +6,18 @@
 
 use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
 
-/// Operations of the increment-only counter.
+/// Update operations of the increment-only counter.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum CounterOp {
-    /// Add one to the counter. Returns [`CounterValue::Ack`].
+    /// Add one to the counter.
     Increment,
-    /// Query the current count. Returns [`CounterValue::Count`].
-    Value,
 }
 
-/// Return values of the increment-only counter.
+/// Queries of the increment-only counter.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub enum CounterValue {
-    /// The unit reply `⊥` of an update.
-    Ack,
-    /// The observed count.
-    Count(u64),
+pub enum CounterQuery {
+    /// Observe the current count.
+    Value,
 }
 
 /// Increment-only counter state.
@@ -30,14 +26,14 @@ pub enum CounterValue {
 ///
 /// ```
 /// use peepul_core::{Mrdt, ReplicaId, Timestamp};
-/// use peepul_types::counter::{Counter, CounterOp, CounterValue};
+/// use peepul_types::counter::{Counter, CounterOp, CounterQuery};
 ///
 /// let ts = |t| Timestamp::new(t, ReplicaId::new(0));
 /// let lca = Counter::initial();
 /// let (a, _) = lca.apply(&CounterOp::Increment, ts(1));
 /// let (b, _) = lca.apply(&CounterOp::Increment, ts(2));
 /// let m = Counter::merge(&lca, &a, &b);
-/// assert_eq!(m.count(), 2);
+/// assert_eq!(m.query(&CounterQuery::Value), 2);
 /// ```
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Default, Debug)]
 pub struct Counter(u64);
@@ -51,16 +47,23 @@ impl Counter {
 
 impl Mrdt for Counter {
     type Op = CounterOp;
-    type Value = CounterValue;
+    type Value = ();
+    type Query = CounterQuery;
+    type Output = u64;
 
     fn initial() -> Self {
         Counter(0)
     }
 
-    fn apply(&self, op: &CounterOp, _t: Timestamp) -> (Self, CounterValue) {
+    fn apply(&self, op: &CounterOp, _t: Timestamp) -> (Self, ()) {
         match op {
-            CounterOp::Increment => (Counter(self.0 + 1), CounterValue::Ack),
-            CounterOp::Value => (*self, CounterValue::Count(self.0)),
+            CounterOp::Increment => (Counter(self.0 + 1), ()),
+        }
+    }
+
+    fn query(&self, q: &CounterQuery) -> u64 {
+        match q {
+            CounterQuery::Value => self.0,
         }
     }
 
@@ -71,20 +74,20 @@ impl Mrdt for Counter {
     }
 }
 
-/// Specification `F_ctr`: a read returns the number of visible increments.
+/// Specification `F_ctr`: a value query returns the number of visible
+/// increments.
 #[derive(Debug)]
 pub struct CounterSpec;
 
 impl Specification<Counter> for CounterSpec {
-    fn spec(op: &CounterOp, state: &AbstractOf<Counter>) -> CounterValue {
-        match op {
-            CounterOp::Increment => CounterValue::Ack,
-            CounterOp::Value => CounterValue::Count(
-                state
-                    .events()
-                    .filter(|e| matches!(e.op(), CounterOp::Increment))
-                    .count() as u64,
-            ),
+    fn spec(_op: &CounterOp, _state: &AbstractOf<Counter>) {}
+
+    fn query(q: &CounterQuery, state: &AbstractOf<Counter>) -> u64 {
+        match q {
+            CounterQuery::Value => state
+                .events()
+                .filter(|e| matches!(e.op(), CounterOp::Increment))
+                .count() as u64,
         }
     }
 }
@@ -128,19 +131,18 @@ mod tests {
 
     #[test]
     fn initial_counts_zero() {
-        let (_, v) = Counter::initial().apply(&CounterOp::Value, ts(1));
-        assert_eq!(v, CounterValue::Count(0));
+        assert_eq!(Counter::initial().query(&CounterQuery::Value), 0);
     }
 
     #[test]
     fn increments_accumulate() {
         let mut c = Counter::initial();
         for i in 0..5 {
-            let (next, v) = c.apply(&CounterOp::Increment, ts(i + 1));
-            assert_eq!(v, CounterValue::Ack);
+            let (next, ()) = c.apply(&CounterOp::Increment, ts(i + 1));
             c = next;
         }
         assert_eq!(c.count(), 5);
+        assert_eq!(c.query(&CounterQuery::Value), 5);
     }
 
     #[test]
@@ -168,22 +170,18 @@ mod tests {
     }
 
     #[test]
-    fn spec_counts_visible_increments() {
+    fn query_spec_counts_visible_increments() {
         let i = AbstractOf::<Counter>::new()
-            .perform(CounterOp::Increment, CounterValue::Ack, ts(1))
-            .perform(CounterOp::Value, CounterValue::Count(1), ts(2))
-            .perform(CounterOp::Increment, CounterValue::Ack, ts(3));
-        assert_eq!(
-            CounterSpec::spec(&CounterOp::Value, &i),
-            CounterValue::Count(2)
-        );
+            .perform(CounterOp::Increment, (), ts(1))
+            .perform(CounterOp::Increment, (), ts(2));
+        assert_eq!(CounterSpec::query(&CounterQuery::Value, &i), 2);
     }
 
     #[test]
     fn simulation_relates_count_to_events() {
         let i = AbstractOf::<Counter>::new()
-            .perform(CounterOp::Increment, CounterValue::Ack, ts(1))
-            .perform(CounterOp::Increment, CounterValue::Ack, ts(2));
+            .perform(CounterOp::Increment, (), ts(1))
+            .perform(CounterOp::Increment, (), ts(2));
         assert!(CounterSim::holds(&i, &Counter(2)));
         assert!(!CounterSim::holds(&i, &Counter(1)));
         assert!(CounterSim::explain_failure(&i, &Counter(1)).is_some());

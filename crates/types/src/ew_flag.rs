@@ -16,24 +16,20 @@
 use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
 use std::collections::BTreeSet;
 
-/// Operations of the enable-wins flag.
+/// Update operations of the enable-wins flag.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum EwFlagOp {
-    /// Set the flag. Returns [`EwFlagValue::Ack`].
+    /// Set the flag.
     Enable,
-    /// Clear the flag. Returns [`EwFlagValue::Ack`].
+    /// Clear the flag.
     Disable,
-    /// Query the flag. Returns [`EwFlagValue::State`].
-    Read,
 }
 
-/// Return values of the enable-wins flag.
+/// Queries of the enable-wins flag.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub enum EwFlagValue {
-    /// The unit reply `⊥` of an update.
-    Ack,
-    /// The observed flag state.
-    State(bool),
+pub enum EwFlagQuery {
+    /// Observe the flag state.
+    Read,
 }
 
 /// An enable event is *live* in `abs` when no disable event observed it.
@@ -60,7 +56,7 @@ fn live_enables(abs: &AbstractOf<EwFlag>) -> BTreeSet<Timestamp> {
 ///
 /// ```
 /// use peepul_core::{Mrdt, ReplicaId, Timestamp};
-/// use peepul_types::ew_flag::{EwFlag, EwFlagOp, EwFlagValue};
+/// use peepul_types::ew_flag::{EwFlag, EwFlagOp};
 ///
 /// let ts = |t| Timestamp::new(t, ReplicaId::new(0));
 /// let lca = {
@@ -93,21 +89,28 @@ impl EwFlag {
 
 impl Mrdt for EwFlag {
     type Op = EwFlagOp;
-    type Value = EwFlagValue;
+    type Value = ();
+    type Query = EwFlagQuery;
+    type Output = bool;
 
     fn initial() -> Self {
         EwFlag::default()
     }
 
-    fn apply(&self, op: &EwFlagOp, t: Timestamp) -> (Self, EwFlagValue) {
+    fn apply(&self, op: &EwFlagOp, t: Timestamp) -> (Self, ()) {
         match op {
             EwFlagOp::Enable => {
                 let mut next = self.clone();
                 next.tokens.insert(t);
-                (next, EwFlagValue::Ack)
+                (next, ())
             }
-            EwFlagOp::Disable => (EwFlag::default(), EwFlagValue::Ack),
-            EwFlagOp::Read => (self.clone(), EwFlagValue::State(self.enabled())),
+            EwFlagOp::Disable => (EwFlag::default(), ()),
+        }
+    }
+
+    fn query(&self, q: &EwFlagQuery) -> bool {
+        match q {
+            EwFlagQuery::Read => self.enabled(),
         }
     }
 
@@ -131,10 +134,11 @@ impl Mrdt for EwFlag {
 pub struct EwFlagSpec;
 
 impl Specification<EwFlag> for EwFlagSpec {
-    fn spec(op: &EwFlagOp, state: &AbstractOf<EwFlag>) -> EwFlagValue {
-        match op {
-            EwFlagOp::Enable | EwFlagOp::Disable => EwFlagValue::Ack,
-            EwFlagOp::Read => EwFlagValue::State(!live_enables(state).is_empty()),
+    fn spec(_op: &EwFlagOp, _state: &AbstractOf<EwFlag>) {}
+
+    fn query(q: &EwFlagQuery, state: &AbstractOf<EwFlag>) -> bool {
+        match q {
+            EwFlagQuery::Read => !live_enables(state).is_empty(),
         }
     }
 }
@@ -193,17 +197,24 @@ impl EwFlagSpace {
 
 impl Mrdt for EwFlagSpace {
     type Op = EwFlagOp;
-    type Value = EwFlagValue;
+    type Value = ();
+    type Query = EwFlagQuery;
+    type Output = bool;
 
     fn initial() -> Self {
         EwFlagSpace::default()
     }
 
-    fn apply(&self, op: &EwFlagOp, t: Timestamp) -> (Self, EwFlagValue) {
+    fn apply(&self, op: &EwFlagOp, t: Timestamp) -> (Self, ()) {
         match op {
-            EwFlagOp::Enable => (EwFlagSpace { token: Some(t) }, EwFlagValue::Ack),
-            EwFlagOp::Disable => (EwFlagSpace { token: None }, EwFlagValue::Ack),
-            EwFlagOp::Read => (*self, EwFlagValue::State(self.enabled())),
+            EwFlagOp::Enable => (EwFlagSpace { token: Some(t) }, ()),
+            EwFlagOp::Disable => (EwFlagSpace { token: None }, ()),
+        }
+    }
+
+    fn query(&self, q: &EwFlagQuery) -> bool {
+        match q {
+            EwFlagQuery::Read => self.enabled(),
         }
     }
 
@@ -231,10 +242,11 @@ impl Mrdt for EwFlagSpace {
 pub struct EwFlagSpaceSpec;
 
 impl Specification<EwFlagSpace> for EwFlagSpaceSpec {
-    fn spec(op: &EwFlagOp, state: &AbstractOf<EwFlagSpace>) -> EwFlagValue {
-        match op {
-            EwFlagOp::Enable | EwFlagOp::Disable => EwFlagValue::Ack,
-            EwFlagOp::Read => EwFlagValue::State(!live_enables_space(state).is_empty()),
+    fn spec(_op: &EwFlagOp, _state: &AbstractOf<EwFlagSpace>) {}
+
+    fn query(q: &EwFlagQuery, state: &AbstractOf<EwFlagSpace>) -> bool {
+        match q {
+            EwFlagQuery::Read => !live_enables_space(state).is_empty(),
         }
     }
 }
@@ -365,24 +377,18 @@ mod tests {
     }
 
     #[test]
-    fn spec_read_is_live_enable_existence() {
+    fn query_spec_is_live_enable_existence() {
         let i = AbstractOf::<EwFlag>::new()
-            .perform(EwFlagOp::Enable, EwFlagValue::Ack, ts(1))
-            .perform(EwFlagOp::Disable, EwFlagValue::Ack, ts(2));
-        assert_eq!(
-            EwFlagSpec::spec(&EwFlagOp::Read, &i),
-            EwFlagValue::State(false)
-        );
-        let i = i.perform(EwFlagOp::Enable, EwFlagValue::Ack, ts(3));
-        assert_eq!(
-            EwFlagSpec::spec(&EwFlagOp::Read, &i),
-            EwFlagValue::State(true)
-        );
+            .perform(EwFlagOp::Enable, (), ts(1))
+            .perform(EwFlagOp::Disable, (), ts(2));
+        assert!(!EwFlagSpec::query(&EwFlagQuery::Read, &i));
+        let i = i.perform(EwFlagOp::Enable, (), ts(3));
+        assert!(EwFlagSpec::query(&EwFlagQuery::Read, &i));
     }
 
     #[test]
     fn simulation_tracks_live_tokens() {
-        let i = AbstractOf::<EwFlag>::new().perform(EwFlagOp::Enable, EwFlagValue::Ack, ts(1));
+        let i = AbstractOf::<EwFlag>::new().perform(EwFlagOp::Enable, (), ts(1));
         let mut conc = EwFlag::default();
         conc.tokens.insert(ts(1));
         assert!(EwFlagSim::holds(&i, &conc));
@@ -391,9 +397,8 @@ mod tests {
 
     #[test]
     fn space_simulation_requires_greatest_live_token() {
-        let i =
-            AbstractOf::<EwFlagSpace>::new().perform(EwFlagOp::Enable, EwFlagValue::Ack, tsr(1, 1));
-        let i = i.perform(EwFlagOp::Enable, EwFlagValue::Ack, tsr(2, 2));
+        let i = AbstractOf::<EwFlagSpace>::new().perform(EwFlagOp::Enable, (), tsr(1, 1));
+        let i = i.perform(EwFlagOp::Enable, (), tsr(2, 2));
         assert!(EwFlagSpaceSim::holds(
             &i,
             &EwFlagSpace {

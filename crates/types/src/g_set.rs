@@ -11,19 +11,22 @@ use std::fmt;
 /// Operations of the grow-only set over elements `T`.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum GSetOp<T> {
-    /// Insert an element. Returns [`GSetValue::Ack`].
+    /// Insert an element.
     Add(T),
-    /// Membership test. Returns [`GSetValue::Present`].
+}
+
+/// Queries of the grow-only set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GSetQuery<T> {
+    /// Membership test. Answered by [`GSetOutput::Present`].
     Lookup(T),
-    /// Query the whole set. Returns [`GSetValue::Elements`].
+    /// Observe the whole set. Answered by [`GSetOutput::Elements`].
     Read,
 }
 
-/// Return values of the grow-only set.
+/// Query answers of the grow-only set.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub enum GSetValue<T> {
-    /// The unit reply `⊥` of an update.
-    Ack,
+pub enum GSetOutput<T> {
     /// Result of a membership test.
     Present(bool),
     /// The observed contents, in element order.
@@ -36,7 +39,7 @@ pub enum GSetValue<T> {
 ///
 /// ```
 /// use peepul_core::{Mrdt, ReplicaId, Timestamp};
-/// use peepul_types::g_set::{GSet, GSetOp, GSetValue};
+/// use peepul_types::g_set::{GSet, GSetOp};
 ///
 /// let ts = |t| Timestamp::new(t, ReplicaId::new(0));
 /// let lca: GSet<u32> = GSet::initial();
@@ -80,7 +83,9 @@ impl<T: fmt::Debug> fmt::Debug for GSet<T> {
 
 impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for GSet<T> {
     type Op = GSetOp<T>;
-    type Value = GSetValue<T>;
+    type Value = ();
+    type Query = GSetQuery<T>;
+    type Output = GSetOutput<T>;
 
     fn initial() -> Self {
         GSet {
@@ -88,18 +93,20 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for GSet<T>
         }
     }
 
-    fn apply(&self, op: &GSetOp<T>, _t: Timestamp) -> (Self, GSetValue<T>) {
+    fn apply(&self, op: &GSetOp<T>, _t: Timestamp) -> (Self, ()) {
         match op {
             GSetOp::Add(x) => {
                 let mut next = self.clone();
                 next.elems.insert(x.clone());
-                (next, GSetValue::Ack)
+                (next, ())
             }
-            GSetOp::Lookup(x) => (self.clone(), GSetValue::Present(self.contains(x))),
-            GSetOp::Read => (
-                self.clone(),
-                GSetValue::Elements(self.elems.iter().cloned().collect()),
-            ),
+        }
+    }
+
+    fn query(&self, q: &GSetQuery<T>) -> GSetOutput<T> {
+        match q {
+            GSetQuery::Lookup(x) => GSetOutput::Present(self.contains(x)),
+            GSetQuery::Read => GSetOutput::Elements(self.elems.iter().cloned().collect()),
         }
     }
 
@@ -118,20 +125,20 @@ pub struct GSetSpec;
 impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<GSet<T>>
     for GSetSpec
 {
-    fn spec(op: &GSetOp<T>, state: &AbstractOf<GSet<T>>) -> GSetValue<T> {
+    fn spec(_op: &GSetOp<T>, _state: &AbstractOf<GSet<T>>) {}
+
+    fn query(q: &GSetQuery<T>, state: &AbstractOf<GSet<T>>) -> GSetOutput<T> {
         let added = || {
             state
                 .events()
-                .filter_map(|e| match e.op() {
-                    GSetOp::Add(x) => Some(x.clone()),
-                    _ => None,
+                .map(|e| match e.op() {
+                    GSetOp::Add(x) => x.clone(),
                 })
                 .collect::<BTreeSet<_>>()
         };
-        match op {
-            GSetOp::Add(_) => GSetValue::Ack,
-            GSetOp::Lookup(x) => GSetValue::Present(added().contains(x)),
-            GSetOp::Read => GSetValue::Elements(added().into_iter().collect()),
+        match q {
+            GSetQuery::Lookup(x) => GSetOutput::Present(added().contains(x)),
+            GSetQuery::Read => GSetOutput::Elements(added().into_iter().collect()),
         }
     }
 }
@@ -147,9 +154,8 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelati
     fn holds(abs: &AbstractOf<GSet<T>>, conc: &GSet<T>) -> bool {
         let added: BTreeSet<T> = abs
             .events()
-            .filter_map(|e| match e.op() {
-                GSetOp::Add(x) => Some(x.clone()),
-                _ => None,
+            .map(|e| match e.op() {
+                GSetOp::Add(x) => x.clone(),
             })
             .collect();
         conc.elems == added
@@ -182,12 +188,9 @@ mod tests {
     fn lookup_and_read_agree() {
         let s: GSet<u32> = GSet::initial();
         let (s, _) = s.apply(&GSetOp::Add(7), ts(1));
-        let (_, hit) = s.apply(&GSetOp::Lookup(7), ts(2));
-        let (_, miss) = s.apply(&GSetOp::Lookup(8), ts(3));
-        assert_eq!(hit, GSetValue::Present(true));
-        assert_eq!(miss, GSetValue::Present(false));
-        let (_, all) = s.apply(&GSetOp::Read, ts(4));
-        assert_eq!(all, GSetValue::Elements(vec![7]));
+        assert_eq!(s.query(&GSetQuery::Lookup(7)), GSetOutput::Present(true));
+        assert_eq!(s.query(&GSetQuery::Lookup(8)), GSetOutput::Present(false));
+        assert_eq!(s.query(&GSetQuery::Read), GSetOutput::Elements(vec![7]));
     }
 
     #[test]
@@ -210,23 +213,23 @@ mod tests {
     }
 
     #[test]
-    fn spec_collects_all_adds() {
+    fn query_spec_collects_all_adds() {
         let i = AbstractOf::<GSet<u32>>::new()
-            .perform(GSetOp::Add(2), GSetValue::Ack, ts(1))
-            .perform(GSetOp::Add(1), GSetValue::Ack, ts(2));
+            .perform(GSetOp::Add(2), (), ts(1))
+            .perform(GSetOp::Add(1), (), ts(2));
         assert_eq!(
-            GSetSpec::spec(&GSetOp::Read, &i),
-            GSetValue::Elements(vec![1, 2])
+            GSetSpec::query(&GSetQuery::Read, &i),
+            GSetOutput::Elements(vec![1, 2])
         );
         assert_eq!(
-            GSetSpec::spec(&GSetOp::Lookup(2), &i),
-            GSetValue::Present(true)
+            GSetSpec::query(&GSetQuery::Lookup(2), &i),
+            GSetOutput::Present(true)
         );
     }
 
     #[test]
     fn simulation_matches_adds() {
-        let i = AbstractOf::<GSet<u32>>::new().perform(GSetOp::Add(5), GSetValue::Ack, ts(1));
+        let i = AbstractOf::<GSet<u32>>::new().perform(GSetOp::Add(5), (), ts(1));
         let (conc, _) = GSet::<u32>::initial().apply(&GSetOp::Add(5), ts(1));
         assert!(GSetSim::holds(&i, &conc));
         assert!(!GSetSim::holds(&i, &GSet::initial()));

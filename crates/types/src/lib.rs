@@ -34,7 +34,7 @@
 //!
 //! ```
 //! use peepul_core::{Mrdt, ReplicaId, Timestamp};
-//! use peepul_types::or_set_space::{OrSetSpace, OrSetOp, OrSetValue};
+//! use peepul_types::or_set_space::{OrSetSpace, OrSetOp, OrSetOutput, OrSetQuery};
 //!
 //! let ts = |tick| Timestamp::new(tick, ReplicaId::new(0));
 //!
@@ -44,8 +44,8 @@
 //! let (b, _) = lca.apply(&OrSetOp::Add("beet"), ts(2));
 //!
 //! let merged = OrSetSpace::merge(&lca, &a, &b);
-//! let (_, v) = merged.apply(&OrSetOp::Read, ts(3));
-//! assert_eq!(v, OrSetValue::Elements(vec!["apple", "beet"]));
+//! let v = merged.query(&OrSetQuery::Read);
+//! assert_eq!(v, OrSetOutput::Elements(vec!["apple", "beet"]));
 //! ```
 
 #![forbid(unsafe_code)]

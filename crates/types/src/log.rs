@@ -19,19 +19,15 @@ use std::fmt;
 /// Operations of the mergeable log over messages `M`.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum LogOp<M> {
-    /// Append a message. Returns [`LogValue::Ack`].
+    /// Append a message.
     Append(M),
-    /// Query the whole log. Returns [`LogValue::Entries`].
-    Read,
 }
 
-/// Return values of the mergeable log.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum LogValue<M> {
-    /// The unit reply `⊥` of an update.
-    Ack,
-    /// The log contents, most recent first.
-    Entries(Vec<(Timestamp, M)>),
+/// Queries of the mergeable log.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LogQuery {
+    /// Observe the whole log, most recent first.
+    Read,
 }
 
 /// Mergeable log state: `(timestamp, message)` entries, newest first.
@@ -85,7 +81,9 @@ impl<M: fmt::Debug> fmt::Debug for MergeableLog<M> {
 
 impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for MergeableLog<M> {
     type Op = LogOp<M>;
-    type Value = LogValue<M>;
+    type Value = ();
+    type Query = LogQuery;
+    type Output = Vec<(Timestamp, M)>;
 
     fn initial() -> Self {
         MergeableLog {
@@ -93,7 +91,7 @@ impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for Mergeab
         }
     }
 
-    fn apply(&self, op: &LogOp<M>, t: Timestamp) -> (Self, LogValue<M>) {
+    fn apply(&self, op: &LogOp<M>, t: Timestamp) -> (Self, ()) {
         match op {
             LogOp::Append(m) => {
                 debug_assert!(
@@ -102,12 +100,14 @@ impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for Mergeab
                 );
                 let mut next = self.clone();
                 next.entries.push_front((t, m.clone()));
-                (next, LogValue::Ack)
+                (next, ())
             }
-            LogOp::Read => (
-                self.clone(),
-                LogValue::Entries(self.entries.iter().cloned().collect()),
-            ),
+        }
+    }
+
+    fn query(&self, q: &LogQuery) -> Vec<(Timestamp, M)> {
+        match q {
+            LogQuery::Read => self.entries.iter().cloned().collect(),
         }
     }
 
@@ -142,19 +142,19 @@ pub struct LogSpec;
 impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<MergeableLog<M>>
     for LogSpec
 {
-    fn spec(op: &LogOp<M>, state: &AbstractOf<MergeableLog<M>>) -> LogValue<M> {
-        match op {
-            LogOp::Append(_) => LogValue::Ack,
-            LogOp::Read => {
+    fn spec(_op: &LogOp<M>, _state: &AbstractOf<MergeableLog<M>>) {}
+
+    fn query(q: &LogQuery, state: &AbstractOf<MergeableLog<M>>) -> Vec<(Timestamp, M)> {
+        match q {
+            LogQuery::Read => {
                 let mut entries: Vec<(Timestamp, M)> = state
                     .events()
-                    .filter_map(|e| match e.op() {
-                        LogOp::Append(m) => Some((e.time(), m.clone())),
-                        LogOp::Read => None,
+                    .map(|e| match e.op() {
+                        LogOp::Append(m) => (e.time(), m.clone()),
                     })
                     .collect();
                 entries.sort_by(|(t1, _), (t2, _)| t2.cmp(t1));
-                LogValue::Entries(entries)
+                entries
             }
         }
     }
@@ -171,9 +171,8 @@ impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelati
     fn holds(abs: &AbstractOf<MergeableLog<M>>, conc: &MergeableLog<M>) -> bool {
         let mut appended: Vec<(Timestamp, M)> = abs
             .events()
-            .filter_map(|e| match e.op() {
-                LogOp::Append(m) => Some((e.time(), m.clone())),
-                LogOp::Read => None,
+            .map(|e| match e.op() {
+                LogOp::Append(m) => (e.time(), m.clone()),
             })
             .collect();
         appended.sort_by(|(t1, _), (t2, _)| t2.cmp(t1));
@@ -215,10 +214,9 @@ mod tests {
         let (l, _) = l.apply(&LogOp::Append("one"), ts(1, 0));
         let (l, _) = l.apply(&LogOp::Append("two"), ts(2, 0));
         assert_eq!(l.latest(), Some(&(ts(2, 0), "two")));
-        let (_, v) = l.apply(&LogOp::Read, ts(3, 0));
         assert_eq!(
-            v,
-            LogValue::Entries(vec![(ts(2, 0), "two"), (ts(1, 0), "one")])
+            l.query(&LogQuery::Read),
+            vec![(ts(2, 0), "two"), (ts(1, 0), "one")]
         );
     }
 
@@ -265,21 +263,21 @@ mod tests {
     }
 
     #[test]
-    fn spec_orders_all_appends() {
+    fn query_spec_orders_all_appends() {
         let i = AbstractOf::<MergeableLog<&str>>::new()
-            .perform(LogOp::Append("x"), LogValue::Ack, ts(1, 0))
-            .perform(LogOp::Append("y"), LogValue::Ack, ts(2, 0));
+            .perform(LogOp::Append("x"), (), ts(1, 0))
+            .perform(LogOp::Append("y"), (), ts(2, 0));
         assert_eq!(
-            LogSpec::spec(&LogOp::Read, &i),
-            LogValue::Entries(vec![(ts(2, 0), "y"), (ts(1, 0), "x")])
+            LogSpec::query(&LogQuery::Read, &i),
+            vec![(ts(2, 0), "y"), (ts(1, 0), "x")]
         );
     }
 
     #[test]
     fn simulation_rejects_misordered_log() {
         let i = AbstractOf::<MergeableLog<&str>>::new()
-            .perform(LogOp::Append("x"), LogValue::Ack, ts(1, 0))
-            .perform(LogOp::Append("y"), LogValue::Ack, ts(2, 0));
+            .perform(LogOp::Append("x"), (), ts(1, 0))
+            .perform(LogOp::Append("y"), (), ts(2, 0));
         let mut bad: MergeableLog<&str> = MergeableLog::initial();
         bad.entries.push_back((ts(1, 0), "x"));
         bad.entries.push_back((ts(2, 0), "y")); // oldest-first: wrong

@@ -11,19 +11,15 @@ use std::fmt;
 /// Operations of the LWW register over values `T`.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum LwwOp<T> {
-    /// Overwrite the register. Returns [`LwwValue::Ack`].
+    /// Overwrite the register.
     Write(T),
-    /// Query the register. Returns [`LwwValue::Contents`].
-    Read,
 }
 
-/// Return values of the LWW register.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum LwwValue<T> {
-    /// The unit reply `⊥` of an update.
-    Ack,
-    /// The observed contents; `None` when never written.
-    Contents(Option<T>),
+/// Queries of the LWW register.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LwwQuery {
+    /// Observe the contents (`None` when never written).
+    Read,
 }
 
 /// Last-writer-wins register state.
@@ -32,7 +28,7 @@ pub enum LwwValue<T> {
 ///
 /// ```
 /// use peepul_core::{Mrdt, ReplicaId, Timestamp};
-/// use peepul_types::lww_register::{LwwRegister, LwwOp, LwwValue};
+/// use peepul_types::lww_register::{LwwRegister, LwwOp};
 ///
 /// let lca: LwwRegister<&str> = LwwRegister::initial();
 /// let (a, _) = lca.apply(&LwwOp::Write("alpha"), Timestamp::new(1, ReplicaId::new(1)));
@@ -67,7 +63,9 @@ impl<T: fmt::Debug> fmt::Debug for LwwRegister<T> {
 
 impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for LwwRegister<T> {
     type Op = LwwOp<T>;
-    type Value = LwwValue<T>;
+    type Value = ();
+    type Query = LwwQuery;
+    type Output = Option<T>;
 
     fn initial() -> Self {
         LwwRegister {
@@ -76,16 +74,21 @@ impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for LwwRegister<T
         }
     }
 
-    fn apply(&self, op: &LwwOp<T>, t: Timestamp) -> (Self, LwwValue<T>) {
+    fn apply(&self, op: &LwwOp<T>, t: Timestamp) -> (Self, ()) {
         match op {
             LwwOp::Write(v) => (
                 LwwRegister {
                     value: Some(v.clone()),
                     time: t,
                 },
-                LwwValue::Ack,
+                (),
             ),
-            LwwOp::Read => (self.clone(), LwwValue::Contents(self.value.clone())),
+        }
+    }
+
+    fn query(&self, q: &LwwQuery) -> Option<T> {
+        match q {
+            LwwQuery::Read => self.value.clone(),
         }
     }
 
@@ -108,10 +111,11 @@ pub struct LwwSpec;
 impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<LwwRegister<T>>
     for LwwSpec
 {
-    fn spec(op: &LwwOp<T>, state: &AbstractOf<LwwRegister<T>>) -> LwwValue<T> {
-        match op {
-            LwwOp::Write(_) => LwwValue::Ack,
-            LwwOp::Read => LwwValue::Contents(latest_write(state).map(|(_, v)| v)),
+    fn spec(_op: &LwwOp<T>, _state: &AbstractOf<LwwRegister<T>>) {}
+
+    fn query(q: &LwwQuery, state: &AbstractOf<LwwRegister<T>>) -> Option<T> {
+        match q {
+            LwwQuery::Read => latest_write(state).map(|(_, v)| v),
         }
     }
 }
@@ -121,9 +125,8 @@ fn latest_write<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
 ) -> Option<(Timestamp, T)> {
     state
         .events()
-        .filter_map(|e| match e.op() {
-            LwwOp::Write(v) => Some((e.time(), v.clone())),
-            LwwOp::Read => None,
+        .map(|e| match e.op() {
+            LwwOp::Write(v) => (e.time(), v.clone()),
         })
         .max_by_key(|(t, _)| *t)
 }
@@ -173,8 +176,7 @@ mod tests {
     fn starts_unwritten() {
         let r: LwwRegister<u32> = LwwRegister::initial();
         assert_eq!(r.get(), None);
-        let (_, v) = r.apply(&LwwOp::Read, ts(1, 0));
-        assert_eq!(v, LwwValue::Contents(None));
+        assert_eq!(r.query(&LwwQuery::Read), None);
     }
 
     #[test]
@@ -219,17 +221,16 @@ mod tests {
     }
 
     #[test]
-    fn spec_returns_latest_visible_write() {
+    fn query_spec_returns_latest_visible_write() {
         let i = AbstractOf::<LwwRegister<u32>>::new()
-            .perform(LwwOp::Write(1), LwwValue::Ack, ts(1, 0))
-            .perform(LwwOp::Write(2), LwwValue::Ack, ts(2, 0));
-        assert_eq!(LwwSpec::spec(&LwwOp::Read, &i), LwwValue::Contents(Some(2)));
+            .perform(LwwOp::Write(1), (), ts(1, 0))
+            .perform(LwwOp::Write(2), (), ts(2, 0));
+        assert_eq!(LwwSpec::query(&LwwQuery::Read, &i), Some(2));
     }
 
     #[test]
     fn simulation_checks_value_and_time() {
-        let i =
-            AbstractOf::<LwwRegister<u32>>::new().perform(LwwOp::Write(1), LwwValue::Ack, ts(1, 0));
+        let i = AbstractOf::<LwwRegister<u32>>::new().perform(LwwOp::Write(1), (), ts(1, 0));
         let (good, _) = LwwRegister::<u32>::initial().apply(&LwwOp::Write(1), ts(1, 0));
         assert!(LwwSim::holds(&i, &good));
         let (stale_time, _) = LwwRegister::<u32>::initial().apply(&LwwOp::Write(1), ts(9, 0));

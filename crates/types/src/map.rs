@@ -18,31 +18,29 @@ use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// Operations of the α-map over a nested MRDT `V`.
+/// Update operations of the α-map over a nested MRDT `V`.
 ///
-/// Both variants fetch the value at the key (the nested initial state when
-/// the key is absent) and apply the nested operation to it; `Set` stores
-/// the updated value back, `Get` discards it. Both return the nested
-/// operation's return value.
+/// `Set` fetches the value at the key (the nested initial state when the
+/// key is absent), applies the nested update to it and stores the result,
+/// returning the nested update's return value. Pure observations go through
+/// [`MapQuery`] instead.
 pub enum MapOp<V: Mrdt> {
     /// Apply a nested update at a key, storing the result.
     Set(String, V::Op),
-    /// Apply a nested query at a key, discarding any state change.
-    Get(String, V::Op),
 }
 
 impl<V: Mrdt> MapOp<V> {
     /// The addressed key.
     pub fn key(&self) -> &str {
         match self {
-            MapOp::Set(k, _) | MapOp::Get(k, _) => k,
+            MapOp::Set(k, _) => k,
         }
     }
 
     /// The nested operation.
     pub fn nested(&self) -> &V::Op {
         match self {
-            MapOp::Set(_, o) | MapOp::Get(_, o) => o,
+            MapOp::Set(_, o) => o,
         }
     }
 }
@@ -53,7 +51,6 @@ impl<V: Mrdt> Clone for MapOp<V> {
     fn clone(&self) -> Self {
         match self {
             MapOp::Set(k, o) => MapOp::Set(k.clone(), o.clone()),
-            MapOp::Get(k, o) => MapOp::Get(k.clone(), o.clone()),
         }
     }
 }
@@ -62,7 +59,6 @@ impl<V: Mrdt> fmt::Debug for MapOp<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MapOp::Set(k, o) => write!(f, "set({k:?}, {o:?})"),
-            MapOp::Get(k, o) => write!(f, "get({k:?}, {o:?})"),
         }
     }
 }
@@ -74,8 +70,47 @@ where
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (MapOp::Set(k1, o1), MapOp::Set(k2, o2)) => k1 == k2 && o1 == o2,
-            (MapOp::Get(k1, o1), MapOp::Get(k2, o2)) => k1 == k2 && o1 == o2,
-            _ => false,
+        }
+    }
+}
+
+/// Queries of the α-map: a nested query routed to one key.
+///
+/// The addressed key's value — or the nested initial state when the key is
+/// absent — answers the nested query; the map itself is never changed.
+pub enum MapQuery<V: Mrdt> {
+    /// Ask a nested query at a key.
+    Get(String, V::Query),
+}
+
+impl<V: Mrdt> MapQuery<V> {
+    /// The addressed key.
+    pub fn key(&self) -> &str {
+        match self {
+            MapQuery::Get(k, _) => k,
+        }
+    }
+
+    /// The nested query.
+    pub fn nested(&self) -> &V::Query {
+        match self {
+            MapQuery::Get(_, q) => q,
+        }
+    }
+}
+
+impl<V: Mrdt> Clone for MapQuery<V> {
+    fn clone(&self) -> Self {
+        match self {
+            MapQuery::Get(k, q) => MapQuery::Get(k.clone(), q.clone()),
+        }
+    }
+}
+
+impl<V: Mrdt> fmt::Debug for MapQuery<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapQuery::Get(k, q) => write!(f, "get({k:?}, {q:?})"),
         }
     }
 }
@@ -86,14 +121,13 @@ where
 ///
 /// ```
 /// use peepul_core::{Mrdt, ReplicaId, Timestamp};
-/// use peepul_types::counter::{Counter, CounterOp, CounterValue};
-/// use peepul_types::map::{MapOp, MrdtMap};
+/// use peepul_types::counter::{Counter, CounterOp, CounterQuery};
+/// use peepul_types::map::{MapOp, MapQuery, MrdtMap};
 ///
 /// let ts = |t| Timestamp::new(t, ReplicaId::new(0));
 /// let m: MrdtMap<Counter> = MrdtMap::initial();
 /// let (m, _) = m.apply(&MapOp::Set("hits".into(), CounterOp::Increment), ts(1));
-/// let (_, v) = m.apply(&MapOp::Get("hits".into(), CounterOp::Value), ts(2));
-/// assert_eq!(v, CounterValue::Count(1));
+/// assert_eq!(m.query(&MapQuery::Get("hits".into(), CounterQuery::Value)), 1);
 /// ```
 pub struct MrdtMap<V> {
     entries: BTreeMap<String, V>,
@@ -169,6 +203,8 @@ impl<V: Mrdt> Default for MrdtMap<V> {
 impl<V: Mrdt> Mrdt for MrdtMap<V> {
     type Op = MapOp<V>;
     type Value = V::Value;
+    type Query = MapQuery<V>;
+    type Output = V::Output;
 
     fn initial() -> Self {
         MrdtMap::default()
@@ -182,8 +218,13 @@ impl<V: Mrdt> Mrdt for MrdtMap<V> {
                 next.entries.insert(k.clone(), nested_next);
                 (next, rval)
             }
-            MapOp::Get(_, _) => (self.clone(), rval),
         }
+    }
+
+    fn query(&self, q: &MapQuery<V>) -> V::Output {
+        // `δ(σ, k)` answers: the bound value, or the nested initial state
+        // for an absent key (so unknown keys report "empty", not an error).
+        self.value_or_initial(q.key()).query(q.nested())
     }
 
     fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
@@ -224,7 +265,7 @@ impl<V: Mrdt> Mrdt for MrdtMap<V> {
 pub fn project<V: Mrdt>(key: &str, abs: &AbstractOf<MrdtMap<V>>) -> AbstractOf<V> {
     abs.filter_map(|e| match e.op() {
         MapOp::Set(k, o) if k == key => Some((o.clone(), e.rval().clone())),
-        _ => None,
+        MapOp::Set(_, _) => None,
     })
 }
 
@@ -238,6 +279,10 @@ impl<V: Certified> Specification<MrdtMap<V>> for MapSpec {
     fn spec(op: &MapOp<V>, state: &AbstractOf<MrdtMap<V>>) -> V::Value {
         V::Spec::spec(op.nested(), &project(op.key(), state))
     }
+
+    fn query(q: &MapQuery<V>, state: &AbstractOf<MrdtMap<V>>) -> V::Output {
+        V::Spec::query(q.nested(), &project(q.key(), state))
+    }
 }
 
 /// Simulation relation of the α-map (§5.3): a key is present iff some
@@ -250,9 +295,8 @@ impl<V: Certified> SimulationRelation<MrdtMap<V>> for MapSim {
     fn holds(abs: &AbstractOf<MrdtMap<V>>, conc: &MrdtMap<V>) -> bool {
         let set_keys: BTreeSet<String> = abs
             .events()
-            .filter_map(|e| match e.op() {
-                MapOp::Set(k, _) => Some(k.clone()),
-                MapOp::Get(_, _) => None,
+            .map(|e| match e.op() {
+                MapOp::Set(k, _) => k.clone(),
             })
             .collect();
         if conc.entries.keys().cloned().collect::<BTreeSet<_>>() != set_keys {
@@ -266,9 +310,8 @@ impl<V: Certified> SimulationRelation<MrdtMap<V>> for MapSim {
     fn explain_failure(abs: &AbstractOf<MrdtMap<V>>, conc: &MrdtMap<V>) -> Option<String> {
         let set_keys: BTreeSet<String> = abs
             .events()
-            .filter_map(|e| match e.op() {
-                MapOp::Set(k, _) => Some(k.clone()),
-                MapOp::Get(_, _) => None,
+            .map(|e| match e.op() {
+                MapOp::Set(k, _) => k.clone(),
             })
             .collect();
         let conc_keys: BTreeSet<String> = conc.entries.keys().cloned().collect();
@@ -298,8 +341,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::counter::{Counter, CounterOp, CounterValue};
-    use crate::g_set::{GSet, GSetOp, GSetValue};
+    use crate::counter::{Counter, CounterOp, CounterQuery};
+    use crate::g_set::{GSet, GSetOp, GSetOutput, GSetQuery};
     use peepul_core::ReplicaId;
 
     fn ts(tick: u64, r: u32) -> Timestamp {
@@ -310,15 +353,14 @@ mod tests {
         MapOp::Set(k.to_owned(), o)
     }
 
-    fn get(k: &str, o: CounterOp) -> MapOp<Counter> {
-        MapOp::Get(k.to_owned(), o)
+    fn get(k: &str) -> MapQuery<Counter> {
+        MapQuery::Get(k.to_owned(), CounterQuery::Value)
     }
 
     #[test]
     fn set_creates_key_get_does_not() {
         let m: MrdtMap<Counter> = MrdtMap::initial();
-        let (m, v) = m.apply(&get("a", CounterOp::Value), ts(1, 0));
-        assert_eq!(v, CounterValue::Count(0));
+        assert_eq!(m.query(&get("a")), 0);
         assert!(!m.contains_key("a"));
         let (m, _) = m.apply(&set("a", CounterOp::Increment), ts(2, 0));
         assert!(m.contains_key("a"));
@@ -330,10 +372,8 @@ mod tests {
         let (m, _) = m.apply(&set("a", CounterOp::Increment), ts(1, 0));
         let (m, _) = m.apply(&set("a", CounterOp::Increment), ts(2, 0));
         let (m, _) = m.apply(&set("b", CounterOp::Increment), ts(3, 0));
-        let (_, va) = m.apply(&get("a", CounterOp::Value), ts(4, 0));
-        let (_, vb) = m.apply(&get("b", CounterOp::Value), ts(5, 0));
-        assert_eq!(va, CounterValue::Count(2));
-        assert_eq!(vb, CounterValue::Count(1));
+        assert_eq!(m.query(&get("a")), 2);
+        assert_eq!(m.query(&get("b")), 1);
     }
 
     #[test]
@@ -361,17 +401,18 @@ mod tests {
     fn works_with_set_values_too() {
         let m: MrdtMap<GSet<u32>> = MrdtMap::initial();
         let (m, _) = m.apply(&MapOp::Set("s".into(), GSetOp::Add(1)), ts(1, 0));
-        let (_, v) = m.apply(&MapOp::Get("s".into(), GSetOp::Read), ts(2, 0));
-        assert_eq!(v, GSetValue::Elements(vec![1]));
+        assert_eq!(
+            m.query(&MapQuery::Get("s".into(), GSetQuery::Read)),
+            GSetOutput::Elements(vec![1])
+        );
     }
 
     #[test]
     fn projection_keeps_only_set_events_of_the_key() {
         let i = AbstractOf::<MrdtMap<Counter>>::new()
-            .perform(set("a", CounterOp::Increment), CounterValue::Ack, ts(1, 0))
-            .perform(set("b", CounterOp::Increment), CounterValue::Ack, ts(2, 0))
-            .perform(get("a", CounterOp::Value), CounterValue::Count(1), ts(3, 0))
-            .perform(set("a", CounterOp::Increment), CounterValue::Ack, ts(4, 0));
+            .perform(set("a", CounterOp::Increment), (), ts(1, 0))
+            .perform(set("b", CounterOp::Increment), (), ts(2, 0))
+            .perform(set("a", CounterOp::Increment), (), ts(4, 0));
         let pa = project::<Counter>("a", &i);
         assert_eq!(pa.len(), 2);
         // Visibility survives projection.
@@ -381,25 +422,19 @@ mod tests {
     }
 
     #[test]
-    fn spec_delegates_to_nested_spec() {
+    fn query_spec_delegates_to_nested_spec() {
         let i = AbstractOf::<MrdtMap<Counter>>::new()
-            .perform(set("a", CounterOp::Increment), CounterValue::Ack, ts(1, 0))
-            .perform(set("a", CounterOp::Increment), CounterValue::Ack, ts(2, 0));
-        assert_eq!(
-            MapSpec::spec(&get("a", CounterOp::Value), &i),
-            CounterValue::Count(2)
-        );
-        assert_eq!(
-            MapSpec::spec(&get("zzz", CounterOp::Value), &i),
-            CounterValue::Count(0)
-        );
+            .perform(set("a", CounterOp::Increment), (), ts(1, 0))
+            .perform(set("a", CounterOp::Increment), (), ts(2, 0));
+        assert_eq!(MapSpec::query(&get("a"), &i), 2);
+        assert_eq!(MapSpec::query(&get("zzz"), &i), 0);
     }
 
     #[test]
     fn simulation_composes_nested_relations() {
         let i = AbstractOf::<MrdtMap<Counter>>::new().perform(
             set("a", CounterOp::Increment),
-            CounterValue::Ack,
+            (),
             ts(1, 0),
         );
         let (good, _) =

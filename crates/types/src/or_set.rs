@@ -16,25 +16,29 @@ use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// Operations shared by all three OR-set variants.
+/// Update operations shared by all three OR-set variants (and the Quark
+/// baseline).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum OrSetOp<T> {
-    /// Add an element (add-wins on conflict). Returns [`OrSetValue::Ack`].
+    /// Add an element (add-wins on conflict).
     Add(T),
-    /// Remove every observed occurrence of an element. Returns
-    /// [`OrSetValue::Ack`].
+    /// Remove every observed occurrence of an element.
     Remove(T),
-    /// Membership test. Returns [`OrSetValue::Present`].
+}
+
+/// Queries shared by all three OR-set variants (and the Quark baseline).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OrSetQuery<T> {
+    /// Membership test. Answered by [`OrSetOutput::Present`].
     Lookup(T),
-    /// Query the whole set. Returns [`OrSetValue::Elements`].
+    /// Observe the whole set. Answered by [`OrSetOutput::Elements`].
     Read,
 }
 
-/// Return values shared by all three OR-set variants.
+/// Query answers shared by all three OR-set variants (and the Quark
+/// baseline).
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub enum OrSetValue<T> {
-    /// The unit reply `⊥` of an update.
-    Ack,
+pub enum OrSetOutput<T> {
     /// Result of a membership test.
     Present(bool),
     /// The observed distinct elements, in element order.
@@ -49,7 +53,7 @@ pub struct OrSetSpec;
 
 /// The abstract-execution type shared by all three OR-set variants (they
 /// have identical operation and return-value types).
-pub(crate) type OrSetAbstract<T> = peepul_core::AbstractState<OrSetOp<T>, OrSetValue<T>>;
+pub(crate) type OrSetAbstract<T> = peepul_core::AbstractState<OrSetOp<T>, ()>;
 
 /// Is the `add` event `add_id` of element `x` *live* (unseen by any
 /// `remove(x)`)?
@@ -69,17 +73,16 @@ pub(crate) fn live_adds<T: Clone + PartialEq>(abs: &OrSetAbstract<T>) -> Vec<(T,
         .collect()
 }
 
-/// The specified answer of any OR-set operation on abstract state `abs`.
-pub(crate) fn orset_spec<T: Ord + Clone + PartialEq>(
-    op: &OrSetOp<T>,
+/// The specified answer of any OR-set query on abstract state `abs`.
+pub(crate) fn orset_query<T: Ord + Clone + PartialEq>(
+    q: &OrSetQuery<T>,
     abs: &OrSetAbstract<T>,
-) -> OrSetValue<T> {
-    match op {
-        OrSetOp::Add(_) | OrSetOp::Remove(_) => OrSetValue::Ack,
-        OrSetOp::Lookup(x) => OrSetValue::Present(live_adds(abs).iter().any(|(y, _)| y == x)),
-        OrSetOp::Read => {
+) -> OrSetOutput<T> {
+    match q {
+        OrSetQuery::Lookup(x) => OrSetOutput::Present(live_adds(abs).iter().any(|(y, _)| y == x)),
+        OrSetQuery::Read => {
             let elems: BTreeSet<T> = live_adds(abs).into_iter().map(|(x, _)| x).collect();
-            OrSetValue::Elements(elems.into_iter().collect())
+            OrSetOutput::Elements(elems.into_iter().collect())
         }
     }
 }
@@ -87,8 +90,10 @@ pub(crate) fn orset_spec<T: Ord + Clone + PartialEq>(
 impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<OrSet<T>>
     for OrSetSpec
 {
-    fn spec(op: &OrSetOp<T>, state: &AbstractOf<OrSet<T>>) -> OrSetValue<T> {
-        orset_spec(op, state)
+    fn spec(_op: &OrSetOp<T>, _state: &AbstractOf<OrSet<T>>) {}
+
+    fn query(q: &OrSetQuery<T>, state: &AbstractOf<OrSet<T>>) -> OrSetOutput<T> {
+        orset_query(q, state)
     }
 }
 
@@ -98,7 +103,7 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<Or
 ///
 /// ```
 /// use peepul_core::{Mrdt, ReplicaId, Timestamp};
-/// use peepul_types::or_set::{OrSet, OrSetOp, OrSetValue};
+/// use peepul_types::or_set::{OrSet, OrSetOp, OrSetOutput, OrSetQuery};
 ///
 /// let ts = |t, r| Timestamp::new(t, ReplicaId::new(r));
 /// let (lca, _) = OrSet::<u32>::initial().apply(&OrSetOp::Add(1), ts(1, 0));
@@ -106,8 +111,7 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<Or
 /// let (a, _) = lca.apply(&OrSetOp::Remove(1), ts(2, 1));
 /// let (b, _) = lca.apply(&OrSetOp::Add(1), ts(3, 2));
 /// let m = OrSet::merge(&lca, &a, &b);
-/// let (_, v) = m.apply(&OrSetOp::Lookup(1), ts(4, 0));
-/// assert_eq!(v, OrSetValue::Present(true)); // add wins
+/// assert_eq!(m.query(&OrSetQuery::Lookup(1)), OrSetOutput::Present(true)); // add wins
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct OrSet<T> {
@@ -167,27 +171,34 @@ impl<T: fmt::Debug> fmt::Debug for OrSet<T> {
 
 impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSet<T> {
     type Op = OrSetOp<T>;
-    type Value = OrSetValue<T>;
+    type Value = ();
+    type Query = OrSetQuery<T>;
+    type Output = OrSetOutput<T>;
 
     fn initial() -> Self {
         OrSet { pairs: Vec::new() }
     }
 
-    fn apply(&self, op: &OrSetOp<T>, t: Timestamp) -> (Self, OrSetValue<T>) {
+    fn apply(&self, op: &OrSetOp<T>, t: Timestamp) -> (Self, ()) {
         match op {
             OrSetOp::Add(x) => {
                 let mut next = self.clone();
                 next.pairs.push((x.clone(), t));
-                (next, OrSetValue::Ack)
+                (next, ())
             }
             OrSetOp::Remove(x) => {
                 let next = OrSet {
                     pairs: self.pairs.iter().filter(|(y, _)| y != x).cloned().collect(),
                 };
-                (next, OrSetValue::Ack)
+                (next, ())
             }
-            OrSetOp::Lookup(x) => (self.clone(), OrSetValue::Present(self.contains(x))),
-            OrSetOp::Read => (self.clone(), OrSetValue::Elements(self.elements())),
+        }
+    }
+
+    fn query(&self, q: &OrSetQuery<T>) -> OrSetOutput<T> {
+        match q {
+            OrSetQuery::Lookup(x) => OrSetOutput::Present(self.contains(x)),
+            OrSetQuery::Read => OrSetOutput::Elements(self.elements()),
         }
     }
 
@@ -312,29 +323,29 @@ mod tests {
     }
 
     #[test]
-    fn spec_add_wins_scenario() {
-        let i = AbstractOf::<OrSet<u32>>::new().perform(OrSetOp::Add(1), OrSetValue::Ack, ts(1, 0));
+    fn query_spec_add_wins_scenario() {
+        let i = AbstractOf::<OrSet<u32>>::new().perform(OrSetOp::Add(1), (), ts(1, 0));
         // remove(1) sees the first add; a concurrent add(1) does not see the
         // remove.
-        let ia = i.perform(OrSetOp::Remove(1), OrSetValue::Ack, ts(2, 1));
-        let ib = i.perform(OrSetOp::Add(1), OrSetValue::Ack, ts(3, 2));
+        let ia = i.perform(OrSetOp::Remove(1), (), ts(2, 1));
+        let ib = i.perform(OrSetOp::Add(1), (), ts(3, 2));
         let im = ia.merged(&ib);
         assert_eq!(
-            <OrSetSpec as Specification<OrSet<u32>>>::spec(&OrSetOp::Read, &im),
-            OrSetValue::Elements(vec![1])
+            <OrSetSpec as Specification<OrSet<u32>>>::query(&OrSetQuery::Read, &im),
+            OrSetOutput::Elements(vec![1])
         );
         assert_eq!(
-            <OrSetSpec as Specification<OrSet<u32>>>::spec(&OrSetOp::Lookup(1), &im),
-            OrSetValue::Present(true)
+            <OrSetSpec as Specification<OrSet<u32>>>::query(&OrSetQuery::Lookup(1), &im),
+            OrSetOutput::Present(true)
         );
     }
 
     #[test]
     fn simulation_matches_live_pairs() {
         let i = AbstractOf::<OrSet<u32>>::new()
-            .perform(OrSetOp::Add(1), OrSetValue::Ack, ts(1, 0))
-            .perform(OrSetOp::Remove(1), OrSetValue::Ack, ts(2, 0))
-            .perform(OrSetOp::Add(2), OrSetValue::Ack, ts(3, 0));
+            .perform(OrSetOp::Add(1), (), ts(1, 0))
+            .perform(OrSetOp::Remove(1), (), ts(2, 0))
+            .perform(OrSetOp::Add(2), (), ts(3, 0));
         let expect = OrSet {
             pairs: vec![(2, ts(3, 0))],
         };

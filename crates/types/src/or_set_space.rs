@@ -10,7 +10,7 @@
 //! pairs added on exactly one branch; and pairs added on both branches, of
 //! which the one with the larger timestamp survives.
 
-use crate::or_set::{live_adds, orset_spec, OrSetSpec};
+use crate::or_set::{live_adds, orset_query, OrSetSpec};
 use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -22,7 +22,7 @@ use std::fmt;
 ///
 /// ```
 /// use peepul_core::{Mrdt, ReplicaId, Timestamp};
-/// use peepul_types::or_set_space::{OrSetSpace, OrSetOp, OrSetValue};
+/// use peepul_types::or_set_space::{OrSetSpace, OrSetOp};
 ///
 /// let ts = |t, r| Timestamp::new(t, ReplicaId::new(r));
 /// let (lca, _) = OrSetSpace::<u32>::initial().apply(&OrSetOp::Add(1), ts(1, 0));
@@ -40,7 +40,7 @@ pub struct OrSetSpace<T> {
     pairs: Vec<(T, Timestamp)>,
 }
 
-pub use crate::or_set::{OrSetOp, OrSetValue};
+pub use crate::or_set::{OrSetOp, OrSetOutput, OrSetQuery};
 
 impl<T: Ord> OrSetSpace<T> {
     /// Number of stored pairs (equals the number of distinct elements).
@@ -137,13 +137,15 @@ pub(crate) fn merge_spaced<T: Ord + Clone>(
 
 impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSetSpace<T> {
     type Op = OrSetOp<T>;
-    type Value = OrSetValue<T>;
+    type Value = ();
+    type Query = OrSetQuery<T>;
+    type Output = OrSetOutput<T>;
 
     fn initial() -> Self {
         OrSetSpace { pairs: Vec::new() }
     }
 
-    fn apply(&self, op: &OrSetOp<T>, t: Timestamp) -> (Self, OrSetValue<T>) {
+    fn apply(&self, op: &OrSetOp<T>, t: Timestamp) -> (Self, ()) {
         match op {
             OrSetOp::Add(x) => {
                 let mut next = self.clone();
@@ -152,16 +154,21 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSetSp
                     Some(pair) => pair.1 = t,
                     None => next.pairs.push((x.clone(), t)),
                 }
-                (next, OrSetValue::Ack)
+                (next, ())
             }
             OrSetOp::Remove(x) => {
                 let next = OrSetSpace {
                     pairs: self.pairs.iter().filter(|(y, _)| y != x).cloned().collect(),
                 };
-                (next, OrSetValue::Ack)
+                (next, ())
             }
-            OrSetOp::Lookup(x) => (self.clone(), OrSetValue::Present(self.contains(x))),
-            OrSetOp::Read => (self.clone(), OrSetValue::Elements(self.elements())),
+        }
+    }
+
+    fn query(&self, q: &OrSetQuery<T>) -> OrSetOutput<T> {
+        match q {
+            OrSetQuery::Lookup(x) => OrSetOutput::Present(self.contains(x)),
+            OrSetQuery::Read => OrSetOutput::Elements(self.elements()),
         }
     }
 
@@ -229,8 +236,10 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for Or
 impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<OrSetSpace<T>>
     for OrSetSpec
 {
-    fn spec(op: &OrSetOp<T>, state: &AbstractOf<OrSetSpace<T>>) -> OrSetValue<T> {
-        orset_spec(op, state)
+    fn spec(_op: &OrSetOp<T>, _state: &AbstractOf<OrSetSpace<T>>) {}
+
+    fn query(q: &OrSetQuery<T>, state: &AbstractOf<OrSetSpace<T>>) -> OrSetOutput<T> {
+        orset_query(q, state)
     }
 }
 
@@ -308,8 +317,8 @@ mod tests {
     fn simulation_requires_greatest_live_timestamp() {
         // Two concurrent adds of 1; the concrete state must keep the later.
         let i0 = AbstractOf::<OrSetSpace<u32>>::new();
-        let ia = i0.perform(OrSetOp::Add(1), OrSetValue::Ack, ts(1, 1));
-        let ib = i0.perform(OrSetOp::Add(1), OrSetValue::Ack, ts(2, 2));
+        let ia = i0.perform(OrSetOp::Add(1), (), ts(1, 1));
+        let ib = i0.perform(OrSetOp::Add(1), (), ts(2, 2));
         let im = ia.merged(&ib);
         let good = OrSetSpace {
             pairs: vec![(1, ts(2, 2))],
@@ -324,8 +333,8 @@ mod tests {
     #[test]
     fn simulation_rejects_duplicates() {
         let i = AbstractOf::<OrSetSpace<u32>>::new()
-            .perform(OrSetOp::Add(1), OrSetValue::Ack, ts(1, 0))
-            .perform(OrSetOp::Add(1), OrSetValue::Ack, ts(2, 0));
+            .perform(OrSetOp::Add(1), (), ts(1, 0))
+            .perform(OrSetOp::Add(1), (), ts(2, 0));
         let dup = OrSetSpace {
             pairs: vec![(1, ts(1, 0)), (1, ts(2, 0))],
         };
@@ -333,14 +342,14 @@ mod tests {
     }
 
     #[test]
-    fn spec_matches_implementation_on_read() {
+    fn query_spec_matches_implementation_on_read() {
         let i = AbstractOf::<OrSetSpace<u32>>::new()
-            .perform(OrSetOp::Add(1), OrSetValue::Ack, ts(1, 0))
-            .perform(OrSetOp::Remove(1), OrSetValue::Ack, ts(2, 0))
-            .perform(OrSetOp::Add(2), OrSetValue::Ack, ts(3, 0));
+            .perform(OrSetOp::Add(1), (), ts(1, 0))
+            .perform(OrSetOp::Remove(1), (), ts(2, 0))
+            .perform(OrSetOp::Add(2), (), ts(3, 0));
         assert_eq!(
-            <OrSetSpec as Specification<OrSetSpace<u32>>>::spec(&OrSetOp::Read, &i),
-            OrSetValue::Elements(vec![2])
+            <OrSetSpec as Specification<OrSetSpace<u32>>>::query(&OrSetQuery::Read, &i),
+            OrSetOutput::Elements(vec![2])
         );
     }
 }

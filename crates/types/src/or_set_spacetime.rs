@@ -17,13 +17,13 @@
 //! [`Mrdt::observably_equal`] compares contents, not shapes.
 
 use crate::avl::AvlMap;
-use crate::or_set::{live_adds, orset_spec, OrSetSpec};
+use crate::or_set::{live_adds, orset_query, OrSetSpec};
 use crate::or_set_space::merge_spaced;
 use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
 use std::collections::BTreeMap;
 use std::fmt;
 
-pub use crate::or_set::{OrSetOp, OrSetValue};
+pub use crate::or_set::{OrSetOp, OrSetOutput, OrSetQuery};
 
 /// Tree-backed OR-set state.
 ///
@@ -31,7 +31,7 @@ pub use crate::or_set::{OrSetOp, OrSetValue};
 ///
 /// ```
 /// use peepul_core::{Mrdt, ReplicaId, Timestamp};
-/// use peepul_types::or_set_spacetime::{OrSetSpacetime, OrSetOp, OrSetValue};
+/// use peepul_types::or_set_spacetime::{OrSetSpacetime, OrSetOp};
 ///
 /// let ts = |t, r| Timestamp::new(t, ReplicaId::new(r));
 /// let (lca, _) = OrSetSpacetime::<u32>::initial().apply(&OrSetOp::Add(1), ts(1, 0));
@@ -107,7 +107,9 @@ impl<T: fmt::Debug + Ord> fmt::Debug for OrSetSpacetime<T> {
 
 impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSetSpacetime<T> {
     type Op = OrSetOp<T>;
-    type Value = OrSetValue<T>;
+    type Value = ();
+    type Query = OrSetQuery<T>;
+    type Output = OrSetOutput<T>;
 
     fn initial() -> Self {
         OrSetSpacetime {
@@ -115,23 +117,28 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSetSp
         }
     }
 
-    fn apply(&self, op: &OrSetOp<T>, t: Timestamp) -> (Self, OrSetValue<T>) {
+    fn apply(&self, op: &OrSetOp<T>, t: Timestamp) -> (Self, ()) {
         match op {
             OrSetOp::Add(x) => (
                 // Insert-or-refresh: one O(log n) path copy either way.
                 OrSetSpacetime {
                     tree: self.tree.insert(x.clone(), t),
                 },
-                OrSetValue::Ack,
+                (),
             ),
             OrSetOp::Remove(x) => (
                 OrSetSpacetime {
                     tree: self.tree.remove(x),
                 },
-                OrSetValue::Ack,
+                (),
             ),
-            OrSetOp::Lookup(x) => (self.clone(), OrSetValue::Present(self.contains(x))),
-            OrSetOp::Read => (self.clone(), OrSetValue::Elements(self.elements())),
+        }
+    }
+
+    fn query(&self, q: &OrSetQuery<T>) -> OrSetOutput<T> {
+        match q {
+            OrSetQuery::Lookup(x) => OrSetOutput::Present(self.contains(x)),
+            OrSetQuery::Read => OrSetOutput::Elements(self.elements()),
         }
     }
 
@@ -203,8 +210,10 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for Or
 impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<OrSetSpacetime<T>>
     for OrSetSpec
 {
-    fn spec(op: &OrSetOp<T>, state: &AbstractOf<OrSetSpacetime<T>>) -> OrSetValue<T> {
-        orset_spec(op, state)
+    fn spec(_op: &OrSetOp<T>, _state: &AbstractOf<OrSetSpacetime<T>>) {}
+
+    fn query(q: &OrSetQuery<T>, state: &AbstractOf<OrSetSpacetime<T>>) -> OrSetOutput<T> {
+        orset_query(q, state)
     }
 }
 
@@ -325,11 +334,7 @@ mod tests {
 
     #[test]
     fn simulation_rejects_unbalanced_or_stale_tree() {
-        let i = AbstractOf::<OrSetSpacetime<u32>>::new().perform(
-            OrSetOp::Add(1),
-            OrSetValue::Ack,
-            ts(1, 0),
-        );
+        let i = AbstractOf::<OrSetSpacetime<u32>>::new().perform(OrSetOp::Add(1), (), ts(1, 0));
         let (good, _) = OrSetSpacetime::<u32>::initial().apply(&OrSetOp::Add(1), ts(1, 0));
         assert!(OrSetSpacetimeSim::holds(&i, &good));
         assert!(!OrSetSpacetimeSim::holds(&i, &OrSetSpacetime::initial()));

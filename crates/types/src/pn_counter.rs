@@ -9,21 +9,17 @@ use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification
 /// Operations of the PN counter.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum PnCounterOp {
-    /// Add one. Returns [`PnCounterValue::Ack`].
+    /// Add one.
     Increment,
-    /// Subtract one. Returns [`PnCounterValue::Ack`].
+    /// Subtract one.
     Decrement,
-    /// Query the current value. Returns [`PnCounterValue::Count`].
-    Value,
 }
 
-/// Return values of the PN counter.
+/// Queries of the PN counter.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub enum PnCounterValue {
-    /// The unit reply `⊥` of an update.
-    Ack,
-    /// The observed value (may be negative).
-    Count(i64),
+pub enum PnCounterQuery {
+    /// Observe the current value (may be negative).
+    Value,
 }
 
 /// PN-counter state: the totals of increments and decrements observed.
@@ -32,7 +28,7 @@ pub enum PnCounterValue {
 ///
 /// ```
 /// use peepul_core::{Mrdt, ReplicaId, Timestamp};
-/// use peepul_types::pn_counter::{PnCounter, PnCounterOp, PnCounterValue};
+/// use peepul_types::pn_counter::{PnCounter, PnCounterOp};
 ///
 /// let ts = |t| Timestamp::new(t, ReplicaId::new(0));
 /// let lca = PnCounter::initial();
@@ -66,29 +62,36 @@ impl PnCounter {
 
 impl Mrdt for PnCounter {
     type Op = PnCounterOp;
-    type Value = PnCounterValue;
+    type Value = ();
+    type Query = PnCounterQuery;
+    type Output = i64;
 
     fn initial() -> Self {
         PnCounter::default()
     }
 
-    fn apply(&self, op: &PnCounterOp, _t: Timestamp) -> (Self, PnCounterValue) {
+    fn apply(&self, op: &PnCounterOp, _t: Timestamp) -> (Self, ()) {
         match op {
             PnCounterOp::Increment => (
                 PnCounter {
                     incs: self.incs + 1,
                     ..*self
                 },
-                PnCounterValue::Ack,
+                (),
             ),
             PnCounterOp::Decrement => (
                 PnCounter {
                     decs: self.decs + 1,
                     ..*self
                 },
-                PnCounterValue::Ack,
+                (),
             ),
-            PnCounterOp::Value => (*self, PnCounterValue::Count(self.value())),
+        }
+    }
+
+    fn query(&self, q: &PnCounterQuery) -> i64 {
+        match q {
+            PnCounterQuery::Value => self.value(),
         }
     }
 
@@ -100,16 +103,17 @@ impl Mrdt for PnCounter {
     }
 }
 
-/// Specification `F_pnctr`: a read returns visible increments minus visible
-/// decrements.
+/// Specification `F_pnctr`: a value query returns visible increments minus
+/// visible decrements.
 #[derive(Debug)]
 pub struct PnCounterSpec;
 
 impl Specification<PnCounter> for PnCounterSpec {
-    fn spec(op: &PnCounterOp, state: &AbstractOf<PnCounter>) -> PnCounterValue {
-        match op {
-            PnCounterOp::Increment | PnCounterOp::Decrement => PnCounterValue::Ack,
-            PnCounterOp::Value => {
+    fn spec(_op: &PnCounterOp, _state: &AbstractOf<PnCounter>) {}
+
+    fn query(q: &PnCounterQuery, state: &AbstractOf<PnCounter>) -> i64 {
+        match q {
+            PnCounterQuery::Value => {
                 let incs = state
                     .events()
                     .filter(|e| matches!(e.op(), PnCounterOp::Increment))
@@ -118,7 +122,7 @@ impl Specification<PnCounter> for PnCounterSpec {
                     .events()
                     .filter(|e| matches!(e.op(), PnCounterOp::Decrement))
                     .count() as i64;
-                PnCounterValue::Count(incs - decs)
+                incs - decs
             }
         }
     }
@@ -176,8 +180,7 @@ mod tests {
         let (c, _) = c.apply(&PnCounterOp::Decrement, ts(2));
         let (c, _) = c.apply(&PnCounterOp::Increment, ts(3));
         assert_eq!(c.value(), -1);
-        let (_, v) = c.apply(&PnCounterOp::Value, ts(4));
-        assert_eq!(v, PnCounterValue::Count(-1));
+        assert_eq!(c.query(&PnCounterQuery::Value), -1);
     }
 
     #[test]
@@ -210,22 +213,19 @@ mod tests {
     }
 
     #[test]
-    fn spec_is_difference_of_event_counts() {
+    fn query_spec_is_difference_of_event_counts() {
         let i = AbstractOf::<PnCounter>::new()
-            .perform(PnCounterOp::Increment, PnCounterValue::Ack, ts(1))
-            .perform(PnCounterOp::Decrement, PnCounterValue::Ack, ts(2))
-            .perform(PnCounterOp::Decrement, PnCounterValue::Ack, ts(3));
-        assert_eq!(
-            PnCounterSpec::spec(&PnCounterOp::Value, &i),
-            PnCounterValue::Count(-1)
-        );
+            .perform(PnCounterOp::Increment, (), ts(1))
+            .perform(PnCounterOp::Decrement, (), ts(2))
+            .perform(PnCounterOp::Decrement, (), ts(3));
+        assert_eq!(PnCounterSpec::query(&PnCounterQuery::Value, &i), -1);
     }
 
     #[test]
     fn simulation_requires_componentwise_match() {
         let i = AbstractOf::<PnCounter>::new()
-            .perform(PnCounterOp::Increment, PnCounterValue::Ack, ts(1))
-            .perform(PnCounterOp::Decrement, PnCounterValue::Ack, ts(2));
+            .perform(PnCounterOp::Increment, (), ts(1))
+            .perform(PnCounterOp::Decrement, (), ts(2));
         assert!(PnCounterSim::holds(&i, &PnCounter { incs: 1, decs: 1 }));
         // Same difference, wrong components: the coarser relation would
         // wrongly accept this.

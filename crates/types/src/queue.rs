@@ -26,7 +26,10 @@ use std::fmt;
 /// One queue entry: the enqueue timestamp (unique tag) and the value.
 pub type Entry<T> = (Timestamp, T);
 
-/// Operations of the replicated queue.
+/// Update operations of the replicated queue. Note that `dequeue` is an
+/// *update with a return value* — it both consumes the head and reports it
+/// — which is why it stays in the op alphabet while the pure `peek` moved
+/// to [`QueueQuery`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum QueueOp<T> {
     /// Push a value at the tail. Returns [`QueueValue::Ack`].
@@ -34,19 +37,22 @@ pub enum QueueOp<T> {
     /// Pop the head. Returns [`QueueValue::Dequeued`] (with `None` when the
     /// queue is observed empty — the paper's `EMPTY`).
     Dequeue,
-    /// Observe the head without removing it. Returns [`QueueValue::Peeked`].
+}
+
+/// Queries of the replicated queue.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum QueueQuery {
+    /// Observe the head without removing it (`None` when empty).
     Peek,
 }
 
-/// Return values of the replicated queue.
+/// Return values of the replicated queue's updates.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum QueueValue<T> {
-    /// The unit reply `⊥` of an update.
+    /// The unit reply `⊥` of an enqueue.
     Ack,
     /// The dequeued entry, or `None` when the queue was empty.
     Dequeued(Option<Entry<T>>),
-    /// The head entry, or `None` when the queue was empty.
-    Peeked(Option<Entry<T>>),
 }
 
 /// Replicated two-list queue state.
@@ -190,6 +196,8 @@ fn union<T: Clone>(x: &[Entry<T>], y: &[Entry<T>]) -> Vec<Entry<T>> {
 impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for Queue<T> {
     type Op = QueueOp<T>;
     type Value = QueueValue<T>;
+    type Query = QueueQuery;
+    type Output = Option<Entry<T>>;
 
     fn initial() -> Self {
         Queue {
@@ -215,7 +223,12 @@ impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for Queue<T> {
                 let popped = next.front.pop();
                 (next, QueueValue::Dequeued(popped))
             }
-            QueueOp::Peek => (self.clone(), QueueValue::Peeked(self.head().cloned())),
+        }
+    }
+
+    fn query(&self, q: &QueueQuery) -> Option<Entry<T>> {
+        match q {
+            QueueQuery::Peek => self.head().cloned(),
         }
     }
 
@@ -324,7 +337,12 @@ impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<Queue<T>
         match op {
             QueueOp::Enqueue(_) => QueueValue::Ack,
             QueueOp::Dequeue => QueueValue::Dequeued(live_enqueues(state).first().cloned()),
-            QueueOp::Peek => QueueValue::Peeked(live_enqueues(state).first().cloned()),
+        }
+    }
+
+    fn query(q: &QueueQuery, state: &AbstractOf<Queue<T>>) -> Option<Entry<T>> {
+        match q {
+            QueueQuery::Peek => live_enqueues(state).first().cloned(),
         }
     }
 }
@@ -532,9 +550,8 @@ mod tests {
     #[test]
     fn peek_does_not_consume() {
         let q = enq(&Queue::initial(), 7, ts(1, 0));
-        let (q2, v) = q.apply(&QueueOp::Peek, ts(2, 0));
-        assert_eq!(v, QueueValue::Peeked(Some((ts(1, 0), 7))));
-        assert_eq!(q2.len(), 1);
+        assert_eq!(q.query(&QueueQuery::Peek), Some((ts(1, 0), 7)));
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

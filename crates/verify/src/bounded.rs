@@ -17,17 +17,21 @@
 use crate::runner::{CertificationError, MergePolicy, Runner};
 use crate::schedule::Step;
 use peepul_core::obligations::Certified;
-use peepul_core::ObligationReport;
+use peepul_core::{Mrdt, ObligationReport};
 
 /// Configuration of the exhaustive search.
 #[derive(Clone, Debug)]
-pub struct BoundedConfig<Op> {
+pub struct BoundedConfig<M: Mrdt> {
     /// Maximum schedule length (search depth).
     pub max_steps: usize,
     /// Maximum number of branches (root included).
     pub max_branches: usize,
-    /// The operation alphabet `DO` steps draw from.
-    pub alphabet: Vec<Op>,
+    /// The **update** alphabet `DO` steps draw from. Queries do not belong
+    /// here — they are probed at every state via `queries`.
+    pub alphabet: Vec<M::Op>,
+    /// Query probes checked (`Φ_spec`) against the post-state of every
+    /// transition the search explores.
+    pub queries: Vec<M::Query>,
 }
 
 /// Statistics of a completed search.
@@ -47,7 +51,7 @@ pub struct BoundedChecker<M: Certified>
 where
     M::Op: PartialEq,
 {
-    config: BoundedConfig<M::Op>,
+    config: BoundedConfig<M>,
     policy: MergePolicy,
     _marker: std::marker::PhantomData<M>,
 }
@@ -58,7 +62,7 @@ where
 {
     /// Creates a checker for data type `M` (merge policy:
     /// [`MergePolicy::General`]).
-    pub fn new(config: BoundedConfig<M::Op>) -> Self {
+    pub fn new(config: BoundedConfig<M>) -> Self {
         BoundedChecker {
             config,
             policy: MergePolicy::General,
@@ -82,7 +86,12 @@ where
     /// counterexample execution (the DFS explores shorter prefixes first).
     pub fn run(&self) -> Result<BoundedStats, CertificationError> {
         let mut stats = BoundedStats::default();
-        let runner: Runner<M> = Runner::with_policy(self.policy);
+        let mut runner: Runner<M> =
+            Runner::with_policy(self.policy).with_queries(self.config.queries.clone());
+        // Probe σ0 once: the DFS shares this root, and per-step probes
+        // only cover post-transition states.
+        runner.check_current_queries()?;
+        stats.obligations.absorb(&runner.report());
         self.dfs(&runner, self.config.max_steps, &mut stats)?;
         Ok(stats)
     }
@@ -145,20 +154,25 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use peepul_types::counter::{Counter, CounterOp};
-    use peepul_types::ew_flag::{EwFlagOp, EwFlagSpace};
+    use peepul_types::counter::{Counter, CounterOp, CounterQuery};
+    use peepul_types::ew_flag::{EwFlagOp, EwFlagQuery, EwFlagSpace};
 
     #[test]
-    fn counter_is_exhaustively_correct_to_depth_4() {
+    fn counter_is_exhaustively_correct_to_depth_5() {
+        // The update-only alphabet is smaller than the old mixed one, so
+        // one more level of depth keeps the search meaningfully large.
         let checker = BoundedChecker::<Counter>::new(BoundedConfig {
-            max_steps: 4,
+            max_steps: 5,
             max_branches: 2,
-            alphabet: vec![CounterOp::Increment, CounterOp::Value],
+            alphabet: vec![CounterOp::Increment],
+            queries: vec![CounterQuery::Value],
         });
         let stats = checker.run().unwrap();
         assert!(stats.executions > 100);
         assert!(stats.obligations.phi_merge > 0);
         assert!(stats.obligations.phi_do > 0);
+        // Every explored transition probed the value query.
+        assert!(stats.obligations.phi_spec > stats.obligations.phi_do);
     }
 
     #[test]
@@ -166,7 +180,8 @@ mod tests {
         let checker = BoundedChecker::<EwFlagSpace>::new(BoundedConfig {
             max_steps: 4,
             max_branches: 2,
-            alphabet: vec![EwFlagOp::Enable, EwFlagOp::Disable, EwFlagOp::Read],
+            alphabet: vec![EwFlagOp::Enable, EwFlagOp::Disable],
+            queries: vec![EwFlagQuery::Read],
         });
         let stats = checker.run().unwrap();
         assert!(stats.executions > 0);
@@ -187,12 +202,15 @@ mod tests {
         impl Mrdt for DoubleCounter {
             type Op = Inc;
             type Value = u64;
+            type Query = ();
+            type Output = ();
             fn initial() -> Self {
                 DoubleCounter(0)
             }
             fn apply(&self, _op: &Inc, _t: Timestamp) -> (Self, u64) {
                 (DoubleCounter(self.0 + 1), 0)
             }
+            fn query(&self, _q: &()) {}
             fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
                 DoubleCounter(a.0 + b.0 - lca.0 + lca.0) // bug: forgot to subtract
             }
@@ -202,6 +220,7 @@ mod tests {
             fn spec(_op: &Inc, _s: &AbstractOf<DoubleCounter>) -> u64 {
                 0
             }
+            fn query(_q: &(), _s: &AbstractOf<DoubleCounter>) {}
         }
         struct DSim;
         impl SimulationRelation<DoubleCounter> for DSim {
@@ -218,6 +237,7 @@ mod tests {
             max_steps: 4,
             max_branches: 2,
             alphabet: vec![Inc],
+            queries: vec![],
         });
         let err = checker.run().unwrap_err();
         assert!(matches!(

@@ -22,15 +22,17 @@
 //! # Example
 //!
 //! ```
-//! use peepul_types::counter::{Counter, CounterOp};
+//! use peepul_types::counter::{Counter, CounterOp, CounterQuery};
 //! use peepul_verify::bounded::{BoundedChecker, BoundedConfig};
 //!
-//! // Exhaustively check every ≤4-step execution of the counter over
-//! // {Increment, Value} with up to 2 branches.
+//! // Exhaustively check every ≤4-step execution of the counter over the
+//! // update alphabet {Increment} with up to 2 branches, probing the Value
+//! // query against every reached state.
 //! let config = BoundedConfig {
 //!     max_steps: 4,
 //!     max_branches: 2,
-//!     alphabet: vec![CounterOp::Increment, CounterOp::Value],
+//!     alphabet: vec![CounterOp::Increment],
+//!     queries: vec![CounterQuery::Value],
 //! };
 //! let stats = BoundedChecker::<Counter>::new(config).run().expect("counter is correct");
 //! assert!(stats.executions > 0);

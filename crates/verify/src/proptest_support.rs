@@ -120,8 +120,8 @@ impl<Op> Schedule<Op> {
 mod tests {
     use super::*;
     use crate::runner::Runner;
-    use peepul_types::or_set::{OrSet, OrSetOp};
-    use peepul_types::pn_counter::{PnCounter, PnCounterOp};
+    use peepul_types::or_set::{OrSet, OrSetOp, OrSetQuery};
+    use peepul_types::pn_counter::{PnCounter, PnCounterOp, PnCounterQuery};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
@@ -136,14 +136,14 @@ mod tests {
 
         #[test]
         fn pn_counter_certifies_on_arbitrary_schedules(
-            s in schedules(0u8..3, 25, 3)
+            s in schedules(0u8..2, 25, 3)
         ) {
             let schedule = s.map_ops(|k| match k {
                 0 => PnCounterOp::Increment,
-                1 => PnCounterOp::Decrement,
-                _ => PnCounterOp::Value,
+                _ => PnCounterOp::Decrement,
             });
-            let mut runner: Runner<PnCounter> = Runner::new();
+            let mut runner: Runner<PnCounter> =
+                Runner::new().with_queries(vec![PnCounterQuery::Value]);
             prop_assert!(runner.run_schedule(&schedule).is_ok());
         }
 
@@ -152,11 +152,11 @@ mod tests {
             s in schedules((0u8..3, 0u32..5), 20, 3)
         ) {
             let schedule = s.map_ops(|(k, x)| match k {
-                0 => OrSetOp::Add(x),
-                1 => OrSetOp::Remove(x),
-                _ => OrSetOp::Lookup(x),
+                0 | 1 => OrSetOp::Add(x),
+                _ => OrSetOp::Remove(x),
             });
-            let mut runner: Runner<OrSet<u32>> = Runner::new();
+            let mut runner: Runner<OrSet<u32>> = Runner::new()
+                .with_queries(vec![OrSetQuery::Lookup(1), OrSetQuery::Read]);
             prop_assert!(runner.run_schedule(&schedule).is_ok());
         }
     }

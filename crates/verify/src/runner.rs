@@ -10,7 +10,7 @@
 //! description.
 
 use crate::schedule::{Schedule, Step};
-use peepul_core::obligations::{check_con, check_do, check_merge, Certified};
+use peepul_core::obligations::{check_con, check_do, check_merge, check_queries, Certified};
 use peepul_core::store_props::psi_lca_paper;
 use peepul_core::{ObligationError, ObligationReport};
 use peepul_store::{Snapshot, StoreError, StoreLts};
@@ -95,6 +95,11 @@ where
     steps_run: usize,
     policy: MergePolicy,
     skipped_merges: usize,
+    /// Query probes checked (`Φ_spec`) against the post-state of every
+    /// `DO` and `MERGE` — the checkers' side of the query/update split:
+    /// queries left the op alphabet, so the harness instead asserts every
+    /// probe at every reachable state.
+    probes: Vec<M::Query>,
 }
 
 fn branch_name(i: usize) -> String {
@@ -119,7 +124,17 @@ where
             steps_run: 0,
             policy,
             skipped_merges: 0,
+            probes: Vec::new(),
         }
+    }
+
+    /// Sets the query probe set: after every `DO` and `MERGE`, each probe
+    /// is answered by the concrete post-state and checked against the
+    /// specification (`Φ_spec`).
+    #[must_use]
+    pub fn with_queries(mut self, probes: Vec<M::Query>) -> Self {
+        self.probes = probes;
+        self
     }
 
     /// Number of merges skipped because their inputs fell outside the
@@ -151,6 +166,33 @@ where
             .snapshots()
             .map(|(n, s)| (n.to_owned(), s))
             .collect()
+    }
+
+    /// Checks the query probes against every branch's **current** state —
+    /// in particular the initial `(σ0, I0)`, which no post-`DO`/`MERGE`
+    /// probe ever reaches (a query that lies only on the initial state
+    /// would otherwise certify cleanly). [`Runner::run_schedule`] and the
+    /// bounded checker call this before the first transition.
+    ///
+    /// # Errors
+    ///
+    /// The first falsified probe as a `Φ_spec` violation.
+    pub fn check_current_queries(&mut self) -> Result<(), CertificationError> {
+        let snapshots: Vec<Snapshot<M>> = self.lts.snapshots().map(|(_, s)| s).collect();
+        for snap in &snapshots {
+            check_queries::<M>(
+                &snap.abstract_state,
+                &snap.concrete,
+                &self.probes,
+                &mut self.report,
+            )
+            .map_err(|error| CertificationError::Obligation {
+                step_index: self.steps_run,
+                step: "initial/current state".to_owned(),
+                error,
+            })?;
+        }
+        Ok(())
     }
 
     /// Executes one step, checking every obligation it triggers.
@@ -189,6 +231,17 @@ where
                         "DO at step {index} disagrees with store transition"
                     )));
                 }
+                check_queries::<M>(
+                    &outcome.post.abstract_state,
+                    &outcome.post.concrete,
+                    &self.probes,
+                    &mut self.report,
+                )
+                .map_err(|error| CertificationError::Obligation {
+                    step_index: index,
+                    step: describe(step),
+                    error,
+                })?;
             }
             Step::Merge { into, from } => {
                 if self.policy == MergePolicy::PaperEnvelope {
@@ -222,6 +275,17 @@ where
                         "MERGE at step {index} disagrees with store transition"
                     )));
                 }
+                check_queries::<M>(
+                    &outcome.post.abstract_state,
+                    &outcome.post.concrete,
+                    &self.probes,
+                    &mut self.report,
+                )
+                .map_err(|error| CertificationError::Obligation {
+                    step_index: index,
+                    step: describe(step),
+                    error,
+                })?;
             }
         }
         self.steps_run += 1;
@@ -254,6 +318,9 @@ where
     ///
     /// The first [`CertificationError`] encountered.
     pub fn run_schedule(&mut self, schedule: &Schedule<M::Op>) -> Result<(), CertificationError> {
+        // Probe σ0 (and any state a prior schedule left behind) — the
+        // per-step probes only cover post-DO/MERGE states.
+        self.check_current_queries()?;
         for step in &schedule.steps {
             self.apply_step(step)?;
         }
@@ -281,6 +348,7 @@ where
             steps_run: self.steps_run,
             policy: self.policy,
             skipped_merges: self.skipped_merges,
+            probes: self.probes.clone(),
         }
     }
 }
@@ -304,7 +372,7 @@ where
 mod tests {
     use super::*;
     use peepul_core::{AbstractOf, Mrdt, SimulationRelation, Specification, Timestamp};
-    use peepul_types::or_set_space::{OrSetOp, OrSetSpace};
+    use peepul_types::or_set_space::{OrSetOp, OrSetQuery, OrSetSpace};
 
     #[test]
     fn or_set_space_schedule_certifies() {
@@ -323,23 +391,20 @@ mod tests {
                 op: OrSetOp::Remove(1),
             },
             Step::Merge { into: 0, from: 1 },
-            Step::Do {
-                branch: 0,
-                op: OrSetOp::Lookup(1),
-            },
             Step::Merge { into: 1, from: 0 },
-            Step::Do {
-                branch: 1,
-                op: OrSetOp::Read,
-            },
         ]
         .into_iter()
         .collect();
-        let mut runner: Runner<OrSetSpace<u32>> = Runner::new();
+        let mut runner: Runner<OrSetSpace<u32>> =
+            Runner::new().with_queries(vec![OrSetQuery::Lookup(1), OrSetQuery::Read]);
         runner.run_schedule(&schedule).unwrap();
         let report = runner.report();
-        assert_eq!(report.phi_do, 5);
+        assert_eq!(report.phi_do, 3);
         assert_eq!(report.phi_merge, 2);
+        // Probes fire on the initial state and after every DO and MERGE:
+        // 2 probes × (1 initial + 5 transitions), on top of the per-update
+        // Φ_spec checks.
+        assert_eq!(report.phi_spec, 3 + 2 * 6);
         assert!(report.phi_con >= 1); // after the second merge both branches agree
     }
 
@@ -367,6 +432,8 @@ mod tests {
     impl Mrdt for LossySet {
         type Op = Add;
         type Value = ();
+        type Query = ();
+        type Output = usize;
         fn initial() -> Self {
             LossySet::default()
         }
@@ -374,6 +441,9 @@ mod tests {
             let mut next = self.clone();
             next.0.insert(op.0);
             (next, ())
+        }
+        fn query(&self, _q: &()) -> usize {
+            self.0.len()
         }
         fn merge(_lca: &Self, a: &Self, _b: &Self) -> Self {
             a.clone() // bug: drops b's elements
@@ -383,6 +453,13 @@ mod tests {
     struct LossySpec;
     impl Specification<LossySet> for LossySpec {
         fn spec(_op: &Add, _state: &AbstractOf<LossySet>) {}
+        fn query(_q: &(), state: &AbstractOf<LossySet>) -> usize {
+            state
+                .events()
+                .map(|e| e.op().0)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        }
     }
 
     struct LossySim;
@@ -396,6 +473,144 @@ mod tests {
     impl Certified for LossySet {
         type Spec = LossySpec;
         type Sim = LossySim;
+    }
+
+    /// A data type whose state transitions are correct but whose query
+    /// implementation lies (off by one). Only the probe checks can catch
+    /// this — no update return value ever exposes it.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+    struct LyingCounter(u64);
+
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    struct Bump;
+
+    impl Mrdt for LyingCounter {
+        type Op = Bump;
+        type Value = ();
+        type Query = ();
+        type Output = u64;
+        fn initial() -> Self {
+            LyingCounter(0)
+        }
+        fn apply(&self, _op: &Bump, _t: Timestamp) -> (Self, ()) {
+            (LyingCounter(self.0 + 1), ())
+        }
+        fn query(&self, _q: &()) -> u64 {
+            self.0 + 1 // bug: off-by-one observation
+        }
+        fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+            LyingCounter(a.0 + b.0 - lca.0)
+        }
+    }
+
+    struct LyingSpec;
+    impl Specification<LyingCounter> for LyingSpec {
+        fn spec(_op: &Bump, _state: &AbstractOf<LyingCounter>) {}
+        fn query(_q: &(), state: &AbstractOf<LyingCounter>) -> u64 {
+            state.events().count() as u64
+        }
+    }
+
+    struct LyingSim;
+    impl SimulationRelation<LyingCounter> for LyingSim {
+        fn holds(abs: &AbstractOf<LyingCounter>, conc: &LyingCounter) -> bool {
+            conc.0 == abs.len() as u64
+        }
+    }
+
+    impl Certified for LyingCounter {
+        type Spec = LyingSpec;
+        type Sim = LyingSim;
+    }
+
+    #[test]
+    fn lying_query_is_caught_by_probes_only() {
+        let schedule: Schedule<Bump> = [Step::Do {
+            branch: 0,
+            op: Bump,
+        }]
+        .into_iter()
+        .collect();
+        // Without probes the lie goes unnoticed…
+        let mut blind: Runner<LyingCounter> = Runner::new();
+        blind.run_schedule(&schedule).unwrap();
+        // …with probes it is a Φ_spec violation at the DO step.
+        let mut probed: Runner<LyingCounter> = Runner::new().with_queries(vec![()]);
+        let err = probed.run_schedule(&schedule).unwrap_err();
+        match err {
+            CertificationError::Obligation { error, .. } => {
+                assert_eq!(error.obligation(), peepul_core::Obligation::PhiSpec);
+            }
+            other => panic!("expected obligation failure, got {other}"),
+        }
+    }
+
+    /// A query that lies **only on the initial state** — exactly the gap
+    /// the pre-transition probe closes: every post-DO/MERGE state answers
+    /// correctly.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+    struct InitLiar(u64);
+
+    impl Mrdt for InitLiar {
+        type Op = Bump;
+        type Value = ();
+        type Query = ();
+        type Output = u64;
+        fn initial() -> Self {
+            InitLiar(0)
+        }
+        fn apply(&self, _op: &Bump, _t: Timestamp) -> (Self, ()) {
+            (InitLiar(self.0 + 1), ())
+        }
+        fn query(&self, _q: &()) -> u64 {
+            if self.0 == 0 {
+                99 // bug: wrong answer on σ0 only
+            } else {
+                self.0
+            }
+        }
+        fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+            InitLiar(a.0 + b.0 - lca.0)
+        }
+    }
+
+    struct InitLiarSpec;
+    impl Specification<InitLiar> for InitLiarSpec {
+        fn spec(_op: &Bump, _state: &AbstractOf<InitLiar>) {}
+        fn query(_q: &(), state: &AbstractOf<InitLiar>) -> u64 {
+            state.events().count() as u64
+        }
+    }
+
+    struct InitLiarSim;
+    impl SimulationRelation<InitLiar> for InitLiarSim {
+        fn holds(abs: &AbstractOf<InitLiar>, conc: &InitLiar) -> bool {
+            conc.0 == abs.len() as u64
+        }
+    }
+
+    impl Certified for InitLiar {
+        type Spec = InitLiarSpec;
+        type Sim = InitLiarSim;
+    }
+
+    #[test]
+    fn initial_state_query_lie_is_caught_before_any_step() {
+        let schedule: Schedule<Bump> = [Step::Do {
+            branch: 0,
+            op: Bump,
+        }]
+        .into_iter()
+        .collect();
+        let mut runner: Runner<InitLiar> = Runner::new().with_queries(vec![()]);
+        let err = runner.run_schedule(&schedule).unwrap_err();
+        match err {
+            CertificationError::Obligation { step, error, .. } => {
+                assert_eq!(error.obligation(), peepul_core::Obligation::PhiSpec);
+                assert!(step.contains("initial"), "caught at σ0: {step}");
+            }
+            other => panic!("expected obligation failure, got {other}"),
+        }
     }
 
     #[test]

@@ -14,18 +14,18 @@ use crate::runner::{MergePolicy, Runner};
 use peepul_core::obligations::Certified;
 use peepul_core::ObligationReport;
 use peepul_store::Snapshot;
-use peepul_types::chat::{Chat, ChatOp};
-use peepul_types::counter::{Counter, CounterOp};
-use peepul_types::ew_flag::{EwFlag, EwFlagOp, EwFlagSpace};
-use peepul_types::g_set::{GSet, GSetOp};
-use peepul_types::log::{LogOp, MergeableLog};
-use peepul_types::lww_register::{LwwOp, LwwRegister};
-use peepul_types::map::{MapOp, MrdtMap};
-use peepul_types::or_set::{OrSet, OrSetOp};
+use peepul_types::chat::{Chat, ChatOp, ChatQuery};
+use peepul_types::counter::{Counter, CounterOp, CounterQuery};
+use peepul_types::ew_flag::{EwFlag, EwFlagOp, EwFlagQuery, EwFlagSpace};
+use peepul_types::g_set::{GSet, GSetOp, GSetQuery};
+use peepul_types::log::{LogOp, LogQuery, MergeableLog};
+use peepul_types::lww_register::{LwwOp, LwwQuery, LwwRegister};
+use peepul_types::map::{MapOp, MapQuery, MrdtMap};
+use peepul_types::or_set::{OrSet, OrSetOp, OrSetQuery};
 use peepul_types::or_set_space::OrSetSpace;
 use peepul_types::or_set_spacetime::OrSetSpacetime;
-use peepul_types::pn_counter::{PnCounter, PnCounterOp};
-use peepul_types::queue::{self, Queue, QueueOp};
+use peepul_types::pn_counter::{PnCounter, PnCounterOp, PnCounterQuery};
+use peepul_types::queue::{self, Queue, QueueOp, QueueQuery};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::time::{Duration, Instant};
@@ -101,16 +101,20 @@ impl CertificationSummary {
     }
 }
 
-/// Certifies one data type: a bounded-exhaustive pass over `alphabet`
-/// followed by `config.random_runs` random executions drawing operations
-/// from `random_op`. `final_check` runs against the final snapshots of
-/// every random execution (used for the queue axioms); pass
-/// `|_| Ok(())` when not needed.
+/// Certifies one data type: a bounded-exhaustive pass over the **update**
+/// `alphabet` followed by `config.random_runs` random executions drawing
+/// operations from `random_op`. The `queries` probe set is checked
+/// (`Φ_spec`) against the post-state of every transition in both passes —
+/// queries no longer appear as schedule steps, so the probes are what
+/// certifies the observation side of the query/update split. `final_check`
+/// runs against the final snapshots of every random execution (used for
+/// the queue axioms); pass `|_| Ok(())` when not needed.
 pub fn certify_type<M, F, G>(
     name: &'static str,
     config: &SuiteConfig,
     policy: MergePolicy,
     alphabet: Vec<M::Op>,
+    queries: Vec<M::Query>,
     mut random_op: F,
     final_check: G,
 ) -> CertificationSummary
@@ -130,6 +134,7 @@ where
         max_steps: config.bounded_steps,
         max_branches: config.bounded_branches,
         alphabet,
+        queries: queries.clone(),
     })
     .with_policy(policy);
     let (bounded_executions, bounded_transitions) = match checker.run() {
@@ -155,7 +160,7 @@ where
                 ..config.random.clone()
             });
             let schedule = gen.generate(&mut random_op);
-            let mut runner: Runner<M> = Runner::with_policy(policy);
+            let mut runner: Runner<M> = Runner::with_policy(policy).with_queries(queries.clone());
             if let Err(e) = runner.run_schedule(&schedule) {
                 failure = Some(format!("random run {run}: {e}"));
                 break 'runs;
@@ -197,14 +202,9 @@ pub fn certify_counter(config: &SuiteConfig) -> CertificationSummary {
         "Increment-only counter",
         config,
         MergePolicy::General,
-        vec![CounterOp::Increment, CounterOp::Value],
-        |rng| {
-            if rng.gen_bool(0.7) {
-                CounterOp::Increment
-            } else {
-                CounterOp::Value
-            }
-        },
+        vec![CounterOp::Increment],
+        vec![CounterQuery::Value],
+        |_rng| CounterOp::Increment,
         no_final_check,
     )
 }
@@ -215,25 +215,24 @@ pub fn certify_pn_counter(config: &SuiteConfig) -> CertificationSummary {
         "PN counter",
         config,
         MergePolicy::General,
-        vec![
-            PnCounterOp::Increment,
-            PnCounterOp::Decrement,
-            PnCounterOp::Value,
-        ],
-        |rng| match rng.gen_range(0..3) {
-            0 => PnCounterOp::Increment,
-            1 => PnCounterOp::Decrement,
-            _ => PnCounterOp::Value,
+        vec![PnCounterOp::Increment, PnCounterOp::Decrement],
+        vec![PnCounterQuery::Value],
+        |rng| {
+            if rng.gen_bool(0.5) {
+                PnCounterOp::Increment
+            } else {
+                PnCounterOp::Decrement
+            }
         },
         no_final_check,
     )
 }
 
 fn random_flag_op(rng: &mut StdRng) -> EwFlagOp {
-    match rng.gen_range(0..3) {
-        0 => EwFlagOp::Enable,
-        1 => EwFlagOp::Disable,
-        _ => EwFlagOp::Read,
+    if rng.gen_bool(0.5) {
+        EwFlagOp::Enable
+    } else {
+        EwFlagOp::Disable
     }
 }
 
@@ -243,7 +242,8 @@ pub fn certify_ew_flag(config: &SuiteConfig) -> CertificationSummary {
         "Enable-wins flag",
         config,
         MergePolicy::General,
-        vec![EwFlagOp::Enable, EwFlagOp::Disable, EwFlagOp::Read],
+        vec![EwFlagOp::Enable, EwFlagOp::Disable],
+        vec![EwFlagQuery::Read],
         random_flag_op,
         no_final_check,
     )
@@ -255,7 +255,8 @@ pub fn certify_ew_flag_space(config: &SuiteConfig) -> CertificationSummary {
         "Enable-wins flag (space)",
         config,
         MergePolicy::PaperEnvelope,
-        vec![EwFlagOp::Enable, EwFlagOp::Disable, EwFlagOp::Read],
+        vec![EwFlagOp::Enable, EwFlagOp::Disable],
+        vec![EwFlagQuery::Read],
         random_flag_op,
         no_final_check,
     )
@@ -267,14 +268,9 @@ pub fn certify_lww_register(config: &SuiteConfig) -> CertificationSummary {
         "LWW register",
         config,
         MergePolicy::General,
-        vec![LwwOp::Write(1), LwwOp::Write(2), LwwOp::Read],
-        |rng| {
-            if rng.gen_bool(0.6) {
-                LwwOp::Write(rng.gen_range(0..100))
-            } else {
-                LwwOp::Read
-            }
-        },
+        vec![LwwOp::Write(1), LwwOp::Write(2)],
+        vec![LwwQuery::Read],
+        |rng| LwwOp::Write(rng.gen_range(0..100)),
         no_final_check,
     )
 }
@@ -285,14 +281,9 @@ pub fn certify_g_set(config: &SuiteConfig) -> CertificationSummary {
         "G-set",
         config,
         MergePolicy::General,
-        vec![GSetOp::Add(1), GSetOp::Add(2), GSetOp::Lookup(1)],
-        |rng| {
-            if rng.gen_bool(0.6) {
-                GSetOp::Add(rng.gen_range(0..20))
-            } else {
-                GSetOp::Lookup(rng.gen_range(0..20))
-            }
-        },
+        vec![GSetOp::Add(1), GSetOp::Add(2)],
+        vec![GSetQuery::Lookup(1), GSetQuery::Lookup(19), GSetQuery::Read],
+        |rng| GSetOp::Add(rng.gen_range(0..20)),
         no_final_check,
     )
 }
@@ -306,15 +297,15 @@ pub fn certify_g_map(config: &SuiteConfig) -> CertificationSummary {
         vec![
             MapOp::Set("k".into(), CounterOp::Increment),
             MapOp::Set("j".into(), CounterOp::Increment),
-            MapOp::Get("k".into(), CounterOp::Value),
+        ],
+        vec![
+            MapQuery::Get("k".into(), CounterQuery::Value),
+            MapQuery::Get("j".into(), CounterQuery::Value),
+            MapQuery::Get("absent".into(), CounterQuery::Value),
         ],
         |rng| {
             let key = if rng.gen_bool(0.5) { "k" } else { "j" };
-            if rng.gen_bool(0.6) {
-                MapOp::Set(key.into(), CounterOp::Increment)
-            } else {
-                MapOp::Get(key.into(), CounterOp::Value)
-            }
+            MapOp::Set(key.into(), CounterOp::Increment)
         },
         no_final_check,
     )
@@ -326,33 +317,31 @@ pub fn certify_log(config: &SuiteConfig) -> CertificationSummary {
         "Mergeable log",
         config,
         MergePolicy::General,
-        vec![LogOp::Append(1), LogOp::Append(2), LogOp::Read],
-        |rng| {
-            if rng.gen_bool(0.7) {
-                LogOp::Append(rng.gen_range(0..100))
-            } else {
-                LogOp::Read
-            }
-        },
+        vec![LogOp::Append(1), LogOp::Append(2)],
+        vec![LogQuery::Read],
+        |rng| LogOp::Append(rng.gen_range(0..100)),
         no_final_check,
     )
 }
 
 fn random_set_op(rng: &mut StdRng) -> OrSetOp<u32> {
     let x = rng.gen_range(0..10);
-    match rng.gen_range(0..4) {
-        0 | 1 => OrSetOp::Add(x),
-        2 => OrSetOp::Remove(x),
-        _ => OrSetOp::Lookup(x),
+    if rng.gen_bool(2.0 / 3.0) {
+        OrSetOp::Add(x)
+    } else {
+        OrSetOp::Remove(x)
     }
 }
 
 fn orset_alphabet() -> Vec<OrSetOp<u32>> {
+    vec![OrSetOp::Add(1), OrSetOp::Remove(1), OrSetOp::Add(2)]
+}
+
+fn orset_probes() -> Vec<OrSetQuery<u32>> {
     vec![
-        OrSetOp::Add(1),
-        OrSetOp::Remove(1),
-        OrSetOp::Add(2),
-        OrSetOp::Lookup(1),
+        OrSetQuery::Lookup(1),
+        OrSetQuery::Lookup(2),
+        OrSetQuery::Read,
     ]
 }
 
@@ -363,6 +352,7 @@ pub fn certify_or_set(config: &SuiteConfig) -> CertificationSummary {
         config,
         MergePolicy::General,
         orset_alphabet(),
+        orset_probes(),
         random_set_op,
         no_final_check,
     )
@@ -375,6 +365,7 @@ pub fn certify_or_set_space(config: &SuiteConfig) -> CertificationSummary {
         config,
         MergePolicy::PaperEnvelope,
         orset_alphabet(),
+        orset_probes(),
         random_set_op,
         no_final_check,
     )
@@ -387,6 +378,7 @@ pub fn certify_or_set_spacetime(config: &SuiteConfig) -> CertificationSummary {
         config,
         MergePolicy::PaperEnvelope,
         orset_alphabet(),
+        orset_probes(),
         random_set_op,
         no_final_check,
     )
@@ -401,6 +393,7 @@ pub fn certify_queue(config: &SuiteConfig) -> CertificationSummary {
         config,
         MergePolicy::General,
         vec![QueueOp::Enqueue(1), QueueOp::Enqueue(2), QueueOp::Dequeue],
+        vec![QueueQuery::Peek],
         |rng| {
             if rng.gen_bool(0.6) {
                 QueueOp::Enqueue(rng.gen_range(0..100))
@@ -428,15 +421,15 @@ pub fn certify_chat(config: &SuiteConfig) -> CertificationSummary {
         vec![
             ChatOp::Send("#a".into(), "x".into()),
             ChatOp::Send("#b".into(), "y".into()),
-            ChatOp::Read("#a".into()),
+        ],
+        vec![
+            ChatQuery::Read("#a".into()),
+            ChatQuery::Read("#b".into()),
+            ChatQuery::Read("#silent".into()),
         ],
         |rng| {
             let ch = if rng.gen_bool(0.5) { "#a" } else { "#b" };
-            if rng.gen_bool(0.7) {
-                ChatOp::Send(ch.into(), format!("m{}", rng.gen_range(0..1000)))
-            } else {
-                ChatOp::Read(ch.into())
-            }
+            ChatOp::Send(ch.into(), format!("m{}", rng.gen_range(0..1000)))
         },
         no_final_check,
     )

@@ -13,7 +13,7 @@
 use peepul_core::{
     AbstractOf, Certified, Mrdt, Obligation, SimulationRelation, Specification, Timestamp,
 };
-use peepul_types::or_set::{OrSetOp, OrSetValue};
+use peepul_types::or_set::{OrSetOp, OrSetOutput, OrSetQuery};
 use peepul_verify::{BoundedChecker, BoundedConfig, CertificationError};
 use std::collections::BTreeMap;
 
@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 fn first_violation<M: Certified>(
     max_steps: usize,
     alphabet: Vec<M::Op>,
+    queries: Vec<M::Query>,
 ) -> Option<(Obligation, String)>
 where
     M::Op: PartialEq,
@@ -29,6 +30,7 @@ where
         max_steps,
         max_branches: 2,
         alphabet,
+        queries,
     });
     match checker.run() {
         Ok(_) => None,
@@ -51,6 +53,8 @@ struct Put(u8);
 impl Mrdt for TwoWaySet {
     type Op = Put;
     type Value = ();
+    type Query = ();
+    type Output = usize;
     fn initial() -> Self {
         TwoWaySet::default()
     }
@@ -58,6 +62,9 @@ impl Mrdt for TwoWaySet {
         let mut s = self.clone();
         s.0.insert(op.0);
         (s, ())
+    }
+    fn query(&self, _q: &()) -> usize {
+        self.0.len()
     }
     fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
         // BUG: symmetric difference union instead of union — drops
@@ -79,6 +86,12 @@ impl Mrdt for TwoWaySet {
 struct TwoWaySpec;
 impl Specification<TwoWaySet> for TwoWaySpec {
     fn spec(_op: &Put, _s: &AbstractOf<TwoWaySet>) {}
+    fn query(_q: &(), abs: &AbstractOf<TwoWaySet>) -> usize {
+        abs.events()
+            .map(|e| e.op().0)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    }
 }
 struct TwoWaySim;
 impl SimulationRelation<TwoWaySet> for TwoWaySim {
@@ -94,8 +107,8 @@ impl Certified for TwoWaySet {
 
 #[test]
 fn two_way_merge_bug_is_caught_as_phi_merge() {
-    let (obligation, step) =
-        first_violation::<TwoWaySet>(4, vec![Put(1), Put(2)]).expect("mutant must be caught");
+    let (obligation, step) = first_violation::<TwoWaySet>(4, vec![Put(1), Put(2)], vec![()])
+        .expect("mutant must be caught");
     assert_eq!(obligation, Obligation::PhiMerge);
     assert!(
         step.contains("MERGE"),
@@ -115,32 +128,35 @@ struct RemoveWinsSet {
 
 impl Mrdt for RemoveWinsSet {
     type Op = OrSetOp<u8>;
-    type Value = OrSetValue<u8>;
+    type Value = ();
+    type Query = OrSetQuery<u8>;
+    type Output = OrSetOutput<u8>;
     fn initial() -> Self {
         RemoveWinsSet::default()
     }
-    fn apply(&self, op: &OrSetOp<u8>, t: Timestamp) -> (Self, OrSetValue<u8>) {
+    fn apply(&self, op: &OrSetOp<u8>, t: Timestamp) -> (Self, ()) {
         match op {
             OrSetOp::Add(x) => {
                 let mut s = self.clone();
                 s.pairs.push((*x, t));
-                (s, OrSetValue::Ack)
+                (s, ())
             }
             OrSetOp::Remove(x) => (
                 RemoveWinsSet {
                     pairs: self.pairs.iter().filter(|(y, _)| y != x).cloned().collect(),
                 },
-                OrSetValue::Ack,
+                (),
             ),
-            OrSetOp::Lookup(x) => (
-                self.clone(),
-                OrSetValue::Present(self.pairs.iter().any(|(y, _)| y == x)),
-            ),
-            OrSetOp::Read => {
+        }
+    }
+    fn query(&self, q: &OrSetQuery<u8>) -> OrSetOutput<u8> {
+        match q {
+            OrSetQuery::Lookup(x) => OrSetOutput::Present(self.pairs.iter().any(|(y, _)| y == x)),
+            OrSetQuery::Read => {
                 let mut v: Vec<u8> = self.pairs.iter().map(|(x, _)| *x).collect();
                 v.sort();
                 v.dedup();
-                (self.clone(), OrSetValue::Elements(v))
+                OrSetOutput::Elements(v)
             }
         }
     }
@@ -183,7 +199,8 @@ impl Mrdt for RemoveWinsSet {
 
 struct RwSpec;
 impl Specification<RemoveWinsSet> for RwSpec {
-    fn spec(op: &OrSetOp<u8>, abs: &AbstractOf<RemoveWinsSet>) -> OrSetValue<u8> {
+    fn spec(_op: &OrSetOp<u8>, _abs: &AbstractOf<RemoveWinsSet>) {}
+    fn query(q: &OrSetQuery<u8>, abs: &AbstractOf<RemoveWinsSet>) -> OrSetOutput<u8> {
         // The *add-wins* specification (the one the paper states).
         let live = |x: &u8| {
             abs.events().any(|e| {
@@ -193,13 +210,12 @@ impl Specification<RemoveWinsSet> for RwSpec {
                     })
             })
         };
-        match op {
-            OrSetOp::Add(_) | OrSetOp::Remove(_) => OrSetValue::Ack,
-            OrSetOp::Lookup(x) => OrSetValue::Present(live(x)),
-            OrSetOp::Read => {
+        match q {
+            OrSetQuery::Lookup(x) => OrSetOutput::Present(live(x)),
+            OrSetQuery::Read => {
                 let mut v: Vec<u8> = (0..=u8::MAX).filter(|x| live(x)).collect();
                 v.dedup();
-                OrSetValue::Elements(v)
+                OrSetOutput::Elements(v)
             }
         }
     }
@@ -237,7 +253,8 @@ impl Certified for RemoveWinsSet {
 fn remove_wins_policy_is_caught() {
     let (obligation, _) = first_violation::<RemoveWinsSet>(
         4,
-        vec![OrSetOp::Add(1), OrSetOp::Remove(1), OrSetOp::Lookup(1)],
+        vec![OrSetOp::Add(1), OrSetOp::Remove(1)],
+        vec![OrSetQuery::Lookup(1)],
     )
     .expect("mutant must be caught");
     // The inverted policy surfaces either at the merge (wrong state) or at
@@ -266,6 +283,8 @@ struct Write(u8);
 impl Mrdt for BiasedRegister {
     type Op = Write;
     type Value = ();
+    type Query = ();
+    type Output = ();
     fn initial() -> Self {
         BiasedRegister {
             value: 0,
@@ -281,6 +300,7 @@ impl Mrdt for BiasedRegister {
             (),
         )
     }
+    fn query(&self, _q: &()) {}
     fn merge(_lca: &Self, a: &Self, b: &Self) -> Self {
         // BUG: "our side wins" — the receiving branch keeps its own write
         // on concurrent conflicts instead of comparing timestamps.
@@ -295,6 +315,7 @@ impl Mrdt for BiasedRegister {
 struct BiasedSpec;
 impl Specification<BiasedRegister> for BiasedSpec {
     fn spec(_op: &Write, _s: &AbstractOf<BiasedRegister>) {}
+    fn query(_q: &(), _s: &AbstractOf<BiasedRegister>) {}
 }
 struct BiasedSim;
 impl SimulationRelation<BiasedRegister> for BiasedSim {
@@ -313,7 +334,7 @@ impl Certified for BiasedRegister {
 
 #[test]
 fn non_commutative_tie_break_is_caught_as_phi_con() {
-    let (obligation, _) = first_violation::<BiasedRegister>(5, vec![Write(1), Write(2)])
+    let (obligation, _) = first_violation::<BiasedRegister>(5, vec![Write(1), Write(2)], vec![])
         .expect("mutant must be caught");
     assert_eq!(
         obligation,
@@ -323,30 +344,33 @@ fn non_commutative_tie_break_is_caught_as_phi_con() {
 }
 
 // ---------------------------------------------------------------------
-// Mutant 4: a counter whose read undercounts by one (spec violation on a
-// pure query — no merge needed at all).
+// Mutant 4: a counter whose read query undercounts by one (spec violation
+// on a pure observation — no merge needed at all). Since the query/update
+// split, only the per-state query probes can catch this class of bug.
 // ---------------------------------------------------------------------
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 struct OffByOneCounter(u64);
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum OboOp {
-    Inc,
-    Read,
-}
+struct Inc;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct ReadQ;
 
 impl Mrdt for OffByOneCounter {
-    type Op = OboOp;
-    type Value = u64;
+    type Op = Inc;
+    type Value = ();
+    type Query = ReadQ;
+    type Output = u64;
     fn initial() -> Self {
         OffByOneCounter(0)
     }
-    fn apply(&self, op: &OboOp, _t: Timestamp) -> (Self, u64) {
-        match op {
-            OboOp::Inc => (OffByOneCounter(self.0 + 1), 0),
-            OboOp::Read => (*self, self.0.saturating_sub(1)), // BUG
-        }
+    fn apply(&self, _op: &Inc, _t: Timestamp) -> (Self, ()) {
+        (OffByOneCounter(self.0 + 1), ())
+    }
+    fn query(&self, _q: &ReadQ) -> u64 {
+        self.0.saturating_sub(1) // BUG
     }
     fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
         OffByOneCounter(a.0 + b.0 - lca.0)
@@ -355,24 +379,15 @@ impl Mrdt for OffByOneCounter {
 
 struct OboSpec;
 impl Specification<OffByOneCounter> for OboSpec {
-    fn spec(op: &OboOp, abs: &AbstractOf<OffByOneCounter>) -> u64 {
-        match op {
-            OboOp::Inc => 0,
-            OboOp::Read => abs
-                .events()
-                .filter(|e| matches!(e.op(), OboOp::Inc))
-                .count() as u64,
-        }
+    fn spec(_op: &Inc, _abs: &AbstractOf<OffByOneCounter>) {}
+    fn query(_q: &ReadQ, abs: &AbstractOf<OffByOneCounter>) -> u64 {
+        abs.events().count() as u64
     }
 }
 struct OboSim;
 impl SimulationRelation<OffByOneCounter> for OboSim {
     fn holds(abs: &AbstractOf<OffByOneCounter>, conc: &OffByOneCounter) -> bool {
-        conc.0
-            == abs
-                .events()
-                .filter(|e| matches!(e.op(), OboOp::Inc))
-                .count() as u64
+        conc.0 == abs.events().count() as u64
     }
 }
 impl Certified for OffByOneCounter {
@@ -382,7 +397,7 @@ impl Certified for OffByOneCounter {
 
 #[test]
 fn off_by_one_read_is_caught_as_phi_spec() {
-    let (obligation, step) = first_violation::<OffByOneCounter>(2, vec![OboOp::Inc, OboOp::Read])
+    let (obligation, step) = first_violation::<OffByOneCounter>(2, vec![Inc], vec![ReadQ])
         .expect("mutant must be caught");
     assert_eq!(obligation, Obligation::PhiSpec);
     assert!(step.contains("DO"), "failure localised to the read: {step}");
@@ -401,11 +416,13 @@ struct NoRefreshSet {
 
 impl Mrdt for NoRefreshSet {
     type Op = OrSetOp<u8>;
-    type Value = OrSetValue<u8>;
+    type Value = ();
+    type Query = OrSetQuery<u8>;
+    type Output = OrSetOutput<u8>;
     fn initial() -> Self {
         NoRefreshSet::default()
     }
-    fn apply(&self, op: &OrSetOp<u8>, t: Timestamp) -> (Self, OrSetValue<u8>) {
+    fn apply(&self, op: &OrSetOp<u8>, t: Timestamp) -> (Self, ()) {
         match op {
             OrSetOp::Add(x) => {
                 let mut s = self.clone();
@@ -413,21 +430,19 @@ impl Mrdt for NoRefreshSet {
                 // add's effect is lost, so a concurrent remove that saw the
                 // old pair deletes the "re-added" element.
                 s.pairs.entry(*x).or_insert(t);
-                (s, OrSetValue::Ack)
+                (s, ())
             }
             OrSetOp::Remove(x) => {
                 let mut s = self.clone();
                 s.pairs.remove(x);
-                (s, OrSetValue::Ack)
+                (s, ())
             }
-            OrSetOp::Lookup(x) => (
-                self.clone(),
-                OrSetValue::Present(self.pairs.contains_key(x)),
-            ),
-            OrSetOp::Read => (
-                self.clone(),
-                OrSetValue::Elements(self.pairs.keys().copied().collect()),
-            ),
+        }
+    }
+    fn query(&self, q: &OrSetQuery<u8>) -> OrSetOutput<u8> {
+        match q {
+            OrSetQuery::Lookup(x) => OrSetOutput::Present(self.pairs.contains_key(x)),
+            OrSetQuery::Read => OrSetOutput::Elements(self.pairs.keys().copied().collect()),
         }
     }
     fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
@@ -464,7 +479,8 @@ impl Mrdt for NoRefreshSet {
 
 struct NrSpec;
 impl Specification<NoRefreshSet> for NrSpec {
-    fn spec(op: &OrSetOp<u8>, abs: &AbstractOf<NoRefreshSet>) -> OrSetValue<u8> {
+    fn spec(_op: &OrSetOp<u8>, _abs: &AbstractOf<NoRefreshSet>) {}
+    fn query(q: &OrSetQuery<u8>, abs: &AbstractOf<NoRefreshSet>) -> OrSetOutput<u8> {
         let live = |x: &u8| {
             abs.events().any(|e| {
                 matches!(e.op(), OrSetOp::Add(y) if y == x)
@@ -473,10 +489,9 @@ impl Specification<NoRefreshSet> for NrSpec {
                     })
             })
         };
-        match op {
-            OrSetOp::Add(_) | OrSetOp::Remove(_) => OrSetValue::Ack,
-            OrSetOp::Lookup(x) => OrSetValue::Present(live(x)),
-            OrSetOp::Read => OrSetValue::Elements((0..=u8::MAX).filter(|x| live(x)).collect()),
+        match q {
+            OrSetQuery::Lookup(x) => OrSetOutput::Present(live(x)),
+            OrSetQuery::Read => OrSetOutput::Elements((0..=u8::MAX).filter(|x| live(x)).collect()),
         }
     }
 }
@@ -508,9 +523,12 @@ impl Certified for NoRefreshSet {
 
 #[test]
 fn missing_timestamp_refresh_is_caught() {
-    let (obligation, _) =
-        first_violation::<NoRefreshSet>(3, vec![OrSetOp::Add(1), OrSetOp::Remove(1)])
-            .expect("mutant must be caught");
+    let (obligation, _) = first_violation::<NoRefreshSet>(
+        3,
+        vec![OrSetOp::Add(1), OrSetOp::Remove(1)],
+        vec![OrSetQuery::Lookup(1)],
+    )
+    .expect("mutant must be caught");
     // The lost refresh shows up as a Φ_do failure (the duplicate add's
     // state no longer matches the relation) before any merge happens.
     assert_eq!(obligation, Obligation::PhiDo);

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example irc_chat`
 
 use peepul::store::{BranchStore, StoreError};
-use peepul::types::chat::{Chat, ChatOp};
+use peepul::types::chat::{Chat, ChatOp, ChatQuery};
 
 fn send(ch: &str, m: &str) -> ChatOp {
     ChatOp::Send(ch.to_owned(), m.to_owned())
@@ -16,7 +16,8 @@ fn send(ch: &str, m: &str) -> ChatOp {
 
 fn show(db: &BranchStore<Chat>, user: &str, channel: &str) -> Result<(), StoreError> {
     println!("-- {user}'s view of {channel} --");
-    for (t, m) in db.state(user)?.messages(channel) {
+    // Reading a channel is a commit-free query on `&db`.
+    for (t, m) in db.read(user, &ChatQuery::Read(channel.to_owned()))? {
         println!("   [{t}] {m}");
     }
     Ok(())
@@ -24,24 +25,30 @@ fn show(db: &BranchStore<Chat>, user: &str, channel: &str) -> Result<(), StoreEr
 
 fn main() -> Result<(), StoreError> {
     let mut db: BranchStore<Chat> = BranchStore::new("alice");
-    db.apply("alice", &send("#rust", "welcome to #rust!"))?;
+    db.branch_mut("alice")?
+        .apply(&send("#rust", "welcome to #rust!"))?;
 
     // Bob and Carol join (fork their replicas from Alice's).
-    db.fork("bob", "alice")?;
-    db.fork("carol", "alice")?;
+    db.branch_mut("alice")?.fork("bob")?;
+    db.branch_mut("alice")?.fork("carol")?;
 
     // A network partition: everyone chats locally.
-    db.apply("alice", &send("#rust", "anyone tried MRDTs?"))?;
-    db.apply("bob", &send("#rust", "reading the PLDI paper now"))?;
-    db.apply("bob", &send("#pl", "new channel for PL talk"))?;
-    db.apply("carol", &send("#rust", "the queue merge is neat"))?;
-    db.apply("carol", &send("#pl", "simulation relations ftw"))?;
+    db.branch_mut("alice")?
+        .apply(&send("#rust", "anyone tried MRDTs?"))?;
+    db.branch_mut("bob")?
+        .apply(&send("#rust", "reading the PLDI paper now"))?;
+    db.branch_mut("bob")?
+        .apply(&send("#pl", "new channel for PL talk"))?;
+    db.branch_mut("carol")?
+        .apply(&send("#rust", "the queue merge is neat"))?;
+    db.branch_mut("carol")?
+        .apply(&send("#pl", "simulation relations ftw"))?;
 
     // Partition heals: gossip ring until everyone has everything.
-    db.merge("alice", "bob")?;
-    db.merge("alice", "carol")?;
-    db.merge("bob", "alice")?;
-    db.merge("carol", "alice")?;
+    db.branch_mut("alice")?.merge_from("bob")?;
+    db.branch_mut("alice")?.merge_from("carol")?;
+    db.branch_mut("bob")?.merge_from("alice")?;
+    db.branch_mut("carol")?.merge_from("alice")?;
 
     show(&db, "alice", "#rust")?;
     show(&db, "alice", "#pl")?;

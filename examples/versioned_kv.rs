@@ -7,8 +7,8 @@
 //! Run with: `cargo run --example versioned_kv`
 
 use peepul::store::{Backend, BranchStore, SegmentBackend, StoreError};
-use peepul::types::lww_register::{LwwOp, LwwRegister};
-use peepul::types::map::{MapOp, MrdtMap};
+use peepul::types::lww_register::{LwwOp, LwwQuery, LwwRegister};
+use peepul::types::map::{MapOp, MapQuery, MrdtMap};
 
 type Kv = MrdtMap<LwwRegister<String>>;
 
@@ -21,7 +21,8 @@ fn get(
     branch: &str,
     key: &str,
 ) -> Result<Option<String>, StoreError> {
-    Ok(db.state(branch)?.get(key).and_then(|r| r.get().cloned()))
+    // The commit-free read path: a nested query routed to one key.
+    db.read(branch, &MapQuery::Get(key.to_owned(), LwwQuery::Read))
 }
 
 fn main() -> Result<(), StoreError> {
@@ -31,28 +32,30 @@ fn main() -> Result<(), StoreError> {
         BranchStore::with_backend("main", SegmentBackend::open(&dir)?)?;
 
     // Configuration data on main.
-    db.apply("main", &set("region", "eu-west"))?;
-    db.apply("main", &set("replicas", "3"))?;
+    db.branch_mut("main")?.apply(&set("region", "eu-west"))?;
+    db.branch_mut("main")?.apply(&set("replicas", "3"))?;
 
     // A staging branch experiments…
-    db.fork("staging", "main")?;
-    db.apply("staging", &set("replicas", "5"))?;
-    db.apply("staging", &set("feature/queues", "on"))?;
+    db.branch_mut("main")?.fork("staging")?;
+    db.branch_mut("staging")?.apply(&set("replicas", "5"))?;
+    db.branch_mut("staging")?
+        .apply(&set("feature/queues", "on"))?;
 
     // …while main gets a hotfix.
-    db.apply("main", &set("region", "eu-central"))?;
+    db.branch_mut("main")?.apply(&set("region", "eu-central"))?;
 
     println!("main    : region={:?}", get(&db, "main", "region")?);
     println!("staging : replicas={:?}", get(&db, "staging", "replicas")?);
 
     // Criss-cross: each branch pulls the other, then both diverge again —
     // the merge-base machinery resolves the multiple LCAs recursively.
-    db.merge("main", "staging")?;
-    db.merge("staging", "main")?;
-    db.apply("main", &set("replicas", "7"))?;
-    db.apply("staging", &set("feature/queues", "off"))?;
-    db.merge("main", "staging")?;
-    db.merge("staging", "main")?;
+    db.branch_mut("main")?.merge_from("staging")?;
+    db.branch_mut("staging")?.merge_from("main")?;
+    db.branch_mut("main")?.apply(&set("replicas", "7"))?;
+    db.branch_mut("staging")?
+        .apply(&set("feature/queues", "off"))?;
+    db.branch_mut("main")?.merge_from("staging")?;
+    db.branch_mut("staging")?.merge_from("main")?;
 
     // Both branches agree, last writer wins per key.
     for key in ["region", "replicas", "feature/queues"] {
@@ -67,7 +70,7 @@ fn main() -> Result<(), StoreError> {
     println!(
         "commit DAG: {} commits, main history {} deep",
         db.commit_count(),
-        db.history("main")?.len()
+        db.branch("main")?.history().len()
     );
 
     // Durability: a "new process" reopens the segment directory and finds

@@ -16,22 +16,26 @@ fn dequeue(
     db: &mut BranchStore<Queue<String>>,
     worker: &str,
 ) -> Result<Option<String>, StoreError> {
-    match db.apply(worker, &QueueOp::Dequeue)? {
+    match db.branch_mut(worker)?.apply(&QueueOp::Dequeue)? {
         QueueValue::Dequeued(Some((_, job))) => Ok(Some(job)),
         QueueValue::Dequeued(None) => Ok(None),
-        _ => unreachable!("dequeue returns Dequeued"),
+        QueueValue::Ack => unreachable!("dequeue returns Dequeued"),
     }
 }
 
 fn main() -> Result<(), StoreError> {
     let mut db: BranchStore<Queue<String>> = BranchStore::new("producer");
-    for i in 1..=4 {
-        db.apply("producer", &QueueOp::Enqueue(format!("job-{i}")))?;
-    }
+    // The producer submits the morning batch as one transaction: one
+    // commit and one backend write for all four jobs.
+    db.branch_mut("producer")?.transaction(|tx| {
+        for i in 1..=4 {
+            tx.apply(&QueueOp::Enqueue(format!("job-{i}")));
+        }
+    })?;
 
     // Two workers clone the queue and start pulling independently.
-    db.fork("worker-a", "producer")?;
-    db.fork("worker-b", "producer")?;
+    let worker_a = db.branch_mut("producer")?.fork("worker-a")?;
+    let worker_b = db.branch_mut("producer")?.fork("worker-b")?;
 
     let a1 = dequeue(&mut db, "worker-a")?;
     let b1 = dequeue(&mut db, "worker-b")?;
@@ -44,10 +48,10 @@ fn main() -> Result<(), StoreError> {
     println!("worker-a also got {a2:?}");
 
     // Sync everyone. Jobs consumed on *either* branch vanish everywhere.
-    db.merge("producer", "worker-a")?;
-    db.merge("producer", "worker-b")?;
-    db.merge("worker-a", "producer")?;
-    db.merge("worker-b", "producer")?;
+    db.branch_mut("producer")?.merge_from(&worker_a)?;
+    db.branch_mut("producer")?.merge_from(&worker_b)?;
+    db.branch_mut(&worker_a)?.merge_from("producer")?;
+    db.branch_mut(&worker_b)?.merge_from("producer")?;
 
     let remaining: Vec<String> = db
         .state("producer")?
@@ -61,20 +65,20 @@ fn main() -> Result<(), StoreError> {
     // ----- The paper's Fig. 11, replayed through the store -----
     let mut fig: BranchStore<Queue<u32>> = BranchStore::new("lca");
     for v in 1..=5 {
-        fig.apply("lca", &QueueOp::Enqueue(v))?;
+        fig.branch_mut("lca")?.apply(&QueueOp::Enqueue(v))?;
     }
-    fig.fork("a", "lca")?;
-    fig.fork("b", "lca")?;
+    fig.branch_mut("lca")?.fork("a")?;
+    fig.branch_mut("lca")?.fork("b")?;
     // Submission order fixes the (concurrent) enqueues' timestamps: the
     // figure has 6 and 7 older than 8 and 9, so b posts first.
-    fig.apply("a", &QueueOp::Dequeue)?;
-    fig.apply("a", &QueueOp::Dequeue)?;
-    fig.apply("b", &QueueOp::Dequeue)?;
-    fig.apply("b", &QueueOp::Enqueue(6))?;
-    fig.apply("b", &QueueOp::Enqueue(7))?;
-    fig.apply("a", &QueueOp::Enqueue(8))?;
-    fig.apply("a", &QueueOp::Enqueue(9))?;
-    fig.merge("a", "b")?;
+    fig.branch_mut("a")?.apply(&QueueOp::Dequeue)?;
+    fig.branch_mut("a")?.apply(&QueueOp::Dequeue)?;
+    fig.branch_mut("b")?.apply(&QueueOp::Dequeue)?;
+    fig.branch_mut("b")?.apply(&QueueOp::Enqueue(6))?;
+    fig.branch_mut("b")?.apply(&QueueOp::Enqueue(7))?;
+    fig.branch_mut("a")?.apply(&QueueOp::Enqueue(8))?;
+    fig.branch_mut("a")?.apply(&QueueOp::Enqueue(9))?;
+    fig.branch_mut("a")?.merge_from("b")?;
     let merged: Vec<u32> = fig
         .state("a")?
         .to_list()

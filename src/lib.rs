@@ -19,23 +19,35 @@
 //!
 //! # Quickstart
 //!
+//! The public API separates **updates** (state-transforming operations,
+//! addressed through typed branch handles, batchable into transactions)
+//! from **queries** (pure observations, served commit-free from `&store`):
+//!
 //! ```
 //! use peepul::store::BranchStore;
-//! use peepul::types::or_set_space::{OrSetOp, OrSetSpace, OrSetValue};
+//! use peepul::types::or_set_space::{OrSetOp, OrSetOutput, OrSetQuery, OrSetSpace};
 //!
 //! # fn main() -> Result<(), peepul::store::StoreError> {
 //! // A replicated shopping list with add-wins conflict resolution.
 //! let mut db: BranchStore<OrSetSpace<String>> = BranchStore::new("laptop");
-//! db.apply("laptop", &OrSetOp::Add("milk".into()))?;
-//! db.fork("phone", "laptop")?;
+//! db.branch_mut("laptop")?.apply(&OrSetOp::Add("milk".into()))?;
 //!
-//! // Concurrently: the phone checks milk off, the laptop re-adds it.
-//! db.apply("phone", &OrSetOp::Remove("milk".into()))?;
-//! db.apply("laptop", &OrSetOp::Add("milk".into()))?;
+//! // `fork` returns a validated BranchId — typos fail here, not mid-merge.
+//! let phone = db.branch_mut("laptop")?.fork("phone")?;
 //!
-//! db.merge("laptop", "phone")?;
-//! let v = db.apply("laptop", &OrSetOp::Lookup("milk".into()))?;
-//! assert_eq!(v, OrSetValue::Present(true)); // add wins
+//! // Concurrently: the phone checks milk off; the laptop batches a
+//! // shopping trip into ONE commit with a transaction.
+//! db.branch_mut(&phone)?.apply(&OrSetOp::Remove("milk".into()))?;
+//! db.branch_mut("laptop")?.transaction(|tx| {
+//!     tx.apply(&OrSetOp::Add("milk".into()));
+//!     tx.apply(&OrSetOp::Add("eggs".into()));
+//! })?;
+//!
+//! db.branch_mut("laptop")?.merge_from(&phone)?;
+//!
+//! // Reads are commit-free: `&db`, no commit minted, no backend write.
+//! let v = db.read("laptop", &OrSetQuery::Lookup("milk".into()))?;
+//! assert_eq!(v, OrSetOutput::Present(true)); // add wins
 //! # Ok(())
 //! # }
 //! ```
@@ -48,13 +60,14 @@
 //! bounded-exhaustive and randomized store executions:
 //!
 //! ```
-//! use peepul::types::pn_counter::{PnCounter, PnCounterOp};
+//! use peepul::types::pn_counter::{PnCounter, PnCounterOp, PnCounterQuery};
 //! use peepul::verify::{BoundedChecker, BoundedConfig};
 //!
 //! let stats = BoundedChecker::<PnCounter>::new(BoundedConfig {
 //!     max_steps: 3,
 //!     max_branches: 2,
 //!     alphabet: vec![PnCounterOp::Increment, PnCounterOp::Decrement],
+//!     queries: vec![PnCounterQuery::Value],
 //! })
 //! .run()
 //! .expect("every execution satisfies every obligation");
@@ -75,11 +88,17 @@ pub use peepul_verify as verify;
 
 /// The most commonly used items, for glob import.
 ///
+/// The exported name set is pinned by the `tests/api_surface.rs` golden
+/// test — changing it is an API decision, not an accident.
+///
 /// ```
 /// use peepul::prelude::*;
 ///
 /// let mut db: BranchStore<Counter> = BranchStore::new("main");
-/// db.apply("main", &peepul::types::counter::CounterOp::Increment).unwrap();
+/// db.branch_mut("main")
+///     .unwrap()
+///     .apply(&peepul::types::counter::CounterOp::Increment)
+///     .unwrap();
 /// ```
 pub mod prelude {
     pub use peepul_core::{
@@ -87,8 +106,8 @@ pub mod prelude {
         Timestamp,
     };
     pub use peepul_store::{
-        Backend, BranchStore, Cluster, MemoryBackend, SegmentBackend, SegmentOptions, StoreError,
-        StoreLts,
+        Backend, BranchId, BranchMut, BranchRef, BranchStore, Cluster, MemoryBackend,
+        SegmentBackend, SegmentOptions, StoreError, StoreLts, Transaction,
     };
     pub use peepul_types::{
         Chat, Counter, EwFlag, EwFlagSpace, GMap, GSet, LwwRegister, MergeableLog, MrdtMap, OrSet,

@@ -53,21 +53,28 @@ fn replay<B: Backend>(schedule: &[Step], backend: B, cache: bool) -> (BranchHead
         match step {
             Step::Fork { from } => {
                 let name = format!("b{}", n + 1);
-                db.fork(&name, &pick(&branches, *from)).unwrap();
+                db.branch_mut(&pick(&branches, *from))
+                    .unwrap()
+                    .fork(&name)
+                    .unwrap();
                 branches.push(name);
             }
             Step::Add { branch, value } => {
-                db.apply(&pick(&branches, *branch), &OrSetOp::Add(*value))
+                db.branch_mut(&pick(&branches, *branch))
+                    .unwrap()
+                    .apply(&OrSetOp::Add(*value))
                     .unwrap();
             }
             Step::Remove { branch, value } => {
-                db.apply(&pick(&branches, *branch), &OrSetOp::Remove(*value))
+                db.branch_mut(&pick(&branches, *branch))
+                    .unwrap()
+                    .apply(&OrSetOp::Remove(*value))
                     .unwrap();
             }
             Step::Merge { into, from } => {
                 let (into, from) = (pick(&branches, *into), pick(&branches, *from));
                 if into != from {
-                    db.merge(&into, &from).unwrap();
+                    db.branch_mut(&into).unwrap().merge_from(&from).unwrap();
                 }
             }
         }

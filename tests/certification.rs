@@ -1,7 +1,7 @@
 //! End-to-end certification: the full suite over every data type, plus
 //! direct obligation-level checks on paper scenarios.
 
-use peepul::types::or_set_space::{OrSetOp, OrSetSpace};
+use peepul::types::or_set_space::{OrSetOp, OrSetQuery, OrSetSpace};
 use peepul::types::queue::{Queue, QueueOp};
 use peepul::verify::suite::{certify_all, SuiteConfig};
 use peepul::verify::{MergePolicy, RandomConfig, Runner, Schedule, Step};
@@ -75,18 +75,16 @@ fn paper_section_2_1_2_scenario_certifies() {
             op: OrSetOp::Remove(7), // concurrent remove on b1
         },
         Step::Merge { into: 0, from: 1 },
-        Step::Do {
-            branch: 0,
-            op: OrSetOp::Lookup(7),
-        },
     ]
     .into_iter()
     .collect();
-    let mut runner: Runner<OrSetSpace<u32>> = Runner::new();
+    let mut runner: Runner<OrSetSpace<u32>> =
+        Runner::new().with_queries(vec![OrSetQuery::Lookup(7)]);
     runner
         .run_schedule(&schedule)
         .expect("the refresh-vs-remove scenario satisfies all obligations");
-    // Φ_spec checked that Lookup returned Present(true) — the value the
+    // The Lookup(7) probe fired after every DO and after the merge, and
+    // Φ_spec checked it answered Present(true) post-merge — the value the
     // specification demands (the refresh-add is unseen by the remove).
     assert!(runner.report().phi_spec >= 4);
 }

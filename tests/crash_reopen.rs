@@ -106,12 +106,18 @@ fn branch_store_heads_survive_crash_reopen() {
     let (heads, seg_len) = {
         let backend = SegmentBackend::open_with(&dir, quick()).unwrap();
         let mut db: BranchStore<Counter, _> = BranchStore::with_backend("main", backend).unwrap();
-        db.fork("dev", "main").unwrap();
+        db.branch_mut("main").unwrap().fork("dev").unwrap();
         for _ in 0..5 {
-            db.apply("main", &CounterOp::Increment).unwrap();
-            db.apply("dev", &CounterOp::Increment).unwrap();
+            db.branch_mut("main")
+                .unwrap()
+                .apply(&CounterOp::Increment)
+                .unwrap();
+            db.branch_mut("dev")
+                .unwrap()
+                .apply(&CounterOp::Increment)
+                .unwrap();
         }
-        db.merge("main", "dev").unwrap();
+        db.branch_mut("main").unwrap().merge_from("dev").unwrap();
         (db.backend().refs().unwrap(), db.backend().len_bytes())
     };
 

@@ -8,73 +8,136 @@
 //! milliseconds.
 
 use peepul::prelude::*;
-use peepul::types::counter::{CounterOp, CounterValue};
-use peepul::types::or_set::{OrSetOp, OrSetValue};
+use peepul::types::counter::{CounterOp, CounterQuery};
+use peepul::types::or_set::{OrSetOp, OrSetOutput, OrSetQuery};
 use peepul::types::queue::{QueueOp, QueueValue};
 
 #[test]
 fn counter_fork_apply_merge() {
     let mut db: BranchStore<Counter> = BranchStore::new("main");
-    db.apply("main", &CounterOp::Increment).unwrap();
-    db.fork("feature", "main").unwrap();
+    db.branch_mut("main")
+        .unwrap()
+        .apply(&CounterOp::Increment)
+        .unwrap();
+    let feature = db.branch_mut("main").unwrap().fork("feature").unwrap();
 
     // Concurrent increments on both branches.
-    db.apply("main", &CounterOp::Increment).unwrap();
-    db.apply("feature", &CounterOp::Increment).unwrap();
-    db.apply("feature", &CounterOp::Increment).unwrap();
+    db.branch_mut("main")
+        .unwrap()
+        .apply(&CounterOp::Increment)
+        .unwrap();
+    db.branch_mut(&feature)
+        .unwrap()
+        .transaction(|tx| {
+            tx.apply(&CounterOp::Increment);
+            tx.apply(&CounterOp::Increment);
+        })
+        .unwrap();
 
-    db.merge("main", "feature").unwrap();
-    let v = db.apply("main", &CounterOp::Value).unwrap();
+    db.branch_mut("main").unwrap().merge_from(&feature).unwrap();
     // 1 shared + 1 on main + 2 on feature: the delta merge loses nothing.
-    assert_eq!(v, CounterValue::Count(4));
+    assert_eq!(db.read("main", &CounterQuery::Value).unwrap(), 4);
 }
 
 #[test]
 fn or_set_add_wins_across_merge() {
     let mut db: BranchStore<OrSetSpace<String>> = BranchStore::new("laptop");
-    db.apply("laptop", &OrSetOp::Add("milk".into())).unwrap();
-    db.fork("phone", "laptop").unwrap();
+    db.branch_mut("laptop")
+        .unwrap()
+        .apply(&OrSetOp::Add("milk".into()))
+        .unwrap();
+    db.branch_mut("laptop").unwrap().fork("phone").unwrap();
 
     // Concurrently: phone removes, laptop re-adds — add must win.
-    db.apply("phone", &OrSetOp::Remove("milk".into())).unwrap();
-    db.apply("laptop", &OrSetOp::Add("milk".into())).unwrap();
+    db.branch_mut("phone")
+        .unwrap()
+        .apply(&OrSetOp::Remove("milk".into()))
+        .unwrap();
+    db.branch_mut("laptop")
+        .unwrap()
+        .apply(&OrSetOp::Add("milk".into()))
+        .unwrap();
 
-    db.merge("laptop", "phone").unwrap();
-    let v = db.apply("laptop", &OrSetOp::Lookup("milk".into())).unwrap();
-    assert_eq!(v, OrSetValue::Present(true));
+    db.branch_mut("laptop")
+        .unwrap()
+        .merge_from("phone")
+        .unwrap();
+    let v = db
+        .read("laptop", &OrSetQuery::Lookup("milk".into()))
+        .unwrap();
+    assert_eq!(v, OrSetOutput::Present(true));
 
     // And the removal of a non-re-added element does stick.
-    db.apply("phone", &OrSetOp::Add("eggs".into())).unwrap();
-    db.merge("laptop", "phone").unwrap();
-    db.apply("laptop", &OrSetOp::Remove("eggs".into())).unwrap();
-    db.fork("tablet", "laptop").unwrap();
-    db.merge("laptop", "tablet").unwrap();
-    let v = db.apply("laptop", &OrSetOp::Lookup("eggs".into())).unwrap();
-    assert_eq!(v, OrSetValue::Present(false));
+    db.branch_mut("phone")
+        .unwrap()
+        .apply(&OrSetOp::Add("eggs".into()))
+        .unwrap();
+    db.branch_mut("laptop")
+        .unwrap()
+        .merge_from("phone")
+        .unwrap();
+    db.branch_mut("laptop")
+        .unwrap()
+        .apply(&OrSetOp::Remove("eggs".into()))
+        .unwrap();
+    db.branch_mut("laptop").unwrap().fork("tablet").unwrap();
+    db.branch_mut("laptop")
+        .unwrap()
+        .merge_from("tablet")
+        .unwrap();
+    let v = db
+        .read("laptop", &OrSetQuery::Lookup("eggs".into()))
+        .unwrap();
+    assert_eq!(v, OrSetOutput::Present(false));
 }
 
 #[test]
 fn queue_merge_interleaves_in_timestamp_order() {
     let mut db: BranchStore<Queue<u32>> = BranchStore::new("a");
-    db.apply("a", &QueueOp::Enqueue(1)).unwrap();
-    db.fork("b", "a").unwrap();
+    db.branch_mut("a")
+        .unwrap()
+        .apply(&QueueOp::Enqueue(1))
+        .unwrap();
+    db.branch_mut("a").unwrap().fork("b").unwrap();
 
     // Divergent enqueues: a gets 2, then b gets 3 (later Lamport time).
-    db.apply("a", &QueueOp::Enqueue(2)).unwrap();
-    db.apply("b", &QueueOp::Enqueue(3)).unwrap();
+    db.branch_mut("a")
+        .unwrap()
+        .apply(&QueueOp::Enqueue(2))
+        .unwrap();
+    db.branch_mut("b")
+        .unwrap()
+        .apply(&QueueOp::Enqueue(3))
+        .unwrap();
     // b consumes the shared head concurrently.
-    let v = db.apply("b", &QueueOp::Dequeue).unwrap();
+    let v = db
+        .branch_mut("b")
+        .unwrap()
+        .apply(&QueueOp::Dequeue)
+        .unwrap();
     match v {
         QueueValue::Dequeued(Some(entry)) => assert_eq!(entry.1, 1),
         other => panic!("expected to dequeue the shared head, got {other:?}"),
     }
 
-    db.merge("a", "b").unwrap();
+    db.branch_mut("a").unwrap().merge_from("b").unwrap();
     // After the merge: 1 was dequeued on b (dequeues win), and the
     // concurrent enqueues appear in timestamp order.
-    let first = db.apply("a", &QueueOp::Dequeue).unwrap();
-    let second = db.apply("a", &QueueOp::Dequeue).unwrap();
-    let drained = db.apply("a", &QueueOp::Dequeue).unwrap();
+    let first = db
+        .branch_mut("a")
+        .unwrap()
+        .apply(&QueueOp::Dequeue)
+        .unwrap();
+    let second = db
+        .branch_mut("a")
+        .unwrap()
+        .apply(&QueueOp::Dequeue)
+        .unwrap();
+    let drained = db
+        .branch_mut("a")
+        .unwrap()
+        .apply(&QueueOp::Dequeue)
+        .unwrap();
     match (first, second) {
         (QueueValue::Dequeued(Some(x)), QueueValue::Dequeued(Some(y))) => {
             assert_eq!(
@@ -99,14 +162,14 @@ fn queue_merge_interleaves_in_timestamp_order() {
 fn generic_store_round_trip_for_three_types() {
     fn round_trip<M: Mrdt>(ops: &[M::Op]) -> BranchStore<M> {
         let mut db: BranchStore<M> = BranchStore::new("root");
-        db.fork("left", "root").unwrap();
-        db.fork("right", "root").unwrap();
+        db.branch_mut("root").unwrap().fork("left").unwrap();
+        db.branch_mut("root").unwrap().fork("right").unwrap();
         for (i, op) in ops.iter().enumerate() {
             let branch = if i % 2 == 0 { "left" } else { "right" };
-            db.apply(branch, op).unwrap();
+            db.branch_mut(branch).unwrap().apply(op).unwrap();
         }
-        db.merge("left", "right").unwrap();
-        db.merge("right", "left").unwrap();
+        db.branch_mut("left").unwrap().merge_from("right").unwrap();
+        db.branch_mut("right").unwrap().merge_from("left").unwrap();
         let l = db.state("left").unwrap();
         let r = db.state("right").unwrap();
         assert!(

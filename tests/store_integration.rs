@@ -12,7 +12,7 @@ use peepul::types::chat::ChatOp;
 use peepul::types::counter::CounterOp;
 use peepul::types::g_set::GSetOp;
 use peepul::types::map::MapOp;
-use peepul::types::or_set_space::{OrSetOp, OrSetValue};
+use peepul::types::or_set_space::{OrSetOp, OrSetOutput, OrSetQuery};
 use peepul::types::queue::{QueueOp, QueueValue};
 
 type Db<M> = BranchStore<M, Box<dyn Backend + Send>>;
@@ -25,15 +25,21 @@ fn open<M: Mrdt>(make: &mut BackendFactory<'_>, root: &str) -> Db<M> {
 fn chat_over_the_store_reaches_every_replica() {
     for_each_backend("chat", |kind, make| {
         let mut db: Db<Chat> = open(make, "alice");
-        db.apply("alice", &ChatOp::Send("#general".into(), "hello".into()))
+        db.branch_mut("alice")
+            .unwrap()
+            .apply(&ChatOp::Send("#general".into(), "hello".into()))
             .unwrap();
-        db.fork("bob", "alice").unwrap();
-        db.apply("bob", &ChatOp::Send("#general".into(), "hi back".into()))
+        db.branch_mut("alice").unwrap().fork("bob").unwrap();
+        db.branch_mut("bob")
+            .unwrap()
+            .apply(&ChatOp::Send("#general".into(), "hi back".into()))
             .unwrap();
-        db.apply("alice", &ChatOp::Send("#random".into(), "elsewhere".into()))
+        db.branch_mut("alice")
+            .unwrap()
+            .apply(&ChatOp::Send("#random".into(), "elsewhere".into()))
             .unwrap();
-        db.merge("alice", "bob").unwrap();
-        db.merge("bob", "alice").unwrap();
+        db.branch_mut("alice").unwrap().merge_from("bob").unwrap();
+        db.branch_mut("bob").unwrap().merge_from("alice").unwrap();
 
         let alice = db.state("alice").unwrap();
         let bob = db.state("bob").unwrap();
@@ -51,23 +57,23 @@ fn nested_map_of_sets_over_the_store() {
     type Inventory = MrdtMap<GSet<String>>;
     for_each_backend("nested-map", |kind, make| {
         let mut db: Db<Inventory> = open(make, "hq");
-        db.apply(
-            "hq",
-            &MapOp::Set("fruits".into(), GSetOp::Add("apple".into())),
-        )
-        .unwrap();
-        db.fork("warehouse", "hq").unwrap();
-        db.apply(
-            "warehouse",
-            &MapOp::Set("fruits".into(), GSetOp::Add("banana".into())),
-        )
-        .unwrap();
-        db.apply(
-            "hq",
-            &MapOp::Set("tools".into(), GSetOp::Add("hammer".into())),
-        )
-        .unwrap();
-        db.merge("hq", "warehouse").unwrap();
+        db.branch_mut("hq")
+            .unwrap()
+            .apply(&MapOp::Set("fruits".into(), GSetOp::Add("apple".into())))
+            .unwrap();
+        db.branch_mut("hq").unwrap().fork("warehouse").unwrap();
+        db.branch_mut("warehouse")
+            .unwrap()
+            .apply(&MapOp::Set("fruits".into(), GSetOp::Add("banana".into())))
+            .unwrap();
+        db.branch_mut("hq")
+            .unwrap()
+            .apply(&MapOp::Set("tools".into(), GSetOp::Add("hammer".into())))
+            .unwrap();
+        db.branch_mut("hq")
+            .unwrap()
+            .merge_from("warehouse")
+            .unwrap();
         let state = db.state("hq").unwrap();
         assert_eq!(
             state.keys().collect::<Vec<_>>(),
@@ -86,24 +92,48 @@ fn nested_map_of_sets_over_the_store() {
 fn queue_at_least_once_via_store_merges() {
     for_each_backend("queue-alo", |kind, make| {
         let mut db: Db<Queue<u32>> = open(make, "main");
-        db.apply("main", &QueueOp::Enqueue(1)).unwrap();
-        db.apply("main", &QueueOp::Enqueue(2)).unwrap();
-        db.fork("w1", "main").unwrap();
-        db.fork("w2", "main").unwrap();
+        db.branch_mut("main")
+            .unwrap()
+            .apply(&QueueOp::Enqueue(1))
+            .unwrap();
+        db.branch_mut("main")
+            .unwrap()
+            .apply(&QueueOp::Enqueue(2))
+            .unwrap();
+        db.branch_mut("main").unwrap().fork("w1").unwrap();
+        db.branch_mut("main").unwrap().fork("w2").unwrap();
 
-        let a = db.apply("w1", &QueueOp::Dequeue).unwrap();
-        let b = db.apply("w2", &QueueOp::Dequeue).unwrap();
+        let a = db
+            .branch_mut("w1")
+            .unwrap()
+            .apply(&QueueOp::Dequeue)
+            .unwrap();
+        let b = db
+            .branch_mut("w2")
+            .unwrap()
+            .apply(&QueueOp::Dequeue)
+            .unwrap();
         // Concurrent dequeues observed the same head: at-least-once.
         assert_eq!(a, b, "{kind}");
 
-        db.merge("main", "w1").unwrap();
-        db.merge("main", "w2").unwrap();
+        db.branch_mut("main").unwrap().merge_from("w1").unwrap();
+        db.branch_mut("main").unwrap().merge_from("w2").unwrap();
         // Element 1 was consumed (twice); only 2 remains.
-        match db.apply("main", &QueueOp::Dequeue).unwrap() {
+        match db
+            .branch_mut("main")
+            .unwrap()
+            .apply(&QueueOp::Dequeue)
+            .unwrap()
+        {
             QueueValue::Dequeued(Some((_, v))) => assert_eq!(v, 2, "{kind}"),
             other => panic!("{kind}: expected element 2, got {other:?}"),
         }
-        match db.apply("main", &QueueOp::Dequeue).unwrap() {
+        match db
+            .branch_mut("main")
+            .unwrap()
+            .apply(&QueueOp::Dequeue)
+            .unwrap()
+        {
             QueueValue::Dequeued(None) => {}
             other => panic!("{kind}: expected empty, got {other:?}"),
         }
@@ -116,20 +146,35 @@ fn deep_branch_topology_converges() {
     // adds its own element; merges flow back up the chain and down again.
     for_each_backend("deep-topology", |kind, make| {
         let mut db: Db<OrSetSpace<u32>> = open(make, "main");
-        db.apply("main", &OrSetOp::Add(0)).unwrap();
-        db.fork("f1", "main").unwrap();
-        db.fork("f2", "f1").unwrap();
-        db.fork("f3", "f2").unwrap();
-        db.apply("f1", &OrSetOp::Add(1)).unwrap();
-        db.apply("f2", &OrSetOp::Add(2)).unwrap();
-        db.apply("f3", &OrSetOp::Add(3)).unwrap();
-        db.apply("main", &OrSetOp::Remove(0)).unwrap();
+        db.branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Add(0))
+            .unwrap();
+        db.branch_mut("main").unwrap().fork("f1").unwrap();
+        db.branch_mut("f1").unwrap().fork("f2").unwrap();
+        db.branch_mut("f2").unwrap().fork("f3").unwrap();
+        db.branch_mut("f1")
+            .unwrap()
+            .apply(&OrSetOp::Add(1))
+            .unwrap();
+        db.branch_mut("f2")
+            .unwrap()
+            .apply(&OrSetOp::Add(2))
+            .unwrap();
+        db.branch_mut("f3")
+            .unwrap()
+            .apply(&OrSetOp::Add(3))
+            .unwrap();
+        db.branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Remove(0))
+            .unwrap();
 
         for b in ["f1", "f2", "f3"] {
-            db.merge("main", b).unwrap();
+            db.branch_mut("main").unwrap().merge_from(b).unwrap();
         }
         for b in ["f1", "f2", "f3"] {
-            db.merge(b, "main").unwrap();
+            db.branch_mut(b).unwrap().merge_from("main").unwrap();
         }
         let main = db.state("main").unwrap();
         assert_eq!(main.elements(), vec![1, 2, 3], "{kind}");
@@ -143,13 +188,19 @@ fn deep_branch_topology_converges() {
 fn repeated_criss_cross_merges_stay_correct() {
     for_each_backend("criss-cross", |kind, make| {
         let mut db: Db<GSet<u32>> = open(make, "a");
-        db.fork("b", "a").unwrap();
+        db.branch_mut("a").unwrap().fork("b").unwrap();
         for round in 0..5u32 {
-            db.apply("a", &GSetOp::Add(round * 2)).unwrap();
-            db.apply("b", &GSetOp::Add(round * 2 + 1)).unwrap();
+            db.branch_mut("a")
+                .unwrap()
+                .apply(&GSetOp::Add(round * 2))
+                .unwrap();
+            db.branch_mut("b")
+                .unwrap()
+                .apply(&GSetOp::Add(round * 2 + 1))
+                .unwrap();
             // Criss-cross every round.
-            db.merge("a", "b").unwrap();
-            db.merge("b", "a").unwrap();
+            db.branch_mut("a").unwrap().merge_from("b").unwrap();
+            db.branch_mut("b").unwrap().merge_from("a").unwrap();
         }
         let a = db.state("a").unwrap();
         let b = db.state("b").unwrap();
@@ -164,11 +215,17 @@ fn content_addressing_interns_equal_states() {
     // intern to a single state object with one content address.
     for_each_backend("interning", |kind, make| {
         let mut db: Db<Counter> = open(make, "x");
-        db.fork("y", "x").unwrap();
-        db.apply("x", &CounterOp::Increment).unwrap();
-        db.apply("y", &CounterOp::Increment).unwrap();
-        db.merge("x", "y").unwrap();
-        db.merge("y", "x").unwrap();
+        db.branch_mut("x").unwrap().fork("y").unwrap();
+        db.branch_mut("x")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        db.branch_mut("y")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        db.branch_mut("x").unwrap().merge_from("y").unwrap();
+        db.branch_mut("y").unwrap().merge_from("x").unwrap();
         assert_eq!(
             db.state_id("x").unwrap(),
             db.state_id("y").unwrap(),
@@ -181,11 +238,17 @@ fn content_addressing_interns_equal_states() {
     // The typed ObjectStore view still interns too.
     let mut store: ObjectStore<Counter> = ObjectStore::new();
     let mut db: BranchStore<Counter> = BranchStore::new("x");
-    db.fork("y", "x").unwrap();
-    db.apply("x", &CounterOp::Increment).unwrap();
-    db.apply("y", &CounterOp::Increment).unwrap();
-    db.merge("x", "y").unwrap();
-    db.merge("y", "x").unwrap();
+    db.branch_mut("x").unwrap().fork("y").unwrap();
+    db.branch_mut("x")
+        .unwrap()
+        .apply(&CounterOp::Increment)
+        .unwrap();
+    db.branch_mut("y")
+        .unwrap()
+        .apply(&CounterOp::Increment)
+        .unwrap();
+    db.branch_mut("x").unwrap().merge_from("y").unwrap();
+    db.branch_mut("y").unwrap().merge_from("x").unwrap();
     let sx = *db.state("x").unwrap();
     let sy = *db.state("y").unwrap();
     let (idx, _) = store.insert(sx);
@@ -208,15 +271,27 @@ fn content_ids_discriminate_distinct_states() {
 fn or_set_add_wins_end_to_end() {
     for_each_backend("add-wins", |kind, make| {
         let mut db: Db<OrSetSpace<String>> = open(make, "main");
-        db.apply("main", &OrSetOp::Add("doc".into())).unwrap();
-        db.fork("offline", "main").unwrap();
+        db.branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Add("doc".into()))
+            .unwrap();
+        db.branch_mut("main").unwrap().fork("offline").unwrap();
         // Offline device re-adds (refresh); main removes.
-        db.apply("offline", &OrSetOp::Add("doc".into())).unwrap();
-        db.apply("main", &OrSetOp::Remove("doc".into())).unwrap();
-        db.merge("main", "offline").unwrap();
+        db.branch_mut("offline")
+            .unwrap()
+            .apply(&OrSetOp::Add("doc".into()))
+            .unwrap();
+        db.branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Remove("doc".into()))
+            .unwrap();
+        db.branch_mut("main")
+            .unwrap()
+            .merge_from("offline")
+            .unwrap();
         assert_eq!(
-            db.apply("main", &OrSetOp::Lookup("doc".into())).unwrap(),
-            OrSetValue::Present(true),
+            db.read("main", &OrSetQuery::Lookup("doc".into())).unwrap(),
+            OrSetOutput::Present(true),
             "{kind}"
         );
     });
@@ -227,13 +302,19 @@ fn history_records_every_transition() {
     for_each_backend("history", |kind, make| {
         let mut db: Db<Counter> = open(make, "main");
         for _ in 0..5 {
-            db.apply("main", &CounterOp::Increment).unwrap();
+            db.branch_mut("main")
+                .unwrap()
+                .apply(&CounterOp::Increment)
+                .unwrap();
         }
-        db.fork("dev", "main").unwrap();
-        db.apply("dev", &CounterOp::Increment).unwrap();
-        db.merge("main", "dev").unwrap();
+        db.branch_mut("main").unwrap().fork("dev").unwrap();
+        db.branch_mut("dev")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        db.branch_mut("main").unwrap().merge_from("dev").unwrap();
         // root + 5 DOs + 1 DO on dev + 1 merge = 8 commits in main's history.
-        assert_eq!(db.history("main").unwrap().len(), 8, "{kind}");
+        assert_eq!(db.branch("main").unwrap().history().len(), 8, "{kind}");
     });
 }
 
@@ -241,10 +322,16 @@ fn history_records_every_transition() {
 fn backend_refs_and_objects_mirror_the_store() {
     for_each_backend("refs-mirror", |kind, make| {
         let mut db: Db<Counter> = open(make, "main");
-        db.apply("main", &CounterOp::Increment).unwrap();
-        db.fork("dev", "main").unwrap();
-        db.apply("dev", &CounterOp::Increment).unwrap();
-        db.merge("main", "dev").unwrap();
+        db.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        db.branch_mut("main").unwrap().fork("dev").unwrap();
+        db.branch_mut("dev")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        db.branch_mut("main").unwrap().merge_from("dev").unwrap();
         // Every branch head is a published ref pointing at a stored commit.
         for branch in db.branch_names().into_iter().map(str::to_owned) {
             let head = db.head_id(&branch).unwrap();

@@ -1,0 +1,186 @@
+//! Transactions and the commit-free read path, exercised against **both**
+//! persistence backends through the `tests/common` harness.
+//!
+//! The acceptance properties of the API redesign:
+//!
+//! * a transaction of `N` ops is observably equal to `N` sequential
+//!   applies and produces **exactly one** commit (proptest, both
+//!   backends);
+//! * reads leave `commit_count()` unchanged and need **no `&mut`** access
+//!   to the store — 1000 reads through a shared reference mint 0 commits;
+//! * dropped transactions roll back and publish nothing to the backend.
+
+mod common;
+
+use common::{for_each_backend, BackendFactory};
+use peepul::prelude::*;
+use peepul::types::counter::{CounterOp, CounterQuery};
+use peepul::types::or_set::{OrSet, OrSetOp, OrSetQuery};
+use proptest::prelude::*;
+
+type Db<M> = BranchStore<M, Box<dyn Backend + Send>>;
+
+fn open<M: Mrdt>(make: &mut BackendFactory<'_>, root: &str) -> Db<M> {
+    BranchStore::with_backend(root, make()).expect("open store")
+}
+
+/// Acceptance: a 10-op transaction creates exactly 1 commit, and 1000
+/// `read` calls create 0 commits while holding only `&BranchStore`.
+#[test]
+fn ten_op_transaction_one_commit_and_thousand_reads_zero_commits() {
+    for_each_backend("txn-acceptance", |kind, make| {
+        let mut db: Db<Counter> = open(make, "main");
+        let before = db.commit_count();
+        db.branch_mut("main")
+            .unwrap()
+            .transaction(|tx| {
+                for _ in 0..10 {
+                    tx.apply(&CounterOp::Increment);
+                }
+            })
+            .unwrap();
+        assert_eq!(
+            db.commit_count(),
+            before + 1,
+            "{kind}: 10 ops must mint exactly 1 commit"
+        );
+
+        // The read path: a shared reference is all it takes — the binding
+        // itself proves no `&mut` access is required.
+        let shared: &Db<Counter> = &db;
+        let commits = shared.commit_count();
+        let puts_before = shared.backend().stats().puts;
+        for _ in 0..1000 {
+            assert_eq!(shared.read("main", &CounterQuery::Value).unwrap(), 10);
+        }
+        assert_eq!(
+            shared.commit_count(),
+            commits,
+            "{kind}: 1000 reads must mint 0 commits"
+        );
+        assert_eq!(
+            shared.backend().stats().puts,
+            puts_before,
+            "{kind}: reads must not publish to the backend"
+        );
+    });
+}
+
+#[test]
+fn dropped_transaction_publishes_nothing() {
+    for_each_backend("txn-rollback", |kind, make| {
+        let mut db: Db<OrSet<u8>> = open(make, "main");
+        db.branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Add(1))
+            .unwrap();
+        let head = db.head_id("main").unwrap();
+        let commits = db.commit_count();
+        {
+            let mut b = db.branch_mut("main").unwrap();
+            let mut tx = b.begin();
+            tx.apply(&OrSetOp::Add(2));
+            tx.apply(&OrSetOp::Remove(1));
+            // Dropped uncommitted: rollback.
+        }
+        assert_eq!(db.commit_count(), commits, "{kind}");
+        assert_eq!(db.head_id("main").unwrap(), head, "{kind}");
+        assert!(
+            db.state("main").unwrap().contains(&1),
+            "{kind}: rolled-back remove must not stick"
+        );
+    });
+}
+
+/// Interprets a byte as an OR-set update, covering add/remove conflicts.
+fn op_of(byte: u8) -> OrSetOp<u8> {
+    let x = byte % 8;
+    if byte % 3 == 0 {
+        OrSetOp::Remove(x)
+    } else {
+        OrSetOp::Add(x)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A transaction of N ops ≡ N sequential applies, observably — and the
+    /// commit ledgers differ exactly as batching promises: 1 commit vs N.
+    /// Checked on both backends.
+    #[test]
+    fn transaction_equals_sequential_applies(
+        raw in proptest::collection::vec(any::<u8>(), 1..24),
+    ) {
+        let ops: Vec<OrSetOp<u8>> = raw.iter().copied().map(op_of).collect();
+        for_each_backend("txn-equiv", |kind, make| {
+            let mut batched: Db<OrSet<u8>> = open(make, "main");
+            let mut sequential: Db<OrSet<u8>> = open(make, "main");
+
+            batched
+                .branch_mut("main")
+                .unwrap()
+                .transaction(|tx| {
+                    for op in &ops {
+                        tx.apply(op);
+                    }
+                })
+                .unwrap();
+            for op in &ops {
+                sequential.branch_mut("main").unwrap().apply(op).unwrap();
+            }
+
+            // Plain asserts: a panic inside the backend closure still fails
+            // (and shrinks) the proptest case.
+            let b = batched.state("main").unwrap();
+            let s = sequential.state("main").unwrap();
+            assert!(
+                b.observably_equal(&s),
+                "{kind}: batched {b:?} != sequential {s:?}"
+            );
+            // Same queries, same answers, through the commit-free path.
+            for x in 0..8u8 {
+                assert_eq!(
+                    batched.read("main", &OrSetQuery::Lookup(x)).unwrap(),
+                    sequential.read("main", &OrSetQuery::Lookup(x)).unwrap(),
+                    "{kind}"
+                );
+            }
+            // Exactly one commit for the batch (plus the shared root).
+            assert_eq!(batched.commit_count(), 2, "{kind}");
+            assert_eq!(sequential.commit_count(), 1 + ops.len(), "{kind}");
+        });
+    }
+
+    /// Reads never perturb the store: interleaving arbitrary reads between
+    /// updates changes neither the commit count nor the head addresses.
+    #[test]
+    fn reads_are_side_effect_free(
+        raw in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        for_each_backend("read-pure", |kind, make| {
+            let mut noisy: Db<OrSet<u8>> = open(make, "main");
+            let mut quiet: Db<OrSet<u8>> = open(make, "main");
+            for byte in &raw {
+                let op = op_of(*byte);
+                noisy.branch_mut("main").unwrap().apply(&op).unwrap();
+                quiet.branch_mut("main").unwrap().apply(&op).unwrap();
+                // Hammer the read path on one store only.
+                for x in 0..4u8 {
+                    noisy.read("main", &OrSetQuery::Lookup(x)).unwrap();
+                    noisy.branch("main").unwrap().read(&OrSetQuery::Read);
+                }
+            }
+            assert_eq!(
+                noisy.commit_count(),
+                quiet.commit_count(),
+                "{kind}: reads minted commits"
+            );
+            assert_eq!(
+                noisy.head_id("main").unwrap(),
+                quiet.head_id("main").unwrap(),
+                "{kind}: reads changed the head"
+            );
+        });
+    }
+}
