@@ -1,0 +1,285 @@
+//! **Sync benchmark** — the replication half of the CI perf gate.
+//!
+//! Measures the three `peepul-net` metrics the ROADMAP's scaling goals
+//! track, and writes them as machine-readable JSON (`BENCH_sync.json` at
+//! the repo root in CI):
+//!
+//! * `sync_objects_per_sec` — verified objects (commits + states) ingested
+//!   per second when a cold replica fetches a deep history over a
+//!   `ChannelTransport` (higher is better);
+//! * `round_trips_per_fetch` — transport round trips one cold fetch needs;
+//!   the want/have negotiation answers the whole missing subgraph from the
+//!   Merkle structure, so this is 3 regardless of history depth (lower);
+//! * `partition_heal_convergence_ms` — wall time for an 8-replica fleet
+//!   that diverged under a partition to converge after heal via
+//!   anti-entropy (lower).
+//!
+//! With `--baseline <path>`: if the file exists, each metric is compared
+//! against it and the run **fails (exit 1) when any metric regresses by
+//! more than `--tolerance`** (default 0.25); if it does not exist, the
+//! current numbers are written there so the first CI run establishes the
+//! baseline. Same contract as `bench_store`.
+//!
+//! Run: `cargo run --release -p peepul-bench --bin bench_sync -- \
+//!           --out BENCH_sync.json --baseline BENCH_sync.baseline.json`
+
+use peepul_net::{AntiEntropy, ChannelTransport, Cluster, Remote, Replica};
+use peepul_store::{BranchStore, MemoryBackend};
+use peepul_types::counter::CounterOp;
+use peepul_types::or_set_space::{OrSetOp, OrSetSpace};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Direction of improvement for a metric.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Better {
+    Higher,
+    Lower,
+}
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+    better: Better,
+}
+
+fn quick_mode(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--quick")
+        || std::env::var("PEEPUL_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// A server replica holding a `commits`-deep OR-set history.
+fn deep_history(commits: u32) -> Replica<OrSetSpace<u64>, MemoryBackend> {
+    let mut store: BranchStore<OrSetSpace<u64>> = BranchStore::new("main");
+    {
+        let mut main = store.branch_mut("main").unwrap();
+        for i in 0..commits {
+            main.apply(&OrSetOp::Add(u64::from(i) % 512)).unwrap();
+        }
+    }
+    Replica::new("origin", store)
+}
+
+/// Cold-fetch throughput: a fresh replica downloads the whole history.
+/// Returns `(objects_per_sec, round_trips, objects)` averaged over
+/// `reps` fresh clients.
+fn fetch_throughput(commits: u32, reps: u32) -> (f64, f64, u64) {
+    let origin = deep_history(commits);
+    let mut total_objects = 0u64;
+    let mut total_rts = 0u64;
+    let mut total_secs = 0f64;
+    for rep in 0..reps {
+        let client: Replica<OrSetSpace<u64>, MemoryBackend> = Replica::new(
+            format!("client-{rep}"),
+            BranchStore::with_backend_and_base("main", MemoryBackend::new(), (rep + 1) << 16)
+                .unwrap(),
+        );
+        let mut remote = Remote::new("origin", ChannelTransport::connect(origin.clone()));
+        let start = Instant::now();
+        let stats = client.fetch(&mut remote, "main").unwrap();
+        total_secs += start.elapsed().as_secs_f64();
+        total_objects += stats.objects_received();
+        total_rts += stats.round_trips;
+    }
+    (
+        total_objects as f64 / total_secs,
+        total_rts as f64 / f64::from(reps),
+        total_objects / u64::from(reps),
+    )
+}
+
+/// The 8-replica partition-heal scenario: half the fleet is cut off while
+/// everyone increments, then the partition heals and anti-entropy repairs
+/// it. Returns `(convergence_ms, rounds, objects_moved)`.
+fn partition_heal(ops: usize) -> (f64, u64, u64) {
+    let cluster: Cluster<peepul_types::counter::Counter> = Cluster::new(8).unwrap();
+    for i in [1usize, 3, 5, 7] {
+        cluster.faults(i).unwrap().partition();
+    }
+    cluster.run(ops, 4, |_, _| CounterOp::Increment).unwrap();
+    for i in [1usize, 3, 5, 7] {
+        cluster.faults(i).unwrap().heal();
+    }
+    let nodes: Vec<_> = (0..8).map(|i| cluster.node(i).unwrap().clone()).collect();
+    let start = Instant::now();
+    let report = AntiEntropy::new().run(&nodes, "main").unwrap();
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(report.converged, "heal must converge: {report:?}");
+    let expected = (8 * ops) as u64;
+    let count = nodes[0]
+        .read("main", &peepul_types::counter::CounterQuery::Value)
+        .unwrap();
+    assert_eq!(count, expected, "no increment lost under partition+heal");
+    (ms, report.rounds, report.objects_transferred)
+}
+
+/// Renders the report as JSON (hand-rolled: the workspace deliberately
+/// has no serde; EXPERIMENTS.md documents this schema).
+fn render_json(metrics: &[Metric], quick: bool, info: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"peepul/bench-sync/v1\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"metrics\": {{");
+    for (i, m) in metrics.iter().enumerate() {
+        let better = match m.better {
+            Better::Higher => "higher",
+            Better::Lower => "lower",
+        };
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"value\": {:.6}, \"better\": \"{better}\" }}{comma}",
+            m.name, m.value
+        );
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"info\": {{");
+    for (i, (name, value)) in info.iter().enumerate() {
+        let comma = if i + 1 < info.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{name}\": {value:.6}{comma}");
+    }
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `"name": { "value": <f64>` from a report produced by
+/// `render_json` (tolerant scan, not a general JSON parser).
+fn baseline_value(json: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\"");
+    let after_key = &json[json.find(&key)? + key.len()..];
+    let after_value = &after_key[after_key.find("\"value\":")? + "\"value\":".len()..];
+    let num: String = after_value
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = quick_mode(&args);
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_sync.json".into());
+    let baseline_path = flag_value(&args, "--baseline");
+    let tolerance: f64 = flag_value(&args, "--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a number"))
+        .unwrap_or(0.25);
+
+    // Quick mode still runs long enough to average out scheduler noise on
+    // shared CI runners — the timing metrics are gated at ±25%.
+    let (commits, reps, heal_ops) = if quick { (400, 3, 24) } else { (1_500, 5, 60) };
+
+    println!(
+        "# bench_sync ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    let (objects_per_sec, rts_per_fetch, objects_per_fetch) = fetch_throughput(commits, reps);
+    println!(
+        "cold fetch            : {objects_per_sec:.0} objects/s \
+         ({objects_per_fetch} objects, {rts_per_fetch:.1} round trips)"
+    );
+    let (heal_ms, heal_rounds, heal_objects) = partition_heal(heal_ops);
+    println!(
+        "8-replica heal        : {heal_ms:.1} ms to converge \
+         ({heal_rounds} rounds, {heal_objects} objects)"
+    );
+
+    let metrics = [
+        Metric {
+            name: "sync_objects_per_sec",
+            value: objects_per_sec,
+            better: Better::Higher,
+        },
+        Metric {
+            name: "round_trips_per_fetch",
+            value: rts_per_fetch,
+            better: Better::Lower,
+        },
+        Metric {
+            name: "partition_heal_convergence_ms",
+            value: heal_ms,
+            better: Better::Lower,
+        },
+    ];
+    let info = [
+        ("objects_per_cold_fetch", objects_per_fetch as f64),
+        ("heal_rounds", heal_rounds as f64),
+        ("heal_objects_transferred", heal_objects as f64),
+    ];
+
+    let json = render_json(&metrics, quick, &info);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    // Hard functional gate: negotiation must stay O(1) round trips — depth
+    // independence is the whole point of the Merkle want/have exchange.
+    if rts_per_fetch > 3.0 {
+        eprintln!("FAIL: a cold fetch used {rts_per_fetch} round trips (expected 3)");
+        std::process::exit(1);
+    }
+
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    match std::fs::read_to_string(&baseline_path) {
+        Err(_) => {
+            // First run: establish the baseline (CI commits this file).
+            std::fs::write(&baseline_path, &json).expect("write baseline");
+            println!("no baseline found; wrote initial baseline to {baseline_path}");
+        }
+        Ok(baseline) => {
+            // Quick and full mode run different workload sizes; comparing
+            // across modes would flag spurious "regressions". Only gate
+            // against a baseline recorded in the same mode.
+            let baseline_quick = baseline.contains("\"quick\": true");
+            if baseline_quick != quick {
+                println!(
+                    "baseline at {baseline_path} was recorded in {} mode, this run is {} mode — skipping the regression gate",
+                    if baseline_quick { "quick" } else { "full" },
+                    if quick { "quick" } else { "full" },
+                );
+                return;
+            }
+            let mut regressed = false;
+            for m in &metrics {
+                let Some(base) = baseline_value(&baseline, m.name) else {
+                    println!("baseline lacks {} — skipping", m.name);
+                    continue;
+                };
+                let (bad, ratio) = match m.better {
+                    Better::Higher => (
+                        m.value < base * (1.0 - tolerance),
+                        m.value / base.max(f64::MIN_POSITIVE),
+                    ),
+                    Better::Lower => (
+                        m.value > base * (1.0 + tolerance),
+                        base / m.value.max(f64::MIN_POSITIVE),
+                    ),
+                };
+                println!(
+                    "{:<32} {:>14.3} vs baseline {:>14.3}  ({:.2}x) {}",
+                    m.name,
+                    m.value,
+                    base,
+                    ratio,
+                    if bad { "REGRESSED" } else { "ok" }
+                );
+                regressed |= bad;
+            }
+            if regressed {
+                eprintln!(
+                    "FAIL: sync metric regressed more than {:.0}% vs baseline",
+                    tolerance * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -80,6 +80,7 @@ pub mod sim;
 pub mod spec;
 pub mod store_props;
 pub mod timestamp;
+pub mod wire;
 
 pub use abstract_state::AbstractState;
 pub use event::{Event, EventId};
@@ -89,6 +90,7 @@ pub use sim::SimulationRelation;
 pub use spec::Specification;
 pub use store_props::{psi_lca, psi_lca_paper, psi_ts, StorePropertyError};
 pub use timestamp::{ReplicaId, Timestamp};
+pub use wire::Wire;
 
 /// Shorthand for the abstract state of an MRDT `M`.
 ///

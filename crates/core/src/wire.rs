@@ -1,0 +1,462 @@
+//! The deterministic wire codec replication runs on.
+//!
+//! The store persists states as their canonical `Hash`-stream bytes — a
+//! one-way encoding: it hashes to the state's content address, but nothing
+//! can be decoded *from* it. Replication between independent stores needs
+//! the other direction too: a replica that receives a state object over a
+//! transport must reconstruct the typed value to merge with. [`Wire`] is
+//! that codec: a small, explicit, platform-independent binary encoding
+//! (little-endian fixed-width integers, `u64` length prefixes) with a
+//! decoder, implemented by every data type that wants to be replicated.
+//!
+//! The codec is **not** the content address. On ingest, a receiver decodes
+//! the wire bytes to a typed state, re-derives the state's canonical bytes
+//! and content id locally, and verifies that id against the address the
+//! sender advertised — so a faithful round-trip is checked by SHA-256 on
+//! every transferred object, and a codec bug is indistinguishable from
+//! corruption (both are rejected).
+//!
+//! # Implementing `Wire`
+//!
+//! Encode fields in declaration order with the building-block impls below;
+//! decode them back in the same order. [`Wire::max_tick`] is the Lamport
+//! *receive rule* hook: a state carrying timestamps reports the largest
+//! tick it contains, and an ingesting store advances its own clock past it
+//! so that operations applied after a merge order after everything merged
+//! in (the happens-before half of Ψ_ts across stores).
+//!
+//! # Example
+//!
+//! ```
+//! use peepul_core::wire::Wire;
+//!
+//! let v: Vec<(u64, String)> = vec![(1, "a".into()), (2, "b".into())];
+//! let bytes = v.to_wire();
+//! assert_eq!(Vec::<(u64, String)>::from_wire(&bytes), Some(v));
+//! ```
+
+use crate::{ReplicaId, Timestamp};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A value with a deterministic, self-describing binary encoding, used to
+/// move typed MRDT states between stores.
+///
+/// Laws every implementation must uphold:
+///
+/// * **round-trip**: `decode(encode(v)) == Some(v)` consuming exactly the
+///   encoded bytes;
+/// * **determinism**: equal values encode to equal bytes (no iteration
+///   over unordered containers, no platform-dependent widths);
+/// * **structural fidelity**: the decoded value is *structurally* equal to
+///   the original, so its canonical `Hash` bytes — and therefore its
+///   content address — are identical. Replication verifies this with
+///   SHA-256 on every transferred object.
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `input`, advancing it past the
+    /// consumed bytes. `None` on malformed or truncated input.
+    fn decode(input: &mut &[u8]) -> Option<Self>;
+
+    /// The largest Lamport tick stored anywhere in this value, or 0 when
+    /// it carries no timestamps.
+    ///
+    /// Ingesting stores use this as the Lamport receive rule: after
+    /// landing a remote state they advance their own clock past it, so
+    /// later local operations timestamp-order after everything merged in.
+    fn max_tick(&self) -> u64 {
+        0
+    }
+
+    /// This value's complete encoding as a fresh byte vector.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a value from `bytes`, requiring that **all** bytes are
+    /// consumed (trailing garbage is malformed input, not padding).
+    fn from_wire(mut bytes: &[u8]) -> Option<Self> {
+        let v = Self::decode(&mut bytes)?;
+        bytes.is_empty().then_some(v)
+    }
+}
+
+/// Splits `n` bytes off the front of `input`, or `None` if it is shorter.
+pub fn take<'a>(input: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if input.len() < n {
+        return None;
+    }
+    let (head, rest) = input.split_at(n);
+    *input = rest;
+    Some(head)
+}
+
+/// Encodes a container length as `u64`.
+pub fn encode_len(len: usize, out: &mut Vec<u8>) {
+    (len as u64).encode(out);
+}
+
+/// Decodes a container length, rejecting lengths that cannot possibly fit
+/// in the remaining input (each element takes ≥ 1 byte), so a malicious
+/// length prefix cannot force a huge allocation.
+pub fn decode_len(input: &mut &[u8]) -> Option<usize> {
+    let len = u64::decode(input)?;
+    let len = usize::try_from(len).ok()?;
+    (len <= input.len()).then_some(len)
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                let bytes = take(input, std::mem::size_of::<$t>())?;
+                Some(<$t>::from_le_bytes(bytes.try_into().expect("exact size")))
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        usize::try_from(u64::decode(input)?).ok()
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for () {
+    // One byte, not zero: every encodable value occupies at least one
+    // wire byte, which is what lets `decode_len` reject length prefixes
+    // larger than the remaining input before any allocation (a zero-size
+    // encoding would make `vec![(); huge]` both unrepresentable under
+    // that guard and a spin-loop without it).
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(0);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        (u8::decode(input)? == 0).then_some(())
+    }
+}
+
+impl Wire for char {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u32).encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        char::from_u32(u32::decode(input)?)
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = decode_len(input)?;
+        let bytes = take(input, len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(input)?)),
+            _ => None,
+        }
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.as_ref().map_or(0, Wire::max_tick)
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = decode_len(input)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(input)?);
+        }
+        Some(out)
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.iter().map(Wire::max_tick).max().unwrap_or(0)
+    }
+}
+
+impl<T: Wire> Wire for VecDeque<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Vec::<T>::decode(input)?.into())
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.iter().map(Wire::max_tick).max().unwrap_or(0)
+    }
+}
+
+impl<T: Wire + Ord> Wire for BTreeSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = decode_len(input)?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::decode(input)?);
+        }
+        // Duplicate elements would re-encode shorter than they arrived —
+        // reject rather than silently canonicalize.
+        (out.len() == len).then_some(out)
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.iter().map(Wire::max_tick).max().unwrap_or(0)
+    }
+}
+
+impl<K: Wire + Ord, V: Wire> Wire for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = decode_len(input)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(input)?;
+            let v = V::decode(input)?;
+            out.insert(k, v);
+        }
+        (out.len() == len).then_some(out)
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.iter()
+            .map(|(k, v)| k.max_tick().max(v.max_tick()))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?))
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.0.max_tick().max(self.1.max_tick())
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?, C::decode(input)?))
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.0
+            .max_tick()
+            .max(self.1.max_tick())
+            .max(self.2.max_tick())
+    }
+}
+
+impl Wire for ReplicaId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_u32().encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(ReplicaId::new(u32::decode(input)?))
+    }
+}
+
+impl Wire for Timestamp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tick().encode(out);
+        self.replica().encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let tick = u64::decode(input)?;
+        let replica = ReplicaId::decode(input)?;
+        Some(Timestamp::new(tick, replica))
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.tick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_wire();
+        assert_eq!(T::from_wire(&bytes), Some(v), "bytes: {bytes:?}");
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u8::MAX);
+        roundtrip(u16::MAX);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(usize::MAX & (u32::MAX as usize));
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip('é');
+        roundtrip(());
+        // Zero-size Rust values still occupy wire bytes, so containers of
+        // them round-trip under the length-prefix guard.
+        roundtrip(vec![(), (), ()]);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(String::from("hello, wire"));
+        roundtrip(String::new());
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(VecDeque::from([1u32, 2]));
+        roundtrip(BTreeSet::from([1u8, 2, 3]));
+        roundtrip(BTreeMap::from([(1u8, String::from("a")), (2, "b".into())]));
+        roundtrip(Some(7u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip((1u8, String::from("x")));
+        roundtrip((1u8, 2u16, 3u32));
+    }
+
+    #[test]
+    fn timestamps_roundtrip_and_report_ticks() {
+        let t = Timestamp::new(17, ReplicaId::new(3));
+        roundtrip(t);
+        roundtrip(ReplicaId::new(9));
+        assert_eq!(t.max_tick(), 17);
+        assert_eq!(
+            vec![(1u8, Timestamp::new(4, ReplicaId::new(0))), (2, t)].max_tick(),
+            17
+        );
+        assert_eq!(Vec::<u64>::new().max_tick(), 0);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = 0xffff_ffff_ffffu64.to_wire();
+        assert_eq!(u64::from_wire(&bytes[..7]), None);
+        let s = String::from("abc").to_wire();
+        assert_eq!(String::from_wire(&s[..s.len() - 1]), None);
+        // A length prefix larger than the remaining input must not allocate.
+        let mut huge = Vec::new();
+        encode_len(usize::MAX / 2, &mut huge);
+        assert_eq!(Vec::<u8>::from_wire(&huge), None);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 1u8.to_wire();
+        bytes.push(0);
+        assert_eq!(u8::from_wire(&bytes), None);
+    }
+
+    #[test]
+    fn malformed_tags_are_rejected() {
+        assert_eq!(bool::from_wire(&[2]), None);
+        assert_eq!(Option::<u8>::from_wire(&[9]), None);
+        assert_eq!(String::from_wire(&[1, 0, 0, 0, 0, 0, 0, 0, 0xff]), None);
+    }
+
+    #[test]
+    fn duplicate_set_elements_are_rejected() {
+        let mut bytes = Vec::new();
+        encode_len(2, &mut bytes);
+        1u8.encode(&mut bytes);
+        1u8.encode(&mut bytes);
+        assert_eq!(BTreeSet::<u8>::from_wire(&bytes), None);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let a = BTreeMap::from([(2u8, 20u64), (1, 10)]);
+        let b = BTreeMap::from([(1u8, 10u64), (2, 20)]);
+        assert_eq!(a.to_wire(), b.to_wire());
+    }
+}

@@ -1,0 +1,485 @@
+//! A fleet of replicas under one handle — now over *real* replication.
+//!
+//! [`Cluster`] is the workspace's multi-replica execution harness. Since
+//! the `peepul-net` rebuild it runs in one of two modes:
+//!
+//! * **Replicated** (the default, [`Cluster::new`] /
+//!   [`Cluster::replicated`]): `n` independent [`Replica`]s, each with its
+//!   **own** [`BranchStore`] and backend and a disjoint replica-id range,
+//!   wired by [`ChannelTransport`] links with per-replica
+//!   [`FaultInjector`]s. Gossip is a real `pull` — refs, want/have
+//!   negotiation, verified object transfer — and replicas can be
+//!   partitioned, lose messages, and lag independently.
+//! * **Simulated** ([`Cluster::simulated`] / [`Cluster::with_backend`]):
+//!   the pre-`peepul-net` behaviour, kept for workloads that want maximal
+//!   interleaving stress at minimal cost — `n` branches of a **single
+//!   shared** store behind one mutex, one OS thread per branch,
+//!   gossip-by-local-merge. Nothing is transferred in this mode; it
+//!   exercises merge correctness under scheduler nondeterminism, not
+//!   replication.
+//!
+//! `run`/`converge`/`read` behave identically in both modes, so existing
+//! convergence suites drive either.
+
+use crate::anti_entropy::AntiEntropy;
+use crate::error::NetError;
+use crate::replica::{Remote, Replica};
+use crate::transport::{ChannelTransport, FaultInjector};
+use parking_lot::Mutex;
+use peepul_core::{Mrdt, Wire};
+use peepul_store::{Backend, BranchStore, MemoryBackend, StoreError};
+use std::fmt;
+use std::sync::Arc;
+
+/// The branch each replicated node applies its local operations to.
+const LOCAL_BRANCH: &str = "main";
+
+/// Replica-id ranges are spaced this far apart so that `n` independent
+/// stores can each fork thousands of branches without two stores ever
+/// minting the same `(tick, replica)` timestamp pair.
+const REPLICA_ID_STRIDE: u32 = 1 << 16;
+
+fn replica_branch(i: usize) -> String {
+    format!("replica-{i}")
+}
+
+enum Inner<M: Mrdt, B: Backend> {
+    /// Legacy simulation: n branches over one shared store.
+    Sim(Arc<Mutex<BranchStore<M, B>>>),
+    /// Real replication: n independent stores over channel links.
+    Net {
+        nodes: Vec<Replica<M, B>>,
+        /// `faults[i]` governs replica i's *outgoing* link.
+        faults: Vec<FaultInjector>,
+    },
+}
+
+/// A multi-replica cluster; see the [module docs](self) for the two modes.
+///
+/// # Example
+///
+/// ```
+/// use peepul_net::Cluster;
+/// use peepul_types::counter::{Counter, CounterOp};
+///
+/// # fn main() -> Result<(), peepul_net::NetError> {
+/// // Four *independent* stores, replicating over in-process transports.
+/// let cluster: Cluster<Counter> = Cluster::new(4)?;
+/// cluster.run(100, 10, |_replica, _round| CounterOp::Increment)?;
+/// let final_states = cluster.converge()?;
+/// assert!(final_states.iter().all(|s| s.count() == 400));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Cluster<M: Mrdt, B: Backend = MemoryBackend> {
+    inner: Inner<M, B>,
+    replicas: usize,
+}
+
+impl<M: Mrdt + Wire + Send + Sync + 'static> Cluster<M> {
+    /// A replicated in-memory cluster: `replicas` independent stores, each
+    /// over its own fresh [`MemoryBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from store construction.
+    pub fn new(replicas: usize) -> Result<Self, NetError> {
+        Self::replicated((0..replicas).map(|_| MemoryBackend::new()).collect())
+    }
+
+    /// The legacy shared-store simulation over a fresh [`MemoryBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from branch creation.
+    pub fn simulated(replicas: usize) -> Result<Self, NetError> {
+        Self::with_backend(replicas, MemoryBackend::new())
+    }
+}
+
+impl<M: Mrdt + Wire + Send + Sync + 'static, B: Backend + Send + 'static> Cluster<M, B> {
+    /// The legacy shared-store simulation over an explicit backend:
+    /// `replicas` branches of **one** store, one thread per branch. This
+    /// is the pre-replication `Cluster` behaviour, preserved as a mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from publishing or branch creation.
+    pub fn with_backend(replicas: usize, backend: B) -> Result<Self, NetError> {
+        assert!(replicas >= 1, "a cluster needs at least one replica");
+        let mut store = BranchStore::with_backend(replica_branch(0), backend)?;
+        for i in 1..replicas {
+            store
+                .branch_mut(&replica_branch(0))?
+                .fork(replica_branch(i))?;
+        }
+        Ok(Cluster {
+            inner: Inner::Sim(Arc::new(Mutex::new(store))),
+            replicas,
+        })
+    }
+
+    /// A replicated cluster with one backend **per replica** — including
+    /// mixed fleets when `B` is `Box<dyn Backend + Send>` (some replicas
+    /// in memory, some on disk). Replica `i` is named `replica-i`, holds
+    /// its operations on branch `"main"`, and mints replica ids from a
+    /// disjoint range (`i · 2^16`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from store construction.
+    pub fn replicated(backends: Vec<B>) -> Result<Self, NetError> {
+        assert!(!backends.is_empty(), "a cluster needs at least one replica");
+        let replicas = backends.len();
+        let mut nodes = Vec::with_capacity(replicas);
+        for (i, backend) in backends.into_iter().enumerate() {
+            let store = BranchStore::with_backend_and_base(
+                LOCAL_BRANCH,
+                backend,
+                (i as u32) * REPLICA_ID_STRIDE,
+            )?;
+            nodes.push(Replica::new(replica_branch(i), store));
+        }
+        let faults = (0..replicas).map(|_| FaultInjector::new()).collect();
+        Ok(Cluster {
+            inner: Inner::Net { nodes, faults },
+            replicas,
+        })
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Whether this cluster runs real replication (as opposed to the
+    /// shared-store simulation).
+    pub fn is_replicated(&self) -> bool {
+        matches!(self.inner, Inner::Net { .. })
+    }
+
+    /// Replica `i` (replicated mode only).
+    pub fn node(&self, i: usize) -> Option<&Replica<M, B>> {
+        match &self.inner {
+            Inner::Net { nodes, .. } => nodes.get(i),
+            Inner::Sim(_) => None,
+        }
+    }
+
+    /// The fault plan of replica `i`'s outgoing gossip link (replicated
+    /// mode only) — partition it, heal it, make it lossy.
+    pub fn faults(&self, i: usize) -> Option<&FaultInjector> {
+        match &self.inner {
+            Inner::Net { faults, .. } => faults.get(i),
+            Inner::Sim(_) => None,
+        }
+    }
+
+    /// Answers a pure query against one replica's current head — the
+    /// commit-free read path.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if `replica >= self.replicas()`.
+    pub fn read(&self, replica: usize, q: &M::Query) -> Result<M::Output, NetError> {
+        match &self.inner {
+            Inner::Sim(store) => Ok(store.lock().read(&replica_branch(replica), q)?),
+            Inner::Net { nodes, .. } => match nodes.get(replica) {
+                Some(node) => Ok(node.read(LOCAL_BRANCH, q)?),
+                None => Err(StoreError::UnknownBranch(replica_branch(replica)).into()),
+            },
+        }
+    }
+
+    /// Runs `ops_per_replica` operations on every replica concurrently,
+    /// one OS thread per replica.
+    ///
+    /// `op_of(replica, round)` generates the operation each replica
+    /// applies at each round; every `gossip_every` rounds a replica
+    /// gossips with its ring neighbour — a real `pull` over the replica's
+    /// (possibly faulty) link in replicated mode, a local merge in
+    /// simulation mode. A gossip lost to fault injection is a missed
+    /// opportunity, not an error; anti-entropy repairs it later.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first store/verification error any replica thread
+    /// hit.
+    pub fn run<F>(
+        &self,
+        ops_per_replica: usize,
+        gossip_every: usize,
+        op_of: F,
+    ) -> Result<(), NetError>
+    where
+        F: Fn(usize, usize) -> M::Op + Send + Sync,
+    {
+        let op_of = &op_of;
+        match &self.inner {
+            Inner::Sim(store) => {
+                let results: Vec<Result<(), StoreError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..self.replicas)
+                        .map(|i| {
+                            let store = Arc::clone(store);
+                            scope.spawn(move || {
+                                let me = replica_branch(i);
+                                let peer = replica_branch((i + 1) % self.replicas);
+                                for round in 0..ops_per_replica {
+                                    let op = op_of(i, round);
+                                    store.lock().branch_mut(&me)?.apply(&op)?;
+                                    if gossip_every > 0 && round % gossip_every == gossip_every - 1
+                                    {
+                                        store.lock().branch_mut(&me)?.merge_from(&peer)?;
+                                    }
+                                }
+                                Ok(())
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("replica thread panicked"))
+                        .collect()
+                });
+                results
+                    .into_iter()
+                    .collect::<Result<(), StoreError>>()
+                    .map_err(NetError::from)
+            }
+            Inner::Net { nodes, faults } => {
+                let results: Vec<Result<(), NetError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..self.replicas)
+                        .map(|i| {
+                            let me = nodes[i].clone();
+                            let peer = nodes[(i + 1) % self.replicas].clone();
+                            let link = faults[i].clone();
+                            let peer_link = faults[(i + 1) % self.replicas].clone();
+                            scope.spawn(move || {
+                                let mut remote = Remote::new(
+                                    peer.name(),
+                                    ChannelTransport::with_faults(peer.clone(), link),
+                                );
+                                for round in 0..ops_per_replica {
+                                    let op = op_of(i, round);
+                                    me.with_store(|s| {
+                                        s.branch_mut(LOCAL_BRANCH)?.apply(&op).map(|_| ())
+                                    })?;
+                                    if gossip_every > 0
+                                        && round % gossip_every == gossip_every - 1
+                                        && !peer_link.is_partitioned()
+                                    {
+                                        match me.pull(&mut remote, LOCAL_BRANCH) {
+                                            Ok(_)
+                                            | Err(NetError::Dropped)
+                                            | Err(NetError::Partitioned) => {}
+                                            Err(e) => return Err(e),
+                                        }
+                                    }
+                                }
+                                Ok(())
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("replica thread panicked"))
+                        .collect()
+                });
+                results.into_iter().collect()
+            }
+        }
+    }
+
+    /// Brings every replica to the same state and returns the per-replica
+    /// final states.
+    ///
+    /// In replicated mode this runs the [`AntiEntropy`] scheduler over the
+    /// cluster's own links — **honouring their fault plans**, so a cluster
+    /// whose partitions were never healed fails here rather than
+    /// pretending to converge. In simulation mode it performs the classic
+    /// two-pass ring merge.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when anti-entropy quiesced without reaching
+    /// convergence (links still partitioned); store errors from merging.
+    pub fn converge(&self) -> Result<Vec<Arc<M>>, NetError> {
+        match &self.inner {
+            Inner::Sim(store) => {
+                let mut store = store.lock();
+                // Two rounds of ring merges in both directions reach a
+                // fixpoint: first everyone's updates flow into replica 0,
+                // then back out.
+                for i in 1..self.replicas {
+                    let (a, b) = (replica_branch(0), replica_branch(i));
+                    store.branch_mut(&a)?.merge_from(&b)?;
+                }
+                for i in 1..self.replicas {
+                    let (a, b) = (replica_branch(i), replica_branch(0));
+                    store.branch_mut(&a)?.merge_from(&b)?;
+                }
+                Ok((0..self.replicas)
+                    .map(|i| store.state(&replica_branch(i)))
+                    .collect::<Result<_, _>>()?)
+            }
+            Inner::Net { nodes, faults } => {
+                let report = AntiEntropy::new().run_with_faults(nodes, LOCAL_BRANCH, faults)?;
+                if !report.converged {
+                    return Err(NetError::Protocol(format!(
+                        "anti-entropy quiesced without convergence after {} rounds \
+                         ({} pulls lost) — are links still partitioned?",
+                        report.rounds, report.pulls_failed
+                    )));
+                }
+                Ok(nodes
+                    .iter()
+                    .map(|n| n.state(LOCAL_BRANCH))
+                    .collect::<Result<_, _>>()?)
+            }
+        }
+    }
+
+    /// Runs `f` with the shared store (simulation mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics in replicated mode — there is no shared store; address a
+    /// single replica's store through [`Cluster::node`] and
+    /// [`Replica::with_store`] instead.
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut BranchStore<M, B>) -> R) -> R {
+        match &self.inner {
+            Inner::Sim(store) => f(&mut store.lock()),
+            Inner::Net { .. } => panic!(
+                "Cluster::with_store is simulation-mode only; replicated clusters \
+                 have one store per replica (use node(i).with_store(...))"
+            ),
+        }
+    }
+}
+
+impl<M: Mrdt, B: Backend> fmt::Debug for Cluster<M, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mode = match &self.inner {
+            Inner::Sim(_) => "simulated",
+            Inner::Net { .. } => "replicated",
+        };
+        write!(f, "Cluster({} replicas, {mode})", self.replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peepul_types::counter::{Counter, CounterOp};
+    use peepul_types::or_set_space::{OrSetOp, OrSetSpace};
+    use peepul_types::pn_counter::{PnCounter, PnCounterOp};
+
+    #[test]
+    fn replicated_counters_converge_to_total_increments() {
+        let cluster: Cluster<Counter> = Cluster::new(4).unwrap();
+        assert!(cluster.is_replicated());
+        cluster.run(50, 7, |_, _| CounterOp::Increment).unwrap();
+        let states = cluster.converge().unwrap();
+        assert_eq!(states.len(), 4);
+        for s in &states {
+            assert_eq!(s.count(), 200);
+        }
+        // Every replica genuinely owns objects: nothing is shared, so each
+        // backend holds the full converged history it pulled.
+        for i in 0..4 {
+            assert!(cluster.node(i).unwrap().object_count() > 1);
+        }
+    }
+
+    #[test]
+    fn simulated_counters_converge_to_total_increments() {
+        let cluster: Cluster<Counter> = Cluster::simulated(4).unwrap();
+        assert!(!cluster.is_replicated());
+        cluster.run(50, 7, |_, _| CounterOp::Increment).unwrap();
+        let states = cluster.converge().unwrap();
+        for s in &states {
+            assert_eq!(s.count(), 200);
+        }
+    }
+
+    #[test]
+    fn replicated_pn_counters_converge_with_mixed_ops() {
+        let cluster: Cluster<PnCounter> = Cluster::new(3).unwrap();
+        cluster
+            .run(60, 5, |replica, round| {
+                if (replica + round) % 3 == 0 {
+                    PnCounterOp::Decrement
+                } else {
+                    PnCounterOp::Increment
+                }
+            })
+            .unwrap();
+        let states = cluster.converge().unwrap();
+        let expected = states[0].value();
+        for s in &states {
+            assert_eq!(s.value(), expected);
+        }
+        // 60 ops × 3 replicas, one third decrements.
+        assert_eq!(expected, (120 - 60) as i64);
+    }
+
+    #[test]
+    fn replicated_or_sets_converge_observably() {
+        let cluster: Cluster<OrSetSpace<u32>> = Cluster::new(3).unwrap();
+        cluster
+            .run(40, 8, |replica, round| {
+                let x = ((replica * 31 + round * 7) % 16) as u32;
+                if round % 4 == 3 {
+                    OrSetOp::Remove(x)
+                } else {
+                    OrSetOp::Add(x)
+                }
+            })
+            .unwrap();
+        let states = cluster.converge().unwrap();
+        for s in &states[1..] {
+            assert!(
+                states[0].observably_equal(s),
+                "replicas disagree: {:?} vs {:?}",
+                states[0],
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn single_replica_cluster_is_fine() {
+        let cluster: Cluster<Counter> = Cluster::new(1).unwrap();
+        cluster.run(10, 3, |_, _| CounterOp::Increment).unwrap();
+        let states = cluster.converge().unwrap();
+        assert_eq!(states[0].count(), 10);
+    }
+
+    #[test]
+    fn unhealed_partition_fails_converge_honestly() {
+        let cluster: Cluster<Counter> = Cluster::new(3).unwrap();
+        for i in 0..3 {
+            cluster.faults(i).unwrap().partition();
+        }
+        cluster.run(5, 2, |_, _| CounterOp::Increment).unwrap();
+        let err = cluster.converge().unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)), "{err}");
+        // Heal and converge for real.
+        for i in 0..3 {
+            cluster.faults(i).unwrap().heal();
+        }
+        let states = cluster.converge().unwrap();
+        for s in &states {
+            assert_eq!(s.count(), 15);
+        }
+    }
+
+    #[test]
+    fn reads_address_each_replica() {
+        let cluster: Cluster<Counter> = Cluster::new(2).unwrap();
+        cluster.run(3, 0, |_, _| CounterOp::Increment).unwrap();
+        use peepul_types::counter::CounterQuery;
+        assert_eq!(cluster.read(0, &CounterQuery::Value).unwrap(), 3);
+        assert!(cluster.read(9, &CounterQuery::Value).is_err());
+    }
+}

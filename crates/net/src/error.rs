@@ -1,0 +1,107 @@
+//! Errors of the replication layer.
+
+use peepul_store::StoreError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by transports, remotes and replication operations.
+#[derive(Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A store-level failure underneath a replication operation — including
+    /// [`StoreError::CorruptObject`] when a transferred object fails its
+    /// content-hash verification on ingest.
+    Store(StoreError),
+    /// A socket-level I/O failure (message carries the `std::io::Error`
+    /// rendering; the error itself is not `Clone`).
+    Io(String),
+    /// A frame failed its length, magic or checksum validation — bytes were
+    /// damaged in transit or the peer does not speak this protocol.
+    BadFrame(String),
+    /// The peer sent a well-formed frame that violates the protocol: an
+    /// unexpected response kind, a pack referencing objects it did not
+    /// include, or an undecodable state encoding.
+    Protocol(String),
+    /// The fault injector dropped this message ([`FaultInjector`]); the
+    /// request may or may not have reached the peer.
+    ///
+    /// [`FaultInjector`]: crate::transport::FaultInjector
+    Dropped,
+    /// The link is partitioned ([`FaultInjector::partition`]); nothing was
+    /// sent.
+    ///
+    /// [`FaultInjector::partition`]: crate::transport::FaultInjector::partition
+    Partitioned,
+    /// The peer refused a push because the target branch has history the
+    /// pushed head does not contain (a non-fast-forward, like Git). Pull,
+    /// merge and push again.
+    PushRejected,
+    /// The peer reported an error while serving a request.
+    Remote(String),
+    /// A fetch or pull named a branch the remote does not advertise.
+    UnknownRemoteBranch(String),
+}
+
+impl From<StoreError> for NetError {
+    fn from(e: StoreError) -> Self {
+        NetError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+impl fmt::Debug for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Store(e) => write!(f, "store error: {e}"),
+            NetError::Io(msg) => write!(f, "transport i/o error: {msg}"),
+            NetError::BadFrame(msg) => write!(f, "bad frame: {msg}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::Dropped => write!(f, "message dropped by fault injection"),
+            NetError::Partitioned => write!(f, "link partitioned"),
+            NetError::PushRejected => {
+                write!(f, "push rejected: non-fast-forward (pull and merge first)")
+            }
+            NetError::Remote(msg) => write!(f, "remote error: {msg}"),
+            NetError::UnknownRemoteBranch(b) => {
+                write!(f, "remote does not advertise branch {b:?}")
+            }
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let e: NetError = StoreError::NoCommonAncestor.into();
+        assert!(matches!(e, NetError::Store(_)));
+        assert!(e.to_string().contains("ancestor"));
+        let io: NetError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+        assert!(NetError::PushRejected.to_string().contains("fast-forward"));
+        assert!(NetError::UnknownRemoteBranch("dev".into())
+            .to_string()
+            .contains("dev"));
+    }
+}

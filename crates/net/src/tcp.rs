@@ -1,0 +1,361 @@
+//! The TCP transport: length-prefixed, checksummed frames over blocking
+//! `std::net` sockets — no external dependencies.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! +-------+-----------+-------------+----------------+
+//! | "PPL1"| len: u32  | fnv64: u64  | payload (len B)|
+//! +-------+-----------+-------------+----------------+
+//! ```
+//!
+//! The magic catches protocol confusion (something that is not a peer),
+//! the length bounds the read (frames over 256 MiB are rejected before
+//! allocation), and the FNV-1a checksum catches bytes damaged in transit
+//! *before* they reach the message decoder. Content verification of the
+//! objects inside the payload happens again, cryptographically, at ingest
+//! — the checksum is a cheap early tripwire, not the integrity story.
+//!
+//! [`TcpServer`] serves one [`Replica`] on a background thread,
+//! connection by connection; [`TcpTransport`] is the matching client end.
+
+use crate::error::NetError;
+use crate::replica::Replica;
+use crate::transport::Transport;
+use peepul_core::{Mrdt, Wire};
+use peepul_store::Backend;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const MAGIC: [u8; 4] = *b"PPL1";
+/// Frames above this size are rejected before any allocation.
+const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// FNV-1a 64-bit — the frame checksum.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), NetError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|l| *l <= MAX_FRAME)
+        .ok_or_else(|| NetError::BadFrame(format!("frame too large: {} bytes", payload.len())))?;
+    let mut header = [0u8; 16];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4..8].copy_from_slice(&len.to_le_bytes());
+    header[8..16].copy_from_slice(&checksum(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF before any header byte.
+fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, NetError> {
+    let mut first = [0u8; 1];
+    if r.read(&mut first)? == 0 {
+        return Ok(None); // peer closed between frames
+    }
+    read_frame_rest(first[0], r).map(Some)
+}
+
+/// What one poll of a serving connection produced.
+enum ServerRead {
+    Frame(Vec<u8>),
+    Closed,
+    /// The read timed out waiting for the next frame's first byte — no
+    /// traffic, not an error. Lets the serve loop poll its shutdown flag.
+    Idle,
+}
+
+/// Like [`read_frame`], but a timed-out wait for the *first* header byte
+/// reports [`ServerRead::Idle`] instead of failing (requires a read
+/// timeout on the stream).
+fn read_frame_polling(stream: &mut TcpStream) -> Result<ServerRead, NetError> {
+    let mut first = [0u8; 1];
+    match stream.read(&mut first) {
+        Ok(0) => return Ok(ServerRead::Closed),
+        Ok(_) => {}
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            return Ok(ServerRead::Idle)
+        }
+        Err(e) => return Err(e.into()),
+    }
+    read_frame_rest(first[0], stream).map(ServerRead::Frame)
+}
+
+/// Reads the remainder of a frame whose first header byte arrived.
+fn read_frame_rest(first: u8, r: &mut impl Read) -> Result<Vec<u8>, NetError> {
+    let mut header = [0u8; 16];
+    header[0] = first;
+    r.read_exact(&mut header[1..])?;
+    if header[..4] != MAGIC {
+        return Err(NetError::BadFrame("bad magic".into()));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(NetError::BadFrame(format!("frame too large: {len} bytes")));
+    }
+    let expected = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let actual = checksum(&payload);
+    if actual != expected {
+        return Err(NetError::BadFrame(format!(
+            "checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+        )));
+    }
+    Ok(payload)
+}
+
+/// The client end of a TCP link to a serving replica.
+///
+/// Blocking and single-connection: one request/response at a time, frames
+/// as described in the [module docs](self).
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to a [`TcpServer`] (or anything speaking the frame
+    /// protocol).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&mut self, request: &[u8]) -> Result<Vec<u8>, NetError> {
+        write_frame(&mut self.stream, request)?;
+        read_frame(&mut self.stream)?
+            .ok_or_else(|| NetError::Io("peer closed the connection mid-request".into()))
+    }
+}
+
+/// A background thread serving one replica's store over TCP.
+///
+/// Connections are served one at a time (accept → drain requests → next),
+/// which keeps the server deterministic enough for tests while remaining a
+/// real socket peer for any number of sequential clients. Dropping the
+/// server shuts it down.
+///
+/// # Example
+///
+/// ```no_run
+/// use peepul_net::{Remote, Replica, TcpServer, TcpTransport};
+/// use peepul_store::MemoryBackend;
+/// use peepul_types::counter::Counter;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // `Replica::open` derives a disjoint replica-id range per name.
+/// let server_replica: Replica<Counter, _> =
+///     Replica::open("origin", "main", MemoryBackend::new())?;
+/// let server = TcpServer::spawn(server_replica)?;
+///
+/// let client: Replica<Counter, _> = Replica::open("laptop", "main", MemoryBackend::new())?;
+/// let mut origin = Remote::new("origin", TcpTransport::connect(server.addr())?);
+/// client.pull(&mut origin, "main")?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `127.0.0.1:0` (an ephemeral port) and starts serving
+    /// `replica`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the bind fails.
+    pub fn spawn<M, B>(replica: Replica<M, B>) -> Result<Self, NetError>
+    where
+        M: Mrdt + Wire + Send + Sync + 'static,
+        B: Backend + Send + 'static,
+    {
+        Self::bind(replica, "127.0.0.1:0")
+    }
+
+    /// Binds an explicit address and starts serving `replica`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the bind fails.
+    pub fn bind<M, B>(replica: Replica<M, B>, addr: impl ToSocketAddrs) -> Result<Self, NetError>
+    where
+        M: Mrdt + Wire + Send + Sync + 'static,
+        B: Backend + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = conn else { continue };
+                let _ = stream.set_nodelay(true);
+                // Poll the shutdown flag between frames: without a read
+                // timeout, a client that holds its connection open would
+                // pin this thread in `read` and make shutdown (and Drop)
+                // block until the client goes away.
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+                // Serve this connection until it closes or misframes.
+                loop {
+                    if flag.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match read_frame_polling(&mut stream) {
+                        Ok(ServerRead::Frame(frame)) => {
+                            let response = replica.handle_frame(&frame);
+                            if write_frame(&mut stream, &response).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(ServerRead::Idle) => continue,
+                        Ok(ServerRead::Closed) | Err(_) => break,
+                    }
+                }
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the serving thread. Called automatically
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept so the thread observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some(&b"payload"[..])
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF after frame");
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        // Flip a payload byte: checksum trips.
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(NetError::BadFrame(msg)) if msg.contains("checksum")
+        ));
+        // Damage the magic: protocol confusion trips.
+        let mut buf2 = Vec::new();
+        write_frame(&mut buf2, b"x").unwrap();
+        buf2[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut &buf2[..]),
+            Err(NetError::BadFrame(msg)) if msg.contains("magic")
+        ));
+        // Truncated payload: I/O error, not a hang.
+        let mut buf3 = Vec::new();
+        write_frame(&mut buf3, b"hello").unwrap();
+        buf3.truncate(buf3.len() - 2);
+        assert!(matches!(read_frame(&mut &buf3[..]), Err(NetError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocating() {
+        let mut header = [0u8; 16];
+        header[..4].copy_from_slice(&MAGIC);
+        header[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &header[..]),
+            Err(NetError::BadFrame(msg)) if msg.contains("large")
+        ));
+    }
+
+    #[test]
+    fn shutdown_returns_while_a_client_connection_is_open() {
+        use crate::replica::Replica;
+        use peepul_store::MemoryBackend;
+        use peepul_types::counter::Counter;
+
+        let replica: Replica<Counter, _> =
+            Replica::open("origin", "main", MemoryBackend::new()).unwrap();
+        let server = TcpServer::spawn(replica).unwrap();
+        // Hold a connection open (and even mid-conversation) across the
+        // shutdown: the serving thread must notice the flag between
+        // frames rather than blocking in read() forever.
+        let mut t = TcpTransport::connect(server.addr()).unwrap();
+        let resp = t.request(&crate::message::Request::FetchRefs.to_wire());
+        assert!(resp.is_ok());
+        let start = std::time::Instant::now();
+        drop(server); // runs shutdown() + join()
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "shutdown must not wait for the client to hang up"
+        );
+    }
+
+    #[test]
+    fn checksum_is_fnv1a() {
+        // Known FNV-1a vectors.
+        assert_eq!(checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(checksum(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -39,7 +39,7 @@ use crate::error::StoreError;
 use crate::memo::{MergeCacheStats, MergeMemo};
 use crate::object::{canonical_bytes, ObjectId};
 use peepul_core::{Mrdt, ReplicaId, Timestamp};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -55,20 +55,72 @@ struct BranchInfo {
     id: BranchId,
 }
 
+/// The decoded metadata of a commit record: everything that determines a
+/// commit's content address besides the state bytes themselves.
+///
+/// `tick`/`replica` are the timestamp the commit's operation minted (zero
+/// for roots and merges, whose content is already fully determined by
+/// their parents and state). Without them, two *different* concurrent
+/// operations on two replicas that happen to produce equal states from
+/// equal parents — two counter increments, say — would collapse into one
+/// commit identity and replication would silently drop one of them. With
+/// them, commit addresses distinguish distinct events exactly the way Git
+/// commits with equal trees are distinguished by their author timestamps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitMeta {
+    /// Parent commit addresses, in order.
+    pub parents: Vec<ObjectId>,
+    /// The commit's state address.
+    pub state: ObjectId,
+    /// Lamport tick of the minting operation (0 for roots/merges).
+    pub tick: u64,
+    /// Replica id of the minting operation (0 for roots/merges).
+    pub replica: u32,
+}
+
 /// Builds the deterministic byte encoding of a commit record: a tag, the
-/// parents' commit addresses in order, and the state's address. Hashing
-/// this yields the commit's own address, so equal histories produce equal
-/// (Merkle) head ids on *any* backend — the property the
-/// backend-equivalence suite checks.
-fn commit_record(parents: &[ObjectId], state: ObjectId) -> Vec<u8> {
-    let mut record = Vec::with_capacity(8 + 4 + 32 * (parents.len() + 1));
+/// parents' commit addresses in order, the state's address, and the
+/// minting timestamp. Hashing this yields the commit's own address, so
+/// equal histories produce equal (Merkle) head ids on *any* backend — the
+/// property the backend-equivalence suite checks, and the property fetch
+/// negotiation relies on to identify common history between independent
+/// stores.
+pub fn commit_record(parents: &[ObjectId], state: ObjectId, tick: u64, replica: u32) -> Vec<u8> {
+    let mut record = Vec::with_capacity(8 + 4 + 32 * (parents.len() + 1) + 12);
     record.extend_from_slice(b"commit\0");
     record.extend_from_slice(&(parents.len() as u32).to_le_bytes());
     for p in parents {
         record.extend_from_slice(p.as_bytes());
     }
     record.extend_from_slice(state.as_bytes());
+    record.extend_from_slice(&tick.to_le_bytes());
+    record.extend_from_slice(&replica.to_le_bytes());
     record
+}
+
+/// Parses a [`commit_record`] back into its [`CommitMeta`], or `None` when
+/// the bytes are not a well-formed record. The inverse the fetch client
+/// uses to learn a received commit's parents (to continue the graph walk)
+/// and its state address (to request the state object).
+pub fn parse_commit_record(bytes: &[u8]) -> Option<CommitMeta> {
+    let rest = bytes.strip_prefix(b"commit\0".as_slice())?;
+    let (len, mut rest) = rest.split_first_chunk::<4>()?;
+    let n = u32::from_le_bytes(*len) as usize;
+    let mut parents = Vec::with_capacity(n.min(rest.len() / 32));
+    for _ in 0..n {
+        let (id, tail) = rest.split_first_chunk::<32>()?;
+        parents.push(ObjectId::from_bytes(*id));
+        rest = tail;
+    }
+    let (state, rest) = rest.split_first_chunk::<32>()?;
+    let (tick, rest) = rest.split_first_chunk::<8>()?;
+    let (replica, rest) = rest.split_first_chunk::<4>()?;
+    rest.is_empty().then(|| CommitMeta {
+        parents,
+        state: ObjectId::from_bytes(*state),
+        tick: u64::from_le_bytes(*tick),
+        replica: u32::from_le_bytes(*replica),
+    })
 }
 
 /// A Git-like store replicating one MRDT object across branches.
@@ -103,6 +155,11 @@ pub struct BranchStore<M: Mrdt, B: Backend = MemoryBackend> {
     state_ids: Vec<ObjectId>,
     /// Content address of each *commit record*, indexed like the graph.
     commit_ids: Vec<ObjectId>,
+    /// Commit content address → graph id (the fetch/ingest lookup).
+    commit_index: HashMap<ObjectId, CommitId>,
+    /// State content address → first commit carrying it (typed payload
+    /// lookup for serving state objects to peers).
+    state_index: HashMap<ObjectId, CommitId>,
     branches: BTreeMap<String, BranchInfo>,
     /// Global Lamport tick: unique and happens-before consistent because
     /// the store is the sole timestamp authority (Ψ_ts).
@@ -136,25 +193,48 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     /// [`StoreError::InvalidBranchName`] if `root_branch` is not a legal
     /// name; [`StoreError::Io`] if publishing the root commit fails.
     pub fn with_backend(root_branch: impl Into<String>, backend: B) -> Result<Self, StoreError> {
+        Self::with_backend_and_base(root_branch, backend, 0)
+    }
+
+    /// Creates a store like [`BranchStore::with_backend`], but minting
+    /// replica ids starting at `replica_base` instead of 0.
+    ///
+    /// Timestamp uniqueness (Ψ_ts) holds *within* one store because it is
+    /// the sole timestamp authority over its branches. Once several
+    /// independent stores replicate into each other, their replica-id
+    /// ranges must not overlap or two stores could mint the same
+    /// `(tick, replica)` pair; a fleet assigns each store a disjoint base
+    /// (`peepul-net`'s `Cluster` spaces them `2^16` apart).
+    ///
+    /// # Errors
+    ///
+    /// As [`BranchStore::with_backend`].
+    pub fn with_backend_and_base(
+        root_branch: impl Into<String>,
+        backend: B,
+        replica_base: u32,
+    ) -> Result<Self, StoreError> {
         let root_branch = root_branch.into();
         let id = BranchId::new(&root_branch)?;
         let mut store = BranchStore {
             graph: CommitGraph::new(),
             state_ids: Vec::new(),
             commit_ids: Vec::new(),
+            commit_index: HashMap::new(),
+            state_index: HashMap::new(),
             branches: BTreeMap::new(),
             tick: 0,
-            next_replica: 1,
+            next_replica: replica_base + 1,
             backend,
             memo: MergeMemo::new(),
         };
-        let root = store.commit(Vec::new(), Arc::new(M::initial()))?;
+        let root = store.commit(Vec::new(), Arc::new(M::initial()), (0, 0))?;
         store.set_head(&root_branch, root)?;
         store.branches.insert(
             root_branch,
             BranchInfo {
                 head: root,
-                replica: ReplicaId::new(0),
+                replica: ReplicaId::new(replica_base),
                 id,
             },
         );
@@ -165,11 +245,17 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     /// commit to the in-memory DAG. Backend first: a failed publish leaves
     /// the graph untouched (the orphaned object, if any, is harmless in a
     /// content-addressed store).
-    fn commit(&mut self, parents: Vec<CommitId>, state: Arc<M>) -> Result<CommitId, StoreError> {
+    fn commit(
+        &mut self,
+        parents: Vec<CommitId>,
+        state: Arc<M>,
+        mint: (u64, u32),
+    ) -> Result<CommitId, StoreError> {
         let state_id = self.backend.put(&canonical_bytes(state.as_ref()))?;
         let parent_ids: Vec<ObjectId> =
             parents.iter().map(|p| self.commit_ids[p.index()]).collect();
-        let commit_oid = self.backend.put(&commit_record(&parent_ids, state_id))?;
+        let record = commit_record(&parent_ids, state_id, mint.0, mint.1);
+        let commit_oid = self.backend.put(&record)?;
         let cid = if parents.is_empty() {
             self.graph.add_root(state)
         } else {
@@ -179,6 +265,8 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         };
         self.state_ids.push(state_id);
         self.commit_ids.push(commit_oid);
+        self.commit_index.insert(commit_oid, cid);
+        self.state_index.entry(state_id).or_insert(cid);
         Ok(cid)
     }
 
@@ -331,7 +419,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         self.tick += 1;
         let t = Timestamp::new(self.tick, replica);
         let (next, value) = self.graph.payload(head).apply(op, t);
-        let new_head = self.commit(vec![head], Arc::new(next))?;
+        let new_head = self.commit(vec![head], Arc::new(next), (t.tick(), t.replica().as_u32()))?;
         self.set_head(branch, new_head)?;
         self.branches
             .get_mut(branch)
@@ -418,18 +506,13 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
                 M::merge(&lca_state, graph.payload(c_into), graph.payload(c_from))
             })
         };
-        let new_head = self.commit(vec![c_into, c_from], merged)?;
+        let new_head = self.commit(vec![c_into, c_from], merged, (0, 0))?;
         self.set_head(into, new_head)?;
         self.branches
             .get_mut(into)
             .expect("branch checked above")
             .head = new_head;
         Ok(())
-    }
-
-    /// The commit history of a branch, newest first.
-    pub(crate) fn do_history(&self, branch: &str) -> Result<Vec<CommitId>, StoreError> {
-        Ok(self.graph.history(self.head(branch)?))
     }
 
     /// Total number of commits. Every commit is a real version: virtual
@@ -470,74 +553,235 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated string-addressed shims (one release of grace)
+// Replication surface: graph walks, object ingest, tracking refs
 // ---------------------------------------------------------------------------
 
+/// What [`BranchStore::track`] did to the branch ref.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TrackOutcome {
+    /// The branch did not exist and was created at the target commit.
+    Created,
+    /// The branch existed and its head was an ancestor of the target: the
+    /// ref moved forward without minting a commit (a Git fast-forward).
+    FastForwarded,
+    /// The branch already pointed at the target.
+    Unchanged,
+    /// The branch has local history the target does not contain. [`track`]
+    /// leaves the ref alone in this case; [`force_track`] moves it anyway.
+    ///
+    /// [`track`]: BranchStore::track
+    /// [`force_track`]: BranchStore::force_track
+    Diverged,
+}
+
 impl<M: Mrdt, B: Backend> BranchStore<M, B> {
-    /// Applies a data-type operation at a branch (`DO` of Fig. 3),
-    /// committing the successor state and returning the operation's value.
+    /// The content address of a commit's *record* (Merkle over history).
     ///
-    /// # Errors
+    /// # Panics
     ///
-    /// [`StoreError::UnknownBranch`] if the branch does not exist;
-    /// [`StoreError::Io`] if publishing fails.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `store.branch_mut(name)?.apply(&op)` — string-addressed \
-                shims are kept for one release"
-    )]
-    pub fn apply(&mut self, branch: &str, op: &M::Op) -> Result<M::Value, StoreError> {
-        self.do_apply(branch, op)
+    /// Panics if `c` does not belong to this store's graph.
+    pub fn commit_oid(&self, c: CommitId) -> ObjectId {
+        self.commit_ids[c.index()]
     }
 
-    /// Forks a new branch off an existing one (`CREATEBRANCH` of Fig. 3):
-    /// the new branch starts at the same version.
+    /// The content address of a commit's *state*.
     ///
-    /// # Errors
+    /// # Panics
     ///
-    /// [`StoreError::UnknownBranch`] if `from` does not exist;
-    /// [`StoreError::BranchExists`] if `new` already does;
-    /// [`StoreError::InvalidBranchName`] if `new` is not a legal name;
-    /// [`StoreError::Io`] if publishing the new ref fails.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `store.branch_mut(from)?.fork(new)` — string-addressed \
-                shims are kept for one release"
-    )]
-    pub fn fork(&mut self, new: impl Into<String>, from: &str) -> Result<(), StoreError> {
-        self.do_fork(new.into(), from).map(|_| ())
+    /// Panics if `c` does not belong to this store's graph.
+    pub fn state_oid(&self, c: CommitId) -> ObjectId {
+        self.state_ids[c.index()]
     }
 
-    /// Merges branch `from` into branch `into` (`MERGE` of Fig. 3): runs
-    /// the data type's three-way merge against the store-computed LCA and
-    /// commits the result on `into`. Merging a branch whose history is
-    /// already contained in `into` is a no-op.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::UnknownBranch`] for missing branches;
-    /// [`StoreError::Io`] if publishing fails.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `store.branch_mut(into)?.merge_from(from)` — \
-                string-addressed shims are kept for one release"
-    )]
-    pub fn merge(&mut self, into: &str, from: &str) -> Result<(), StoreError> {
-        self.do_merge(into, from)
+    /// Resolves a commit content address to its graph id, if this store
+    /// has the commit.
+    pub fn find_commit(&self, oid: ObjectId) -> Option<CommitId> {
+        self.commit_index.get(&oid).copied()
     }
 
-    /// The commit history of a branch, newest first.
+    /// Whether this store has the commit addressed by `oid`.
+    pub fn has_commit(&self, oid: ObjectId) -> bool {
+        self.commit_index.contains_key(&oid)
+    }
+
+    /// The raw commit-record bytes stored under `oid`, or `None` when the
+    /// store has no such commit. These bytes are what travels on the wire
+    /// during a fetch; [`parse_commit_record`] reads them back.
     ///
     /// # Errors
     ///
-    /// [`StoreError::UnknownBranch`] if the branch does not exist.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `store.branch(name)?.history()` — string-addressed shims \
-                are kept for one release"
-    )]
-    pub fn history(&self, branch: &str) -> Result<Vec<CommitId>, StoreError> {
-        self.do_history(branch)
+    /// [`StoreError::Io`] / [`StoreError::Corrupt`] from the backend.
+    pub fn commit_record_bytes(&self, oid: ObjectId) -> Result<Option<Vec<u8>>, StoreError> {
+        if !self.has_commit(oid) {
+            return Ok(None);
+        }
+        self.backend.get(oid)
+    }
+
+    /// The typed state stored under the state address `oid`, if any commit
+    /// in this store carries it (cheap `Arc` clone).
+    pub fn state_payload(&self, oid: ObjectId) -> Option<Arc<M>> {
+        self.state_index
+            .get(&oid)
+            .map(|c| self.graph.payload(*c).clone())
+    }
+
+    /// The commits reachable from `wants` but not from `haves` — the
+    /// object-negotiation walk of a fetch, answered entirely from the
+    /// Merkle structure. Returned **parents before children**, so a
+    /// receiver can ingest the list in order. Unknown ids on either side
+    /// are ignored (a peer may advertise commits this store never saw).
+    pub fn commits_between(&self, wants: &[ObjectId], haves: &[ObjectId]) -> Vec<CommitId> {
+        let mut known: HashSet<CommitId> = HashSet::new();
+        let mut stack: Vec<CommitId> = haves.iter().filter_map(|o| self.find_commit(*o)).collect();
+        while let Some(c) = stack.pop() {
+            if known.insert(c) {
+                stack.extend(self.graph.parents(c).iter().copied());
+            }
+        }
+        let mut missing: HashSet<CommitId> = HashSet::new();
+        let mut stack: Vec<CommitId> = wants.iter().filter_map(|o| self.find_commit(*o)).collect();
+        while let Some(c) = stack.pop() {
+            if known.contains(&c) || !missing.insert(c) {
+                continue;
+            }
+            stack.extend(self.graph.parents(c).iter().copied());
+        }
+        let mut out: Vec<CommitId> = missing.into_iter().collect();
+        // Parents have strictly smaller generations, so ascending
+        // generation order is a topological order.
+        out.sort_by_key(|c| (self.graph.generation(*c), *c));
+        out
+    }
+
+    /// Lands one commit received from a peer, **verifying its content
+    /// address**: the commit record is rebuilt locally from `meta` and
+    /// the state's own content id, and its hash must equal `expected` —
+    /// which transitively pins the state bytes too, since the record embeds
+    /// the state's address. Idempotent: re-ingesting a known commit
+    /// returns its existing id without touching the backend.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CorruptObject`] when the rebuilt record does not hash
+    /// to `expected` (tampered, truncated or mis-encoded transfer);
+    /// [`StoreError::Corrupt`] when a parent has not been ingested yet
+    /// (callers feed commits parents-first, see
+    /// [`BranchStore::commits_between`]); [`StoreError::Io`] if publishing
+    /// fails.
+    pub fn ingest_commit(
+        &mut self,
+        expected: ObjectId,
+        meta: &CommitMeta,
+        state: M,
+    ) -> Result<CommitId, StoreError> {
+        if let Some(c) = self.find_commit(expected) {
+            return Ok(c);
+        }
+        let state_id = crate::object::content_id(&state);
+        let record = commit_record(&meta.parents, state_id, meta.tick, meta.replica);
+        let actual = ObjectId::from_bytes(crate::sha256::Sha256::digest(&record));
+        if actual != expected {
+            return Err(StoreError::CorruptObject { expected, actual });
+        }
+        let parent_cids: Vec<CommitId> = meta
+            .parents
+            .iter()
+            .map(|p| {
+                self.find_commit(*p).ok_or_else(|| {
+                    StoreError::Corrupt(format!(
+                        "ingest of {} before its parent {}",
+                        expected.short(),
+                        p.short()
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let cid = self.commit(parent_cids, Arc::new(state), (meta.tick, meta.replica))?;
+        debug_assert_eq!(self.commit_ids[cid.index()], expected);
+        Ok(cid)
+    }
+
+    /// Points branch `name` at an already-ingested commit, creating the
+    /// branch or fast-forwarding it — how a fetch lands a remote head as a
+    /// tracking branch, and how a pull fast-forwards instead of minting a
+    /// redundant merge commit. Never moves a ref backwards or sideways:
+    /// a diverged branch is reported as [`TrackOutcome::Diverged`] and left
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when `target` is not a commit of this store;
+    /// [`StoreError::InvalidBranchName`] for an illegal new name;
+    /// [`StoreError::Io`] if publishing the ref fails.
+    pub fn track(&mut self, name: &str, target: ObjectId) -> Result<TrackOutcome, StoreError> {
+        self.track_inner(name, target, false)
+    }
+
+    /// Like [`BranchStore::track`], but moves the ref even when the branch
+    /// has diverged (discarding no commits — the old history stays in the
+    /// graph). Fetch uses this for its own `remote/…` tracking refs, which
+    /// mirror the peer and carry no local work.
+    ///
+    /// # Errors
+    ///
+    /// As [`BranchStore::track`].
+    pub fn force_track(
+        &mut self,
+        name: &str,
+        target: ObjectId,
+    ) -> Result<TrackOutcome, StoreError> {
+        self.track_inner(name, target, true)
+    }
+
+    fn track_inner(
+        &mut self,
+        name: &str,
+        target: ObjectId,
+        force: bool,
+    ) -> Result<TrackOutcome, StoreError> {
+        let head = self.find_commit(target).ok_or_else(|| {
+            StoreError::Corrupt(format!("track target {} not ingested", target.short()))
+        })?;
+        match self.branches.get(name) {
+            None => {
+                let id = BranchId::new(name)?;
+                self.set_head(name, head)?;
+                let replica = ReplicaId::new(self.next_replica);
+                self.next_replica += 1;
+                self.branches
+                    .insert(name.to_owned(), BranchInfo { head, replica, id });
+                Ok(TrackOutcome::Created)
+            }
+            Some(info) if info.head == head => Ok(TrackOutcome::Unchanged),
+            Some(info) => {
+                let fast_forward = self.graph.is_ancestor(info.head, head);
+                if !fast_forward && !force {
+                    return Ok(TrackOutcome::Diverged);
+                }
+                self.set_head(name, head)?;
+                self.branches.get_mut(name).expect("branch checked").head = head;
+                Ok(if fast_forward {
+                    TrackOutcome::FastForwarded
+                } else {
+                    TrackOutcome::Diverged
+                })
+            }
+        }
+    }
+
+    /// The store's current Lamport tick (the last timestamp minted).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advances the store's Lamport clock to at least `tick` — the
+    /// **receive rule**: after ingesting remote state whose largest
+    /// embedded tick is `tick`, later local operations mint timestamps
+    /// that order after everything merged in (the cross-store half of
+    /// Ψ_ts's happens-before consistency).
+    pub fn observe_tick(&mut self, tick: u64) {
+        self.tick = self.tick.max(tick);
     }
 }
 
@@ -927,21 +1171,171 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn string_shims_still_work_for_one_release() {
-        // The deprecated string-addressed API must stay behaviourally
-        // identical to the handle path during the grace release.
-        let mut s: BranchStore<Counter> = BranchStore::new("main");
-        s.apply("main", &CounterOp::Increment).unwrap();
-        s.fork("dev", "main").unwrap();
-        s.apply("dev", &CounterOp::Increment).unwrap();
-        s.merge("main", "dev").unwrap();
-        assert_eq!(s.state("main").unwrap().count(), 2);
-        assert_eq!(s.history("main").unwrap().len(), 4);
+    fn commit_record_parse_roundtrip() {
+        let a = crate::object::content_id(&1u8);
+        let b = crate::object::content_id(&2u8);
+        let s = crate::object::content_id(&3u8);
+        let bytes = commit_record(&[a, b], s, 7, 9);
+        let meta = parse_commit_record(&bytes).unwrap();
         assert_eq!(
-            s.apply("nope", &CounterOp::Increment),
-            Err(StoreError::UnknownBranch("nope".into()))
+            meta,
+            CommitMeta {
+                parents: vec![a, b],
+                state: s,
+                tick: 7,
+                replica: 9
+            }
         );
+        let root = parse_commit_record(&commit_record(&[], s, 0, 0)).unwrap();
+        assert!(root.parents.is_empty());
+        assert_eq!(parse_commit_record(b"not a commit"), None);
+        assert_eq!(parse_commit_record(&bytes[..bytes.len() - 1]), None);
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(parse_commit_record(&trailing), None);
+        // Distinct mints ⇒ distinct commit identities, even for identical
+        // parents and state — the property multi-store replication needs.
+        assert_ne!(bytes, commit_record(&[a, b], s, 8, 9));
+        assert_ne!(bytes, commit_record(&[a, b], s, 7, 10));
+    }
+
+    #[test]
+    fn replication_surface_walks_and_ingests() {
+        // Build a small history on one store, replay it object-by-object
+        // into a fresh store through the public ingest surface, and check
+        // the Merkle heads agree.
+        let mut src: BranchStore<Counter> = BranchStore::new("main");
+        src.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        src.branch_mut("main").unwrap().fork("dev").unwrap();
+        src.branch_mut("dev")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        src.branch_mut("main").unwrap().merge_from("dev").unwrap();
+        let head = src.head_id("main").unwrap();
+
+        let mut dst: BranchStore<Counter> = BranchStore::new("main");
+        let missing = src.commits_between(&[head], &[dst.head_id("main").unwrap()]);
+        // Both stores share the root commit (same initial state), so only
+        // the two DO commits and the merge commit are missing.
+        assert_eq!(missing.len(), 3);
+        let root = src.graph().ids().next().unwrap();
+        assert!(!missing.contains(&root));
+        for c in missing {
+            let oid = src.commit_oid(c);
+            let record = src.commit_record_bytes(oid).unwrap().unwrap();
+            let meta = parse_commit_record(&record).unwrap();
+            let state = *src.graph().payload(c).as_ref();
+            let cid = dst.ingest_commit(oid, &meta, state).unwrap();
+            assert_eq!(dst.commit_oid(cid), oid);
+            // Idempotent.
+            let again = *src.graph().payload(c).as_ref();
+            assert_eq!(dst.ingest_commit(oid, &meta, again).unwrap(), cid);
+        }
+        assert!(dst.has_commit(head));
+        assert_eq!(dst.track("tracking", head).unwrap(), TrackOutcome::Created);
+        assert_eq!(dst.head_id("tracking").unwrap(), head);
+        assert_eq!(dst.state("tracking").unwrap().count(), 2);
+        // Fast-forward "main" (still at the shared root) onto the head.
+        assert_eq!(
+            dst.track("main", head).unwrap(),
+            TrackOutcome::FastForwarded
+        );
+        assert_eq!(dst.track("main", head).unwrap(), TrackOutcome::Unchanged);
+    }
+
+    #[test]
+    fn ingest_rejects_corrupt_and_orphaned_commits() {
+        let mut src: BranchStore<Counter> = BranchStore::new("main");
+        src.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        src.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        let head = src.head("main").unwrap();
+        let parent = src.graph().parents(head)[0];
+        let head_oid = src.commit_oid(head);
+
+        let record = src.commit_record_bytes(head_oid).unwrap().unwrap();
+        let meta = parse_commit_record(&record).unwrap();
+        assert_eq!(meta.parents, vec![src.commit_oid(parent)]);
+
+        let mut dst: BranchStore<Counter> = BranchStore::new("main");
+        // Wrong state for the advertised id → CorruptObject with both ids.
+        let err = dst
+            .ingest_commit(head_oid, &meta, Counter::initial())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::CorruptObject { expected, .. } if expected == head_oid
+        ));
+        // Right state but the parent was never ingested → Corrupt.
+        let err = dst
+            .ingest_commit(head_oid, &meta, *src.graph().payload(head).as_ref())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+        // Tracking an unknown commit is refused.
+        assert!(dst.track("t", head_oid).is_err());
+    }
+
+    #[test]
+    fn diverged_track_is_refused_unless_forced() {
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        s.branch_mut("main").unwrap().fork("dev").unwrap();
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        s.branch_mut("dev")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        let dev_head = s.head_id("dev").unwrap();
+        let main_head = s.head_id("main").unwrap();
+        assert_eq!(s.track("main", dev_head).unwrap(), TrackOutcome::Diverged);
+        assert_eq!(s.head_id("main").unwrap(), main_head, "ref untouched");
+        assert_eq!(
+            s.force_track("main", dev_head).unwrap(),
+            TrackOutcome::Diverged
+        );
+        assert_eq!(s.head_id("main").unwrap(), dev_head, "forced move");
+    }
+
+    #[test]
+    fn observe_tick_implements_the_receive_rule() {
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        assert_eq!(s.tick(), 1);
+        s.observe_tick(100);
+        assert_eq!(s.tick(), 100);
+        s.observe_tick(5); // never rewinds
+        assert_eq!(s.tick(), 100);
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        assert_eq!(s.tick(), 101, "next op orders after everything observed");
+    }
+
+    #[test]
+    fn replica_bases_separate_fleet_id_ranges() {
+        let a: BranchStore<Counter> =
+            BranchStore::with_backend_and_base("main", MemoryBackend::new(), 0x1_0000).unwrap();
+        assert_eq!(a.replica_of("main").unwrap(), ReplicaId::new(0x1_0000));
+        let b: BranchStore<Counter> = BranchStore::new("main");
+        assert_eq!(b.replica_of("main").unwrap(), ReplicaId::new(0));
+        // Same initial state ⇒ same root commit on both stores, so fleets
+        // with disjoint replica ranges still share history.
+        assert_eq!(a.head_id("main").unwrap(), b.head_id("main").unwrap());
     }
 
     #[test]

@@ -394,7 +394,12 @@ impl<M: Mrdt, B: Backend> Transaction<'_, '_, M, B> {
         }
         let id = self.branch.id.clone();
         let store = &mut *self.branch.store;
-        let new_head = store.commit(vec![self.base], Arc::new(self.scratch))?;
+        // The batch's mint is its last staged timestamp: the store's tick
+        // was advanced once per staged op under this exclusive borrow, so
+        // `(store.tick, replica)` is exactly the final `apply`'s stamp —
+        // unique per committed transaction.
+        let mint = (store.tick, self.replica.as_u32());
+        let new_head = store.commit(vec![self.base], Arc::new(self.scratch), mint)?;
         store.set_head(&id, new_head)?;
         store
             .branches

@@ -26,6 +26,17 @@ pub enum StoreError {
     /// do not hash to the id it is indexed under, or its on-disk framing
     /// is malformed past the recoverable tail.
     Corrupt(String),
+    /// An object received over a transport failed content verification:
+    /// re-deriving its content address locally did not reproduce the id the
+    /// sender advertised. Raised by the replication ingest path for every
+    /// state and commit record it accepts — a corrupted, truncated or
+    /// tampered transfer can never enter a store.
+    CorruptObject {
+        /// The content address the sender advertised.
+        expected: crate::object::ObjectId,
+        /// The content address the received bytes actually hash to.
+        actual: crate::object::ObjectId,
+    },
 }
 
 impl From<std::io::Error> for StoreError {
@@ -49,6 +60,10 @@ impl fmt::Display for StoreError {
             StoreError::NoCommonAncestor => write!(f, "versions share no common ancestor"),
             StoreError::Io(msg) => write!(f, "backend i/o error: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "backend corruption: {msg}"),
+            StoreError::CorruptObject { expected, actual } => write!(
+                f,
+                "received object corrupt: advertised as {expected} but hashes to {actual}"
+            ),
         }
     }
 }
@@ -58,6 +73,15 @@ impl Error for StoreError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn corrupt_object_names_both_ids() {
+        let expected = crate::object::content_id(&1u8);
+        let actual = crate::object::content_id(&2u8);
+        let msg = StoreError::CorruptObject { expected, actual }.to_string();
+        assert!(msg.contains(&expected.to_string()));
+        assert!(msg.contains(&actual.to_string()));
+    }
 
     #[test]
     fn messages_name_the_branch() {

@@ -25,8 +25,12 @@
 //!   maintaining paired concrete/abstract states per branch — the
 //!   reference semantics the `peepul-verify` harness drives
 //!   ([`StoreLts`]),
-//! * a **multi-threaded replica simulation** for concurrency stress
-//!   testing ([`sync`]).
+//! * the **replication surface** the `peepul-net` sync protocol is built
+//!   on: commit-graph walks for want/have negotiation
+//!   ([`BranchStore::commits_between`]), hash-verified object ingest
+//!   ([`BranchStore::ingest_commit`]), tracking/fast-forward refs
+//!   ([`BranchStore::track`]) and the Lamport receive rule
+//!   ([`BranchStore::observe_tick`]).
 //!
 //! # Example
 //!
@@ -64,10 +68,12 @@ pub mod object;
 pub mod segment;
 pub mod semantics;
 pub mod sha256;
-pub mod sync;
 
 pub use backend::{Backend, BackendStats, MemoryBackend};
-pub use branch::{BranchId, BranchMut, BranchRef, BranchStore, Transaction};
+pub use branch::{
+    commit_record, parse_commit_record, BranchId, BranchMut, BranchRef, BranchStore, TrackOutcome,
+    Transaction,
+};
 pub use clock::LamportClock;
 pub use dag::{CommitGraph, CommitId};
 pub use error::StoreError;
@@ -75,4 +81,3 @@ pub use memo::{MergeCacheStats, MergeMemo};
 pub use object::{canonical_bytes, content_id, ObjectId, ObjectStore, Sha256Hasher};
 pub use segment::{SegmentBackend, SegmentOptions};
 pub use semantics::{DoOutcome, MergeOutcome, Snapshot, StoreLts};
-pub use sync::Cluster;

@@ -50,6 +50,17 @@ impl ObjectId {
     }
 }
 
+impl peepul_core::Wire for ObjectId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let bytes = peepul_core::wire::take(input, 32)?;
+        Some(ObjectId(bytes.try_into().expect("exact size")))
+    }
+}
+
 impl fmt::Debug for ObjectId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "ObjectId({})", self.short())

@@ -188,3 +188,26 @@ mod tests {
         assert!(CounterSim::explain_failure(&i, &Counter(2)).is_none());
     }
 }
+
+impl peepul_core::Wire for Counter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        peepul_core::Wire::encode(&self.0, out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Counter(peepul_core::Wire::decode(input)?))
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use peepul_core::Wire;
+
+    #[test]
+    fn counter_wire_roundtrip() {
+        let c = Counter(42);
+        assert_eq!(Counter::from_wire(&c.to_wire()), Some(c));
+        assert_eq!(c.max_tick(), 0);
+    }
+}

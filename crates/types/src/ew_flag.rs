@@ -413,3 +413,54 @@ mod tests {
         ));
     }
 }
+
+impl peepul_core::Wire for EwFlag {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tokens.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(EwFlag {
+            tokens: peepul_core::Wire::decode(input)?,
+        })
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.tokens.max_tick()
+    }
+}
+
+impl peepul_core::Wire for EwFlagSpace {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.token.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(EwFlagSpace {
+            token: peepul_core::Wire::decode(input)?,
+        })
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.token.max_tick()
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use peepul_core::{ReplicaId, Timestamp, Wire};
+
+    #[test]
+    fn flags_wire_roundtrip() {
+        let ts = |t| Timestamp::new(t, ReplicaId::new(1));
+        let f = EwFlag {
+            tokens: [ts(1), ts(4)].into_iter().collect(),
+        };
+        assert_eq!(EwFlag::from_wire(&f.to_wire()), Some(f.clone()));
+        assert_eq!(f.max_tick(), 4);
+        let g = EwFlagSpace { token: Some(ts(9)) };
+        assert_eq!(EwFlagSpace::from_wire(&g.to_wire()), Some(g));
+        assert_eq!(g.max_tick(), 9);
+    }
+}

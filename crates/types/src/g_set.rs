@@ -235,3 +235,33 @@ mod tests {
         assert!(!GSetSim::holds(&i, &GSet::initial()));
     }
 }
+
+impl<T: peepul_core::Wire + Ord> peepul_core::Wire for GSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.elems.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(GSet {
+            elems: peepul_core::Wire::decode(input)?,
+        })
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.elems.max_tick()
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use peepul_core::Wire;
+
+    #[test]
+    fn g_set_wire_roundtrip() {
+        let s = GSet {
+            elems: [1u64, 2, 3].into_iter().collect(),
+        };
+        assert_eq!(GSet::from_wire(&s.to_wire()), Some(s));
+    }
+}

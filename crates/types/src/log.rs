@@ -289,3 +289,44 @@ mod tests {
         assert!(LogSim::holds(&i, &good));
     }
 }
+
+impl<M: peepul_core::Wire> peepul_core::Wire for MergeableLog<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.entries.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let entries: std::collections::VecDeque<(Timestamp, M)> = peepul_core::Wire::decode(input)?;
+        // Reject encodings that violate the newest-first invariant: they
+        // could never have come from a well-formed log.
+        let sorted = entries
+            .iter()
+            .zip(entries.iter().skip(1))
+            .all(|(a, b)| a.0 > b.0);
+        sorted.then_some(MergeableLog { entries })
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.entries.max_tick()
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use peepul_core::{ReplicaId, Wire};
+
+    #[test]
+    fn log_wire_roundtrip_and_invariant_check() {
+        let ts = |t| Timestamp::new(t, ReplicaId::new(0));
+        let l = MergeableLog {
+            entries: [(ts(3), 30u8), (ts(1), 10)].into(),
+        };
+        assert_eq!(MergeableLog::from_wire(&l.to_wire()), Some(l.clone()));
+        assert_eq!(l.max_tick(), 3);
+        let bad = MergeableLog {
+            entries: [(ts(1), 10u8), (ts(3), 30)].into(),
+        };
+        assert_eq!(MergeableLog::<u8>::from_wire(&bad.to_wire()), None);
+    }
+}

@@ -237,3 +237,38 @@ mod tests {
         assert!(!LwwSim::holds(&i, &stale_time));
     }
 }
+
+impl<T: peepul_core::Wire> peepul_core::Wire for LwwRegister<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.value.encode(out);
+        self.time.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let value = peepul_core::Wire::decode(input)?;
+        let time = peepul_core::Wire::decode(input)?;
+        Some(LwwRegister { value, time })
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.time.tick()
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use peepul_core::{ReplicaId, Wire};
+
+    #[test]
+    fn lww_register_wire_roundtrip() {
+        let r = LwwRegister {
+            value: Some(String::from("v")),
+            time: Timestamp::new(6, ReplicaId::new(2)),
+        };
+        assert_eq!(LwwRegister::from_wire(&r.to_wire()), Some(r.clone()));
+        assert_eq!(r.max_tick(), 6);
+        let empty: LwwRegister<String> = LwwRegister::initial();
+        assert_eq!(LwwRegister::from_wire(&empty.to_wire()), Some(empty));
+    }
+}

@@ -369,3 +369,36 @@ mod tests {
         assert_ne!(x, y);
     }
 }
+
+impl<T: peepul_core::Wire> peepul_core::Wire for OrSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pairs.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(OrSet {
+            pairs: peepul_core::Wire::decode(input)?,
+        })
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.pairs.max_tick()
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use peepul_core::{ReplicaId, Wire};
+
+    #[test]
+    fn or_set_wire_roundtrip_preserves_pairs_and_ticks() {
+        let ts = |t, r| Timestamp::new(t, ReplicaId::new(r));
+        let s = OrSet {
+            pairs: vec![(5u32, ts(9, 1)), (5, ts(2, 0)), (7, ts(4, 2))],
+        };
+        let back = OrSet::from_wire(&s.to_wire()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(s.max_tick(), 9);
+    }
+}

@@ -353,3 +353,35 @@ mod tests {
         );
     }
 }
+
+impl<T: peepul_core::Wire> peepul_core::Wire for OrSetSpace<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pairs.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(OrSetSpace {
+            pairs: peepul_core::Wire::decode(input)?,
+        })
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.pairs.max_tick()
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use peepul_core::{ReplicaId, Wire};
+
+    #[test]
+    fn or_set_space_wire_roundtrip() {
+        let ts = |t, r| Timestamp::new(t, ReplicaId::new(r));
+        let s = OrSetSpace {
+            pairs: vec![(1u32, ts(3, 1)), (2, ts(8, 0))],
+        };
+        assert_eq!(OrSetSpace::from_wire(&s.to_wire()), Some(s.clone()));
+        assert_eq!(s.max_tick(), 8);
+    }
+}

@@ -232,3 +232,28 @@ mod tests {
         assert!(!PnCounterSim::holds(&i, &PnCounter { incs: 2, decs: 2 }));
     }
 }
+
+impl peepul_core::Wire for PnCounter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        peepul_core::Wire::encode(&self.incs, out);
+        peepul_core::Wire::encode(&self.decs, out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let incs = peepul_core::Wire::decode(input)?;
+        let decs = peepul_core::Wire::decode(input)?;
+        Some(PnCounter { incs, decs })
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use peepul_core::Wire;
+
+    #[test]
+    fn pn_counter_wire_roundtrip() {
+        let c = PnCounter { incs: 7, decs: 3 };
+        assert_eq!(PnCounter::from_wire(&c.to_wire()), Some(c));
+    }
+}

@@ -832,3 +832,48 @@ mod tests {
         assert!(!axioms::empty(&i));
     }
 }
+
+impl<T: peepul_core::Wire> peepul_core::Wire for Queue<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.front.encode(out);
+        self.rear.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let front: Vec<Entry<T>> = peepul_core::Wire::decode(input)?;
+        let rear: Vec<Entry<T>> = peepul_core::Wire::decode(input)?;
+        // Enforce the representation invariants a well-formed queue always
+        // has: timestamps strictly descend along `front` (next-out at the
+        // end) and strictly ascend along `rear`.
+        let front_ok = front.windows(2).all(|w| w[0].0 > w[1].0);
+        let rear_ok = rear.windows(2).all(|w| w[0].0 < w[1].0);
+        (front_ok && rear_ok).then_some(Queue { front, rear })
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.front.max_tick().max(self.rear.max_tick())
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use peepul_core::{ReplicaId, Wire};
+
+    #[test]
+    fn queue_wire_roundtrip_and_invariant_check() {
+        let ts = |t| Timestamp::new(t, ReplicaId::new(0));
+        let mut q: Queue<u32> = Queue::initial();
+        for v in 1..=5u32 {
+            q = q.apply(&QueueOp::Enqueue(v), ts(v as u64)).0;
+        }
+        q = q.apply(&QueueOp::Dequeue, ts(6)).0;
+        assert_eq!(Queue::from_wire(&q.to_wire()), Some(q.clone()));
+        assert_eq!(q.max_tick(), 5);
+        let bad = Queue {
+            front: vec![(ts(1), 1u32), (ts(2), 2)],
+            rear: Vec::new(),
+        };
+        assert_eq!(Queue::<u32>::from_wire(&bad.to_wire()), None);
+    }
+}

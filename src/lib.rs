@@ -13,7 +13,8 @@
 //! |---|---|
 //! | [`core`] | the formal model: [`core::Mrdt`], abstract executions, specifications, simulation relations, proof obligations |
 //! | [`types`] | the certified data types: counters, flags, registers, sets, logs, maps, three OR-sets, the replicated queue, the chat app |
-//! | [`store`] | the Git-like store: branches, commit DAG, recursive LCAs, Lamport timestamps, SHA-256 content addressing, pluggable backends (in-memory + on-disk segment), merge memoization, the formal LTS, multi-threaded replicas |
+//! | [`store`] | the Git-like store: branches, commit DAG, recursive LCAs, Lamport timestamps, SHA-256 content addressing, pluggable backends (in-memory + on-disk segment), merge memoization, the formal LTS |
+//! | [`net`] | true multi-store replication: the `Transport` abstraction (in-process channels + TCP), Git-style fetch/push negotiation with hash-verified ingest, anti-entropy, replicated clusters with fault injection |
 //! | [`verify`] | the certification harness: bounded-exhaustive + randomized obligation checking |
 //! | [`quark`] | the evaluation baseline: relational-reification merges à la Quark (OOPSLA 2019) |
 //!
@@ -81,6 +82,7 @@
 #![warn(missing_docs)]
 
 pub use peepul_core as core;
+pub use peepul_net as net;
 pub use peepul_quark as quark;
 pub use peepul_store as store;
 pub use peepul_types as types;
@@ -103,11 +105,15 @@ pub use peepul_verify as verify;
 pub mod prelude {
     pub use peepul_core::{
         AbstractOf, AbstractState, Certified, Mrdt, ReplicaId, SimulationRelation, Specification,
-        Timestamp,
+        Timestamp, Wire,
+    };
+    pub use peepul_net::{
+        AntiEntropy, ChannelTransport, Cluster, FaultInjector, NetError, Remote, Replica,
+        TcpServer, TcpTransport, Transport,
     };
     pub use peepul_store::{
-        Backend, BranchId, BranchMut, BranchRef, BranchStore, Cluster, MemoryBackend,
-        SegmentBackend, SegmentOptions, StoreError, StoreLts, Transaction,
+        Backend, BranchId, BranchMut, BranchRef, BranchStore, MemoryBackend, SegmentBackend,
+        SegmentOptions, StoreError, StoreLts, TrackOutcome, Transaction,
     };
     pub use peepul_types::{
         Chat, Counter, EwFlag, EwFlagSpace, GMap, GSet, LwwRegister, MergeableLog, MrdtMap, OrSet,

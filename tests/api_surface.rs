@@ -15,9 +15,11 @@
 //! failing this test (detecting additions needs reflection over the
 //! module, which `cargo-public-api` does and a test cannot) — keeping
 //! additions in sync here is a review convention, aided by the pinned
-//! count below. The deprecated string-addressed `BranchStore` shims are
-//! *not* part of this surface; when the grace release removes them, no
-//! golden change is needed.
+//! count below. The deprecated string-addressed `BranchStore` shims of the
+//! 0.2 release are gone (their one-release grace window closed with the
+//! `peepul-net` release); the replication surface (`Replica`, `Remote`,
+//! transports, `AntiEntropy`, `Wire`, `TrackOutcome`) is part of the
+//! golden instead.
 
 macro_rules! surface {
     ($($name:ident),* $(,)?) => {
@@ -34,6 +36,7 @@ macro_rules! surface {
 surface![
     AbstractOf,
     AbstractState,
+    AntiEntropy,
     Backend,
     BoundedChecker,
     BoundedConfig,
@@ -42,11 +45,13 @@ surface![
     BranchRef,
     BranchStore,
     Certified,
+    ChannelTransport,
     Chat,
     Cluster,
     Counter,
     EwFlag,
     EwFlagSpace,
+    FaultInjector,
     GMap,
     GSet,
     LwwRegister,
@@ -54,11 +59,14 @@ surface![
     MergeableLog,
     Mrdt,
     MrdtMap,
+    NetError,
     OrSet,
     OrSetSpace,
     OrSetSpacetime,
     PnCounter,
     Queue,
+    Remote,
+    Replica,
     ReplicaId,
     Runner,
     SegmentBackend,
@@ -67,8 +75,13 @@ surface![
     Specification,
     StoreError,
     StoreLts,
+    TcpServer,
+    TcpTransport,
     Timestamp,
+    TrackOutcome,
     Transaction,
+    Transport,
+    Wire,
 ];
 
 #[test]
@@ -82,7 +95,7 @@ fn prelude_surface_matches_golden() {
     );
     assert_eq!(
         golden.len(),
-        37,
+        48,
         "prelude surface changed size — update the golden list *and* the \
          expected count deliberately"
     );

@@ -238,9 +238,12 @@ proptest! {
     }
 }
 
-/// Multi-replica convergence through the threaded cluster: after full
-/// pairwise sync, every replica is observationally equal — on the
-/// in-memory backend and the on-disk segment backend alike.
+/// Multi-replica convergence through the cluster's legacy shared-store
+/// simulation mode (maximal thread interleaving over one mutexed store):
+/// after full pairwise sync, every replica is observationally equal — on
+/// the in-memory backend and the on-disk segment backend alike. True
+/// replicated fleets (independent stores over transports) are exercised
+/// in `tests/replication.rs`.
 #[test]
 fn cluster_convergence_under_concurrency() {
     for_each_backend("cluster", |kind, make| {

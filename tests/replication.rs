@@ -1,0 +1,407 @@
+//! True multi-store replication, end to end: the `peepul-net` acceptance
+//! suite.
+//!
+//! What is checked here, nowhere else:
+//!
+//! * two **independent** `BranchStore`s connected by a real TCP socket
+//!   exchange *only* the objects the receiver lacks (asserted via backend
+//!   object counts);
+//! * an 8-replica `ChannelTransport` fleet with injected partitions and
+//!   message loss converges after heal — on the in-memory backend, the
+//!   on-disk segment backend, and a mixed fleet of both;
+//! * a proptest: for **any** operation schedule and **any** partition
+//!   schedule, post-heal anti-entropy converges all replicas to identical
+//!   heads (byte-identical canonical states), over both backends;
+//! * a corrupted transfer is rejected by content verification and leaves
+//!   the receiving store untouched.
+
+mod common;
+
+use common::{for_each_backend, Scratch};
+use peepul::net::{
+    AntiEntropy, ChannelTransport, Cluster, FaultInjector, NetError, Remote, Replica, TcpServer,
+    TcpTransport, Transport,
+};
+use peepul::prelude::*;
+use peepul::store::{SegmentBackend, SegmentOptions};
+use peepul::types::counter::CounterOp;
+use peepul::types::or_set_space::{OrSetOp, OrSetSpace};
+use proptest::prelude::*;
+
+type DynBackend = Box<dyn Backend + Send>;
+
+fn memory() -> DynBackend {
+    Box::new(MemoryBackend::new())
+}
+
+fn segment(scratch: &Scratch, n: u32) -> DynBackend {
+    Box::new(
+        SegmentBackend::open_with(
+            scratch.path().join(n.to_string()),
+            SegmentOptions { durable: false },
+        )
+        .expect("open segment backend"),
+    )
+}
+
+/// Builds a replica over its own store with a disjoint replica-id range.
+fn replica<B: Backend>(name: &str, backend: B, base: u32) -> Replica<OrSetSpace<u32>, B> {
+    let store = BranchStore::with_backend_and_base("main", backend, base << 16)
+        .expect("store construction");
+    Replica::new(name, store)
+}
+
+#[test]
+fn tcp_pair_exchanges_only_missing_objects() {
+    // Server replica with real history: adds, a fork, a merge.
+    let origin = replica("origin", MemoryBackend::new(), 0);
+    origin
+        .with_store(|s| -> Result<(), StoreError> {
+            for x in 0..5u32 {
+                s.branch_mut("main")?.apply(&OrSetOp::Add(x))?;
+            }
+            s.branch_mut("main")?.fork("feature")?;
+            s.branch_mut("feature")?.apply(&OrSetOp::Add(100))?;
+            s.branch_mut("main")?.apply(&OrSetOp::Remove(0))?;
+            s.branch_mut("main")?.merge_from("feature")?;
+            Ok(())
+        })
+        .unwrap();
+    let origin_objects = origin.object_count();
+    let server = TcpServer::spawn(origin.clone()).unwrap();
+
+    // Independent client store with divergent local history.
+    let laptop = replica("laptop", MemoryBackend::new(), 1);
+    laptop
+        .with_store(|s| s.branch_mut("main").unwrap().apply(&OrSetOp::Add(777)))
+        .unwrap();
+
+    let mut remote = Remote::new("origin", TcpTransport::connect(server.addr()).unwrap());
+    let before = laptop.object_count();
+    let fetch = laptop.fetch(&mut remote, "main").unwrap();
+
+    // The transfer is *exactly* the objects the client lacked: every
+    // received object is new to the backend, nothing was re-sent.
+    assert!(!fetch.up_to_date);
+    assert_eq!(fetch.round_trips, 3, "refs + want/have + states");
+    assert_eq!(
+        laptop.object_count(),
+        before + fetch.objects_received() as usize,
+        "received objects are precisely the backend growth"
+    );
+    // The shared root commit + root state were never transferred.
+    assert!(
+        (fetch.objects_received() as usize) < origin_objects,
+        "common history is excluded from the transfer"
+    );
+
+    // Re-fetching is free: the client now has the remote head.
+    let again = laptop.fetch(&mut remote, "main").unwrap();
+    assert!(again.up_to_date);
+    assert_eq!(again.round_trips, 1, "refs only");
+    assert_eq!(again.objects_received(), 0);
+
+    // Pull to integrate (three-way merge of the divergent histories)…
+    let pull = laptop.pull(&mut remote, "main").unwrap();
+    assert_eq!(pull.outcome, peepul::net::PullOutcome::Merged);
+    let lookup = laptop
+        .read("main", &peepul::types::or_set::OrSetQuery::Lookup(777))
+        .unwrap();
+    assert_eq!(
+        lookup,
+        peepul::types::or_set::OrSetOutput::Present(true),
+        "local work survives the merge"
+    );
+
+    // …and push the merge back: the server is strictly behind, so this is
+    // a fast-forward, and afterwards both stores hold identical object
+    // sets.
+    let push = laptop.push(&mut remote, "main").unwrap();
+    assert!(push.commits_sent > 0);
+    assert_eq!(origin.object_count(), laptop.object_count());
+    assert_eq!(
+        origin.head_id("main").unwrap(),
+        laptop.head_id("main").unwrap(),
+        "byte-identical Merkle heads across two stores over TCP"
+    );
+
+    // A second push has nothing left to say.
+    let push = laptop.push(&mut remote, "main").unwrap();
+    assert_eq!(push.commits_sent, 0);
+    assert_eq!(push.states_sent, 0);
+}
+
+#[test]
+fn push_to_diverged_peer_is_rejected() {
+    let origin = replica("origin", MemoryBackend::new(), 0);
+    let server = TcpServer::spawn(origin.clone()).unwrap();
+    let laptop = replica("laptop", MemoryBackend::new(), 1);
+
+    // Both sides commit concurrently.
+    origin
+        .with_store(|s| s.branch_mut("main").unwrap().apply(&OrSetOp::Add(1)))
+        .unwrap();
+    laptop
+        .with_store(|s| s.branch_mut("main").unwrap().apply(&OrSetOp::Add(2)))
+        .unwrap();
+
+    let mut remote = Remote::new("origin", TcpTransport::connect(server.addr()).unwrap());
+    let err = laptop.push(&mut remote, "main").unwrap_err();
+    assert!(matches!(err, NetError::PushRejected), "{err}");
+
+    // Pull-merge-push resolves it, like Git.
+    laptop.pull(&mut remote, "main").unwrap();
+    laptop.push(&mut remote, "main").unwrap();
+    assert_eq!(
+        origin.head_id("main").unwrap(),
+        laptop.head_id("main").unwrap()
+    );
+}
+
+/// The headline acceptance scenario: an 8-replica fleet with partitions
+/// and message loss converges after heal — over memory and segment
+/// backends alike.
+#[test]
+fn eight_replica_fleet_converges_after_partition_heal() {
+    for_each_backend("fleet-8", |kind, make| {
+        let cluster: Cluster<Counter, DynBackend> =
+            Cluster::replicated((0..8).map(|_| make()).collect()).unwrap();
+        assert!(cluster.is_replicated());
+
+        // Replicas 2 and 5 are partitioned for the whole run; link 0 drops
+        // its first gossip attempts; link 3 loses 20% of messages.
+        cluster.faults(2).unwrap().partition();
+        cluster.faults(5).unwrap().partition();
+        cluster.faults(0).unwrap().drop_requests(3);
+        cluster.faults(3).unwrap().set_loss(200, 0xfee1_600d);
+
+        cluster.run(30, 5, |_, _| CounterOp::Increment).unwrap();
+
+        // While partitioned, converge() must refuse to pretend.
+        assert!(
+            cluster.converge().is_err(),
+            "{kind}: honest non-convergence"
+        );
+
+        // Heal everything; anti-entropy repairs the fleet.
+        cluster.faults(2).unwrap().heal();
+        cluster.faults(5).unwrap().heal();
+        cluster.faults(3).unwrap().set_loss(0, 0);
+        let states = cluster.converge().unwrap();
+        assert_eq!(states.len(), 8);
+        for s in &states {
+            assert_eq!(s.count(), 8 * 30, "{kind}: no increment lost or duplicated");
+        }
+        // Identical heads: byte-identical canonical states *and* equal
+        // Merkle histories on every replica.
+        let head0 = cluster.node(0).unwrap().head_id("main").unwrap();
+        let state0 = cluster.node(0).unwrap().state_id("main").unwrap();
+        for i in 1..8 {
+            let node = cluster.node(i).unwrap();
+            assert_eq!(node.head_id("main").unwrap(), head0, "{kind}");
+            assert_eq!(node.state_id("main").unwrap(), state0, "{kind}");
+        }
+    });
+}
+
+#[test]
+fn mixed_memory_segment_fleet_converges() {
+    let scratch = Scratch::new("mixed-fleet");
+    let backends: Vec<DynBackend> = vec![
+        memory(),
+        segment(&scratch, 1),
+        memory(),
+        segment(&scratch, 3),
+    ];
+    let cluster: Cluster<OrSetSpace<u32>, DynBackend> = Cluster::replicated(backends).unwrap();
+    cluster.faults(1).unwrap().partition();
+    cluster
+        .run(24, 6, |replica, round| {
+            let x = ((replica * 13 + round * 5) % 24) as u32;
+            if round % 4 == 3 {
+                OrSetOp::Remove(x)
+            } else {
+                OrSetOp::Add(x)
+            }
+        })
+        .unwrap();
+    cluster.faults(1).unwrap().heal();
+    let states = cluster.converge().unwrap();
+    for s in &states[1..] {
+        assert!(states[0].observably_equal(s));
+    }
+    // The on-disk replicas persisted the same canonical bytes the
+    // in-memory ones hold.
+    let id0 = cluster.node(0).unwrap().state_id("main").unwrap();
+    for i in 1..4 {
+        assert_eq!(cluster.node(i).unwrap().state_id("main").unwrap(), id0);
+    }
+}
+
+/// A transport that corrupts one byte of every response — the content
+/// verification on ingest must reject the transfer and leave the store
+/// untouched.
+struct CorruptingTransport<T>(T);
+
+impl<T: Transport> Transport for CorruptingTransport<T> {
+    fn request(&mut self, request: &[u8]) -> Result<Vec<u8>, NetError> {
+        let mut resp = self.0.request(request)?;
+        if let Some(last) = resp.last_mut() {
+            *last ^= 0x01;
+        }
+        Ok(resp)
+    }
+}
+
+#[test]
+fn corrupted_transfers_are_rejected_and_change_nothing() {
+    let origin = replica("origin", MemoryBackend::new(), 0);
+    origin
+        .with_store(|s| -> Result<(), StoreError> {
+            for x in 0..4u32 {
+                s.branch_mut("main")?.apply(&OrSetOp::Add(x))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+
+    let laptop = replica("laptop", MemoryBackend::new(), 1);
+    let objects_before = laptop.object_count();
+    let branches_before = laptop.with_store(|s| s.branch_names().len());
+
+    let mut evil = Remote::new(
+        "origin",
+        CorruptingTransport(ChannelTransport::connect(origin.clone())),
+    );
+    let err = laptop.fetch(&mut evil, "main").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            NetError::Store(StoreError::CorruptObject { .. })
+                | NetError::Protocol(_)
+                | NetError::BadFrame(_)
+        ),
+        "corruption must be caught, got: {err}"
+    );
+    assert_eq!(laptop.object_count(), objects_before, "nothing ingested");
+    assert_eq!(
+        laptop.with_store(|s| s.branch_names().len()),
+        branches_before,
+        "no tracking branch landed"
+    );
+
+    // The same fetch over a clean link succeeds.
+    let mut clean = Remote::new("origin", ChannelTransport::connect(origin.clone()));
+    laptop.fetch(&mut clean, "main").unwrap();
+    assert!(laptop.object_count() > objects_before);
+}
+
+// ---------------------------------------------------------------------------
+// Proptest: any op schedule + any partition schedule converges post-heal
+// ---------------------------------------------------------------------------
+
+const FLEET: usize = 3;
+
+#[derive(Clone, Debug)]
+enum Event {
+    /// Replica applies a local operation.
+    Op(u8, OrSetOp<u8>),
+    /// Replica a pulls from replica b (skipped while either is cut off).
+    Pull(u8, u8),
+    /// Cut a replica's interface.
+    Partition(u8),
+    /// Restore it.
+    Heal(u8),
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    let op = (0u8..8, 0u8..2).prop_map(|(x, kind)| {
+        if kind == 0 {
+            OrSetOp::Add(x)
+        } else {
+            OrSetOp::Remove(x)
+        }
+    });
+    prop_oneof![
+        4 => (any::<u8>(), op).prop_map(|(r, op)| Event::Op(r, op)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Event::Pull(a, b)),
+        1 => any::<u8>().prop_map(Event::Partition),
+        1 => any::<u8>().prop_map(Event::Heal),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For any interleaving of operations, pulls, partitions and heals:
+    /// after healing, anti-entropy drives all replicas to identical heads
+    /// — byte-identical canonical states — on both backends.
+    #[test]
+    fn post_heal_anti_entropy_converges(
+        events in proptest::collection::vec(event_strategy(), 1..40),
+    ) {
+        for_each_backend("ae-prop", |kind, make| {
+            let replicas: Vec<Replica<OrSetSpace<u8>, DynBackend>> = (0..FLEET)
+                .map(|i| {
+                    let store = BranchStore::with_backend_and_base(
+                        "main",
+                        make(),
+                        (i as u32) << 16,
+                    )
+                    .expect("store construction");
+                    Replica::new(format!("replica-{i}"), store)
+                })
+                .collect();
+            let faults: Vec<FaultInjector> =
+                (0..FLEET).map(|_| FaultInjector::new()).collect();
+
+            for ev in &events {
+                match ev {
+                    Event::Op(r, op) => {
+                        let r = *r as usize % FLEET;
+                        replicas[r]
+                            .with_store(|s| s.branch_mut("main").unwrap().apply(op))
+                            .unwrap();
+                    }
+                    Event::Pull(a, b) => {
+                        let (a, b) = (*a as usize % FLEET, *b as usize % FLEET);
+                        if a == b || faults[b].is_partitioned() {
+                            continue;
+                        }
+                        let transport = ChannelTransport::with_faults(
+                            replicas[b].clone(),
+                            faults[a].clone(),
+                        );
+                        let mut remote = Remote::new(replicas[b].name(), transport);
+                        match replicas[a].pull(&mut remote, "main") {
+                            Ok(_) | Err(NetError::Dropped | NetError::Partitioned) => {}
+                            Err(e) => panic!("{kind}: pull failed: {e}"),
+                        }
+                    }
+                    Event::Partition(r) => faults[*r as usize % FLEET].partition(),
+                    Event::Heal(r) => faults[*r as usize % FLEET].heal(),
+                }
+            }
+
+            // Heal the world; anti-entropy must finish the job.
+            for f in &faults {
+                f.heal();
+            }
+            let report = AntiEntropy::new().run(&replicas, "main").unwrap();
+            assert!(report.converged, "{kind}: {report:?}");
+            let head0 = replicas[0].head_id("main").unwrap();
+            let state0 = replicas[0].state_id("main").unwrap();
+            for r in &replicas[1..] {
+                assert_eq!(r.head_id("main").unwrap(), head0, "{kind}");
+                assert_eq!(r.state_id("main").unwrap(), state0, "{kind}");
+                assert!(
+                    replicas[0]
+                        .state("main")
+                        .unwrap()
+                        .observably_equal(&r.state("main").unwrap()),
+                    "{kind}"
+                );
+            }
+        });
+    }
+}
