@@ -1,0 +1,291 @@
+//! **Reopen benchmark** — the typed cold-start half of the CI perf gate.
+//!
+//! Since the codec unification a store survives a process restart as
+//! *typed* state: `BranchStore::open` walks refs + commit records out of
+//! a reopened `SegmentBackend`, decodes every referenced state, and
+//! rebuilds the commit graph, indexes and Lamport clock. That path is on
+//! the critical line of every crash recovery and every rolling restart,
+//! so it is gated like the merge and sync paths:
+//!
+//! * `reopen_cold_start_ms` — wall time for one `SegmentBackend::open` +
+//!   `BranchStore::open` over a history of the benchmark's reference size
+//!   (lower is better);
+//! * `reopen_states_per_sec` — typed states decoded per second during
+//!   that cold start (higher);
+//! * `reopen_commits_per_sec` — commit records walked + installed per
+//!   second (higher).
+//!
+//! The `info` block additionally reports a small cold-start-vs-commit-
+//! count sweep (the scaling curve, not gated — CI noise on absolute
+//! milliseconds at several sizes would be all false positives).
+//!
+//! With `--baseline <path>`: if the file exists, each metric is compared
+//! against it and the run **fails (exit 1) when any metric regresses by
+//! more than `--tolerance`** (default 0.25); if it does not exist, the
+//! current numbers are written there so the first CI run establishes the
+//! baseline. Same contract as `bench_store` and `bench_sync`.
+//!
+//! Run: `cargo run --release -p peepul-bench --bin bench_reopen -- \
+//!           --out BENCH_reopen.json --baseline BENCH_reopen.baseline.json`
+
+use peepul_store::{BranchStore, SegmentBackend, SegmentOptions};
+use peepul_types::or_set_space::{OrSetOp, OrSetSpace};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Direction of improvement for a metric.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Better {
+    Higher,
+    Lower,
+}
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+    better: Better,
+}
+
+fn quick_mode(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--quick")
+        || std::env::var("PEEPUL_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("peepul-bench-reopen-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Fsync off: the benchmark measures the recovery walk + decode, not the
+/// build-time disk flushing.
+fn opts() -> SegmentOptions {
+    SegmentOptions { durable: false }
+}
+
+/// Publishes a `commits`-deep two-branch OR-set history (every commit a
+/// distinct state, so reopen decodes `commits + 1` real states) and
+/// returns the directory.
+fn build_history(dir: &Path, commits: u32) -> (usize, usize) {
+    let backend = SegmentBackend::open_with(dir, opts()).expect("open build segment");
+    let mut db: BranchStore<OrSetSpace<u64>, _> =
+        BranchStore::with_backend("main", backend).expect("create store");
+    db.branch_mut("main").unwrap().fork("feed").unwrap();
+    for i in 0..commits {
+        let branch = if i % 2 == 0 { "main" } else { "feed" };
+        // Bounded universe (as in bench_sync): state size plateaus at 512
+        // elements, so the cold-start metrics measure the reopen path, not
+        // an ever-growing payload.
+        db.branch_mut(branch)
+            .unwrap()
+            .apply(&OrSetOp::Add(u64::from(i) % 512))
+            .unwrap();
+        if i % 64 == 63 {
+            db.branch_mut("main").unwrap().merge_from("feed").unwrap();
+        }
+    }
+    let commits = db.commit_count();
+    // Distinct states ≈ distinct state ids across commits.
+    let states = {
+        use std::collections::HashSet;
+        db.graph()
+            .ids()
+            .map(|c| db.state_oid(c))
+            .collect::<HashSet<_>>()
+            .len()
+    };
+    db.flush().unwrap();
+    (commits, states)
+}
+
+/// One timed cold start: segment scan + typed rebuild. Returns seconds.
+fn cold_start(dir: &Path) -> f64 {
+    let start = Instant::now();
+    let backend = SegmentBackend::open_with(dir, opts()).expect("reopen segment");
+    let db: BranchStore<OrSetSpace<u64>, _> = BranchStore::open(backend).expect("typed reopen");
+    let secs = start.elapsed().as_secs_f64();
+    assert!(db.commit_count() > 0);
+    std::hint::black_box(&db);
+    secs
+}
+
+/// Renders the report as JSON (hand-rolled: the workspace deliberately
+/// has no serde; EXPERIMENTS.md documents this schema).
+fn render_json(metrics: &[Metric], quick: bool, info: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"peepul/bench-reopen/v1\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"metrics\": {{");
+    for (i, m) in metrics.iter().enumerate() {
+        let better = match m.better {
+            Better::Higher => "higher",
+            Better::Lower => "lower",
+        };
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"value\": {:.6}, \"better\": \"{better}\" }}{comma}",
+            m.name, m.value
+        );
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"info\": {{");
+    for (i, (name, value)) in info.iter().enumerate() {
+        let comma = if i + 1 < info.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{name}\": {value:.6}{comma}");
+    }
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `"name": { "value": <f64>` from a report produced by
+/// `render_json` (tolerant scan, not a general JSON parser).
+fn baseline_value(json: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\"");
+    let after_key = &json[json.find(&key)? + key.len()..];
+    let after_value = &after_key[after_key.find("\"value\":")? + "\"value\":".len()..];
+    let num: String = after_value
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = quick_mode(&args);
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_reopen.json".into());
+    let baseline_path = flag_value(&args, "--baseline");
+    let tolerance: f64 = flag_value(&args, "--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a number"))
+        .unwrap_or(0.25);
+
+    // Reference size for the gated metrics, plus a sweep for the curve.
+    let (reference, reps, sweep): (u32, u32, &[u32]) = if quick {
+        (2_000, 3, &[500, 1_000, 2_000])
+    } else {
+        (10_000, 5, &[1_000, 4_000, 10_000])
+    };
+
+    println!(
+        "# bench_reopen ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+
+    let dir = scratch("reference");
+    let (commit_count, state_count) = build_history(&dir, reference);
+    let mut total = 0f64;
+    for _ in 0..reps {
+        total += cold_start(&dir);
+    }
+    let secs = total / f64::from(reps);
+    let ms = secs * 1e3;
+    let states_per_sec = state_count as f64 / secs;
+    let commits_per_sec = commit_count as f64 / secs;
+    println!(
+        "cold start            : {ms:.1} ms for {commit_count} commits / {state_count} states \
+         ({states_per_sec:.0} states/s, {commits_per_sec:.0} commits/s)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut info: Vec<(String, f64)> = vec![
+        ("reference_commits".into(), commit_count as f64),
+        ("reference_states".into(), state_count as f64),
+    ];
+    for &n in sweep {
+        let dir = scratch(&format!("sweep-{n}"));
+        let (commits, _) = build_history(&dir, n);
+        let ms = cold_start(&dir) * 1e3;
+        println!("sweep                 : {commits} commits reopen in {ms:.1} ms");
+        info.push((format!("sweep_ms_at_{n}"), ms));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let metrics = [
+        Metric {
+            name: "reopen_cold_start_ms",
+            value: ms,
+            better: Better::Lower,
+        },
+        Metric {
+            name: "reopen_states_per_sec",
+            value: states_per_sec,
+            better: Better::Higher,
+        },
+        Metric {
+            name: "reopen_commits_per_sec",
+            value: commits_per_sec,
+            better: Better::Higher,
+        },
+    ];
+
+    let json = render_json(&metrics, quick, &info);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    match std::fs::read_to_string(&baseline_path) {
+        Err(_) => {
+            // First run: establish the baseline (CI commits this file).
+            std::fs::write(&baseline_path, &json).expect("write baseline");
+            println!("no baseline found; wrote initial baseline to {baseline_path}");
+        }
+        Ok(baseline) => {
+            // Only gate against a baseline recorded in the same mode.
+            let baseline_quick = baseline.contains("\"quick\": true");
+            if baseline_quick != quick {
+                println!(
+                    "baseline at {baseline_path} was recorded in {} mode, this run is {} mode — skipping the regression gate",
+                    if baseline_quick { "quick" } else { "full" },
+                    if quick { "quick" } else { "full" },
+                );
+                return;
+            }
+            let mut regressed = false;
+            for m in &metrics {
+                let Some(base) = baseline_value(&baseline, m.name) else {
+                    println!("baseline lacks {} — skipping", m.name);
+                    continue;
+                };
+                let (bad, ratio) = match m.better {
+                    Better::Higher => (
+                        m.value < base * (1.0 - tolerance),
+                        m.value / base.max(f64::MIN_POSITIVE),
+                    ),
+                    Better::Lower => (
+                        m.value > base * (1.0 + tolerance),
+                        base / m.value.max(f64::MIN_POSITIVE),
+                    ),
+                };
+                println!(
+                    "{:<32} {:>14.3} vs baseline {:>14.3}  ({:.2}x) {}",
+                    m.name,
+                    m.value,
+                    base,
+                    ratio,
+                    if bad { "REGRESSED" } else { "ok" }
+                );
+                regressed |= bad;
+            }
+            if regressed {
+                eprintln!(
+                    "FAIL: reopen metric regressed more than {:.0}% vs baseline",
+                    tolerance * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -28,11 +28,20 @@
 //! # Example
 //!
 //! ```
-//! use peepul_core::{Mrdt, Timestamp, ReplicaId};
+//! use peepul_core::{Mrdt, Timestamp, ReplicaId, Wire};
 //!
 //! /// A tiny increment-only counter MRDT.
-//! #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+//! #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 //! struct Ctr(u64);
+//!
+//! /// The canonical codec: these bytes are the storage format, the wire
+//! /// format, and (hashed) the content address — one codec for all three.
+//! impl Wire for Ctr {
+//!     fn encode(&self, out: &mut Vec<u8>) { self.0.encode(out) }
+//!     fn decode(input: &mut &[u8]) -> Option<Self> {
+//!         Some(Ctr(Wire::decode(input)?))
+//!     }
+//! }
 //!
 //! /// Updates transform the state and are recorded as events…
 //! #[derive(Clone, Copy, Debug, PartialEq, Eq)]

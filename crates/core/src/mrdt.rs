@@ -1,9 +1,8 @@
 //! The MRDT implementation interface (paper, Definition 2.1), with the
 //! query/update split of replication-aware linearizability.
 
-use crate::Timestamp;
+use crate::{Timestamp, Wire};
 use std::fmt;
-use std::hash::Hash;
 
 /// A mergeable replicated data type implementation `D_τ = (Σ, σ0, do, merge)`.
 ///
@@ -48,20 +47,35 @@ use std::hash::Hash;
 /// what lets executions satisfy *convergence modulo observable behaviour*
 /// (Definition 3.5) instead of strict state convergence.
 ///
-/// # Content addressing
+/// # One canonical codec
 ///
-/// The `Hash` bound is the store's serialization hook: a state's `Hash`
-/// byte stream is its canonical encoding, fed to SHA-256 to produce the
-/// content address under which the branch store persists the state in a
-/// pluggable backend (`peepul-store`'s `Backend`). Implementations must
-/// therefore hash *deterministically* — derive `Hash` over ordered
-/// containers (`BTreeMap`, `Vec`), never iterate a `HashMap`/`HashSet`.
+/// The [`Wire`] bound is the data type's **canonical codec** — the single
+/// serialization the whole workspace runs on. A state's `Wire` encoding
+/// is simultaneously
+///
+/// * its **storage format**: the branch store publishes exactly these
+///   bytes to a pluggable backend (`peepul-store`'s `Backend`), and a
+///   reopened store decodes them back into typed state
+///   (`BranchStore::open`),
+/// * its **content address** preimage: `sha256(encode(σ))` is the
+///   state's `ObjectId`, and
+/// * its **wire format**: replication transfers the same bytes and
+///   verifies them with the same hash — one decode and one hash per
+///   received object, nothing is re-encoded across formats.
+///
+/// Implementations must therefore encode *canonically*: equal (or
+/// observably equal, see below) states produce identical bytes — iterate
+/// ordered containers (`BTreeMap`, `Vec`), never a `HashMap`/`HashSet` —
+/// and `decode(encode(σ))` yields a state observably equal to `σ` that
+/// re-encodes to the identical bytes. The certification harness checks
+/// this round-trip as a standing obligation (`Φ_codec`) at every state
+/// it explores.
 ///
 /// # Example
 ///
 /// See the [crate-level documentation](crate) for a complete counter
 /// implementation.
-pub trait Mrdt: Clone + PartialEq + Hash + fmt::Debug {
+pub trait Mrdt: Clone + PartialEq + Wire + fmt::Debug {
     /// The **update** operations `Op_τ` of the data type. Every element may
     /// transform the state and is recorded as an event of the abstract
     /// execution. Pure observations do not belong here — they go in
@@ -122,8 +136,19 @@ mod tests {
     use super::*;
     use crate::ReplicaId;
 
-    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
     struct Reg(u64, Timestamp);
+
+    impl Wire for Reg {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+            self.1.encode(out);
+        }
+
+        fn decode(input: &mut &[u8]) -> Option<Self> {
+            Some(Reg(Wire::decode(input)?, Wire::decode(input)?))
+        }
+    }
 
     #[derive(Clone, Copy, Debug)]
     enum RegOp {

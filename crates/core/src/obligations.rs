@@ -44,6 +44,13 @@ pub enum Obligation {
     PsiTs,
     /// `Ψ_lca`: store-guaranteed LCA discipline (Table 1).
     PsiLca,
+    /// `Φ_codec`: the canonical codec round-trips — `decode(encode(σ))`
+    /// is observably equal to `σ` and re-encodes to the identical bytes.
+    /// Not one of the paper's Table 2 obligations; it certifies the
+    /// workspace's single-codec invariant (storage = wire = address
+    /// preimage), without which a store could not reopen to typed state
+    /// nor replicate faithfully.
+    Codec,
 }
 
 impl fmt::Display for Obligation {
@@ -55,6 +62,7 @@ impl fmt::Display for Obligation {
             Obligation::PhiCon => "Φ_con",
             Obligation::PsiTs => "Ψ_ts",
             Obligation::PsiLca => "Ψ_lca",
+            Obligation::Codec => "Φ_codec",
         };
         f.write_str(name)
     }
@@ -116,12 +124,20 @@ pub struct ObligationReport {
     pub psi_ts: u64,
     /// Number of `Ψ_lca` assertions checked.
     pub psi_lca: u64,
+    /// Number of `Φ_codec` round-trips checked.
+    pub codec: u64,
 }
 
 impl ObligationReport {
     /// Total number of obligation instances checked.
     pub fn total(&self) -> u64 {
-        self.phi_do + self.phi_merge + self.phi_spec + self.phi_con + self.psi_ts + self.psi_lca
+        self.phi_do
+            + self.phi_merge
+            + self.phi_spec
+            + self.phi_con
+            + self.psi_ts
+            + self.psi_lca
+            + self.codec
     }
 
     /// Accumulates another report into this one.
@@ -132,6 +148,7 @@ impl ObligationReport {
         self.phi_con += other.phi_con;
         self.psi_ts += other.psi_ts;
         self.psi_lca += other.psi_lca;
+        self.codec += other.codec;
     }
 }
 
@@ -220,6 +237,58 @@ pub fn check_queries<M: Certified>(
                 ),
             ));
         }
+    }
+    Ok(())
+}
+
+/// Checks one instance of `Φ_codec`: the canonical codec round-trips on
+/// this state.
+///
+/// Verifies that `decode(encode(σ))` succeeds, that the decoded state is
+/// **observably equal** to `σ` (Definition 3.4 — exact for every data
+/// type whose representation is canonical; the tree-backed OR-set may
+/// decode to a differently shaped, observably identical tree), and that
+/// re-encoding the decoded state reproduces the identical bytes (the
+/// canonical-form half: one value, one byte string, one content
+/// address). The harness runs this at every explored state, so a codec
+/// that drifts from its data type corrupts no store before certification
+/// catches it.
+///
+/// # Errors
+///
+/// A `Φ_codec` violation naming the failing stage.
+pub fn check_codec<M: Mrdt>(
+    conc: &M,
+    report: &mut ObligationReport,
+) -> Result<(), ObligationError> {
+    report.codec += 1;
+    let bytes = conc.to_wire();
+    let Some(decoded) = M::from_wire(&bytes) else {
+        return Err(ObligationError::new(
+            Obligation::Codec,
+            format!(
+                "state {conc:?} encoded to {} bytes that do not decode back",
+                bytes.len()
+            ),
+        ));
+    };
+    if !decoded.observably_equal(conc) {
+        return Err(ObligationError::new(
+            Obligation::Codec,
+            format!("decode(encode(σ)) = {decoded:?} is observably distinct from σ = {conc:?}"),
+        ));
+    }
+    let reencoded = decoded.to_wire();
+    if reencoded != bytes {
+        return Err(ObligationError::new(
+            Obligation::Codec,
+            format!(
+                "non-canonical encoding of {conc:?}: re-encode differs \
+                 ({} vs {} bytes) — one value must map to one byte string",
+                reencoded.len(),
+                bytes.len()
+            ),
+        ));
     }
     Ok(())
 }
@@ -319,12 +388,22 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ReplicaId, Timestamp};
+    use crate::{ReplicaId, Timestamp, Wire};
 
     /// Increment-only counter with its spec and simulation relation, used to
     /// exercise the obligation checkers; `peepul-types` has the real one.
-    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
     struct Ctr(u64);
+
+    impl Wire for Ctr {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+
+        fn decode(input: &mut &[u8]) -> Option<Self> {
+            Some(Ctr(Wire::decode(input)?))
+        }
+    }
 
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     enum CtrOp {
@@ -439,8 +518,16 @@ mod tests {
     #[test]
     fn check_merge_catches_broken_merge() {
         /// Counter whose merge loses one branch's updates.
-        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+        #[derive(Clone, Copy, PartialEq, Eq, Debug)]
         struct BadCtr(u64);
+        impl Wire for BadCtr {
+            fn encode(&self, out: &mut Vec<u8>) {
+                self.0.encode(out);
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                Some(BadCtr(Wire::decode(input)?))
+            }
+        }
         #[derive(Clone, Copy, Debug, PartialEq, Eq)]
         struct Inc;
         impl Mrdt for BadCtr {
@@ -520,9 +607,54 @@ mod tests {
             phi_con: 4,
             psi_ts: 5,
             psi_lca: 6,
+            codec: 7,
         };
         let b = a;
         a.absorb(&b);
-        assert_eq!(a.total(), 42);
+        assert_eq!(a.total(), 56);
+    }
+
+    #[test]
+    fn check_codec_accepts_roundtripping_state() {
+        let mut rep = ObligationReport::default();
+        check_codec(&Ctr(17), &mut rep).unwrap();
+        assert_eq!(rep.codec, 1);
+    }
+
+    #[test]
+    fn check_codec_catches_asymmetric_codec() {
+        /// Encoder writes 4 bytes, decoder reads 8 — the classic drift bug
+        /// the standing obligation exists for.
+        #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+        struct Skew(u64);
+        impl Wire for Skew {
+            fn encode(&self, out: &mut Vec<u8>) {
+                (self.0 as u32).encode(out); // BUG: narrows
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                Some(Skew(Wire::decode(input)?))
+            }
+        }
+        impl Mrdt for Skew {
+            type Op = CtrOp;
+            type Value = ();
+            type Query = CtrQuery;
+            type Output = u64;
+            fn initial() -> Self {
+                Skew(0)
+            }
+            fn apply(&self, _op: &CtrOp, _t: Timestamp) -> (Self, ()) {
+                (Skew(self.0 + 1), ())
+            }
+            fn query(&self, _q: &CtrQuery) -> u64 {
+                self.0
+            }
+            fn merge(l: &Self, a: &Self, b: &Self) -> Self {
+                Skew(a.0 + b.0 - l.0)
+            }
+        }
+        let mut rep = ObligationReport::default();
+        let err = check_codec(&Skew(1), &mut rep).unwrap_err();
+        assert_eq!(err.obligation(), Obligation::Codec);
     }
 }

@@ -32,8 +32,14 @@ use crate::{AbstractOf, Mrdt};
 /// ```
 /// use peepul_core::{AbstractOf, Mrdt, Specification, Timestamp};
 ///
-/// # #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+/// # #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 /// # struct Ctr(u64);
+/// # impl peepul_core::Wire for Ctr {
+/// #     fn encode(&self, out: &mut Vec<u8>) { self.0.encode(out) }
+/// #     fn decode(input: &mut &[u8]) -> Option<Self> {
+/// #         Some(Ctr(peepul_core::Wire::decode(input)?))
+/// #     }
+/// # }
 /// # #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 /// # enum CtrOp { Inc }
 /// # #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,29 +1,38 @@
-//! The deterministic wire codec replication runs on.
+//! The **canonical codec**: one decodable binary encoding that is
+//! simultaneously the storage format, the wire format, and the content
+//! address preimage.
 //!
-//! The store persists states as their canonical `Hash`-stream bytes — a
-//! one-way encoding: it hashes to the state's content address, but nothing
-//! can be decoded *from* it. Replication between independent stores needs
-//! the other direction too: a replica that receives a state object over a
-//! transport must reconstruct the typed value to merge with. [`Wire`] is
-//! that codec: a small, explicit, platform-independent binary encoding
-//! (little-endian fixed-width integers, `u64` length prefixes) with a
-//! decoder, implemented by every data type that wants to be replicated.
+//! Historically the workspace carried two parallel serializations — a
+//! one-way `Hash`-stream that minted content addresses, and this codec
+//! bolted alongside for replication. They are now unified: [`Wire`] is
+//! the *single* canonical encoding. A state's content address is
+//! `sha256(encode(σ))`; the branch store persists exactly those bytes in
+//! its backend (and decodes them back on `BranchStore::open`, the typed
+//! cold-start path); replication transfers the same bytes and verifies
+//! them with the same hash. Every [`crate::Mrdt`] carries the codec as a
+//! supertrait bound.
 //!
-//! The codec is **not** the content address. On ingest, a receiver decodes
-//! the wire bytes to a typed state, re-derives the state's canonical bytes
-//! and content id locally, and verifies that id against the address the
-//! sender advertised — so a faithful round-trip is checked by SHA-256 on
-//! every transferred object, and a codec bug is indistinguishable from
-//! corruption (both are rejected).
+//! The encoding is small, explicit and platform-independent:
+//! little-endian fixed-width integers, `u64` length prefixes, explicit
+//! enum tags. On ingest a receiver hashes the received bytes against the
+//! advertised address and decodes them **once** — no re-encoding across
+//! formats — so a codec bug is indistinguishable from corruption (both
+//! are rejected before anything lands).
 //!
 //! # Implementing `Wire`
 //!
 //! Encode fields in declaration order with the building-block impls below;
-//! decode them back in the same order. [`Wire::max_tick`] is the Lamport
-//! *receive rule* hook: a state carrying timestamps reports the largest
-//! tick it contains, and an ingesting store advances its own clock past it
-//! so that operations applied after a merge order after everything merged
-//! in (the happens-before half of Ψ_ts across stores).
+//! decode them back in the same order. The encoding must be **canonical**:
+//! one value, one byte string (iterate ordered containers, reject
+//! non-canonical input on decode). The certification harness checks
+//! `decode(encode(σ)) ≈ σ` and byte-identical re-encoding at every state
+//! it explores (the `Φ_codec` standing obligation).
+//!
+//! [`Wire::max_tick`] is the Lamport *receive rule* hook: a state
+//! carrying timestamps reports the largest tick it contains, and an
+//! ingesting store advances its own clock past it so that operations
+//! applied after a merge order after everything merged in (the
+//! happens-before half of Ψ_ts across stores).
 //!
 //! # Example
 //!
@@ -38,19 +47,27 @@
 use crate::{ReplicaId, Timestamp};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-/// A value with a deterministic, self-describing binary encoding, used to
-/// move typed MRDT states between stores.
+/// A value with a deterministic, self-describing binary encoding — the
+/// workspace's **one canonical codec**: storage bytes, wire bytes, and
+/// the SHA-256 preimage of the content address are all this encoding.
 ///
 /// Laws every implementation must uphold:
 ///
-/// * **round-trip**: `decode(encode(v)) == Some(v)` consuming exactly the
-///   encoded bytes;
-/// * **determinism**: equal values encode to equal bytes (no iteration
-///   over unordered containers, no platform-dependent widths);
-/// * **structural fidelity**: the decoded value is *structurally* equal to
-///   the original, so its canonical `Hash` bytes — and therefore its
-///   content address — are identical. Replication verifies this with
-///   SHA-256 on every transferred object.
+/// * **round-trip**: `decode(encode(v))` succeeds consuming exactly the
+///   encoded bytes, and yields a value observably equal to `v`
+///   (structurally equal for every type whose representation is
+///   canonical; a type with representation freedom — the tree-backed
+///   OR-set — decodes to its canonical shape);
+/// * **canonical form**: one value, one byte string — equal (or
+///   observably equal) values encode to identical bytes, and re-encoding
+///   a decoded value reproduces its input exactly. No iteration over
+///   unordered containers, no platform-dependent widths; decoders reject
+///   non-canonical input (e.g. duplicate set elements) rather than
+///   normalising it;
+/// * **address fidelity**: since the content address is the hash of this
+///   encoding, the two laws above make `sha256(bytes)` a faithful
+///   identity for the typed value. Stores and replicas verify it on
+///   every object they ingest.
 pub trait Wire: Sized {
     /// Appends this value's encoding to `out`.
     fn encode(&self, out: &mut Vec<u8>);
@@ -262,11 +279,16 @@ impl<T: Wire + Ord> Wire for BTreeSet<T> {
         let len = decode_len(input)?;
         let mut out = BTreeSet::new();
         for _ in 0..len {
-            out.insert(T::decode(input)?);
+            let v = T::decode(input)?;
+            // Canonical form is strictly ascending: duplicate or unordered
+            // elements would silently re-encode differently than they
+            // arrived — reject rather than normalise.
+            if out.last().is_some_and(|p| *p >= v) {
+                return None;
+            }
+            out.insert(v);
         }
-        // Duplicate elements would re-encode shorter than they arrived —
-        // reject rather than silently canonicalize.
-        (out.len() == len).then_some(out)
+        Some(out)
     }
 
     fn max_tick(&self) -> u64 {
@@ -289,9 +311,14 @@ impl<K: Wire + Ord, V: Wire> Wire for BTreeMap<K, V> {
         for _ in 0..len {
             let k = K::decode(input)?;
             let v = V::decode(input)?;
+            // Strictly ascending keys, as for sets: one map, one byte
+            // string.
+            if out.last_key_value().is_some_and(|(last, _)| *last >= k) {
+                return None;
+            }
             out.insert(k, v);
         }
-        (out.len() == len).then_some(out)
+        Some(out)
     }
 
     fn max_tick(&self) -> u64 {
@@ -451,6 +478,31 @@ mod tests {
         1u8.encode(&mut bytes);
         1u8.encode(&mut bytes);
         assert_eq!(BTreeSet::<u8>::from_wire(&bytes), None);
+    }
+
+    #[test]
+    fn non_canonical_container_order_is_rejected() {
+        // Descending set elements: would re-encode sorted — malformed.
+        let mut bytes = Vec::new();
+        encode_len(2, &mut bytes);
+        2u8.encode(&mut bytes);
+        1u8.encode(&mut bytes);
+        assert_eq!(BTreeSet::<u8>::from_wire(&bytes), None);
+        // Same for map keys (including duplicates).
+        let mut map = Vec::new();
+        encode_len(2, &mut map);
+        2u8.encode(&mut map);
+        0u8.encode(&mut map);
+        1u8.encode(&mut map);
+        0u8.encode(&mut map);
+        assert_eq!(BTreeMap::<u8, u8>::from_wire(&map), None);
+        let mut dup = Vec::new();
+        encode_len(2, &mut dup);
+        1u8.encode(&mut dup);
+        0u8.encode(&mut dup);
+        1u8.encode(&mut dup);
+        0u8.encode(&mut dup);
+        assert_eq!(BTreeMap::<u8, u8>::from_wire(&dup), None);
     }
 
     #[test]

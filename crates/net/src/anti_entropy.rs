@@ -18,7 +18,7 @@
 use crate::error::NetError;
 use crate::replica::{PullOutcome, Remote, Replica};
 use crate::transport::{ChannelTransport, FaultInjector};
-use peepul_core::{Mrdt, Wire};
+use peepul_core::Mrdt;
 use peepul_store::Backend;
 
 /// Pairwise-pull scheduler. See the [module docs](self).
@@ -60,7 +60,7 @@ impl AntiEntropy {
         branch: &str,
     ) -> Result<AntiEntropyReport, NetError>
     where
-        M: Mrdt + Wire,
+        M: Mrdt,
         B: Backend,
     {
         self.run_with_faults(replicas, branch, &[])
@@ -84,7 +84,7 @@ impl AntiEntropy {
         faults: &[FaultInjector],
     ) -> Result<AntiEntropyReport, NetError>
     where
-        M: Mrdt + Wire,
+        M: Mrdt,
         B: Backend,
     {
         let n = replicas.len();

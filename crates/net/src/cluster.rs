@@ -26,7 +26,7 @@ use crate::error::NetError;
 use crate::replica::{Remote, Replica};
 use crate::transport::{ChannelTransport, FaultInjector};
 use parking_lot::Mutex;
-use peepul_core::{Mrdt, Wire};
+use peepul_core::Mrdt;
 use peepul_store::{Backend, BranchStore, MemoryBackend, StoreError};
 use std::fmt;
 use std::sync::Arc;
@@ -76,7 +76,7 @@ pub struct Cluster<M: Mrdt, B: Backend = MemoryBackend> {
     replicas: usize,
 }
 
-impl<M: Mrdt + Wire + Send + Sync + 'static> Cluster<M> {
+impl<M: Mrdt + Send + Sync + 'static> Cluster<M> {
     /// A replicated in-memory cluster: `replicas` independent stores, each
     /// over its own fresh [`MemoryBackend`].
     ///
@@ -97,7 +97,7 @@ impl<M: Mrdt + Wire + Send + Sync + 'static> Cluster<M> {
     }
 }
 
-impl<M: Mrdt + Wire + Send + Sync + 'static, B: Backend + Send + 'static> Cluster<M, B> {
+impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + 'static> Cluster<M, B> {
     /// The legacy shared-store simulation over an explicit backend:
     /// `replicas` branches of **one** store, one thread per branch. This
     /// is the pre-replication `Cluster` behaviour, preserved as a mode.

@@ -33,7 +33,7 @@ use parking_lot::Mutex;
 use peepul_core::{Mrdt, Wire};
 use peepul_store::sha256::Sha256;
 use peepul_store::{parse_commit_record, Backend, BranchStore, ObjectId, StoreError, TrackOutcome};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -82,26 +82,43 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
         }
     }
 
-    /// Builds a replica **and its store**, deriving the store's
-    /// replica-id base from the replica's name (first four bytes of
-    /// `sha256(name)`): replicas with distinct names get
-    /// pseudo-randomly spread, almost-surely disjoint id ranges without
-    /// any coordination — the safe default for independent peers.
-    /// (Fleets wanting guaranteed disjointness assign explicit bases;
-    /// see [`Cluster`](crate::Cluster).)
+    /// Builds a replica **and its store** — creating a fresh store over
+    /// an empty backend, or performing the **typed reopen**
+    /// ([`BranchStore::open`]) when the backend already holds published
+    /// refs, so a durable replica survives a process restart with its
+    /// full history, Lamport clock and `root_branch` intact. Either way
+    /// the store's replica-id base is derived from the replica's name
+    /// (first four bytes of `sha256(name)`): replicas with distinct
+    /// names get pseudo-randomly spread, almost-surely disjoint id
+    /// ranges without any coordination — the safe default for
+    /// independent peers. (Fleets wanting guaranteed disjointness assign
+    /// explicit bases; see [`Cluster`](crate::Cluster).)
     ///
     /// # Errors
     ///
-    /// As [`BranchStore::with_backend_and_base`].
+    /// As [`BranchStore::with_backend_and_base`] /
+    /// [`BranchStore::open_with_base`]; additionally
+    /// [`StoreError::UnknownBranch`] when a reopened backend does not
+    /// contain `root_branch` (the backend belongs to a different
+    /// replica).
     pub fn open(
         name: impl Into<String>,
         root_branch: impl Into<String>,
         backend: B,
     ) -> Result<Self, StoreError> {
         let name = name.into();
+        let root_branch = root_branch.into();
         let digest = Sha256::digest(name.as_bytes());
         let base = u32::from_be_bytes(digest[..4].try_into().expect("4 bytes"));
-        let store = BranchStore::with_backend_and_base(root_branch, backend, base)?;
+        let store = if backend.refs()?.is_empty() {
+            BranchStore::with_backend_and_base(root_branch, backend, base)?
+        } else {
+            let store = BranchStore::open_with_base(backend, base)?;
+            if !store.has_branch(&root_branch) {
+                return Err(StoreError::UnknownBranch(root_branch));
+            }
+            store
+        };
         Ok(Replica::new(name, store))
     }
 
@@ -161,7 +178,7 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
     }
 }
 
-impl<M: Mrdt + Wire, B: Backend> Replica<M, B> {
+impl<M: Mrdt, B: Backend> Replica<M, B> {
     /// Serves one protocol request against this replica's store — the
     /// server half of fetch and push. Errors are folded into
     /// [`Response::Error`] so a misbehaving client cannot poison the
@@ -369,13 +386,12 @@ impl<M: Mrdt + Wire, B: Backend> Replica<M, B> {
         let states = self.with_store(|s| -> Result<Vec<PackedObject>, NetError> {
             need.iter()
                 .map(|id| {
-                    let m = s
-                        .state_payload(*id)
+                    // Canonical bytes straight from the backend — the
+                    // storage format is the wire format.
+                    let bytes = s
+                        .state_bytes(*id)?
                         .ok_or_else(|| NetError::Protocol("own state missing".into()))?;
-                    Ok(PackedObject {
-                        id: *id,
-                        bytes: m.to_wire(),
-                    })
+                    Ok(PackedObject { id: *id, bytes })
                 })
                 .collect()
         })?;
@@ -598,79 +614,34 @@ struct IngestCounts {
     states: u64,
 }
 
-/// Verifies and lands a pack of commit records + state objects.
+/// Verifies and lands a pack of commit records + state objects by
+/// delegating to the store's single ingest path
+/// ([`BranchStore::ingest_pack`]).
 ///
-/// Every object is checked against its advertised content address before
-/// anything reaches the store: states by decoding and re-deriving their
-/// canonical id, commit records by hashing their bytes (and again
-/// structurally inside [`BranchStore::ingest_commit`]). The store's
-/// Lamport clock is advanced past the largest tick in any ingested state
-/// (the receive rule).
-fn ingest_pack<M: Mrdt + Wire, B: Backend>(
+/// Since the codec unification there is nothing format-specific left to
+/// do here: the bytes on the wire *are* the canonical storage bytes, so
+/// the store verifies each object with one hash (and each state with one
+/// decode), publishes the verified bytes without re-hashing, and applies
+/// the Lamport receive rule itself. A corrupt object fails the whole pack
+/// before anything is written.
+fn ingest_pack<M: Mrdt, B: Backend>(
     store: &mut BranchStore<M, B>,
     commits: &[PackedObject],
     states: &[PackedObject],
 ) -> Result<IngestCounts, NetError> {
-    let mut typed: HashMap<ObjectId, M> = HashMap::with_capacity(states.len());
-    let mut max_tick = 0u64;
-    for ps in states {
-        let m = M::from_wire(&ps.bytes).ok_or_else(|| {
-            NetError::Protocol(format!("undecodable state object {}", ps.id.short()))
-        })?;
-        let actual = peepul_store::content_id(&m);
-        if actual != ps.id {
-            return Err(StoreError::CorruptObject {
-                expected: ps.id,
-                actual,
-            }
-            .into());
-        }
-        max_tick = max_tick.max(m.max_tick());
-        typed.insert(ps.id, m);
-    }
-    let mut counts = IngestCounts {
-        commits: 0,
-        states: typed.len() as u64,
-    };
-    for pc in commits {
-        let actual = ObjectId::from_bytes(Sha256::digest(&pc.bytes));
-        if actual != pc.id {
-            return Err(StoreError::CorruptObject {
-                expected: pc.id,
-                actual,
-            }
-            .into());
-        }
-        if store.has_commit(pc.id) {
-            continue;
-        }
-        let meta = parse_commit_record(&pc.bytes).ok_or_else(|| {
-            NetError::Protocol(format!("malformed commit record {}", pc.id.short()))
-        })?;
-        // The mint is part of the remote history's timeline too (states of
-        // timestamp-free types carry no ticks of their own).
-        max_tick = max_tick.max(meta.tick);
-        let state: M = match typed.get(&meta.state) {
-            Some(m) => m.clone(),
-            None => store
-                .state_payload(meta.state)
-                .map(|a| a.as_ref().clone())
-                .ok_or_else(|| {
-                    NetError::Protocol(format!(
-                        "pack references state {} but does not include it",
-                        meta.state.short()
-                    ))
-                })?,
-        };
-        store.ingest_commit(pc.id, &meta, state)?;
-        counts.commits += 1;
-    }
-    store.observe_tick(max_tick);
-    Ok(counts)
+    let commit_refs: Vec<(ObjectId, &[u8])> =
+        commits.iter().map(|p| (p.id, p.bytes.as_slice())).collect();
+    let state_refs: Vec<(ObjectId, &[u8])> =
+        states.iter().map(|p| (p.id, p.bytes.as_slice())).collect();
+    let report = store.ingest_pack(&commit_refs, &state_refs)?;
+    Ok(IngestCounts {
+        commits: report.commits,
+        states: report.states,
+    })
 }
 
 /// The server side of [`Replica::handle`], with errors still explicit.
-fn serve<M: Mrdt + Wire, B: Backend>(
+fn serve<M: Mrdt, B: Backend>(
     store: &mut BranchStore<M, B>,
     req: Request,
 ) -> Result<Response, NetError> {
@@ -691,15 +662,14 @@ fn serve<M: Mrdt + Wire, B: Backend>(
             Ok(Response::Commits { commits })
         }
         Request::GetStates { ids } => {
-            let states = ids
-                .into_iter()
-                .filter_map(|id| {
-                    store.state_payload(id).map(|m| PackedObject {
-                        id,
-                        bytes: m.to_wire(),
-                    })
-                })
-                .collect();
+            // Storage format == wire format: states are served straight
+            // from the backend, zero re-encodes.
+            let mut states = Vec::with_capacity(ids.len());
+            for id in ids {
+                if let Some(bytes) = store.state_bytes(id)? {
+                    states.push(PackedObject { id, bytes });
+                }
+            }
             Ok(Response::States { states })
         }
         Request::HaveObjects { ids } => {

@@ -22,7 +22,7 @@
 use crate::error::NetError;
 use crate::replica::Replica;
 use crate::transport::Transport;
-use peepul_core::{Mrdt, Wire};
+use peepul_core::Mrdt;
 use peepul_store::Backend;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -194,7 +194,7 @@ impl TcpServer {
     /// [`NetError::Io`] when the bind fails.
     pub fn spawn<M, B>(replica: Replica<M, B>) -> Result<Self, NetError>
     where
-        M: Mrdt + Wire + Send + Sync + 'static,
+        M: Mrdt + Send + Sync + 'static,
         B: Backend + Send + 'static,
     {
         Self::bind(replica, "127.0.0.1:0")
@@ -207,7 +207,7 @@ impl TcpServer {
     /// [`NetError::Io`] when the bind fails.
     pub fn bind<M, B>(replica: Replica<M, B>, addr: impl ToSocketAddrs) -> Result<Self, NetError>
     where
-        M: Mrdt + Wire + Send + Sync + 'static,
+        M: Mrdt + Send + Sync + 'static,
         B: Backend + Send + 'static,
     {
         let listener = TcpListener::bind(addr)?;
@@ -332,6 +332,7 @@ mod tests {
     #[test]
     fn shutdown_returns_while_a_client_connection_is_open() {
         use crate::replica::Replica;
+        use peepul_core::Wire;
         use peepul_store::MemoryBackend;
         use peepul_types::counter::Counter;
 

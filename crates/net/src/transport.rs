@@ -22,7 +22,7 @@
 use crate::error::NetError;
 use crate::replica::Replica;
 use parking_lot::Mutex;
-use peepul_core::{Mrdt, Wire};
+use peepul_core::Mrdt;
 use peepul_store::Backend;
 use std::fmt;
 use std::sync::Arc;
@@ -215,12 +215,12 @@ impl fmt::Debug for FaultInjector {
 ///
 /// Deterministic by construction — no threads, no timing, no buffering —
 /// while still forcing every message through the real byte codec.
-pub struct ChannelTransport<M: Mrdt + Wire, B: Backend> {
+pub struct ChannelTransport<M: Mrdt, B: Backend> {
     peer: Replica<M, B>,
     faults: FaultInjector,
 }
 
-impl<M: Mrdt + Wire, B: Backend> ChannelTransport<M, B> {
+impl<M: Mrdt, B: Backend> ChannelTransport<M, B> {
     /// A fault-free link to `peer`.
     pub fn connect(peer: Replica<M, B>) -> Self {
         ChannelTransport {
@@ -241,7 +241,7 @@ impl<M: Mrdt + Wire, B: Backend> ChannelTransport<M, B> {
     }
 }
 
-impl<M: Mrdt + Wire, B: Backend> Transport for ChannelTransport<M, B> {
+impl<M: Mrdt, B: Backend> Transport for ChannelTransport<M, B> {
     fn request(&mut self, request: &[u8]) -> Result<Vec<u8>, NetError> {
         self.faults.before_request()?;
         let response = self.peer.handle_frame(request);
@@ -250,7 +250,7 @@ impl<M: Mrdt + Wire, B: Backend> Transport for ChannelTransport<M, B> {
     }
 }
 
-impl<M: Mrdt + Wire, B: Backend> fmt::Debug for ChannelTransport<M, B> {
+impl<M: Mrdt, B: Backend> fmt::Debug for ChannelTransport<M, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,

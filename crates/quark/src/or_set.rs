@@ -85,7 +85,7 @@ impl<T: fmt::Debug> fmt::Debug for QuarkOrSet<T> {
     }
 }
 
-impl<T: Ord + Clone + Eq + Hash + fmt::Debug> Mrdt for QuarkOrSet<T> {
+impl<T: Ord + Clone + Eq + Hash + peepul_core::Wire + fmt::Debug> Mrdt for QuarkOrSet<T> {
     type Op = OrSetOp<T>;
     type Value = ();
     type Query = OrSetQuery<T>;
@@ -139,6 +139,25 @@ impl<T: Ord + Clone + Eq + Hash + fmt::Debug> Mrdt for QuarkOrSet<T> {
         let mine: BTreeSet<&(T, Timestamp)> = self.pairs.iter().collect();
         let theirs: BTreeSet<&(T, Timestamp)> = other.pairs.iter().collect();
         mine == theirs
+    }
+}
+
+/// Canonical codec of the baseline OR-set: the `(element, id)` pairs in
+/// stored order (sorted by timestamp, as the relational merge leaves
+/// them).
+impl<T: peepul_core::Wire> peepul_core::Wire for QuarkOrSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pairs.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(QuarkOrSet {
+            pairs: peepul_core::Wire::decode(input)?,
+        })
+    }
+
+    fn max_tick(&self) -> u64 {
+        peepul_core::Wire::max_tick(&self.pairs)
     }
 }
 

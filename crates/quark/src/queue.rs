@@ -29,10 +29,10 @@ pub use peepul_types::queue::{QueueOp, QueueQuery, QueueValue};
 ///
 /// let ts = |t, r| Timestamp::new(t, ReplicaId::new(r));
 /// let lca = QuarkQueue::initial();
-/// let a = lca.apply(&QueueOp::Enqueue("a"), ts(1, 1)).0;
-/// let b = lca.apply(&QueueOp::Enqueue("b"), ts(2, 2)).0;
+/// let a = lca.apply(&QueueOp::Enqueue("a".to_owned()), ts(1, 1)).0;
+/// let b = lca.apply(&QueueOp::Enqueue("b".to_owned()), ts(2, 2)).0;
 /// let m = QuarkQueue::merge(&lca, &a, &b);
-/// let vals: Vec<&str> = m.to_list().into_iter().map(|(_, v)| v).collect();
+/// let vals: Vec<String> = m.to_list().into_iter().map(|(_, v)| v).collect();
 /// assert_eq!(vals, ["a", "b"]);
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
@@ -69,7 +69,7 @@ impl<T: Clone> QuarkQueue<T> {
     }
 }
 
-impl<T: Clone + PartialEq + Eq + Hash + fmt::Debug> Mrdt for QuarkQueue<T> {
+impl<T: Clone + PartialEq + Eq + Hash + peepul_core::Wire + fmt::Debug> Mrdt for QuarkQueue<T> {
     type Op = QueueOp<T>;
     type Value = QueueValue<T>;
     type Query = QueueQuery;
@@ -141,6 +141,27 @@ impl<T: fmt::Debug> fmt::Debug for QuarkQueue<T> {
             "QuarkQueue(front≤{:?}, rear≥{:?})",
             self.front, self.rear
         )
+    }
+}
+
+/// Canonical codec of the baseline queue: the two lists in declaration
+/// order, each entry as `(timestamp, value)` — the same shape as the
+/// Peepul queue's encoding, so the baseline replicates and reopens too.
+impl<T: peepul_core::Wire> peepul_core::Wire for QuarkQueue<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.front.encode(out);
+        self.rear.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(QuarkQueue {
+            front: peepul_core::Wire::decode(input)?,
+            rear: peepul_core::Wire::decode(input)?,
+        })
+    }
+
+    fn max_tick(&self) -> u64 {
+        peepul_core::Wire::max_tick(&self.front).max(peepul_core::Wire::max_tick(&self.rear))
     }
 }
 

@@ -57,6 +57,22 @@ pub trait Backend: fmt::Debug {
     /// [`StoreError::Io`] on persistence failure.
     fn put(&mut self, bytes: &[u8]) -> Result<ObjectId, StoreError>;
 
+    /// Stores `bytes` whose content address `id` the **caller has already
+    /// computed and verified** (`id == sha256(bytes)`) — the ingest hot
+    /// path, which has just hash-checked every received object and must
+    /// not pay a second SHA-256 per store. Implementations may trust `id`
+    /// (they debug-assert it); a caller that lies corrupts its own store,
+    /// exactly as if it had scribbled on the segment file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on persistence failure.
+    fn put_known(&mut self, id: ObjectId, bytes: &[u8]) -> Result<(), StoreError> {
+        let computed = self.put(bytes)?;
+        debug_assert_eq!(computed, id, "put_known caller must pass sha256(bytes)");
+        Ok(())
+    }
+
     /// Fetches the bytes stored under `id`, or `None` if absent.
     ///
     /// # Errors
@@ -114,6 +130,10 @@ pub trait Backend: fmt::Debug {
 impl<B: Backend + ?Sized> Backend for Box<B> {
     fn put(&mut self, bytes: &[u8]) -> Result<ObjectId, StoreError> {
         (**self).put(bytes)
+    }
+
+    fn put_known(&mut self, id: ObjectId, bytes: &[u8]) -> Result<(), StoreError> {
+        (**self).put_known(id, bytes)
     }
 
     fn get(&self, id: ObjectId) -> Result<Option<Vec<u8>>, StoreError> {
@@ -187,15 +207,25 @@ impl MemoryBackend {
 
 impl Backend for MemoryBackend {
     fn put(&mut self, bytes: &[u8]) -> Result<ObjectId, StoreError> {
-        self.stats.puts += 1;
         let id = ObjectId::from_bytes(Sha256::digest(bytes));
+        self.put_known(id, bytes)?;
+        Ok(id)
+    }
+
+    fn put_known(&mut self, id: ObjectId, bytes: &[u8]) -> Result<(), StoreError> {
+        debug_assert_eq!(
+            id,
+            ObjectId::from_bytes(Sha256::digest(bytes)),
+            "put_known caller must pass sha256(bytes)"
+        );
+        self.stats.puts += 1;
         match self.objects.entry(id) {
             std::collections::hash_map::Entry::Occupied(_) => self.stats.dedup_hits += 1,
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(Arc::from(bytes));
             }
         }
-        Ok(id)
+        Ok(())
     }
 
     fn get(&self, id: ObjectId) -> Result<Option<Vec<u8>>, StoreError> {

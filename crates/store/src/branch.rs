@@ -37,9 +37,9 @@ use crate::backend::{Backend, MemoryBackend};
 use crate::dag::{CommitGraph, CommitId};
 use crate::error::StoreError;
 use crate::memo::{MergeCacheStats, MergeMemo};
-use crate::object::{canonical_bytes, ObjectId};
+use crate::object::{canonical_bytes, content_id_of_bytes, decode_canonical, ObjectId};
 use peepul_core::{Mrdt, ReplicaId, Timestamp};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -208,7 +208,13 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     ///
     /// # Errors
     ///
-    /// As [`BranchStore::with_backend`].
+    /// As [`BranchStore::with_backend`] — plus [`StoreError::Corrupt`]
+    /// when the backend **already holds published refs**: creating a
+    /// fresh store over an existing one would silently repoint its branch
+    /// at a new initial root, orphaning the real history. Reopen such a
+    /// backend with [`BranchStore::open`] instead (the two constructors
+    /// refuse in opposite directions, so neither path can be mis-called
+    /// into data loss).
     pub fn with_backend_and_base(
         root_branch: impl Into<String>,
         backend: B,
@@ -216,6 +222,13 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     ) -> Result<Self, StoreError> {
         let root_branch = root_branch.into();
         let id = BranchId::new(&root_branch)?;
+        if !backend.refs()?.is_empty() {
+            return Err(StoreError::Corrupt(
+                "backend already holds published refs; reopen it with BranchStore::open \
+                 instead of creating a new store over it"
+                    .into(),
+            ));
+        }
         let mut store = BranchStore {
             graph: CommitGraph::new(),
             state_ids: Vec::new(),
@@ -241,6 +254,172 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         Ok(store)
     }
 
+    /// Reopens an **existing** store from the objects and refs a backend
+    /// already holds — the typed cold-start path.
+    ///
+    /// Because the canonical encoding is decodable, a process restart is
+    /// a full recovery, not a byte-level salvage: `open` walks every ref
+    /// to its commit record, follows parent addresses through the Merkle
+    /// graph, decodes each referenced state back to the typed `M`,
+    /// rebuilds the [`CommitGraph`], both content-address indexes (so
+    /// merges memoize and replication serves immediately), the branch
+    /// table, and the Lamport clock (`observe_tick` over every recovered
+    /// commit mint and every tick embedded in a recovered state). Every
+    /// branch head is byte- and commit-identical to the pre-restart
+    /// store: same head commit id, same state bytes, same query answers.
+    ///
+    /// Branch **replica ids** are reassigned deterministically
+    /// (`replica_base + i` in sorted branch-name order; see
+    /// [`BranchStore::open_with_base`]) rather than recovered — commit
+    /// records carry the mints of *past* operations, not the assignment
+    /// table. This is safe: the recovered Lamport clock exceeds every
+    /// persisted tick, so post-reopen timestamps are fresh pairs
+    /// regardless of which replica id a branch minted before the restart.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when the backend has no refs (nothing was
+    /// ever published — use [`BranchStore::with_backend`] to create a
+    /// store), when a ref or parent points at a missing object, or when
+    /// an object fails to parse/decode; [`StoreError::Io`] from the
+    /// backend.
+    pub fn open(backend: B) -> Result<Self, StoreError> {
+        Self::open_with_base(backend, 0)
+    }
+
+    /// [`BranchStore::open`], minting post-reopen replica ids from
+    /// `replica_base` — the reopen counterpart of
+    /// [`BranchStore::with_backend_and_base`] for stores that live in a
+    /// replicating fleet with disjoint id ranges.
+    ///
+    /// # Errors
+    ///
+    /// As [`BranchStore::open`].
+    pub fn open_with_base(backend: B, replica_base: u32) -> Result<Self, StoreError> {
+        let refs = backend.refs()?;
+        if refs.is_empty() {
+            return Err(StoreError::Corrupt(
+                "cannot reopen: backend holds no refs (create a new store with with_backend)"
+                    .into(),
+            ));
+        }
+
+        // Phase 1: walk the Merkle graph from every ref, collecting each
+        // reachable commit's metadata. Iterative — histories are deep.
+        let mut metas: BTreeMap<ObjectId, CommitMeta> = BTreeMap::new();
+        let mut stack: Vec<ObjectId> = refs.iter().map(|(_, oid)| *oid).collect();
+        while let Some(oid) = stack.pop() {
+            if metas.contains_key(&oid) {
+                continue;
+            }
+            let bytes = backend.get(oid)?.ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "reachable commit {} missing from backend",
+                    oid.short()
+                ))
+            })?;
+            let meta = parse_commit_record(&bytes).ok_or_else(|| {
+                StoreError::Corrupt(format!("object {} is not a commit record", oid.short()))
+            })?;
+            stack.extend(meta.parents.iter().copied());
+            metas.insert(oid, meta);
+        }
+
+        // Phase 2: topological order, parents first (Kahn; deterministic
+        // because the ready set is ordered by commit address).
+        let mut children: HashMap<ObjectId, Vec<ObjectId>> = HashMap::new();
+        let mut pending: HashMap<ObjectId, usize> = HashMap::new();
+        for (oid, meta) in &metas {
+            pending.insert(*oid, meta.parents.len());
+            for p in &meta.parents {
+                children.entry(*p).or_default().push(*oid);
+            }
+        }
+        let mut ready: BTreeSet<ObjectId> = pending
+            .iter()
+            .filter(|(_, n)| **n == 0)
+            .map(|(o, _)| *o)
+            .collect();
+
+        // Phase 3: decode states (each distinct state object once) and
+        // install commits into the graph + indexes. Nothing is written:
+        // the backend already holds every byte.
+        let mut store = BranchStore {
+            graph: CommitGraph::new(),
+            state_ids: Vec::new(),
+            commit_ids: Vec::new(),
+            commit_index: HashMap::new(),
+            state_index: HashMap::new(),
+            branches: BTreeMap::new(),
+            tick: 0,
+            next_replica: replica_base,
+            backend,
+            memo: MergeMemo::new(),
+        };
+        let mut typed: HashMap<ObjectId, Arc<M>> = HashMap::new();
+        let mut installed = 0usize;
+        while let Some(oid) = ready.pop_first() {
+            let meta = &metas[&oid];
+            let state = match typed.get(&meta.state) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    let bytes = store.backend.get(meta.state)?.ok_or_else(|| {
+                        StoreError::Corrupt(format!(
+                            "commit {} references missing state {}",
+                            oid.short(),
+                            meta.state.short()
+                        ))
+                    })?;
+                    let m: M = decode_canonical(&bytes).ok_or_else(|| {
+                        StoreError::Corrupt(format!(
+                            "state {} does not decode as typed state",
+                            meta.state.short()
+                        ))
+                    })?;
+                    store.tick = store.tick.max(m.max_tick());
+                    let arc = Arc::new(m);
+                    typed.insert(meta.state, Arc::clone(&arc));
+                    arc
+                }
+            };
+            store.tick = store.tick.max(meta.tick);
+            let parent_cids: Vec<CommitId> =
+                meta.parents.iter().map(|p| store.commit_index[p]).collect();
+            store.install_commit(parent_cids, state, meta.state, oid);
+            installed += 1;
+            for child in children.get(&oid).into_iter().flatten() {
+                let n = pending.get_mut(child).expect("child is a known commit");
+                *n -= 1;
+                if *n == 0 {
+                    ready.insert(*child);
+                }
+            }
+        }
+        if installed != metas.len() {
+            // Unreachable with honest SHA-256 (a parent cycle needs a hash
+            // cycle), but never loop forever on a corrupted index.
+            return Err(StoreError::Corrupt(
+                "commit records form a cycle; backend index corrupt".into(),
+            ));
+        }
+
+        // Phase 4: the branch table, from the refs (sorted by name).
+        for (i, (name, oid)) in refs.iter().enumerate() {
+            let id = BranchId::new(name)?;
+            let head = store.commit_index[oid];
+            store.branches.insert(
+                name.clone(),
+                BranchInfo {
+                    head,
+                    replica: ReplicaId::new(replica_base + i as u32),
+                    id,
+                },
+            );
+        }
+        store.next_replica = replica_base + refs.len() as u32;
+        Ok(store)
+    }
+
     /// Publishes a state + commit record to the backend, then appends the
     /// commit to the in-memory DAG. Backend first: a failed publish leaves
     /// the graph untouched (the orphaned object, if any, is harmless in a
@@ -256,6 +435,21 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             parents.iter().map(|p| self.commit_ids[p.index()]).collect();
         let record = commit_record(&parent_ids, state_id, mint.0, mint.1);
         let commit_oid = self.backend.put(&record)?;
+        Ok(self.install_commit(parents, state, state_id, commit_oid))
+    }
+
+    /// Appends an already-published commit to the in-memory structures:
+    /// graph, id ledgers, and both lookup indexes. The backend holds the
+    /// state bytes under `state_id` and the record bytes under
+    /// `commit_oid` before this is called (by [`BranchStore::commit`], the
+    /// ingest path, or — on reopen — by the segment file itself).
+    fn install_commit(
+        &mut self,
+        parents: Vec<CommitId>,
+        state: Arc<M>,
+        state_id: ObjectId,
+        commit_oid: ObjectId,
+    ) -> CommitId {
         let cid = if parents.is_empty() {
             self.graph.add_root(state)
         } else {
@@ -267,7 +461,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         self.commit_ids.push(commit_oid);
         self.commit_index.insert(commit_oid, cid);
         self.state_index.entry(state_id).or_insert(cid);
-        Ok(cid)
+        cid
     }
 
     /// Points the branch's backend ref at a commit (the in-memory
@@ -556,6 +750,18 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
 // Replication surface: graph walks, object ingest, tracking refs
 // ---------------------------------------------------------------------------
 
+/// What one [`BranchStore::ingest_pack`] landed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Previously unknown commits that entered the graph.
+    pub commits: u64,
+    /// Verified state objects the pack carried.
+    pub states: u64,
+    /// The largest Lamport tick the pack carried (mint ticks and ticks
+    /// embedded in states); the store's clock has been advanced past it.
+    pub max_tick: u64,
+}
+
 /// What [`BranchStore::track`] did to the branch ref.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum TrackOutcome {
@@ -626,6 +832,161 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             .map(|c| self.graph.payload(*c).clone())
     }
 
+    /// The canonical bytes of the state stored under `oid`, if any commit
+    /// carries it — served straight from the backend. These are exactly
+    /// the bytes that travel in a fetch/push: the storage format **is**
+    /// the wire format, so serving a state costs one backend read and
+    /// zero re-encodes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] / [`StoreError::Corrupt`] from the backend.
+    pub fn state_bytes(&self, oid: ObjectId) -> Result<Option<Vec<u8>>, StoreError> {
+        if !self.state_index.contains_key(&oid) {
+            return Ok(None);
+        }
+        self.backend.get(oid)
+    }
+
+    /// Verifies and lands a pack of commit records and canonical state
+    /// objects — the single ingest path replication uses.
+    ///
+    /// Verification is one hash and (for states) one decode per object,
+    /// against the bytes exactly as they arrived — there is no second
+    /// serialization to cross-check because there is no second
+    /// serialization:
+    ///
+    /// * each **state** object's bytes must hash to its advertised id and
+    ///   decode as a canonical `M` (undecodable or non-canonical bytes
+    ///   are corruption, same as a wrong hash);
+    /// * each **commit** record's bytes must hash to its advertised id;
+    ///   its parents must precede it (in the pack or the store) and its
+    ///   state address must name a state verified above or already held.
+    ///
+    /// The whole pack is verified **before anything is written**, so a
+    /// corrupt object anywhere leaves the store untouched. Verified
+    /// bytes are then published with [`Backend::put_known`] (no
+    /// re-hash), the commits enter the graph parents-first, and the
+    /// Lamport clock advances past every tick the pack carried (the
+    /// receive rule). Already-known commits are skipped idempotently,
+    /// and **only states referenced by a freshly ingested commit are
+    /// persisted** — a peer cannot grow this store's append-only backend
+    /// with valid-but-unreferenced state objects.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CorruptObject`] on a hash mismatch;
+    /// [`StoreError::Corrupt`] on undecodable objects, missing parents or
+    /// unresolvable state references — for these verification failures
+    /// nothing has been ingested. [`StoreError::Io`] from the backend
+    /// during the landing phase can leave a *prefix* of the pack
+    /// ingested; the store is still consistent (every landed commit is
+    /// fully published, and the Lamport clock was advanced past the whole
+    /// pack's ticks before landing began, so the receive rule holds for
+    /// the prefix), and because ingest is idempotent and
+    /// content-addressed, re-ingesting the same pack completes it.
+    pub fn ingest_pack(
+        &mut self,
+        commits: &[(ObjectId, &[u8])],
+        states: &[(ObjectId, &[u8])],
+    ) -> Result<IngestReport, StoreError> {
+        // Phase 1: verify every state — one hash, one decode. No writes.
+        let mut typed: HashMap<ObjectId, Arc<M>> = HashMap::with_capacity(states.len());
+        let mut max_tick = 0u64;
+        for (id, bytes) in states {
+            let actual = content_id_of_bytes(bytes);
+            if actual != *id {
+                return Err(StoreError::CorruptObject {
+                    expected: *id,
+                    actual,
+                });
+            }
+            let m: M = decode_canonical(bytes).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "state object {} is not a canonical state encoding",
+                    id.short()
+                ))
+            })?;
+            max_tick = max_tick.max(m.max_tick());
+            typed.insert(*id, Arc::new(m));
+        }
+
+        // Phase 2: verify every commit record — one hash, plus structural
+        // checks against the store ∪ the pack prefix. Still no writes.
+        let mut incoming: HashSet<ObjectId> = HashSet::new();
+        let mut fresh: Vec<(ObjectId, CommitMeta, &[u8])> = Vec::new();
+        for (id, bytes) in commits {
+            let actual = content_id_of_bytes(bytes);
+            if actual != *id {
+                return Err(StoreError::CorruptObject {
+                    expected: *id,
+                    actual,
+                });
+            }
+            if self.has_commit(*id) || incoming.contains(id) {
+                continue; // idempotent re-ingest
+            }
+            let meta = parse_commit_record(bytes).ok_or_else(|| {
+                StoreError::Corrupt(format!("malformed commit record {}", id.short()))
+            })?;
+            for p in &meta.parents {
+                if !self.has_commit(*p) && !incoming.contains(p) {
+                    return Err(StoreError::Corrupt(format!(
+                        "ingest of {} before its parent {}",
+                        id.short(),
+                        p.short()
+                    )));
+                }
+            }
+            if !typed.contains_key(&meta.state) && !self.state_index.contains_key(&meta.state) {
+                return Err(StoreError::Corrupt(format!(
+                    "commit {} references state {} that is neither in the pack nor in the store",
+                    id.short(),
+                    meta.state.short()
+                )));
+            }
+            max_tick = max_tick.max(meta.tick);
+            incoming.insert(*id);
+            fresh.push((*id, meta, bytes));
+        }
+
+        // Verification is complete: advance the Lamport clock *before*
+        // landing, so even if a backend Io error strands a prefix of the
+        // pack, every commit visible through the public API already had
+        // its ticks observed (the receive rule holds for the prefix).
+        self.observe_tick(max_tick);
+
+        // Phase 3: land. Verified bytes go down without a second hash —
+        // but only states some fresh commit pins: persisting unreferenced
+        // (if valid) objects would let a peer grow the backend forever.
+        let mut needed: HashSet<ObjectId> = fresh.iter().map(|(_, m, _)| m.state).collect();
+        for (id, bytes) in states {
+            if needed.remove(id) {
+                self.backend.put_known(*id, bytes)?;
+            }
+        }
+        for (id, meta, bytes) in &fresh {
+            let state = match typed.get(&meta.state) {
+                Some(s) => Arc::clone(s),
+                None => self
+                    .state_payload(meta.state)
+                    .expect("checked in phase 2: state is in pack or store"),
+            };
+            let parent_cids: Vec<CommitId> = meta
+                .parents
+                .iter()
+                .map(|p| self.find_commit(*p).expect("checked in phase 2"))
+                .collect();
+            self.backend.put_known(*id, bytes)?;
+            self.install_commit(parent_cids, state, meta.state, *id);
+        }
+        Ok(IngestReport {
+            commits: fresh.len() as u64,
+            states: states.len() as u64,
+            max_tick,
+        })
+    }
+
     /// The commits reachable from `wants` but not from `haves` — the
     /// object-negotiation walk of a fetch, answered entirely from the
     /// Merkle structure. Returned **parents before children**, so a
@@ -652,54 +1013,6 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         // generation order is a topological order.
         out.sort_by_key(|c| (self.graph.generation(*c), *c));
         out
-    }
-
-    /// Lands one commit received from a peer, **verifying its content
-    /// address**: the commit record is rebuilt locally from `meta` and
-    /// the state's own content id, and its hash must equal `expected` —
-    /// which transitively pins the state bytes too, since the record embeds
-    /// the state's address. Idempotent: re-ingesting a known commit
-    /// returns its existing id without touching the backend.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::CorruptObject`] when the rebuilt record does not hash
-    /// to `expected` (tampered, truncated or mis-encoded transfer);
-    /// [`StoreError::Corrupt`] when a parent has not been ingested yet
-    /// (callers feed commits parents-first, see
-    /// [`BranchStore::commits_between`]); [`StoreError::Io`] if publishing
-    /// fails.
-    pub fn ingest_commit(
-        &mut self,
-        expected: ObjectId,
-        meta: &CommitMeta,
-        state: M,
-    ) -> Result<CommitId, StoreError> {
-        if let Some(c) = self.find_commit(expected) {
-            return Ok(c);
-        }
-        let state_id = crate::object::content_id(&state);
-        let record = commit_record(&meta.parents, state_id, meta.tick, meta.replica);
-        let actual = ObjectId::from_bytes(crate::sha256::Sha256::digest(&record));
-        if actual != expected {
-            return Err(StoreError::CorruptObject { expected, actual });
-        }
-        let parent_cids: Vec<CommitId> = meta
-            .parents
-            .iter()
-            .map(|p| {
-                self.find_commit(*p).ok_or_else(|| {
-                    StoreError::Corrupt(format!(
-                        "ingest of {} before its parent {}",
-                        expected.short(),
-                        p.short()
-                    ))
-                })
-            })
-            .collect::<Result<_, _>>()?;
-        let cid = self.commit(parent_cids, Arc::new(state), (meta.tick, meta.replica))?;
-        debug_assert_eq!(self.commit_ids[cid.index()], expected);
-        Ok(cid)
     }
 
     /// Points branch `name` at an already-ingested commit, creating the
@@ -1095,22 +1408,22 @@ mod tests {
 
     #[test]
     fn queue_fifo_across_branches() {
-        let mut s: BranchStore<Queue<&str>> = BranchStore::new("main");
+        let mut s: BranchStore<Queue<String>> = BranchStore::new("main");
         s.branch_mut("main")
             .unwrap()
-            .apply(&QueueOp::Enqueue("job-1"))
+            .apply(&QueueOp::Enqueue("job-1".into()))
             .unwrap();
         s.branch_mut("main").unwrap().fork("worker").unwrap();
         s.branch_mut("main")
             .unwrap()
-            .apply(&QueueOp::Enqueue("job-2"))
+            .apply(&QueueOp::Enqueue("job-2".into()))
             .unwrap();
         let v = s
             .branch_mut("worker")
             .unwrap()
             .apply(&QueueOp::Dequeue)
             .unwrap();
-        assert!(matches!(v, QueueValue::Dequeued(Some((_, "job-1")))));
+        assert!(matches!(v, QueueValue::Dequeued(Some((_, job))) if job == "job-1"));
         s.branch_mut("main").unwrap().merge_from("worker").unwrap();
         // job-1 consumed on worker; only job-2 remains on main.
         let v = s
@@ -1118,7 +1431,7 @@ mod tests {
             .unwrap()
             .apply(&QueueOp::Dequeue)
             .unwrap();
-        assert!(matches!(v, QueueValue::Dequeued(Some((_, "job-2")))));
+        assert!(matches!(v, QueueValue::Dequeued(Some((_, job))) if job == "job-2"));
     }
 
     #[test]
@@ -1168,6 +1481,151 @@ mod tests {
         let mut sorted = s.branch_names();
         sorted.sort_unstable();
         assert_eq!(s.branch_names(), sorted, "branch_names is always sorted");
+    }
+
+    #[test]
+    fn open_rebuilds_typed_state_from_a_reopened_backend() {
+        // A full session with forks, concurrent ops and a criss-cross.
+        let mut s: BranchStore<OrSet<u32>> = BranchStore::new("main");
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Add(0))
+            .unwrap();
+        s.branch_mut("main").unwrap().fork("dev").unwrap();
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Add(1))
+            .unwrap();
+        s.branch_mut("dev")
+            .unwrap()
+            .apply(&OrSetOp::Add(2))
+            .unwrap();
+        s.branch_mut("main").unwrap().merge_from("dev").unwrap();
+        s.branch_mut("dev").unwrap().merge_from("main").unwrap();
+        s.branch_mut("dev")
+            .unwrap()
+            .apply(&OrSetOp::Remove(0))
+            .unwrap();
+
+        // "Restart": a fresh store over the same persisted objects/refs.
+        let reopened: BranchStore<OrSet<u32>> = BranchStore::open(s.backend().clone()).unwrap();
+
+        assert_eq!(reopened.branch_names(), s.branch_names());
+        assert_eq!(reopened.commit_count(), s.commit_count());
+        assert_eq!(reopened.tick(), s.tick(), "Lamport clock recovered");
+        for b in s.branch_names() {
+            assert_eq!(reopened.head_id(b).unwrap(), s.head_id(b).unwrap());
+            assert_eq!(reopened.state_id(b).unwrap(), s.state_id(b).unwrap());
+            assert_eq!(
+                reopened.read(b, &OrSetQuery::Read).unwrap(),
+                s.read(b, &OrSetQuery::Read).unwrap(),
+                "typed queries answer identically after reopen"
+            );
+        }
+        // The reopened store is fully live: updates, merges, LCA search.
+        let mut reopened = reopened;
+        reopened
+            .branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Add(9))
+            .unwrap();
+        reopened
+            .branch_mut("dev")
+            .unwrap()
+            .merge_from("main")
+            .unwrap();
+        let OrSetOutput::Elements(elems) = reopened.read("dev", &OrSetQuery::Read).unwrap() else {
+            panic!("read returns elements");
+        };
+        assert!(elems.contains(&9));
+    }
+
+    #[test]
+    fn open_of_an_empty_backend_is_refused() {
+        let err = BranchStore::<Counter>::open(MemoryBackend::new()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+    }
+
+    #[test]
+    fn creating_over_a_used_backend_is_refused() {
+        // The mirror-image guard: `with_backend` on a backend that already
+        // holds refs would repoint the existing branch at a fresh root —
+        // apparent data loss. It must refuse and direct callers to `open`.
+        let mut s: BranchStore<Counter> = BranchStore::new("main");
+        s.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        let used = s.backend().clone();
+        let err = BranchStore::<Counter>::with_backend("main", used.clone()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+        // The refused backend is untouched and still reopens faithfully.
+        let reopened: BranchStore<Counter> = BranchStore::open(used).unwrap();
+        assert_eq!(reopened.state("main").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn ingest_pack_verifies_before_writing_anything() {
+        let mut src: BranchStore<Counter> = BranchStore::new("main");
+        src.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        src.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        let head = src.head_id("main").unwrap();
+
+        let mut dst: BranchStore<Counter> = BranchStore::new("main");
+        let missing = src.commits_between(&[head], &[dst.head_id("main").unwrap()]);
+        let commit_bytes: Vec<(ObjectId, Vec<u8>)> = missing
+            .iter()
+            .map(|c| {
+                let oid = src.commit_oid(*c);
+                (oid, src.commit_record_bytes(oid).unwrap().unwrap())
+            })
+            .collect();
+        let state_bytes: Vec<(ObjectId, Vec<u8>)> = missing
+            .iter()
+            .map(|c| {
+                let sid = src.state_oid(*c);
+                (sid, src.state_bytes(sid).unwrap().unwrap())
+            })
+            .collect();
+        let commits: Vec<(ObjectId, &[u8])> = commit_bytes
+            .iter()
+            .map(|(o, b)| (*o, b.as_slice()))
+            .collect();
+        let states: Vec<(ObjectId, &[u8])> = state_bytes
+            .iter()
+            .map(|(o, b)| (*o, b.as_slice()))
+            .collect();
+
+        // A flipped byte anywhere in a state fails the whole pack and
+        // leaves the store untouched.
+        let before_objects = dst.backend().object_count();
+        let before_commits = dst.commit_count();
+        let mut corrupt = state_bytes.clone();
+        corrupt[0].1[0] ^= 0xff;
+        let corrupt_states: Vec<(ObjectId, &[u8])> =
+            corrupt.iter().map(|(o, b)| (*o, b.as_slice())).collect();
+        let err = dst.ingest_pack(&commits, &corrupt_states).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptObject { .. }));
+        assert_eq!(dst.backend().object_count(), before_objects);
+        assert_eq!(dst.commit_count(), before_commits);
+
+        // The honest pack lands with one decode + one hash per object,
+        // and re-ingest is idempotent.
+        let report = dst.ingest_pack(&commits, &states).unwrap();
+        assert_eq!(report.commits, 2);
+        assert_eq!(report.states, 2);
+        assert!(dst.has_commit(head));
+        assert_eq!(dst.tick(), 2, "receive rule ran");
+        let again = dst.ingest_pack(&commits, &states).unwrap();
+        assert_eq!(again.commits, 0);
+        dst.track("main", head).unwrap();
+        assert_eq!(dst.state("main").unwrap().count(), 2);
     }
 
     #[test]
@@ -1224,16 +1682,21 @@ mod tests {
         assert_eq!(missing.len(), 3);
         let root = src.graph().ids().next().unwrap();
         assert!(!missing.contains(&root));
+        // Replay commit-by-commit (each its own one-commit pack), proving
+        // the parents-first contract and idempotence of the ingest path.
         for c in missing {
             let oid = src.commit_oid(c);
             let record = src.commit_record_bytes(oid).unwrap().unwrap();
             let meta = parse_commit_record(&record).unwrap();
-            let state = *src.graph().payload(c).as_ref();
-            let cid = dst.ingest_commit(oid, &meta, state).unwrap();
-            assert_eq!(dst.commit_oid(cid), oid);
+            let state_bytes = src.state_bytes(meta.state).unwrap().unwrap();
+            let commits = [(oid, record.as_slice())];
+            let states = [(meta.state, state_bytes.as_slice())];
+            let report = dst.ingest_pack(&commits, &states).unwrap();
+            assert_eq!(report.commits, 1);
+            assert!(dst.has_commit(oid));
             // Idempotent.
-            let again = *src.graph().payload(c).as_ref();
-            assert_eq!(dst.ingest_commit(oid, &meta, again).unwrap(), cid);
+            let again = dst.ingest_pack(&commits, &states).unwrap();
+            assert_eq!(again.commits, 0);
         }
         assert!(dst.has_commit(head));
         assert_eq!(dst.track("tracking", head).unwrap(), TrackOutcome::Created);
@@ -1267,17 +1730,27 @@ mod tests {
         assert_eq!(meta.parents, vec![src.commit_oid(parent)]);
 
         let mut dst: BranchStore<Counter> = BranchStore::new("main");
-        // Wrong state for the advertised id → CorruptObject with both ids.
+        let record_bytes = src.commit_record_bytes(head_oid).unwrap().unwrap();
+        let state_bytes = src.state_bytes(meta.state).unwrap().unwrap();
+        // Wrong bytes for the advertised state id → CorruptObject with
+        // both ids, before anything is written.
+        let wrong_state = Counter::initial();
         let err = dst
-            .ingest_commit(head_oid, &meta, Counter::initial())
+            .ingest_pack(
+                &[(head_oid, record_bytes.as_slice())],
+                &[(meta.state, canonical_bytes(&wrong_state).as_slice())],
+            )
             .unwrap_err();
         assert!(matches!(
             err,
-            StoreError::CorruptObject { expected, .. } if expected == head_oid
+            StoreError::CorruptObject { expected, .. } if expected == meta.state
         ));
         // Right state but the parent was never ingested → Corrupt.
         let err = dst
-            .ingest_commit(head_oid, &meta, *src.graph().payload(head).as_ref())
+            .ingest_pack(
+                &[(head_oid, record_bytes.as_slice())],
+                &[(meta.state, state_bytes.as_slice())],
+            )
             .unwrap_err();
         assert!(matches!(err, StoreError::Corrupt(_)));
         // Tracking an unknown commit is refused.

@@ -27,8 +27,9 @@
 //!   ([`StoreLts`]),
 //! * the **replication surface** the `peepul-net` sync protocol is built
 //!   on: commit-graph walks for want/have negotiation
-//!   ([`BranchStore::commits_between`]), hash-verified object ingest
-//!   ([`BranchStore::ingest_commit`]), tracking/fast-forward refs
+//!   ([`BranchStore::commits_between`]), hash-verified pack ingest
+//!   ([`BranchStore::ingest_pack`] — one hash + one decode per object,
+//!   verified bytes stored as received), tracking/fast-forward refs
 //!   ([`BranchStore::track`]) and the Lamport receive rule
 //!   ([`BranchStore::observe_tick`]).
 //!
@@ -71,13 +72,15 @@ pub mod sha256;
 
 pub use backend::{Backend, BackendStats, MemoryBackend};
 pub use branch::{
-    commit_record, parse_commit_record, BranchId, BranchMut, BranchRef, BranchStore, TrackOutcome,
-    Transaction,
+    commit_record, parse_commit_record, BranchId, BranchMut, BranchRef, BranchStore, CommitMeta,
+    IngestReport, TrackOutcome, Transaction,
 };
 pub use clock::LamportClock;
 pub use dag::{CommitGraph, CommitId};
 pub use error::StoreError;
 pub use memo::{MergeCacheStats, MergeMemo};
-pub use object::{canonical_bytes, content_id, ObjectId, ObjectStore, Sha256Hasher};
+pub use object::{
+    canonical_bytes, content_id, content_id_of_bytes, decode_canonical, ObjectId, ObjectStore,
+};
 pub use segment::{SegmentBackend, SegmentOptions};
 pub use semantics::{DoOutcome, MergeOutcome, Snapshot, StoreLts};

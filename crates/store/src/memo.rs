@@ -153,7 +153,7 @@ impl<M> MergeMemo<M> {
     /// key sub-merges without paying O(state) SHA-256 per level per hit.
     pub fn merged_with_id(&self, key: MemoKey, merge: impl FnOnce() -> M) -> (Arc<M>, ObjectId)
     where
-        M: std::hash::Hash,
+        M: peepul_core::Wire,
     {
         {
             let mut inner = self.inner.lock();

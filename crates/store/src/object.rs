@@ -1,17 +1,24 @@
 //! Content addressing: object identifiers and the interning object store.
 //!
 //! Like Irmin and Git, the branch store identifies immutable values by the
-//! hash of their content. Any state implementing [`std::hash::Hash`] can be
-//! content-addressed: its `Hash` byte stream is fed to SHA-256 through
-//! [`Sha256Hasher`]. Identical states intern to the same [`ObjectId`] in an
-//! [`ObjectStore`], giving Git-style structural sharing of repeated states
-//! (e.g. the many identical heads produced by read-only operations).
+//! hash of their content. Since the codec unification there is exactly
+//! **one** canonical encoding: a value's [`Wire`] bytes
+//! ([`canonical_bytes`]) are simultaneously what a backend persists, what
+//! replication transfers, and the SHA-256 preimage of the value's
+//! [`ObjectId`] ([`content_id`]). The same bytes decode back to the typed
+//! value, which is what makes a cold store reopenable as typed state
+//! (`BranchStore::open`) and lets every ingest verify an object with one
+//! hash and one decode.
+//!
+//! Identical states intern to the same [`ObjectId`] in an
+//! [`ObjectStore`], giving Git-style structural sharing of repeated
+//! states (e.g. the many identical heads produced by convergent merges).
 
 use crate::backend::{Backend, MemoryBackend};
 use crate::sha256::Sha256;
+use peepul_core::Wire;
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 const HEX: &[u8; 16] = b"0123456789abcdef";
@@ -50,7 +57,7 @@ impl ObjectId {
     }
 }
 
-impl peepul_core::Wire for ObjectId {
+impl Wire for ObjectId {
     fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.0);
     }
@@ -76,39 +83,8 @@ impl fmt::Display for ObjectId {
     }
 }
 
-/// A [`std::hash::Hasher`] backed by SHA-256.
-///
-/// `finish()` returns the first 8 digest bytes (the `Hasher` contract);
-/// [`Sha256Hasher::digest`] returns the full 256-bit [`ObjectId`].
-#[derive(Clone, Debug, Default)]
-pub struct Sha256Hasher {
-    ctx: Sha256,
-}
-
-impl Sha256Hasher {
-    /// Creates a fresh hasher.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Consumes the hasher, producing the content address.
-    pub fn digest(self) -> ObjectId {
-        ObjectId(self.ctx.finalize())
-    }
-}
-
-impl Hasher for Sha256Hasher {
-    fn write(&mut self, bytes: &[u8]) {
-        self.ctx.update(bytes);
-    }
-
-    fn finish(&self) -> u64 {
-        let digest = self.ctx.clone().finalize();
-        u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
-    }
-}
-
-/// The content address of any hashable value.
+/// The content address of any encodable value: the SHA-256 of its
+/// [`canonical_bytes`].
 ///
 /// # Example
 ///
@@ -121,49 +97,34 @@ impl Hasher for Sha256Hasher {
 /// assert_eq!(a, b);
 /// assert_ne!(a, c);
 /// ```
-pub fn content_id<T: Hash>(value: &T) -> ObjectId {
-    let mut hasher = Sha256Hasher::new();
-    value.hash(&mut hasher);
-    hasher.digest()
+pub fn content_id<T: Wire>(value: &T) -> ObjectId {
+    ObjectId(Sha256::digest(&canonical_bytes(value)))
 }
 
-/// A [`std::hash::Hasher`] that records the exact byte stream it is fed.
-///
-/// The recorded stream is the workspace's *canonical encoding* of a
-/// hashable value: deterministic for a given value (the `Hash` contract
-/// plus our ordered-container convention), and by construction it hashes
-/// to the value's [`content_id`]. Persistent backends store these bytes,
-/// which makes every stored object integrity-checkable against its id.
-#[derive(Clone, Debug, Default)]
-struct CaptureHasher {
-    bytes: Vec<u8>,
+/// The content address of already-encoded canonical bytes — what ingest
+/// uses to verify a received object with one hash, no re-encode.
+pub fn content_id_of_bytes(bytes: &[u8]) -> ObjectId {
+    ObjectId(Sha256::digest(bytes))
 }
 
-impl Hasher for CaptureHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        self.bytes.extend_from_slice(bytes);
-    }
-
-    fn finish(&self) -> u64 {
-        0 // never used as an integer hash
-    }
+/// The canonical byte encoding of a value: its [`Wire`] encoding.
+///
+/// This single encoding is the storage format (what backends persist and
+/// [`BranchStore::open`](crate::BranchStore::open) decodes back), the wire
+/// format (what replication transfers), and the preimage of the value's
+/// content address: `sha256(canonical_bytes(v))` equals
+/// [`content_id`]`(v)` by definition. The encoding is platform-independent
+/// (little-endian, fixed widths), so segment files and wire frames are a
+/// portable interchange format — see DESIGN.md §4.1.
+pub fn canonical_bytes<T: Wire>(value: &T) -> Vec<u8> {
+    value.to_wire()
 }
 
-/// The canonical byte encoding of a value: its `Hash` stream.
-///
-/// Invariant (tested below): `sha256(canonical_bytes(v))` equals
-/// [`content_id`]`(v)` — ids computed by streaming and by encoding agree,
-/// so a backend can verify any stored object against its address.
-///
-/// The stream is deterministic for one build on one platform, which is
-/// what the backend-equivalence suite relies on; std does not guarantee
-/// it across architectures or Rust releases (native-endian length
-/// prefixes), so segment files are not a portable interchange format —
-/// see DESIGN.md §4.1.
-pub fn canonical_bytes<T: Hash>(value: &T) -> Vec<u8> {
-    let mut capture = CaptureHasher::default();
-    value.hash(&mut capture);
-    capture.bytes
+/// Decodes a typed value back from its canonical bytes — the inverse of
+/// [`canonical_bytes`], used by the typed reopen path and by replication
+/// ingest. `None` when the bytes are not a canonical encoding of `T`.
+pub fn decode_canonical<T: Wire>(bytes: &[u8]) -> Option<T> {
+    T::from_wire(bytes)
 }
 
 /// An interning, content-addressed store of immutable *typed* values.
@@ -179,7 +140,7 @@ pub struct ObjectStore<T> {
     typed: HashMap<ObjectId, Arc<T>>,
 }
 
-impl<T: Hash> ObjectStore<T> {
+impl<T: Wire> ObjectStore<T> {
     /// Creates an empty store.
     pub fn new() -> Self {
         ObjectStore {
@@ -225,7 +186,7 @@ impl<T: Hash> ObjectStore<T> {
     }
 }
 
-impl<T: Hash> Default for ObjectStore<T> {
+impl<T: Wire> Default for ObjectStore<T> {
     fn default() -> Self {
         ObjectStore::new()
     }
@@ -250,18 +211,9 @@ mod tests {
     fn content_id_is_deterministic_and_discriminating() {
         assert_eq!(content_id(&42u64), content_id(&42u64));
         assert_ne!(content_id(&42u64), content_id(&43u64));
-        assert_ne!(content_id(&"a"), content_id(&"b"));
-    }
-
-    #[test]
-    fn hasher_finish_is_prefix_of_digest() {
-        let mut h = Sha256Hasher::new();
-        h.write(b"hello");
-        let short = h.finish();
-        let full = h.digest();
-        assert_eq!(
-            short,
-            u64::from_be_bytes(full.as_bytes()[..8].try_into().unwrap())
+        assert_ne!(
+            content_id(&String::from("a")),
+            content_id(&String::from("b"))
         );
     }
 
@@ -296,12 +248,25 @@ mod tests {
 
     #[test]
     fn canonical_bytes_hash_to_the_content_id() {
-        // The invariant persistent backends rely on: encoding then hashing
-        // equals hashing directly.
+        // The invariant every backend and every ingest relies on: hashing
+        // the canonical encoding equals addressing the value directly.
         let values = [vec![1u32, 2, 3], vec![], vec![u32::MAX; 9]];
         for v in &values {
-            assert_eq!(ObjectId(Sha256::digest(&canonical_bytes(v))), content_id(v));
+            let bytes = canonical_bytes(v);
+            assert_eq!(content_id_of_bytes(&bytes), content_id(v));
         }
+    }
+
+    #[test]
+    fn canonical_bytes_decode_back_to_the_value() {
+        // The other half of the single-codec invariant: the stored bytes
+        // are not a one-way hash stream, they decode to the typed value.
+        let v = vec![(1u64, String::from("a")), (2, "b".into())];
+        let bytes = canonical_bytes(&v);
+        let back: Vec<(u64, String)> = decode_canonical(&bytes).expect("canonical bytes decode");
+        assert_eq!(back, v);
+        assert_eq!(canonical_bytes(&back), bytes);
+        assert_eq!(decode_canonical::<u64>(&bytes[..3]), None);
     }
 
     #[test]
@@ -310,5 +275,6 @@ mod tests {
         let (id, _) = store.insert(7);
         let bytes = store.backend().get(id).unwrap().expect("stored");
         assert_eq!(bytes, canonical_bytes(&7u64));
+        assert_eq!(decode_canonical::<u64>(&bytes), Some(7));
     }
 }

@@ -272,16 +272,26 @@ fn parse_record(bytes: &[u8]) -> Option<Record> {
 
 impl Backend for SegmentBackend {
     fn put(&mut self, bytes: &[u8]) -> Result<ObjectId, StoreError> {
-        self.stats.puts += 1;
         let id = ObjectId::from_bytes(Sha256::digest(bytes));
+        self.put_known(id, bytes)?;
+        Ok(id)
+    }
+
+    fn put_known(&mut self, id: ObjectId, bytes: &[u8]) -> Result<(), StoreError> {
+        debug_assert_eq!(
+            id,
+            ObjectId::from_bytes(Sha256::digest(bytes)),
+            "put_known caller must pass sha256(bytes)"
+        );
+        self.stats.puts += 1;
         if self.index.contains_key(&id) {
             self.stats.dedup_hits += 1;
-            return Ok(id);
+            return Ok(());
         }
         let offset = self.append(KIND_OBJECT, bytes)?;
         // Publish only after the write (and fsync) succeeded.
         self.index.insert(id, (offset, bytes.len() as u32));
-        Ok(id)
+        Ok(())
     }
 
     fn get(&self, id: ObjectId) -> Result<Option<Vec<u8>>, StoreError> {

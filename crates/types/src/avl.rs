@@ -373,17 +373,51 @@ impl<K, V> Default for AvlMap<K, V> {
     }
 }
 
-impl<K: Ord + std::hash::Hash, V: std::hash::Hash> std::hash::Hash for AvlMap<K, V> {
-    /// Hashes the in-order *contents*, not the tree shape. Structural
-    /// equality implies content equality, so this agrees with `Eq`; maps
-    /// with equal contents but different shapes also hash alike, which is
-    /// permitted (and convenient for content addressing).
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        state.write_usize(self.len());
+/// The canonical codec encodes the in-order **contents**, not the tree
+/// shape: a length prefix followed by the `(key, value)` entries in
+/// ascending key order. Maps with equal contents but different shapes
+/// therefore encode to identical bytes — and to one content address —
+/// which is exactly the representation freedom *convergence modulo
+/// observable behaviour* (paper, Definition 3.5) grants the tree.
+/// Decoding rebuilds the canonical perfectly balanced shape via
+/// [`AvlMap::from_sorted`]; non-canonical input (unsorted or duplicate
+/// keys) is rejected, so one byte string denotes one logical map.
+impl<K, V> peepul_core::Wire for AvlMap<K, V>
+where
+    K: peepul_core::Wire + Ord + Clone,
+    V: peepul_core::Wire + Clone,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        peepul_core::wire::encode_len(self.len(), out);
         for (k, v) in self.iter() {
-            k.hash(state);
-            v.hash(state);
+            k.encode(out);
+            v.encode(out);
         }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = peepul_core::wire::decode_len(input)?;
+        let mut entries: Vec<(K, V)> = Vec::with_capacity(len);
+        for _ in 0..len {
+            let k = K::decode(input)?;
+            let v = V::decode(input)?;
+            if let Some((last, _)) = entries.last() {
+                // Strictly ascending keys are the canonical form; anything
+                // else is malformed input, not data to normalise.
+                if *last >= k {
+                    return None;
+                }
+            }
+            entries.push((k, v));
+        }
+        Some(AvlMap::from_sorted(entries))
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.iter()
+            .map(|(k, v)| k.max_tick().max(v.max_tick()))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -528,6 +562,37 @@ mod tests {
         if by_insert != by_build {
             // Expected in general; nothing more to assert.
         }
+    }
+
+    #[test]
+    fn wire_codec_is_canonical_over_contents() {
+        use peepul_core::Wire;
+        // Same contents via different construction orders ⇒ same bytes.
+        let by_insert: AvlMap<u32, u64> = (0..64).rev().map(|i| (i, u64::from(i) * 3)).collect();
+        let by_build = AvlMap::from_sorted((0u32..64).map(|i| (i, u64::from(i) * 3)).collect());
+        assert_eq!(by_insert.to_wire(), by_build.to_wire());
+        // Decode rebuilds a valid balanced tree with identical contents and
+        // byte-identical re-encoding.
+        let decoded = AvlMap::<u32, u64>::from_wire(&by_insert.to_wire()).unwrap();
+        decoded.check_invariants().unwrap();
+        assert_eq!(decoded.to_sorted_vec(), by_insert.to_sorted_vec());
+        assert_eq!(decoded.to_wire(), by_insert.to_wire());
+        // Non-canonical input (descending keys) is rejected, not repaired.
+        let mut bytes = Vec::new();
+        peepul_core::wire::encode_len(2, &mut bytes);
+        2u32.encode(&mut bytes);
+        0u64.encode(&mut bytes);
+        1u32.encode(&mut bytes);
+        0u64.encode(&mut bytes);
+        assert!(AvlMap::<u32, u64>::from_wire(&bytes).is_none());
+        // Duplicate keys likewise.
+        let mut dup = Vec::new();
+        peepul_core::wire::encode_len(2, &mut dup);
+        1u32.encode(&mut dup);
+        0u64.encode(&mut dup);
+        1u32.encode(&mut dup);
+        0u64.encode(&mut dup);
+        assert!(AvlMap::<u32, u64>::from_wire(&dup).is_none());
     }
 
     #[test]

@@ -46,9 +46,27 @@ pub enum ChatQuery {
 /// assert_eq!(msgs.len(), 2);
 /// assert_eq!(msgs[0].1, "hello from b"); // newest first
 /// ```
-#[derive(Clone, PartialEq, Hash, Default)]
+#[derive(Clone, PartialEq, Default)]
 pub struct Chat {
     inner: MrdtMap<MergeableLog<String>>,
+}
+
+/// The canonical codec delegates to the composed α-map-of-logs encoding —
+/// the chat is storable, addressable and replicable because its parts are.
+impl peepul_core::Wire for Chat {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.inner.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Chat {
+            inner: peepul_core::Wire::decode(input)?,
+        })
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.inner.max_tick()
+    }
 }
 
 impl Chat {

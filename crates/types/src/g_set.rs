@@ -81,7 +81,7 @@ impl<T: fmt::Debug> fmt::Debug for GSet<T> {
     }
 }
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for GSet<T> {
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Mrdt for GSet<T> {
     type Op = GSetOp<T>;
     type Value = ();
     type Query = GSetQuery<T>;
@@ -122,7 +122,7 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for GSet<T>
 #[derive(Debug)]
 pub struct GSetSpec;
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<GSet<T>>
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Specification<GSet<T>>
     for GSetSpec
 {
     fn spec(_op: &GSetOp<T>, _state: &AbstractOf<GSet<T>>) {}
@@ -148,7 +148,7 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<GS
 #[derive(Debug)]
 pub struct GSetSim;
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<GSet<T>>
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> SimulationRelation<GSet<T>>
     for GSetSim
 {
     fn holds(abs: &AbstractOf<GSet<T>>, conc: &GSet<T>) -> bool {
@@ -162,7 +162,7 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelati
     }
 }
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for GSet<T> {
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Certified for GSet<T> {
     type Spec = GSetSpec;
     type Sim = GSetSim;
 }

@@ -39,13 +39,16 @@
 //! let ts = |tick| Timestamp::new(tick, ReplicaId::new(0));
 //!
 //! // Two branches diverge from an empty set.
-//! let lca: OrSetSpace<&str> = OrSetSpace::initial();
-//! let (a, _) = lca.apply(&OrSetOp::Add("apple"), ts(1));
-//! let (b, _) = lca.apply(&OrSetOp::Add("beet"), ts(2));
+//! let lca: OrSetSpace<String> = OrSetSpace::initial();
+//! let (a, _) = lca.apply(&OrSetOp::Add("apple".into()), ts(1));
+//! let (b, _) = lca.apply(&OrSetOp::Add("beet".into()), ts(2));
 //!
 //! let merged = OrSetSpace::merge(&lca, &a, &b);
 //! let v = merged.query(&OrSetQuery::Read);
-//! assert_eq!(v, OrSetOutput::Elements(vec!["apple", "beet"]));
+//! assert_eq!(
+//!     v,
+//!     OrSetOutput::Elements(vec!["apple".to_owned(), "beet".to_owned()])
+//! );
 //! ```
 
 #![forbid(unsafe_code)]

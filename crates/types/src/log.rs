@@ -38,11 +38,11 @@ pub enum LogQuery {
 /// use peepul_core::{Mrdt, ReplicaId, Timestamp};
 /// use peepul_types::log::{MergeableLog, LogOp};
 ///
-/// let lca: MergeableLog<&str> = MergeableLog::initial();
-/// let (a, _) = lca.apply(&LogOp::Append("from a"), Timestamp::new(1, ReplicaId::new(1)));
-/// let (b, _) = lca.apply(&LogOp::Append("from b"), Timestamp::new(2, ReplicaId::new(2)));
+/// let lca: MergeableLog<String> = MergeableLog::initial();
+/// let (a, _) = lca.apply(&LogOp::Append("from a".into()), Timestamp::new(1, ReplicaId::new(1)));
+/// let (b, _) = lca.apply(&LogOp::Append("from b".into()), Timestamp::new(2, ReplicaId::new(2)));
 /// let m = MergeableLog::merge(&lca, &a, &b);
-/// let msgs: Vec<&str> = m.iter().map(|(_, msg)| *msg).collect();
+/// let msgs: Vec<&str> = m.iter().map(|(_, msg)| msg.as_str()).collect();
 /// assert_eq!(msgs, ["from b", "from a"]); // newest first
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
@@ -79,7 +79,7 @@ impl<M: fmt::Debug> fmt::Debug for MergeableLog<M> {
     }
 }
 
-impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for MergeableLog<M> {
+impl<M: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Mrdt for MergeableLog<M> {
     type Op = LogOp<M>;
     type Value = ();
     type Query = LogQuery;
@@ -139,7 +139,7 @@ impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for Mergeab
 #[derive(Debug)]
 pub struct LogSpec;
 
-impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<MergeableLog<M>>
+impl<M: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Specification<MergeableLog<M>>
     for LogSpec
 {
     fn spec(_op: &LogOp<M>, _state: &AbstractOf<MergeableLog<M>>) {}
@@ -165,8 +165,8 @@ impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<Me
 #[derive(Debug)]
 pub struct LogSim;
 
-impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<MergeableLog<M>>
-    for LogSim
+impl<M: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug>
+    SimulationRelation<MergeableLog<M>> for LogSim
 {
     fn holds(abs: &AbstractOf<MergeableLog<M>>, conc: &MergeableLog<M>) -> bool {
         let mut appended: Vec<(Timestamp, M)> = abs
@@ -194,7 +194,7 @@ impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelati
     }
 }
 
-impl<M: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for MergeableLog<M> {
+impl<M: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Certified for MergeableLog<M> {
     type Spec = LogSpec;
     type Sim = LogSim;
 }
@@ -210,34 +210,34 @@ mod tests {
 
     #[test]
     fn appends_accumulate_newest_first() {
-        let l: MergeableLog<&str> = MergeableLog::initial();
-        let (l, _) = l.apply(&LogOp::Append("one"), ts(1, 0));
-        let (l, _) = l.apply(&LogOp::Append("two"), ts(2, 0));
-        assert_eq!(l.latest(), Some(&(ts(2, 0), "two")));
+        let l: MergeableLog<String> = MergeableLog::initial();
+        let (l, _) = l.apply(&LogOp::Append("one".into()), ts(1, 0));
+        let (l, _) = l.apply(&LogOp::Append("two".into()), ts(2, 0));
+        assert_eq!(l.latest(), Some(&(ts(2, 0), "two".to_owned())));
         assert_eq!(
             l.query(&LogQuery::Read),
-            vec![(ts(2, 0), "two"), (ts(1, 0), "one")]
+            vec![(ts(2, 0), "two".to_owned()), (ts(1, 0), "one".to_owned())]
         );
     }
 
     #[test]
     fn merge_interleaves_fresh_entries_by_timestamp() {
-        let lca: MergeableLog<&str> = MergeableLog::initial();
-        let (lca, _) = lca.apply(&LogOp::Append("base"), ts(1, 0));
-        let (a, _) = lca.apply(&LogOp::Append("a1"), ts(2, 1));
-        let (a, _) = a.apply(&LogOp::Append("a2"), ts(5, 1));
-        let (b, _) = lca.apply(&LogOp::Append("b1"), ts(3, 2));
-        let (b, _) = b.apply(&LogOp::Append("b2"), ts(4, 2));
+        let lca: MergeableLog<String> = MergeableLog::initial();
+        let (lca, _) = lca.apply(&LogOp::Append("base".into()), ts(1, 0));
+        let (a, _) = lca.apply(&LogOp::Append("a1".into()), ts(2, 1));
+        let (a, _) = a.apply(&LogOp::Append("a2".into()), ts(5, 1));
+        let (b, _) = lca.apply(&LogOp::Append("b1".into()), ts(3, 2));
+        let (b, _) = b.apply(&LogOp::Append("b2".into()), ts(4, 2));
         let m = MergeableLog::merge(&lca, &a, &b);
-        let msgs: Vec<&str> = m.iter().map(|(_, s)| *s).collect();
+        let msgs: Vec<&str> = m.iter().map(|(_, s)| s.as_str()).collect();
         assert_eq!(msgs, ["a2", "b2", "b1", "a1", "base"]);
     }
 
     #[test]
     fn merge_is_commutative() {
-        let lca: MergeableLog<&str> = MergeableLog::initial();
-        let (a, _) = lca.apply(&LogOp::Append("a"), ts(1, 1));
-        let (b, _) = lca.apply(&LogOp::Append("b"), ts(2, 2));
+        let lca: MergeableLog<String> = MergeableLog::initial();
+        let (a, _) = lca.apply(&LogOp::Append("a".into()), ts(1, 1));
+        let (b, _) = lca.apply(&LogOp::Append("b".into()), ts(2, 2));
         assert_eq!(
             MergeableLog::merge(&lca, &a, &b),
             MergeableLog::merge(&lca, &b, &a)
@@ -246,8 +246,8 @@ mod tests {
 
     #[test]
     fn merge_with_identical_branches_is_identity() {
-        let lca: MergeableLog<&str> = MergeableLog::initial();
-        let (a, _) = lca.apply(&LogOp::Append("x"), ts(1, 0));
+        let lca: MergeableLog<String> = MergeableLog::initial();
+        let (a, _) = lca.apply(&LogOp::Append("x".into()), ts(1, 0));
         assert_eq!(MergeableLog::merge(&lca, &a, &a), a);
     }
 
@@ -264,27 +264,28 @@ mod tests {
 
     #[test]
     fn query_spec_orders_all_appends() {
-        let i = AbstractOf::<MergeableLog<&str>>::new()
-            .perform(LogOp::Append("x"), (), ts(1, 0))
-            .perform(LogOp::Append("y"), (), ts(2, 0));
+        let i = AbstractOf::<MergeableLog<String>>::new()
+            .perform(LogOp::Append("x".into()), (), ts(1, 0))
+            .perform(LogOp::Append("y".into()), (), ts(2, 0));
         assert_eq!(
             LogSpec::query(&LogQuery::Read, &i),
-            vec![(ts(2, 0), "y"), (ts(1, 0), "x")]
+            vec![(ts(2, 0), "y".to_owned()), (ts(1, 0), "x".to_owned())]
         );
     }
 
     #[test]
     fn simulation_rejects_misordered_log() {
-        let i = AbstractOf::<MergeableLog<&str>>::new()
-            .perform(LogOp::Append("x"), (), ts(1, 0))
-            .perform(LogOp::Append("y"), (), ts(2, 0));
-        let mut bad: MergeableLog<&str> = MergeableLog::initial();
-        bad.entries.push_back((ts(1, 0), "x"));
-        bad.entries.push_back((ts(2, 0), "y")); // oldest-first: wrong
+        let i = AbstractOf::<MergeableLog<String>>::new()
+            .perform(LogOp::Append("x".into()), (), ts(1, 0))
+            .perform(LogOp::Append("y".into()), (), ts(2, 0));
+        let mut bad: MergeableLog<String> = MergeableLog::initial();
+        bad.entries.push_back((ts(1, 0), "x".into()));
+        bad.entries.push_back((ts(2, 0), "y".into())); // oldest-first: wrong
         assert!(!LogSim::holds(&i, &bad));
         let (good, _) = {
-            let (l, _) = MergeableLog::<&str>::initial().apply(&LogOp::Append("x"), ts(1, 0));
-            l.apply(&LogOp::Append("y"), ts(2, 0))
+            let (l, _) =
+                MergeableLog::<String>::initial().apply(&LogOp::Append("x".into()), ts(1, 0));
+            l.apply(&LogOp::Append("y".into()), ts(2, 0))
         };
         assert!(LogSim::holds(&i, &good));
     }

@@ -30,11 +30,11 @@ pub enum LwwQuery {
 /// use peepul_core::{Mrdt, ReplicaId, Timestamp};
 /// use peepul_types::lww_register::{LwwRegister, LwwOp};
 ///
-/// let lca: LwwRegister<&str> = LwwRegister::initial();
-/// let (a, _) = lca.apply(&LwwOp::Write("alpha"), Timestamp::new(1, ReplicaId::new(1)));
-/// let (b, _) = lca.apply(&LwwOp::Write("beta"), Timestamp::new(2, ReplicaId::new(2)));
+/// let lca: LwwRegister<String> = LwwRegister::initial();
+/// let (a, _) = lca.apply(&LwwOp::Write("alpha".into()), Timestamp::new(1, ReplicaId::new(1)));
+/// let (b, _) = lca.apply(&LwwOp::Write("beta".into()), Timestamp::new(2, ReplicaId::new(2)));
 /// let m = LwwRegister::merge(&lca, &a, &b);
-/// assert_eq!(m.get(), Some(&"beta")); // later write wins
+/// assert_eq!(m.get().map(String::as_str), Some("beta")); // later write wins
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct LwwRegister<T> {
@@ -61,7 +61,7 @@ impl<T: fmt::Debug> fmt::Debug for LwwRegister<T> {
     }
 }
 
-impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for LwwRegister<T> {
+impl<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug> Mrdt for LwwRegister<T> {
     type Op = LwwOp<T>;
     type Value = ();
     type Query = LwwQuery;
@@ -108,7 +108,7 @@ impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for LwwRegister<T
 #[derive(Debug)]
 pub struct LwwSpec;
 
-impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<LwwRegister<T>>
+impl<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug> Specification<LwwRegister<T>>
     for LwwSpec
 {
     fn spec(_op: &LwwOp<T>, _state: &AbstractOf<LwwRegister<T>>) {}
@@ -120,7 +120,7 @@ impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<LwwRegis
     }
 }
 
-fn latest_write<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+fn latest_write<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug>(
     state: &AbstractOf<LwwRegister<T>>,
 ) -> Option<(Timestamp, T)> {
     state
@@ -136,7 +136,7 @@ fn latest_write<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
 #[derive(Debug)]
 pub struct LwwSim;
 
-impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<LwwRegister<T>>
+impl<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug> SimulationRelation<LwwRegister<T>>
     for LwwSim
 {
     fn holds(abs: &AbstractOf<LwwRegister<T>>, conc: &LwwRegister<T>) -> bool {
@@ -158,7 +158,7 @@ impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<Lww
     }
 }
 
-impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for LwwRegister<T> {
+impl<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug> Certified for LwwRegister<T> {
     type Spec = LwwSpec;
     type Sim = LwwSim;
 }
@@ -211,13 +211,13 @@ mod tests {
 
     #[test]
     fn replica_id_breaks_concurrent_tick_ties_deterministically() {
-        let lca: LwwRegister<&str> = LwwRegister::initial();
-        let (a, _) = lca.apply(&LwwOp::Write("a"), ts(1, 1));
-        let (b, _) = lca.apply(&LwwOp::Write("b"), ts(1, 2));
+        let lca: LwwRegister<String> = LwwRegister::initial();
+        let (a, _) = lca.apply(&LwwOp::Write("a".into()), ts(1, 1));
+        let (b, _) = lca.apply(&LwwOp::Write("b".into()), ts(1, 2));
         let m1 = LwwRegister::merge(&lca, &a, &b);
         let m2 = LwwRegister::merge(&lca, &b, &a);
         assert_eq!(m1, m2);
-        assert_eq!(m1.get(), Some(&"b"));
+        assert_eq!(m1.get().map(String::as_str), Some("b"));
     }
 
     #[test]

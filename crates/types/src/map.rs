@@ -180,9 +180,24 @@ impl<V: PartialEq> PartialEq for MrdtMap<V> {
     }
 }
 
-impl<V: std::hash::Hash> std::hash::Hash for MrdtMap<V> {
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.entries.hash(state);
+/// The canonical codec: a length prefix followed by `(key, nested state)`
+/// entries in ascending key order, each nested state in its own canonical
+/// encoding — so the α-map composes codecs exactly as it composes
+/// specifications (§5.4): any `Wire`-capable nested MRDT makes the map
+/// storable, addressable and replicable with no extra code.
+impl<V: Mrdt> peepul_core::Wire for MrdtMap<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.entries.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(MrdtMap {
+            entries: peepul_core::Wire::decode(input)?,
+        })
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.entries.max_tick()
     }
 }
 

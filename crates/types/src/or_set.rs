@@ -87,7 +87,7 @@ pub(crate) fn orset_query<T: Ord + Clone + PartialEq>(
     }
 }
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<OrSet<T>>
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Specification<OrSet<T>>
     for OrSetSpec
 {
     fn spec(_op: &OrSetOp<T>, _state: &AbstractOf<OrSet<T>>) {}
@@ -169,7 +169,7 @@ impl<T: fmt::Debug> fmt::Debug for OrSet<T> {
     }
 }
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSet<T> {
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Mrdt for OrSet<T> {
     type Op = OrSetOp<T>;
     type Value = ();
     type Query = OrSetQuery<T>;
@@ -232,7 +232,7 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSet<T
 #[derive(Debug)]
 pub struct OrSetSim;
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<OrSet<T>>
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> SimulationRelation<OrSet<T>>
     for OrSetSim
 {
     fn holds(abs: &AbstractOf<OrSet<T>>, conc: &OrSet<T>) -> bool {
@@ -252,7 +252,7 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelati
     }
 }
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for OrSet<T> {
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Certified for OrSet<T> {
     type Spec = OrSetSpec;
     type Sim = OrSetSim;
 }

@@ -135,7 +135,7 @@ pub(crate) fn merge_spaced<T: Ord + Clone>(
     out
 }
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSetSpace<T> {
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Mrdt for OrSetSpace<T> {
     type Op = OrSetOp<T>;
     type Value = ();
     type Query = OrSetQuery<T>;
@@ -197,7 +197,7 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSetSp
 #[derive(Debug)]
 pub struct OrSetSpaceSim;
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<OrSetSpace<T>>
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> SimulationRelation<OrSetSpace<T>>
     for OrSetSpaceSim
 {
     fn holds(abs: &AbstractOf<OrSetSpace<T>>, conc: &OrSetSpace<T>) -> bool {
@@ -228,12 +228,12 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelati
     }
 }
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for OrSetSpace<T> {
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Certified for OrSetSpace<T> {
     type Spec = OrSetSpec;
     type Sim = OrSetSpaceSim;
 }
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<OrSetSpace<T>>
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Specification<OrSetSpace<T>>
     for OrSetSpec
 {
     fn spec(_op: &OrSetOp<T>, _state: &AbstractOf<OrSetSpace<T>>) {}

@@ -45,9 +45,25 @@ pub struct OrSetSpacetime<T> {
     tree: AvlMap<T, Timestamp>,
 }
 
-impl<T: Ord + std::hash::Hash> std::hash::Hash for OrSetSpacetime<T> {
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.tree.hash(state);
+/// The canonical codec delegates to the backing tree's contents-only
+/// encoding: observably equal sets — even with differently shaped trees —
+/// produce identical bytes and one content address, and decoding yields
+/// the canonical balanced shape. This is the codec face of *convergence
+/// modulo observable behaviour* (Definition 3.5): the store deduplicates
+/// converged-but-differently-shaped states into one stored object.
+impl<T: peepul_core::Wire + Ord + Clone> peepul_core::Wire for OrSetSpacetime<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tree.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(OrSetSpacetime {
+            tree: peepul_core::Wire::decode(input)?,
+        })
+    }
+
+    fn max_tick(&self) -> u64 {
+        self.tree.max_tick()
     }
 }
 
@@ -105,7 +121,7 @@ impl<T: fmt::Debug + Ord> fmt::Debug for OrSetSpacetime<T> {
     }
 }
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSetSpacetime<T> {
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Mrdt for OrSetSpacetime<T> {
     type Op = OrSetOp<T>;
     type Value = ();
     type Query = OrSetQuery<T>;
@@ -165,7 +181,7 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for OrSetSp
 #[derive(Debug)]
 pub struct OrSetSpacetimeSim;
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug>
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug>
     SimulationRelation<OrSetSpacetime<T>> for OrSetSpacetimeSim
 {
     fn holds(abs: &AbstractOf<OrSetSpacetime<T>>, conc: &OrSetSpacetime<T>) -> bool {
@@ -202,12 +218,12 @@ impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug>
     }
 }
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for OrSetSpacetime<T> {
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Certified for OrSetSpacetime<T> {
     type Spec = OrSetSpec;
     type Sim = OrSetSpacetimeSim;
 }
 
-impl<T: Ord + Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<OrSetSpacetime<T>>
+impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Specification<OrSetSpacetime<T>>
     for OrSetSpec
 {
     fn spec(_op: &OrSetOp<T>, _state: &AbstractOf<OrSetSpacetime<T>>) {}
@@ -330,6 +346,22 @@ mod tests {
         // Both are valid AVL trees regardless of shape.
         by_insert.tree.check_invariants().unwrap();
         by_merge.tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn wire_roundtrip_is_observational_and_canonical() {
+        use peepul_core::Wire;
+        let mut s = OrSetSpacetime::<u32>::initial();
+        for i in 0..32u64 {
+            s = s.apply(&OrSetOp::Add((i % 7) as u32), ts(i + 1, 0)).0;
+        }
+        let bytes = s.to_wire();
+        let decoded = OrSetSpacetime::<u32>::from_wire(&bytes).unwrap();
+        assert!(decoded.observably_equal(&s));
+        assert_eq!(decoded.to_wire(), bytes, "canonical re-encode");
+        decoded.tree.check_invariants().unwrap();
+        // The receive-rule hook reports the largest embedded tick.
+        assert_eq!(s.max_tick(), 32);
     }
 
     #[test]

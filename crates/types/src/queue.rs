@@ -193,7 +193,7 @@ fn union<T: Clone>(x: &[Entry<T>], y: &[Entry<T>]) -> Vec<Entry<T>> {
     out
 }
 
-impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for Queue<T> {
+impl<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug> Mrdt for Queue<T> {
     type Op = QueueOp<T>;
     type Value = QueueValue<T>;
     type Query = QueueQuery;
@@ -267,7 +267,7 @@ impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Mrdt for Queue<T> {
     }
 }
 
-impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Queue<T> {
+impl<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug> Queue<T> {
     /// The paper's Appendix-B three-way merge, verbatim: longest common
     /// contiguous subsequence (`intersection`), newly enqueued suffixes
     /// (`diff_s`), timestamp-merged (`union`).
@@ -306,7 +306,7 @@ impl<T: fmt::Debug> fmt::Debug for Queue<T> {
 /// matched (by enqueue-timestamp tag) by any visible dequeue's return
 /// value. Sorted ascending by timestamp — the FIFO order, since visibility
 /// refines timestamp order (Ψ_ts).
-pub fn live_enqueues<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+pub fn live_enqueues<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug>(
     abs: &AbstractOf<Queue<T>>,
 ) -> Vec<Entry<T>> {
     let mut live: Vec<Entry<T>> = abs
@@ -332,7 +332,7 @@ pub fn live_enqueues<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
 #[derive(Debug)]
 pub struct QueueSpec;
 
-impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<Queue<T>> for QueueSpec {
+impl<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug> Specification<Queue<T>> for QueueSpec {
     fn spec(op: &QueueOp<T>, state: &AbstractOf<Queue<T>>) -> QueueValue<T> {
         match op {
             QueueOp::Enqueue(_) => QueueValue::Ack,
@@ -354,7 +354,7 @@ impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Specification<Queue<T>
 #[derive(Debug)]
 pub struct QueueSim;
 
-impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<Queue<T>>
+impl<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug> SimulationRelation<Queue<T>>
     for QueueSim
 {
     fn holds(abs: &AbstractOf<Queue<T>>, conc: &Queue<T>) -> bool {
@@ -368,7 +368,7 @@ impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> SimulationRelation<Que
     }
 }
 
-impl<T: Clone + PartialEq + std::hash::Hash + fmt::Debug> Certified for Queue<T> {
+impl<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug> Certified for Queue<T> {
     type Spec = QueueSpec;
     type Sim = QueueSim;
 }
@@ -385,7 +385,7 @@ pub mod axioms {
 
     /// `match_I(e1, e2)`: `e1` is an enqueue whose tagged entry the dequeue
     /// `e2` returned.
-    pub fn matches<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+    pub fn matches<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug>(
         abs: &AbstractOf<Queue<T>>,
         e1: EventId,
         e2: EventId,
@@ -397,7 +397,7 @@ pub mod axioms {
             && matches!(deq.rval(), QueueValue::Dequeued(Some((t, _))) if *t == e1)
     }
 
-    fn dequeues<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+    fn dequeues<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug>(
         abs: &AbstractOf<Queue<T>>,
     ) -> Vec<EventId> {
         abs.events()
@@ -406,7 +406,7 @@ pub mod axioms {
             .collect()
     }
 
-    fn enqueues<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+    fn enqueues<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug>(
         abs: &AbstractOf<Queue<T>>,
     ) -> Vec<EventId> {
         abs.events()
@@ -417,7 +417,7 @@ pub mod axioms {
 
     /// `AddRem`: every dequeue that returns an entry has a matching
     /// enqueue that it observed.
-    pub fn add_rem<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+    pub fn add_rem<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug>(
         abs: &AbstractOf<Queue<T>>,
     ) -> bool {
         dequeues(abs).into_iter().all(|d| {
@@ -431,7 +431,7 @@ pub mod axioms {
     /// `Empty`: a dequeue that returned `EMPTY` has no *unmatched* enqueue
     /// visible to it — every enqueue it saw was already consumed by a
     /// dequeue it also saw.
-    pub fn empty<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+    pub fn empty<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug>(
         abs: &AbstractOf<Queue<T>>,
     ) -> bool {
         dequeues(abs).into_iter().all(|d1| {
@@ -456,7 +456,7 @@ pub mod axioms {
     /// `FIFO_1`: if an enqueue `e1` precedes (is visible to) an enqueue
     /// `e2` whose entry has been dequeued somewhere, then `e1`'s entry has
     /// been dequeued somewhere too.
-    pub fn fifo1<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+    pub fn fifo1<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug>(
         abs: &AbstractOf<Queue<T>>,
     ) -> bool {
         let enqs = enqueues(abs);
@@ -478,7 +478,7 @@ pub mod axioms {
     /// `FIFO_2`: no out-of-order consumption — it never happens that a
     /// later dequeue (`d4`, after `d3`) returns an *earlier* enqueue (`e1`,
     /// before `e2`) while `d3` returned `e2`.
-    pub fn fifo2<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+    pub fn fifo2<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug>(
         abs: &AbstractOf<Queue<T>>,
     ) -> bool {
         let enqs = enqueues(abs);
@@ -504,7 +504,7 @@ pub mod axioms {
     }
 
     /// All four axioms at once.
-    pub fn all<T: Clone + PartialEq + std::hash::Hash + fmt::Debug>(
+    pub fn all<T: Clone + PartialEq + peepul_core::Wire + fmt::Debug>(
         abs: &AbstractOf<Queue<T>>,
     ) -> bool {
         add_rem(abs) && empty(abs) && fifo1(abs) && fifo2(abs)

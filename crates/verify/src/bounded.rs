@@ -193,8 +193,17 @@ mod tests {
         use peepul_core::{AbstractOf, Mrdt, SimulationRelation, Specification, Timestamp};
 
         /// A counter whose merge double-counts the LCA.
-        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+        #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
         struct DoubleCounter(u64);
+
+        impl peepul_core::Wire for DoubleCounter {
+            fn encode(&self, out: &mut Vec<u8>) {
+                self.0.encode(out);
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                Some(DoubleCounter(peepul_core::Wire::decode(input)?))
+            }
+        }
 
         #[derive(Clone, Copy, PartialEq, Eq, Debug)]
         struct Inc;

@@ -5,12 +5,18 @@
 //! (Theorem 4.2): the proof is an induction over transitions, and the
 //! runner performs that induction concretely — at each `DO` it checks
 //! `Φ_spec` and `Φ_do`, at each `MERGE` it checks `Ψ_lca` and `Φ_merge`,
-//! and after every transition it checks `Φ_con` across all branch pairs.
+//! and after every transition it checks `Φ_con` across all branch pairs
+//! plus the `Φ_codec` canonical-codec round-trip on the post-state (the
+//! single codec is the storage format, the wire format and the content
+//! address, so a codec that drifts from its data type would corrupt all
+//! three — the harness certifies it alongside the paper's obligations).
 //! Any violation is reported with the failing step and a counterexample
 //! description.
 
 use crate::schedule::{Schedule, Step};
-use peepul_core::obligations::{check_con, check_do, check_merge, check_queries, Certified};
+use peepul_core::obligations::{
+    check_codec, check_con, check_do, check_merge, check_queries, Certified,
+};
 use peepul_core::store_props::psi_lca_paper;
 use peepul_core::{ObligationError, ObligationReport};
 use peepul_store::{Snapshot, StoreError, StoreLts};
@@ -168,15 +174,17 @@ where
             .collect()
     }
 
-    /// Checks the query probes against every branch's **current** state —
-    /// in particular the initial `(σ0, I0)`, which no post-`DO`/`MERGE`
-    /// probe ever reaches (a query that lies only on the initial state
-    /// would otherwise certify cleanly). [`Runner::run_schedule`] and the
-    /// bounded checker call this before the first transition.
+    /// Checks the query probes — and the `Φ_codec` round-trip — against
+    /// every branch's **current** state, in particular the initial
+    /// `(σ0, I0)`, which no post-`DO`/`MERGE` probe ever reaches (a query
+    /// that lies only on the initial state would otherwise certify
+    /// cleanly). [`Runner::run_schedule`] and the bounded checker call
+    /// this before the first transition.
     ///
     /// # Errors
     ///
-    /// The first falsified probe as a `Φ_spec` violation.
+    /// The first falsified probe as a `Φ_spec` violation, or a broken
+    /// codec round-trip as `Φ_codec`.
     pub fn check_current_queries(&mut self) -> Result<(), CertificationError> {
         let snapshots: Vec<Snapshot<M>> = self.lts.snapshots().map(|(_, s)| s).collect();
         for snap in &snapshots {
@@ -186,6 +194,7 @@ where
                 &self.probes,
                 &mut self.report,
             )
+            .and_then(|()| check_codec::<M>(&snap.concrete, &mut self.report))
             .map_err(|error| CertificationError::Obligation {
                 step_index: self.steps_run,
                 step: "initial/current state".to_owned(),
@@ -237,6 +246,7 @@ where
                     &self.probes,
                     &mut self.report,
                 )
+                .and_then(|()| check_codec::<M>(&outcome.post.concrete, &mut self.report))
                 .map_err(|error| CertificationError::Obligation {
                     step_index: index,
                     step: describe(step),
@@ -281,6 +291,7 @@ where
                     &self.probes,
                     &mut self.report,
                 )
+                .and_then(|()| check_codec::<M>(&outcome.post.concrete, &mut self.report))
                 .map_err(|error| CertificationError::Obligation {
                     step_index: index,
                     step: describe(step),
@@ -423,8 +434,17 @@ mod tests {
     /// A deliberately broken data type: its merge keeps only branch `a`,
     /// losing `b`'s additions. The runner must localise the failure to
     /// `Φ_merge` at the merge step.
-    #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+    #[derive(Clone, PartialEq, Eq, Debug, Default)]
     struct LossySet(std::collections::BTreeSet<u32>);
+
+    impl peepul_core::Wire for LossySet {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+        fn decode(input: &mut &[u8]) -> Option<Self> {
+            Some(LossySet(peepul_core::Wire::decode(input)?))
+        }
+    }
 
     #[derive(Clone, PartialEq, Eq, Debug)]
     struct Add(u32);
@@ -478,8 +498,17 @@ mod tests {
     /// A data type whose state transitions are correct but whose query
     /// implementation lies (off by one). Only the probe checks can catch
     /// this — no update return value ever exposes it.
-    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+    #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
     struct LyingCounter(u64);
+
+    impl peepul_core::Wire for LyingCounter {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+        fn decode(input: &mut &[u8]) -> Option<Self> {
+            Some(LyingCounter(peepul_core::Wire::decode(input)?))
+        }
+    }
 
     #[derive(Clone, Copy, PartialEq, Eq, Debug)]
     struct Bump;
@@ -548,8 +577,17 @@ mod tests {
     /// A query that lies **only on the initial state** — exactly the gap
     /// the pre-transition probe closes: every post-DO/MERGE state answers
     /// correctly.
-    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+    #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
     struct InitLiar(u64);
+
+    impl peepul_core::Wire for InitLiar {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+        fn decode(input: &mut &[u8]) -> Option<Self> {
+            Some(InitLiar(peepul_core::Wire::decode(input)?))
+        }
+    }
 
     impl Mrdt for InitLiar {
         type Op = Bump;

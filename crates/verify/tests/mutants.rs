@@ -11,7 +11,7 @@
 //! obligation.
 
 use peepul_core::{
-    AbstractOf, Certified, Mrdt, Obligation, SimulationRelation, Specification, Timestamp,
+    AbstractOf, Certified, Mrdt, Obligation, SimulationRelation, Specification, Timestamp, Wire,
 };
 use peepul_types::or_set::{OrSetOp, OrSetOutput, OrSetQuery};
 use peepul_verify::{BoundedChecker, BoundedConfig, CertificationError};
@@ -44,8 +44,17 @@ where
 // unless a branch re-touched them (classic "two-way merge" bug).
 // ---------------------------------------------------------------------
 
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 struct TwoWaySet(std::collections::BTreeSet<u8>);
+
+impl Wire for TwoWaySet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(TwoWaySet(Wire::decode(input)?))
+    }
+}
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 struct Put(u8);
@@ -121,9 +130,20 @@ fn two_way_merge_bug_is_caught_as_phi_merge() {
 // conflict-resolution policy inverted relative to the specification.
 // ---------------------------------------------------------------------
 
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 struct RemoveWinsSet {
     pairs: Vec<(u8, Timestamp)>,
+}
+
+impl Wire for RemoveWinsSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pairs.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(RemoveWinsSet {
+            pairs: Wire::decode(input)?,
+        })
+    }
 }
 
 impl Mrdt for RemoveWinsSet {
@@ -271,10 +291,23 @@ fn remove_wins_policy_is_caught() {
 // merge directions disagree.
 // ---------------------------------------------------------------------
 
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 struct BiasedRegister {
     value: u8,
     time: Timestamp,
+}
+
+impl Wire for BiasedRegister {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.value.encode(out);
+        self.time.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(BiasedRegister {
+            value: Wire::decode(input)?,
+            time: Wire::decode(input)?,
+        })
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -349,8 +382,17 @@ fn non_commutative_tie_break_is_caught_as_phi_con() {
 // split, only the per-state query probes can catch this class of bug.
 // ---------------------------------------------------------------------
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 struct OffByOneCounter(u64);
+
+impl Wire for OffByOneCounter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(OffByOneCounter(Wire::decode(input)?))
+    }
+}
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 struct Inc;
@@ -409,9 +451,20 @@ fn off_by_one_read_is_caught_as_phi_spec() {
 // intent of the OR-set").
 // ---------------------------------------------------------------------
 
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 struct NoRefreshSet {
     pairs: BTreeMap<u8, Timestamp>,
+}
+
+impl Wire for NoRefreshSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pairs.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(NoRefreshSet {
+            pairs: Wire::decode(input)?,
+        })
+    }
 }
 
 impl Mrdt for NoRefreshSet {
@@ -532,4 +585,72 @@ fn missing_timestamp_refresh_is_caught() {
     // The lost refresh shows up as a Φ_do failure (the duplicate add's
     // state no longer matches the relation) before any merge happens.
     assert_eq!(obligation, Obligation::PhiDo);
+}
+
+// ---------------------------------------------------------------------
+// Mutant 6: a correct counter with a *drifted codec* — encode narrows to
+// u32 while decode reads u64. No merge, query or simulation bug exists;
+// only the Φ_codec standing obligation catches it. This is the bug class
+// the single-codec unification makes fatal (it would corrupt storage,
+// addressing and replication at once), which is why the harness checks
+// the round-trip at every explored state.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+struct DriftedCodecCounter(u64);
+
+impl Wire for DriftedCodecCounter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.0 as u32).encode(out); // BUG: 4 bytes out…
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(DriftedCodecCounter(Wire::decode(input)?)) // …8 bytes back
+    }
+}
+
+impl Mrdt for DriftedCodecCounter {
+    type Op = Inc;
+    type Value = ();
+    type Query = ReadQ;
+    type Output = u64;
+    fn initial() -> Self {
+        DriftedCodecCounter(0)
+    }
+    fn apply(&self, _op: &Inc, _t: Timestamp) -> (Self, ()) {
+        (DriftedCodecCounter(self.0 + 1), ())
+    }
+    fn query(&self, _q: &ReadQ) -> u64 {
+        self.0
+    }
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+        DriftedCodecCounter(a.0 + b.0 - lca.0)
+    }
+}
+
+struct DriftSpec;
+impl Specification<DriftedCodecCounter> for DriftSpec {
+    fn spec(_op: &Inc, _abs: &AbstractOf<DriftedCodecCounter>) {}
+    fn query(_q: &ReadQ, abs: &AbstractOf<DriftedCodecCounter>) -> u64 {
+        abs.events().count() as u64
+    }
+}
+struct DriftSim;
+impl SimulationRelation<DriftedCodecCounter> for DriftSim {
+    fn holds(abs: &AbstractOf<DriftedCodecCounter>, conc: &DriftedCodecCounter) -> bool {
+        conc.0 == abs.events().count() as u64
+    }
+}
+impl Certified for DriftedCodecCounter {
+    type Spec = DriftSpec;
+    type Sim = DriftSim;
+}
+
+#[test]
+fn drifted_codec_is_caught_as_phi_codec() {
+    let (obligation, step) = first_violation::<DriftedCodecCounter>(2, vec![Inc], vec![ReadQ])
+        .expect("mutant must be caught");
+    assert_eq!(obligation, Obligation::Codec);
+    // σ0 already fails the round-trip, so the violation is localised to
+    // the pre-transition probe.
+    assert!(step.contains("initial"), "caught at σ0: {step}");
 }

@@ -1,12 +1,15 @@
 //! A versioned key-value database: an α-map of LWW registers over the
 //! Git-like store — Irmin-style usage with history, criss-cross merges,
-//! and *durable* storage: the store runs on the append-only on-disk
-//! segment backend, and the example finishes by reopening the segment
-//! from disk to show every published head survived.
+//! and *durable* storage. The finale is a true process-restart demo:
+//! the store is dropped, the segment directory is reopened cold, and
+//! `BranchStore::open` rebuilds the **typed** database — branches, commit
+//! graph, Lamport clock — so queries and new updates run as if the
+//! process had never died (the canonical codec is decodable, so recovery
+//! is typed state, not just verified bytes).
 //!
 //! Run with: `cargo run --example versioned_kv`
 
-use peepul::store::{Backend, BranchStore, SegmentBackend, StoreError};
+use peepul::store::{BranchStore, SegmentBackend, StoreError};
 use peepul::types::lww_register::{LwwOp, LwwQuery, LwwRegister};
 use peepul::types::map::{MapOp, MapQuery, MrdtMap};
 
@@ -73,17 +76,38 @@ fn main() -> Result<(), StoreError> {
         db.branch("main")?.history().len()
     );
 
-    // Durability: a "new process" reopens the segment directory and finds
-    // every branch head the session published, integrity-checked.
+    // ── Restart ──────────────────────────────────────────────────────
+    // Drop the store (the "process" dies), then reopen the segment
+    // directory cold and rebuild the typed database from the persisted
+    // canonical bytes.
     let main_head = db.head_id("main")?;
+    let staging_head = db.head_id("staging")?;
+    let commits_before = db.commit_count();
+    let tick_before = db.tick();
     drop(db);
-    let reopened = SegmentBackend::open(&dir)?;
-    assert_eq!(reopened.get_ref("main")?, Some(main_head));
-    assert!(reopened.get(main_head)?.is_some());
+
+    let mut db: BranchStore<Kv, SegmentBackend> = BranchStore::open(SegmentBackend::open(&dir)?)?;
+    assert_eq!(db.head_id("main")?, main_head, "head commit id survived");
+    assert_eq!(db.head_id("staging")?, staging_head);
+    assert_eq!(db.commit_count(), commits_before, "full history recovered");
+    assert_eq!(db.tick(), tick_before, "Lamport clock recovered");
+    // Typed queries answer from decoded state, same as before the restart.
+    assert_eq!(get(&db, "main", "replicas")?.as_deref(), Some("7"));
+    assert_eq!(get(&db, "main", "feature/queues")?.as_deref(), Some("off"));
     println!(
-        "reopened from disk: {} objects, main @ {}",
-        reopened.object_count(),
+        "reopened as typed state: {} branches, {} commits, main @ {}",
+        db.branch_names().len(),
+        db.commit_count(),
         main_head.short()
+    );
+
+    // And the reopened database is fully live: new writes, new merges.
+    db.branch_mut("main")?.apply(&set("region", "us-east"))?;
+    db.branch_mut("staging")?.merge_from("main")?;
+    assert_eq!(get(&db, "staging", "region")?.as_deref(), Some("us-east"));
+    println!(
+        "post-restart write visible on staging: region={:?}",
+        get(&db, "staging", "region")?
     );
     std::fs::remove_dir_all(&dir).ok();
     Ok(())

@@ -112,8 +112,8 @@ pub mod prelude {
         TcpServer, TcpTransport, Transport,
     };
     pub use peepul_store::{
-        Backend, BranchId, BranchMut, BranchRef, BranchStore, MemoryBackend, SegmentBackend,
-        SegmentOptions, StoreError, StoreLts, TrackOutcome, Transaction,
+        Backend, BranchId, BranchMut, BranchRef, BranchStore, CommitMeta, MemoryBackend,
+        SegmentBackend, SegmentOptions, StoreError, StoreLts, TrackOutcome, Transaction,
     };
     pub use peepul_types::{
         Chat, Counter, EwFlag, EwFlagSpace, GMap, GSet, LwwRegister, MergeableLog, MrdtMap, OrSet,

@@ -19,7 +19,11 @@
 //! 0.2 release are gone (their one-release grace window closed with the
 //! `peepul-net` release); the replication surface (`Replica`, `Remote`,
 //! transports, `AntiEntropy`, `Wire`, `TrackOutcome`) is part of the
-//! golden instead.
+//! golden instead. The codec unification added `CommitMeta` (the parsed
+//! commit record, used by both the reopen path and fetch negotiation) and
+//! removed the `Hash`-stream machinery from `peepul::store`
+//! (`Sha256Hasher` is gone; `canonical_bytes`/`content_id` now take
+//! `Wire`, the single canonical codec every `Mrdt` carries).
 
 macro_rules! surface {
     ($($name:ident),* $(,)?) => {
@@ -48,6 +52,7 @@ surface![
     ChannelTransport,
     Chat,
     Cluster,
+    CommitMeta,
     Counter,
     EwFlag,
     EwFlagSpace,
@@ -95,7 +100,7 @@ fn prelude_surface_matches_golden() {
     );
     assert_eq!(
         golden.len(),
-        48,
+        49,
         "prelude surface changed size — update the golden list *and* the \
          expected count deliberately"
     );
@@ -135,4 +140,11 @@ fn pinned_signatures_still_hold() {
     // BranchId construction is fallible (validation) and cheap to clone.
     let id: BranchId = BranchId::new("main").unwrap();
     let _ = id.clone();
+    // The typed reopen path: a cold backend comes back as a typed store.
+    fn _open(b: MemoryBackend) -> Result<BranchStore<Counter>, StoreError> {
+        BranchStore::open(b)
+    }
+    fn _open_based(b: MemoryBackend) -> Result<BranchStore<Counter>, StoreError> {
+        BranchStore::open_with_base(b, 7)
+    }
 }

@@ -1,4 +1,5 @@
-//! Crash-reopen torture for the on-disk segment backend.
+//! Crash-reopen torture for the on-disk segment backend — at the byte
+//! level **and** at the typed level.
 //!
 //! The backend's durability contract is write → fsync → publish: once a
 //! `put`/`set_ref` returns, a crash must not lose it. We simulate a crash
@@ -6,13 +7,20 @@
 //! inside the final record and at arbitrary earlier tail offsets, then
 //! reopen and assert that every record fully written before the
 //! truncation point is intact and integrity-checked.
+//!
+//! Since the codec unification the same torture runs one layer up:
+//! `BranchStore::open` must rebuild **typed** state from whatever prefix
+//! survived — heads, commit graph, Lamport clock and query answers all
+//! equal to the last fully published state before the cut
+//! (`typed_reopen_at_every_truncation_point_serves_the_published_prefix`).
 
 mod common;
 
 use common::Scratch;
 use peepul::prelude::*;
 use peepul::store::{Backend, ObjectId, SegmentBackend, SegmentOptions};
-use peepul::types::counter::CounterOp;
+use peepul::types::counter::{Counter, CounterOp, CounterQuery};
+use peepul::types::or_set_space::{OrSetOp, OrSetQuery, OrSetSpace};
 
 fn quick() -> SegmentOptions {
     SegmentOptions { durable: false }
@@ -95,6 +103,123 @@ fn reopen_after_crash_continues_the_log() {
         assert!(backend.contains(*id).unwrap());
     }
     assert!(backend.contains(replacement).unwrap());
+}
+
+#[test]
+fn typed_reopen_at_every_truncation_point_serves_the_published_prefix() {
+    let scratch = Scratch::new("typed-reopen-every-offset");
+    let dir = scratch.path().join("db");
+    let file = dir.join("store.seg");
+
+    // Build a session one publish at a time, recording after each apply
+    // the on-disk length, the head commit id, and the expected count —
+    // the "last published prefix" ground truth for every cut point.
+    let mut checkpoints: Vec<(u64, ObjectId, u64)> = Vec::new();
+    {
+        let backend = SegmentBackend::open_with(&dir, quick()).unwrap();
+        let mut db: BranchStore<Counter, _> = BranchStore::with_backend("main", backend).unwrap();
+        checkpoints.push((
+            std::fs::metadata(&file).unwrap().len(),
+            db.head_id("main").unwrap(),
+            0,
+        ));
+        for i in 1..=6u64 {
+            db.branch_mut("main")
+                .unwrap()
+                .apply(&CounterOp::Increment)
+                .unwrap();
+            checkpoints.push((
+                std::fs::metadata(&file).unwrap().len(),
+                db.head_id("main").unwrap(),
+                i,
+            ));
+        }
+    }
+    let base = checkpoints.first().unwrap().0;
+    let full = checkpoints.last().unwrap().0;
+
+    // Kill the tail at every byte offset and reopen **as typed state**:
+    // the recovered head commit, query answer and Lamport clock must be
+    // exactly those of the longest fully-published prefix.
+    for cut in (base..=full).rev() {
+        truncate(&file, cut);
+        let backend = SegmentBackend::open_with(&dir, quick()).unwrap();
+        let db: BranchStore<Counter, _> =
+            BranchStore::open(backend).unwrap_or_else(|e| panic!("cut {cut}: open failed: {e}"));
+        let (_, head, count) = checkpoints
+            .iter()
+            .rev()
+            .find(|(len, _, _)| *len <= cut)
+            .expect("the root publish is below every cut");
+        assert_eq!(db.head_id("main").unwrap(), *head, "cut {cut}: head");
+        assert_eq!(
+            db.read("main", &CounterQuery::Value).unwrap(),
+            *count,
+            "cut {cut}: typed query"
+        );
+        assert_eq!(db.tick(), *count, "cut {cut}: Lamport clock");
+    }
+}
+
+#[test]
+fn typed_reopen_recovers_multi_branch_stores_after_a_torn_tail() {
+    let scratch = Scratch::new("typed-reopen-branches");
+    let dir = scratch.path().join("db");
+
+    // A multi-branch OR-set session, recording what each head looked like
+    // the moment it was published (head commit id → elements).
+    let mut published: Vec<(ObjectId, Vec<u32>)> = Vec::new();
+    {
+        let backend = SegmentBackend::open_with(&dir, quick()).unwrap();
+        let mut db: BranchStore<OrSetSpace<u32>, _> =
+            BranchStore::with_backend("main", backend).unwrap();
+        let snap = |db: &BranchStore<OrSetSpace<u32>, SegmentBackend>, b: &str| {
+            let peepul::types::or_set_space::OrSetOutput::Elements(e) =
+                db.read(b, &OrSetQuery::Read).unwrap()
+            else {
+                panic!("read returns elements")
+            };
+            (db.head_id(b).unwrap(), e)
+        };
+        published.push(snap(&db, "main"));
+        db.branch_mut("main").unwrap().fork("dev").unwrap();
+        for i in 0..4 {
+            db.branch_mut("main")
+                .unwrap()
+                .apply(&OrSetOp::Add(i))
+                .unwrap();
+            published.push(snap(&db, "main"));
+            db.branch_mut("dev")
+                .unwrap()
+                .apply(&OrSetOp::Add(i + 100))
+                .unwrap();
+            published.push(snap(&db, "dev"));
+        }
+        db.branch_mut("main").unwrap().merge_from("dev").unwrap();
+        published.push(snap(&db, "main"));
+    }
+
+    // Crash mid-record, then reopen as typed state. Whatever head each
+    // surviving ref points at, the typed store must answer queries exactly
+    // as it did when that head was live.
+    let file = dir.join("store.seg");
+    truncate(&file, std::fs::metadata(&file).unwrap().len() - 5);
+    let backend = SegmentBackend::open_with(&dir, quick()).unwrap();
+    let db: BranchStore<OrSetSpace<u32>, _> = BranchStore::open(backend).unwrap();
+    assert!(!db.branch_names().is_empty());
+    for b in db.branch_names() {
+        let head = db.head_id(b).unwrap();
+        let expected = published
+            .iter()
+            .find(|(h, _)| *h == head)
+            .unwrap_or_else(|| panic!("{b}: recovered head {} was never published", head.short()));
+        let peepul::types::or_set_space::OrSetOutput::Elements(e) =
+            db.read(b, &OrSetQuery::Read).unwrap()
+        else {
+            panic!("read returns elements")
+        };
+        assert_eq!(e, expected.1, "{b}: typed state matches publish-time");
+    }
 }
 
 #[test]

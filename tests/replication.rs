@@ -238,6 +238,218 @@ fn mixed_memory_segment_fleet_converges() {
     }
 }
 
+// ---------------------------------------------------------------------
+// The codec unification lifted the 10-type restriction: the four types
+// that previously had no decodable encoding — the AVL-tree-backed
+// OR-set-spacetime (which exercises the `AvlMap` codec), the α-map, and
+// the chat composition — now replicate through the same fetch/pull/push
+// machinery as everything else. One test per type, each asserting
+// converged heads (not just states) across two independent stores.
+// ---------------------------------------------------------------------
+
+/// Pulls both ways until both replicas hold the same head.
+fn sync_pair<M: peepul::core::Mrdt + Send + Sync + 'static>(
+    a: &Replica<M, MemoryBackend>,
+    b: &Replica<M, MemoryBackend>,
+) {
+    let mut to_b = Remote::new(b.name(), ChannelTransport::connect(b.clone()));
+    let mut to_a = Remote::new(a.name(), ChannelTransport::connect(a.clone()));
+    a.pull(&mut to_b, "main").unwrap();
+    b.pull(&mut to_a, "main").unwrap();
+    a.pull(&mut to_b, "main").unwrap();
+    assert_eq!(
+        a.head_id("main").unwrap(),
+        b.head_id("main").unwrap(),
+        "pair must converge to one head commit"
+    );
+}
+
+#[test]
+fn or_set_spacetime_replicates_across_stores() {
+    use peepul::types::or_set::{OrSetOutput, OrSetQuery};
+    use peepul::types::or_set_spacetime::OrSetSpacetime;
+
+    let a: Replica<OrSetSpacetime<u32>, _> =
+        Replica::open("a", "main", MemoryBackend::new()).unwrap();
+    let b: Replica<OrSetSpacetime<u32>, _> =
+        Replica::open("b", "main", MemoryBackend::new()).unwrap();
+    a.with_store(|s| -> Result<(), StoreError> {
+        for x in 0..40u32 {
+            s.branch_mut("main")?.apply(&OrSetOp::Add(x))?;
+        }
+        s.branch_mut("main")?.apply(&OrSetOp::Remove(7))?;
+        Ok(())
+    })
+    .unwrap();
+    b.with_store(|s| -> Result<(), StoreError> {
+        for x in 30..60u32 {
+            s.branch_mut("main")?.apply(&OrSetOp::Add(x))?;
+        }
+        // Concurrent with a's remove of 7: add-wins must keep it.
+        s.branch_mut("main")?.apply(&OrSetOp::Add(7))?;
+        Ok(())
+    })
+    .unwrap();
+    sync_pair(&a, &b);
+    let OrSetOutput::Elements(ea) = a.read("main", &OrSetQuery::Read).unwrap() else {
+        panic!("read returns elements")
+    };
+    let OrSetOutput::Elements(eb) = b.read("main", &OrSetQuery::Read).unwrap() else {
+        panic!("read returns elements")
+    };
+    assert_eq!(ea, eb);
+    assert!(ea.contains(&7), "add-wins across replication");
+    assert_eq!(ea.len(), 60);
+}
+
+#[test]
+fn g_map_of_counters_replicates_across_stores() {
+    use peepul::types::counter::{Counter, CounterQuery};
+    use peepul::types::map::{MapOp, MapQuery, MrdtMap};
+
+    let a: Replica<MrdtMap<Counter>, _> = Replica::open("a", "main", MemoryBackend::new()).unwrap();
+    let b: Replica<MrdtMap<Counter>, _> = Replica::open("b", "main", MemoryBackend::new()).unwrap();
+    let bump = |key: &str| MapOp::Set(key.to_owned(), CounterOp::Increment);
+    a.with_store(|s| -> Result<(), StoreError> {
+        for _ in 0..3 {
+            s.branch_mut("main")?.apply(&bump("shared"))?;
+        }
+        s.branch_mut("main")?.apply(&bump("only-a"))?;
+        Ok(())
+    })
+    .unwrap();
+    b.with_store(|s| -> Result<(), StoreError> {
+        for _ in 0..2 {
+            s.branch_mut("main")?.apply(&bump("shared"))?;
+        }
+        s.branch_mut("main")?.apply(&bump("only-b"))?;
+        Ok(())
+    })
+    .unwrap();
+    sync_pair(&a, &b);
+    for (key, want) in [("shared", 5), ("only-a", 1), ("only-b", 1), ("ghost", 0)] {
+        let q = MapQuery::Get(key.to_owned(), CounterQuery::Value);
+        assert_eq!(a.read("main", &q).unwrap(), want, "{key} on a");
+        assert_eq!(b.read("main", &q).unwrap(), want, "{key} on b");
+    }
+}
+
+#[test]
+fn chat_replicates_across_stores() {
+    use peepul::types::chat::{Chat, ChatOp, ChatQuery};
+
+    let a: Replica<Chat, _> = Replica::open("a", "main", MemoryBackend::new()).unwrap();
+    let b: Replica<Chat, _> = Replica::open("b", "main", MemoryBackend::new()).unwrap();
+    let send = |ch: &str, m: &str| ChatOp::Send(ch.to_owned(), m.to_owned());
+    a.with_store(|s| -> Result<(), StoreError> {
+        s.branch_mut("main")?
+            .apply(&send("#rust", "hello from a"))?;
+        s.branch_mut("main")?.apply(&send("#a-only", "private"))?;
+        Ok(())
+    })
+    .unwrap();
+    b.with_store(|s| -> Result<(), StoreError> {
+        s.branch_mut("main")?
+            .apply(&send("#rust", "hello from b"))?;
+        Ok(())
+    })
+    .unwrap();
+    sync_pair(&a, &b);
+    let msgs_a = a.read("main", &ChatQuery::Read("#rust".into())).unwrap();
+    let msgs_b = b.read("main", &ChatQuery::Read("#rust".into())).unwrap();
+    assert_eq!(msgs_a, msgs_b);
+    assert_eq!(msgs_a.len(), 2, "both posts survive the merge");
+    assert_eq!(
+        a.read("main", &ChatQuery::Read("#a-only".into()))
+            .unwrap()
+            .len(),
+        1
+    );
+    assert_eq!(
+        b.read("main", &ChatQuery::Read("#a-only".into()))
+            .unwrap()
+            .len(),
+        1,
+        "channel created on a reached b"
+    );
+}
+
+#[test]
+fn replica_open_survives_a_process_restart_on_disk() {
+    use peepul::types::or_set::{OrSetOutput, OrSetQuery};
+
+    let scratch = Scratch::new("replica-restart");
+    let dir = scratch.path().join("db");
+    let open_backend = || SegmentBackend::open_with(&dir, SegmentOptions { durable: false });
+
+    // First life: create, write, replicate a little, die.
+    let (head, tick) = {
+        let a: Replica<OrSetSpace<u32>, _> =
+            Replica::open("durable", "main", open_backend().unwrap()).unwrap();
+        a.with_store(|s| -> Result<(), StoreError> {
+            for x in 0..10u32 {
+                s.branch_mut("main")?.apply(&OrSetOp::Add(x))?;
+            }
+            s.branch_mut("main")?.apply(&OrSetOp::Remove(3))?;
+            Ok(())
+        })
+        .unwrap();
+        a.with_store(|s| s.flush()).unwrap();
+        (a.head_id("main").unwrap(), a.with_store(|s| s.tick()))
+    };
+
+    // Second life: the same call site reopens the typed store instead of
+    // resetting it — full history, clock and branch intact.
+    let a: Replica<OrSetSpace<u32>, _> =
+        Replica::open("durable", "main", open_backend().unwrap()).unwrap();
+    assert_eq!(
+        a.head_id("main").unwrap(),
+        head,
+        "head survived the restart"
+    );
+    assert_eq!(a.with_store(|s| s.tick()), tick, "clock survived");
+    let OrSetOutput::Elements(elems) = a.read("main", &OrSetQuery::Read).unwrap() else {
+        panic!("read returns elements")
+    };
+    assert_eq!(elems.len(), 9);
+    assert!(!elems.contains(&3));
+
+    // …and it replicates immediately: a fresh peer pulls the whole
+    // recovered history.
+    let b: Replica<OrSetSpace<u32>, _> = Replica::open("b", "main", MemoryBackend::new()).unwrap();
+    let mut remote = Remote::new("durable", ChannelTransport::connect(a.clone()));
+    b.pull(&mut remote, "main").unwrap();
+    assert_eq!(b.head_id("main").unwrap(), head);
+
+    // A reopened backend that lacks the requested branch is refused.
+    let err = Replica::<OrSetSpace<u32>, _>::open("durable", "nope", open_backend().unwrap())
+        .unwrap_err();
+    assert!(matches!(err, StoreError::UnknownBranch(_)), "{err}");
+}
+
+#[test]
+fn newly_wired_types_run_in_replicated_clusters() {
+    use peepul::types::or_set_spacetime::OrSetSpacetime;
+
+    // The Cluster harness (real replication mode) now accepts the
+    // tree-backed set — previously excluded by the `Wire` bound.
+    let cluster: Cluster<OrSetSpacetime<u32>> = Cluster::new(3).unwrap();
+    cluster
+        .run(30, 5, |replica, round| {
+            let x = ((replica * 17 + round * 3) % 20) as u32;
+            if round % 5 == 4 {
+                OrSetOp::Remove(x)
+            } else {
+                OrSetOp::Add(x)
+            }
+        })
+        .unwrap();
+    let states = cluster.converge().unwrap();
+    for s in &states[1..] {
+        assert!(states[0].observably_equal(s));
+    }
+}
+
 /// A transport that corrupts one byte of every response — the content
 /// verification on ingest must reject the transfer and leave the store
 /// untouched.
