@@ -1,0 +1,286 @@
+//! **Service benchmark** — the daemon half of the CI perf gate.
+//!
+//! Spins up one in-process `peepul-server` (memory backend — the bench
+//! measures the service and socket path, not fsync) and hammers it with
+//! real `ServiceClient` connections over loopback TCP at three
+//! concurrency levels, measuring what the service layer promises:
+//!
+//! * `server_rps_1conn` / `server_rps_8conn` / `server_rps_32conn` —
+//!   request/response round trips per second sustained at 1, 8 and 32
+//!   concurrent connections (higher is better; the 8- and 32-connection
+//!   numbers exercise the shared read lock and the connection cap);
+//! * `server_get_p50_us` / `server_get_p99_us` — per-request latency
+//!   percentiles of the commit-free `get` path at 8 connections (lower).
+//!
+//! The workload is 1 put per 16 gets per connection: mostly the
+//! concurrent read path, with enough writes that the exclusive lock is
+//! genuinely contended. The run **fails** if the server never served 8
+//! connections at once — the concurrency claim of the service layer,
+//! checked functionally, not statistically.
+//!
+//! With `--baseline <path>`: same contract as `bench_sync` — compare and
+//! fail on >`--tolerance` regressions when the file exists, write it when
+//! it does not (the first CI run on main establishes it).
+//!
+//! Run: `cargo run --release -p peepul-bench --bin bench_server -- \
+//!           --out BENCH_server.json --baseline BENCH_server.baseline.json`
+
+use peepul_server::{Server, ServerConfig, ServiceClient};
+use peepul_store::MemoryBackend;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Direction of improvement for a metric.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Better {
+    Higher,
+    Lower,
+}
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+    better: Better,
+}
+
+fn quick_mode(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--quick")
+        || std::env::var("PEEPUL_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Drives `conns` concurrent client connections for `requests_per_conn`
+/// requests each (1 put per 16 gets), returning
+/// `(requests_per_sec, sorted get latencies in µs)`.
+fn hammer(addr: SocketAddr, conns: usize, requests_per_conn: usize) -> (f64, Vec<f64>) {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..conns)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(requests_per_conn);
+                for i in 0..requests_per_conn {
+                    let key = format!("k{}", i % 64);
+                    if i % 16 == 0 {
+                        client.put("main", &key, format!("c{c}-{i}")).expect("put");
+                    } else {
+                        let t0 = Instant::now();
+                        let _ = client.get("main", &key).expect("get");
+                        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("worker"));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ((conns * requests_per_conn) as f64 / secs, latencies)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Renders the report as JSON (hand-rolled: the workspace deliberately
+/// has no serde; EXPERIMENTS.md documents this schema).
+fn render_json(metrics: &[Metric], quick: bool, info: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"peepul/bench-server/v1\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"metrics\": {{");
+    for (i, m) in metrics.iter().enumerate() {
+        let better = match m.better {
+            Better::Higher => "higher",
+            Better::Lower => "lower",
+        };
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"value\": {:.6}, \"better\": \"{better}\" }}{comma}",
+            m.name, m.value
+        );
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"info\": {{");
+    for (i, (name, value)) in info.iter().enumerate() {
+        let comma = if i + 1 < info.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{name}\": {value:.6}{comma}");
+    }
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `"name": { "value": <f64>` from a report produced by
+/// `render_json` (tolerant scan, not a general JSON parser).
+fn baseline_value(json: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\"");
+    let after_key = &json[json.find(&key)? + key.len()..];
+    let after_value = &after_key[after_key.find("\"value\":")? + "\"value\":".len()..];
+    let num: String = after_value
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = quick_mode(&args);
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_server.json".into());
+    let baseline_path = flag_value(&args, "--baseline");
+    let tolerance: f64 = flag_value(&args, "--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a number"))
+        .unwrap_or(0.25);
+
+    let requests_per_conn = if quick { 400 } else { 2_000 };
+
+    println!(
+        "# bench_server ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    let server = Server::spawn(
+        ServerConfig::new("bench"),
+        "127.0.0.1:0",
+        MemoryBackend::new(),
+    )
+    .expect("spawn server");
+    let addr = server.addr();
+
+    // Seed the working set so gets hit existing keys from the start.
+    let mut seeder = ServiceClient::connect(addr).expect("connect");
+    for i in 0..64 {
+        seeder.put("main", format!("k{i}"), "seed").expect("seed");
+    }
+    drop(seeder);
+
+    let (rps_1, _) = hammer(addr, 1, requests_per_conn);
+    println!("1 connection          : {rps_1:.0} req/s");
+    let (rps_8, lat_8) = hammer(addr, 8, requests_per_conn);
+    let p50 = percentile(&lat_8, 0.50);
+    let p99 = percentile(&lat_8, 0.99);
+    println!("8 connections         : {rps_8:.0} req/s (get p50 {p50:.1} µs, p99 {p99:.1} µs)");
+    let (rps_32, _) = hammer(addr, 32, requests_per_conn);
+    println!("32 connections        : {rps_32:.0} req/s");
+
+    let peak = server.peak_connections();
+    println!("peak concurrent conns : {peak}");
+
+    let metrics = [
+        Metric {
+            name: "server_rps_1conn",
+            value: rps_1,
+            better: Better::Higher,
+        },
+        Metric {
+            name: "server_rps_8conn",
+            value: rps_8,
+            better: Better::Higher,
+        },
+        Metric {
+            name: "server_rps_32conn",
+            value: rps_32,
+            better: Better::Higher,
+        },
+        Metric {
+            name: "server_get_p50_us",
+            value: p50,
+            better: Better::Lower,
+        },
+        Metric {
+            name: "server_get_p99_us",
+            value: p99,
+            better: Better::Lower,
+        },
+    ];
+    let info = [
+        ("peak_connections", peak as f64),
+        ("requests_per_conn", requests_per_conn as f64),
+        ("frames_served", server.frames_served() as f64),
+    ];
+
+    let json = render_json(&metrics, quick, &info);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    // Hard functional gate: the service layer claims real connection
+    // concurrency — the 8- and 32-connection phases must actually have
+    // been served concurrently, not serialized by the accept loop.
+    if peak < 8 {
+        eprintln!("FAIL: server peaked at {peak} concurrent connections (expected >= 8)");
+        std::process::exit(1);
+    }
+
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    match std::fs::read_to_string(&baseline_path) {
+        Err(_) => {
+            // First run: establish the baseline (CI commits this file).
+            std::fs::write(&baseline_path, &json).expect("write baseline");
+            println!("no baseline found; wrote initial baseline to {baseline_path}");
+        }
+        Ok(baseline) => {
+            // Quick and full mode run different workload sizes; only gate
+            // against a baseline recorded in the same mode.
+            let baseline_quick = baseline.contains("\"quick\": true");
+            if baseline_quick != quick {
+                println!(
+                    "baseline at {baseline_path} was recorded in {} mode, this run is {} mode — skipping the regression gate",
+                    if baseline_quick { "quick" } else { "full" },
+                    if quick { "quick" } else { "full" },
+                );
+                return;
+            }
+            let mut regressed = false;
+            for m in &metrics {
+                let Some(base) = baseline_value(&baseline, m.name) else {
+                    println!("baseline lacks {} — skipping", m.name);
+                    continue;
+                };
+                let (bad, ratio) = match m.better {
+                    Better::Higher => (
+                        m.value < base * (1.0 - tolerance),
+                        m.value / base.max(f64::MIN_POSITIVE),
+                    ),
+                    Better::Lower => (
+                        m.value > base * (1.0 + tolerance),
+                        base / m.value.max(f64::MIN_POSITIVE),
+                    ),
+                };
+                println!(
+                    "{:<32} {:>14.3} vs baseline {:>14.3}  ({:.2}x) {}",
+                    m.name,
+                    m.value,
+                    base,
+                    ratio,
+                    if bad { "REGRESSED" } else { "ok" }
+                );
+                regressed |= bad;
+            }
+            if regressed {
+                eprintln!(
+                    "FAIL: server metric regressed more than {:.0}% vs baseline",
+                    tolerance * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

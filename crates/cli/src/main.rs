@@ -1,0 +1,161 @@
+//! The `peepul-cli` binary: a scriptable client for `peepul-server`.
+//!
+//! ```text
+//! peepul-cli --addr 127.0.0.1:7401 put main greeting hello
+//! peepul-cli --addr 127.0.0.1:7401 get main greeting
+//! peepul-cli --addr 127.0.0.1:7401 --tenant acme put main greeting hi
+//! peepul-cli --addr 127.0.0.1:7401 serve-status
+//! ```
+//!
+//! Output is plain text, one fact per line, made for shell pipelines:
+//! `get` prints the value (exit 1 when unset), `query` prints
+//! `key<TAB>value` lines, `branches` prints one name per line,
+//! `serve-status` prints `field value` lines plus one
+//! `branch <name> <head-hex> <state-hex>` line per branch — which is what
+//! the fleet smoke test compares across nodes to assert convergence.
+//! `watch` polls a key and prints each newly observed value until
+//! `--count` changes were seen.
+
+use peepul_server::{ServiceClient, ServiceResponse};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: peepul-cli --addr HOST:PORT [--tenant NAME] COMMAND\n\
+         commands:\n\
+         \x20 get BRANCH KEY                 print the value (exit 1 when unset)\n\
+         \x20 put BRANCH KEY VALUE           write the value\n\
+         \x20 query BRANCH                   print every key<TAB>value\n\
+         \x20 watch BRANCH KEY [--interval-ms MS] [--count N]\n\
+         \x20                                print each newly observed value\n\
+         \x20 fork FROM TO                   create branch TO off FROM\n\
+         \x20 merge INTO FROM                three-way merge FROM into INTO\n\
+         \x20 branches                       print visible branch names\n\
+         \x20 serve-status                   print node status and branch heads"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("peepul-cli: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut tenant = None;
+    let mut rest = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().unwrap_or_else(|| usage())),
+            "--tenant" => tenant = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => {
+                rest.push(arg);
+                rest.extend(it);
+                break;
+            }
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    if rest.is_empty() {
+        usage();
+    }
+
+    let mut client = ServiceClient::connect(addr.as_str())
+        .unwrap_or_else(|e| fail(format_args!("cannot connect to {addr}: {e}")));
+    if let Some(tenant) = tenant {
+        client.hello(tenant).unwrap_or_else(|e| fail(e));
+    }
+
+    let cmd = rest[0].as_str();
+    let args = &rest[1..];
+    match (cmd, args) {
+        ("get", [branch, key]) => match client.get(branch, key).unwrap_or_else(|e| fail(e)) {
+            Some(value) => println!("{value}"),
+            None => std::process::exit(1),
+        },
+        ("put", [branch, key, value]) => {
+            client.put(branch, key, value).unwrap_or_else(|e| fail(e));
+        }
+        ("query", [branch]) => {
+            for (k, v) in client.query(branch).unwrap_or_else(|e| fail(e)) {
+                println!("{k}\t{v}");
+            }
+        }
+        ("watch", [branch, key, opts @ ..]) => watch(&mut client, branch, key, opts),
+        ("fork", [from, to]) => {
+            client.fork(from, to).unwrap_or_else(|e| fail(e));
+        }
+        ("merge", [into, from]) => {
+            client.merge(into, from).unwrap_or_else(|e| fail(e));
+        }
+        ("branches", []) => {
+            for b in client.branches().unwrap_or_else(|e| fail(e)) {
+                println!("{b}");
+            }
+        }
+        ("serve-status", []) => serve_status(&mut client),
+        _ => usage(),
+    }
+}
+
+/// Polls one key, printing each *newly observed* value (including the
+/// first observation, even `unset`) until `--count` values were printed.
+fn watch(client: &mut ServiceClient, branch: &str, key: &str, opts: &[String]) {
+    let mut interval = Duration::from_millis(200);
+    let mut count = u64::MAX;
+    let mut it = opts.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--interval-ms" => {
+                interval = Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--count" => count = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let mut last: Option<Option<String>> = None;
+    let mut printed = 0u64;
+    while printed < count {
+        let seen = client.get(branch, key).unwrap_or_else(|e| fail(e));
+        if last.as_ref() != Some(&seen) {
+            match &seen {
+                Some(v) => println!("{v}"),
+                None => println!("(unset)"),
+            }
+            printed += 1;
+            last = Some(seen);
+        }
+        if printed < count {
+            std::thread::sleep(interval);
+        }
+    }
+}
+
+fn serve_status(client: &mut ServiceClient) {
+    let ServiceResponse::Status {
+        node,
+        tick,
+        active_connections,
+        peak_connections,
+        connections_accepted,
+        frames_served,
+        branches,
+    } = client.status().unwrap_or_else(|e| fail(e))
+    else {
+        fail("malformed status response");
+    };
+    println!("node {node}");
+    println!("tick {tick}");
+    println!("active-connections {active_connections}");
+    println!("peak-connections {peak_connections}");
+    println!("connections-accepted {connections_accepted}");
+    println!("frames-served {frames_served}");
+    for (name, head, state) in branches {
+        println!("branch {name} {head} {state}");
+    }
+}

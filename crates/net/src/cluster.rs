@@ -97,7 +97,7 @@ impl<M: Mrdt + Send + Sync + 'static> Cluster<M> {
     }
 }
 
-impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + 'static> Cluster<M, B> {
+impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + Sync + 'static> Cluster<M, B> {
     /// The legacy shared-store simulation over an explicit backend:
     /// `replicas` branches of **one** store, one thread per branch. This
     /// is the pre-replication `Cluster` behaviour, preserved as a mode.
@@ -120,7 +120,7 @@ impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + 'static> Cluster<M, B>
     }
 
     /// A replicated cluster with one backend **per replica** — including
-    /// mixed fleets when `B` is `Box<dyn Backend + Send>` (some replicas
+    /// mixed fleets when `B` is `Box<dyn Backend + Send + Sync>` (some replicas
     /// in memory, some on disk). Replica `i` is named `replica-i`, holds
     /// its operations on branch `"main"`, and mints replica ids from a
     /// disjoint range (`i · 2^16`).

@@ -23,6 +23,11 @@
 //! * [`replica`] — [`Replica`] (a store that serves the protocol) and
 //!   [`Remote`] (a named link), with Git-shaped `fetch` / `pull` / `push`
 //!   and hash-verified ingest;
+//! * [`serve`] — the shared accept-loop machinery: [`FrameServer`] (one
+//!   serving thread per connection, connection cap with accept-time
+//!   backpressure, clean shutdown) parameterized by a [`FrameService`]
+//!   protocol handler — [`TcpServer`] and the `peepul-server` daemon are
+//!   both bindings of it;
 //! * [`anti_entropy`] — the [`AntiEntropy`] scheduler: periodic pairwise
 //!   pulls until quiescence;
 //! * [`cluster`] — the rebuilt [`Cluster`] facade: `n` real replicas over
@@ -71,6 +76,7 @@ pub mod cluster;
 pub mod error;
 pub mod message;
 pub mod replica;
+pub mod serve;
 pub mod tcp;
 pub mod transport;
 
@@ -79,5 +85,6 @@ pub use cluster::Cluster;
 pub use error::NetError;
 pub use message::{PackedObject, Request, Response};
 pub use replica::{FetchStats, PullOutcome, PullReport, PushReport, Remote, Replica};
+pub use serve::{ConnStats, FnService, FrameServer, FrameService, ServeOptions};
 pub use tcp::{TcpServer, TcpTransport};
 pub use transport::{ChannelTransport, FaultCounters, FaultInjector, Transport};

@@ -25,11 +25,20 @@
 //! transport request** — locks are taken per phase. Two replicas pulling
 //! from each other concurrently therefore cannot deadlock: each thread
 //! holds at most one replica lock at any instant.
+//!
+//! The store sits behind an `RwLock`, not a mutex: pure observations
+//! ([`Replica::read`], [`Replica::state`], the read-only protocol
+//! requests `FetchRefs`/`Want`/`GetStates`/`HaveObjects`) take the shared
+//! read lock and run concurrently with each other — the store's
+//! commit-free query path needs only `&self` — while mutations (applies,
+//! merges, ingest, `Push`) take the exclusive write lock. A server
+//! answering many sessions over one replica therefore serializes writes
+//! but never serializes reads behind them.
 
 use crate::error::NetError;
 use crate::message::{PackedObject, Request, Response};
 use crate::transport::Transport;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use peepul_core::{Mrdt, Wire};
 use peepul_store::sha256::Sha256;
 use peepul_store::{parse_commit_record, Backend, BranchStore, ObjectId, StoreError, TrackOutcome};
@@ -49,7 +58,7 @@ use std::sync::Arc;
 /// [`ChannelTransport`]: crate::transport::ChannelTransport
 /// [`TcpServer`]: crate::tcp::TcpServer
 pub struct Replica<M: Mrdt, B: Backend> {
-    store: Arc<Mutex<BranchStore<M, B>>>,
+    store: Arc<RwLock<BranchStore<M, B>>>,
     name: Arc<str>,
 }
 
@@ -77,7 +86,7 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
     /// explicit base yourself (as [`Cluster`](crate::Cluster) does).
     pub fn new(name: impl Into<String>, store: BranchStore<M, B>) -> Self {
         Replica {
-            store: Arc::new(Mutex::new(store)),
+            store: Arc::new(RwLock::new(store)),
             name: Arc::from(name.into()),
         }
     }
@@ -128,19 +137,28 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
         &self.name
     }
 
-    /// Runs `f` with the locked store. The closure must not block on
-    /// another replica's lock (transports do not — see the module docs).
+    /// Runs `f` with the store under the **exclusive write lock**. The
+    /// closure must not block on another replica's lock (transports do
+    /// not — see the module docs).
     pub fn with_store<R>(&self, f: impl FnOnce(&mut BranchStore<M, B>) -> R) -> R {
-        f(&mut self.store.lock())
+        f(&mut self.store.write())
     }
 
-    /// Answers a pure query against a local branch head (commit-free).
+    /// Runs `f` with the store under the **shared read lock**: any number
+    /// of readers run concurrently, and none of the store's mutating or
+    /// commit-minting paths are reachable through `&BranchStore`.
+    pub fn with_store_read<R>(&self, f: impl FnOnce(&BranchStore<M, B>) -> R) -> R {
+        f(&self.store.read())
+    }
+
+    /// Answers a pure query against a local branch head (commit-free,
+    /// under the shared read lock — concurrent with other readers).
     ///
     /// # Errors
     ///
     /// [`StoreError::UnknownBranch`] if the branch does not exist.
     pub fn read(&self, branch: &str, q: &M::Query) -> Result<M::Output, StoreError> {
-        self.store.lock().read(branch, q)
+        self.store.read().read(branch, q)
     }
 
     /// A local branch's current state (cheap `Arc` clone).
@@ -149,7 +167,7 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
     ///
     /// [`StoreError::UnknownBranch`] if the branch does not exist.
     pub fn state(&self, branch: &str) -> Result<Arc<M>, StoreError> {
-        self.store.lock().state(branch)
+        self.store.read().state(branch)
     }
 
     /// The content address of a local branch's head *state* — what the
@@ -160,7 +178,7 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
     ///
     /// [`StoreError::UnknownBranch`] if the branch does not exist.
     pub fn state_id(&self, branch: &str) -> Result<ObjectId, StoreError> {
-        self.store.lock().state_id(branch)
+        self.store.read().state_id(branch)
     }
 
     /// The content address of a local branch's head *commit*.
@@ -169,12 +187,12 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
     ///
     /// [`StoreError::UnknownBranch`] if the branch does not exist.
     pub fn head_id(&self, branch: &str) -> Result<ObjectId, StoreError> {
-        self.store.lock().head_id(branch)
+        self.store.read().head_id(branch)
     }
 
     /// Number of distinct objects in this replica's backend.
     pub fn object_count(&self) -> usize {
-        self.store.lock().backend().object_count()
+        self.store.read().backend().object_count()
     }
 }
 
@@ -183,9 +201,16 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
     /// server half of fetch and push. Errors are folded into
     /// [`Response::Error`] so a misbehaving client cannot poison the
     /// serving replica.
+    ///
+    /// Read-only requests (`FetchRefs`, `Want`, `GetStates`,
+    /// `HaveObjects`) are served under the shared read lock and run
+    /// concurrently; only `Push` takes the write lock.
     pub fn handle(&self, req: Request) -> Response {
-        let mut store = self.store.lock();
-        match serve(&mut store, req) {
+        let served = match req {
+            Request::Push { .. } => serve_write(&mut self.store.write(), req),
+            _ => serve_read(&self.store.read(), req),
+        };
+        match served {
             Ok(r) => r,
             Err(e) => Response::Error {
                 message: e.to_string(),
@@ -234,8 +259,8 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
             .map(|(_, oid)| *oid)
             .ok_or_else(|| NetError::UnknownRemoteBranch(branch.to_owned()))?;
 
-        // Phase 1 (local lock only): what do we already have?
-        let (haves, up_to_date) = self.with_store(|s| -> Result<_, StoreError> {
+        // Phase 1 (local read lock only): what do we already have?
+        let (haves, up_to_date) = self.with_store_read(|s| -> Result<_, StoreError> {
             let haves: Vec<ObjectId> = s.backend().refs()?.into_iter().map(|(_, o)| o).collect();
             Ok((haves, s.has_commit(head)))
         })?;
@@ -254,9 +279,9 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
         // missing commit subgraph, parents first.
         let commits = remote.want(&[head], &haves)?;
 
-        // Phase 3 (local lock only): which state objects do we lack?
+        // Phase 3 (local read lock only): which state objects do we lack?
         let mut need: Vec<ObjectId> = Vec::new();
-        self.with_store(|s| {
+        self.with_store_read(|s| {
             let mut seen = HashSet::new();
             for pc in &commits {
                 if let Some(meta) = parse_commit_record(&pc.bytes) {
@@ -350,7 +375,7 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
         let refs = remote.refs()?;
         let server_heads: Vec<ObjectId> = refs.iter().map(|(_, o)| *o).collect();
 
-        let (head, commits, state_ids) = self.with_store(|s| -> Result<_, NetError> {
+        let (head, commits, state_ids) = self.with_store_read(|s| -> Result<_, NetError> {
             let head = s.head_id(branch).map_err(NetError::Store)?;
             let missing = s.commits_between(&[head], &server_heads);
             let mut commits = Vec::with_capacity(missing.len());
@@ -383,7 +408,7 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
             .filter(|(_, has)| !**has)
             .map(|(id, _)| *id)
             .collect();
-        let states = self.with_store(|s| -> Result<Vec<PackedObject>, NetError> {
+        let states = self.with_store_read(|s| -> Result<Vec<PackedObject>, NetError> {
             need.iter()
                 .map(|id| {
                     // Canonical bytes straight from the backend — the
@@ -409,7 +434,7 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
 
 impl<M: Mrdt, B: Backend> fmt::Debug for Replica<M, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Replica({:?}, {:?})", &*self.name, self.store.lock())
+        write!(f, "Replica({:?}, {:?})", &*self.name, &*self.store.read())
     }
 }
 
@@ -640,9 +665,11 @@ fn ingest_pack<M: Mrdt, B: Backend>(
     })
 }
 
-/// The server side of [`Replica::handle`], with errors still explicit.
-fn serve<M: Mrdt, B: Backend>(
-    store: &mut BranchStore<M, B>,
+/// The read-only server side of [`Replica::handle`] — everything a peer
+/// can ask without changing this store, served from `&BranchStore` so any
+/// number of these run concurrently under the shared read lock.
+fn serve_read<M: Mrdt, B: Backend>(
+    store: &BranchStore<M, B>,
     req: Request,
 ) -> Result<Response, NetError> {
     match req {
@@ -679,6 +706,20 @@ fn serve<M: Mrdt, B: Backend>(
                 .collect::<Result<Vec<bool>, StoreError>>()?;
             Ok(Response::Haves { haves })
         }
+        Request::Push { .. } => Err(NetError::Protocol(
+            "push dispatched to the read-only path".into(),
+        )),
+    }
+}
+
+/// The mutating server side of [`Replica::handle`]: `Push` is the one
+/// request that changes the serving store, so it alone takes the write
+/// lock.
+fn serve_write<M: Mrdt, B: Backend>(
+    store: &mut BranchStore<M, B>,
+    req: Request,
+) -> Result<Response, NetError> {
+    match req {
         Request::Push {
             branch,
             head,
@@ -700,6 +741,7 @@ fn serve<M: Mrdt, B: Backend>(
                 TrackOutcome::Diverged => Ok(Response::PushDenied),
             }
         }
+        other => serve_read(store, other),
     }
 }
 
@@ -736,5 +778,42 @@ mod tests {
         let mut remote = Remote::new("b", ChannelTransport::connect(b.clone()));
         a.pull(&mut remote, "main").unwrap();
         assert_eq!(a.read("main", &CounterQuery::Value).unwrap(), 2);
+    }
+
+    /// The service-layer contract: the read path takes the *shared* lock,
+    /// so a reader holding it does not block another reader. If reads
+    /// were exclusive, the second `read` below would wait out the full
+    /// hold and trip the elapsed assertion.
+    #[test]
+    fn reads_run_concurrently_with_reads() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::{Duration, Instant};
+
+        let r: Replica<Counter, _> = Replica::open("a", "main", MemoryBackend::new()).unwrap();
+        r.with_store(|s| s.branch_mut("main").unwrap().apply(&CounterOp::Increment))
+            .unwrap();
+
+        let holding = std::sync::Arc::new(AtomicBool::new(false));
+        let held = std::sync::Arc::clone(&holding);
+        let holder = {
+            let r = r.clone();
+            std::thread::spawn(move || {
+                r.with_store_read(|s| {
+                    held.store(true, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(600));
+                    s.commit_count()
+                })
+            })
+        };
+        while !holding.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        let start = Instant::now();
+        assert_eq!(r.read("main", &CounterQuery::Value).unwrap(), 1);
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "a concurrent reader must not wait for the read-lock holder"
+        );
+        holder.join().unwrap();
     }
 }

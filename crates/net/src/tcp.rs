@@ -21,12 +21,12 @@
 
 use crate::error::NetError;
 use crate::replica::Replica;
+use crate::serve::{FnService, FrameServer, ServeOptions};
 use crate::transport::Transport;
 use peepul_core::Mrdt;
 use peepul_store::Backend;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
 const MAGIC: [u8; 4] = *b"PPL1";
@@ -43,7 +43,7 @@ fn checksum(bytes: &[u8]) -> u64 {
     h
 }
 
-fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), NetError> {
+pub(crate) fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), NetError> {
     let len = u32::try_from(payload.len())
         .ok()
         .filter(|l| *l <= MAX_FRAME)
@@ -68,7 +68,7 @@ fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, NetError> {
 }
 
 /// What one poll of a serving connection produced.
-enum ServerRead {
+pub(crate) enum ServerRead {
     Frame(Vec<u8>),
     Closed,
     /// The read timed out waiting for the next frame's first byte — no
@@ -79,7 +79,7 @@ enum ServerRead {
 /// Like [`read_frame`], but a timed-out wait for the *first* header byte
 /// reports [`ServerRead::Idle`] instead of failing (requires a read
 /// timeout on the stream).
-fn read_frame_polling(stream: &mut TcpStream) -> Result<ServerRead, NetError> {
+pub(crate) fn read_frame_polling(stream: &mut TcpStream) -> Result<ServerRead, NetError> {
     let mut first = [0u8; 1];
     match stream.read(&mut first) {
         Ok(0) => return Ok(ServerRead::Closed),
@@ -154,10 +154,13 @@ impl Transport for TcpTransport {
 
 /// A background thread serving one replica's store over TCP.
 ///
-/// Connections are served one at a time (accept → drain requests → next),
-/// which keeps the server deterministic enough for tests while remaining a
-/// real socket peer for any number of sequential clients. Dropping the
-/// server shuts it down.
+/// A thin protocol binding over the shared accept-loop machinery of
+/// [`FrameServer`]: every accepted connection
+/// gets its own serving thread (bounded by
+/// [`ServeOptions::max_connections`](crate::serve::ServeOptions)), each
+/// answering replication frames against the same [`Replica`] — whose
+/// internal `RwLock` keeps the read-only protocol requests concurrent.
+/// Dropping the server shuts it down.
 ///
 /// # Example
 ///
@@ -180,9 +183,7 @@ impl Transport for TcpTransport {
 /// ```
 #[derive(Debug)]
 pub struct TcpServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    inner: FrameServer,
 }
 
 impl TcpServer {
@@ -195,12 +196,13 @@ impl TcpServer {
     pub fn spawn<M, B>(replica: Replica<M, B>) -> Result<Self, NetError>
     where
         M: Mrdt + Send + Sync + 'static,
-        B: Backend + Send + 'static,
+        B: Backend + Send + Sync + 'static,
     {
         Self::bind(replica, "127.0.0.1:0")
     }
 
-    /// Binds an explicit address and starts serving `replica`.
+    /// Binds an explicit address and starts serving `replica` with the
+    /// default [`ServeOptions`].
     ///
     /// # Errors
     ///
@@ -208,71 +210,40 @@ impl TcpServer {
     pub fn bind<M, B>(replica: Replica<M, B>, addr: impl ToSocketAddrs) -> Result<Self, NetError>
     where
         M: Mrdt + Send + Sync + 'static,
-        B: Backend + Send + 'static,
+        B: Backend + Send + Sync + 'static,
     {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
-        let thread = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if flag.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(mut stream) = conn else { continue };
-                let _ = stream.set_nodelay(true);
-                // Poll the shutdown flag between frames: without a read
-                // timeout, a client that holds its connection open would
-                // pin this thread in `read` and make shutdown (and Drop)
-                // block until the client goes away.
-                let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
-                // Serve this connection until it closes or misframes.
-                loop {
-                    if flag.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    match read_frame_polling(&mut stream) {
-                        Ok(ServerRead::Frame(frame)) => {
-                            let response = replica.handle_frame(&frame);
-                            if write_frame(&mut stream, &response).is_err() {
-                                break;
-                            }
-                        }
-                        Ok(ServerRead::Idle) => continue,
-                        Ok(ServerRead::Closed) | Err(_) => break,
-                    }
-                }
-            }
-        });
-        Ok(TcpServer {
-            addr,
-            shutdown,
-            thread: Some(thread),
-        })
+        Self::bind_with(replica, addr, ServeOptions::default())
+    }
+
+    /// Binds an explicit address with explicit [`ServeOptions`]
+    /// (connection cap).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the bind fails.
+    pub fn bind_with<M, B>(
+        replica: Replica<M, B>,
+        addr: impl ToSocketAddrs,
+        options: ServeOptions,
+    ) -> Result<Self, NetError>
+    where
+        M: Mrdt + Send + Sync + 'static,
+        B: Backend + Send + Sync + 'static,
+    {
+        let service = Arc::new(FnService(move |frame: &[u8]| replica.handle_frame(frame)));
+        let inner = FrameServer::bind(service, addr, options)?;
+        Ok(TcpServer { inner })
     }
 
     /// The address clients connect to.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 
-    /// Stops accepting and joins the serving thread. Called automatically
-    /// on drop.
+    /// Stops accepting, interrupts open connections and joins every
+    /// serving thread. Called automatically on drop.
     pub fn shutdown(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Wake the blocking accept so the thread observes the flag.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for TcpServer {
-    fn drop(&mut self) {
-        self.shutdown();
+        self.inner.shutdown();
     }
 }
 
@@ -339,18 +310,46 @@ mod tests {
         let replica: Replica<Counter, _> =
             Replica::open("origin", "main", MemoryBackend::new()).unwrap();
         let server = TcpServer::spawn(replica).unwrap();
-        // Hold a connection open (and even mid-conversation) across the
-        // shutdown: the serving thread must notice the flag between
+        let addr = server.addr();
+        // Hold several connections open mid-conversation across the
+        // shutdown: each serving thread must notice the flag between
         // frames rather than blocking in read() forever.
-        let mut t = TcpTransport::connect(server.addr()).unwrap();
-        let resp = t.request(&crate::message::Request::FetchRefs.to_wire());
-        assert!(resp.is_ok());
+        let mut idle: Vec<TcpTransport> = (0..3)
+            .map(|_| {
+                let mut t = TcpTransport::connect(addr).unwrap();
+                let resp = t.request(&crate::message::Request::FetchRefs.to_wire());
+                assert!(resp.is_ok());
+                t
+            })
+            .collect();
+        // And shut down *mid-request*: a client hammering the server when
+        // the flag flips must not pin shutdown either — its in-flight
+        // request is answered or its connection is dropped, never hung.
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = std::sync::Arc::clone(&stop);
+        let hammer = std::thread::spawn(move || {
+            let mut t = TcpTransport::connect(addr).unwrap();
+            let mut answered = 0u64;
+            while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
+                match t.request(&crate::message::Request::FetchRefs.to_wire()) {
+                    Ok(_) => answered += 1,
+                    Err(_) => break, // server went away mid-request
+                }
+            }
+            answered
+        });
+        // Let the hammer get some requests in flight first.
+        std::thread::sleep(std::time::Duration::from_millis(100));
         let start = std::time::Instant::now();
         drop(server); // runs shutdown() + join()
         assert!(
             start.elapsed() < std::time::Duration::from_secs(5),
-            "shutdown must not wait for the client to hang up"
+            "shutdown must not wait for clients to hang up"
         );
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let answered = hammer.join().unwrap();
+        assert!(answered > 0, "the hammering client was being served");
+        drop(idle.drain(..));
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! The `peepul-server` binary: a durable multi-tenant KV daemon.
+//!
+//! ```text
+//! peepul-server --listen 127.0.0.1:7401 --data /var/lib/peepul/n1 \
+//!     --name n1 --peer 127.0.0.1:7402 --peer 127.0.0.1:7403
+//! ```
+//!
+//! Prints `peepul-server <name> listening on <addr>` once serving (the
+//! smoke script scrapes this line for the bound ephemeral port), then
+//! runs until killed. State lives in the `--data` directory's segment
+//! backend, so a restarted node comes back with its full history and
+//! clock.
+
+use peepul_server::{Server, ServerConfig};
+use peepul_store::SegmentBackend;
+use std::time::Duration;
+
+struct Args {
+    listen: String,
+    data: String,
+    config: ServerConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: peepul-server --listen ADDR --data DIR --name NAME \
+         [--root-branch BRANCH] [--peer ADDR]... [--max-conns N] \
+         [--sync-interval-ms MS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut listen = None;
+    let mut data = None;
+    let mut name = None;
+    let mut root_branch = "main".to_owned();
+    let mut peers = Vec::new();
+    let mut max_connections = 64usize;
+    let mut sync_interval = Duration::from_millis(500);
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--listen" => listen = Some(value()),
+            "--data" => data = Some(value()),
+            "--name" => name = Some(value()),
+            "--root-branch" => root_branch = value(),
+            "--peer" => peers.push(value()),
+            "--max-conns" => {
+                max_connections = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--sync-interval-ms" => {
+                sync_interval = Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+
+    let (Some(listen), Some(data), Some(name)) = (listen, data, name) else {
+        usage();
+    };
+    Args {
+        listen,
+        data,
+        config: ServerConfig {
+            name,
+            root_branch,
+            max_connections,
+            peers,
+            sync_interval,
+        },
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let backend = match SegmentBackend::open(&args.data) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "peepul-server: cannot open data directory {}: {e}",
+                args.data
+            );
+            std::process::exit(1);
+        }
+    };
+    let name = args.config.name.clone();
+    let server = match Server::spawn(args.config, args.listen.as_str(), backend) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("peepul-server: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The line the smoke script (and operators) scrape for the bound port.
+    println!("peepul-server {name} listening on {}", server.addr());
+
+    // Serving happens on the accept/connection threads; this thread only
+    // keeps the process (and thereby the Server) alive.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,594 @@
+//! The daemon: one durable [`Replica`] served concurrently to clients and
+//! peers over a single port.
+//!
+//! [`Server`] binds a [`FrameServer`] (the shared accept-loop machinery
+//! of `peepul-net`: one serving thread per connection, a hard connection
+//! cap with accept-time backpressure) over a dispatching
+//! [`FrameService`]: frames whose tag byte is below
+//! [`SERVICE_TAG_BASE`](crate::service::SERVICE_TAG_BASE) are replication
+//! protocol requests answered by [`Replica::handle_frame`], everything
+//! else is a [`ServiceRequest`] run in the connection's [`Session`].
+//!
+//! ## Concurrency model
+//!
+//! The store sits behind the replica's `RwLock`. `Get`/`Query`/`Status`/
+//! `Branches` and the read-only replication requests take the shared read
+//! lock and run concurrently across any number of sessions — the store's
+//! query path is commit-free and needs only `&self`. `Put`/`Fork`/`Merge`
+//! and pushed packs take the write lock and serialize. Backpressure is
+//! layered: past `max_connections` the acceptor stops accepting (clients
+//! queue in the OS listen backlog), and within a connection the
+//! one-frame-at-a-time request/response discipline bounds in-flight work
+//! to one request per session.
+//!
+//! ## Peering
+//!
+//! A background thread runs an anti-entropy round every `sync_interval`:
+//! for each configured peer it pulls every advertised non-tracking branch
+//! and pushes every local non-tracking branch (ignoring non-fast-forward
+//! refusals — the next round pulls, merges and retries). Unreachable
+//! peers are skipped, so a fleet can be started in any order.
+
+use crate::service::{Kv, ServiceRequest, ServiceResponse, Session, TRACKING_PREFIX};
+use peepul_core::wire::Wire;
+use peepul_net::{
+    ConnStats, FrameServer, FrameService, NetError, Remote, Replica, ServeOptions, TcpTransport,
+};
+use peepul_store::{Backend, StoreError};
+use peepul_types::lww_register::{LwwOp, LwwQuery};
+use peepul_types::map::{MapOp, MapQuery};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a [`Server`] is to be run: identity, limits and peering.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// The node's replica name (determines its timestamp replica-id
+    /// range — must be unique across a fleet).
+    pub name: String,
+    /// The branch every node starts with and new branches fork from.
+    pub root_branch: String,
+    /// Hard cap on concurrently served connections.
+    pub max_connections: usize,
+    /// Peer addresses (`host:port`) to anti-entropy with.
+    pub peers: Vec<String>,
+    /// Delay between anti-entropy rounds. Ignored when `peers` is empty.
+    pub sync_interval: Duration,
+}
+
+impl ServerConfig {
+    /// A config with the given node name and the defaults: root branch
+    /// `main`, 64 connections, no peers, 500 ms sync interval.
+    pub fn new(name: impl Into<String>) -> Self {
+        ServerConfig {
+            name: name.into(),
+            root_branch: "main".into(),
+            max_connections: 64,
+            peers: Vec::new(),
+            sync_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What one anti-entropy round did (one pass over every peer).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SyncRoundReport {
+    /// Peers that answered.
+    pub peers_reached: usize,
+    /// Peers that could not be reached (skipped, not fatal).
+    pub peers_unreachable: usize,
+    /// Branches pulled (fetched and integrated) across all peers.
+    pub branches_pulled: usize,
+    /// Branches pushed (accepted fast-forwards) across all peers.
+    pub branches_pushed: usize,
+}
+
+/// The `peepul-server` daemon: a durable multi-tenant KV service over one
+/// [`Replica`], serving clients and peers concurrently on one port.
+#[derive(Debug)]
+pub struct Server<B: Backend + Send + Sync + 'static> {
+    replica: Replica<Kv, B>,
+    frames: FrameServer,
+    sync_shutdown: Arc<AtomicBool>,
+    sync_thread: Option<JoinHandle<()>>,
+    name: String,
+}
+
+impl<B: Backend + Send + Sync + 'static> Server<B> {
+    /// Opens (or creates) the store on `backend`, binds `listen` and
+    /// starts serving. When `config.peers` is non-empty, also starts the
+    /// background anti-entropy thread.
+    ///
+    /// # Errors
+    ///
+    /// Store errors from [`Replica::open`] (a corrupt or foreign
+    /// backend); [`NetError::Io`] when the bind fails.
+    pub fn spawn(
+        config: ServerConfig,
+        listen: impl ToSocketAddrs,
+        backend: B,
+    ) -> Result<Self, NetError> {
+        let replica: Replica<Kv, B> =
+            Replica::open(config.name.clone(), config.root_branch.clone(), backend)?;
+        let stats = ConnStats::default();
+        let service = Arc::new(KvService {
+            replica: replica.clone(),
+            node: config.name.clone(),
+            root_branch: config.root_branch.clone(),
+            stats: stats.clone(),
+        });
+        let frames = FrameServer::bind_with_stats(
+            service,
+            listen,
+            ServeOptions {
+                max_connections: config.max_connections,
+            },
+            stats,
+        )?;
+
+        let sync_shutdown = Arc::new(AtomicBool::new(false));
+        let sync_thread = if config.peers.is_empty() {
+            None
+        } else {
+            let replica = replica.clone();
+            let peers = config.peers.clone();
+            let interval = config.sync_interval;
+            let flag = Arc::clone(&sync_shutdown);
+            Some(std::thread::spawn(move || {
+                while !flag.load(Ordering::SeqCst) {
+                    let _ = sync_round(&replica, &peers);
+                    // Sleep in small slices so shutdown is prompt even
+                    // under long intervals.
+                    let mut remaining = interval;
+                    while !remaining.is_zero() && !flag.load(Ordering::SeqCst) {
+                        let slice = remaining.min(Duration::from_millis(50));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
+            }))
+        };
+
+        Ok(Server {
+            replica,
+            frames,
+            sync_shutdown,
+            sync_thread,
+            name: config.name,
+        })
+    }
+
+    /// The address clients and peers connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.frames.addr()
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The replica this server serves — the in-process handle tests and
+    /// embedding applications use.
+    pub fn replica(&self) -> &Replica<Kv, B> {
+        &self.replica
+    }
+
+    /// Currently served connections.
+    pub fn active_connections(&self) -> usize {
+        self.frames.active_connections()
+    }
+
+    /// The most connections ever served at once.
+    pub fn peak_connections(&self) -> usize {
+        self.frames.peak_connections()
+    }
+
+    /// Request frames answered over the server's lifetime.
+    pub fn frames_served(&self) -> u64 {
+        self.frames.frames_served()
+    }
+
+    /// Runs one anti-entropy round against `peers` right now, on the
+    /// calling thread — deterministic syncing for tests and benches (the
+    /// background thread runs exactly this).
+    pub fn sync_with(&self, peers: &[String]) -> SyncRoundReport {
+        sync_round(&self.replica, peers)
+    }
+
+    /// Stops the sync thread and the frame server (joining every serving
+    /// thread). Called automatically on drop; idempotent.
+    pub fn shutdown(&mut self) {
+        self.sync_shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.sync_thread.take() {
+            let _ = t.join();
+        }
+        self.frames.shutdown();
+    }
+}
+
+impl<B: Backend + Send + Sync + 'static> Drop for Server<B> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One anti-entropy round: pull every non-tracking branch each reachable
+/// peer advertises, then push every local non-tracking branch (ignoring
+/// divergence refusals — pulled next round, merged, retried).
+fn sync_round<B: Backend>(replica: &Replica<Kv, B>, peers: &[String]) -> SyncRoundReport {
+    let mut report = SyncRoundReport::default();
+    for peer in peers {
+        let Ok(transport) = TcpTransport::connect(peer.as_str()) else {
+            report.peers_unreachable += 1;
+            continue;
+        };
+        let mut remote = Remote::new(peer.clone(), transport);
+        let Ok(refs) = remote.refs() else {
+            report.peers_unreachable += 1;
+            continue;
+        };
+        report.peers_reached += 1;
+        for (branch, _) in refs {
+            if branch.starts_with(TRACKING_PREFIX) {
+                continue;
+            }
+            if replica.pull(&mut remote, &branch).is_ok() {
+                report.branches_pulled += 1;
+            }
+        }
+        let locals: Vec<String> = replica.with_store_read(|s| {
+            s.branch_names()
+                .iter()
+                .filter(|b| !b.starts_with(TRACKING_PREFIX))
+                .map(|b| (*b).to_owned())
+                .collect()
+        });
+        for branch in locals {
+            // Divergence refusals are resolved by the next round's
+            // pull+merge; other errors are transient network conditions.
+            if replica.push(&mut remote, &branch).is_ok() {
+                report.branches_pushed += 1;
+            }
+        }
+    }
+    report
+}
+
+/// The dispatching [`FrameService`]: replication frames to the replica,
+/// service frames to the KV command handler, each connection carrying its
+/// own [`Session`].
+struct KvService<B: Backend + Send + Sync + 'static> {
+    replica: Replica<Kv, B>,
+    node: String,
+    root_branch: String,
+    stats: ConnStats,
+}
+
+impl<B: Backend + Send + Sync + 'static> FrameService for KvService<B> {
+    type Session = Session;
+
+    fn open_session(&self) -> Session {
+        Session::default()
+    }
+
+    fn handle(&self, frame: &[u8], session: &mut Session) -> Vec<u8> {
+        if frame
+            .first()
+            .is_some_and(|tag| *tag < crate::service::SERVICE_TAG_BASE)
+        {
+            return self.replica.handle_frame(frame);
+        }
+        let resp = match ServiceRequest::from_wire(frame) {
+            None => ServiceResponse::Err {
+                message: "undecodable service frame".into(),
+            },
+            Some(req) => match self.serve(req, session) {
+                Ok(resp) => resp,
+                Err(message) => ServiceResponse::Err { message },
+            },
+        };
+        resp.to_wire()
+    }
+}
+
+/// Folds store errors into the service's string error channel.
+fn store_err(e: StoreError) -> String {
+    e.to_string()
+}
+
+impl<B: Backend + Send + Sync + 'static> KvService<B> {
+    fn serve(&self, req: ServiceRequest, session: &mut Session) -> Result<ServiceResponse, String> {
+        match req {
+            ServiceRequest::Hello { tenant } => {
+                Session::validate_tenant(&tenant)?;
+                session.tenant = Some(tenant);
+                Ok(ServiceResponse::Ok)
+            }
+            ServiceRequest::Get { branch, key } => {
+                let branch = session.resolve(&branch)?;
+                // Commit-free and under the shared read lock: concurrent
+                // with every other reader. An unknown branch reads as
+                // empty — tenants see a uniform keyspace before their
+                // first put.
+                let value = match self
+                    .replica
+                    .read(&branch, &MapQuery::Get(key, LwwQuery::Read))
+                {
+                    Ok(v) => v,
+                    Err(StoreError::UnknownBranch(_)) => None,
+                    Err(e) => return Err(store_err(e)),
+                };
+                Ok(ServiceResponse::Value { value })
+            }
+            ServiceRequest::Put { branch, key, value } => {
+                let branch = session.resolve(&branch)?;
+                let root = &self.root_branch;
+                self.replica
+                    .with_store(|s| -> Result<(), StoreError> {
+                        if !s.has_branch(&branch) {
+                            // First put to a fresh namespace: fork the
+                            // root branch so every tenant branch shares
+                            // the common ancestor.
+                            s.branch_mut(root)?.fork(branch.clone())?;
+                        }
+                        s.branch_mut(&branch)?
+                            .apply(&MapOp::Set(key, LwwOp::Write(value)))?;
+                        Ok(())
+                    })
+                    .map_err(store_err)?;
+                Ok(ServiceResponse::Ok)
+            }
+            ServiceRequest::Query { branch } => {
+                let branch = session.resolve(&branch)?;
+                let entries = self.replica.with_store_read(|s| match s.state(&branch) {
+                    Ok(state) => Ok(state
+                        .keys()
+                        .filter_map(|k| {
+                            state
+                                .get(k)
+                                .and_then(|reg| reg.get().cloned())
+                                .map(|v| (k.to_owned(), v))
+                        })
+                        .collect()),
+                    Err(StoreError::UnknownBranch(_)) => Ok(Vec::new()),
+                    Err(e) => Err(store_err(e)),
+                })?;
+                Ok(ServiceResponse::Table { entries })
+            }
+            ServiceRequest::Fork { from, to } => {
+                let from = session.resolve(&from)?;
+                let to = session.resolve(&to)?;
+                self.replica
+                    .with_store(|s| s.branch_mut(&from).and_then(|mut b| b.fork(to)))
+                    .map_err(store_err)?;
+                Ok(ServiceResponse::Ok)
+            }
+            ServiceRequest::Merge { into, from } => {
+                let into = session.resolve(&into)?;
+                let from = session.resolve(&from)?;
+                self.replica
+                    .with_store(|s| s.branch_mut(&into).and_then(|mut b| b.merge_from(&from)))
+                    .map_err(store_err)?;
+                Ok(ServiceResponse::Ok)
+            }
+            ServiceRequest::Branches => {
+                let branches = self.replica.with_store_read(|s| {
+                    let names = s.branch_names();
+                    match &session.tenant {
+                        Some(tenant) => {
+                            let prefix = format!("{tenant}/");
+                            names
+                                .iter()
+                                .filter_map(|b| b.strip_prefix(&prefix))
+                                .map(str::to_owned)
+                                .collect()
+                        }
+                        None => names
+                            .iter()
+                            .filter(|b| !b.starts_with(TRACKING_PREFIX))
+                            .map(|b| (*b).to_owned())
+                            .collect(),
+                    }
+                });
+                Ok(ServiceResponse::BranchList { branches })
+            }
+            ServiceRequest::Status => {
+                let (tick, branches) = self.replica.with_store_read(|s| {
+                    let branches = s
+                        .branch_names()
+                        .iter()
+                        .map(|b| {
+                            let head = s.head_id(b).expect("listed branch has a head");
+                            let state = s.state_id(b).expect("listed branch has a state");
+                            ((*b).to_owned(), head, state)
+                        })
+                        .collect();
+                    (s.tick(), branches)
+                });
+                Ok(ServiceResponse::Status {
+                    node: self.node.clone(),
+                    tick,
+                    active_connections: self.stats.active() as u64,
+                    peak_connections: self.stats.peak() as u64,
+                    connections_accepted: self.stats.accepted(),
+                    frames_served: self.stats.frames(),
+                    branches,
+                })
+            }
+        }
+    }
+}
+
+/// A typed client for the service protocol — one connection, one session.
+///
+/// This is what `peepul-cli` (and the benches and tests) speak; it reuses
+/// [`TcpTransport`]'s framing, so replication traffic and service traffic
+/// are byte-compatible on the same socket.
+#[derive(Debug)]
+pub struct ServiceClient {
+    transport: TcpTransport,
+}
+
+impl ServiceClient {
+    /// Connects to a `peepul-server`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        Ok(ServiceClient {
+            transport: TcpTransport::connect(addr)?,
+        })
+    }
+
+    /// Sends one request and decodes the response. Peer-reported errors
+    /// surface as [`NetError::Remote`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; [`NetError::BadFrame`] on an undecodable
+    /// response; [`NetError::Remote`] when the server reports an error.
+    pub fn call(&mut self, req: &ServiceRequest) -> Result<ServiceResponse, NetError> {
+        use peepul_net::Transport;
+        let frame = self.transport.request(&req.to_wire())?;
+        match ServiceResponse::from_wire(&frame) {
+            None => Err(NetError::BadFrame("undecodable service response".into())),
+            Some(ServiceResponse::Err { message }) => Err(NetError::Remote(message)),
+            Some(resp) => Ok(resp),
+        }
+    }
+
+    /// Binds the session to a tenant namespace.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::call`].
+    pub fn hello(&mut self, tenant: impl Into<String>) -> Result<(), NetError> {
+        match self.call(&ServiceRequest::Hello {
+            tenant: tenant.into(),
+        })? {
+            ServiceResponse::Ok => Ok(()),
+            r => Err(unexpected("Ok", &r)),
+        }
+    }
+
+    /// Reads one key.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::call`].
+    pub fn get(
+        &mut self,
+        branch: impl Into<String>,
+        key: impl Into<String>,
+    ) -> Result<Option<String>, NetError> {
+        match self.call(&ServiceRequest::Get {
+            branch: branch.into(),
+            key: key.into(),
+        })? {
+            ServiceResponse::Value { value } => Ok(value),
+            r => Err(unexpected("Value", &r)),
+        }
+    }
+
+    /// Writes one key.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::call`].
+    pub fn put(
+        &mut self,
+        branch: impl Into<String>,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<(), NetError> {
+        match self.call(&ServiceRequest::Put {
+            branch: branch.into(),
+            key: key.into(),
+            value: value.into(),
+        })? {
+            ServiceResponse::Ok => Ok(()),
+            r => Err(unexpected("Ok", &r)),
+        }
+    }
+
+    /// Dumps a branch's full table.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::call`].
+    pub fn query(&mut self, branch: impl Into<String>) -> Result<Vec<(String, String)>, NetError> {
+        match self.call(&ServiceRequest::Query {
+            branch: branch.into(),
+        })? {
+            ServiceResponse::Table { entries } => Ok(entries),
+            r => Err(unexpected("Table", &r)),
+        }
+    }
+
+    /// Forks a branch.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::call`].
+    pub fn fork(&mut self, from: impl Into<String>, to: impl Into<String>) -> Result<(), NetError> {
+        match self.call(&ServiceRequest::Fork {
+            from: from.into(),
+            to: to.into(),
+        })? {
+            ServiceResponse::Ok => Ok(()),
+            r => Err(unexpected("Ok", &r)),
+        }
+    }
+
+    /// Merges `from` into `into`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::call`].
+    pub fn merge(
+        &mut self,
+        into: impl Into<String>,
+        from: impl Into<String>,
+    ) -> Result<(), NetError> {
+        match self.call(&ServiceRequest::Merge {
+            into: into.into(),
+            from: from.into(),
+        })? {
+            ServiceResponse::Ok => Ok(()),
+            r => Err(unexpected("Ok", &r)),
+        }
+    }
+
+    /// Lists the session's visible branches.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::call`].
+    pub fn branches(&mut self) -> Result<Vec<String>, NetError> {
+        match self.call(&ServiceRequest::Branches)? {
+            ServiceResponse::BranchList { branches } => Ok(branches),
+            r => Err(unexpected("BranchList", &r)),
+        }
+    }
+
+    /// The node's status response, undigested.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::call`].
+    pub fn status(&mut self) -> Result<ServiceResponse, NetError> {
+        match self.call(&ServiceRequest::Status)? {
+            s @ ServiceResponse::Status { .. } => Ok(s),
+            r => Err(unexpected("Status", &r)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &ServiceResponse) -> NetError {
+    NetError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}

@@ -47,7 +47,7 @@ pub struct BackendStats {
 ///   durability is write → fsync → publish, see
 ///   [`SegmentBackend`](crate::SegmentBackend)).
 ///
-/// The trait is object-safe; `Box<dyn Backend + Send>` implements it too,
+/// The trait is object-safe; `Box<dyn Backend + Send + Sync>` implements it too,
 /// which is how the test harness drives every suite over both backends.
 pub trait Backend: fmt::Debug {
     /// Stores `bytes` under their content address and returns it.
@@ -323,7 +323,7 @@ mod tests {
 
     #[test]
     fn boxed_backend_delegates() {
-        let mut b: Box<dyn Backend + Send> = Box::new(MemoryBackend::new());
+        let mut b: Box<dyn Backend + Send + Sync> = Box::new(MemoryBackend::new());
         let id = b.put(b"boxed").unwrap();
         assert!(b.contains(id).unwrap());
         assert_eq!(b.kind(), "memory");

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the service layer: a 3-node peepul-server
+# fleet driven entirely through peepul-cli.
+#
+#   scripts/service_smoke.sh [BIN_DIR]
+#
+# BIN_DIR defaults to target/release; it must contain peepul-server and
+# peepul-cli (CI builds them first: cargo build --release -p
+# peepul-server -p peepul-cli).
+#
+# The scenario: three nodes on ephemeral ports, each peering with the
+# previously started ones (anti-entropy is pull+push, so a chain
+# suffices to connect the fleet). Writes, forks and merges land on
+# *different* nodes; the test then polls `peepul-cli serve-status` until
+# every node reports identical heads for every non-tracking branch, and
+# finally asserts each node serves every write. The whole run is bounded
+# by a hard timeout and always tears the fleet down.
+
+set -euo pipefail
+
+BIN_DIR="${1:-target/release}"
+SERVER="$BIN_DIR/peepul-server"
+CLI="$BIN_DIR/peepul-cli"
+DEADLINE_SECS="${SMOKE_DEADLINE_SECS:-60}"
+
+for bin in "$SERVER" "$CLI"; do
+  if [ ! -x "$bin" ]; then
+    echo "service_smoke: missing binary $bin (build with: cargo build --release -p peepul-server -p peepul-cli)" >&2
+    exit 2
+  fi
+done
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/peepul-smoke.XXXXXX")"
+PIDS=()
+
+cleanup() {
+  local status=$?
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  if [ "$status" -ne 0 ]; then
+    echo "--- node logs ---" >&2
+    cat "$WORK"/n*.log >&2 || true
+    # Keep $WORK so CI can upload the logs as an artifact.
+  else
+    rm -rf "$WORK"
+  fi
+  exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+# Absolute hard stop: if anything below wedges (a node that never
+# converges, a cli call that hangs), this watchdog kills the whole
+# process group rather than letting CI idle until the job timeout.
+( sleep "$((DEADLINE_SECS + 30))" && echo "service_smoke: HARD TIMEOUT" >&2 && kill -- -$$ ) &
+WATCHDOG=$!
+disown "$WATCHDOG" 2>/dev/null || true
+
+start_node() { # name, peers...
+  local name="$1"; shift
+  local peer_flags=()
+  for p in "$@"; do peer_flags+=(--peer "$p"); done
+  "$SERVER" --listen 127.0.0.1:0 --data "$WORK/$name" --name "$name" \
+    --sync-interval-ms 200 "${peer_flags[@]+"${peer_flags[@]}"}" \
+    > "$WORK/$name.log" 2>&1 &
+  PIDS+=($!)
+  # Scrape the announced ephemeral port.
+  for _ in $(seq 1 50); do
+    if grep -q "listening on" "$WORK/$name.log"; then break; fi
+    sleep 0.1
+  done
+  grep -o "listening on .*" "$WORK/$name.log" | awk '{print $3}'
+}
+
+echo "== starting 3-node fleet"
+A=$(start_node n1)
+B=$(start_node n2 "$A")
+C=$(start_node n3 "$A" "$B")
+echo "   n1=$A n2=$B n3=$C"
+
+echo "== writes, forks and merges against different nodes"
+"$CLI" --addr "$A" put main city lyon
+"$CLI" --addr "$B" put main river rhone
+"$CLI" --addr "$C" put main country france
+# A fork worked on one node, merged back on another.
+"$CLI" --addr "$A" fork main feature
+"$CLI" --addr "$A" put feature dish quenelle
+# Let the fork replicate before merging it elsewhere.
+deadline=$((SECONDS + DEADLINE_SECS))
+until "$CLI" --addr "$B" get feature dish >/dev/null 2>&1; do
+  if [ "$SECONDS" -ge "$deadline" ]; then
+    echo "service_smoke: FAIL — fork never replicated to n2" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+"$CLI" --addr "$B" merge main feature
+# Tenant traffic rides the same fleet.
+"$CLI" --addr "$C" --tenant acme put main secret s3cret
+
+echo "== waiting for convergence (identical non-tracking heads on every node)"
+heads() { # addr -> sorted "branch name head state" lines, tracking branches excluded
+  "$CLI" --addr "$1" serve-status | grep '^branch ' | grep -v '^branch remote/' | sort
+}
+deadline=$((SECONDS + DEADLINE_SECS))
+while true; do
+  HA=$(heads "$A"); HB=$(heads "$B"); HC=$(heads "$C")
+  if [ -n "$HA" ] && [ "$HA" = "$HB" ] && [ "$HB" = "$HC" ]; then
+    break
+  fi
+  if [ "$SECONDS" -ge "$deadline" ]; then
+    echo "service_smoke: FAIL — fleet did not converge within ${DEADLINE_SECS}s" >&2
+    printf 'n1:\n%s\nn2:\n%s\nn3:\n%s\n' "$HA" "$HB" "$HC" >&2
+    exit 1
+  fi
+  sleep 0.3
+done
+echo "$HA" | sed 's/^/   /'
+
+echo "== every node serves every write"
+for addr in "$A" "$B" "$C"; do
+  [ "$("$CLI" --addr "$addr" get main city)" = "lyon" ]
+  [ "$("$CLI" --addr "$addr" get main river)" = "rhone" ]
+  [ "$("$CLI" --addr "$addr" get main country)" = "france" ]
+  [ "$("$CLI" --addr "$addr" get main dish)" = "quenelle" ]   # merged from the fork
+  [ "$("$CLI" --addr "$addr" --tenant acme get main secret)" = "s3cret" ]
+done
+
+kill "$WATCHDOG" 2>/dev/null || true
+echo "service_smoke: PASS"

@@ -108,8 +108,8 @@ pub mod prelude {
         Timestamp, Wire,
     };
     pub use peepul_net::{
-        AntiEntropy, ChannelTransport, Cluster, FaultInjector, NetError, Remote, Replica,
-        TcpServer, TcpTransport, Transport,
+        AntiEntropy, ChannelTransport, Cluster, FaultInjector, FrameServer, FrameService, NetError,
+        Remote, Replica, TcpServer, TcpTransport, Transport,
     };
     pub use peepul_store::{
         Backend, BranchId, BranchMut, BranchRef, BranchStore, CommitMeta, MemoryBackend,

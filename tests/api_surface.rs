@@ -23,7 +23,9 @@
 //! commit record, used by both the reopen path and fetch negotiation) and
 //! removed the `Hash`-stream machinery from `peepul::store`
 //! (`Sha256Hasher` is gone; `canonical_bytes`/`content_id` now take
-//! `Wire`, the single canonical codec every `Mrdt` carries).
+//! `Wire`, the single canonical codec every `Mrdt` carries). The service
+//! layer added `FrameServer`/`FrameService` — the shared accept-loop
+//! machinery the `peepul-server` daemon is built on.
 
 macro_rules! surface {
     ($($name:ident),* $(,)?) => {
@@ -57,6 +59,8 @@ surface![
     EwFlag,
     EwFlagSpace,
     FaultInjector,
+    FrameServer,
+    FrameService,
     GMap,
     GSet,
     LwwRegister,
@@ -100,7 +104,7 @@ fn prelude_surface_matches_golden() {
     );
     assert_eq!(
         golden.len(),
-        49,
+        51,
         "prelude surface changed size — update the golden list *and* the \
          expected count deliberately"
     );

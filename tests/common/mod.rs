@@ -15,7 +15,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Produces a fresh backend per store the test builds.
-pub type BackendFactory<'a> = dyn FnMut() -> Box<dyn Backend + Send> + 'a;
+pub type BackendFactory<'a> = dyn FnMut() -> Box<dyn Backend + Send + Sync> + 'a;
 
 static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -50,14 +50,14 @@ impl Drop for Scratch {
 /// space per test.
 pub fn for_each_backend(tag: &str, mut test: impl FnMut(&str, &mut BackendFactory<'_>)) {
     {
-        let mut make: Box<dyn FnMut() -> Box<dyn Backend + Send>> =
+        let mut make: Box<dyn FnMut() -> Box<dyn Backend + Send + Sync>> =
             Box::new(|| Box::new(MemoryBackend::new()));
         test("memory", &mut *make);
     }
     {
         let scratch = Scratch::new(tag);
         let mut n = 0u32;
-        let mut make: Box<dyn FnMut() -> Box<dyn Backend + Send>> = Box::new(|| {
+        let mut make: Box<dyn FnMut() -> Box<dyn Backend + Send + Sync>> = Box::new(|| {
             n += 1;
             Box::new(
                 SegmentBackend::open_with(

@@ -28,7 +28,7 @@ use peepul::types::counter::CounterOp;
 use peepul::types::or_set_space::{OrSetOp, OrSetSpace};
 use proptest::prelude::*;
 
-type DynBackend = Box<dyn Backend + Send>;
+type DynBackend = Box<dyn Backend + Send + Sync>;
 
 fn memory() -> DynBackend {
     Box::new(MemoryBackend::new())

@@ -15,7 +15,7 @@ use peepul::types::map::MapOp;
 use peepul::types::or_set_space::{OrSetOp, OrSetOutput, OrSetQuery};
 use peepul::types::queue::{QueueOp, QueueValue};
 
-type Db<M> = BranchStore<M, Box<dyn Backend + Send>>;
+type Db<M> = BranchStore<M, Box<dyn Backend + Send + Sync>>;
 
 fn open<M: Mrdt>(make: &mut BackendFactory<'_>, root: &str) -> Db<M> {
     BranchStore::with_backend(root, make()).expect("open store")

@@ -18,7 +18,7 @@ use peepul::types::counter::{CounterOp, CounterQuery};
 use peepul::types::or_set::{OrSet, OrSetOp, OrSetQuery};
 use proptest::prelude::*;
 
-type Db<M> = BranchStore<M, Box<dyn Backend + Send>>;
+type Db<M> = BranchStore<M, Box<dyn Backend + Send + Sync>>;
 
 fn open<M: Mrdt>(make: &mut BackendFactory<'_>, root: &str) -> Db<M> {
     BranchStore::with_backend(root, make()).expect("open store")
