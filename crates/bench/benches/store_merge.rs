@@ -103,7 +103,10 @@ fn bench_backend_publish(c: &mut Criterion) {
                 run += 1;
                 let backend = SegmentBackend::open_with(
                     scratch.join(run.to_string()),
-                    SegmentOptions { durable: false },
+                    SegmentOptions {
+                        durable: false,
+                        ..SegmentOptions::default()
+                    },
                 )
                 .unwrap();
                 let mut s: BranchStore<OrSetSpace<u64>, _> =

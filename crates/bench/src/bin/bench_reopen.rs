@@ -68,7 +68,10 @@ fn scratch(tag: &str) -> PathBuf {
 /// Fsync off: the benchmark measures the recovery walk + decode, not the
 /// build-time disk flushing.
 fn opts() -> SegmentOptions {
-    SegmentOptions { durable: false }
+    SegmentOptions {
+        durable: false,
+        ..SegmentOptions::default()
+    }
 }
 
 /// Publishes a `commits`-deep two-branch OR-set history (every commit a

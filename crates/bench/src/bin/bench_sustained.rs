@@ -1,0 +1,351 @@
+//! **Sustained-write benchmark** — the storage-engine half of the CI
+//! perf gate: group commit, segment rotation and GC under a durable
+//! write load.
+//!
+//! Every run drives the same commit load through a *durable*
+//! `SegmentBackend` (`durable: true`, real fsyncs, a small rotation cap
+//! so the load spans many segments) at three durability batch sizes:
+//!
+//! * batch 1 — `FlushPolicy::PerCommit`, one fsync per commit;
+//! * batch 16 / batch 128 — `FlushPolicy::Explicit` with an explicit
+//!   `flush` every N commits, i.e. group commit with N commits riding
+//!   one fsync.
+//!
+//! Gated metrics:
+//!
+//! * `sustained_commits_per_sec_batch{1,16,128}` (higher);
+//! * `fsyncs_per_commit_batch1` (lower) — must stay ~1, this is the
+//!   "group commit means *one* fsync per durability point" invariant;
+//! * `group_commit_speedup` — batch-128 over batch-1 throughput
+//!   (higher), **hard-gated: the run fails unless ≥ 5.0**;
+//! * `post_gc_disk_amplification` — on-disk bytes over live payload
+//!   bytes after a GC + compaction pass on a history that stranded
+//!   ~half its commits (lower), **hard-gated: the run fails unless
+//!   < 2.0**.
+//!
+//! The two hard gates hold regardless of any baseline: they are
+//! absolute properties of the engine, not regression checks. On top of
+//! that, `--baseline <path>` applies the usual contract shared with the
+//! other bench bins: compare every metric when the file exists (exit 1
+//! on a > `--tolerance` regression, default 0.25), else write the file
+//! so the first CI run establishes the baseline.
+//!
+//! Run: `cargo run --release -p peepul-bench --bin bench_sustained -- \
+//!           --out BENCH_sustained.json --baseline BENCH_sustained.baseline.json`
+
+use peepul_store::{BranchStore, FlushPolicy, SegmentBackend, SegmentOptions};
+use peepul_types::counter::{Counter, CounterOp};
+use peepul_types::or_set_space::{OrSetOp, OrSetSpace};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Direction of improvement for a metric.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Better {
+    Higher,
+    Lower,
+}
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+    better: Better,
+}
+
+fn quick_mode(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--quick")
+        || std::env::var("PEEPUL_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "peepul-bench-sustained-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Durable, with a rotation cap small enough that every run rolls the
+/// active segment several times — rotation cost is part of the number.
+fn opts(flush: FlushPolicy) -> SegmentOptions {
+    SegmentOptions {
+        durable: true,
+        flush,
+        max_segment_bytes: 256 * 1024,
+    }
+}
+
+/// Drives `commits` single-op counter commits on one branch with a
+/// durability point every `batch` commits. The counter's tiny state
+/// keeps the CPU side of a commit small, so the measurement isolates
+/// the durability cost the batch size controls. Returns `(secs,
+/// fsyncs)`.
+fn write_load(dir: &Path, commits: u32, batch: u32) -> (f64, u64) {
+    let flush = if batch == 1 {
+        FlushPolicy::PerCommit
+    } else {
+        FlushPolicy::Explicit
+    };
+    let backend = SegmentBackend::open_with(dir, opts(flush)).expect("open segment");
+    let mut db: BranchStore<Counter, _> =
+        BranchStore::with_backend("main", backend).expect("create store");
+    let fsyncs_at_start = db.backend().fsync_count();
+    let start = Instant::now();
+    for i in 0..commits {
+        db.branch_mut("main")
+            .unwrap()
+            .apply(&CounterOp::Increment)
+            .unwrap();
+        if batch > 1 && (i + 1) % batch == 0 {
+            db.flush().unwrap();
+        }
+    }
+    db.flush().unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    (secs, db.backend().fsync_count() - fsyncs_at_start)
+}
+
+/// Builds a history where roughly half of all commits end up stranded
+/// (scratch branches repointed back to their fork base), runs GC +
+/// compaction, and returns `(disk_bytes, live_bytes, dead_objects)`.
+fn gc_amplification(dir: &Path, commits: u32) -> (u64, u64, u64) {
+    let backend =
+        SegmentBackend::open_with(dir, opts(FlushPolicy::Explicit)).expect("open segment");
+    let mut db: BranchStore<OrSetSpace<u64>, _> =
+        BranchStore::with_backend("main", backend).expect("create store");
+    for i in 0..commits {
+        db.branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Add(u64::from(i) % 512))
+            .unwrap();
+        // Every other commit, strand a one-commit scratch branch: real
+        // garbage for the tracer, the way rejected pushes or abandoned
+        // work leave it behind.
+        if i % 2 == 0 {
+            let name = format!("scratch{i}");
+            db.branch_mut("main").unwrap().fork(&name).unwrap();
+            db.branch_mut(&name)
+                .unwrap()
+                .apply(&OrSetOp::Add(u64::from(i) + 1_000_000))
+                .unwrap();
+            let base = db.head_id("main").unwrap();
+            db.force_track(&name, base).unwrap();
+        }
+    }
+    let stats = db.collect_garbage().expect("collect garbage");
+    db.flush().unwrap();
+    (
+        db.backend().disk_bytes(),
+        stats.live_bytes,
+        stats.dead_objects,
+    )
+}
+
+/// Renders the report as JSON (hand-rolled: the workspace deliberately
+/// has no serde; EXPERIMENTS.md documents this schema).
+fn render_json(metrics: &[Metric], quick: bool, info: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"peepul/bench-sustained/v1\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"metrics\": {{");
+    for (i, m) in metrics.iter().enumerate() {
+        let better = match m.better {
+            Better::Higher => "higher",
+            Better::Lower => "lower",
+        };
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"value\": {:.6}, \"better\": \"{better}\" }}{comma}",
+            m.name, m.value
+        );
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"info\": {{");
+    for (i, (name, value)) in info.iter().enumerate() {
+        let comma = if i + 1 < info.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{name}\": {value:.6}{comma}");
+    }
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `"name": { "value": <f64>` from a report produced by
+/// `render_json` (tolerant scan, not a general JSON parser).
+fn baseline_value(json: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\"");
+    let after_key = &json[json.find(&key)? + key.len()..];
+    let after_value = &after_key[after_key.find("\"value\":")? + "\"value\":".len()..];
+    let num: String = after_value
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = quick_mode(&args);
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_sustained.json".into());
+    let baseline_path = flag_value(&args, "--baseline");
+    let tolerance: f64 = flag_value(&args, "--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a number"))
+        .unwrap_or(0.25);
+
+    let (commits, gc_commits) = if quick { (1_024, 400) } else { (4_096, 2_000) };
+    println!(
+        "# bench_sustained ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut throughput = Vec::new(); // (batch, commits/s, fsyncs/commit)
+    for batch in [1u32, 16, 128] {
+        let dir = scratch(&format!("batch-{batch}"));
+        let (secs, fsyncs) = write_load(&dir, commits, batch);
+        let cps = f64::from(commits) / secs;
+        let fpc = fsyncs as f64 / f64::from(commits);
+        println!(
+            "batch {batch:>3}             : {cps:>10.0} commits/s, {fpc:.3} fsyncs/commit \
+             ({commits} commits in {:.2}s)",
+            secs
+        );
+        throughput.push((batch, cps, fpc));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let speedup = throughput[2].1 / throughput[0].1;
+    println!("group commit speedup  : {speedup:.2}x (batch 128 vs batch 1)");
+
+    let dir = scratch("gc");
+    let (disk_bytes, live_bytes, dead_objects) = gc_amplification(&dir, gc_commits);
+    let amplification = disk_bytes as f64 / live_bytes as f64;
+    println!(
+        "post-GC amplification : {amplification:.3} ({disk_bytes} disk bytes / {live_bytes} live \
+         bytes, {dead_objects} objects collected)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let metrics = [
+        Metric {
+            name: "sustained_commits_per_sec_batch1",
+            value: throughput[0].1,
+            better: Better::Higher,
+        },
+        Metric {
+            name: "sustained_commits_per_sec_batch16",
+            value: throughput[1].1,
+            better: Better::Higher,
+        },
+        Metric {
+            name: "sustained_commits_per_sec_batch128",
+            value: throughput[2].1,
+            better: Better::Higher,
+        },
+        Metric {
+            name: "fsyncs_per_commit_batch1",
+            value: throughput[0].2,
+            better: Better::Lower,
+        },
+        Metric {
+            name: "group_commit_speedup",
+            value: speedup,
+            better: Better::Higher,
+        },
+        Metric {
+            name: "post_gc_disk_amplification",
+            value: amplification,
+            better: Better::Lower,
+        },
+    ];
+    let info: Vec<(String, f64)> = vec![
+        ("commits_per_run".into(), f64::from(commits)),
+        ("gc_run_commits".into(), f64::from(gc_commits)),
+        ("gc_dead_objects".into(), dead_objects as f64),
+        ("gc_disk_bytes".into(), disk_bytes as f64),
+        ("gc_live_bytes".into(), live_bytes as f64),
+        ("fsyncs_per_commit_batch16".into(), throughput[1].2),
+        ("fsyncs_per_commit_batch128".into(), throughput[2].2),
+    ];
+
+    let json = render_json(&metrics, quick, &info);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    // Absolute gates first: these are engine properties, not regressions,
+    // so they hold even on the baseline-establishing first run.
+    let mut failed = false;
+    if speedup < 5.0 {
+        eprintln!("FAIL: group commit speedup {speedup:.2}x is below the 5.0x floor");
+        failed = true;
+    }
+    if amplification >= 2.0 {
+        eprintln!("FAIL: post-GC disk amplification {amplification:.3} is not below 2.0");
+        failed = true;
+    }
+
+    if let Some(baseline_path) = baseline_path {
+        match std::fs::read_to_string(&baseline_path) {
+            Err(_) => {
+                // First run: establish the baseline (CI commits this file).
+                std::fs::write(&baseline_path, &json).expect("write baseline");
+                println!("no baseline found; wrote initial baseline to {baseline_path}");
+            }
+            Ok(baseline) => {
+                // Only gate against a baseline recorded in the same mode.
+                let baseline_quick = baseline.contains("\"quick\": true");
+                if baseline_quick != quick {
+                    println!(
+                        "baseline at {baseline_path} was recorded in {} mode, this run is {} mode — skipping the regression gate",
+                        if baseline_quick { "quick" } else { "full" },
+                        if quick { "quick" } else { "full" },
+                    );
+                } else {
+                    for m in &metrics {
+                        let Some(base) = baseline_value(&baseline, m.name) else {
+                            println!("baseline lacks {} — skipping", m.name);
+                            continue;
+                        };
+                        let (bad, ratio) = match m.better {
+                            Better::Higher => (
+                                m.value < base * (1.0 - tolerance),
+                                m.value / base.max(f64::MIN_POSITIVE),
+                            ),
+                            Better::Lower => (
+                                m.value > base * (1.0 + tolerance),
+                                base / m.value.max(f64::MIN_POSITIVE),
+                            ),
+                        };
+                        println!(
+                            "{:<36} {:>14.3} vs baseline {:>14.3}  ({:.2}x) {}",
+                            m.name,
+                            m.value,
+                            base,
+                            ratio,
+                            if bad { "REGRESSED" } else { "ok" }
+                        );
+                        if bad {
+                            eprintln!(
+                                "FAIL: {} regressed more than {:.0}% vs baseline",
+                                m.name,
+                                tolerance * 100.0
+                            );
+                            failed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -712,6 +712,58 @@ fn serve_read<M: Mrdt, B: Backend>(
     }
 }
 
+/// Whether accepting `head` on `branch` would be refused as diverged —
+/// answered **before** anything is ingested, by walking `head`'s
+/// ancestry through the pack's commit records and, where the walk
+/// reaches commits the store already knows, through the local graph.
+///
+/// Without this pre-check a denied push still landed its transferred
+/// objects: every retry of a diverged hammering client grew the backend
+/// with commits no ref would ever reach (reclaimable only by GC). The
+/// walk is read-only and costs at most one record parse per pack commit.
+fn push_would_diverge<M: Mrdt, B: Backend>(
+    store: &BranchStore<M, B>,
+    branch: &str,
+    head: ObjectId,
+    commits: &[PackedObject],
+) -> Result<bool, NetError> {
+    let Ok(local) = store.head_id(branch) else {
+        return Ok(false); // no such branch: the push would create it
+    };
+    let local_cid = store.find_commit(local);
+    let pack: std::collections::HashMap<ObjectId, &[u8]> =
+        commits.iter().map(|p| (p.id, p.bytes.as_slice())).collect();
+    let mut stack = vec![head];
+    let mut seen: HashSet<ObjectId> = HashSet::new();
+    while let Some(oid) = stack.pop() {
+        if !seen.insert(oid) {
+            continue;
+        }
+        if oid == local {
+            return Ok(false); // fast-forward (or no-op): contains our head
+        }
+        if let Some(cid) = store.find_commit(oid) {
+            // Store-known subtree: answer from the local graph instead of
+            // walking record by record.
+            if local_cid.is_some_and(|l| store.graph().is_ancestor(l, cid)) {
+                return Ok(false);
+            }
+            continue;
+        }
+        if let Some(bytes) = pack.get(&oid) {
+            // Unverified bytes — fine for a conservative pre-check: the
+            // real ingest re-verifies everything before landing. A record
+            // that does not even parse cannot make the push acceptable.
+            if let Some(meta) = parse_commit_record(bytes) {
+                stack.extend(meta.parents);
+            }
+        }
+        // Neither local nor in the pack: this line of ancestry cannot
+        // contain our head (ingest would reject such a pack anyway).
+    }
+    Ok(true)
+}
+
 /// The mutating server side of [`Replica::handle`]: `Push` is the one
 /// request that changes the serving store, so it alone takes the write
 /// lock.
@@ -726,6 +778,11 @@ fn serve_write<M: Mrdt, B: Backend>(
             commits,
             states,
         } => {
+            // Refuse a diverged push *before* ingesting its objects, or
+            // every denied push leaks its pack into the backend.
+            if push_would_diverge(store, &branch, head, &commits)? {
+                return Ok(Response::PushDenied);
+            }
             ingest_pack(store, &commits, &states)?;
             if !store.has_commit(head) {
                 return Err(NetError::Protocol(format!(

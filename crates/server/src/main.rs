@@ -12,22 +12,38 @@
 //! clock.
 
 use peepul_server::{Server, ServerConfig};
-use peepul_store::SegmentBackend;
+use peepul_store::{FlushPolicy, SegmentBackend, SegmentOptions};
 use std::time::Duration;
 
 struct Args {
     listen: String,
     data: String,
     config: ServerConfig,
+    options: SegmentOptions,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: peepul-server --listen ADDR --data DIR --name NAME \
          [--root-branch BRANCH] [--peer ADDR]... [--max-conns N] \
-         [--sync-interval-ms MS]"
+         [--sync-interval-ms MS] [--flush per-commit|coalesced:MS|explicit] \
+         [--segment-bytes N]"
     );
     std::process::exit(2);
+}
+
+/// `per-commit`, `coalesced:MS` or `explicit`.
+fn parse_flush(arg: &str) -> Option<FlushPolicy> {
+    match arg {
+        "per-commit" => Some(FlushPolicy::PerCommit),
+        "explicit" => Some(FlushPolicy::Explicit),
+        other => {
+            let ms: u64 = other.strip_prefix("coalesced:")?.parse().ok()?;
+            Some(FlushPolicy::Coalesced {
+                max_delay: Duration::from_millis(ms),
+            })
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -38,6 +54,7 @@ fn parse_args() -> Args {
     let mut peers = Vec::new();
     let mut max_connections = 64usize;
     let mut sync_interval = Duration::from_millis(500);
+    let mut options = SegmentOptions::default();
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -54,6 +71,12 @@ fn parse_args() -> Args {
             "--sync-interval-ms" => {
                 sync_interval = Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
             }
+            "--flush" => {
+                options.flush = parse_flush(&value()).unwrap_or_else(|| usage());
+            }
+            "--segment-bytes" => {
+                options.max_segment_bytes = value().parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -65,6 +88,12 @@ fn parse_args() -> Args {
     let (Some(listen), Some(data), Some(name)) = (listen, data, name) else {
         usage();
     };
+    // A non-per-commit policy defers fsyncs to the background flusher;
+    // bound the exposure at one second.
+    let flush_interval = match options.flush {
+        FlushPolicy::PerCommit => None,
+        FlushPolicy::Coalesced { .. } | FlushPolicy::Explicit => Some(Duration::from_secs(1)),
+    };
     Args {
         listen,
         data,
@@ -74,13 +103,15 @@ fn parse_args() -> Args {
             max_connections,
             peers,
             sync_interval,
+            flush_interval,
         },
+        options,
     }
 }
 
 fn main() {
     let args = parse_args();
-    let backend = match SegmentBackend::open(&args.data) {
+    let backend = match SegmentBackend::open_with(&args.data, args.options) {
         Ok(b) => b,
         Err(e) => {
             eprintln!(

@@ -57,11 +57,19 @@ pub struct ServerConfig {
     pub peers: Vec<String>,
     /// Delay between anti-entropy rounds. Ignored when `peers` is empty.
     pub sync_interval: Duration,
+    /// When set, a background thread flushes the store to stable storage
+    /// at this interval — the companion of a coalesced/explicit
+    /// [`FlushPolicy`](peepul_store::FlushPolicy) backend: sessions
+    /// commit without paying a per-commit fsync and this bounds how long
+    /// acknowledged writes may stay volatile. `None` (the default) means
+    /// the backend's own policy is the whole durability story.
+    pub flush_interval: Option<Duration>,
 }
 
 impl ServerConfig {
     /// A config with the given node name and the defaults: root branch
-    /// `main`, 64 connections, no peers, 500 ms sync interval.
+    /// `main`, 64 connections, no peers, 500 ms sync interval, no
+    /// background flusher.
     pub fn new(name: impl Into<String>) -> Self {
         ServerConfig {
             name: name.into(),
@@ -69,6 +77,7 @@ impl ServerConfig {
             max_connections: 64,
             peers: Vec::new(),
             sync_interval: Duration::from_millis(500),
+            flush_interval: None,
         }
     }
 }
@@ -94,6 +103,7 @@ pub struct Server<B: Backend + Send + Sync + 'static> {
     frames: FrameServer,
     sync_shutdown: Arc<AtomicBool>,
     sync_thread: Option<JoinHandle<()>>,
+    flush_thread: Option<JoinHandle<()>>,
     name: String,
 }
 
@@ -152,11 +162,30 @@ impl<B: Backend + Send + Sync + 'static> Server<B> {
             }))
         };
 
+        let flush_thread = config.flush_interval.map(|interval| {
+            let replica = replica.clone();
+            let flag = Arc::clone(&sync_shutdown);
+            std::thread::spawn(move || {
+                while !flag.load(Ordering::SeqCst) {
+                    // One sync covers every commit any session landed
+                    // since the last pass — group commit across sessions.
+                    let _ = replica.with_store(|s| s.flush());
+                    let mut remaining = interval;
+                    while !remaining.is_zero() && !flag.load(Ordering::SeqCst) {
+                        let slice = remaining.min(Duration::from_millis(50));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
+            })
+        });
+
         Ok(Server {
             replica,
             frames,
             sync_shutdown,
             sync_thread,
+            flush_thread,
             name: config.name,
         })
     }
@@ -205,6 +234,12 @@ impl<B: Backend + Send + Sync + 'static> Server<B> {
         self.sync_shutdown.store(true, Ordering::SeqCst);
         if let Some(t) = self.sync_thread.take() {
             let _ = t.join();
+        }
+        if let Some(t) = self.flush_thread.take() {
+            let _ = t.join();
+            // A clean shutdown persists everything the flusher was
+            // amortizing, whatever the backend's policy.
+            let _ = self.replica.with_store(|s| s.flush());
         }
         self.frames.shutdown();
     }

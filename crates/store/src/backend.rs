@@ -19,7 +19,7 @@
 use crate::error::StoreError;
 use crate::object::ObjectId;
 use crate::sha256::Sha256;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -33,6 +33,27 @@ pub struct BackendStats {
     pub dedup_hits: u64,
 }
 
+/// What a garbage-collection sweep found (and, for
+/// [`Backend::collect_garbage`], reclaimed): stored objects partitioned
+/// against a caller-supplied live set.
+///
+/// `dead` objects are those present in the backend but absent from the
+/// live set — orphaned forks, superseded scratch states, the leftovers of
+/// a rejected push. `live_bytes` is the denominator of *disk
+/// amplification* (bytes on disk ÷ live bytes), the storage-health metric
+/// the sustained-write bench gates on.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Stored objects in the live set.
+    pub live_objects: u64,
+    /// Stored objects *not* in the live set (reclaimable).
+    pub dead_objects: u64,
+    /// Payload bytes of the live objects.
+    pub live_bytes: u64,
+    /// Payload bytes of the dead objects.
+    pub dead_bytes: u64,
+}
+
 /// Abstract object persistence: content-addressed immutable objects plus
 /// named mutable refs.
 ///
@@ -42,10 +63,14 @@ pub struct BackendStats {
 ///   same bytes twice stores one object;
 /// * `get(id)` returns exactly the bytes that were put (or `None`);
 /// * refs are last-writer-wins by `set_ref` order;
-/// * once `put`/`set_ref` returns `Ok`, the write is *published*: a
-///   persistent backend must survive reopen with it intact (crash
-///   durability is write → fsync → publish, see
-///   [`SegmentBackend`](crate::SegmentBackend)).
+/// * once `put`/`set_ref` returns `Ok`, the write is *published*:
+///   subsequent reads through the same backend observe it, and a
+///   persistent backend recovers a **prefix** of the publish order after
+///   a crash — never a reordering or a gap. *When* the prefix is forced
+///   to stable storage is governed by the backend's flush policy (see
+///   [`FlushPolicy`](crate::FlushPolicy) and [`Backend::commit_boundary`]);
+///   under the per-commit default every completed commit boundary is
+///   durable.
 ///
 /// The trait is object-safe; `Box<dyn Backend + Send + Sync>` implements it too,
 /// which is how the test harness drives every suite over both backends.
@@ -123,6 +148,50 @@ pub trait Backend: fmt::Debug {
     /// [`StoreError::Io`] on persistence failure.
     fn flush(&mut self) -> Result<(), StoreError>;
 
+    /// Signals that the writes since the last boundary form one logical
+    /// commit (a transaction, one `apply`, one ingested pack). Persistent
+    /// backends schedule durability here per their flush policy — one
+    /// fsync per *commit* (or fewer, under a coalesced/explicit policy),
+    /// never one per record. The default is a full [`Backend::flush`],
+    /// which is always correct.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on persistence failure.
+    fn commit_boundary(&mut self) -> Result<(), StoreError> {
+        self.flush()
+    }
+
+    /// Partitions the stored objects against `live` without reclaiming
+    /// anything — a dry run of [`Backend::collect_garbage`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on read failure.
+    fn sweep_stats(&self, live: &HashSet<ObjectId>) -> Result<SweepStats, StoreError>;
+
+    /// Reclaims every stored object **not** in `live`, returning the
+    /// sweep that was applied. The caller owns the liveness argument:
+    /// [`BranchStore::collect_garbage`](crate::BranchStore::collect_garbage)
+    /// traces `live` from the branch refs through the commit graph, so
+    /// anything reachable from a published head is never passed as dead.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on persistence failure.
+    fn collect_garbage(&mut self, live: &HashSet<ObjectId>) -> Result<SweepStats, StoreError>;
+
+    /// Reorganizes storage for read efficiency without dropping anything
+    /// (for [`SegmentBackend`](crate::SegmentBackend): fold sealed
+    /// segments into one packed file). Volatile backends no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on persistence failure.
+    fn compact(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
     /// A short human-readable backend name (`"memory"`, `"segment"`).
     fn kind(&self) -> &'static str;
 }
@@ -166,6 +235,22 @@ impl<B: Backend + ?Sized> Backend for Box<B> {
 
     fn flush(&mut self) -> Result<(), StoreError> {
         (**self).flush()
+    }
+
+    fn commit_boundary(&mut self) -> Result<(), StoreError> {
+        (**self).commit_boundary()
+    }
+
+    fn sweep_stats(&self, live: &HashSet<ObjectId>) -> Result<SweepStats, StoreError> {
+        (**self).sweep_stats(live)
+    }
+
+    fn collect_garbage(&mut self, live: &HashSet<ObjectId>) -> Result<SweepStats, StoreError> {
+        (**self).collect_garbage(live)
+    }
+
+    fn compact(&mut self) -> Result<(), StoreError> {
+        (**self).compact()
     }
 
     fn kind(&self) -> &'static str {
@@ -261,6 +346,30 @@ impl Backend for MemoryBackend {
         Ok(())
     }
 
+    fn commit_boundary(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn sweep_stats(&self, live: &HashSet<ObjectId>) -> Result<SweepStats, StoreError> {
+        let mut stats = SweepStats::default();
+        for (id, bytes) in &self.objects {
+            if live.contains(id) {
+                stats.live_objects += 1;
+                stats.live_bytes += bytes.len() as u64;
+            } else {
+                stats.dead_objects += 1;
+                stats.dead_bytes += bytes.len() as u64;
+            }
+        }
+        Ok(stats)
+    }
+
+    fn collect_garbage(&mut self, live: &HashSet<ObjectId>) -> Result<SweepStats, StoreError> {
+        let stats = self.sweep_stats(live)?;
+        self.objects.retain(|id, _| live.contains(id));
+        Ok(stats)
+    }
+
     fn kind(&self) -> &'static str {
         "memory"
     }
@@ -319,6 +428,24 @@ mod tests {
         assert_eq!(b.get(content_id(&0u8)).unwrap(), None);
         assert!(!b.contains(content_id(&0u8)).unwrap());
         assert_eq!(b.get_ref("nope").unwrap(), None);
+    }
+
+    #[test]
+    fn memory_collect_garbage_retains_only_live() {
+        let mut b = MemoryBackend::new();
+        let keep = b.put(b"keep").unwrap();
+        let drop_ = b.put(b"drop").unwrap();
+        let live: HashSet<ObjectId> = [keep].into_iter().collect();
+
+        let dry = b.sweep_stats(&live).unwrap();
+        assert_eq!((dry.live_objects, dry.dead_objects), (1, 1));
+        assert_eq!(b.object_count(), 2, "sweep_stats is a dry run");
+
+        let swept = b.collect_garbage(&live).unwrap();
+        assert_eq!(swept, dry);
+        assert_eq!(b.object_count(), 1);
+        assert!(b.contains(keep).unwrap());
+        assert!(!b.contains(drop_).unwrap());
     }
 
     #[test]

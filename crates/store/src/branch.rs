@@ -33,7 +33,7 @@
 //! the same triples over and over, and the cache turns those repeated
 //! O(state) merges into lookups.
 
-use crate::backend::{Backend, MemoryBackend};
+use crate::backend::{Backend, MemoryBackend, SweepStats};
 use crate::dag::{CommitGraph, CommitId};
 use crate::error::StoreError;
 use crate::memo::{MergeCacheStats, MergeMemo};
@@ -251,6 +251,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
                 id,
             },
         );
+        store.durability_point()?;
         Ok(store)
     }
 
@@ -470,6 +471,14 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         self.backend.set_ref(branch, self.commit_ids[head.index()])
     }
 
+    /// Marks the end of one logical commit (an apply, a merge, a fork, a
+    /// whole transaction, an ingested pack): the backend schedules
+    /// durability here per its flush policy — the group-commit seam that
+    /// turns N record appends into at most one fsync.
+    pub(crate) fn durability_point(&mut self) -> Result<(), StoreError> {
+        self.backend.commit_boundary()
+    }
+
     /// The branch names, sorted lexicographically.
     ///
     /// The order is **guaranteed deterministic** across backends and runs
@@ -602,6 +611,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
                 id: id.clone(),
             },
         );
+        self.durability_point()?;
         Ok(id)
     }
 
@@ -619,6 +629,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             .get_mut(branch)
             .expect("branch checked above")
             .head = new_head;
+        self.durability_point()?;
         Ok(value)
     }
 
@@ -706,6 +717,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             .get_mut(into)
             .expect("branch checked above")
             .head = new_head;
+        self.durability_point()?;
         Ok(())
     }
 
@@ -725,6 +737,17 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         &self.backend
     }
 
+    /// Mutable access to the persistence backend — for storage
+    /// maintenance (forcing a rotation, injecting crash faults in tests).
+    /// Writing objects or refs behind the store's back desynchronizes its
+    /// in-memory graph; prefer the store-level methods
+    /// ([`BranchStore::collect_garbage`],
+    /// [`BranchStore::compact_storage`], [`BranchStore::flush`]) for
+    /// anything the store models itself.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
     /// Flushes the backend to stable storage.
     ///
     /// # Errors
@@ -732,6 +755,83 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     /// [`StoreError::Io`] on persistence failure.
     pub fn flush(&mut self) -> Result<(), StoreError> {
         self.backend.flush()
+    }
+
+    /// The backend objects reachable from the branch table: every branch
+    /// head, every ancestor commit record, and the state each one
+    /// references — the commit graph *is* the reachability index, so
+    /// tracing is a parent walk, no backend reads.
+    ///
+    /// Everything else in the backend is garbage by construction:
+    /// orphaned fork roots whose branch was never created, superseded
+    /// scratch states, objects a rejected push transferred but never
+    /// referenced.
+    pub fn live_objects(&self) -> HashSet<ObjectId> {
+        let mut live = HashSet::new();
+        let mut stack: Vec<CommitId> = self.branches.values().map(|b| b.head).collect();
+        let mut seen: HashSet<CommitId> = stack.iter().copied().collect();
+        while let Some(c) = stack.pop() {
+            live.insert(self.commit_ids[c.index()]);
+            live.insert(self.state_ids[c.index()]);
+            for &p in self.graph.parents(c) {
+                if seen.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        live
+    }
+
+    /// What a [`BranchStore::collect_garbage`] would reclaim, without
+    /// reclaiming it — liveness traced by [`BranchStore::live_objects`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on backend read failure.
+    pub fn sweep_stats(&self) -> Result<SweepStats, StoreError> {
+        self.backend.sweep_stats(&self.live_objects())
+    }
+
+    /// Reference-tracing garbage collection: marks every object reachable
+    /// from a branch head ([`BranchStore::live_objects`]) and has the
+    /// backend reclaim the rest (for
+    /// [`SegmentBackend`](crate::SegmentBackend): rotate, then compact the
+    /// sealed files into one pack holding only live objects).
+    ///
+    /// Safe by construction: the store publishes state and commit bytes
+    /// *before* the ref that makes them reachable, `&mut self` excludes
+    /// concurrent writers mid-publish, and the trace runs over the
+    /// in-memory graph — so no object reachable from a published ref can
+    /// be classified dead.
+    ///
+    /// Collected commits take their Lamport mints with them: a later
+    /// [`BranchStore::open`] recovers the clock as the maximum over
+    /// *reachable* history (the live store's clock never moves
+    /// backwards, so in-process timestamps stay unique either way).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on backend failure.
+    pub fn collect_garbage(&mut self) -> Result<SweepStats, StoreError> {
+        let live = self.live_objects();
+        let stats = self.backend.collect_garbage(&live)?;
+        // Forget the collected addresses in the replication indexes too:
+        // `ingest_pack` skips objects `has_commit` claims to know, and a
+        // stale index entry would let a re-pushed collected commit land
+        // without its bytes.
+        self.commit_index.retain(|oid, _| live.contains(oid));
+        self.state_index.retain(|oid, _| live.contains(oid));
+        Ok(stats)
+    }
+
+    /// Compacts backend storage for read efficiency without reclaiming
+    /// anything (see [`Backend::compact`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on backend failure.
+    pub fn compact_storage(&mut self) -> Result<(), StoreError> {
+        self.backend.compact()
     }
 
     /// Merge-cache hit/miss counters (for the bench pipeline).
@@ -980,6 +1080,8 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             self.backend.put_known(*id, bytes)?;
             self.install_commit(parent_cids, state, meta.state, *id);
         }
+        // One pack, one durability point — however many objects landed.
+        self.durability_point()?;
         Ok(IngestReport {
             commits: fresh.len() as u64,
             states: states.len() as u64,
@@ -1064,6 +1166,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
                 self.next_replica += 1;
                 self.branches
                     .insert(name.to_owned(), BranchInfo { head, replica, id });
+                self.durability_point()?;
                 Ok(TrackOutcome::Created)
             }
             Some(info) if info.head == head => Ok(TrackOutcome::Unchanged),
@@ -1074,6 +1177,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
                 }
                 self.set_head(name, head)?;
                 self.branches.get_mut(name).expect("branch checked").head = head;
+                self.durability_point()?;
                 Ok(if fast_forward {
                     TrackOutcome::FastForwarded
                 } else {

@@ -406,6 +406,9 @@ impl<M: Mrdt, B: Backend> Transaction<'_, '_, M, B> {
             .get_mut(&*id)
             .expect("transaction branch exists")
             .head = new_head;
+        // However many ops were staged, the whole batch is one logical
+        // commit: one durability point, at most one fsync.
+        store.durability_point()?;
         Ok(())
     }
 }

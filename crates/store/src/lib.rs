@@ -15,9 +15,11 @@
 //! * **content addressing** of states by SHA-256, implemented from scratch
 //!   ([`sha256`], [`object`]),
 //! * **pluggable persistence backends** behind the [`Backend`] trait —
-//!   the interning in-memory store and a crash-safe append-only on-disk
-//!   segment ([`backend`], [`segment`]) — every state/commit the branch
-//!   store creates is published under its content address,
+//!   the interning in-memory store and a crash-safe multi-segment
+//!   on-disk engine with rotation, compaction, group commit
+//!   ([`FlushPolicy`]) and reference-tracing GC ([`backend`],
+//!   [`segment`]) — every state/commit the branch store creates is
+//!   published under its content address,
 //! * **merge memoization** keyed by `(lca, left, right)` content-address
 //!   triples, which recursive virtual merges on criss-cross histories
 //!   repeatedly re-derive ([`memo`]),
@@ -70,7 +72,7 @@ pub mod segment;
 pub mod semantics;
 pub mod sha256;
 
-pub use backend::{Backend, BackendStats, MemoryBackend};
+pub use backend::{Backend, BackendStats, MemoryBackend, SweepStats};
 pub use branch::{
     commit_record, parse_commit_record, BranchId, BranchMut, BranchRef, BranchStore, CommitMeta,
     IngestReport, TrackOutcome, Transaction,
@@ -82,5 +84,5 @@ pub use memo::{MergeCacheStats, MergeMemo};
 pub use object::{
     canonical_bytes, content_id, content_id_of_bytes, decode_canonical, ObjectId, ObjectStore,
 };
-pub use segment::{SegmentBackend, SegmentOptions};
+pub use segment::{CompactionFault, FlushPolicy, SegmentBackend, SegmentOptions};
 pub use semantics::{DoOutcome, MergeOutcome, Snapshot, StoreLts};

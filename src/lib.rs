@@ -112,8 +112,9 @@ pub mod prelude {
         Remote, Replica, TcpServer, TcpTransport, Transport,
     };
     pub use peepul_store::{
-        Backend, BranchId, BranchMut, BranchRef, BranchStore, CommitMeta, MemoryBackend,
-        SegmentBackend, SegmentOptions, StoreError, StoreLts, TrackOutcome, Transaction,
+        Backend, BranchId, BranchMut, BranchRef, BranchStore, CommitMeta, FlushPolicy,
+        MemoryBackend, SegmentBackend, SegmentOptions, StoreError, StoreLts, SweepStats,
+        TrackOutcome, Transaction,
     };
     pub use peepul_types::{
         Chat, Counter, EwFlag, EwFlagSpace, GMap, GSet, LwwRegister, MergeableLog, MrdtMap, OrSet,

@@ -25,7 +25,9 @@
 //! (`Sha256Hasher` is gone; `canonical_bytes`/`content_id` now take
 //! `Wire`, the single canonical codec every `Mrdt` carries). The service
 //! layer added `FrameServer`/`FrameService` — the shared accept-loop
-//! machinery the `peepul-server` daemon is built on.
+//! machinery the `peepul-server` daemon is built on. The storage engine
+//! added `FlushPolicy` (group commit: who decides when appends reach the
+//! platter) and `SweepStats` (what reference-tracing GC found and freed).
 
 macro_rules! surface {
     ($($name:ident),* $(,)?) => {
@@ -59,6 +61,7 @@ surface![
     EwFlag,
     EwFlagSpace,
     FaultInjector,
+    FlushPolicy,
     FrameServer,
     FrameService,
     GMap,
@@ -84,6 +87,7 @@ surface![
     Specification,
     StoreError,
     StoreLts,
+    SweepStats,
     TcpServer,
     TcpTransport,
     Timestamp,
@@ -104,7 +108,7 @@ fn prelude_surface_matches_golden() {
     );
     assert_eq!(
         golden.len(),
-        51,
+        53,
         "prelude surface changed size — update the golden list *and* the \
          expected count deliberately"
     );

@@ -100,7 +100,7 @@ proptest! {
         let mem = replay(&schedule, MemoryBackend::new(), true);
         let seg_backend = SegmentBackend::open_with(
             scratch.path().join("replay"),
-            SegmentOptions { durable: false },
+            SegmentOptions { durable: false, ..SegmentOptions::default() },
         ).unwrap();
         let seg = replay(&schedule, seg_backend, true);
         prop_assert_eq!(&mem, &seg);
@@ -139,7 +139,14 @@ fn segment_replay_survives_reopen() {
         .collect();
     let (heads, refs) = replay(
         &schedule,
-        SegmentBackend::open_with(&dir, SegmentOptions { durable: false }).unwrap(),
+        SegmentBackend::open_with(
+            &dir,
+            SegmentOptions {
+                durable: false,
+                ..SegmentOptions::default()
+            },
+        )
+        .unwrap(),
         true,
     );
     // A fresh process reopens the directory: all published objects and

@@ -42,6 +42,12 @@ impl Scratch {
 
 impl Drop for Scratch {
     fn drop(&mut self) {
+        // On a failing test, leave the scratch directory behind as the
+        // post-crash evidence — CI uploads it as an artifact.
+        if std::thread::panicking() {
+            eprintln!("test panicked; keeping scratch dir {}", self.root.display());
+            return;
+        }
         let _ = std::fs::remove_dir_all(&self.root);
     }
 }
@@ -62,7 +68,10 @@ pub fn for_each_backend(tag: &str, mut test: impl FnMut(&str, &mut BackendFactor
             Box::new(
                 SegmentBackend::open_with(
                     scratch.path().join(n.to_string()),
-                    SegmentOptions { durable: false },
+                    SegmentOptions {
+                        durable: false,
+                        ..SegmentOptions::default()
+                    },
                 )
                 .expect("open segment backend"),
             )

@@ -38,7 +38,10 @@ fn segment(scratch: &Scratch, n: u32) -> DynBackend {
     Box::new(
         SegmentBackend::open_with(
             scratch.path().join(n.to_string()),
-            SegmentOptions { durable: false },
+            SegmentOptions {
+                durable: false,
+                ..SegmentOptions::default()
+            },
         )
         .expect("open segment backend"),
     )
@@ -156,6 +159,53 @@ fn push_to_diverged_peer_is_rejected() {
         origin.head_id("main").unwrap(),
         laptop.head_id("main").unwrap()
     );
+}
+
+/// Regression: a **rejected** push must not leave its transferred objects
+/// behind. Before the divergence pre-check, the server ingested the whole
+/// pack and only then discovered the branch had diverged — every denied
+/// retry of a hammering client grew the backend with commits no ref
+/// would ever reach.
+#[test]
+fn rejected_push_lands_no_objects_and_gc_finds_no_garbage() {
+    let origin = replica("origin", MemoryBackend::new(), 0);
+    let server = TcpServer::spawn(origin.clone()).unwrap();
+    let laptop = replica("laptop", MemoryBackend::new(), 1);
+
+    origin
+        .with_store(|s| s.branch_mut("main").unwrap().apply(&OrSetOp::Add(1)))
+        .unwrap();
+    // Give the diverged client some weight: several commits that would
+    // all have been transferred (and stranded) by the old code.
+    laptop
+        .with_store(|s| -> Result<(), StoreError> {
+            for x in 10..20u32 {
+                s.branch_mut("main")?.apply(&OrSetOp::Add(x))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+
+    let before = origin.object_count();
+    let mut remote = Remote::new("origin", TcpTransport::connect(server.addr()).unwrap());
+    for _ in 0..3 {
+        // A hammering client: every retry must bounce off equally clean.
+        let err = laptop.push(&mut remote, "main").unwrap_err();
+        assert!(matches!(err, NetError::PushRejected), "{err}");
+        assert_eq!(
+            origin.object_count(),
+            before,
+            "a denied push must not grow the server's backend"
+        );
+    }
+
+    // And the server's own GC agrees there is nothing to reclaim: every
+    // stored object is still reachable from a ref.
+    let swept = origin
+        .with_store(|s| s.collect_garbage())
+        .expect("gc over the server store");
+    assert_eq!(swept.dead_objects, 0, "rejected pushes left garbage");
+    assert_eq!(origin.object_count(), before);
 }
 
 /// The headline acceptance scenario: an 8-replica fleet with partitions
@@ -380,7 +430,15 @@ fn replica_open_survives_a_process_restart_on_disk() {
 
     let scratch = Scratch::new("replica-restart");
     let dir = scratch.path().join("db");
-    let open_backend = || SegmentBackend::open_with(&dir, SegmentOptions { durable: false });
+    let open_backend = || {
+        SegmentBackend::open_with(
+            &dir,
+            SegmentOptions {
+                durable: false,
+                ..SegmentOptions::default()
+            },
+        )
+    };
 
     // First life: create, write, replicate a little, die.
     let (head, tick) = {
