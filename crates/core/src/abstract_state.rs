@@ -143,6 +143,46 @@ impl<O: Clone, V: Clone> AbstractState<O, V> {
         next
     }
 
+    /// Rebuilds an abstract execution from an explicitly recorded witness:
+    /// one `(op, rval, timestamp, past)` tuple per event, with visibility
+    /// given **per event** instead of `perform`'s
+    /// everything-currently-present rule.
+    ///
+    /// This is the constructor the replication-aware linearizability
+    /// checker (`Φ_ra`) uses to replay a fleet history through a
+    /// specification: a replica's operation observed exactly the events in
+    /// its branch's ancestry at the time, not everything the global
+    /// history would eventually contain. Each event's recorded past is
+    /// restricted to the events actually present in the witness — the
+    /// same projection semantics as [`AbstractState::filter_map`] — so a
+    /// caller can rebuild the visible sub-execution at any observation
+    /// point by passing only the visible events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two events carry the same timestamp — as with
+    /// [`AbstractState::perform`], a collision is a Ψ_ts violation the
+    /// caller must surface as such before reconstructing.
+    pub fn from_witness(
+        witness: impl IntoIterator<Item = (O, V, Timestamp, BTreeSet<EventId>)>,
+    ) -> Self {
+        let mut events = BTreeMap::new();
+        let mut past = BTreeMap::new();
+        for (op, rval, t, p) in witness {
+            let replaced = events.insert(t, Event::new(op, rval, t));
+            assert!(
+                replaced.is_none(),
+                "duplicate timestamp {t:?} violates Ψ_ts"
+            );
+            past.insert(t, p);
+        }
+        let keep: BTreeSet<EventId> = events.keys().copied().collect();
+        for p in past.values_mut() {
+            p.retain(|e| keep.contains(e));
+        }
+        AbstractState { events, past }
+    }
+
     /// The abstract operator `merge#` (§3): the union of two executions.
     ///
     /// Events present in both carry identical attributes and pasts (they are
@@ -335,6 +375,40 @@ mod tests {
         let f = m.frontier();
         assert_eq!(f.len(), 2);
         assert!(f.contains(&ts(2, 1)) && f.contains(&ts(3, 2)));
+    }
+
+    #[test]
+    fn from_witness_respects_recorded_pasts() {
+        // b records only a in its past even though c exists — unlike
+        // perform, which would make b observe everything present.
+        let i: AbstractState<&str, ()> = AbstractState::from_witness([
+            ("a", (), ts(1, 0), BTreeSet::new()),
+            ("b", (), ts(2, 0), BTreeSet::from([ts(1, 0)])),
+            ("c", (), ts(3, 1), BTreeSet::new()),
+        ]);
+        assert_eq!(i.len(), 3);
+        assert!(i.vis(ts(1, 0), ts(2, 0)));
+        assert!(!i.vis(ts(3, 1), ts(2, 0)));
+        assert!(!i.vis(ts(1, 0), ts(3, 1)));
+    }
+
+    #[test]
+    fn from_witness_projects_pasts_onto_present_events() {
+        // The recorded past references an event outside the witness (the
+        // projection case: rebuilding a visible sub-execution).
+        let i: AbstractState<&str, ()> =
+            AbstractState::from_witness([("b", (), ts(2, 0), BTreeSet::from([ts(1, 0)]))]);
+        assert_eq!(i.len(), 1);
+        assert!(i.past(ts(2, 0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "Ψ_ts")]
+    fn from_witness_panics_on_duplicate_timestamp() {
+        let _: AbstractState<&str, ()> = AbstractState::from_witness([
+            ("a", (), ts(1, 0), BTreeSet::new()),
+            ("b", (), ts(1, 0), BTreeSet::new()),
+        ]);
     }
 
     #[test]

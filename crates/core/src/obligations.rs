@@ -51,6 +51,16 @@ pub enum Obligation {
     /// preimage), without which a store could not reopen to typed state
     /// nor replicate faithfully.
     Codec,
+    /// `Φ_ra`: replication-aware linearizability (Enea et al. 2019; the
+    /// authors' follow-up on automatically verifying it, 2025). A whole
+    /// *fleet* execution — local operations, pack ingests and merges on
+    /// `n` independent replicas — must admit a linearization respecting
+    /// every replica's local order and the Lamport happens-before edges
+    /// that replays through `F_τ` to reproduce every return value and
+    /// every query output observed at every replica. This extends the
+    /// Table 2 obligations from single-store merges to the replication
+    /// layer itself.
+    RaLin,
 }
 
 impl fmt::Display for Obligation {
@@ -63,6 +73,7 @@ impl fmt::Display for Obligation {
             Obligation::PsiTs => "Ψ_ts",
             Obligation::PsiLca => "Ψ_lca",
             Obligation::Codec => "Φ_codec",
+            Obligation::RaLin => "Φ_ra",
         };
         f.write_str(name)
     }
@@ -126,6 +137,10 @@ pub struct ObligationReport {
     pub psi_lca: u64,
     /// Number of `Φ_codec` round-trips checked.
     pub codec: u64,
+    /// Number of `Φ_ra` (replication-aware linearizability) witness
+    /// obligations checked: one per witness event, per trace record and
+    /// per replayed observation of a fleet execution.
+    pub ra_lin: u64,
 }
 
 impl ObligationReport {
@@ -138,6 +153,7 @@ impl ObligationReport {
             + self.psi_ts
             + self.psi_lca
             + self.codec
+            + self.ra_lin
     }
 
     /// Accumulates another report into this one.
@@ -149,6 +165,7 @@ impl ObligationReport {
         self.psi_ts += other.psi_ts;
         self.psi_lca += other.psi_lca;
         self.codec += other.codec;
+        self.ra_lin += other.ra_lin;
     }
 }
 
@@ -608,10 +625,11 @@ mod tests {
             psi_ts: 5,
             psi_lca: 6,
             codec: 7,
+            ra_lin: 8,
         };
         let b = a;
         a.absorb(&b);
-        assert_eq!(a.total(), 56);
+        assert_eq!(a.total(), 72);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::anti_entropy::AntiEntropy;
 use crate::error::NetError;
+use crate::observer::{HistoryObserver, ReplicationMutation};
 use crate::replica::{Remote, Replica};
 use crate::transport::{ChannelTransport, FaultInjector};
 use parking_lot::Mutex;
@@ -176,7 +177,9 @@ impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + Sync + 'static> Cluste
     }
 
     /// Answers a pure query against one replica's current head — the
-    /// commit-free read path.
+    /// commit-free read path. In replicated mode the read goes through
+    /// [`Replica::read_observed`], so an attached [`HistoryObserver`]
+    /// witnesses every probe.
     ///
     /// # Errors
     ///
@@ -185,9 +188,60 @@ impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + Sync + 'static> Cluste
         match &self.inner {
             Inner::Sim(store) => Ok(store.lock().read(&replica_branch(replica), q)?),
             Inner::Net { nodes, .. } => match nodes.get(replica) {
-                Some(node) => Ok(node.read(LOCAL_BRANCH, q)?),
+                Some(node) => Ok(node.read_observed(LOCAL_BRANCH, q)?),
                 None => Err(StoreError::UnknownBranch(replica_branch(replica)).into()),
             },
+        }
+    }
+
+    /// Attaches one [`HistoryObserver`] to **every** node, so a whole-fleet
+    /// execution records a single global witness history — the input of
+    /// `peepul-verify`'s replication-aware linearizability checker `Φ_ra`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] in the legacy simulated mode: all "replicas"
+    /// there share one store and gossip by local merge, so there is no
+    /// per-replica ingest path to witness and RA-lin checking is
+    /// meaningless. Use a replicated cluster ([`Cluster::new`] /
+    /// [`Cluster::replicated`]) for certification runs.
+    pub fn set_observer(&self, observer: Arc<dyn HistoryObserver<M>>) -> Result<(), NetError> {
+        match &self.inner {
+            Inner::Sim(_) => Err(NetError::Protocol(
+                "RA-lin witness recording requires a replicated cluster: the legacy \
+                 simulated mode shares one store and has no per-replica ingest path"
+                    .into(),
+            )),
+            Inner::Net { nodes, .. } => {
+                for node in nodes {
+                    node.set_observer(Arc::clone(&observer));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// **Mutation-testing surface** — enacts a deliberate replication
+    /// fault (see [`ReplicationMutation`]) on every node, for the `Φ_ra`
+    /// mutant kill-gate.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] in simulated mode, as for
+    /// [`Cluster::set_observer`].
+    pub fn set_mutation(&self, mutation: ReplicationMutation) -> Result<(), NetError> {
+        match &self.inner {
+            Inner::Sim(_) => Err(NetError::Protocol(
+                "replication mutations require a replicated cluster: the legacy \
+                 simulated mode has no replication paths to mutate"
+                    .into(),
+            )),
+            Inner::Net { nodes, .. } => {
+                for node in nodes {
+                    node.set_replication_mutation(mutation);
+                }
+                Ok(())
+            }
         }
     }
 
@@ -261,9 +315,7 @@ impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + Sync + 'static> Cluste
                                 );
                                 for round in 0..ops_per_replica {
                                     let op = op_of(i, round);
-                                    me.with_store(|s| {
-                                        s.branch_mut(LOCAL_BRANCH)?.apply(&op).map(|_| ())
-                                    })?;
+                                    me.apply(LOCAL_BRANCH, &op)?;
                                     if gossip_every > 0
                                         && round % gossip_every == gossip_every - 1
                                         && !peer_link.is_partitioned()
@@ -286,6 +338,74 @@ impl<M: Mrdt + Send + Sync + 'static, B: Backend + Send + Sync + 'static> Cluste
                         .collect()
                 });
                 results.into_iter().collect()
+            }
+        }
+    }
+
+    /// Runs the same workload as [`Cluster::run`] in **deterministic
+    /// lockstep**: a single driver thread applies round `k`'s operation on
+    /// every replica in index order, then (on gossip rounds) performs the
+    /// ring pulls in index order.
+    ///
+    /// With seeded fault plans, the entire execution — operations, gossip
+    /// outcomes, message loss — is a pure function of the configuration,
+    /// which is what makes `PEEPUL_REPLAY`-style failure replay exact.
+    /// Use [`Cluster::run`] when genuine thread interleaving is the point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first store/verification error any replica hit.
+    pub fn run_lockstep<F>(
+        &self,
+        ops_per_replica: usize,
+        gossip_every: usize,
+        op_of: F,
+    ) -> Result<(), NetError>
+    where
+        F: Fn(usize, usize) -> M::Op,
+    {
+        match &self.inner {
+            Inner::Sim(store) => {
+                for round in 0..ops_per_replica {
+                    for i in 0..self.replicas {
+                        let me = replica_branch(i);
+                        store.lock().branch_mut(&me)?.apply(&op_of(i, round))?;
+                    }
+                    if gossip_every > 0 && round % gossip_every == gossip_every - 1 {
+                        for i in 0..self.replicas {
+                            let me = replica_branch(i);
+                            let peer = replica_branch((i + 1) % self.replicas);
+                            store.lock().branch_mut(&me)?.merge_from(&peer)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Inner::Net { nodes, faults } => {
+                let mut remotes: Vec<_> = (0..self.replicas)
+                    .map(|i| {
+                        let peer = nodes[(i + 1) % self.replicas].clone();
+                        let name = peer.name().to_string();
+                        Remote::new(name, ChannelTransport::with_faults(peer, faults[i].clone()))
+                    })
+                    .collect();
+                for round in 0..ops_per_replica {
+                    for (i, node) in nodes.iter().enumerate() {
+                        node.apply(LOCAL_BRANCH, &op_of(i, round))?;
+                    }
+                    if gossip_every > 0 && round % gossip_every == gossip_every - 1 {
+                        for (i, node) in nodes.iter().enumerate() {
+                            if faults[(i + 1) % self.replicas].is_partitioned() {
+                                continue;
+                            }
+                            match node.pull(&mut remotes[i], LOCAL_BRANCH) {
+                                Ok(_) | Err(NetError::Dropped) | Err(NetError::Partitioned) => {}
+                                Err(e) => return Err(e),
+                            }
+                        }
+                    }
+                }
+                Ok(())
             }
         }
     }

@@ -75,6 +75,7 @@ pub mod anti_entropy;
 pub mod cluster;
 pub mod error;
 pub mod message;
+pub mod observer;
 pub mod replica;
 pub mod serve;
 pub mod tcp;
@@ -84,6 +85,7 @@ pub use anti_entropy::{AntiEntropy, AntiEntropyReport};
 pub use cluster::Cluster;
 pub use error::NetError;
 pub use message::{PackedObject, Request, Response};
+pub use observer::{HistoryObserver, ReplicationMutation};
 pub use replica::{FetchStats, PullOutcome, PullReport, PushReport, Remote, Replica};
 pub use serve::{ConnStats, FnService, FrameServer, FrameService, ServeOptions};
 pub use tcp::{TcpServer, TcpTransport};

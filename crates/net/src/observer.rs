@@ -1,0 +1,105 @@
+//! Witness hooks for replication-aware linearizability checking.
+//!
+//! A [`HistoryObserver`] is attached to a [`Replica`](crate::Replica) (or
+//! to every node of a [`Cluster`](crate::Cluster)) and receives one
+//! callback per replication-visible event: a local operation committed, a
+//! pack of remote events ingested, a branch head advanced by pull/push
+//! integration, a query answered. The callbacks fire **inside the store
+//! lock** of the emitting replica, so the per-replica callback order is
+//! exactly the order the store mutated in — the recorded trace is a
+//! faithful witness of the execution, with no separate synchronization
+//! that could perturb timing beyond the lock the operation already held.
+//!
+//! `peepul-verify`'s `ralin` module provides the standard observer (a
+//! history recorder) and the `Φ_ra` checker that consumes it; this module
+//! only defines the hook and the deliberate replication faults
+//! ([`ReplicationMutation`]) the mutant kill-gate enacts through it.
+
+use peepul_core::{Mrdt, Timestamp};
+
+/// Receives witness events from a replica's replication-visible
+/// transitions. See the [module docs](self) for when each fires.
+///
+/// Implementations must be cheap and non-blocking: callbacks run under
+/// the emitting replica's store lock. They must also be `Send + Sync` —
+/// one observer instance is shared by every node of a cluster and every
+/// clone of a replica handle.
+pub trait HistoryObserver<M: Mrdt>: Send + Sync {
+    /// A local operation committed on `replica`: the event minted
+    /// timestamp `t`, returned `rval`, and observed exactly the events
+    /// `visible` (the mints in its branch ancestry, ascending, `t`
+    /// excluded).
+    fn local_op(
+        &self,
+        replica: &str,
+        t: Timestamp,
+        op: &M::Op,
+        rval: &M::Value,
+        visible: &[Timestamp],
+    );
+
+    /// `replica` ingested a pack containing the previously unknown
+    /// operation events `events`, in pack (parents-first) order — a fetch
+    /// landing remote commits, or a served push.
+    fn learned(&self, replica: &str, events: &[Timestamp]);
+
+    /// `replica`'s local branch head moved by integrating remote history
+    /// (fast-forward, merge, or branch creation); `visible` is the full
+    /// set of operation events in the new head's ancestry, ascending.
+    fn head_advanced(&self, replica: &str, visible: &[Timestamp]);
+
+    /// `replica` answered query `q` with `output` at a head whose visible
+    /// event set is `visible` — the observation `Φ_ra` must reproduce by
+    /// replaying the specification over exactly those events.
+    fn observed(&self, replica: &str, q: &M::Query, output: &M::Output, visible: &[Timestamp]);
+}
+
+/// A deliberate replication-layer fault, enacted at the observer seams of
+/// [`Replica`](crate::Replica) — the mutant set of the `Φ_ra` kill-gate.
+///
+/// Each mutant leaves ordinary convergence checks green (states still
+/// converge, heads still agree) and is caught **only** by the
+/// replication-aware linearizability checker, proving the analysis sees
+/// what the tests do not. Production code always runs with
+/// [`ReplicationMutation::None`]; the other variants exist solely so the
+/// verification suite can demonstrate its own teeth.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ReplicationMutation {
+    /// No fault: faithful replication.
+    #[default]
+    None,
+    /// Breaks the Lamport **receive rule**: after a fetch ingests remote
+    /// events, the local clock is rewound to its pre-fetch value, so the
+    /// next local operation mints a timestamp that does *not* order after
+    /// the events it observed. Killed by `Φ_ra`'s happens-before
+    /// timestamp axiom.
+    BrokenReceiveRule,
+    /// Reorders ingest within a pack: the witnessed learn order of a
+    /// fetched pack is reversed (children before parents). Killed by
+    /// `Φ_ra`'s causal-delivery axiom.
+    ReorderedPackIngest,
+    /// Skips the divergence pre-check on pull integration: a diverged
+    /// branch is force-tracked to the remote head instead of three-way
+    /// merged, silently discarding the local branch's unmerged events
+    /// from its visible set. Heads still converge (both sides end up
+    /// equal), so only `Φ_ra`'s monotonic-visibility axiom catches it.
+    SkipDivergenceCheck,
+    /// Drops a visibility edge from a local operation's witnessed past:
+    /// the emitted event claims not to have observed the latest foreign
+    /// event in its ancestry. Killed by `Φ_ra`'s session-guarantee axiom
+    /// (an operation must observe exactly its branch's visible events).
+    DropVisibilityEdge,
+}
+
+impl std::fmt::Display for ReplicationMutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ReplicationMutation::None => "none",
+            ReplicationMutation::BrokenReceiveRule => "broken-receive-rule",
+            ReplicationMutation::ReorderedPackIngest => "reordered-pack-ingest",
+            ReplicationMutation::SkipDivergenceCheck => "skip-divergence-check",
+            ReplicationMutation::DropVisibilityEdge => "drop-visibility-edge",
+        };
+        f.write_str(name)
+    }
+}

@@ -37,14 +37,30 @@
 
 use crate::error::NetError;
 use crate::message::{PackedObject, Request, Response};
+use crate::observer::{HistoryObserver, ReplicationMutation};
 use crate::transport::Transport;
 use parking_lot::RwLock;
-use peepul_core::{Mrdt, Wire};
+use peepul_core::{Mrdt, ReplicaId, Timestamp, Wire};
 use peepul_store::sha256::Sha256;
 use peepul_store::{parse_commit_record, Backend, BranchStore, ObjectId, StoreError, TrackOutcome};
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
+
+/// The observer/mutation slot shared by every clone of a replica handle.
+struct Hooks<M: Mrdt> {
+    observer: Option<Arc<dyn HistoryObserver<M>>>,
+    mutation: ReplicationMutation,
+}
+
+impl<M: Mrdt> Default for Hooks<M> {
+    fn default() -> Self {
+        Hooks {
+            observer: None,
+            mutation: ReplicationMutation::None,
+        }
+    }
+}
 
 /// One independent replica: a name plus exclusive ownership of a
 /// [`BranchStore`] (and through it, a backend).
@@ -60,6 +76,7 @@ use std::sync::Arc;
 pub struct Replica<M: Mrdt, B: Backend> {
     store: Arc<RwLock<BranchStore<M, B>>>,
     name: Arc<str>,
+    hooks: Arc<RwLock<Hooks<M>>>,
 }
 
 impl<M: Mrdt, B: Backend> Clone for Replica<M, B> {
@@ -67,6 +84,7 @@ impl<M: Mrdt, B: Backend> Clone for Replica<M, B> {
         Replica {
             store: Arc::clone(&self.store),
             name: Arc::clone(&self.name),
+            hooks: Arc::clone(&self.hooks),
         }
     }
 }
@@ -88,6 +106,7 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
         Replica {
             store: Arc::new(RwLock::new(store)),
             name: Arc::from(name.into()),
+            hooks: Arc::new(RwLock::new(Hooks::default())),
         }
     }
 
@@ -194,6 +213,85 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
     pub fn object_count(&self) -> usize {
         self.store.read().backend().object_count()
     }
+
+    /// Attaches a [`HistoryObserver`] that will receive one witness event
+    /// per replication-visible transition: local operations through
+    /// [`Replica::apply`], pack ingests (fetches and served pushes), head
+    /// integrations, and observations through [`Replica::read_observed`].
+    /// Shared by every clone of this handle; replaces any previous
+    /// observer.
+    pub fn set_observer(&self, observer: Arc<dyn HistoryObserver<M>>) {
+        self.hooks.write().observer = Some(observer);
+    }
+
+    /// Detaches the observer, if any.
+    pub fn clear_observer(&self) {
+        self.hooks.write().observer = None;
+    }
+
+    /// **Mutation-testing surface — never call in production code.**
+    /// Enacts a deliberate replication fault (see
+    /// [`ReplicationMutation`]) on this replica's fetch/pull/apply paths,
+    /// so the `Φ_ra` kill-gate can prove each fault is caught. Shared by
+    /// every clone of this handle.
+    pub fn set_replication_mutation(&self, mutation: ReplicationMutation) {
+        self.hooks.write().mutation = mutation;
+    }
+
+    fn hooks_snapshot(&self) -> (Option<Arc<dyn HistoryObserver<M>>>, ReplicationMutation) {
+        let h = self.hooks.read();
+        (h.observer.clone(), h.mutation)
+    }
+
+    /// Applies one local operation to `branch` — the witness-observed
+    /// counterpart of `with_store(|s| s.branch_mut(branch)?.apply(op))`.
+    /// When an observer is attached, the minted event (timestamp, return
+    /// value, visible set) is emitted **under the same write lock** as
+    /// the commit, so the per-replica witness order matches the store's
+    /// mutation order exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`BranchStore::branch_mut`] + apply.
+    pub fn apply(&self, branch: &str, op: &M::Op) -> Result<M::Value, StoreError> {
+        let (observer, mutation) = self.hooks_snapshot();
+        let mut store = self.store.write();
+        let value = store.branch_mut(branch)?.apply(op)?;
+        if let Some(obs) = &observer {
+            let head = store.head(branch)?;
+            let t = store.commit_mint(head);
+            let mut past = store.visible_mints(head);
+            past.retain(|&e| e != t);
+            if mutation == ReplicationMutation::DropVisibilityEdge {
+                // Claim the latest foreign event in the ancestry was never
+                // observed (no-op while the ancestry is all-local).
+                if let Some(i) = past.iter().rposition(|e| e.replica() != t.replica()) {
+                    past.remove(i);
+                }
+            }
+            obs.local_op(&self.name, t, op, &value, &past);
+        }
+        Ok(value)
+    }
+
+    /// Answers a pure query like [`Replica::read`], additionally emitting
+    /// the observation (query, output, visible event set) to the attached
+    /// observer — the probe side of the `Φ_ra` witness. Runs under the
+    /// shared read lock.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBranch`] if the branch does not exist.
+    pub fn read_observed(&self, branch: &str, q: &M::Query) -> Result<M::Output, StoreError> {
+        let (observer, _) = self.hooks_snapshot();
+        let store = self.store.read();
+        let out = store.read(branch, q)?;
+        if let Some(obs) = &observer {
+            let visible = store.visible_mints(store.head(branch)?);
+            obs.observed(&self.name, q, &out, &visible);
+        }
+        Ok(out)
+    }
 }
 
 impl<M: Mrdt, B: Backend> Replica<M, B> {
@@ -207,7 +305,7 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
     /// concurrently; only `Push` takes the write lock.
     pub fn handle(&self, req: Request) -> Response {
         let served = match req {
-            Request::Push { .. } => serve_write(&mut self.store.write(), req),
+            Request::Push { .. } => self.serve_push(req),
             _ => serve_read(&self.store.read(), req),
         };
         match served {
@@ -301,7 +399,14 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
 
         // Phase 5 (local lock only): verify + ingest + land the tracking
         // branch.
+        let (observer, mutation) = self.hooks_snapshot();
         let counts = self.with_store(|s| -> Result<IngestCounts, NetError> {
+            let pre_tick = s.tick();
+            let mut learned = if observer.is_some() {
+                fresh_pack_events(s, &commits)
+            } else {
+                Vec::new()
+            };
             let counts = ingest_pack(s, &commits, &states)?;
             if !s.has_commit(head) {
                 return Err(NetError::Protocol(format!(
@@ -310,6 +415,18 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
                 )));
             }
             s.force_track(&tracking_branch, head)?;
+            if mutation == ReplicationMutation::BrokenReceiveRule {
+                // Pretend the ingested events never advanced our clock.
+                s.force_clock(pre_tick);
+            }
+            if let Some(obs) = &observer {
+                if mutation == ReplicationMutation::ReorderedPackIngest {
+                    learned.reverse();
+                }
+                if !learned.is_empty() {
+                    obs.learned(&self.name, &learned);
+                }
+            }
             Ok(counts)
         })?;
         Ok(FetchStats {
@@ -336,23 +453,37 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
         branch: &str,
     ) -> Result<PullReport, NetError> {
         let fetch = self.fetch(remote, branch)?;
+        let (observer, mutation) = self.hooks_snapshot();
         let outcome = self.with_store(|s| -> Result<PullOutcome, StoreError> {
             let target = s.head_id(&fetch.tracking_branch)?;
-            match s.track(branch, target)? {
-                TrackOutcome::Created => Ok(PullOutcome::Created),
-                TrackOutcome::Unchanged => Ok(PullOutcome::UpToDate),
-                TrackOutcome::FastForwarded => Ok(PullOutcome::FastForwarded),
+            let outcome = match s.track(branch, target)? {
+                TrackOutcome::Created => PullOutcome::Created,
+                TrackOutcome::Unchanged => PullOutcome::UpToDate,
+                TrackOutcome::FastForwarded => PullOutcome::FastForwarded,
+                TrackOutcome::Diverged if mutation == ReplicationMutation::SkipDivergenceCheck => {
+                    // Skip the three-way merge: jump straight to the remote
+                    // head, silently discarding local unmerged events.
+                    s.force_track(branch, target)?;
+                    PullOutcome::FastForwarded
+                }
                 TrackOutcome::Diverged => {
                     let before = s.head_id(branch)?;
                     let tracking = fetch.tracking_branch.clone();
                     s.branch_mut(branch)?.merge_from(tracking)?;
-                    Ok(if s.head_id(branch)? == before {
+                    if s.head_id(branch)? == before {
                         PullOutcome::UpToDate // remote history already contained
                     } else {
                         PullOutcome::Merged
-                    })
+                    }
+                }
+            };
+            if let Some(obs) = &observer {
+                if !matches!(outcome, PullOutcome::UpToDate) {
+                    let visible = s.visible_mints(s.head(branch)?);
+                    obs.head_advanced(&self.name, &visible);
                 }
             }
+            Ok(outcome)
         })?;
         Ok(PullReport { fetch, outcome })
     }
@@ -764,42 +895,86 @@ fn push_would_diverge<M: Mrdt, B: Backend>(
     Ok(true)
 }
 
-/// The mutating server side of [`Replica::handle`]: `Push` is the one
-/// request that changes the serving store, so it alone takes the write
-/// lock.
-fn serve_write<M: Mrdt, B: Backend>(
-    store: &mut BranchStore<M, B>,
-    req: Request,
-) -> Result<Response, NetError> {
-    match req {
-        Request::Push {
+impl<M: Mrdt, B: Backend> Replica<M, B> {
+    /// The mutating server side of [`Replica::handle`]: `Push` is the one
+    /// request that changes the serving store, so it alone takes the write
+    /// lock. When an observer is attached, an accepted push emits the
+    /// ingested events (`learned`) and — if the branch head actually moved
+    /// — the new visible set (`head_advanced`), under the same write lock
+    /// as the ingest itself.
+    fn serve_push(&self, req: Request) -> Result<Response, NetError> {
+        let Request::Push {
             branch,
             head,
             commits,
             states,
-        } => {
-            // Refuse a diverged push *before* ingesting its objects, or
-            // every denied push leaks its pack into the backend.
-            if push_would_diverge(store, &branch, head, &commits)? {
-                return Ok(Response::PushDenied);
+        } = req
+        else {
+            return serve_read(&self.store.read(), req);
+        };
+        let (observer, mutation) = self.hooks_snapshot();
+        let store = &mut *self.store.write();
+        // Refuse a diverged push *before* ingesting its objects, or
+        // every denied push leaks its pack into the backend.
+        if push_would_diverge(store, &branch, head, &commits)? {
+            return Ok(Response::PushDenied);
+        }
+        let mut learned = if observer.is_some() {
+            fresh_pack_events(store, &commits)
+        } else {
+            Vec::new()
+        };
+        ingest_pack(store, &commits, &states)?;
+        if !store.has_commit(head) {
+            return Err(NetError::Protocol(format!(
+                "pushed head {} not contained in pack or store",
+                head.short()
+            )));
+        }
+        let outcome = store.track(&branch, head)?;
+        if let Some(obs) = &observer {
+            if mutation == ReplicationMutation::ReorderedPackIngest {
+                learned.reverse();
             }
-            ingest_pack(store, &commits, &states)?;
-            if !store.has_commit(head) {
-                return Err(NetError::Protocol(format!(
-                    "pushed head {} not contained in pack or store",
-                    head.short()
-                )));
+            if !learned.is_empty() {
+                obs.learned(&self.name, &learned);
             }
-            match store.track(&branch, head)? {
-                TrackOutcome::Created => Ok(Response::Pushed { created: true }),
-                TrackOutcome::FastForwarded | TrackOutcome::Unchanged => {
-                    Ok(Response::Pushed { created: false })
-                }
-                TrackOutcome::Diverged => Ok(Response::PushDenied),
+            if matches!(outcome, TrackOutcome::Created | TrackOutcome::FastForwarded) {
+                let visible = store.visible_mints(store.head(&branch)?);
+                obs.head_advanced(&self.name, &visible);
             }
         }
-        other => serve_read(store, other),
+        match outcome {
+            TrackOutcome::Created => Ok(Response::Pushed { created: true }),
+            TrackOutcome::FastForwarded | TrackOutcome::Unchanged => {
+                Ok(Response::Pushed { created: false })
+            }
+            TrackOutcome::Diverged => Ok(Response::PushDenied),
+        }
     }
+}
+
+/// The operation events a pack would newly introduce to `store`, in pack
+/// (parents-first) order: commits the store does not yet have, parsed for
+/// their minted `(tick, replica)`, roots and merges (tick 0) excluded.
+/// Read-only — called *before* the ingest whose learn set it predicts.
+fn fresh_pack_events<M: Mrdt, B: Backend>(
+    store: &BranchStore<M, B>,
+    commits: &[PackedObject],
+) -> Vec<Timestamp> {
+    let mut seen: HashSet<ObjectId> = HashSet::new();
+    let mut out = Vec::new();
+    for pc in commits {
+        if !seen.insert(pc.id) || store.has_commit(pc.id) {
+            continue;
+        }
+        if let Some(meta) = parse_commit_record(&pc.bytes) {
+            if meta.tick > 0 {
+                out.push(Timestamp::new(meta.tick, ReplicaId::new(meta.replica)));
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

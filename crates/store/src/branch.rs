@@ -155,6 +155,11 @@ pub struct BranchStore<M: Mrdt, B: Backend = MemoryBackend> {
     state_ids: Vec<ObjectId>,
     /// Content address of each *commit record*, indexed like the graph.
     commit_ids: Vec<ObjectId>,
+    /// The `(tick, replica)` mint of each commit, indexed like the graph.
+    /// Roots and merge commits mint `(0, 0)`; operation commits carry the
+    /// timestamp of the event they landed — what the replication-aware
+    /// linearizability witness observes.
+    mints: Vec<Timestamp>,
     /// Commit content address → graph id (the fetch/ingest lookup).
     commit_index: HashMap<ObjectId, CommitId>,
     /// State content address → first commit carrying it (typed payload
@@ -233,6 +238,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             graph: CommitGraph::new(),
             state_ids: Vec::new(),
             commit_ids: Vec::new(),
+            mints: Vec::new(),
             commit_index: HashMap::new(),
             state_index: HashMap::new(),
             branches: BTreeMap::new(),
@@ -349,6 +355,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             graph: CommitGraph::new(),
             state_ids: Vec::new(),
             commit_ids: Vec::new(),
+            mints: Vec::new(),
             commit_index: HashMap::new(),
             state_index: HashMap::new(),
             branches: BTreeMap::new(),
@@ -386,7 +393,13 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             store.tick = store.tick.max(meta.tick);
             let parent_cids: Vec<CommitId> =
                 meta.parents.iter().map(|p| store.commit_index[p]).collect();
-            store.install_commit(parent_cids, state, meta.state, oid);
+            store.install_commit(
+                parent_cids,
+                state,
+                meta.state,
+                oid,
+                (meta.tick, meta.replica),
+            );
             installed += 1;
             for child in children.get(&oid).into_iter().flatten() {
                 let n = pending.get_mut(child).expect("child is a known commit");
@@ -436,7 +449,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             parents.iter().map(|p| self.commit_ids[p.index()]).collect();
         let record = commit_record(&parent_ids, state_id, mint.0, mint.1);
         let commit_oid = self.backend.put(&record)?;
-        Ok(self.install_commit(parents, state, state_id, commit_oid))
+        Ok(self.install_commit(parents, state, state_id, commit_oid, mint))
     }
 
     /// Appends an already-published commit to the in-memory structures:
@@ -450,6 +463,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         state: Arc<M>,
         state_id: ObjectId,
         commit_oid: ObjectId,
+        mint: (u64, u32),
     ) -> CommitId {
         let cid = if parents.is_empty() {
             self.graph.add_root(state)
@@ -460,6 +474,8 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         };
         self.state_ids.push(state_id);
         self.commit_ids.push(commit_oid);
+        self.mints
+            .push(Timestamp::new(mint.0, ReplicaId::new(mint.1)));
         self.commit_index.insert(commit_oid, cid);
         self.state_index.entry(state_id).or_insert(cid);
         cid
@@ -1078,7 +1094,13 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
                 .map(|p| self.find_commit(*p).expect("checked in phase 2"))
                 .collect();
             self.backend.put_known(*id, bytes)?;
-            self.install_commit(parent_cids, state, meta.state, *id);
+            self.install_commit(
+                parent_cids,
+                state,
+                meta.state,
+                *id,
+                (meta.tick, meta.replica),
+            );
         }
         // One pack, one durability point — however many objects landed.
         self.durability_point()?;
@@ -1199,6 +1221,55 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     /// Ψ_ts's happens-before consistency).
     pub fn observe_tick(&mut self, tick: u64) {
         self.tick = self.tick.max(tick);
+    }
+
+    /// **Mutation-testing surface — never call in production code.** Sets
+    /// the Lamport clock to exactly `tick`, even *backwards*, bypassing
+    /// the receive rule [`BranchStore::observe_tick`] enforces. The
+    /// replication-mutant suite in `peepul-verify` uses this to enact a
+    /// "broken receive rule" fault (ingest remote state, then forget its
+    /// ticks) and prove the `Φ_ra` checker catches the resulting
+    /// happens-before violation. Analogous to the segment engine's
+    /// `CompactionFault` knob: a deliberate hole drilled for verification,
+    /// kept on the store so the mutant exercises the *real* minting path.
+    pub fn force_clock(&mut self, tick: u64) {
+        self.tick = tick;
+    }
+
+    /// The `(tick, replica)` timestamp commit `c` minted, as recorded in
+    /// its commit record. Roots and merge commits mint the sentinel
+    /// `(0, 0)` — they create no event; operation commits carry the
+    /// timestamp of the single event they landed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` does not belong to this store's graph.
+    pub fn commit_mint(&self, c: CommitId) -> Timestamp {
+        self.mints[c.index()]
+    }
+
+    /// The mints of every **operation** commit in `c`'s ancestry
+    /// (`c` included), ascending — the set of events *visible* at `c`.
+    ///
+    /// Roots and merges (mint `(0, 0)`) are excluded: they create no
+    /// event, so the remaining timestamps are exactly the abstract
+    /// execution a branch head at `c` has observed. This is the witness
+    /// the replication-aware linearizability checker records at every
+    /// local operation, head movement and observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` does not belong to this store's graph.
+    pub fn visible_mints(&self, c: CommitId) -> Vec<Timestamp> {
+        let mut out: Vec<Timestamp> = self
+            .graph
+            .ancestors(c)
+            .into_iter()
+            .map(|a| self.mints[a.index()])
+            .filter(|t| t.tick() > 0)
+            .collect();
+        out.sort_unstable();
+        out
     }
 }
 

@@ -144,6 +144,8 @@ where
             delta.phi_con -= before.phi_con;
             delta.psi_ts -= before.psi_ts;
             delta.psi_lca -= before.psi_lca;
+            delta.codec -= before.codec;
+            delta.ra_lin -= before.ra_lin;
             stats.obligations.absorb(&delta);
             self.dfs(&child, remaining - 1, stats)?;
         }

@@ -45,12 +45,20 @@
 pub mod bounded;
 pub mod generator;
 pub mod proptest_support;
+pub mod ralin;
 pub mod runner;
 pub mod schedule;
 pub mod suite;
 
 pub use bounded::{BoundedChecker, BoundedConfig, BoundedStats};
 pub use generator::{RandomConfig, ScheduleGenerator};
+pub use ralin::{
+    check_fleet, check_fleet_on, check_ra_lin, run_replication_mutants, FleetConfig,
+    HistoryRecorder, MutantOutcome, RaLinOptions, RaLinStats, WitnessHistory,
+};
 pub use runner::{CertificationError, MergePolicy, Runner};
 pub use schedule::{Schedule, Step};
-pub use suite::{certify_all, CertificationSummary, SuiteConfig};
+pub use suite::{
+    certify_all, certify_replication, CertificationSummary, RaLinSuiteConfig, RaLinSummary,
+    SuiteConfig,
+};

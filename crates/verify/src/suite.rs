@@ -10,9 +10,11 @@
 
 use crate::bounded::{BoundedChecker, BoundedConfig};
 use crate::generator::{RandomConfig, ScheduleGenerator};
+use crate::ralin::{check_fleet, replay_seed, FleetConfig, RaLinOptions, RaLinStats};
 use crate::runner::{MergePolicy, Runner};
 use peepul_core::obligations::Certified;
 use peepul_core::ObligationReport;
+use peepul_net::ReplicationMutation;
 use peepul_store::Snapshot;
 use peepul_types::chat::{Chat, ChatOp, ChatQuery};
 use peepul_types::counter::{Counter, CounterOp, CounterQuery};
@@ -154,15 +156,21 @@ where
     let mut random_transitions = 0u64;
     let mut runs_done = 0u64;
     if failure.is_none() {
+        // A failure names its seed; PEEPUL_REPLAY=<seed> re-runs exactly
+        // that schedule (and only it).
+        let replay = replay_seed();
         'runs: for run in 0..config.random_runs {
+            let seed = replay.unwrap_or_else(|| config.random.seed.wrapping_add(run as u64));
             let mut gen = ScheduleGenerator::new(RandomConfig {
-                seed: config.random.seed.wrapping_add(run as u64),
+                seed,
                 ..config.random.clone()
             });
             let schedule = gen.generate(&mut random_op);
             let mut runner: Runner<M> = Runner::with_policy(policy).with_queries(queries.clone());
             if let Err(e) = runner.run_schedule(&schedule) {
-                failure = Some(format!("random run {run}: {e}"));
+                failure = Some(format!(
+                    "random run {run} (seed {seed}): {e} — re-run with PEEPUL_REPLAY={seed}"
+                ));
                 break 'runs;
             }
             random_transitions += runner.steps_run() as u64;
@@ -170,7 +178,13 @@ where
             obligations.absorb(&runner.report());
             runs_done += 1;
             if let Err(e) = final_check(&runner.snapshots()) {
-                failure = Some(format!("random run {run}, final check: {e}"));
+                failure = Some(format!(
+                    "random run {run} (seed {seed}), final check: {e} — re-run with \
+                     PEEPUL_REPLAY={seed}"
+                ));
+                break 'runs;
+            }
+            if replay.is_some() {
                 break 'runs;
             }
         }
@@ -433,6 +447,243 @@ pub fn certify_chat(config: &SuiteConfig) -> CertificationSummary {
         },
         no_final_check,
     )
+}
+
+/// Shape of a replication-certification (`Φ_ra`) run: how many
+/// fault-injected fleet executions per data type, and the fleet shape of
+/// each. Failures print the failing run's seed; set `PEEPUL_REPLAY=<seed>`
+/// to replay exactly that schedule.
+#[derive(Clone, Debug)]
+pub struct RaLinSuiteConfig {
+    /// Fleet executions per data type.
+    pub runs: usize,
+    /// Independent replicas per fleet.
+    pub replicas: usize,
+    /// Operations per replica per fleet.
+    pub ops_per_replica: usize,
+    /// Ring-gossip period during the run.
+    pub gossip_every: usize,
+    /// Base seed; run `i` uses `seed + i`.
+    pub seed: u64,
+    /// Seeded per-link message loss, in per-mille.
+    pub loss_per_mille: u16,
+    /// Partition one replica for the whole run (healed before
+    /// anti-entropy).
+    pub partition_one: bool,
+    /// Replication-layer mutant to enact during the runs
+    /// ([`ReplicationMutation::None`] for a faithful layer). Non-`None`
+    /// values exist to *fail*: they drive the kill-gate and the
+    /// seed-replay test.
+    pub mutation: ReplicationMutation,
+}
+
+impl Default for RaLinSuiteConfig {
+    fn default() -> Self {
+        RaLinSuiteConfig {
+            runs: 5,
+            replicas: 8,
+            ops_per_replica: 10,
+            gossip_every: 3,
+            seed: RandomConfig::default().seed,
+            loss_per_mille: 100,
+            partition_one: true,
+            mutation: ReplicationMutation::None,
+        }
+    }
+}
+
+/// Outcome of replication-certifying one data type under `Φ_ra`.
+#[derive(Clone, Debug)]
+pub struct RaLinSummary {
+    /// Data type name.
+    pub name: &'static str,
+    /// Fleet executions checked.
+    pub runs: u64,
+    /// Accumulated checker statistics across all runs.
+    pub stats: RaLinStats,
+    /// Wall-clock time of all runs.
+    pub time: Duration,
+    /// Whether the specification replays were skipped
+    /// ([`RaLinOptions::structural`] — types certified relative to the
+    /// merge envelope, whose spec is not owed over arbitrary fleet
+    /// merges).
+    pub structural: bool,
+    /// `None` when every run certified; the first failure otherwise,
+    /// including the seed that replays it.
+    pub failure: Option<String>,
+}
+
+impl RaLinSummary {
+    /// Whether every fleet execution was replication-aware linearizable.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Replication-certifies one data type: `config.runs` fault-injected
+/// fleet executions, each recorded as a witness history and checked with
+/// `Φ_ra`. `op_of` derives each operation from a
+/// [`fleet_entropy`](crate::ralin::fleet_entropy) value, so a run is a
+/// pure function of its seed; on failure the seed is named in the
+/// failure message and `PEEPUL_REPLAY=<seed>` re-runs exactly that
+/// schedule.
+pub fn ra_lin_type<M>(
+    name: &'static str,
+    config: &RaLinSuiteConfig,
+    options: RaLinOptions,
+    op_of: impl Fn(u64) -> M::Op + Send + Sync,
+    probes: Vec<M::Query>,
+) -> RaLinSummary
+where
+    M: Certified + Send + Sync + 'static,
+    M::Op: Send,
+    M::Value: Send,
+    M::Query: Send,
+    M::Output: Send,
+{
+    let start = Instant::now();
+    let mut stats = RaLinStats::default();
+    let mut failure = None;
+    let mut runs_done = 0u64;
+    let replay = replay_seed();
+    for run in 0..config.runs {
+        let seed = replay.unwrap_or_else(|| config.seed.wrapping_add(run as u64));
+        let fleet = FleetConfig {
+            replicas: config.replicas,
+            ops_per_replica: config.ops_per_replica,
+            gossip_every: config.gossip_every,
+            seed,
+            loss_per_mille: config.loss_per_mille,
+            partition_one: config.partition_one,
+            options,
+            mutation: config.mutation,
+        };
+        match check_fleet::<M>(&fleet, &op_of, &probes) {
+            Ok(s) => {
+                stats.absorb(&s);
+                runs_done += 1;
+            }
+            Err(e) => {
+                failure = Some(format!(
+                    "fleet run {run} (seed {seed}): {e} — re-run with PEEPUL_REPLAY={seed}"
+                ));
+                break;
+            }
+        }
+        if replay.is_some() {
+            break; // replaying one specific schedule
+        }
+    }
+    RaLinSummary {
+        name,
+        runs: runs_done,
+        stats,
+        time: start.elapsed(),
+        structural: !options.replay_rvals && !options.replay_queries,
+        failure,
+    }
+}
+
+/// `Φ_ra` for the increment-only counter fleet.
+pub fn ra_lin_counter(config: &RaLinSuiteConfig) -> RaLinSummary {
+    ra_lin_type::<Counter>(
+        "Increment-only counter",
+        config,
+        RaLinOptions::default(),
+        |_| CounterOp::Increment,
+        vec![CounterQuery::Value],
+    )
+}
+
+/// `Φ_ra` for the LWW-register fleet.
+pub fn ra_lin_lww_register(config: &RaLinSuiteConfig) -> RaLinSummary {
+    ra_lin_type::<LwwRegister<u32>>(
+        "LWW register",
+        config,
+        RaLinOptions::default(),
+        |s| LwwOp::Write((s % 100) as u32),
+        vec![LwwQuery::Read],
+    )
+}
+
+/// `Φ_ra` for the replicated-queue fleet.
+pub fn ra_lin_queue(config: &RaLinSuiteConfig) -> RaLinSummary {
+    ra_lin_type::<Queue<u32>>(
+        "Replicated queue",
+        config,
+        RaLinOptions::default(),
+        |s| {
+            if s % 5 < 3 {
+                QueueOp::Enqueue((s % 100) as u32)
+            } else {
+                QueueOp::Dequeue
+            }
+        },
+        vec![QueueQuery::Peek],
+    )
+}
+
+/// `Φ_ra` for the mergeable-log fleet.
+pub fn ra_lin_log(config: &RaLinSuiteConfig) -> RaLinSummary {
+    ra_lin_type::<MergeableLog<u32>>(
+        "Mergeable log",
+        config,
+        RaLinOptions::default(),
+        |s| LogOp::Append((s % 100) as u32),
+        vec![LogQuery::Read],
+    )
+}
+
+/// `Φ_ra` for the α-map-of-counters fleet.
+pub fn ra_lin_g_map(config: &RaLinSuiteConfig) -> RaLinSummary {
+    ra_lin_type::<MrdtMap<Counter>>(
+        "G-map (α-map of counters)",
+        config,
+        RaLinOptions::default(),
+        |s| {
+            let key = if s % 2 == 0 { "k" } else { "j" };
+            MapOp::Set(key.into(), CounterOp::Increment)
+        },
+        vec![
+            MapQuery::Get("k".into(), CounterQuery::Value),
+            MapQuery::Get("j".into(), CounterQuery::Value),
+        ],
+    )
+}
+
+/// `Φ_ra` for the space-efficient OR-set fleet — **structural mode**: the
+/// type is certified relative to the paper's strong-Ψ_lca merge envelope
+/// ([`MergePolicy::PaperEnvelope`]), and a fleet's gossip merges are
+/// arbitrary, so its declarative spec is not owed over them. The
+/// structural axioms (happens-before consistency, causal delivery,
+/// monotonic visibility, session guarantees) are checked in full.
+pub fn ra_lin_or_set_space(config: &RaLinSuiteConfig) -> RaLinSummary {
+    ra_lin_type::<OrSetSpace<u32>>(
+        "OR-set-space",
+        config,
+        RaLinOptions::structural(),
+        |s| {
+            let x = (s % 10) as u32;
+            if s % 3 < 2 {
+                OrSetOp::Add(x)
+            } else {
+                OrSetOp::Remove(x)
+            }
+        },
+        orset_probes(),
+    )
+}
+
+/// Replication-certifies the `Φ_ra` fleet suite: one entry per data type.
+pub fn certify_replication(config: &RaLinSuiteConfig) -> Vec<RaLinSummary> {
+    vec![
+        ra_lin_counter(config),
+        ra_lin_lww_register(config),
+        ra_lin_queue(config),
+        ra_lin_log(config),
+        ra_lin_g_map(config),
+        ra_lin_or_set_space(config),
+    ]
 }
 
 /// Certifies every data type in `peepul-types`, in Table 3 order.

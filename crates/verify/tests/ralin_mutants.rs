@@ -1,0 +1,66 @@
+//! The `Φ_ra` mutant kill-gate: each deliberately broken replication
+//! layer must be rejected by the replication-aware linearizability
+//! checker — and *only* by it: every mutated run still converges, so the
+//! conventional convergence check alone would have shipped the bug.
+//!
+//! The four mutants (see `peepul_net::ReplicationMutation`) each break a
+//! different axiom of the witness checker: the Lamport receive rule,
+//! causal pack delivery, the divergence pre-check on pull integration,
+//! and the faithfulness of recorded visibility edges. A surviving mutant
+//! hard-fails CI.
+
+use peepul_net::ReplicationMutation;
+use peepul_verify::run_replication_mutants;
+
+#[test]
+fn every_replication_mutant_is_killed_by_ra_lin_alone() {
+    let outcomes = run_replication_mutants();
+    assert_eq!(outcomes.len(), 4);
+    let expected = [
+        ReplicationMutation::BrokenReceiveRule,
+        ReplicationMutation::ReorderedPackIngest,
+        ReplicationMutation::SkipDivergenceCheck,
+        ReplicationMutation::DropVisibilityEdge,
+    ];
+    for (outcome, expected) in outcomes.iter().zip(expected) {
+        assert_eq!(outcome.mutation, expected);
+        assert!(
+            outcome.baseline_ok,
+            "{}: the fault-free baseline must certify",
+            outcome.mutation
+        );
+        assert!(
+            outcome.converged,
+            "{}: the mutated run must still converge — the point is that \
+             convergence checking cannot see this fault",
+            outcome.mutation
+        );
+        assert!(
+            outcome.killed,
+            "{} survived Φ_ra: {}",
+            outcome.mutation, outcome.detail
+        );
+        assert!(outcome.caught());
+    }
+}
+
+/// Each mutant's counterexample names the axiom shaped to catch it, so a
+/// kill is attributable — not an incidental failure elsewhere.
+#[test]
+fn each_mutant_is_killed_by_its_own_axiom() {
+    for outcome in run_replication_mutants() {
+        let needle = match outcome.mutation {
+            ReplicationMutation::None => unreachable!("the kill-gate never runs None"),
+            ReplicationMutation::BrokenReceiveRule => "inversion",
+            ReplicationMutation::ReorderedPackIngest => "causal delivery",
+            ReplicationMutation::SkipDivergenceCheck => "monotonic visibility",
+            ReplicationMutation::DropVisibilityEdge => "session guarantee",
+        };
+        assert!(
+            outcome.detail.contains(needle),
+            "{} was killed, but not by its own axiom: {}",
+            outcome.mutation,
+            outcome.detail
+        );
+    }
+}

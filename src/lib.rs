@@ -108,8 +108,9 @@ pub mod prelude {
         Timestamp, Wire,
     };
     pub use peepul_net::{
-        AntiEntropy, ChannelTransport, Cluster, FaultInjector, FrameServer, FrameService, NetError,
-        Remote, Replica, TcpServer, TcpTransport, Transport,
+        AntiEntropy, ChannelTransport, Cluster, FaultInjector, FrameServer, FrameService,
+        HistoryObserver, NetError, Remote, Replica, ReplicationMutation, TcpServer, TcpTransport,
+        Transport,
     };
     pub use peepul_store::{
         Backend, BranchId, BranchMut, BranchRef, BranchStore, CommitMeta, FlushPolicy,
@@ -120,5 +121,8 @@ pub mod prelude {
         Chat, Counter, EwFlag, EwFlagSpace, GMap, GSet, LwwRegister, MergeableLog, MrdtMap, OrSet,
         OrSetSpace, OrSetSpacetime, PnCounter, Queue,
     };
-    pub use peepul_verify::{BoundedChecker, BoundedConfig, Runner};
+    pub use peepul_verify::{
+        BoundedChecker, BoundedConfig, FleetConfig, HistoryRecorder, RaLinOptions, Runner,
+        WitnessHistory,
+    };
 }

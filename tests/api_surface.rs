@@ -28,6 +28,11 @@
 //! machinery the `peepul-server` daemon is built on. The storage engine
 //! added `FlushPolicy` (group commit: who decides when appends reach the
 //! platter) and `SweepStats` (what reference-tracing GC found and freed).
+//! Replication certification (Φ_ra) added `HistoryObserver` and
+//! `ReplicationMutation` on the net side (witness recording and the
+//! mutant kill-gate's fault switch) and `FleetConfig`, `HistoryRecorder`,
+//! `RaLinOptions` and `WitnessHistory` on the verify side (the recorded
+//! fleet execution and its replication-aware linearizability check).
 
 macro_rules! surface {
     ($($name:ident),* $(,)?) => {
@@ -61,11 +66,14 @@ surface![
     EwFlag,
     EwFlagSpace,
     FaultInjector,
+    FleetConfig,
     FlushPolicy,
     FrameServer,
     FrameService,
     GMap,
     GSet,
+    HistoryObserver,
+    HistoryRecorder,
     LwwRegister,
     MemoryBackend,
     MergeableLog,
@@ -77,9 +85,11 @@ surface![
     OrSetSpacetime,
     PnCounter,
     Queue,
+    RaLinOptions,
     Remote,
     Replica,
     ReplicaId,
+    ReplicationMutation,
     Runner,
     SegmentBackend,
     SegmentOptions,
@@ -95,6 +105,7 @@ surface![
     Transaction,
     Transport,
     Wire,
+    WitnessHistory,
 ];
 
 #[test]
@@ -108,7 +119,7 @@ fn prelude_surface_matches_golden() {
     );
     assert_eq!(
         golden.len(),
-        53,
+        59,
         "prelude surface changed size — update the golden list *and* the \
          expected count deliberately"
     );
