@@ -1,0 +1,279 @@
+//! **Observability-overhead benchmark** — the instrumentation half of the
+//! CI perf gate: proves the metrics spine is cheap enough to leave on.
+//!
+//! Drives the identical single-branch commit workload — the daemon's
+//! `put` path: `Kv` map-of-LWW-register writes over rotating keys —
+//! through two stores: one with the full `peepul-obs` spine attached
+//! (counters, latency histograms, trace ring — everything the daemon
+//! enables by default) and one attached to `ObsConfig::disabled()` (the
+//! hot paths see `None` and skip all of it). After an untimed warmup
+//! pair, the configurations run several rounds with the order swapped
+//! each round, and each side's throughput is computed over its **total**
+//! commits and wall time — so scheduler noise and allocator drift cancel
+//! rather than landing on one side.
+//!
+//! Gated metrics:
+//!
+//! * `obs_commits_per_sec_enabled` / `obs_commits_per_sec_disabled`
+//!   (higher);
+//! * `obs_overhead_pct` — the throughput the instrumentation costs, as a
+//!   percentage of the disabled configuration (lower), **hard-gated: the
+//!   run fails unless < 5.0** — the ISSUE's instrumentation budget.
+//!
+//! The hard gate holds regardless of any baseline; `--baseline <path>`
+//! additionally applies the usual regression contract shared with the
+//! other bench bins (compare when the file exists, else establish it).
+//!
+//! Run: `cargo run --release -p peepul-bench --bin bench_obs -- \
+//!           --out BENCH_obs.json --baseline BENCH_obs.baseline.json`
+
+use peepul_bench::with_obs_section;
+use peepul_obs::{Obs, ObsConfig};
+use peepul_server::Kv;
+use peepul_store::{BranchStore, StoreMetrics};
+use peepul_types::lww_register::LwwOp;
+use peepul_types::map::MapOp;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Direction of improvement for a metric.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Better {
+    Higher,
+    Lower,
+}
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+    better: Better,
+}
+
+fn quick_mode(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--quick")
+        || std::env::var("PEEPUL_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// One round of the commit workload against a fresh store carrying the
+/// given spine: the daemon's `put` shape, one `MapOp::Set` commit per
+/// iteration over 512 rotating keys. Returns commits per second.
+fn commit_round(obs: &Obs, commits: u32) -> f64 {
+    let mut s: BranchStore<Kv> = BranchStore::new("main");
+    s.set_metrics(StoreMetrics::attach(obs));
+    let keys: Vec<String> = (0..512).map(|k| format!("key-{k}")).collect();
+    let start = Instant::now();
+    {
+        let mut main = s.branch_mut("main").unwrap();
+        for i in 0..commits {
+            let key = keys[i as usize % keys.len()].clone();
+            main.apply(&MapOp::Set(key, LwwOp::Write(format!("value-{i}"))))
+                .unwrap();
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    s.publish_gauges();
+    f64::from(commits) / secs
+}
+
+/// Renders the report as JSON (hand-rolled: the workspace deliberately
+/// has no serde; EXPERIMENTS.md documents this schema).
+fn render_json(metrics: &[Metric], quick: bool, info: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"peepul/bench-obs/v1\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"metrics\": {{");
+    for (i, m) in metrics.iter().enumerate() {
+        let better = match m.better {
+            Better::Higher => "higher",
+            Better::Lower => "lower",
+        };
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"value\": {:.6}, \"better\": \"{better}\" }}{comma}",
+            m.name, m.value
+        );
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"info\": {{");
+    for (i, (name, value)) in info.iter().enumerate() {
+        let comma = if i + 1 < info.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{name}\": {value:.6}{comma}");
+    }
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `"name": { "value": <f64>` from a report produced by
+/// `render_json` (tolerant scan, not a general JSON parser).
+fn baseline_value(json: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\"");
+    let after_key = &json[json.find(&key)? + key.len()..];
+    let after_value = &after_key[after_key.find("\"value\":")? + "\"value\":".len()..];
+    let num: String = after_value
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = quick_mode(&args);
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_obs.json".into());
+    let baseline_path = flag_value(&args, "--baseline");
+    let tolerance: f64 = flag_value(&args, "--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a number"))
+        .unwrap_or(0.25);
+
+    let (commits, rounds) = if quick { (4_096, 6) } else { (8_192, 10) };
+    println!(
+        "# bench_obs ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+
+    // The instrumented spine the workload reports into; the final report
+    // splices its snapshot, so the gate's own run is also the shared
+    // obs-section example.
+    let enabled = Obs::new(ObsConfig::default());
+    let disabled = Obs::disabled();
+
+    // Untimed warmup pair: the first store of a process pays one-off page
+    // faults and allocator growth that would otherwise land on one side.
+    commit_round(&disabled, commits);
+    commit_round(&enabled, commits);
+
+    // Alternate which configuration runs first each round, and aggregate
+    // each side's throughput over total commits / total seconds: machine
+    // noise and heap drift then hit both sides equally instead of
+    // masquerading as instrumentation overhead.
+    let (mut secs_on, mut secs_off) = (0.0f64, 0.0f64);
+    for round in 0..rounds {
+        let (off, on) = if round % 2 == 0 {
+            let off = commit_round(&disabled, commits);
+            let on = commit_round(&enabled, commits);
+            (off, on)
+        } else {
+            let on = commit_round(&enabled, commits);
+            let off = commit_round(&disabled, commits);
+            (off, on)
+        };
+        secs_off += f64::from(commits) / off;
+        secs_on += f64::from(commits) / on;
+        println!("round {round}: {off:>10.0} commits/s off, {on:>10.0} commits/s on");
+    }
+    let total = f64::from(commits) * f64::from(rounds);
+    let (rate_off, rate_on) = (total / secs_off, total / secs_on);
+    let overhead_pct = ((rate_off - rate_on) / rate_off * 100.0).max(0.0);
+    println!("aggregate             : {rate_off:.0} commits/s off, {rate_on:.0} commits/s on");
+    println!("instrumentation cost  : {overhead_pct:.2}% of disabled throughput");
+
+    let metrics = [
+        Metric {
+            name: "obs_commits_per_sec_enabled",
+            value: rate_on,
+            better: Better::Higher,
+        },
+        Metric {
+            name: "obs_commits_per_sec_disabled",
+            value: rate_off,
+            better: Better::Higher,
+        },
+        Metric {
+            name: "obs_overhead_pct",
+            value: overhead_pct,
+            better: Better::Lower,
+        },
+    ];
+    let info = [
+        ("commits_per_round", f64::from(commits)),
+        ("rounds", f64::from(rounds)),
+    ];
+
+    let json = with_obs_section(&render_json(&metrics, quick, &info), &enabled);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    // Absolute gate first: the instrumentation budget is a property of
+    // the spine, not a regression — it holds even on the first run.
+    let mut failed = false;
+    if overhead_pct >= 5.0 {
+        eprintln!("FAIL: instrumentation overhead {overhead_pct:.2}% is not below the 5% budget");
+        failed = true;
+    }
+
+    if let Some(baseline_path) = baseline_path {
+        match std::fs::read_to_string(&baseline_path) {
+            Err(_) => {
+                // First run: establish the baseline (CI commits this file).
+                std::fs::write(&baseline_path, &json).expect("write baseline");
+                println!("no baseline found; wrote initial baseline to {baseline_path}");
+            }
+            Ok(baseline) => {
+                // Only gate against a baseline recorded in the same mode.
+                let baseline_quick = baseline.contains("\"quick\": true");
+                if baseline_quick != quick {
+                    println!(
+                        "baseline at {baseline_path} was recorded in {} mode, this run is {} mode — skipping the regression gate",
+                        if baseline_quick { "quick" } else { "full" },
+                        if quick { "quick" } else { "full" },
+                    );
+                } else {
+                    for m in &metrics {
+                        let Some(base) = baseline_value(&baseline, m.name) else {
+                            println!("baseline lacks {} — skipping", m.name);
+                            continue;
+                        };
+                        // The overhead percentage can legitimately sit
+                        // near zero, where a ratio gate is meaningless;
+                        // the absolute 5% budget above is its real gate.
+                        if m.name == "obs_overhead_pct" {
+                            println!(
+                                "{:<30} current {:>10.3}  baseline {:>10.3}  (absolute gate only)",
+                                m.name, m.value, base
+                            );
+                            continue;
+                        }
+                        let (bad, ratio) = match m.better {
+                            Better::Higher => (
+                                m.value < base * (1.0 - tolerance),
+                                m.value / base.max(f64::MIN_POSITIVE),
+                            ),
+                            Better::Lower => (
+                                m.value > base * (1.0 + tolerance),
+                                base / m.value.max(f64::MIN_POSITIVE),
+                            ),
+                        };
+                        println!(
+                            "{:<30} current {:>10.0}  baseline {:>10.0}  ratio {:.2} {}",
+                            m.name,
+                            m.value,
+                            base,
+                            ratio,
+                            if bad { "REGRESSED" } else { "ok" }
+                        );
+                        if bad {
+                            eprintln!(
+                                "FAIL: {} regressed more than {:.0}% vs baseline",
+                                m.name,
+                                tolerance * 100.0
+                            );
+                            failed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

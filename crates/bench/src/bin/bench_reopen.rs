@@ -76,11 +76,13 @@ fn opts() -> SegmentOptions {
 
 /// Publishes a `commits`-deep two-branch OR-set history (every commit a
 /// distinct state, so reopen decodes `commits + 1` real states) and
-/// returns the directory.
-fn build_history(dir: &Path, commits: u32) -> (usize, usize) {
+/// returns the directory. The build reports into `obs`, so the final
+/// JSON carries the shared observability snapshot of the run.
+fn build_history(obs: &peepul_obs::Obs, dir: &Path, commits: u32) -> (usize, usize) {
     let backend = SegmentBackend::open_with(dir, opts()).expect("open build segment");
     let mut db: BranchStore<OrSetSpace<u64>, _> =
         BranchStore::with_backend("main", backend).expect("create store");
+    db.set_metrics(peepul_store::StoreMetrics::attach(obs));
     db.branch_mut("main").unwrap().fork("feed").unwrap();
     for i in 0..commits {
         let branch = if i % 2 == 0 { "main" } else { "feed" };
@@ -106,6 +108,7 @@ fn build_history(dir: &Path, commits: u32) -> (usize, usize) {
             .len()
     };
     db.flush().unwrap();
+    db.publish_gauges();
     (commits, states)
 }
 
@@ -185,8 +188,9 @@ fn main() {
         if quick { "quick" } else { "full" }
     );
 
+    let obs = peepul_obs::Obs::new(peepul_obs::ObsConfig::default());
     let dir = scratch("reference");
-    let (commit_count, state_count) = build_history(&dir, reference);
+    let (commit_count, state_count) = build_history(&obs, &dir, reference);
     let mut total = 0f64;
     for _ in 0..reps {
         total += cold_start(&dir);
@@ -207,7 +211,7 @@ fn main() {
     ];
     for &n in sweep {
         let dir = scratch(&format!("sweep-{n}"));
-        let (commits, _) = build_history(&dir, n);
+        let (commits, _) = build_history(&obs, &dir, n);
         let ms = cold_start(&dir) * 1e3;
         println!("sweep                 : {commits} commits reopen in {ms:.1} ms");
         info.push((format!("sweep_ms_at_{n}"), ms));
@@ -232,7 +236,7 @@ fn main() {
         },
     ];
 
-    let json = render_json(&metrics, quick, &info);
+    let json = peepul_bench::with_obs_section(&render_json(&metrics, quick, &info), &obs);
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
 

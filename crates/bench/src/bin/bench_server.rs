@@ -215,7 +215,12 @@ fn main() {
         ("frames_served", server.frames_served() as f64),
     ];
 
-    let json = render_json(&metrics, quick, &info);
+    // One Metrics round-trip publishes the server's pull-model gauges, so
+    // the spliced obs section reflects the full hammer run.
+    ServiceClient::connect(addr)
+        .and_then(|mut c| c.metrics())
+        .expect("metrics round-trip");
+    let json = peepul_bench::with_obs_section(&render_json(&metrics, quick, &info), server.obs());
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
 

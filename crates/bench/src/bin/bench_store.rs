@@ -50,9 +50,11 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 /// Two-branch gossip: `rounds` rounds of (5 ops per side, merge both
-/// ways). Returns merges per second.
-fn merge_throughput(rounds: u32) -> f64 {
+/// ways). Returns merges per second. Reports into `obs` so the final
+/// JSON carries the shared observability snapshot of the run.
+fn merge_throughput(obs: &peepul_obs::Obs, rounds: u32) -> f64 {
     let mut s: BranchStore<OrSetSpace<u64>> = BranchStore::new("a");
+    s.set_metrics(peepul_store::StoreMetrics::attach(obs));
     s.branch_mut("a").unwrap().fork("b").unwrap();
     let mut merges = 0u64;
     let start = Instant::now();
@@ -69,7 +71,9 @@ fn merge_throughput(rounds: u32) -> f64 {
         s.branch_mut("b").unwrap().merge_from("a").unwrap();
         merges += 2;
     }
-    merges as f64 / start.elapsed().as_secs_f64()
+    let rate = merges as f64 / start.elapsed().as_secs_f64();
+    s.publish_gauges();
+    rate
 }
 
 /// Builds a criss-cross store (two maximal merge bases between `x` and
@@ -216,7 +220,8 @@ fn main() {
         "# bench_store ({} mode)",
         if quick { "quick" } else { "full" }
     );
-    let throughput = merge_throughput(rounds);
+    let obs = peepul_obs::Obs::new(peepul_obs::ObsConfig::default());
+    let throughput = merge_throughput(&obs, rounds);
     println!("merge throughput      : {throughput:.0} merges/s ({rounds} rounds)");
     let lca = lca_ns(lca_n, lca_iters);
     println!("LCA (criss-cross)     : {lca:.0} ns/search");
@@ -254,7 +259,7 @@ fn main() {
         ("memo_probe_speedup", speedup),
     ];
 
-    let json = render_json(&metrics, quick, &info);
+    let json = peepul_bench::with_obs_section(&render_json(&metrics, quick, &info), &obs);
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
 

@@ -116,11 +116,14 @@ fn write_load(dir: &Path, commits: u32, batch: u32) -> (f64, u64) {
 /// Builds a history where roughly half of all commits end up stranded
 /// (scratch branches repointed back to their fork base), runs GC +
 /// compaction, and returns `(disk_bytes, live_bytes, dead_objects)`.
-fn gc_amplification(dir: &Path, commits: u32) -> (u64, u64, u64) {
+/// The run reports into `obs` (GC sweep stats, compaction bytes, fsync
+/// counts), so the final JSON carries the shared observability snapshot.
+fn gc_amplification(obs: &peepul_obs::Obs, dir: &Path, commits: u32) -> (u64, u64, u64) {
     let backend =
         SegmentBackend::open_with(dir, opts(FlushPolicy::Explicit)).expect("open segment");
     let mut db: BranchStore<OrSetSpace<u64>, _> =
         BranchStore::with_backend("main", backend).expect("create store");
+    db.set_metrics(peepul_store::StoreMetrics::attach(obs));
     for i in 0..commits {
         db.branch_mut("main")
             .unwrap()
@@ -142,6 +145,7 @@ fn gc_amplification(dir: &Path, commits: u32) -> (u64, u64, u64) {
     }
     let stats = db.collect_garbage().expect("collect garbage");
     db.flush().unwrap();
+    db.publish_gauges();
     (
         db.backend().disk_bytes(),
         stats.live_bytes,
@@ -225,8 +229,9 @@ fn main() {
     let speedup = throughput[2].1 / throughput[0].1;
     println!("group commit speedup  : {speedup:.2}x (batch 128 vs batch 1)");
 
+    let obs = peepul_obs::Obs::new(peepul_obs::ObsConfig::default());
     let dir = scratch("gc");
-    let (disk_bytes, live_bytes, dead_objects) = gc_amplification(&dir, gc_commits);
+    let (disk_bytes, live_bytes, dead_objects) = gc_amplification(&obs, &dir, gc_commits);
     let amplification = disk_bytes as f64 / live_bytes as f64;
     println!(
         "post-GC amplification : {amplification:.3} ({disk_bytes} disk bytes / {live_bytes} live \
@@ -276,7 +281,7 @@ fn main() {
         ("fsyncs_per_commit_batch128".into(), throughput[2].2),
     ];
 
-    let json = render_json(&metrics, quick, &info);
+    let json = peepul_bench::with_obs_section(&render_json(&metrics, quick, &info), &obs);
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
 

@@ -68,8 +68,9 @@ fn deep_history(commits: u32) -> Replica<OrSetSpace<u64>, MemoryBackend> {
 
 /// Cold-fetch throughput: a fresh replica downloads the whole history.
 /// Returns `(objects_per_sec, round_trips, objects)` averaged over
-/// `reps` fresh clients.
-fn fetch_throughput(commits: u32, reps: u32) -> (f64, f64, u64) {
+/// `reps` fresh clients. Each client reports into `obs`, so the final
+/// JSON carries the net-side observability snapshot of the run.
+fn fetch_throughput(obs: &peepul_obs::Obs, commits: u32, reps: u32) -> (f64, f64, u64) {
     let origin = deep_history(commits);
     let mut total_objects = 0u64;
     let mut total_rts = 0u64;
@@ -80,6 +81,8 @@ fn fetch_throughput(commits: u32, reps: u32) -> (f64, f64, u64) {
             BranchStore::with_backend_and_base("main", MemoryBackend::new(), (rep + 1) << 16)
                 .unwrap(),
         );
+        client.set_net_metrics(peepul_net::NetMetrics::attach(obs));
+        client.with_store(|s| s.set_metrics(peepul_store::StoreMetrics::attach(obs)));
         let mut remote = Remote::new("origin", ChannelTransport::connect(origin.clone()));
         let start = Instant::now();
         let stats = client.fetch(&mut remote, "main").unwrap();
@@ -180,7 +183,8 @@ fn main() {
         "# bench_sync ({} mode)",
         if quick { "quick" } else { "full" }
     );
-    let (objects_per_sec, rts_per_fetch, objects_per_fetch) = fetch_throughput(commits, reps);
+    let obs = peepul_obs::Obs::new(peepul_obs::ObsConfig::default());
+    let (objects_per_sec, rts_per_fetch, objects_per_fetch) = fetch_throughput(&obs, commits, reps);
     println!(
         "cold fetch            : {objects_per_sec:.0} objects/s \
          ({objects_per_fetch} objects, {rts_per_fetch:.1} round trips)"
@@ -214,7 +218,7 @@ fn main() {
         ("heal_objects_transferred", heal_objects as f64),
     ];
 
-    let json = render_json(&metrics, quick, &info);
+    let json = peepul_bench::with_obs_section(&render_json(&metrics, quick, &info), &obs);
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
 

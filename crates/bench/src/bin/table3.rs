@@ -131,7 +131,7 @@ fn main() {
     println!("# LoC = non-blank, non-test lines of the module, *including* its");
     println!("# specification and simulation relation (the 'proof text' here).");
     println!("# envelope 'paper' = certified relative to the paper's strong Ψ_lca");
-    println!("# store assumption (see DESIGN.md §8.1).");
+    println!("# store assumption (see DESIGN.md §9.1).");
     if failures > 0 {
         std::process::exit(1);
     }

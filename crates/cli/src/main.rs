@@ -14,10 +14,13 @@
 //! `branch <name> <head-hex> <state-hex>` line per branch — which is what
 //! the fleet smoke test compares across nodes to assert convergence.
 //! `watch` polls a key and prints each newly observed value until
-//! `--count` changes were seen.
+//! `--count` changes were seen. `metrics` prints the node's Prometheus
+//! exposition verbatim (scrape-ready); `top` polls it and prints
+//! per-second rates for every counter that moved between samples.
 
+use peepul_obs::parse_exposition;
 use peepul_server::{ServiceClient, ServiceResponse};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
@@ -31,7 +34,12 @@ fn usage() -> ! {
          \x20 fork FROM TO                   create branch TO off FROM\n\
          \x20 merge INTO FROM                three-way merge FROM into INTO\n\
          \x20 branches                       print visible branch names\n\
-         \x20 serve-status                   print node status and branch heads"
+         \x20 serve-status                   print node status and branch heads\n\
+         \x20 metrics                        print the node's metric exposition\n\
+         \x20 top [--interval-ms MS] [--count N]\n\
+         \x20                                poll metrics, print counter rates/sec\n\
+         \x20 trace-dump                     flush the node's trace ring to its\n\
+         \x20                                --trace-dump path"
     );
     std::process::exit(2);
 }
@@ -98,6 +106,15 @@ fn main() {
             }
         }
         ("serve-status", []) => serve_status(&mut client),
+        ("metrics", []) => {
+            let text = client.metrics().unwrap_or_else(|e| fail(e));
+            if text.is_empty() {
+                fail("node reports no metrics (observability disabled?)");
+            }
+            print!("{text}");
+        }
+        ("top", opts) => top(&mut client, opts),
+        ("trace-dump", []) => client.trace_dump().unwrap_or_else(|e| fail(e)),
         _ => usage(),
     }
 }
@@ -144,6 +161,10 @@ fn serve_status(client: &mut ServiceClient) {
         peak_connections,
         connections_accepted,
         frames_served,
+        uptime_secs,
+        flush,
+        disk_bytes,
+        segments,
         branches,
     } = client.status().unwrap_or_else(|e| fail(e))
     else {
@@ -151,11 +172,83 @@ fn serve_status(client: &mut ServiceClient) {
     };
     println!("node {node}");
     println!("tick {tick}");
+    println!("uptime-secs {uptime_secs}");
+    println!("flush {flush}");
+    println!("disk-bytes {disk_bytes}");
+    println!("segments {segments}");
     println!("active-connections {active_connections}");
     println!("peak-connections {peak_connections}");
     println!("connections-accepted {connections_accepted}");
     println!("frames-served {frames_served}");
     for (name, head, state) in branches {
         println!("branch {name} {head} {state}");
+    }
+}
+
+/// Polls the node's exposition, printing per-second rates for every
+/// counter (and histogram `_count`) that moved since the previous sample.
+/// One block per tick; `--count` bounds the number of blocks.
+fn top(client: &mut ServiceClient, opts: &[String]) {
+    let mut interval = Duration::from_millis(1000);
+    let mut count = u64::MAX;
+    let mut it = opts.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--interval-ms" => {
+                interval = Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--count" => count = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+
+    let mut last: Option<(Instant, std::collections::BTreeMap<String, f64>)> = None;
+    let mut printed = 0u64;
+    while printed < count {
+        let text = client.metrics().unwrap_or_else(|e| fail(e));
+        let samples = parse_exposition(&text).unwrap_or_else(|e| fail(e));
+        let now = Instant::now();
+        // Counters and histogram counts — the monotone samples a
+        // delta/sec is meaningful for.
+        let cumulative: std::collections::BTreeMap<String, f64> = samples
+            .iter()
+            .filter(|s| s.name.ends_with("_total") || s.name.ends_with("_count"))
+            .map(|s| {
+                let mut key = s.name.clone();
+                if !s.labels.is_empty() {
+                    let labels: Vec<String> = s
+                        .labels
+                        .iter()
+                        .map(|(k, v)| format!("{k}=\"{v}\""))
+                        .collect();
+                    key = format!("{key}{{{}}}", labels.join(","));
+                }
+                (key, s.value)
+            })
+            .collect();
+        if let Some((before, prev)) = &last {
+            let secs = now.duration_since(*before).as_secs_f64().max(1e-9);
+            let mut moved: Vec<(String, f64, f64)> = cumulative
+                .iter()
+                .filter_map(|(name, v)| {
+                    let delta = v - prev.get(name).copied().unwrap_or(0.0);
+                    (delta > 0.0).then(|| (name.clone(), delta / secs, *v))
+                })
+                .collect();
+            moved.sort_by(|a, b| b.1.total_cmp(&a.1));
+            println!("-- {:.1}s", secs);
+            if moved.is_empty() {
+                println!("(idle)");
+            }
+            for (name, rate, total) in moved {
+                println!("{name}\t{rate:.1}/s\t{total}");
+            }
+            printed += 1;
+        }
+        last = Some((now, cumulative));
+        if printed < count {
+            std::thread::sleep(interval);
+        }
     }
 }

@@ -112,7 +112,7 @@ pub fn psi_ts<O, V>(i: &AbstractState<O, V>) -> Result<(), StorePropertyError> {
 /// which is not visible to the earlier `t2`.) All Table 2 obligations
 /// still hold on such executions; only the stated store property was too
 /// strong. [`psi_lca_paper`] provides the literal conjunct for topologies
-/// where it applies. See `DESIGN.md` §7 for the full discussion.
+/// where it applies. See `DESIGN.md` §8 for the full discussion.
 ///
 /// # Errors
 ///

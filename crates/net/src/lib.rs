@@ -75,6 +75,7 @@ pub mod anti_entropy;
 pub mod cluster;
 pub mod error;
 pub mod message;
+pub mod metrics;
 pub mod observer;
 pub mod replica;
 pub mod serve;
@@ -85,6 +86,7 @@ pub use anti_entropy::{AntiEntropy, AntiEntropyReport};
 pub use cluster::Cluster;
 pub use error::NetError;
 pub use message::{PackedObject, Request, Response};
+pub use metrics::NetMetrics;
 pub use observer::{HistoryObserver, ReplicationMutation};
 pub use replica::{FetchStats, PullOutcome, PullReport, PushReport, Remote, Replica};
 pub use serve::{ConnStats, FnService, FrameServer, FrameService, ServeOptions};

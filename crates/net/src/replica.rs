@@ -37,6 +37,7 @@
 
 use crate::error::NetError;
 use crate::message::{PackedObject, Request, Response};
+use crate::metrics::NetMetrics;
 use crate::observer::{HistoryObserver, ReplicationMutation};
 use crate::transport::Transport;
 use parking_lot::RwLock;
@@ -47,10 +48,12 @@ use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
-/// The observer/mutation slot shared by every clone of a replica handle.
+/// The observer/mutation/metrics slot shared by every clone of a replica
+/// handle.
 struct Hooks<M: Mrdt> {
     observer: Option<Arc<dyn HistoryObserver<M>>>,
     mutation: ReplicationMutation,
+    metrics: Option<Arc<NetMetrics>>,
 }
 
 impl<M: Mrdt> Default for Hooks<M> {
@@ -58,6 +61,7 @@ impl<M: Mrdt> Default for Hooks<M> {
         Hooks {
             observer: None,
             mutation: ReplicationMutation::None,
+            metrics: None,
         }
     }
 }
@@ -243,6 +247,18 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
         (h.observer.clone(), h.mutation)
     }
 
+    /// Attaches (or detaches, with `None`) replication metrics — same
+    /// shared-by-every-clone semantics as [`Replica::set_observer`].
+    /// Fetches, pushes and served pushes through any clone of this
+    /// handle update the attached counters.
+    pub fn set_net_metrics(&self, metrics: Option<Arc<NetMetrics>>) {
+        self.hooks.write().metrics = metrics;
+    }
+
+    fn net_metrics(&self) -> Option<Arc<NetMetrics>> {
+        self.hooks.read().metrics.clone()
+    }
+
     /// Applies one local operation to `branch` — the witness-observed
     /// counterpart of `with_store(|s| s.branch_mut(branch)?.apply(op))`.
     /// When an observer is attached, the minted event (timestamp, return
@@ -348,6 +364,8 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
         remote: &mut Remote<T>,
         branch: &str,
     ) -> Result<FetchStats, NetError> {
+        let metrics = self.net_metrics();
+        let start = metrics.as_ref().map(|_| std::time::Instant::now());
         let rt0 = remote.round_trips;
         let tracking_branch = format!("remote/{}/{branch}", remote.name());
         let refs = remote.refs()?;
@@ -364,13 +382,19 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
         })?;
         if up_to_date {
             self.with_store(|s| s.force_track(&tracking_branch, head))?;
-            return Ok(FetchStats {
+            let stats = FetchStats {
                 round_trips: remote.round_trips - rt0,
                 commits_received: 0,
                 states_received: 0,
                 tracking_branch,
                 up_to_date: true,
-            });
+            };
+            if let (Some(m), Some(start)) = (&metrics, start) {
+                m.fetches_total.inc();
+                m.round_trips_total.add(stats.round_trips);
+                m.fetch_micros.observe_since(start);
+            }
+            return Ok(stats);
         }
 
         // Phase 2 (no local lock): one want/have round resolves the whole
@@ -429,13 +453,26 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
             }
             Ok(counts)
         })?;
-        Ok(FetchStats {
+        let stats = FetchStats {
             round_trips: remote.round_trips - rt0,
             commits_received: counts.commits,
             states_received: counts.states,
             tracking_branch,
             up_to_date: false,
-        })
+        };
+        if let (Some(m), Some(start)) = (&metrics, start) {
+            let micros = start.elapsed().as_micros() as u64;
+            let bytes: u64 = commits.iter().map(|o| o.bytes.len() as u64).sum::<u64>()
+                + states.iter().map(|o| o.bytes.len() as u64).sum::<u64>();
+            m.fetches_total.inc();
+            m.round_trips_total.add(stats.round_trips);
+            m.pack_objects_in_total
+                .add(commits.len() as u64 + states.len() as u64);
+            m.pack_bytes_in_total.add(bytes);
+            m.fetch_micros.observe(micros);
+            m.trace("fetch", remote.name(), micros);
+        }
+        Ok(stats)
     }
 
     /// Fetches `branch` from the remote and integrates it into the local
@@ -502,6 +539,8 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
         remote: &mut Remote<T>,
         branch: &str,
     ) -> Result<PushReport, NetError> {
+        let metrics = self.net_metrics();
+        let start = metrics.as_ref().map(|_| std::time::Instant::now());
         let rt0 = remote.round_trips;
         let refs = remote.refs()?;
         let server_heads: Vec<ObjectId> = refs.iter().map(|(_, o)| *o).collect();
@@ -553,13 +592,25 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
         })?;
 
         let (commits_sent, states_sent) = (commits.len() as u64, states.len() as u64);
+        let bytes_out: u64 = commits.iter().map(|o| o.bytes.len() as u64).sum::<u64>()
+            + states.iter().map(|o| o.bytes.len() as u64).sum::<u64>();
         let created = remote.push_pack(branch, head, commits, states)?;
-        Ok(PushReport {
+        let report = PushReport {
             round_trips: remote.round_trips - rt0,
             commits_sent,
             states_sent,
             created,
-        })
+        };
+        if let (Some(m), Some(start)) = (&metrics, start) {
+            let micros = start.elapsed().as_micros() as u64;
+            m.pushes_total.inc();
+            m.round_trips_total.add(report.round_trips);
+            m.pack_objects_out_total.add(commits_sent + states_sent);
+            m.pack_bytes_out_total.add(bytes_out);
+            m.push_micros.observe(micros);
+            m.trace("push", remote.name(), micros);
+        }
+        Ok(report)
     }
 }
 
@@ -913,10 +964,14 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
             return serve_read(&self.store.read(), req);
         };
         let (observer, mutation) = self.hooks_snapshot();
+        let metrics = self.net_metrics();
         let store = &mut *self.store.write();
         // Refuse a diverged push *before* ingesting its objects, or
         // every denied push leaks its pack into the backend.
         if push_would_diverge(store, &branch, head, &commits)? {
+            if let Some(m) = &metrics {
+                m.push_denied_total.inc();
+            }
             return Ok(Response::PushDenied);
         }
         let mut learned = if observer.is_some() {
@@ -942,6 +997,20 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
             if matches!(outcome, TrackOutcome::Created | TrackOutcome::FastForwarded) {
                 let visible = store.visible_mints(store.head(&branch)?);
                 obs.head_advanced(&self.name, &visible);
+            }
+        }
+        if let Some(m) = &metrics {
+            let bytes: u64 = commits.iter().map(|o| o.bytes.len() as u64).sum::<u64>()
+                + states.iter().map(|o| o.bytes.len() as u64).sum::<u64>();
+            match outcome {
+                TrackOutcome::Diverged => m.push_denied_total.inc(),
+                _ => {
+                    m.serve_pushes_total.inc();
+                    m.pack_objects_in_total
+                        .add(commits.len() as u64 + states.len() as u64);
+                    m.pack_bytes_in_total.add(bytes);
+                    m.trace("serve_push", &branch, commits.len() as u64);
+                }
             }
         }
         match outcome {

@@ -135,6 +135,24 @@ impl ConnStats {
     pub fn frames(&self) -> u64 {
         self.0.frames.load(Ordering::SeqCst)
     }
+
+    /// Publishes these connection counters as live callback gauges on an
+    /// observability registry, so they appear in the same exposition as
+    /// every other metric instead of being reachable only through the
+    /// handle returned at server construction. Each gauge reads the
+    /// shared cells at render time — no polling thread, no staleness.
+    pub fn register_gauges(&self, registry: &peepul_obs::Registry) {
+        let s = self.clone();
+        registry.gauge_fn("peepul_server_conns_active", move || s.active() as f64);
+        let s = self.clone();
+        registry.gauge_fn("peepul_server_conns_peak", move || s.peak() as f64);
+        let s = self.clone();
+        registry.gauge_fn("peepul_server_conns_accepted_total", move || {
+            s.accepted() as f64
+        });
+        let s = self.clone();
+        registry.gauge_fn("peepul_server_frames_total", move || s.frames() as f64);
+    }
 }
 
 /// Coordination between the acceptor and serving threads: the acceptor

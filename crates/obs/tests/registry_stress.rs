@@ -1,0 +1,169 @@
+//! Satellite coverage for the observability spine: an 8-thread hammer on
+//! the registry with concurrent exposition snapshots (counters must never
+//! regress and every snapshot must parse), and a histogram-percentile
+//! check against an exact reference computed from the raw observations.
+
+use peepul_obs::{parse_exposition, Registry};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// 8 writer threads hammer counters, gauges and histograms while the
+/// main thread repeatedly renders and parses the exposition. Asserts the
+/// lock-free contract: parsed counter values never regress between
+/// snapshots, and the final totals are exact.
+#[test]
+fn eight_threads_hammer_registry_under_snapshots() {
+    const THREADS: usize = 8;
+    const OPS: u64 = 20_000;
+
+    let registry = Arc::new(Registry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = registry.clone();
+            std::thread::spawn(move || {
+                // Each thread shares one counter family and owns one
+                // labeled counter, exercising both shared-slot and
+                // per-thread registration under contention.
+                let shared = registry.counter("peepul_test_shared_total");
+                let own = registry.counter(&format!("peepul_test_ops_total{{thread=\"{t}\"}}"));
+                let gauge = registry.gauge("peepul_test_inflight");
+                let hist = registry.histogram("peepul_test_latency_micros");
+                for i in 0..OPS {
+                    shared.inc();
+                    own.inc();
+                    gauge.add(1);
+                    hist.observe(i % 1000);
+                    gauge.add(-1);
+                }
+            })
+        })
+        .collect();
+
+    // Snapshot loop: render + parse while the writers run, tracking the
+    // shared counter's parsed value to prove monotonicity.
+    let mut last_shared = 0.0f64;
+    let mut snapshots = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        let text = registry.render();
+        let samples = parse_exposition(&text)
+            .unwrap_or_else(|e| panic!("mid-flight exposition failed to parse: {e}\n{text}"));
+        if let Some(s) = samples
+            .iter()
+            .find(|s| s.name == "peepul_test_shared_total")
+        {
+            assert!(
+                s.value >= last_shared,
+                "counter regressed across snapshots: {} -> {}",
+                last_shared,
+                s.value
+            );
+            last_shared = s.value;
+        }
+        snapshots += 1;
+        if writers.iter().all(|w| w.is_finished()) {
+            stop.store(true, Ordering::Relaxed);
+        }
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert!(snapshots > 0);
+
+    // Final exposition is exact.
+    let samples = parse_exposition(&registry.render()).unwrap();
+    let shared = samples
+        .iter()
+        .find(|s| s.name == "peepul_test_shared_total")
+        .unwrap();
+    assert_eq!(shared.value, (THREADS as u64 * OPS) as f64);
+    for t in 0..THREADS {
+        let own = samples
+            .iter()
+            .find(|s| {
+                s.name == "peepul_test_ops_total" && s.label("thread") == Some(&t.to_string())
+            })
+            .unwrap_or_else(|| panic!("missing per-thread counter for thread {t}"));
+        assert_eq!(own.value, OPS as f64);
+    }
+    let inflight = samples
+        .iter()
+        .find(|s| s.name == "peepul_test_inflight")
+        .unwrap();
+    assert_eq!(inflight.value, 0.0, "every add(1) was matched by add(-1)");
+    let hist_count = samples
+        .iter()
+        .find(|s| s.name == "peepul_test_latency_micros_count")
+        .unwrap();
+    assert_eq!(hist_count.value, (THREADS as u64 * OPS) as f64);
+}
+
+/// Exact reference percentile: the value at (1-based) rank
+/// `ceil(q * len)` of the sorted observations.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The histogram's log2-bucket quantiles versus an exact reference over
+/// the same data: the estimate must never be below the true percentile
+/// and at most one power-of-two bucket above it.
+#[test]
+fn histogram_percentiles_match_exact_reference() {
+    let registry = Registry::new();
+    let hist = registry.histogram("peepul_test_ref_micros");
+
+    // A deliberately skewed workload: many fast ops, a slow tail —
+    // deterministic LCG so the test needs no RNG dependency.
+    let mut seed = 0x2545F4914F6CDD1Du64;
+    let mut observations: Vec<u64> = (0..10_000)
+        .map(|_| {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = seed >> 33;
+            match r % 100 {
+                0..=89 => r % 128,         // fast path: < 128 us
+                90..=98 => 128 + r % 2048, // mid tier
+                _ => 10_000 + r % 100_000, // slow tail
+            }
+        })
+        .collect();
+    for &v in &observations {
+        hist.observe(v);
+    }
+    observations.sort_unstable();
+
+    for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+        let exact = exact_percentile(&observations, q);
+        let estimate = hist.quantile(q);
+        assert!(
+            estimate >= exact,
+            "q={q}: estimate {estimate} below exact percentile {exact}"
+        );
+        // The estimate is the containing bucket's upper bound, so it is
+        // less than twice the exact value (next power of two minus one),
+        // except around zero where the bound is the bucket edge itself.
+        let bound = exact.saturating_mul(2).max(1);
+        assert!(
+            estimate <= bound,
+            "q={q}: estimate {estimate} exceeds log2 bound {bound} (exact {exact})"
+        );
+    }
+    assert_eq!(hist.count(), observations.len() as u64);
+    assert_eq!(hist.sum(), observations.iter().sum::<u64>());
+
+    // Degenerate shapes stay exact: constant streams hit the bucket
+    // containing the constant.
+    let constant = registry.histogram("peepul_test_const_micros");
+    for _ in 0..100 {
+        constant.observe(64);
+    }
+    assert_eq!(constant.quantile(0.5), 127, "64 lives in bucket [64,127]");
+    let zeros = registry.histogram("peepul_test_zero_micros");
+    for _ in 0..10 {
+        zeros.observe(0);
+    }
+    assert_eq!(zeros.quantile(0.99), 0);
+}

@@ -35,9 +35,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod metrics;
 pub mod server;
 pub mod service;
 
+pub use metrics::ServerMetrics;
 pub use server::{Server, ServerConfig, ServiceClient, SyncRoundReport};
 pub use service::{
     Kv, ServiceRequest, ServiceResponse, Session, SERVICE_TAG_BASE, TRACKING_PREFIX,

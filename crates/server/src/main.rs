@@ -11,8 +11,10 @@
 //! backend, so a restarted node comes back with its full history and
 //! clock.
 
+use peepul_obs::{ObsConfig, TraceLevel};
 use peepul_server::{Server, ServerConfig};
 use peepul_store::{FlushPolicy, SegmentBackend, SegmentOptions};
+use std::path::PathBuf;
 use std::time::Duration;
 
 struct Args {
@@ -27,7 +29,8 @@ fn usage() -> ! {
         "usage: peepul-server --listen ADDR --data DIR --name NAME \
          [--root-branch BRANCH] [--peer ADDR]... [--max-conns N] \
          [--sync-interval-ms MS] [--flush per-commit|coalesced:MS|explicit] \
-         [--segment-bytes N]"
+         [--segment-bytes N] [--no-obs] [--trace-level off|info|debug] \
+         [--trace-ring N] [--trace-dump PATH]"
     );
     std::process::exit(2);
 }
@@ -55,6 +58,8 @@ fn parse_args() -> Args {
     let mut max_connections = 64usize;
     let mut sync_interval = Duration::from_millis(500);
     let mut options = SegmentOptions::default();
+    let mut obs = ObsConfig::default();
+    let mut trace_dump = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -77,6 +82,19 @@ fn parse_args() -> Args {
             "--segment-bytes" => {
                 options.max_segment_bytes = value().parse().unwrap_or_else(|_| usage());
             }
+            "--no-obs" => obs = ObsConfig::disabled(),
+            "--trace-level" => {
+                obs.level = match value().as_str() {
+                    "off" => TraceLevel::Off,
+                    "info" => TraceLevel::Info,
+                    "debug" => TraceLevel::Debug,
+                    _ => usage(),
+                };
+            }
+            "--trace-ring" => {
+                obs.ring_capacity = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--trace-dump" => trace_dump = Some(PathBuf::from(value())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -104,6 +122,8 @@ fn parse_args() -> Args {
             peers,
             sync_interval,
             flush_interval,
+            obs,
+            trace_dump,
         },
         options,
     }

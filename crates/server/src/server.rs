@@ -29,19 +29,23 @@
 //! refusals — the next round pulls, merges and retries). Unreachable
 //! peers are skipped, so a fleet can be started in any order.
 
+use crate::metrics::{request_kind, ServerMetrics};
 use crate::service::{Kv, ServiceRequest, ServiceResponse, Session, TRACKING_PREFIX};
 use peepul_core::wire::Wire;
 use peepul_net::{
-    ConnStats, FrameServer, FrameService, NetError, Remote, Replica, ServeOptions, TcpTransport,
+    ConnStats, FrameServer, FrameService, NetError, NetMetrics, Remote, Replica, ServeOptions,
+    TcpTransport,
 };
-use peepul_store::{Backend, StoreError};
+use peepul_obs::{Obs, ObsConfig};
+use peepul_store::{Backend, BranchStore, CommitId, StoreError, StoreMetrics};
 use peepul_types::lww_register::{LwwOp, LwwQuery};
 use peepul_types::map::{MapOp, MapQuery};
 use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How a [`Server`] is to be run: identity, limits and peering.
 #[derive(Clone, Debug)]
@@ -64,6 +68,15 @@ pub struct ServerConfig {
     /// acknowledged writes may stay volatile. `None` (the default) means
     /// the backend's own policy is the whole durability story.
     pub flush_interval: Option<Duration>,
+    /// The observability spine: how many trace events to retain and at
+    /// what level. [`ObsConfig::disabled`] removes every metric and
+    /// trace touch from the hot paths (the [`ServiceRequest::Metrics`]
+    /// exposition is then empty).
+    pub obs: ObsConfig,
+    /// When set, the trace [`EventRing`](peepul_obs::EventRing) is
+    /// flushed to this path as JSONL on shutdown and on every
+    /// [`ServiceRequest::TraceDump`].
+    pub trace_dump: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -78,6 +91,8 @@ impl ServerConfig {
             peers: Vec::new(),
             sync_interval: Duration::from_millis(500),
             flush_interval: None,
+            obs: ObsConfig::default(),
+            trace_dump: None,
         }
     }
 }
@@ -105,6 +120,8 @@ pub struct Server<B: Backend + Send + Sync + 'static> {
     sync_thread: Option<JoinHandle<()>>,
     flush_thread: Option<JoinHandle<()>>,
     name: String,
+    obs: Obs,
+    trace_dump: Option<PathBuf>,
 }
 
 impl<B: Backend + Send + Sync + 'static> Server<B> {
@@ -123,12 +140,39 @@ impl<B: Backend + Send + Sync + 'static> Server<B> {
     ) -> Result<Self, NetError> {
         let replica: Replica<Kv, B> =
             Replica::open(config.name.clone(), config.root_branch.clone(), backend)?;
+
+        // The observability spine: one registry + trace ring shared by
+        // every subsystem. Attaching hands each layer its pre-resolved
+        // handles; a disabled spine attaches nothing, so the hot paths
+        // pay only a `None` check.
+        let obs = Obs::new(config.obs.clone());
+        replica.with_store(|s| s.set_metrics(StoreMetrics::attach(&obs)));
+        replica.set_net_metrics(NetMetrics::attach(&obs));
+        let metrics = ServerMetrics::attach(&obs);
+        let started = Instant::now();
+        if obs.enabled() {
+            obs.registry()
+                .gauge_fn("peepul_server_uptime_seconds", move || {
+                    started.elapsed().as_secs_f64()
+                });
+        }
+
         let stats = ConnStats::default();
+        if obs.enabled() {
+            // Satellite fix: the connection counters used to be reachable
+            // only through the handle returned at construction — publish
+            // them in the shared exposition too.
+            stats.register_gauges(obs.registry());
+        }
         let service = Arc::new(KvService {
             replica: replica.clone(),
             node: config.name.clone(),
             root_branch: config.root_branch.clone(),
             stats: stats.clone(),
+            obs: obs.clone(),
+            metrics: metrics.clone(),
+            started,
+            trace_dump: config.trace_dump.clone(),
         });
         let frames = FrameServer::bind_with_stats(
             service,
@@ -147,9 +191,10 @@ impl<B: Backend + Send + Sync + 'static> Server<B> {
             let peers = config.peers.clone();
             let interval = config.sync_interval;
             let flag = Arc::clone(&sync_shutdown);
+            let metrics = metrics.clone();
             Some(std::thread::spawn(move || {
                 while !flag.load(Ordering::SeqCst) {
-                    let _ = sync_round(&replica, &peers);
+                    let _ = sync_round(&replica, &peers, metrics.as_deref());
                     // Sleep in small slices so shutdown is prompt even
                     // under long intervals.
                     let mut remaining = interval;
@@ -187,6 +232,8 @@ impl<B: Backend + Send + Sync + 'static> Server<B> {
             sync_thread,
             flush_thread,
             name: config.name,
+            obs,
+            trace_dump: config.trace_dump,
         })
     }
 
@@ -221,11 +268,21 @@ impl<B: Backend + Send + Sync + 'static> Server<B> {
         self.frames.frames_served()
     }
 
+    /// The node's observability spine: the registry and trace ring every
+    /// subsystem reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Runs one anti-entropy round against `peers` right now, on the
     /// calling thread — deterministic syncing for tests and benches (the
     /// background thread runs exactly this).
     pub fn sync_with(&self, peers: &[String]) -> SyncRoundReport {
-        sync_round(&self.replica, peers)
+        sync_round(
+            &self.replica,
+            peers,
+            ServerMetrics::attach(&self.obs).as_deref(),
+        )
     }
 
     /// Stops the sync thread and the frame server (joining every serving
@@ -242,6 +299,9 @@ impl<B: Backend + Send + Sync + 'static> Server<B> {
             let _ = self.replica.with_store(|s| s.flush());
         }
         self.frames.shutdown();
+        if let Some(path) = &self.trace_dump {
+            let _ = std::fs::write(path, self.obs.ring().dump_jsonl());
+        }
     }
 }
 
@@ -254,7 +314,16 @@ impl<B: Backend + Send + Sync + 'static> Drop for Server<B> {
 /// One anti-entropy round: pull every non-tracking branch each reachable
 /// peer advertises, then push every local non-tracking branch (ignoring
 /// divergence refusals — pulled next round, merged, retried).
-fn sync_round<B: Backend>(replica: &Replica<Kv, B>, peers: &[String]) -> SyncRoundReport {
+///
+/// With `metrics` attached the round's duration lands in
+/// `peepul_net_sync_round_micros` and every reached peer's replication
+/// lag (in Lamport ticks) in `peepul_net_lag_ticks{peer="..."}`.
+fn sync_round<B: Backend>(
+    replica: &Replica<Kv, B>,
+    peers: &[String],
+    metrics: Option<&ServerMetrics>,
+) -> SyncRoundReport {
+    let start = metrics.map(|_| Instant::now());
     let mut report = SyncRoundReport::default();
     for peer in peers {
         let Ok(transport) = TcpTransport::connect(peer.as_str()) else {
@@ -289,8 +358,59 @@ fn sync_round<B: Backend>(replica: &Replica<Kv, B>, peers: &[String]) -> SyncRou
                 report.branches_pushed += 1;
             }
         }
+        if let Some(m) = metrics {
+            if let Some(lag) = replica.with_store_read(|s| peer_lag_ticks(s, peer)) {
+                m.peer_lag(peer).set(lag as i64);
+            }
+        }
+    }
+    if let (Some(m), Some(start)) = (metrics, start) {
+        let micros = start.elapsed().as_micros() as u64;
+        m.sync_rounds_total.inc();
+        m.sync_round_micros.observe(micros);
+        m.trace("sync_round", "", report.peers_reached as u64);
     }
     report
+}
+
+/// How many Lamport ticks the newest event this node has observed from
+/// `peer` (via its `remote/<peer>/…` tracking branches) trails the local
+/// clock. `None` when nothing has been fetched from the peer yet.
+fn peer_lag_ticks<B: Backend>(s: &BranchStore<Kv, B>, peer: &str) -> Option<u64> {
+    let prefix = format!("{TRACKING_PREFIX}{peer}/");
+    let mut newest: Option<u64> = None;
+    for branch in s.branch_names() {
+        if !branch.starts_with(&prefix) {
+            continue;
+        }
+        if let Ok(head) = s.head(branch) {
+            let seen = newest_visible_tick(s, head);
+            newest = Some(newest.unwrap_or(0).max(seen));
+        }
+    }
+    newest.map(|n| s.tick().saturating_sub(n))
+}
+
+/// The newest Lamport tick visible at `head`. A commit's mint tick bounds
+/// every tick in its ancestry, so the walk only descends through
+/// mint-free commits (roots and merges, mint tick 0) until it reaches the
+/// operation-commit frontier — no full history traversal.
+fn newest_visible_tick<B: Backend>(s: &BranchStore<Kv, B>, head: CommitId) -> u64 {
+    let mut visited = vec![false; s.commit_count()];
+    let mut frontier = vec![head];
+    let mut newest = 0u64;
+    while let Some(c) = frontier.pop() {
+        if std::mem::replace(&mut visited[c.index()], true) {
+            continue;
+        }
+        let tick = s.commit_mint(c).tick();
+        if tick > 0 {
+            newest = newest.max(tick);
+        } else {
+            frontier.extend_from_slice(s.graph().parents(c));
+        }
+    }
+    newest
 }
 
 /// The dispatching [`FrameService`]: replication frames to the replica,
@@ -301,6 +421,10 @@ struct KvService<B: Backend + Send + Sync + 'static> {
     node: String,
     root_branch: String,
     stats: ConnStats,
+    obs: Obs,
+    metrics: Option<Arc<ServerMetrics>>,
+    started: Instant,
+    trace_dump: Option<PathBuf>,
 }
 
 impl<B: Backend + Send + Sync + 'static> FrameService for KvService<B> {
@@ -321,10 +445,21 @@ impl<B: Backend + Send + Sync + 'static> FrameService for KvService<B> {
             None => ServiceResponse::Err {
                 message: "undecodable service frame".into(),
             },
-            Some(req) => match self.serve(req, session) {
-                Ok(resp) => resp,
-                Err(message) => ServiceResponse::Err { message },
-            },
+            Some(req) => {
+                let start = self.metrics.as_ref().map(|_| Instant::now());
+                let kind = request_kind(&req);
+                let resp = match self.serve(req, session) {
+                    Ok(resp) => resp,
+                    Err(message) => ServiceResponse::Err { message },
+                };
+                if let (Some(m), Some(start)) = (&self.metrics, start) {
+                    m.observe_request(kind, start.elapsed().as_micros() as u64);
+                    if let Some(ops) = &session.tenant_ops {
+                        ops.inc();
+                    }
+                }
+                resp
+            }
         };
         resp.to_wire()
     }
@@ -340,6 +475,9 @@ impl<B: Backend + Send + Sync + 'static> KvService<B> {
         match req {
             ServiceRequest::Hello { tenant } => {
                 Session::validate_tenant(&tenant)?;
+                // Resolve the tenant's op counter once, here, so the
+                // per-request accounting path never touches the registry.
+                session.tenant_ops = self.metrics.as_ref().map(|m| m.tenant_ops(&tenant));
                 session.tenant = Some(tenant);
                 Ok(ServiceResponse::Ok)
             }
@@ -432,7 +570,7 @@ impl<B: Backend + Send + Sync + 'static> KvService<B> {
                 Ok(ServiceResponse::BranchList { branches })
             }
             ServiceRequest::Status => {
-                let (tick, branches) = self.replica.with_store_read(|s| {
+                let (tick, info, branches) = self.replica.with_store_read(|s| {
                     let branches = s
                         .branch_names()
                         .iter()
@@ -442,7 +580,7 @@ impl<B: Backend + Send + Sync + 'static> KvService<B> {
                             ((*b).to_owned(), head, state)
                         })
                         .collect();
-                    (s.tick(), branches)
+                    (s.tick(), s.backend().storage_info(), branches)
                 });
                 Ok(ServiceResponse::Status {
                     node: self.node.clone(),
@@ -451,8 +589,32 @@ impl<B: Backend + Send + Sync + 'static> KvService<B> {
                     peak_connections: self.stats.peak() as u64,
                     connections_accepted: self.stats.accepted(),
                     frames_served: self.stats.frames(),
+                    uptime_secs: self.started.elapsed().as_secs(),
+                    flush: info.flush,
+                    disk_bytes: info.disk_bytes,
+                    segments: info.segments,
                     branches,
                 })
+            }
+            ServiceRequest::Metrics => {
+                // Pull-model gauges (memo stats, storage info, graph
+                // sizes) are synced into the registry at exposition time,
+                // under the same read lock every other reader shares.
+                self.replica.with_store_read(|s| s.publish_gauges());
+                Ok(ServiceResponse::Metrics {
+                    text: self.obs.registry().render(),
+                })
+            }
+            ServiceRequest::TraceDump => {
+                let Some(path) = &self.trace_dump else {
+                    return Err("server has no --trace-dump path configured".into());
+                };
+                std::fs::write(path, self.obs.ring().dump_jsonl())
+                    .map_err(|e| format!("cannot write trace dump to {}: {e}", path.display()))?;
+                if let Some(m) = &self.metrics {
+                    m.trace("trace_dump", "", self.obs.ring().recorded());
+                }
+                Ok(ServiceResponse::Ok)
             }
         }
     }
@@ -620,6 +782,32 @@ impl ServiceClient {
         match self.call(&ServiceRequest::Status)? {
             s @ ServiceResponse::Status { .. } => Ok(s),
             r => Err(unexpected("Status", &r)),
+        }
+    }
+
+    /// The node's metrics as a Prometheus-style text exposition (empty
+    /// when the node's observability is disabled).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::call`].
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        match self.call(&ServiceRequest::Metrics)? {
+            ServiceResponse::Metrics { text } => Ok(text),
+            r => Err(unexpected("Metrics", &r)),
+        }
+    }
+
+    /// Asks the node to flush its trace ring to its `--trace-dump` path.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::call`]; [`NetError::Remote`] when the node has
+    /// no dump path configured.
+    pub fn trace_dump(&mut self) -> Result<(), NetError> {
+        match self.call(&ServiceRequest::TraceDump)? {
+            ServiceResponse::Ok => Ok(()),
+            r => Err(unexpected("Ok", &r)),
         }
     }
 }

@@ -86,6 +86,15 @@ pub enum ServiceRequest {
     /// branch head — what the smoke test compares across a fleet to
     /// assert convergence.
     Status,
+    /// A Prometheus-style text exposition of every metric the node's
+    /// observability registry holds — store, net and server subsystems in
+    /// one snapshot. An empty exposition means observability is disabled.
+    Metrics,
+    /// Flush the node's trace [`EventRing`](peepul_obs::EventRing) to its
+    /// configured `--trace-dump` path as JSONL, right now — the
+    /// SIGUSR-style "dump your state" poke, without signals so it works
+    /// identically everywhere. Fails when the server has no dump path.
+    TraceDump,
 }
 
 /// A `peepul-server`'s answer to a [`ServiceRequest`].
@@ -122,9 +131,25 @@ pub enum ServiceResponse {
         connections_accepted: u64,
         /// Request frames answered over the node's lifetime.
         frames_served: u64,
+        /// Seconds since the server started.
+        uptime_secs: u64,
+        /// The backend's flush policy, as reported by
+        /// [`StorageInfo`](peepul_store::StorageInfo): `volatile`,
+        /// `none`, `per-commit`, `coalesced:<ms>ms` or `explicit`.
+        flush: String,
+        /// Bytes the backend holds on disk (0 for volatile backends).
+        disk_bytes: u64,
+        /// Segment files the backend holds (0 for volatile backends).
+        segments: u64,
         /// Every branch as `(name, head commit id, head state id)` —
         /// tracking branches included, sorted by name.
         branches: Vec<(String, ObjectId, ObjectId)>,
+    },
+    /// A [`ServiceRequest::Metrics`] result.
+    Metrics {
+        /// The Prometheus-style text exposition; empty when the node's
+        /// observability is disabled.
+        text: String,
     },
     /// The command failed.
     Err {
@@ -167,6 +192,8 @@ service_wire_enum!(ServiceRequest {
     5 => Merge(into: String, from: String),
     6 => Branches,
     7 => Status,
+    8 => Metrics,
+    9 => TraceDump,
 });
 
 service_wire_enum!(ServiceResponse {
@@ -181,9 +208,14 @@ service_wire_enum!(ServiceResponse {
         peak_connections: u64,
         connections_accepted: u64,
         frames_served: u64,
+        uptime_secs: u64,
+        flush: String,
+        disk_bytes: u64,
+        segments: u64,
         branches: Vec<(String, ObjectId, ObjectId)>
     ),
     5 => Err(message: String),
+    6 => Metrics(text: String),
 });
 
 /// The branch-name prefix reserved for the replication layer's tracking
@@ -196,6 +228,10 @@ pub const TRACKING_PREFIX: &str = "remote/";
 pub struct Session {
     /// The bound tenant, set by [`ServiceRequest::Hello`].
     pub tenant: Option<String>,
+    /// The tenant's op counter
+    /// (`peepul_server_tenant_ops_total{tenant="..."}`), resolved once at
+    /// `Hello` so the per-request path never touches the registry.
+    pub tenant_ops: Option<peepul_obs::Counter>,
 }
 
 impl Session {
@@ -284,6 +320,8 @@ mod tests {
             },
             ServiceRequest::Branches,
             ServiceRequest::Status,
+            ServiceRequest::Metrics,
+            ServiceRequest::TraceDump,
         ];
         for r in reqs {
             assert_eq!(ServiceRequest::from_wire(&r.to_wire()), Some(r));
@@ -307,7 +345,14 @@ mod tests {
                 peak_connections: 2,
                 connections_accepted: 3,
                 frames_served: 4,
+                uptime_secs: 5,
+                flush: "coalesced:5ms".into(),
+                disk_bytes: 6,
+                segments: 2,
                 branches: vec![("main".into(), oid(1), oid(2))],
+            },
+            ServiceResponse::Metrics {
+                text: "peepul_store_commits_total 3\n".into(),
             },
             ServiceResponse::Err {
                 message: "nope".into(),
@@ -339,6 +384,7 @@ mod tests {
 
         let bound = Session {
             tenant: Some("acme".into()),
+            ..Session::default()
         };
         assert_eq!(bound.resolve("main").unwrap(), "acme/main");
         assert!(bound.resolve("other/main").is_err());

@@ -54,6 +54,34 @@ pub struct SweepStats {
     pub dead_bytes: u64,
 }
 
+/// Storage-engine facts an operator asks for first — what `serve-status`
+/// reports and the observability registry publishes as gauges. Volatile
+/// backends return the [`Default`] (zeros, `"volatile"`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageInfo {
+    /// Total bytes currently on disk (all segment files).
+    pub disk_bytes: u64,
+    /// Number of storage files (active + sealed segments + packs).
+    pub segments: u64,
+    /// Fsyncs issued since open.
+    pub fsyncs: u64,
+    /// Human-readable durability/flush policy
+    /// (`"volatile"`, `"per-commit"`, `"coalesced:5ms"`, `"explicit"`,
+    /// `"none"`).
+    pub flush: String,
+}
+
+impl Default for StorageInfo {
+    fn default() -> Self {
+        StorageInfo {
+            disk_bytes: 0,
+            segments: 0,
+            fsyncs: 0,
+            flush: "volatile".to_string(),
+        }
+    }
+}
+
 /// Abstract object persistence: content-addressed immutable objects plus
 /// named mutable refs.
 ///
@@ -194,6 +222,12 @@ pub trait Backend: fmt::Debug {
 
     /// A short human-readable backend name (`"memory"`, `"segment"`).
     fn kind(&self) -> &'static str;
+
+    /// Storage-engine facts for status reporting and observability.
+    /// The default describes a volatile backend: no disk, no fsyncs.
+    fn storage_info(&self) -> StorageInfo {
+        StorageInfo::default()
+    }
 }
 
 impl<B: Backend + ?Sized> Backend for Box<B> {
@@ -255,6 +289,10 @@ impl<B: Backend + ?Sized> Backend for Box<B> {
 
     fn kind(&self) -> &'static str {
         (**self).kind()
+    }
+
+    fn storage_info(&self) -> StorageInfo {
+        (**self).storage_info()
     }
 }
 

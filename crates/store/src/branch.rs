@@ -37,11 +37,13 @@ use crate::backend::{Backend, MemoryBackend, SweepStats};
 use crate::dag::{CommitGraph, CommitId};
 use crate::error::StoreError;
 use crate::memo::{MergeCacheStats, MergeMemo};
+use crate::metrics::StoreMetrics;
 use crate::object::{canonical_bytes, content_id_of_bytes, decode_canonical, ObjectId};
 use peepul_core::{Mrdt, ReplicaId, Timestamp};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 pub mod handle;
 
@@ -172,6 +174,12 @@ pub struct BranchStore<M: Mrdt, B: Backend = MemoryBackend> {
     next_replica: u32,
     backend: B,
     memo: MergeMemo<M>,
+    /// Observability handles, attached by [`BranchStore::set_metrics`];
+    /// `None` keeps every hot path at its uninstrumented cost.
+    metrics: Option<Arc<StoreMetrics>>,
+    /// Commit boundaries crossed ([`BranchStore::durability_point`]) —
+    /// the denominator of the published fsync-coalesce ratio.
+    boundaries: u64,
 }
 
 impl<M: Mrdt> BranchStore<M> {
@@ -246,6 +254,8 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             next_replica: replica_base + 1,
             backend,
             memo: MergeMemo::new(),
+            metrics: None,
+            boundaries: 0,
         };
         let root = store.commit(Vec::new(), Arc::new(M::initial()), (0, 0))?;
         store.set_head(&root_branch, root)?;
@@ -363,6 +373,8 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             next_replica: replica_base,
             backend,
             memo: MergeMemo::new(),
+            metrics: None,
+            boundaries: 0,
         };
         let mut typed: HashMap<ObjectId, Arc<M>> = HashMap::new();
         let mut installed = 0usize;
@@ -492,6 +504,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     /// durability here per its flush policy — the group-commit seam that
     /// turns N record appends into at most one fsync.
     pub(crate) fn durability_point(&mut self) -> Result<(), StoreError> {
+        self.boundaries += 1;
         self.backend.commit_boundary()
     }
 
@@ -607,7 +620,13 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     ///
     /// [`StoreError::UnknownBranch`] if the branch does not exist.
     pub fn read(&self, branch: &str, q: &M::Query) -> Result<M::Output, StoreError> {
-        Ok(self.graph.payload(self.head(branch)?).query(q))
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        let out = self.graph.payload(self.head(branch)?).query(q);
+        if let (Some(m), Some(start)) = (&self.metrics, start) {
+            m.reads_total.inc();
+            m.read_micros.observe_since(start);
+        }
+        Ok(out)
     }
 
     pub(crate) fn do_fork(&mut self, new: String, from: &str) -> Result<BranchId, StoreError> {
@@ -632,6 +651,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     }
 
     pub(crate) fn do_apply(&mut self, branch: &str, op: &M::Op) -> Result<M::Value, StoreError> {
+        let start = self.metrics.as_ref().map(|_| Instant::now());
         let (head, replica) = {
             let info = self.info(branch)?;
             (info.head, info.replica)
@@ -646,6 +666,12 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             .expect("branch checked above")
             .head = new_head;
         self.durability_point()?;
+        if let (Some(m), Some(start)) = (&self.metrics, start) {
+            let micros = start.elapsed().as_micros() as u64;
+            m.commits_total.inc();
+            m.commit_micros.observe(micros);
+            m.trace("commit", branch, micros);
+        }
         Ok(value)
     }
 
@@ -711,6 +737,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     }
 
     pub(crate) fn do_merge(&mut self, into: &str, from: &str) -> Result<(), StoreError> {
+        let start = self.metrics.as_ref().map(|_| Instant::now());
         let (c_into, c_from) = (self.head(into)?, self.head(from)?);
         if self.graph.is_ancestor(c_from, c_into) {
             return Ok(()); // nothing new to integrate
@@ -734,6 +761,12 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             .expect("branch checked above")
             .head = new_head;
         self.durability_point()?;
+        if let (Some(m), Some(start)) = (&self.metrics, start) {
+            let micros = start.elapsed().as_micros() as u64;
+            m.merges_total.inc();
+            m.merge_micros.observe(micros);
+            m.trace("merge", into, micros);
+        }
         Ok(())
     }
 
@@ -829,6 +862,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     ///
     /// [`StoreError::Io`] on backend failure.
     pub fn collect_garbage(&mut self) -> Result<SweepStats, StoreError> {
+        let start = self.metrics.as_ref().map(|_| Instant::now());
         let live = self.live_objects();
         let stats = self.backend.collect_garbage(&live)?;
         // Forget the collected addresses in the replication indexes too:
@@ -837,6 +871,14 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         // without its bytes.
         self.commit_index.retain(|oid, _| live.contains(oid));
         self.state_index.retain(|oid, _| live.contains(oid));
+        if let (Some(m), Some(start)) = (&self.metrics, start) {
+            let micros = start.elapsed().as_micros() as u64;
+            m.gc_sweeps_total.inc();
+            m.gc_dead_objects_total.add(stats.dead_objects);
+            m.gc_dead_bytes_total.add(stats.dead_bytes);
+            m.gc_micros.observe(micros);
+            m.trace("gc", "", stats.dead_objects);
+        }
         Ok(stats)
     }
 
@@ -847,7 +889,18 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     ///
     /// [`StoreError::Io`] on backend failure.
     pub fn compact_storage(&mut self) -> Result<(), StoreError> {
-        self.backend.compact()
+        let before = self
+            .metrics
+            .as_ref()
+            .map(|_| self.backend.storage_info().disk_bytes);
+        self.backend.compact()?;
+        if let (Some(m), Some(before)) = (&self.metrics, before) {
+            let released = before.saturating_sub(self.backend.storage_info().disk_bytes);
+            m.compactions_total.inc();
+            m.compact_bytes_total.add(released);
+            m.trace("compact", "", released);
+        }
+        Ok(())
     }
 
     /// Merge-cache hit/miss counters (for the bench pipeline).
@@ -859,6 +912,46 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     /// Used by the equivalence suite to check cached ≡ uncached.
     pub fn set_merge_cache(&self, enabled: bool) {
         self.memo.set_enabled(enabled);
+    }
+
+    /// Attaches (or detaches, with `None`) observability handles. With no
+    /// metrics attached every hot path runs at its uninstrumented cost —
+    /// the [`ObsConfig::disabled`](peepul_obs::ObsConfig::disabled)
+    /// baseline `bench_obs` gates against.
+    pub fn set_metrics(&mut self, metrics: Option<Arc<StoreMetrics>>) {
+        self.metrics = metrics;
+    }
+
+    /// The attached observability handles, if any.
+    pub fn metrics(&self) -> Option<&Arc<StoreMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Publishes the **pull-model** gauges — facts that live in other
+    /// structures (merge-memo counters, backend
+    /// [`StorageInfo`](crate::StorageInfo), graph sizes) and would cost
+    /// hot-path work to push on every operation. Callers invoke this
+    /// right before rendering an exposition (the server's `Metrics`
+    /// handler does, under its read lock). No-op without metrics.
+    pub fn publish_gauges(&self) {
+        let Some(m) = &self.metrics else { return };
+        let memo = self.memo.stats();
+        m.memo_hits.set(memo.hits as i64);
+        m.memo_misses.set(memo.misses as i64);
+        m.memo_hit_permille.set((memo.hit_rate() * 1000.0) as i64);
+        let info = self.backend.storage_info();
+        m.fsyncs.set(info.fsyncs as i64);
+        m.disk_bytes.set(info.disk_bytes as i64);
+        m.segments.set(info.segments as i64);
+        m.fsync_coalesce_permille.set(
+            info.fsyncs
+                .saturating_mul(1000)
+                .checked_div(self.boundaries)
+                .unwrap_or(0) as i64,
+        );
+        m.commit_count.set(self.graph.len() as i64);
+        m.branches.set(self.branches.len() as i64);
+        m.objects.set(self.backend.object_count() as i64);
     }
 }
 
@@ -1104,11 +1197,18 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         }
         // One pack, one durability point — however many objects landed.
         self.durability_point()?;
-        Ok(IngestReport {
+        let report = IngestReport {
             commits: fresh.len() as u64,
             states: states.len() as u64,
             max_tick,
-        })
+        };
+        if let Some(m) = &self.metrics {
+            m.ingest_packs_total.inc();
+            m.ingest_commits_total.add(report.commits);
+            m.ingest_states_total.add(report.states);
+            m.trace("ingest_pack", "", report.commits);
+        }
+        Ok(report)
     }
 
     /// The commits reachable from `wants` but not from `haves` — the

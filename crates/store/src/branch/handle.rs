@@ -394,6 +394,7 @@ impl<M: Mrdt, B: Backend> Transaction<'_, '_, M, B> {
         }
         let id = self.branch.id.clone();
         let store = &mut *self.branch.store;
+        let start = store.metrics().map(|_| std::time::Instant::now());
         // The batch's mint is its last staged timestamp: the store's tick
         // was advanced once per staged op under this exclusive borrow, so
         // `(store.tick, replica)` is exactly the final `apply`'s stamp —
@@ -409,6 +410,12 @@ impl<M: Mrdt, B: Backend> Transaction<'_, '_, M, B> {
         // However many ops were staged, the whole batch is one logical
         // commit: one durability point, at most one fsync.
         store.durability_point()?;
+        if let (Some(m), Some(start)) = (store.metrics(), start) {
+            let micros = start.elapsed().as_micros() as u64;
+            m.commits_total.inc();
+            m.txn_micros.observe(micros);
+            m.trace("transaction", &id, micros);
+        }
         Ok(())
     }
 }

@@ -67,12 +67,13 @@ pub mod dag;
 pub mod dot;
 pub mod error;
 pub mod memo;
+pub mod metrics;
 pub mod object;
 pub mod segment;
 pub mod semantics;
 pub mod sha256;
 
-pub use backend::{Backend, BackendStats, MemoryBackend, SweepStats};
+pub use backend::{Backend, BackendStats, MemoryBackend, StorageInfo, SweepStats};
 pub use branch::{
     commit_record, parse_commit_record, BranchId, BranchMut, BranchRef, BranchStore, CommitMeta,
     IngestReport, TrackOutcome, Transaction,
@@ -81,6 +82,7 @@ pub use clock::LamportClock;
 pub use dag::{CommitGraph, CommitId};
 pub use error::StoreError;
 pub use memo::{MergeCacheStats, MergeMemo};
+pub use metrics::StoreMetrics;
 pub use object::{
     canonical_bytes, content_id, content_id_of_bytes, decode_canonical, ObjectId, ObjectStore,
 };

@@ -68,7 +68,7 @@
 //! property holds under every policy; the policy only bounds how much
 //! acknowledged-but-unsynced tail a power loss may cost.
 
-use crate::backend::{Backend, BackendStats, SweepStats};
+use crate::backend::{Backend, BackendStats, StorageInfo, SweepStats};
 use crate::error::StoreError;
 use crate::object::ObjectId;
 use crate::sha256::Sha256;
@@ -1075,6 +1075,26 @@ impl Backend for SegmentBackend {
 
     fn kind(&self) -> &'static str {
         "segment"
+    }
+
+    fn storage_info(&self) -> StorageInfo {
+        let flush = if !self.options.durable {
+            "none".to_string()
+        } else {
+            match self.options.flush {
+                FlushPolicy::PerCommit => "per-commit".to_string(),
+                FlushPolicy::Coalesced { max_delay } => {
+                    format!("coalesced:{}ms", max_delay.as_millis())
+                }
+                FlushPolicy::Explicit => "explicit".to_string(),
+            }
+        };
+        StorageInfo {
+            disk_bytes: self.disk_bytes(),
+            segments: self.files.len() as u64,
+            fsyncs: self.fsyncs,
+            flush,
+        }
     }
 }
 

@@ -64,6 +64,7 @@ use peepul_net::{
 };
 use peepul_store::{Backend, MemoryBackend};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One recorded operation event of a fleet execution.
@@ -104,6 +105,11 @@ pub struct WitnessHistory<M: Mrdt> {
     /// First duplicated mint, if any — a fleet-level Ψ_ts violation the
     /// checker reports rather than panics on.
     duplicate: Option<Timestamp>,
+    /// Records a bounded recorder refused to retain. A non-zero count
+    /// makes the history *truncated*: [`check_ra_lin`] refuses it, since
+    /// missing records could hide exactly the violation being checked
+    /// for.
+    dropped: u64,
 }
 
 impl<M: Mrdt> WitnessHistory<M> {
@@ -113,6 +119,7 @@ impl<M: Mrdt> WitnessHistory<M> {
             events: BTreeMap::new(),
             traces: BTreeMap::new(),
             duplicate: None,
+            dropped: 0,
         }
     }
 
@@ -177,6 +184,22 @@ impl<M: Mrdt> WitnessHistory<M> {
     pub fn replicas(&self) -> usize {
         self.traces.len()
     }
+
+    /// Marks one record as dropped by a capacity-bounded recorder.
+    pub fn note_dropped(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Records a bounded recorder dropped instead of retaining.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether any record was dropped — a truncated history cannot be
+    /// certified.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
 }
 
 impl<M: Mrdt> Default for WitnessHistory<M> {
@@ -189,16 +212,79 @@ impl<M: Mrdt> Default for WitnessHistory<M> {
 /// behind a mutex. One instance is shared by every node of a cluster;
 /// callbacks append under the emitting replica's store lock, so each
 /// replica's trace is exactly its store-mutation order.
+///
+/// A recorder is unbounded by default — the right mode for the bounded
+/// fleets the certification suites drive. [`HistoryRecorder::bounded`]
+/// caps the retained trace records for long-running instrumented fleets;
+/// overflow is accounted explicitly (never silent) and a truncated
+/// snapshot is refused by [`check_ra_lin`].
 #[derive(Debug, Default)]
 pub struct HistoryRecorder<M: Mrdt> {
     history: Mutex<WitnessHistory<M>>,
+    capacity: Option<usize>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl<M: Mrdt> HistoryRecorder<M> {
-    /// A recorder with an empty history.
+    /// An unbounded recorder with an empty history.
     pub fn new() -> Self {
         HistoryRecorder {
             history: Mutex::new(WitnessHistory::new()),
+            capacity: None,
+            dropped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A recorder retaining at most `capacity` trace records. Further
+    /// records are counted as dropped, which marks the history truncated.
+    pub fn bounded(capacity: usize) -> Self {
+        HistoryRecorder {
+            capacity: Some(capacity),
+            ..HistoryRecorder::new()
+        }
+    }
+
+    /// Records this recorder refused to retain (0 while under capacity).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the recorder's occupancy as live gauges on an
+    /// observability registry: `peepul_verify_witness_records` (retained)
+    /// and `peepul_verify_witness_dropped` (refused — non-zero means no
+    /// snapshot of this recorder can certify).
+    pub fn publish_gauges(self: &Arc<Self>, registry: &peepul_obs::Registry)
+    where
+        M: 'static,
+        M::Op: Send,
+        M::Value: Send,
+        M::Query: Send,
+        M::Output: Send,
+    {
+        let recorder = Arc::clone(self);
+        registry.gauge_fn("peepul_verify_witness_records", move || {
+            recorder
+                .history
+                .lock()
+                .expect("witness recorder poisoned")
+                .records() as f64
+        });
+        let dropped = Arc::clone(&self.dropped);
+        registry.gauge_fn("peepul_verify_witness_dropped", move || {
+            dropped.load(Ordering::Relaxed) as f64
+        });
+    }
+
+    /// Runs `record` against the history if capacity allows, else
+    /// accounts the drop (in the shared counter and the history itself,
+    /// so snapshots carry their own truncation evidence).
+    fn retain(&self, record: impl FnOnce(&mut WitnessHistory<M>)) {
+        let mut history = self.history.lock().expect("witness recorder poisoned");
+        if self.capacity.is_some_and(|cap| history.records() >= cap) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            history.note_dropped();
+        } else {
+            record(&mut history);
         }
     }
 
@@ -226,37 +312,27 @@ where
         rval: &M::Value,
         visible: &[Timestamp],
     ) {
-        self.history
-            .lock()
-            .expect("witness recorder poisoned")
-            .record_op(
+        self.retain(|h| {
+            h.record_op(
                 replica,
                 t,
                 op.clone(),
                 rval.clone(),
                 visible.iter().copied().collect(),
             );
+        });
     }
 
     fn learned(&self, replica: &str, events: &[Timestamp]) {
-        self.history
-            .lock()
-            .expect("witness recorder poisoned")
-            .record_learn(replica, events.to_vec());
+        self.retain(|h| h.record_learn(replica, events.to_vec()));
     }
 
     fn head_advanced(&self, replica: &str, visible: &[Timestamp]) {
-        self.history
-            .lock()
-            .expect("witness recorder poisoned")
-            .record_head(replica, visible.to_vec());
+        self.retain(|h| h.record_head(replica, visible.to_vec()));
     }
 
     fn observed(&self, replica: &str, q: &M::Query, output: &M::Output, visible: &[Timestamp]) {
-        self.history
-            .lock()
-            .expect("witness recorder poisoned")
-            .record_observe(replica, q.clone(), output.clone(), visible.to_vec());
+        self.retain(|h| h.record_observe(replica, q.clone(), output.clone(), visible.to_vec()));
     }
 }
 
@@ -350,6 +426,14 @@ pub fn check_ra_lin<M: Certified>(
     options: &RaLinOptions,
 ) -> Result<RaLinStats, ObligationError> {
     let err = |msg: String| ObligationError::new(Obligation::RaLin, msg);
+    if history.truncated() {
+        return Err(err(format!(
+            "witness history is truncated: a bounded recorder dropped {} record(s) — the \
+             missing records could hide exactly the violation under test, so a truncated \
+             history certifies nothing; raise the recorder capacity",
+            history.dropped()
+        )));
+    }
     if let Some(t) = history.duplicate {
         return Err(err(format!(
             "two replicas minted the same timestamp {t:?} — Ψ_ts is violated fleet-wide, \
@@ -845,6 +929,47 @@ mod tests {
         assert_eq!(stats.events, 2);
         assert_eq!(stats.observations, 1);
         assert_eq!(stats.replicas, 2);
+    }
+
+    /// A bounded recorder accounts its overflow explicitly, surfaces it
+    /// on a registry, and its truncated snapshot is refused — certifying
+    /// from a partial witness would be unsound.
+    #[test]
+    fn truncated_witness_history_is_refused() {
+        let recorder = Arc::new(HistoryRecorder::<Counter>::bounded(2));
+        let registry = peepul_obs::Registry::new();
+        recorder.publish_gauges(&registry);
+
+        recorder.local_op("r0", ts(1, 0), &CounterOp::Increment, &(), &[]);
+        recorder.local_op("r0", ts(2, 0), &CounterOp::Increment, &(), &[ts(1, 0)]);
+        assert_eq!(recorder.dropped(), 0);
+        assert!(check_ra_lin(&recorder.snapshot(), &RaLinOptions::default()).is_ok());
+
+        // Third record exceeds the capacity: dropped, accounted, fatal.
+        recorder.local_op(
+            "r0",
+            ts(3, 0),
+            &CounterOp::Increment,
+            &(),
+            &[ts(1, 0), ts(2, 0)],
+        );
+        assert_eq!(recorder.dropped(), 1);
+        let h = recorder.snapshot();
+        assert!(h.truncated());
+        assert_eq!(h.dropped(), 1);
+        let e = check_ra_lin(&h, &RaLinOptions::default()).expect_err("truncated");
+        assert!(e.message().contains("truncated"), "{e}");
+
+        // The overflow is live in the exposition.
+        let rendered = registry.render();
+        assert!(
+            rendered.contains("peepul_verify_witness_records 2"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("peepul_verify_witness_dropped 1"),
+            "{rendered}"
+        );
     }
 
     /// The canonical non-linearizable history: a dequeue whose observed

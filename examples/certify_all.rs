@@ -45,7 +45,7 @@ fn main() {
     println!("{}", "-".repeat(96));
     println!(
         "envelope 'paper' = certified relative to the paper's strong Ψ_lca store assumption;\n\
-         see DESIGN.md §8 — the space-optimized types cannot merge correctly outside it."
+         see DESIGN.md §9 — the space-optimized types cannot merge correctly outside it."
     );
     if all_passed {
         println!(

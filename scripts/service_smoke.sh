@@ -129,5 +129,22 @@ for addr in "$A" "$B" "$C"; do
   [ "$("$CLI" --addr "$addr" --tenant acme get main secret)" = "s3cret" ]
 done
 
+echo "== metrics exposition covers every subsystem"
+# `peepul-cli metrics` parses the exposition itself (it fails on empty or
+# malformed output); on top of that the fleet must actually have reported
+# from each subsystem: store commits, net replication, server requests.
+METRICS=$("$CLI" --addr "$B" metrics)
+for prefix in peepul_store_ peepul_net_ peepul_server_; do
+  if ! grep -q "^$prefix" <<< "$METRICS"; then
+    echo "service_smoke: FAIL — metrics exposition has no $prefix* samples" >&2
+    printf '%s\n' "$METRICS" >&2
+    exit 1
+  fi
+done
+# The fleet converged, so every node has synced: lag gauges must exist
+# and requests must have been counted.
+grep -q '^peepul_net_lag_ticks' <<< "$METRICS"
+grep -q '^peepul_server_requests_total' <<< "$METRICS"
+
 kill "$WATCHDOG" 2>/dev/null || true
 echo "service_smoke: PASS"

@@ -16,6 +16,7 @@
 //! | [`store`] | the Git-like store: branches, commit DAG, recursive LCAs, Lamport timestamps, SHA-256 content addressing, pluggable backends (in-memory + on-disk segment), merge memoization, the formal LTS |
 //! | [`net`] | true multi-store replication: the `Transport` abstraction (in-process channels + TCP), Git-style fetch/push negotiation with hash-verified ingest, anti-entropy, replicated clusters with fault injection |
 //! | [`verify`] | the certification harness: bounded-exhaustive + randomized obligation checking |
+//! | [`obs`] | the observability spine: atomic metrics registry, fixed-bucket latency histograms, Prometheus-style exposition, bounded trace ring |
 //! | [`quark`] | the evaluation baseline: relational-reification merges à la Quark (OOPSLA 2019) |
 //!
 //! # Quickstart
@@ -83,6 +84,7 @@
 
 pub use peepul_core as core;
 pub use peepul_net as net;
+pub use peepul_obs as obs;
 pub use peepul_quark as quark;
 pub use peepul_store as store;
 pub use peepul_types as types;
@@ -109,13 +111,14 @@ pub mod prelude {
     };
     pub use peepul_net::{
         AntiEntropy, ChannelTransport, Cluster, FaultInjector, FrameServer, FrameService,
-        HistoryObserver, NetError, Remote, Replica, ReplicationMutation, TcpServer, TcpTransport,
-        Transport,
+        HistoryObserver, NetError, NetMetrics, Remote, Replica, ReplicationMutation, TcpServer,
+        TcpTransport, Transport,
     };
+    pub use peepul_obs::{Obs, ObsConfig};
     pub use peepul_store::{
         Backend, BranchId, BranchMut, BranchRef, BranchStore, CommitMeta, FlushPolicy,
-        MemoryBackend, SegmentBackend, SegmentOptions, StoreError, StoreLts, SweepStats,
-        TrackOutcome, Transaction,
+        MemoryBackend, SegmentBackend, SegmentOptions, StorageInfo, StoreError, StoreLts,
+        StoreMetrics, SweepStats, TrackOutcome, Transaction,
     };
     pub use peepul_types::{
         Chat, Counter, EwFlag, EwFlagSpace, GMap, GSet, LwwRegister, MergeableLog, MrdtMap, OrSet,

@@ -32,7 +32,11 @@
 //! `ReplicationMutation` on the net side (witness recording and the
 //! mutant kill-gate's fault switch) and `FleetConfig`, `HistoryRecorder`,
 //! `RaLinOptions` and `WitnessHistory` on the verify side (the recorded
-//! fleet execution and its replication-aware linearizability check).
+//! fleet execution and its replication-aware linearizability check). The
+//! observability spine added `Obs`/`ObsConfig` (the shared handle and its
+//! knobs), the per-subsystem attach points `StoreMetrics`/`NetMetrics`,
+//! and `StorageInfo` (the backend's self-description behind the
+//! `serve-status` disk fields).
 
 macro_rules! surface {
     ($($name:ident),* $(,)?) => {
@@ -80,6 +84,9 @@ surface![
     Mrdt,
     MrdtMap,
     NetError,
+    NetMetrics,
+    Obs,
+    ObsConfig,
     OrSet,
     OrSetSpace,
     OrSetSpacetime,
@@ -95,8 +102,10 @@ surface![
     SegmentOptions,
     SimulationRelation,
     Specification,
+    StorageInfo,
     StoreError,
     StoreLts,
+    StoreMetrics,
     SweepStats,
     TcpServer,
     TcpTransport,
@@ -119,7 +128,7 @@ fn prelude_surface_matches_golden() {
     );
     assert_eq!(
         golden.len(),
-        59,
+        64,
         "prelude surface changed size — update the golden list *and* the \
          expected count deliberately"
     );

@@ -13,7 +13,10 @@
 //! * forked/merged client branches converge to the mainline answer;
 //! * a daemon over the segment backend restarted on the same directory
 //!   serves every previously acknowledged write (durability through the
-//!   service path, not just the store API).
+//!   service path, not just the store API);
+//! * the `Metrics` endpoint returns a parseable exposition covering the
+//!   store, net and server subsystems, and `TraceDump` flushes the trace
+//!   ring as JSONL to the configured path.
 
 mod common;
 
@@ -186,6 +189,91 @@ fn restarted_daemon_serves_every_acknowledged_write() {
             Some(format!("v{i}").as_str())
         );
     }
+}
+
+#[test]
+fn metrics_exposition_covers_every_subsystem() {
+    let server = memory_server("observed");
+    let addr = server.addr();
+    let mut client = ServiceClient::connect(addr).unwrap();
+    client.hello("acme").unwrap();
+    for i in 0..5 {
+        client.put("main", format!("k{i}"), "v").unwrap();
+    }
+    assert_eq!(client.get("main", "k0").unwrap().as_deref(), Some("v"));
+
+    let text = client.metrics().unwrap();
+    let samples = peepul::obs::parse_exposition(&text).expect("exposition must parse");
+    assert!(!samples.is_empty());
+    // At least one sample from each instrumented subsystem.
+    for prefix in ["peepul_store_", "peepul_net_", "peepul_server_"] {
+        assert!(
+            samples.iter().any(|s| s.name.starts_with(prefix)),
+            "no {prefix}* sample in:\n{text}"
+        );
+    }
+    let value = |name: &str, label: Option<(&str, &str)>| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && label.is_none_or(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+            })
+            .unwrap_or_else(|| panic!("missing {name} in:\n{text}"))
+            .value
+    };
+    // The five puts were counted as commits, as typed requests and as
+    // tenant traffic — one fact, three views, all from one registry.
+    assert!(value("peepul_store_commits_total", None) >= 5.0);
+    assert!(value("peepul_server_requests_total", None) >= 7.0);
+    assert!(value("peepul_server_request_micros_count", Some(("kind", "put"))) >= 5.0);
+    // hello (the binding request itself) + 5 puts + 1 get.
+    assert_eq!(
+        value("peepul_server_tenant_ops_total", Some(("tenant", "acme"))),
+        7.0
+    );
+
+    // Disabled observability degrades to an empty exposition, not an error.
+    let dark = Server::spawn(
+        ServerConfig {
+            obs: peepul::obs::ObsConfig::disabled(),
+            ..ServerConfig::new("dark")
+        },
+        "127.0.0.1:0",
+        MemoryBackend::new(),
+    )
+    .unwrap();
+    let mut client = ServiceClient::connect(dark.addr()).unwrap();
+    assert_eq!(client.metrics().unwrap(), "");
+}
+
+#[test]
+fn trace_dump_flushes_the_event_ring_as_jsonl() {
+    let scratch = Scratch::new("trace-dump");
+    let path = scratch.path().join("trace.jsonl");
+    let server = Server::spawn(
+        ServerConfig {
+            trace_dump: Some(path.clone()),
+            ..ServerConfig::new("traced")
+        },
+        "127.0.0.1:0",
+        MemoryBackend::new(),
+    )
+    .unwrap();
+    let mut client = ServiceClient::connect(server.addr()).unwrap();
+    client.put("main", "k", "v").unwrap();
+    client.trace_dump().unwrap();
+
+    let dump = std::fs::read_to_string(&path).unwrap();
+    assert!(!dump.trim().is_empty(), "trace dump must not be empty");
+    for line in dump.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "each trace event is one JSON object per line, got: {line}"
+        );
+    }
+    // The put's commit landed in the ring.
+    assert!(dump.contains("\"commit\""), "no commit event in:\n{dump}");
 }
 
 #[test]
