@@ -23,6 +23,13 @@
 //!   ~half its commits (lower), **hard-gated: the run fails unless
 //!   < 2.0**.
 //!
+//! The info section additionally carries a **disk-bytes-per-commit
+//! series** (`disk_bytes_per_commit_w0..`): on-disk growth per commit
+//! sampled across a growing-set load. Under delta storage each commit
+//! pays one O(delta) record plus an amortized 1/K share of a snapshot,
+//! so the series climbs with state size K× more slowly than
+//! full-snapshot-per-commit storage would.
+//!
 //! The two hard gates hold regardless of any baseline: they are
 //! absolute properties of the engine, not regression checks. On top of
 //! that, `--baseline <path>` applies the usual contract shared with the
@@ -80,6 +87,7 @@ fn opts(flush: FlushPolicy) -> SegmentOptions {
         durable: true,
         flush,
         max_segment_bytes: 256 * 1024,
+        ..SegmentOptions::default()
     }
 }
 
@@ -151,6 +159,36 @@ fn gc_amplification(obs: &peepul_obs::Obs, dir: &Path, commits: u32) -> (u64, u6
         stats.live_bytes,
         stats.dead_objects,
     )
+}
+
+/// The O(delta) *disk* claim: drives `commits` growing-set commits
+/// through a durable, delta-storing segment store and samples on-disk
+/// bytes at `points` evenly spaced checkpoints. Returns the per-window
+/// disk bytes per commit. Each commit appends one O(delta) record plus
+/// an amortized 1/K share of a full snapshot, so the series climbs
+/// K× more slowly with state size than full-snapshot-per-commit
+/// storage would (where every window pays `window × |state|`).
+fn disk_growth(dir: &Path, commits: u32, points: u32) -> Vec<f64> {
+    let backend =
+        SegmentBackend::open_with(dir, opts(FlushPolicy::Explicit)).expect("open segment");
+    let mut db: BranchStore<OrSetSpace<u64>, _> =
+        BranchStore::with_backend("main", backend).expect("create store");
+    let window = (commits / points).max(1);
+    let mut series = Vec::new();
+    let mut last = db.backend().disk_bytes();
+    for i in 0..commits {
+        db.branch_mut("main")
+            .unwrap()
+            .apply(&OrSetOp::Add(u64::from(i)))
+            .unwrap();
+        if (i + 1) % window == 0 {
+            db.flush().unwrap();
+            let now = db.backend().disk_bytes();
+            series.push((now - last) as f64 / f64::from(window));
+            last = now;
+        }
+    }
+    series
 }
 
 /// Renders the report as JSON (hand-rolled: the workspace deliberately
@@ -239,6 +277,19 @@ fn main() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 
+    let growth_dir = scratch("growth");
+    let growth = disk_growth(&growth_dir, gc_commits, 8);
+    let _ = std::fs::remove_dir_all(&growth_dir);
+    let growth_avg = growth.iter().sum::<f64>() / growth.len().max(1) as f64;
+    println!(
+        "disk bytes per commit : {growth_avg:.0} avg, series [{}]",
+        growth
+            .iter()
+            .map(|v| format!("{v:.0}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
     let metrics = [
         Metric {
             name: "sustained_commits_per_sec_batch1",
@@ -280,6 +331,11 @@ fn main() {
         ("fsyncs_per_commit_batch16".into(), throughput[1].2),
         ("fsyncs_per_commit_batch128".into(), throughput[2].2),
     ];
+    let mut info = info;
+    info.push(("disk_bytes_per_commit_avg".into(), growth_avg));
+    for (i, v) in growth.iter().enumerate() {
+        info.push((format!("disk_bytes_per_commit_w{i}"), *v));
+    }
 
     let json = peepul_bench::with_obs_section(&render_json(&metrics, quick, &info), &obs);
     std::fs::write(&out_path, &json).expect("write report");

@@ -12,7 +12,10 @@
 //!   Merkle structure, so this is 3 regardless of history depth (lower);
 //! * `partition_heal_convergence_ms` — wall time for an 8-replica fleet
 //!   that diverged under a partition to converge after heal via
-//!   anti-entropy (lower).
+//!   anti-entropy (lower);
+//! * `delta_ratio` — state bytes a cold chat-log fetch moves with delta
+//!   sync divided by the same fetch against a full-snapshot origin
+//!   (lower; **hard gate `< 0.5`** — the O(delta) transfer claim).
 //!
 //! With `--baseline <path>`: if the file exists, each metric is compared
 //! against it and the run **fails (exit 1) when any metric regresses by
@@ -26,6 +29,7 @@
 use peepul_net::{AntiEntropy, ChannelTransport, Cluster, Remote, Replica};
 use peepul_store::{BranchStore, MemoryBackend};
 use peepul_types::counter::CounterOp;
+use peepul_types::log::{LogOp, MergeableLog};
 use peepul_types::or_set_space::{OrSetOp, OrSetSpace};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -94,6 +98,52 @@ fn fetch_throughput(obs: &peepul_obs::Obs, commits: u32, reps: u32) -> (f64, f64
         total_objects as f64 / total_secs,
         total_rts as f64 / f64::from(reps),
         total_objects / u64::from(reps),
+    )
+}
+
+/// A chat-log origin: `commits` appends of a ~40-byte message each,
+/// stored with the given snapshot interval (`0` = every state full).
+fn log_history(commits: u32, interval: u32) -> Replica<MergeableLog<String>, MemoryBackend> {
+    let mut store: BranchStore<MergeableLog<String>> =
+        BranchStore::with_backend("main", MemoryBackend::with_snapshot_interval(interval)).unwrap();
+    {
+        let mut main = store.branch_mut("main").unwrap();
+        for i in 0..commits {
+            main.apply(&LogOp::Append(format!(
+                "chat message number {i:08} from origin"
+            )))
+            .unwrap();
+        }
+    }
+    Replica::new("origin", store)
+}
+
+/// The O(delta) transfer measurement: a cold replica fetches the same
+/// `commits`-deep chat log twice — once from a full-snapshot origin
+/// (`snapshot_interval = 0`, every state ships as its full canonical
+/// bytes) and once from a delta-storing origin (the default interval).
+/// Returns `(bytes_per_op_full, bytes_per_op_delta, delta_states)`;
+/// `delta_ratio` — the CI gate — is the quotient of the first two.
+fn log_fetch_bytes(commits: u32) -> (f64, f64, u64) {
+    let fetched = |interval: u32| {
+        let origin = log_history(commits, interval);
+        let client: Replica<MergeableLog<String>, MemoryBackend> = Replica::new(
+            "client",
+            BranchStore::with_backend_and_base("main", MemoryBackend::new(), 1 << 16).unwrap(),
+        );
+        let mut remote = Remote::new("origin", ChannelTransport::connect(origin));
+        client.fetch(&mut remote, "main").unwrap()
+    };
+    let full = fetched(0);
+    let delta = fetched(peepul_store::DEFAULT_SNAPSHOT_INTERVAL);
+    assert_eq!(
+        full.delta_states_received, 0,
+        "interval 0 must disable deltas"
+    );
+    (
+        full.state_bytes_received as f64 / f64::from(commits),
+        delta.state_bytes_received as f64 / f64::from(commits),
+        delta.delta_states_received,
     )
 }
 
@@ -194,6 +244,13 @@ fn main() {
         "8-replica heal        : {heal_ms:.1} ms to converge \
          ({heal_rounds} rounds, {heal_objects} objects)"
     );
+    let log_commits = if quick { 300 } else { 1_000 };
+    let (bytes_full, bytes_delta, delta_states) = log_fetch_bytes(log_commits);
+    let delta_ratio = bytes_delta / bytes_full.max(f64::MIN_POSITIVE);
+    println!(
+        "chat-log cold fetch   : {bytes_delta:.0} bytes/op delta vs {bytes_full:.0} bytes/op full \
+         (ratio {delta_ratio:.3}, {delta_states} delta states)"
+    );
 
     let metrics = [
         Metric {
@@ -211,11 +268,19 @@ fn main() {
             value: heal_ms,
             better: Better::Lower,
         },
+        Metric {
+            name: "delta_ratio",
+            value: delta_ratio,
+            better: Better::Lower,
+        },
     ];
     let info = [
         ("objects_per_cold_fetch", objects_per_fetch as f64),
         ("heal_rounds", heal_rounds as f64),
         ("heal_objects_transferred", heal_objects as f64),
+        ("log_bytes_per_op_full", bytes_full),
+        ("log_bytes_per_op_delta", bytes_delta),
+        ("log_delta_states", delta_states as f64),
     ];
 
     let json = peepul_bench::with_obs_section(&render_json(&metrics, quick, &info), &obs);
@@ -226,6 +291,13 @@ fn main() {
     // independence is the whole point of the Merkle want/have exchange.
     if rts_per_fetch > 3.0 {
         eprintln!("FAIL: a cold fetch used {rts_per_fetch} round trips (expected 3)");
+        std::process::exit(1);
+    }
+    // Hard transfer gate: delta sync must at least halve the state bytes a
+    // chat-log fetch moves — the O(delta) claim, not a timing, so it gets
+    // an absolute threshold rather than the baseline tolerance.
+    if delta_ratio >= 0.5 {
+        eprintln!("FAIL: delta_ratio {delta_ratio:.3} >= 0.5 — delta sync is not saving bytes");
         std::process::exit(1);
     }
 

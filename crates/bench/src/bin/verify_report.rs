@@ -1,6 +1,7 @@
 //! **Certification report** — machine-readable summary of the replication
-//! certification run: the per-type `Φ_ra` fleet suites and the replication
-//! mutant kill-gate.
+//! certification run: the per-type `Φ_ra` fleet suites, the replication
+//! mutant kill-gate, and the codec mutant kill-gate (round-trip and
+//! delta-resolution laws).
 //!
 //! Writes `VERIFY_report.json` (schema `peepul/verify-report/v1`, see
 //! EXPERIMENTS.md) and exits non-zero when any suite fails **or any mutant
@@ -11,7 +12,9 @@
 
 use std::fmt::Write as _;
 
-use peepul_verify::{certify_replication, run_replication_mutants, RaLinSuiteConfig};
+use peepul_verify::{
+    certify_replication, run_codec_mutants, run_replication_mutants, RaLinSuiteConfig,
+};
 
 fn quick_mode(args: &[String]) -> bool {
     args.iter().any(|a| a == "--quick")
@@ -95,10 +98,22 @@ fn main() {
         );
     }
 
+    println!("codec mutant kill-gate:");
+    let codec_mutants = run_codec_mutants();
+    for m in &codec_mutants {
+        println!(
+            "  {:<24} baseline {}  {}",
+            m.mutation,
+            if m.baseline_ok { "ok" } else { "FAILED" },
+            if m.caught() { "KILLED" } else { "SURVIVED" },
+        );
+    }
+
     let histories: u64 = suites.iter().map(|s| s.runs).sum();
     let events: u64 = suites.iter().map(|s| s.stats.events).sum();
     let linearizations: u64 = suites.iter().map(|s| s.stats.linearizations).sum();
     let killed = mutants.iter().filter(|m| m.caught()).count();
+    let codec_killed = codec_mutants.iter().filter(|m| m.caught()).count();
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -154,12 +169,32 @@ fn main() {
         );
     }
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"codec_mutants\": [");
+    for (i, m) in codec_mutants.iter().enumerate() {
+        let comma = if i + 1 == codec_mutants.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            out,
+            "    {{ \"mutation\": \"{}\", \"baseline_ok\": {}, \"killed\": {}, \
+             \"detail\": \"{}\" }}{comma}",
+            m.mutation,
+            m.baseline_ok,
+            m.killed,
+            json_escape(&m.detail),
+        );
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(
         out,
         "  \"totals\": {{ \"histories_checked\": {histories}, \"events_witnessed\": {events}, \
          \"linearization_checks\": {linearizations}, \"mutants_killed\": {killed}, \
-         \"mutants_total\": {} }}",
-        mutants.len()
+         \"mutants_total\": {}, \"codec_mutants_killed\": {codec_killed}, \
+         \"codec_mutants_total\": {} }}",
+        mutants.len(),
+        codec_mutants.len()
     );
     out.push_str("}\n");
     std::fs::write(&out_path, &out).expect("write report");
@@ -167,7 +202,8 @@ fn main() {
 
     let suites_ok = suites.iter().all(|s| s.passed());
     let mutants_ok = killed == mutants.len();
-    if !suites_ok || !mutants_ok {
+    let codec_ok = codec_killed == codec_mutants.len();
+    if !suites_ok || !mutants_ok || !codec_ok {
         if !suites_ok {
             eprintln!("FAIL: a Φ_ra suite rejected a healthy fleet execution");
         }
@@ -178,11 +214,19 @@ fn main() {
                 mutants.len()
             );
         }
+        if !codec_ok {
+            eprintln!(
+                "FAIL: {}/{} codec mutants survived Φ_codec",
+                codec_mutants.len() - codec_killed,
+                codec_mutants.len()
+            );
+        }
         std::process::exit(1);
     }
     println!(
         "ok: {histories} histories, {events} events, {linearizations} linearization checks, \
-         {killed}/{} mutants killed",
-        mutants.len()
+         {killed}/{} replication mutants + {codec_killed}/{} codec mutants killed",
+        mutants.len(),
+        codec_mutants.len()
     );
 }

@@ -99,7 +99,7 @@ pub use sim::SimulationRelation;
 pub use spec::Specification;
 pub use store_props::{psi_lca, psi_lca_paper, psi_ts, StorePropertyError};
 pub use timestamp::{ReplicaId, Timestamp};
-pub use wire::Wire;
+pub use wire::{diff_item_lists, Delta, DeltaOp, Wire};
 
 /// Shorthand for the abstract state of an MRDT `M`.
 ///

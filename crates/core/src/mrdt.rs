@@ -1,6 +1,7 @@
 //! The MRDT implementation interface (paper, Definition 2.1), with the
 //! query/update split of replication-aware linearizability.
 
+use crate::wire::Delta;
 use crate::{Timestamp, Wire};
 use std::fmt;
 
@@ -128,6 +129,44 @@ pub trait Mrdt: Clone + PartialEq + Wire + fmt::Debug {
     /// behaviour.
     fn observably_equal(&self, other: &Self) -> bool {
         self == other
+    }
+
+    /// The **delta form** of the canonical codec: an edit script from
+    /// `parent`'s canonical encoding to this state's canonical encoding.
+    ///
+    /// Deltas are a storage and transfer encoding only — a state's content
+    /// address stays the sha256 of its *full* canonical bytes, and every
+    /// consumer re-hashes the resolved bytes against the advertised
+    /// address before trusting them. The resolution law every
+    /// implementation must satisfy, for **every** pair of states:
+    ///
+    /// ```text
+    /// apply_delta(p, σ.diff(p)) = Some(σ')   with encode(σ') = encode(σ)
+    /// ```
+    ///
+    /// The default is the byte-level prefix/suffix trim
+    /// ([`Delta::splice`]), which satisfies the law for any canonical
+    /// codec and is already O(delta) for append-shaped types. Relational
+    /// set/map/log-shaped types override it with a structural item differ
+    /// ([`crate::wire::diff_item_lists`]) so mid-stream edits also cost
+    /// O(changed items). The certification harness checks the resolution
+    /// law as part of `Φ_codec` at every state it explores.
+    #[must_use]
+    fn diff(&self, parent: &Self) -> Delta {
+        Delta::splice(&parent.to_wire(), &self.to_wire())
+    }
+
+    /// Resolves a delta produced by [`Mrdt::diff`] against `parent`,
+    /// reconstructing the target state. `None` when the delta does not
+    /// apply to this parent (mismatched base or malformed script) or the
+    /// resolved bytes fail to decode.
+    ///
+    /// Implementations should leave the default in place: resolution
+    /// always goes through the canonical byte encoding, so the store and
+    /// the wire can resolve chains without knowing the type's structure.
+    #[must_use]
+    fn apply_delta(parent: &Self, delta: &Delta) -> Option<Self> {
+        Self::from_wire(&delta.apply(&parent.to_wire())?)
     }
 }
 

@@ -307,6 +307,48 @@ pub fn check_codec<M: Mrdt>(
             ),
         ));
     }
+    // The delta form of the codec: `apply_delta(base, σ.diff(base))` must
+    // reconstruct σ exactly — observably equal AND re-encoding to the
+    // identical canonical bytes, since storage chains and delta fetches
+    // re-hash the resolved bytes against σ's content address. Checked
+    // against σ0 (the longest edit a chain can start from) and against σ
+    // itself (the identity edit); the two compose into every chain shape
+    // the store resolves, because each link is verified by this same law.
+    for (base, base_name) in [(&M::initial(), "σ0"), (conc, "σ")] {
+        let delta = conc.diff(base);
+        let Some(resolved) = M::apply_delta(base, &delta) else {
+            return Err(ObligationError::new(
+                Obligation::Codec,
+                format!(
+                    "delta of σ = {conc:?} vs {base_name} = {base:?} does not \
+                     resolve: apply_delta(diff) returned None"
+                ),
+            ));
+        };
+        if !resolved.observably_equal(conc) {
+            return Err(ObligationError::new(
+                Obligation::Codec,
+                format!(
+                    "drifted delta: apply_delta({base_name}, diff({base_name}, σ)) = \
+                     {resolved:?} is observably distinct from σ = {conc:?}"
+                ),
+            ));
+        }
+        let resolved_bytes = resolved.to_wire();
+        if resolved_bytes != bytes {
+            return Err(ObligationError::new(
+                Obligation::Codec,
+                format!(
+                    "delta resolution of {conc:?} vs {base_name} is not \
+                     canonical: resolved bytes differ from encode(σ) \
+                     ({} vs {} bytes) — chain resolution would fail the \
+                     content-address re-hash",
+                    resolved_bytes.len(),
+                    bytes.len()
+                ),
+            ));
+        }
+    }
     Ok(())
 }
 

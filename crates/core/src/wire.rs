@@ -363,6 +363,193 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     }
 }
 
+/// One instruction of a [`Delta`] edit script: reuse a range of the base
+/// encoding, or splice in literal bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Copy `len` bytes starting at byte `offset` of the base encoding.
+    Copy {
+        /// Byte offset into the base encoding.
+        offset: u64,
+        /// Number of bytes to copy.
+        len: u64,
+    },
+    /// Insert these literal bytes.
+    Insert(Vec<u8>),
+}
+
+/// A byte-level edit script from one canonical encoding to another — the
+/// **delta form** of the canonical codec.
+///
+/// A delta is a *storage and transfer encoding only*: applying it to the
+/// base's canonical bytes must reproduce the target's canonical bytes
+/// exactly, so the target's content address stays `sha256` of the **full**
+/// canonical encoding — deltas never mint addresses. Producers are
+/// [`Delta::splice`] (the generic prefix/suffix trim every type gets for
+/// free) and [`diff_item_lists`] (the structural differ for
+/// length-prefix + concatenated-items encodings, which survives
+/// mid-stream insertions and removals that defeat a plain splice).
+/// Storage chains deltas with periodic full snapshots; replication ships
+/// one when the negotiation proves the receiver holds the base. Both
+/// re-hash the resolved bytes against the advertised address, so a wrong
+/// delta is indistinguishable from corruption — rejected before anything
+/// lands. `Φ_codec` certifies the resolution law
+/// (`apply_delta(base, diff(base, σ))` re-encodes to `encode(σ)`) at
+/// every state the harness explores.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Delta {
+    /// The edit script, applied in order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl Delta {
+    /// Resolves this delta against the base encoding, producing the target
+    /// encoding. `None` when a copy range falls outside the base — a
+    /// malformed or mismatched delta, never a panic.
+    pub fn apply(&self, base: &[u8]) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            match op {
+                DeltaOp::Copy { offset, len } => {
+                    let start = usize::try_from(*offset).ok()?;
+                    let end = start.checked_add(usize::try_from(*len).ok()?)?;
+                    out.extend_from_slice(base.get(start..end)?);
+                }
+                DeltaOp::Insert(bytes) => out.extend_from_slice(bytes),
+            }
+        }
+        Some(out)
+    }
+
+    /// The generic byte-level differ: trims the longest common prefix and
+    /// suffix and inserts whatever changed in between. Optimal for
+    /// append/prepend-shaped edits (logs, counters); structural types
+    /// with mid-stream edits use [`diff_item_lists`] instead.
+    pub fn splice(old: &[u8], new: &[u8]) -> Delta {
+        let prefix = old
+            .iter()
+            .zip(new.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let max_suffix = old.len().min(new.len()) - prefix;
+        let mut suffix = 0;
+        while suffix < max_suffix && old[old.len() - 1 - suffix] == new[new.len() - 1 - suffix] {
+            suffix += 1;
+        }
+        let mut delta = Delta::default();
+        delta.push_copy(0, prefix as u64);
+        delta.push_insert(new[prefix..new.len() - suffix].to_vec());
+        delta.push_copy((old.len() - suffix) as u64, suffix as u64);
+        delta
+    }
+
+    /// Appends a copy instruction, coalescing with a directly preceding
+    /// contiguous copy; empty copies are dropped.
+    pub fn push_copy(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        if let Some(DeltaOp::Copy {
+            offset: prev_offset,
+            len: prev_len,
+        }) = self.ops.last_mut()
+        {
+            if *prev_offset + *prev_len == offset {
+                *prev_len += len;
+                return;
+            }
+        }
+        self.ops.push(DeltaOp::Copy { offset, len });
+    }
+
+    /// Appends an insert instruction, coalescing with a directly preceding
+    /// insert; empty inserts are dropped.
+    pub fn push_insert(&mut self, bytes: Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        if let Some(DeltaOp::Insert(prev)) = self.ops.last_mut() {
+            prev.extend_from_slice(&bytes);
+            return;
+        }
+        self.ops.push(DeltaOp::Insert(bytes));
+    }
+}
+
+impl Wire for DeltaOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DeltaOp::Copy { offset, len } => {
+                out.push(0);
+                offset.encode(out);
+                len.encode(out);
+            }
+            DeltaOp::Insert(bytes) => {
+                out.push(1);
+                bytes.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(DeltaOp::Copy {
+                offset: u64::decode(input)?,
+                len: u64::decode(input)?,
+            }),
+            1 => Some(DeltaOp::Insert(Vec::decode(input)?)),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for Delta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ops.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Delta {
+            ops: Vec::decode(input)?,
+        })
+    }
+}
+
+/// The structural differ for the workspace's dominant encoding shape: a
+/// `u64` length prefix followed by the items' encodings back to back
+/// (every `Vec`/`VecDeque`/`BTreeSet`/`BTreeMap` impl above). Each
+/// argument is the per-item encodings of one state; the result resolves
+/// against the *old* state's full encoding to the *new* state's full
+/// encoding, copying every item the old encoding already contains (found
+/// by exact bytes, wherever it moved) and inserting only genuinely new
+/// items — so an insertion or removal in the middle of a set or map costs
+/// O(changed items) delta bytes, where a plain [`Delta::splice`] would
+/// re-insert everything downstream of the edit.
+pub fn diff_item_lists(old_items: &[Vec<u8>], new_items: &[Vec<u8>]) -> Delta {
+    let mut index: std::collections::HashMap<&[u8], u64> =
+        std::collections::HashMap::with_capacity(old_items.len());
+    let mut offset = 8u64; // the u64 length prefix of the old encoding
+    for item in old_items {
+        index.entry(item.as_slice()).or_insert(offset);
+        offset += item.len() as u64;
+    }
+    let mut delta = Delta::default();
+    let mut prefix = Vec::new();
+    encode_len(new_items.len(), &mut prefix);
+    if old_items.len() == new_items.len() {
+        delta.push_copy(0, 8);
+    } else {
+        delta.push_insert(prefix);
+    }
+    for item in new_items {
+        match index.get(item.as_slice()) {
+            Some(&item_offset) => delta.push_copy(item_offset, item.len() as u64),
+            None => delta.push_insert(item.clone()),
+        }
+    }
+    delta
+}
+
 impl Wire for ReplicaId {
     fn encode(&self, out: &mut Vec<u8>) {
         self.as_u32().encode(out);
@@ -469,6 +656,106 @@ mod tests {
         assert_eq!(bool::from_wire(&[2]), None);
         assert_eq!(Option::<u8>::from_wire(&[9]), None);
         assert_eq!(String::from_wire(&[1, 0, 0, 0, 0, 0, 0, 0, 0xff]), None);
+    }
+
+    #[test]
+    fn delta_splice_resolves_and_roundtrips() {
+        let old = b"hello shared world".to_vec();
+        let new = b"hello brave new world".to_vec();
+        let delta = Delta::splice(&old, &new);
+        assert_eq!(delta.apply(&old), Some(new.clone()));
+        roundtrip(delta.clone());
+        // Identity edit: one copy of the whole base.
+        let same = Delta::splice(&old, &old);
+        assert_eq!(same.ops.len(), 1);
+        assert_eq!(same.apply(&old), Some(old.clone()));
+        // Empty-to-something and something-to-empty.
+        assert_eq!(Delta::splice(&[], &new).apply(&[]), Some(new.clone()));
+        assert_eq!(Delta::splice(&old, &[]).apply(&old), Some(Vec::new()));
+    }
+
+    #[test]
+    fn delta_apply_rejects_out_of_range_copies() {
+        let delta = Delta {
+            ops: vec![DeltaOp::Copy { offset: 4, len: 10 }],
+        };
+        assert_eq!(delta.apply(b"short"), None);
+        let overflow = Delta {
+            ops: vec![DeltaOp::Copy {
+                offset: u64::MAX,
+                len: 2,
+            }],
+        };
+        assert_eq!(overflow.apply(b"xy"), None);
+    }
+
+    #[test]
+    fn delta_ops_coalesce() {
+        let mut d = Delta::default();
+        d.push_copy(0, 4);
+        d.push_copy(4, 4); // contiguous → merged
+        d.push_copy(16, 2); // gap → new op
+        d.push_insert(b"ab".to_vec());
+        d.push_insert(b"cd".to_vec()); // merged
+        d.push_copy(0, 0); // empty → dropped
+        d.push_insert(Vec::new()); // empty → dropped
+        assert_eq!(
+            d.ops,
+            vec![
+                DeltaOp::Copy { offset: 0, len: 8 },
+                DeltaOp::Copy { offset: 16, len: 2 },
+                DeltaOp::Insert(b"abcd".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn diff_item_lists_reuses_moved_items() {
+        // A set-shaped edit that defeats a plain splice: remove the first
+        // item, keep the rest, add one — everything surviving is copied.
+        let old: Vec<u64> = vec![10, 20, 30, 40];
+        let new: Vec<u64> = vec![20, 30, 40, 99];
+        let old_items: Vec<Vec<u8>> = old.iter().map(|v| v.to_wire()).collect();
+        let new_items: Vec<Vec<u8>> = new.iter().map(|v| v.to_wire()).collect();
+        let delta = diff_item_lists(&old_items, &new_items);
+        assert_eq!(delta.apply(&old.to_wire()), Some(new.to_wire()));
+        // The three surviving items are contiguous in the old encoding, so
+        // they coalesce into a single copy; only the new item is inserted.
+        let inserted: usize = delta
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                DeltaOp::Insert(b) => Some(b.len()),
+                DeltaOp::Copy { .. } => None,
+            })
+            .sum();
+        assert_eq!(inserted, 99u64.to_wire().len());
+    }
+
+    #[test]
+    fn diff_item_lists_handles_length_changes_and_empties() {
+        let cases: Vec<(Vec<u64>, Vec<u64>)> = vec![
+            (vec![], vec![1, 2, 3]),
+            (vec![1, 2, 3], vec![]),
+            (vec![1, 2, 3], vec![3, 2, 1]),
+            (vec![5; 4], vec![5; 7]),
+        ];
+        for (old, new) in cases {
+            let old_items: Vec<Vec<u8>> = old.iter().map(|v| v.to_wire()).collect();
+            let new_items: Vec<Vec<u8>> = new.iter().map(|v| v.to_wire()).collect();
+            let delta = diff_item_lists(&old_items, &new_items);
+            assert_eq!(
+                delta.apply(&old.to_wire()),
+                Some(new.to_wire()),
+                "old={old:?} new={new:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_malformed_tags_are_rejected() {
+        assert_eq!(DeltaOp::from_wire(&[2]), None);
+        assert_eq!(DeltaOp::from_wire(&[0, 1]), None); // truncated Copy
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub mod transport;
 pub use anti_entropy::{AntiEntropy, AntiEntropyReport};
 pub use cluster::Cluster;
 pub use error::NetError;
-pub use message::{PackedObject, Request, Response};
+pub use message::{PackedObject, Request, Response, StateTransfer};
 pub use metrics::NetMetrics;
 pub use observer::{HistoryObserver, ReplicationMutation};
 pub use replica::{FetchStats, PullOutcome, PullReport, PushReport, Remote, Replica};

@@ -54,6 +54,41 @@ impl Wire for PackedObject {
     }
 }
 
+/// One state object in a delta-aware `GetStatesDelta` reply: either the
+/// full canonical bytes, or an O(delta) edit script against a base state
+/// the requester provably holds (it is reachable from the request's
+/// `haves`, or appeared earlier in the same reply). Identity is the same
+/// either way — `id = sha256(full canonical bytes)` — and the receiver
+/// resolves and re-hashes before trusting a delta, exactly as it
+/// re-hashes full bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateTransfer {
+    /// Full canonical state bytes.
+    Full {
+        /// The state with its advertised address.
+        state: PackedObject,
+    },
+    /// A delta against a base the requester holds.
+    Delta {
+        /// Advertised address of the *resolved* state.
+        id: ObjectId,
+        /// Address of the base state the delta applies to.
+        base: ObjectId,
+        /// `peepul_core::Delta` wire bytes.
+        delta: Vec<u8>,
+    },
+}
+
+impl StateTransfer {
+    /// The advertised content address of the (resolved) state.
+    pub fn id(&self) -> ObjectId {
+        match self {
+            StateTransfer::Full { state } => state.id,
+            StateTransfer::Delta { id, .. } => *id,
+        }
+    }
+}
+
 /// A request from a client to a serving replica.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -72,6 +107,18 @@ pub enum Request {
     GetStates {
         /// State content addresses the client lacks.
         ids: Vec<ObjectId>,
+    },
+    /// Delta-aware [`Request::GetStates`]: the server may answer any
+    /// requested state as a [`StateTransfer::Delta`] against a base
+    /// state reachable from `haves` (or served earlier in the same
+    /// reply), and falls back to [`StateTransfer::Full`] otherwise.
+    /// Still one round-trip — a fetch stays at three.
+    GetStatesDelta {
+        /// State content addresses the client lacks.
+        ids: Vec<ObjectId>,
+        /// Commit addresses whose full history the client holds; the
+        /// states those commits carry are valid delta bases.
+        haves: Vec<ObjectId>,
     },
     /// For each id, answer whether the replica already stores that object
     /// (push negotiation: don't upload states the receiver has).
@@ -110,6 +157,13 @@ pub enum Response {
     States {
         /// `Wire`-encoded states with their advertised addresses.
         states: Vec<PackedObject>,
+    },
+    /// The requested state objects, possibly in delta form
+    /// (`GetStatesDelta`); unknown ids are omitted. Ordered so that a
+    /// delta's base, when it is part of the reply, precedes it.
+    StatesDelta {
+        /// Full or delta transfers with their advertised addresses.
+        states: Vec<StateTransfer>,
     },
     /// Per-id presence bits, in request order (`HaveObjects`).
     Haves {
@@ -162,6 +216,7 @@ wire_enum!(Request {
     2 => GetStates(ids: Vec<ObjectId>),
     3 => HaveObjects(ids: Vec<ObjectId>),
     4 => Push(branch: String, head: ObjectId, commits: Vec<PackedObject>, states: Vec<PackedObject>),
+    5 => GetStatesDelta(ids: Vec<ObjectId>, haves: Vec<ObjectId>),
 });
 
 wire_enum!(Response {
@@ -172,6 +227,12 @@ wire_enum!(Response {
     4 => Pushed(created: bool),
     5 => PushDenied,
     6 => Error(message: String),
+    7 => StatesDelta(states: Vec<StateTransfer>),
+});
+
+wire_enum!(StateTransfer {
+    0 => Full(state: PackedObject),
+    1 => Delta(id: ObjectId, base: ObjectId, delta: Vec<u8>),
 });
 
 impl Response {
@@ -206,6 +267,10 @@ mod tests {
                 ids: vec![oid(4), oid(5)],
             },
             Request::HaveObjects { ids: vec![] },
+            Request::GetStatesDelta {
+                ids: vec![oid(8)],
+                haves: vec![oid(9)],
+            },
             Request::Push {
                 branch: "main".into(),
                 head: oid(6),
@@ -234,6 +299,21 @@ mod tests {
                 }],
             },
             Response::States { states: vec![] },
+            Response::StatesDelta {
+                states: vec![
+                    StateTransfer::Full {
+                        state: PackedObject {
+                            id: oid(8),
+                            bytes: vec![9, 9],
+                        },
+                    },
+                    StateTransfer::Delta {
+                        id: oid(9),
+                        base: oid(8),
+                        delta: vec![0, 1, 2],
+                    },
+                ],
+            },
             Response::Haves {
                 haves: vec![true, false],
             },

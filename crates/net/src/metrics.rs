@@ -42,6 +42,18 @@ pub struct NetMetrics {
     pub pack_objects_out_total: Counter,
     /// `peepul_net_pack_bytes_out_total` — pack payload bytes uploaded.
     pub pack_bytes_out_total: Counter,
+    /// `peepul_net_delta_states_in_total` — state objects received in
+    /// delta form (the delta-sync hit count; fulls received through the
+    /// delta path are the misses).
+    pub delta_states_in_total: Counter,
+    /// `peepul_net_delta_states_out_total` — state objects served in
+    /// delta form.
+    pub delta_states_out_total: Counter,
+    /// `peepul_net_delta_bytes_saved_total` — wire bytes *not*
+    /// transferred because a delta replaced the full encoding (resolved
+    /// size minus delta size, counted at the receiver where the
+    /// resolution happens).
+    pub delta_bytes_saved_total: Counter,
     /// The trace ring fetch/push events are recorded into.
     pub ring: Arc<EventRing>,
 }
@@ -62,6 +74,9 @@ impl NetMetrics {
             pack_bytes_in_total: registry.counter("peepul_net_pack_bytes_in_total"),
             pack_objects_out_total: registry.counter("peepul_net_pack_objects_out_total"),
             pack_bytes_out_total: registry.counter("peepul_net_pack_bytes_out_total"),
+            delta_states_in_total: registry.counter("peepul_net_delta_states_in_total"),
+            delta_states_out_total: registry.counter("peepul_net_delta_states_out_total"),
+            delta_bytes_saved_total: registry.counter("peepul_net_delta_bytes_saved_total"),
             ring,
         })
     }

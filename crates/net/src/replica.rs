@@ -36,14 +36,16 @@
 //! but never serializes reads behind them.
 
 use crate::error::NetError;
-use crate::message::{PackedObject, Request, Response};
+use crate::message::{PackedObject, Request, Response, StateTransfer};
 use crate::metrics::NetMetrics;
 use crate::observer::{HistoryObserver, ReplicationMutation};
 use crate::transport::Transport;
 use parking_lot::RwLock;
 use peepul_core::{Mrdt, ReplicaId, Timestamp, Wire};
 use peepul_store::sha256::Sha256;
-use peepul_store::{parse_commit_record, Backend, BranchStore, ObjectId, StoreError, TrackOutcome};
+use peepul_store::{
+    parse_commit_record, Backend, BranchStore, ObjectId, PackState, StoreError, TrackOutcome,
+};
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
@@ -322,7 +324,7 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
     pub fn handle(&self, req: Request) -> Response {
         let served = match req {
             Request::Push { .. } => self.serve_push(req),
-            _ => serve_read(&self.store.read(), req),
+            _ => serve_read(&self.store.read(), req, self.net_metrics().as_ref()),
         };
         match served {
             Ok(r) => r,
@@ -386,6 +388,8 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
                 round_trips: remote.round_trips - rt0,
                 commits_received: 0,
                 states_received: 0,
+                delta_states_received: 0,
+                state_bytes_received: 0,
                 tracking_branch,
                 up_to_date: true,
             };
@@ -414,11 +418,14 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
             }
         });
 
-        // Phase 4 (no local lock): transfer them.
+        // Phase 4 (no local lock): transfer them — delta-aware. The
+        // `haves` from phase 1 double as the proof of which bases this
+        // replica holds, so the peer can answer with O(delta) transfers;
+        // every delta is resolved and re-hashed during ingest.
         let states = if need.is_empty() {
             Vec::new()
         } else {
-            remote.get_states(&need)?
+            remote.get_states_delta(&need, &haves)?
         };
 
         // Phase 5 (local lock only): verify + ingest + land the tracking
@@ -431,7 +438,7 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
             } else {
                 Vec::new()
             };
-            let counts = ingest_pack(s, &commits, &states)?;
+            let counts = ingest_transfers(s, &commits, &states)?;
             if !s.has_commit(head) {
                 return Err(NetError::Protocol(format!(
                     "peer advertised head {} but did not send it",
@@ -453,22 +460,33 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
             }
             Ok(counts)
         })?;
+        let state_bytes: u64 = states
+            .iter()
+            .map(|t| match t {
+                StateTransfer::Full { state } => state.bytes.len() as u64,
+                StateTransfer::Delta { delta, .. } => delta.len() as u64,
+            })
+            .sum();
         let stats = FetchStats {
             round_trips: remote.round_trips - rt0,
             commits_received: counts.commits,
             states_received: counts.states,
+            delta_states_received: counts.delta_states,
+            state_bytes_received: state_bytes,
             tracking_branch,
             up_to_date: false,
         };
         if let (Some(m), Some(start)) = (&metrics, start) {
             let micros = start.elapsed().as_micros() as u64;
-            let bytes: u64 = commits.iter().map(|o| o.bytes.len() as u64).sum::<u64>()
-                + states.iter().map(|o| o.bytes.len() as u64).sum::<u64>();
+            let bytes: u64 =
+                commits.iter().map(|o| o.bytes.len() as u64).sum::<u64>() + state_bytes;
             m.fetches_total.inc();
             m.round_trips_total.add(stats.round_trips);
             m.pack_objects_in_total
                 .add(commits.len() as u64 + states.len() as u64);
             m.pack_bytes_in_total.add(bytes);
+            m.delta_states_in_total.add(counts.delta_states);
+            m.delta_bytes_saved_total.add(counts.delta_saved_bytes);
             m.fetch_micros.observe(micros);
             m.trace("fetch", remote.name(), micros);
         }
@@ -630,6 +648,12 @@ pub struct FetchStats {
     pub commits_received: u64,
     /// State objects ingested.
     pub states_received: u64,
+    /// Of those, how many crossed the wire in delta form.
+    pub delta_states_received: u64,
+    /// State payload bytes that actually crossed the wire (full canonical
+    /// bytes for full transfers, delta bytes for delta transfers) — the
+    /// numerator of a bytes-per-op measurement.
+    pub state_bytes_received: u64,
     /// The tracking branch the remote head landed on.
     pub tracking_branch: String,
     /// Whether this replica already had the remote head.
@@ -762,6 +786,29 @@ impl<T: Transport> Remote<T> {
         }
     }
 
+    /// `GetStatesDelta`: the peer's state objects under `ids`, each
+    /// possibly as a delta against a base reachable from `haves` (or
+    /// served earlier in the same reply). The caller resolves and
+    /// hash-verifies every delta on ingest.
+    ///
+    /// # Errors
+    ///
+    /// As [`Remote::refs`].
+    pub fn get_states_delta(
+        &mut self,
+        ids: &[ObjectId],
+        haves: &[ObjectId],
+    ) -> Result<Vec<StateTransfer>, NetError> {
+        let req = Request::GetStatesDelta {
+            ids: ids.to_vec(),
+            haves: haves.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::StatesDelta { states } => Ok(states),
+            r => Err(unexpected("StatesDelta", &r)),
+        }
+    }
+
     /// `HaveObjects`: per-id presence on the peer.
     ///
     /// # Errors
@@ -808,6 +855,7 @@ fn unexpected(wanted: &str, got: &Response) -> NetError {
         Response::Refs { .. } => "Refs",
         Response::Commits { .. } => "Commits",
         Response::States { .. } => "States",
+        Response::StatesDelta { .. } => "StatesDelta",
         Response::Haves { .. } => "Haves",
         Response::Pushed { .. } => "Pushed",
         Response::PushDenied => "PushDenied",
@@ -819,6 +867,8 @@ fn unexpected(wanted: &str, got: &Response) -> NetError {
 struct IngestCounts {
     commits: u64,
     states: u64,
+    delta_states: u64,
+    delta_saved_bytes: u64,
 }
 
 /// Verifies and lands a pack of commit records + state objects by
@@ -844,6 +894,42 @@ fn ingest_pack<M: Mrdt, B: Backend>(
     Ok(IngestCounts {
         commits: report.commits,
         states: report.states,
+        delta_states: report.delta_states,
+        delta_saved_bytes: report.delta_saved_bytes,
+    })
+}
+
+/// [`ingest_pack`] for delta-aware transfers: maps each
+/// [`StateTransfer`] onto the store's [`PackState`] input and delegates
+/// to [`BranchStore::ingest_pack_states`], which resolves every delta
+/// against its base and re-hashes the result before anything lands.
+fn ingest_transfers<M: Mrdt, B: Backend>(
+    store: &mut BranchStore<M, B>,
+    commits: &[PackedObject],
+    states: &[StateTransfer],
+) -> Result<IngestCounts, NetError> {
+    let commit_refs: Vec<(ObjectId, &[u8])> =
+        commits.iter().map(|p| (p.id, p.bytes.as_slice())).collect();
+    let state_refs: Vec<PackState<'_>> = states
+        .iter()
+        .map(|t| match t {
+            StateTransfer::Full { state } => PackState::Full {
+                id: state.id,
+                bytes: &state.bytes,
+            },
+            StateTransfer::Delta { id, base, delta } => PackState::Delta {
+                id: *id,
+                base: *base,
+                delta,
+            },
+        })
+        .collect();
+    let report = store.ingest_pack_states(&commit_refs, &state_refs)?;
+    Ok(IngestCounts {
+        commits: report.commits,
+        states: report.states,
+        delta_states: report.delta_states,
+        delta_saved_bytes: report.delta_saved_bytes,
     })
 }
 
@@ -853,6 +939,7 @@ fn ingest_pack<M: Mrdt, B: Backend>(
 fn serve_read<M: Mrdt, B: Backend>(
     store: &BranchStore<M, B>,
     req: Request,
+    metrics: Option<&Arc<NetMetrics>>,
 ) -> Result<Response, NetError> {
     match req {
         Request::FetchRefs => Ok(Response::Refs {
@@ -872,7 +959,8 @@ fn serve_read<M: Mrdt, B: Backend>(
         }
         Request::GetStates { ids } => {
             // Storage format == wire format: states are served straight
-            // from the backend, zero re-encodes.
+            // from the backend, zero re-encodes (delta-stored states are
+            // resolved — this legacy arm always ships full bytes).
             let mut states = Vec::with_capacity(ids.len());
             for id in ids {
                 if let Some(bytes) = store.state_bytes(id)? {
@@ -880,6 +968,39 @@ fn serve_read<M: Mrdt, B: Backend>(
                 }
             }
             Ok(Response::States { states })
+        }
+        Request::GetStatesDelta { ids, haves } => {
+            // A state may go out as its stored delta record — O(delta)
+            // bytes, zero re-encodes — when the requester provably holds
+            // the base: it is carried by a commit reachable from the
+            // request's `haves`, or it was served earlier in this very
+            // reply (request order is parents-first, like pack order).
+            let mut available: HashSet<ObjectId> = store
+                .commits_between(&haves, &[])
+                .into_iter()
+                .map(|c| store.state_oid(c))
+                .collect();
+            let mut states = Vec::with_capacity(ids.len());
+            for id in ids {
+                match store.state_stored_delta(id)? {
+                    Some((base, delta)) if available.contains(&base) => {
+                        if let Some(m) = metrics {
+                            m.delta_states_out_total.inc();
+                        }
+                        states.push(StateTransfer::Delta { id, base, delta });
+                        available.insert(id);
+                    }
+                    _ => {
+                        if let Some(bytes) = store.state_bytes(id)? {
+                            states.push(StateTransfer::Full {
+                                state: PackedObject { id, bytes },
+                            });
+                            available.insert(id);
+                        }
+                    }
+                }
+            }
+            Ok(Response::StatesDelta { states })
         }
         Request::HaveObjects { ids } => {
             let haves = ids
@@ -961,7 +1082,7 @@ impl<M: Mrdt, B: Backend> Replica<M, B> {
             states,
         } = req
         else {
-            return serve_read(&self.store.read(), req);
+            return serve_read(&self.store.read(), req, self.net_metrics().as_ref());
         };
         let (observer, mutation) = self.hooks_snapshot();
         let metrics = self.net_metrics();

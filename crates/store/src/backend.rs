@@ -23,6 +23,11 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
+/// Default delta-chain bound `K`: a full snapshot state is written at
+/// least every `K` commits, so resolving any stored state costs at most
+/// `K − 1` delta applications. See [`Backend::snapshot_interval`].
+pub const DEFAULT_SNAPSHOT_INTERVAL: u32 = 16;
+
 /// Interning counters a backend keeps for the dedup the content
 /// addressing bought (Irmin/Git-style structural sharing).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -126,12 +131,45 @@ pub trait Backend: fmt::Debug {
         Ok(())
     }
 
+    /// Stores `bytes` under a **caller-chosen** address `id` that is *not*
+    /// the hash of `bytes` — the delta-storage path, where a state's
+    /// content address is the sha256 of its full canonical encoding but
+    /// the stored record is a wrapped delta against a parent state
+    /// (`peepul-store`'s state-record envelope). The caller owns the
+    /// integrity argument: it must be able to resolve the stored record
+    /// back to bytes hashing to `id` and re-verify that hash on every
+    /// resolution, which is exactly what
+    /// [`BranchStore`](crate::BranchStore)'s chain resolution does.
+    /// Idempotent per `id`: a second `put_keyed` under a stored address is
+    /// a dedup no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on persistence failure.
+    fn put_keyed(&mut self, id: ObjectId, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// How many commits may chain as deltas before the store must write a
+    /// full snapshot state — the `K` bound on delta-chain length, so cold
+    /// reads and reopen resolve at most `K − 1` links. `0` disables delta
+    /// storage entirely (every state is stored full). Persistent backends
+    /// surface their configured [`SegmentOptions`](crate::SegmentOptions)
+    /// value; the default is [`DEFAULT_SNAPSHOT_INTERVAL`].
+    fn snapshot_interval(&self) -> u32 {
+        DEFAULT_SNAPSHOT_INTERVAL
+    }
+
     /// Fetches the bytes stored under `id`, or `None` if absent.
+    ///
+    /// For a content-addressed object ([`Backend::put`]/
+    /// [`Backend::put_known`]) these are bytes hashing to `id`; for a
+    /// keyed record ([`Backend::put_keyed`]) they are the record exactly
+    /// as the caller stored it, which the caller verifies by resolving.
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] on read failure; [`StoreError::Corrupt`] if the
-    /// stored bytes no longer hash to `id`.
+    /// stored bytes match neither `id` as content hash nor a keyed record
+    /// stored under `id`.
     fn get(&self, id: ObjectId) -> Result<Option<Vec<u8>>, StoreError>;
 
     /// Whether an object is stored under `id`.
@@ -239,6 +277,14 @@ impl<B: Backend + ?Sized> Backend for Box<B> {
         (**self).put_known(id, bytes)
     }
 
+    fn put_keyed(&mut self, id: ObjectId, bytes: &[u8]) -> Result<(), StoreError> {
+        (**self).put_keyed(id, bytes)
+    }
+
+    fn snapshot_interval(&self) -> u32 {
+        (**self).snapshot_interval()
+    }
+
     fn get(&self, id: ObjectId) -> Result<Option<Vec<u8>>, StoreError> {
         (**self).get(id)
     }
@@ -319,12 +365,24 @@ pub struct MemoryBackend {
     objects: HashMap<ObjectId, Arc<[u8]>>,
     refs: BTreeMap<String, ObjectId>,
     stats: BackendStats,
+    /// `None` means [`DEFAULT_SNAPSHOT_INTERVAL`]; `Some(0)` disables
+    /// delta storage (the full-state control arm of the size benches).
+    snapshot_interval: Option<u32>,
 }
 
 impl MemoryBackend {
     /// Creates an empty backend.
     pub fn new() -> Self {
         MemoryBackend::default()
+    }
+
+    /// Creates an empty backend with an explicit delta snapshot interval
+    /// (`0` stores every state full — see [`Backend::snapshot_interval`]).
+    pub fn with_snapshot_interval(snapshot_interval: u32) -> Self {
+        MemoryBackend {
+            snapshot_interval: Some(snapshot_interval),
+            ..MemoryBackend::default()
+        }
     }
 }
 
@@ -349,6 +407,21 @@ impl Backend for MemoryBackend {
             }
         }
         Ok(())
+    }
+
+    fn put_keyed(&mut self, id: ObjectId, bytes: &[u8]) -> Result<(), StoreError> {
+        self.stats.puts += 1;
+        match self.objects.entry(id) {
+            std::collections::hash_map::Entry::Occupied(_) => self.stats.dedup_hits += 1,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Arc::from(bytes));
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot_interval(&self) -> u32 {
+        self.snapshot_interval.unwrap_or(DEFAULT_SNAPSHOT_INTERVAL)
     }
 
     fn get(&self, id: ObjectId) -> Result<Option<Vec<u8>>, StoreError> {

@@ -39,7 +39,7 @@ use crate::error::StoreError;
 use crate::memo::{MergeCacheStats, MergeMemo};
 use crate::metrics::StoreMetrics;
 use crate::object::{canonical_bytes, content_id_of_bytes, decode_canonical, ObjectId};
-use peepul_core::{Mrdt, ReplicaId, Timestamp};
+use peepul_core::{Delta, Mrdt, ReplicaId, Timestamp, Wire};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
@@ -125,6 +125,173 @@ pub fn parse_commit_record(bytes: &[u8]) -> Option<CommitMeta> {
     })
 }
 
+/// Leading tag of a full state record: the rest is the state's canonical
+/// encoding (which hashes to the record's address).
+const STATE_FULL: u8 = 0;
+/// Leading tag of a delta state record: a 32-byte base state address
+/// followed by a [`peepul_core::Delta`] wire encoding. Resolving the
+/// delta against the base's canonical bytes yields this state's canonical
+/// bytes — which must hash to the record's address.
+const STATE_DELTA: u8 = 1;
+
+/// A parsed state record, borrowed from its envelope bytes.
+///
+/// Every state object in the backend is wrapped in a one-byte envelope:
+/// either the full canonical encoding ([`StateRecord::Full`]) or a delta
+/// against a parent state ([`StateRecord::Delta`]). The record lives
+/// under the address `sha256(full canonical bytes)` regardless of which
+/// form is stored — the delta form is a storage encoding, not an
+/// identity; every resolution re-hashes the resolved bytes against the
+/// address before trusting them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateRecord<'a> {
+    /// The state's full canonical encoding (a snapshot).
+    Full(&'a [u8]),
+    /// An edit script against the base state's canonical encoding.
+    Delta {
+        /// Address of the base state this delta resolves against.
+        base: ObjectId,
+        /// [`peepul_core::Delta`] wire bytes.
+        delta: &'a [u8],
+    },
+}
+
+/// Wraps a state's canonical bytes in the full-snapshot envelope.
+pub fn state_record_full(canonical: &[u8]) -> Vec<u8> {
+    let mut record = Vec::with_capacity(1 + canonical.len());
+    record.push(STATE_FULL);
+    record.extend_from_slice(canonical);
+    record
+}
+
+/// Wraps a [`peepul_core::Delta`] wire encoding in the delta envelope
+/// naming its base state.
+pub fn state_record_delta(base: ObjectId, delta_wire: &[u8]) -> Vec<u8> {
+    let mut record = Vec::with_capacity(1 + 32 + delta_wire.len());
+    record.push(STATE_DELTA);
+    record.extend_from_slice(base.as_bytes());
+    record.extend_from_slice(delta_wire);
+    record
+}
+
+/// Parses a stored state record back into its envelope form, or `None`
+/// when the bytes are not a well-formed record.
+pub fn parse_state_record(bytes: &[u8]) -> Option<StateRecord<'_>> {
+    let (tag, rest) = bytes.split_first()?;
+    match *tag {
+        STATE_FULL => Some(StateRecord::Full(rest)),
+        STATE_DELTA => {
+            let (base, delta) = rest.split_first_chunk::<32>()?;
+            Some(StateRecord::Delta {
+                base: ObjectId::from_bytes(*base),
+                delta,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// A resolved state record: the full canonical bytes plus how many delta
+/// links were applied to reach them (0 when the record was a snapshot or
+/// a cache hit).
+type Resolved = (Arc<Vec<u8>>, u32);
+
+/// Resolves a state address to its full canonical bytes by walking the
+/// stored delta chain: read the record under `oid`, follow delta bases
+/// until a full snapshot (or a `cache` hit), then apply the deltas back
+/// down — re-hashing **every** link's resolved bytes against its address
+/// before caching it, so a drifted or corrupted delta surfaces as
+/// [`StoreError::Corrupt`] at the link that broke, never as a wrong
+/// state. Newly discovered `delta → base` edges are recorded in `deps`
+/// (the GC retention index). Returns `None` when `oid` is not stored.
+///
+/// Standalone so [`BranchStore::open`] can resolve while the store is
+/// still under construction; chain length is bounded by the backend's
+/// snapshot interval at write time, and a corrupted cyclic chain is
+/// detected by the id-revisit guard rather than looping.
+fn resolve_state_record<B: Backend>(
+    backend: &B,
+    oid: ObjectId,
+    cache: &mut HashMap<ObjectId, Arc<Vec<u8>>>,
+    deps: &mut HashMap<ObjectId, ObjectId>,
+) -> Result<Option<Resolved>, StoreError> {
+    if let Some(bytes) = cache.get(&oid) {
+        return Ok(Some((Arc::clone(bytes), 0)));
+    }
+    // Walk up: the chain of (link id, delta wire bytes) pending resolution.
+    let mut pending: Vec<(ObjectId, Vec<u8>)> = Vec::new();
+    let mut walking = HashSet::new();
+    let mut cursor = oid;
+    let mut base_bytes: Arc<Vec<u8>> = loop {
+        if !walking.insert(cursor) {
+            return Err(StoreError::Corrupt(format!(
+                "state {} sits on a cyclic delta chain",
+                oid.short()
+            )));
+        }
+        if let Some(bytes) = cache.get(&cursor) {
+            break Arc::clone(bytes);
+        }
+        let Some(record) = backend.get(cursor)? else {
+            return if pending.is_empty() {
+                Ok(None)
+            } else {
+                Err(StoreError::Corrupt(format!(
+                    "delta chain of state {} references missing base {}",
+                    oid.short(),
+                    cursor.short()
+                )))
+            };
+        };
+        match parse_state_record(&record) {
+            Some(StateRecord::Full(canonical)) => {
+                let bytes = Arc::new(canonical.to_vec());
+                if content_id_of_bytes(&bytes) != cursor {
+                    return Err(StoreError::Corrupt(format!(
+                        "state snapshot {} does not hash to its address",
+                        cursor.short()
+                    )));
+                }
+                cache.insert(cursor, Arc::clone(&bytes));
+                break bytes;
+            }
+            Some(StateRecord::Delta { base, delta }) => {
+                pending.push((cursor, delta.to_vec()));
+                deps.insert(cursor, base);
+                cursor = base;
+            }
+            None => {
+                return Err(StoreError::Corrupt(format!(
+                    "object {} is not a state record",
+                    cursor.short()
+                )))
+            }
+        }
+    };
+    // Apply back down, verifying each link against its own address.
+    let links = pending.len() as u32;
+    while let Some((link, delta_wire)) = pending.pop() {
+        let delta = Delta::from_wire(&delta_wire).ok_or_else(|| {
+            StoreError::Corrupt(format!("state {} carries a malformed delta", link.short()))
+        })?;
+        let resolved = delta.apply(&base_bytes).ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "delta of state {} does not apply to its base",
+                link.short()
+            ))
+        })?;
+        if content_id_of_bytes(&resolved) != link {
+            return Err(StoreError::Corrupt(format!(
+                "resolved delta chain of state {} does not hash to its address",
+                link.short()
+            )));
+        }
+        base_bytes = Arc::new(resolved);
+        cache.insert(link, Arc::clone(&base_bytes));
+    }
+    Ok(Some((base_bytes, links)))
+}
+
 /// A Git-like store replicating one MRDT object across branches.
 ///
 /// # Example
@@ -180,6 +347,11 @@ pub struct BranchStore<M: Mrdt, B: Backend = MemoryBackend> {
     /// Commit boundaries crossed ([`BranchStore::durability_point`]) —
     /// the denominator of the published fsync-coalesce ratio.
     boundaries: u64,
+    /// Delta-stored state → its base state: the retention index GC closes
+    /// over (a base must outlive every live delta resolving through it)
+    /// and the chain-depth oracle commit uses to bound chains at the
+    /// backend's snapshot interval.
+    delta_deps: HashMap<ObjectId, ObjectId>,
 }
 
 impl<M: Mrdt> BranchStore<M> {
@@ -256,6 +428,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             memo: MergeMemo::new(),
             metrics: None,
             boundaries: 0,
+            delta_deps: HashMap::new(),
         };
         let root = store.commit(Vec::new(), Arc::new(M::initial()), (0, 0))?;
         store.set_head(&root_branch, root)?;
@@ -375,7 +548,9 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             memo: MergeMemo::new(),
             metrics: None,
             boundaries: 0,
+            delta_deps: HashMap::new(),
         };
+        let mut resolved: HashMap<ObjectId, Arc<Vec<u8>>> = HashMap::new();
         let mut typed: HashMap<ObjectId, Arc<M>> = HashMap::new();
         let mut installed = 0usize;
         while let Some(oid) = ready.pop_first() {
@@ -383,7 +558,19 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             let state = match typed.get(&meta.state) {
                 Some(s) => Arc::clone(s),
                 None => {
-                    let bytes = store.backend.get(meta.state)?.ok_or_else(|| {
+                    // Resolve the stored record (a snapshot, or a delta
+                    // chain down to one) to full canonical bytes —
+                    // hash-verified per link — then decode. The resolved
+                    // cache persists across commits, so a chain of K
+                    // deltas costs K applications for the whole reopen,
+                    // not K per state.
+                    let (bytes, _) = resolve_state_record(
+                        &store.backend,
+                        meta.state,
+                        &mut resolved,
+                        &mut store.delta_deps,
+                    )?
+                    .ok_or_else(|| {
                         StoreError::Corrupt(format!(
                             "commit {} references missing state {}",
                             oid.short(),
@@ -456,12 +643,109 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         state: Arc<M>,
         mint: (u64, u32),
     ) -> Result<CommitId, StoreError> {
-        let state_id = self.backend.put(&canonical_bytes(state.as_ref()))?;
+        let canonical = canonical_bytes(state.as_ref());
+        let state_id = content_id_of_bytes(&canonical);
+        self.put_state(
+            state_id,
+            &canonical,
+            state.as_ref(),
+            parents.first().copied(),
+        )?;
         let parent_ids: Vec<ObjectId> =
             parents.iter().map(|p| self.commit_ids[p.index()]).collect();
         let record = commit_record(&parent_ids, state_id, mint.0, mint.1);
         let commit_oid = self.backend.put(&record)?;
         Ok(self.install_commit(parents, state, state_id, commit_oid, mint))
+    }
+
+    /// Persists one state under its content address, choosing the storage
+    /// form: a structural delta against the (first) parent's state when
+    /// the backend's snapshot interval allows the chain to grow and the
+    /// delta record is actually smaller, a full snapshot otherwise. The
+    /// address is `sha256(canonical)` either way — the delta is a storage
+    /// encoding, and every read re-verifies that hash after resolution.
+    fn put_state(
+        &mut self,
+        state_id: ObjectId,
+        canonical: &[u8],
+        state: &M,
+        parent: Option<CommitId>,
+    ) -> Result<(), StoreError> {
+        if self.backend.contains(state_id)? {
+            // Interned: an equal state was stored before (under either
+            // form). Route the no-op through `put_keyed` so the backend's
+            // intern counters still see the sharing.
+            return self
+                .backend
+                .put_keyed(state_id, &state_record_full(canonical));
+        }
+        if let Some(pc) = parent {
+            let base_id = self.state_ids[pc.index()];
+            // `base_id != state_id` is implied: an equal state would have
+            // hit the intern check above. Check the chain bound before
+            // paying for the diff.
+            let interval = self.backend.snapshot_interval();
+            if interval > 0 && self.chain_depth(base_id) + 1 < interval {
+                let parent_state = self.graph.payload(pc).clone();
+                let delta = state.diff(parent_state.as_ref());
+                if self.try_put_delta(state_id, base_id, &delta.to_wire(), canonical.len())? {
+                    return Ok(());
+                }
+            }
+        }
+        self.backend
+            .put_keyed(state_id, &state_record_full(canonical))?;
+        if let Some(m) = &self.metrics {
+            m.full_states_total.inc();
+        }
+        Ok(())
+    }
+
+    /// Lands a state in delta form when the chain bound and the size test
+    /// allow it: the chain through `base` must stay under the backend's
+    /// snapshot interval (so every resolution is bounded by
+    /// `interval - 1` links) and the delta record must actually be
+    /// smaller than the full record. Returns `false` — nothing written —
+    /// when either test fails; the caller stores a full snapshot instead.
+    fn try_put_delta(
+        &mut self,
+        state_id: ObjectId,
+        base_id: ObjectId,
+        delta_wire: &[u8],
+        canonical_len: usize,
+    ) -> Result<bool, StoreError> {
+        let interval = self.backend.snapshot_interval();
+        if interval == 0 || self.chain_depth(base_id) + 1 >= interval {
+            return Ok(false);
+        }
+        let record = state_record_delta(base_id, delta_wire);
+        let full_record_len = 1 + canonical_len;
+        if record.len() >= full_record_len {
+            return Ok(false);
+        }
+        self.backend.put_keyed(state_id, &record)?;
+        self.delta_deps.insert(state_id, base_id);
+        if let Some(m) = &self.metrics {
+            m.delta_states_total.inc();
+            m.delta_bytes_total.add(record.len() as u64);
+            m.delta_saved_bytes_total
+                .add(full_record_len.saturating_sub(record.len()) as u64);
+            m.delta_chain_len
+                .observe(u64::from(self.chain_depth(state_id)));
+        }
+        Ok(true)
+    }
+
+    /// How many delta links sit between a stored state and its snapshot
+    /// base (0 for a snapshot). Bounded by the snapshot interval at write
+    /// time, so the walk is O(interval).
+    fn chain_depth(&self, mut id: ObjectId) -> u32 {
+        let mut depth = 0;
+        while let Some(base) = self.delta_deps.get(&id) {
+            depth += 1;
+            id = *base;
+        }
+        depth
     }
 
     /// Appends an already-published commit to the in-memory structures:
@@ -828,6 +1112,18 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
                 }
             }
         }
+        // A live delta-stored state pins its whole chain down to the full
+        // snapshot: resolution reads every link, so a base must survive
+        // even when no reachable commit carries it any more (the carrying
+        // commits may be exactly what this sweep is discarding).
+        let mut chain: Vec<ObjectId> = live.iter().copied().collect();
+        while let Some(id) = chain.pop() {
+            if let Some(base) = self.delta_deps.get(&id) {
+                if live.insert(*base) {
+                    chain.push(*base);
+                }
+            }
+        }
         live
     }
 
@@ -871,6 +1167,10 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         // without its bytes.
         self.commit_index.retain(|oid, _| live.contains(oid));
         self.state_index.retain(|oid, _| live.contains(oid));
+        // Collected delta-stored states drop out of the retention index;
+        // every surviving entry's base is in `live` (the closure in
+        // `live_objects` put it there), so surviving chains stay whole.
+        self.delta_deps.retain(|oid, _| live.contains(oid));
         if let (Some(m), Some(start)) = (&self.metrics, start) {
             let micros = start.elapsed().as_micros() as u64;
             m.gc_sweeps_total.inc();
@@ -952,6 +1252,7 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         m.commit_count.set(self.graph.len() as i64);
         m.branches.set(self.branches.len() as i64);
         m.objects.set(self.backend.object_count() as i64);
+        m.delta_states.set(self.delta_deps.len() as i64);
     }
 }
 
@@ -969,6 +1270,47 @@ pub struct IngestReport {
     /// The largest Lamport tick the pack carried (mint ticks and ticks
     /// embedded in states); the store's clock has been advanced past it.
     pub max_tick: u64,
+    /// State objects that arrived in delta form ([`PackState::Delta`]).
+    pub delta_states: u64,
+    /// Wire bytes the delta forms saved: resolved canonical size minus
+    /// delta size, summed over every [`PackState::Delta`] received.
+    pub delta_saved_bytes: u64,
+}
+
+/// A state object as it arrives in a pack: the full canonical bytes, or
+/// a delta against a base state the receiver is expected to hold (its
+/// `haves` proved it during negotiation). Either way the object's
+/// identity is `id = sha256(full canonical bytes)` — a delta is verified
+/// by resolving it and re-hashing before anything is written.
+#[derive(Clone, Copy, Debug)]
+pub enum PackState<'a> {
+    /// Full canonical encoding; must hash to `id`.
+    Full {
+        /// Advertised content address.
+        id: ObjectId,
+        /// The canonical bytes.
+        bytes: &'a [u8],
+    },
+    /// A [`peepul_core::Delta`] whose resolution against `base`'s
+    /// canonical bytes must hash to `id`.
+    Delta {
+        /// Advertised content address of the *resolved* state.
+        id: ObjectId,
+        /// Address of the base state the delta applies to. Must be held
+        /// by this store or appear earlier in the same pack.
+        base: ObjectId,
+        /// Delta wire bytes.
+        delta: &'a [u8],
+    },
+}
+
+impl PackState<'_> {
+    /// The advertised content address of the (resolved) state.
+    pub fn id(&self) -> ObjectId {
+        match self {
+            PackState::Full { id, .. } | PackState::Delta { id, .. } => *id,
+        }
+    }
 }
 
 /// What [`BranchStore::track`] did to the branch ref.
@@ -1042,19 +1384,63 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     }
 
     /// The canonical bytes of the state stored under `oid`, if any commit
-    /// carries it — served straight from the backend. These are exactly
-    /// the bytes that travel in a fetch/push: the storage format **is**
-    /// the wire format, so serving a state costs one backend read and
-    /// zero re-encodes.
+    /// carries it. A full snapshot costs one backend read; a delta-stored
+    /// state is resolved through its chain (each link hash-verified, at
+    /// most `snapshot_interval - 1` links). The returned bytes are exactly
+    /// what travels in a fetch/push and hash to `oid` — the canonical
+    /// encoding **is** the wire format, so serving costs zero re-encodes.
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] / [`StoreError::Corrupt`] from the backend.
+    /// [`StoreError::Io`] / [`StoreError::Corrupt`] from the backend,
+    /// including a delta chain that fails to resolve to bytes hashing to
+    /// their address.
     pub fn state_bytes(&self, oid: ObjectId) -> Result<Option<Vec<u8>>, StoreError> {
         if !self.state_index.contains_key(&oid) {
             return Ok(None);
         }
-        self.backend.get(oid)
+        let mut cache = HashMap::new();
+        let mut deps = HashMap::new();
+        let Some((bytes, links)) = resolve_state_record(&self.backend, oid, &mut cache, &mut deps)?
+        else {
+            return Ok(None);
+        };
+        if let Some(m) = &self.metrics {
+            if links > 0 {
+                m.delta_resolves_total.inc();
+            }
+        }
+        Ok(Some(bytes.as_ref().clone()))
+    }
+
+    /// The stored **delta form** of the state under `oid`: `Some((base,
+    /// delta_wire))` when the backend holds it as a delta record, `None`
+    /// when it is a full snapshot (or not held at all). The sync server
+    /// uses this to ship O(delta) bytes when the peer's `haves` prove it
+    /// holds `base` — the delta bytes go out exactly as stored, and the
+    /// receiver re-hashes the resolution against `oid` before trusting it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] / [`StoreError::Corrupt`] from the backend.
+    pub fn state_stored_delta(
+        &self,
+        oid: ObjectId,
+    ) -> Result<Option<(ObjectId, Vec<u8>)>, StoreError> {
+        if !self.state_index.contains_key(&oid) {
+            return Ok(None);
+        }
+        let Some(record) = self.backend.get(oid)? else {
+            return Ok(None);
+        };
+        match parse_state_record(&record) {
+            Some(StateRecord::Delta { base, delta }) => Ok(Some((base, delta.to_vec()))),
+            Some(StateRecord::Full(_)) => Ok(None),
+            None => Err(StoreError::Corrupt(format!(
+                "object {} is not a state record",
+                oid.short()
+            ))),
+        }
     }
 
     /// Verifies and lands a pack of commit records and canonical state
@@ -1074,8 +1460,10 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
     ///
     /// The whole pack is verified **before anything is written**, so a
     /// corrupt object anywhere leaves the store untouched. Verified
-    /// bytes are then published with [`Backend::put_known`] (no
-    /// re-hash), the commits enter the graph parents-first, and the
+    /// state bytes are then published in their one-byte state-record
+    /// envelope with [`Backend::put_keyed`] and commit records with
+    /// [`Backend::put_known`] (no re-hash), the commits enter the graph
+    /// parents-first, and the
     /// Lamport clock advances past every tick the pack carried (the
     /// receive rule). Already-known commits are skipped idempotently,
     /// and **only states referenced by a freshly ingested commit are
@@ -1099,25 +1487,93 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         commits: &[(ObjectId, &[u8])],
         states: &[(ObjectId, &[u8])],
     ) -> Result<IngestReport, StoreError> {
-        // Phase 1: verify every state — one hash, one decode. No writes.
+        let full: Vec<PackState<'_>> = states
+            .iter()
+            .map(|(id, bytes)| PackState::Full { id: *id, bytes })
+            .collect();
+        self.ingest_pack_states(commits, &full)
+    }
+
+    /// [`BranchStore::ingest_pack`] for packs whose state objects may
+    /// arrive in **delta form** ([`PackState::Delta`]) — the receiving
+    /// half of delta sync. Deltas are resolved during verification
+    /// (against a base held by this store or appearing earlier in the
+    /// pack), and the resolved bytes must hash to the advertised id and
+    /// decode canonically — exactly the checks full states get, so a
+    /// drifted or hostile delta fails before anything is written.
+    ///
+    /// A verified delta state *lands* in delta form too, when its base is
+    /// persisted and the chain bound allows — so an O(delta) fetch costs
+    /// O(delta) disk as well as O(delta) wire. Otherwise the resolved
+    /// snapshot is stored.
+    ///
+    /// # Errors
+    ///
+    /// As [`BranchStore::ingest_pack`]; additionally a delta that names a
+    /// base neither held nor in the pack prefix, fails to apply, or
+    /// resolves to bytes that do not hash to its advertised id is
+    /// [`StoreError::Corrupt`] / [`StoreError::CorruptObject`] with
+    /// nothing ingested.
+    pub fn ingest_pack_states(
+        &mut self,
+        commits: &[(ObjectId, &[u8])],
+        states: &[PackState<'_>],
+    ) -> Result<IngestReport, StoreError> {
+        // Phase 1: verify every state — resolve deltas, then one hash and
+        // one decode per object, exactly as for full states. No writes.
         let mut typed: HashMap<ObjectId, Arc<M>> = HashMap::with_capacity(states.len());
+        let mut resolved: HashMap<ObjectId, Vec<u8>> = HashMap::with_capacity(states.len());
         let mut max_tick = 0u64;
-        for (id, bytes) in states {
-            let actual = content_id_of_bytes(bytes);
-            if actual != *id {
+        let mut delta_states = 0u64;
+        let mut delta_saved_bytes = 0u64;
+        for s in states {
+            let (id, bytes) = match *s {
+                PackState::Full { id, bytes } => (id, bytes.to_vec()),
+                PackState::Delta { id, base, delta } => {
+                    let base_bytes = match resolved.get(&base) {
+                        Some(b) => b.clone(),
+                        None => self.state_bytes(base)?.ok_or_else(|| {
+                            StoreError::Corrupt(format!(
+                                "delta state {} references base {} that is neither in the pack \
+                                 prefix nor in the store",
+                                id.short(),
+                                base.short()
+                            ))
+                        })?,
+                    };
+                    let d = Delta::from_wire(delta).ok_or_else(|| {
+                        StoreError::Corrupt(format!(
+                            "state {} carries a malformed delta",
+                            id.short()
+                        ))
+                    })?;
+                    let bytes = d.apply(&base_bytes).ok_or_else(|| {
+                        StoreError::Corrupt(format!(
+                            "delta of state {} does not apply to its base",
+                            id.short()
+                        ))
+                    })?;
+                    delta_states += 1;
+                    delta_saved_bytes += (bytes.len() as u64).saturating_sub(delta.len() as u64);
+                    (id, bytes)
+                }
+            };
+            let actual = content_id_of_bytes(&bytes);
+            if actual != id {
                 return Err(StoreError::CorruptObject {
-                    expected: *id,
+                    expected: id,
                     actual,
                 });
             }
-            let m: M = decode_canonical(bytes).ok_or_else(|| {
+            let m: M = decode_canonical(&bytes).ok_or_else(|| {
                 StoreError::Corrupt(format!(
                     "state object {} is not a canonical state encoding",
                     id.short()
                 ))
             })?;
             max_tick = max_tick.max(m.max_tick());
-            typed.insert(*id, Arc::new(m));
+            typed.insert(id, Arc::new(m));
+            resolved.insert(id, bytes);
         }
 
         // Phase 2: verify every commit record — one hash, plus structural
@@ -1168,10 +1624,27 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
         // Phase 3: land. Verified bytes go down without a second hash —
         // but only states some fresh commit pins: persisting unreferenced
         // (if valid) objects would let a peer grow the backend forever.
+        // Pack order guarantees a delta's base (when it is in the pack)
+        // lands before its dependants, so the `contains` check below sees
+        // it; a base not pinned by any fresh commit simply fails the
+        // check and the dependant lands as a snapshot.
         let mut needed: HashSet<ObjectId> = fresh.iter().map(|(_, m, _)| m.state).collect();
-        for (id, bytes) in states {
-            if needed.remove(id) {
-                self.backend.put_known(*id, bytes)?;
+        for s in states {
+            let id = s.id();
+            if !needed.remove(&id) {
+                continue;
+            }
+            let canonical = &resolved[&id];
+            if let PackState::Delta { base, delta, .. } = *s {
+                if self.backend.contains(base)?
+                    && self.try_put_delta(id, base, delta, canonical.len())?
+                {
+                    continue;
+                }
+            }
+            self.backend.put_keyed(id, &state_record_full(canonical))?;
+            if let Some(m) = &self.metrics {
+                m.full_states_total.inc();
             }
         }
         for (id, meta, bytes) in &fresh {
@@ -1201,6 +1674,8 @@ impl<M: Mrdt, B: Backend> BranchStore<M, B> {
             commits: fresh.len() as u64,
             states: states.len() as u64,
             max_tick,
+            delta_states,
+            delta_saved_bytes,
         };
         if let Some(m) = &self.metrics {
             m.ingest_packs_total.inc();

@@ -73,10 +73,13 @@ pub mod segment;
 pub mod semantics;
 pub mod sha256;
 
-pub use backend::{Backend, BackendStats, MemoryBackend, StorageInfo, SweepStats};
+pub use backend::{
+    Backend, BackendStats, MemoryBackend, StorageInfo, SweepStats, DEFAULT_SNAPSHOT_INTERVAL,
+};
 pub use branch::{
-    commit_record, parse_commit_record, BranchId, BranchMut, BranchRef, BranchStore, CommitMeta,
-    IngestReport, TrackOutcome, Transaction,
+    commit_record, parse_commit_record, parse_state_record, state_record_delta, state_record_full,
+    BranchId, BranchMut, BranchRef, BranchStore, CommitMeta, IngestReport, PackState, StateRecord,
+    TrackOutcome, Transaction,
 };
 pub use clock::LamportClock;
 pub use dag::{CommitGraph, CommitId};

@@ -80,6 +80,29 @@ pub struct StoreMetrics {
     pub disk_bytes: Gauge,
     /// `peepul_store_segments` — storage files (gauge, published).
     pub segments: Gauge,
+    /// `peepul_store_delta_states_total` — states persisted in delta
+    /// form (the delta hit count; see
+    /// [`StoreMetrics::full_states_total`] for the misses).
+    pub delta_states_total: Counter,
+    /// `peepul_store_full_states_total` — states persisted as full
+    /// snapshots (interval boundaries, merge bases with no smaller
+    /// delta, ingests without a held base).
+    pub full_states_total: Counter,
+    /// `peepul_store_delta_bytes_total` — bytes of delta records
+    /// written.
+    pub delta_bytes_total: Counter,
+    /// `peepul_store_delta_saved_bytes_total` — bytes *not* written
+    /// because a delta record replaced a full record.
+    pub delta_saved_bytes_total: Counter,
+    /// `peepul_store_delta_resolves_total` — reads that resolved a
+    /// delta chain (≥ 1 link) to serve full canonical bytes.
+    pub delta_resolves_total: Counter,
+    /// `peepul_store_delta_chain_len` — chain length (links to the
+    /// snapshot) of each delta record at write time.
+    pub delta_chain_len: Histogram,
+    /// `peepul_store_delta_states` — delta-stored states currently live
+    /// (gauge, published; the GC retention index size).
+    pub delta_states: Gauge,
     /// The trace ring commit/merge/GC events are recorded into.
     pub ring: Arc<EventRing>,
 }
@@ -115,6 +138,13 @@ impl StoreMetrics {
             fsync_coalesce_permille: registry.gauge("peepul_store_fsync_coalesce_permille"),
             disk_bytes: registry.gauge("peepul_store_disk_bytes"),
             segments: registry.gauge("peepul_store_segments"),
+            delta_states_total: registry.counter("peepul_store_delta_states_total"),
+            full_states_total: registry.counter("peepul_store_full_states_total"),
+            delta_bytes_total: registry.counter("peepul_store_delta_bytes_total"),
+            delta_saved_bytes_total: registry.counter("peepul_store_delta_saved_bytes_total"),
+            delta_resolves_total: registry.counter("peepul_store_delta_resolves_total"),
+            delta_chain_len: registry.histogram("peepul_store_delta_chain_len"),
+            delta_states: registry.gauge("peepul_store_delta_states"),
             ring,
         })
     }

@@ -88,6 +88,12 @@ const PACK_TMP: &str = "pack.tmp";
 const LEGACY_SEGMENT: &str = "store.seg";
 const KIND_OBJECT: u8 = 1;
 const KIND_REF: u8 = 2;
+/// A keyed record ([`Backend::put_keyed`]): the payload is the advertised
+/// 32-byte `ObjectId` followed by the caller's record bytes, which do
+/// *not* hash to the id (the delta-storage envelope). Self-describing so
+/// crash replay and pack compaction recover the address without help
+/// from any index.
+const KIND_KEYED: u8 = 3;
 /// kind + len prefix.
 const HEADER_LEN: u64 = 1 + 4;
 /// Truncated-sha256 payload checksum suffix.
@@ -134,6 +140,11 @@ pub struct SegmentOptions {
     /// single record larger than the cap still lands (in a fresh segment
     /// of its own).
     pub max_segment_bytes: u64,
+    /// Delta-chain bound `K` surfaced through
+    /// [`Backend::snapshot_interval`]: the branch store writes a full
+    /// snapshot state at least every `K` commits and stores the rest as
+    /// deltas against their parent. `0` stores every state full.
+    pub snapshot_interval: u32,
 }
 
 impl Default for SegmentOptions {
@@ -142,6 +153,7 @@ impl Default for SegmentOptions {
             durable: true,
             flush: FlushPolicy::PerCommit,
             max_segment_bytes: 64 * 1024 * 1024,
+            snapshot_interval: crate::backend::DEFAULT_SNAPSHOT_INTERVAL,
         }
     }
 }
@@ -425,6 +437,20 @@ impl SegmentBackend {
                         offset: payload_offset,
                         len: payload.len() as u32,
                     });
+                }
+                Record::Keyed(payload) => {
+                    // The advertised address leads the payload; the
+                    // location spans the whole payload (id included) so a
+                    // later read can re-derive which case it holds.
+                    let mut id = [0u8; 32];
+                    id.copy_from_slice(&payload[..32]);
+                    self.index
+                        .entry(ObjectId::from_bytes(id))
+                        .or_insert(Location {
+                            slot,
+                            offset: payload_offset,
+                            len: payload.len() as u32,
+                        });
                 }
                 Record::Ref(name, id) => {
                     self.refs.insert(name, id);
@@ -924,6 +950,8 @@ fn take_ref_entry(cur: &mut &[u8]) -> Option<(String, ObjectId)> {
 
 enum Record {
     Object(Vec<u8>),
+    /// Keyed payload: 32-byte advertised id ++ caller record bytes.
+    Keyed(Vec<u8>),
     Ref(String, ObjectId),
 }
 
@@ -953,6 +981,12 @@ fn parse_record(bytes: &[u8]) -> Option<Record> {
     }
     match kind {
         KIND_OBJECT => Some(Record::Object(payload.to_vec())),
+        KIND_KEYED => {
+            if payload.len() < 32 {
+                return None;
+            }
+            Some(Record::Keyed(payload.to_vec()))
+        }
         KIND_REF => {
             if payload.len() < 2 {
                 return None;
@@ -994,17 +1028,42 @@ impl Backend for SegmentBackend {
         Ok(())
     }
 
+    fn put_keyed(&mut self, id: ObjectId, bytes: &[u8]) -> Result<(), StoreError> {
+        self.stats.puts += 1;
+        if self.index.contains_key(&id) {
+            self.stats.dedup_hits += 1;
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(32 + bytes.len());
+        payload.extend_from_slice(id.as_bytes());
+        payload.extend_from_slice(bytes);
+        let loc = self.append(KIND_KEYED, &payload)?;
+        self.index.insert(id, loc);
+        Ok(())
+    }
+
+    fn snapshot_interval(&self) -> u32 {
+        self.options.snapshot_interval
+    }
+
     fn get(&self, id: ObjectId) -> Result<Option<Vec<u8>>, StoreError> {
         let Some(&loc) = self.index.get(&id) else {
             return Ok(None);
         };
         let buf = self.read_location(loc)?;
-        if ObjectId::from_bytes(Sha256::digest(&buf)) != id {
-            return Err(StoreError::Corrupt(format!(
-                "object {id} bytes no longer hash to their address"
-            )));
+        // Content-addressed object: the bytes hash to their address.
+        if ObjectId::from_bytes(Sha256::digest(&buf)) == id {
+            return Ok(Some(buf));
         }
-        Ok(Some(buf))
+        // Keyed record: the payload carries the advertised address up
+        // front (a content collision here would require an object to
+        // contain its own sha256 — not constructible).
+        if buf.len() >= 32 && buf[..32] == *id.as_bytes() {
+            return Ok(Some(buf[32..].to_vec()));
+        }
+        Err(StoreError::Corrupt(format!(
+            "object {id} bytes neither hash to their address nor form a keyed record"
+        )))
     }
 
     fn contains(&self, id: ObjectId) -> Result<bool, StoreError> {

@@ -4,7 +4,10 @@
 //! paper's `(l ∩ a ∩ b) ∪ (a − l) ∪ (b − l)` collapses to `a ∪ b` because a
 //! grow-only branch always contains its ancestor).
 
-use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
+use peepul_core::{
+    diff_item_lists, AbstractOf, Certified, Delta, Mrdt, SimulationRelation, Specification,
+    Timestamp, Wire,
+};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -114,6 +117,14 @@ impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Mrdt for GSet<
         GSet {
             elems: a.elems.union(&b.elems).cloned().collect(),
         }
+    }
+
+    fn diff(&self, parent: &Self) -> Delta {
+        // Structural diff over the set's encoded elements: an element
+        // inserted anywhere in sort order copies every survivor instead of
+        // re-inserting the tail the way a byte splice would.
+        let items = |set: &BTreeSet<T>| set.iter().map(Wire::to_wire).collect::<Vec<_>>();
+        diff_item_lists(&items(&parent.elems), &items(&self.elems))
     }
 }
 

@@ -12,7 +12,10 @@
 //! The log is the value type of the IRC-style chat of §5.1 (one log per
 //! channel inside an α-map; see [`crate::chat`]).
 
-use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
+use peepul_core::{
+    diff_item_lists, AbstractOf, Certified, Delta, Mrdt, SimulationRelation, Specification,
+    Timestamp, Wire,
+};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -131,6 +134,16 @@ impl<M: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Mrdt for Merge
         MergeableLog {
             entries: entries.into(),
         }
+    }
+
+    fn diff(&self, parent: &Self) -> Delta {
+        // Entries are newest-first, so an append prepends — the byte splice
+        // would already share the whole tail, but a *merge* interleaves
+        // fresh entries from both branches anywhere in timestamp order;
+        // diffing per encoded entry copies every inherited entry and
+        // inserts only the genuinely new ones.
+        let items = |log: &Self| log.entries.iter().map(Wire::to_wire).collect::<Vec<_>>();
+        diff_item_lists(&items(parent), &items(self))
     }
 }
 

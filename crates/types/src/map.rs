@@ -14,7 +14,10 @@
 //! is certified too, which is how the chat application of [`crate::chat`]
 //! gets its proofs "for free".
 
-use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
+use peepul_core::{
+    diff_item_lists, AbstractOf, Certified, Delta, Mrdt, SimulationRelation, Specification,
+    Timestamp, Wire,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -270,6 +273,24 @@ impl<V: Mrdt> Mrdt for MrdtMap<V> {
                 .entries
                 .iter()
                 .all(|(k, v)| other.entries.get(k).is_some_and(|w| v.observably_equal(w)))
+    }
+
+    fn diff(&self, parent: &Self) -> Delta {
+        // Structural diff over the encoded `(key, value)` entries: touching
+        // one key re-encodes one entry, every untouched entry is copied
+        // from the parent encoding wherever sort order moved it.
+        let items = |map: &Self| {
+            map.entries
+                .iter()
+                .map(|(k, v)| {
+                    let mut buf = Vec::new();
+                    k.encode(&mut buf);
+                    v.encode(&mut buf);
+                    buf
+                })
+                .collect::<Vec<_>>()
+        };
+        diff_item_lists(&items(parent), &items(self))
     }
 }
 

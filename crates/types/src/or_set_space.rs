@@ -11,7 +11,10 @@
 //! which the one with the larger timestamp survives.
 
 use crate::or_set::{live_adds, orset_query, OrSetSpec};
-use peepul_core::{AbstractOf, Certified, Mrdt, SimulationRelation, Specification, Timestamp};
+use peepul_core::{
+    diff_item_lists, AbstractOf, Certified, Delta, Mrdt, SimulationRelation, Specification,
+    Timestamp, Wire,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -181,6 +184,14 @@ impl<T: Ord + Clone + PartialEq + peepul_core::Wire + fmt::Debug> Mrdt for OrSet
 
     fn observably_equal(&self, other: &Self) -> bool {
         self.as_map() == other.as_map()
+    }
+
+    fn diff(&self, parent: &Self) -> Delta {
+        // Structural diff over the encoded `(element, timestamp)` pairs: a
+        // remove in the middle of the insertion-ordered vector copies every
+        // surviving pair; only refreshed or new pairs are inserted.
+        let items = |s: &Self| s.pairs.iter().map(Wire::to_wire).collect::<Vec<_>>();
+        diff_item_lists(&items(parent), &items(self))
     }
 }
 

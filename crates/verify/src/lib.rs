@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bounded;
+pub mod codec_mutants;
 pub mod generator;
 pub mod proptest_support;
 pub mod ralin;
@@ -51,6 +52,7 @@ pub mod schedule;
 pub mod suite;
 
 pub use bounded::{BoundedChecker, BoundedConfig, BoundedStats};
+pub use codec_mutants::{run_codec_mutants, CodecMutantOutcome};
 pub use generator::{RandomConfig, ScheduleGenerator};
 pub use ralin::{
     check_fleet, check_fleet_on, check_ra_lin, run_replication_mutants, FleetConfig,

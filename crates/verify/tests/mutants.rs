@@ -11,7 +11,8 @@
 //! obligation.
 
 use peepul_core::{
-    AbstractOf, Certified, Mrdt, Obligation, SimulationRelation, Specification, Timestamp, Wire,
+    AbstractOf, Certified, Delta, Mrdt, Obligation, SimulationRelation, Specification, Timestamp,
+    Wire,
 };
 use peepul_types::or_set::{OrSetOp, OrSetOutput, OrSetQuery};
 use peepul_verify::{BoundedChecker, BoundedConfig, CertificationError};
@@ -653,4 +654,80 @@ fn drifted_codec_is_caught_as_phi_codec() {
     // σ0 already fails the round-trip, so the violation is localised to
     // the pre-transition probe.
     assert!(step.contains("initial"), "caught at σ0: {step}");
+}
+
+// ---------------------------------------------------------------------
+// Mutant 7: a correct counter with a correct codec but a *drifted delta*:
+// `diff` emits a well-formed, decodable edit script that resolves back to
+// the parent instead of the child. Every other obligation passes — the
+// full encoding round-trips, merges converge, queries match the spec —
+// because the delta is only exercised by the storage/transfer layer. Only
+// the Φ_codec delta-resolution law (`apply_delta(p, σ.diff(p)) ≅ σ`,
+// re-encoding to `encode(σ)`) catches it; without that check this bug
+// silently stores/ships deltas that resolve to the wrong state (caught
+// later only by the content-address re-hash, far from the cause).
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+struct DriftedDeltaCounter(u64);
+
+impl Wire for DriftedDeltaCounter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(DriftedDeltaCounter(Wire::decode(input)?))
+    }
+}
+
+impl Mrdt for DriftedDeltaCounter {
+    type Op = Inc;
+    type Value = ();
+    type Query = ReadQ;
+    type Output = u64;
+    fn initial() -> Self {
+        DriftedDeltaCounter(0)
+    }
+    fn apply(&self, _op: &Inc, _t: Timestamp) -> (Self, ()) {
+        (DriftedDeltaCounter(self.0 + 1), ())
+    }
+    fn query(&self, _q: &ReadQ) -> u64 {
+        self.0
+    }
+    fn merge(lca: &Self, a: &Self, b: &Self) -> Self {
+        DriftedDeltaCounter(a.0 + b.0 - lca.0)
+    }
+    fn diff(&self, parent: &Self) -> Delta {
+        // BUG: claims "no change" regardless of the child — the delta
+        // resolves to the parent's bytes, not this state's.
+        Delta::splice(&parent.to_wire(), &parent.to_wire())
+    }
+}
+
+struct DriftDeltaSpec;
+impl Specification<DriftedDeltaCounter> for DriftDeltaSpec {
+    fn spec(_op: &Inc, _abs: &AbstractOf<DriftedDeltaCounter>) {}
+    fn query(_q: &ReadQ, abs: &AbstractOf<DriftedDeltaCounter>) -> u64 {
+        abs.events().count() as u64
+    }
+}
+struct DriftDeltaSim;
+impl SimulationRelation<DriftedDeltaCounter> for DriftDeltaSim {
+    fn holds(abs: &AbstractOf<DriftedDeltaCounter>, conc: &DriftedDeltaCounter) -> bool {
+        conc.0 == abs.events().count() as u64
+    }
+}
+impl Certified for DriftedDeltaCounter {
+    type Spec = DriftDeltaSpec;
+    type Sim = DriftDeltaSim;
+}
+
+#[test]
+fn drifted_delta_is_caught_as_phi_codec() {
+    let (obligation, step) = first_violation::<DriftedDeltaCounter>(2, vec![Inc], vec![ReadQ])
+        .expect("mutant must be caught");
+    assert_eq!(obligation, Obligation::Codec);
+    // σ0 diffs against itself correctly (the identity delta *is* right
+    // there), so the first DO is where resolution first drifts.
+    assert!(step.contains("DO"), "caught at the first update: {step}");
 }

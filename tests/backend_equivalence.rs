@@ -13,7 +13,7 @@ mod common;
 use common::Scratch;
 use peepul::prelude::*;
 use peepul::store::{Backend, MemoryBackend, ObjectId, SegmentBackend, SegmentOptions};
-use peepul::types::or_set_space::{OrSetOp, OrSetSpace};
+use peepul::types::or_set_space::{OrSetOp, OrSetOutput, OrSetQuery, OrSetSpace};
 use proptest::prelude::*;
 
 /// One step of a randomized schedule, interpreted over a growing set of
@@ -36,14 +36,15 @@ fn step_strategy() -> impl Strategy<Value = Step> {
     ]
 }
 
-/// Per-branch `(name, head commit address, head state address)`.
-type BranchHeads = Vec<(String, ObjectId, ObjectId)>;
+/// Per-branch `(name, head commit address, head state address, elements)`.
+type BranchHeads = Vec<(String, ObjectId, ObjectId, Vec<u8>)>;
 /// The backend's final ref table.
 type RefTable = Vec<(String, ObjectId)>;
 
 /// Replays `schedule` on a store over `backend`, returning every branch's
-/// head addresses plus the backend's final ref table.
-fn replay<B: Backend>(schedule: &[Step], backend: B, cache: bool) -> (BranchHeads, RefTable) {
+/// head addresses and query answer, the backend's final ref table, and
+/// the store's Lamport tick.
+fn replay<B: Backend>(schedule: &[Step], backend: B, cache: bool) -> (BranchHeads, RefTable, u64) {
     let mut db: BranchStore<OrSetSpace<u8>, B> =
         BranchStore::with_backend("b0", backend).expect("open store");
     db.set_merge_cache(cache);
@@ -81,9 +82,19 @@ fn replay<B: Backend>(schedule: &[Step], backend: B, cache: bool) -> (BranchHead
     }
     let heads = branches
         .iter()
-        .map(|b| (b.clone(), db.head_id(b).unwrap(), db.state_id(b).unwrap()))
+        .map(|b| {
+            let OrSetOutput::Elements(e) = db.read(b, &OrSetQuery::Read).unwrap() else {
+                panic!("read returns elements")
+            };
+            (
+                b.clone(),
+                db.head_id(b).unwrap(),
+                db.state_id(b).unwrap(),
+                e,
+            )
+        })
         .collect();
-    (heads, db.backend().refs().unwrap())
+    (heads, db.backend().refs().unwrap(), db.tick())
 }
 
 proptest! {
@@ -104,6 +115,23 @@ proptest! {
         ).unwrap();
         let seg = replay(&schedule, seg_backend, true);
         prop_assert_eq!(&mem, &seg);
+    }
+
+    /// Delta-record storage is unobservable: the same schedule replayed
+    /// on a full-snapshot store (`snapshot_interval = 0`, every state
+    /// persisted as its full canonical bytes) and on a delta-storing
+    /// store (the default interval) produces identical heads, state
+    /// addresses, ref tables, query answers and Lamport tick — the delta
+    /// encoding changes what a state record *costs*, never what it
+    /// *means*, and the content address stays the hash of the full
+    /// canonical bytes either way.
+    #[test]
+    fn delta_stored_equals_full_stored(
+        schedule in proptest::collection::vec(step_strategy(), 1..40),
+    ) {
+        let full = replay(&schedule, MemoryBackend::with_snapshot_interval(0), true);
+        let delta = replay(&schedule, MemoryBackend::new(), true);
+        prop_assert_eq!(&full, &delta);
     }
 
     /// Memoized and uncached replays of the same schedule are identical —
@@ -137,7 +165,7 @@ fn segment_replay_survives_reopen() {
             },
         })
         .collect();
-    let (heads, refs) = replay(
+    let (heads, refs, _) = replay(
         &schedule,
         SegmentBackend::open_with(
             &dir,
@@ -153,7 +181,7 @@ fn segment_replay_survives_reopen() {
     // refs are there, integrity-checked.
     let reopened = SegmentBackend::open(&dir).unwrap();
     assert_eq!(reopened.refs().unwrap(), refs);
-    for (branch, head, state) in &heads {
+    for (branch, head, state, _) in &heads {
         assert_eq!(
             reopened.get_ref(branch).unwrap().as_ref(),
             Some(head),

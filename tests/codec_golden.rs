@@ -17,7 +17,7 @@
 //! also decodes the fixture back and re-encodes it, so the vectors prove
 //! decodability, not just stability.
 
-use peepul::core::{Mrdt, ReplicaId, Timestamp, Wire};
+use peepul::core::{Delta, Mrdt, ReplicaId, Timestamp, Wire};
 use peepul::types::avl::AvlMap;
 use peepul::types::chat::{Chat, ChatOp};
 use peepul::types::counter::{Counter, CounterOp};
@@ -85,6 +85,47 @@ fn golden<T: Wire + std::fmt::Debug>(name: &str, value: &T) {
     let decoded = T::from_wire(&from_hex(&fixture))
         .unwrap_or_else(|| panic!("{name}: golden bytes no longer decode"));
     assert_eq!(decoded.to_wire(), bytes, "{name}: re-encode drifted");
+}
+
+/// Pins the wire encoding of `child.diff(parent)` against a fixture —
+/// since delta sync the delta script is a storage *and* transfer format
+/// (`SegmentBackend` persists it inside delta state records, `StatesDelta`
+/// replies ship it), so it gets the same drift tripwire as the canonical
+/// encoding — and proves the pinned delta still *resolves*: applying it to
+/// the parent reproduces the child's canonical bytes exactly (the
+/// content-address preimage, so a drift here breaks hash verification).
+fn golden_delta<M: Mrdt>(name: &str, parent: &M, child: &M) {
+    let delta = child.diff(parent);
+    let bytes = delta.to_wire();
+    let path = fixture_path(name);
+    if std::env::var_os("PEEPUL_BLESS_CODEC").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, to_hex(&bytes) + "\n").unwrap();
+        return;
+    }
+    let fixture = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing codec fixture {} ({e}); generate with \
+             PEEPUL_BLESS_CODEC=1 cargo test --test codec_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        to_hex(&bytes),
+        fixture.trim(),
+        "{name}: delta encoding drifted from the golden vector — this breaks \
+         every delta-stored segment file and in-flight delta sync; if \
+         intentional, re-bless the fixture and say so in the PR"
+    );
+    let pinned = Delta::from_wire(&from_hex(&fixture))
+        .unwrap_or_else(|| panic!("{name}: golden delta bytes no longer decode"));
+    let resolved = M::apply_delta(parent, &pinned)
+        .unwrap_or_else(|| panic!("{name}: golden delta no longer applies to its base"));
+    assert_eq!(
+        resolved.to_wire(),
+        child.to_wire(),
+        "{name}: resolved delta drifted from the child's canonical bytes"
+    );
 }
 
 /// Applies `ops` sequentially with deterministic timestamps.
@@ -223,6 +264,39 @@ fn chat_golden() {
 fn avl_map_golden() {
     let map: AvlMap<u32, u64> = [(2u32, 20u64), (1, 10), (3, 30)].into_iter().collect();
     golden("avl_map", &map);
+}
+
+#[test]
+fn counter_delta_golden() {
+    let parent = build::<Counter>(&[CounterOp::Increment; 2]);
+    let child = parent.apply(&CounterOp::Increment, ts(3, 0)).0;
+    golden_delta("counter_delta", &parent, &child);
+}
+
+#[test]
+fn or_set_space_delta_golden() {
+    let parent = build::<OrSetSpace<u32>>(&[OrSetOp::Add(5), OrSetOp::Add(5), OrSetOp::Add(2)]);
+    let child = parent.apply(&OrSetOp::Add(9), ts(4, 1)).0;
+    golden_delta("or_set_space_delta", &parent, &child);
+}
+
+#[test]
+fn log_delta_golden() {
+    let parent = build::<MergeableLog<u32>>(&[LogOp::Append(10), LogOp::Append(20)]);
+    let child = parent.apply(&LogOp::Append(30), ts(3, 2)).0;
+    golden_delta("log_delta", &parent, &child);
+}
+
+#[test]
+fn g_map_delta_golden() {
+    let parent = build::<MrdtMap<Counter>>(&[
+        MapOp::Set("hits".into(), CounterOp::Increment),
+        MapOp::Set("misses".into(), CounterOp::Increment),
+    ]);
+    let child = parent
+        .apply(&MapOp::Set("hits".into(), CounterOp::Increment), ts(3, 2))
+        .0;
+    golden_delta("g_map_delta", &parent, &child);
 }
 
 /// The commit record format is pinned too: it is the other half of what a

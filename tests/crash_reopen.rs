@@ -183,6 +183,89 @@ fn typed_reopen_at_every_truncation_point_serves_the_published_prefix() {
 }
 
 #[test]
+fn typed_reopen_at_every_offset_inside_delta_and_snapshot_records() {
+    let scratch = Scratch::new("typed-reopen-delta-offsets");
+    let dir = scratch.path().join("db");
+    let file = active_file(&dir);
+
+    // Snapshot every 3 commits: a chat-log session (each append grows
+    // the state by a fat message, so the delta record is always the
+    // smaller encoding) then writes both O(delta) state records and
+    // periodic full snapshots, and the truncation sweep below cuts
+    // through every byte of both kinds.
+    let opts = || SegmentOptions {
+        durable: false,
+        snapshot_interval: 3,
+        ..SegmentOptions::default()
+    };
+    type Log = peepul::types::log::MergeableLog<String>;
+    let query = peepul::types::log::LogQuery::Read;
+    let mut checkpoints: Vec<(u64, ObjectId, usize, u64)> = Vec::new();
+    {
+        let backend = SegmentBackend::open_with(&dir, opts()).unwrap();
+        let mut db: BranchStore<Log, _> = BranchStore::with_backend("main", backend).unwrap();
+        let mut deltas = 0;
+        for i in 0..8u32 {
+            db.branch_mut("main")
+                .unwrap()
+                .apply(&peepul::types::log::LogOp::Append(format!(
+                    "chat message number {i}, padded {}",
+                    "x".repeat(40)
+                )))
+                .unwrap();
+            checkpoints.push((
+                std::fs::metadata(&file).unwrap().len(),
+                db.head_id("main").unwrap(),
+                db.read("main", &query).unwrap().len(),
+                db.tick(),
+            ));
+            if db
+                .state_stored_delta(db.state_id("main").unwrap())
+                .unwrap()
+                .is_some()
+            {
+                deltas += 1;
+            }
+        }
+        assert!(deltas >= 4, "the session must actually store deltas");
+        assert!(deltas < 8, "interval 3 must force periodic snapshots");
+    }
+    let base = checkpoints.first().unwrap().0;
+    let full = checkpoints.last().unwrap().0;
+
+    // Kill the tail at every byte offset — inside delta records and
+    // snapshot records alike — and reopen as typed state: the recovered
+    // head, elements and clock are exactly those of the longest fully
+    // published prefix, and every surviving state's record chain still
+    // resolves from disk.
+    for cut in (base..=full).rev() {
+        truncate(&file, cut);
+        let backend = SegmentBackend::open_with(&dir, opts()).unwrap();
+        let db: BranchStore<Log, _> =
+            BranchStore::open(backend).unwrap_or_else(|e| panic!("cut {cut}: open failed: {e}"));
+        let (_, head, len, tick) = checkpoints
+            .iter()
+            .rev()
+            .find(|(l, _, _, _)| *l <= cut)
+            .expect("the root publish is below every cut");
+        assert_eq!(db.head_id("main").unwrap(), *head, "cut {cut}: head");
+        assert_eq!(
+            db.read("main", &query).unwrap().len(),
+            *len,
+            "cut {cut}: typed query"
+        );
+        assert_eq!(db.tick(), *tick, "cut {cut}: Lamport clock");
+        for c in db.commits_between(&[*head], &[]) {
+            let oid = db.state_oid(c);
+            assert!(
+                db.state_bytes(oid).unwrap().is_some(),
+                "cut {cut}: surviving state {oid:?} must resolve"
+            );
+        }
+    }
+}
+
+#[test]
 fn typed_reopen_recovers_multi_branch_stores_after_a_torn_tail() {
     let scratch = Scratch::new("typed-reopen-branches");
     let dir = scratch.path().join("db");
